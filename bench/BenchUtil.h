@@ -1,0 +1,105 @@
+//===- bench/BenchUtil.h - Shared benchmark helpers ------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the benchmark binaries: loading networks from
+/// scenario sources, running the engines, and accumulating a
+/// paper-vs-measured comparison table that each binary prints after its
+/// google-benchmark timings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_BENCH_BENCHUTIL_H
+#define BAYONET_BENCH_BENCHUTIL_H
+
+#include "api/Bayonet.h"
+
+#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace bayonet::benchutil {
+
+/// Loads a network or aborts the benchmark binary.
+inline LoadedNetwork mustLoad(const std::string &Source) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(Source, Diags);
+  if (!Net) {
+    std::fprintf(stderr, "benchmark network failed to load:\n%s",
+                 Diags.toString().c_str());
+    std::exit(1);
+  }
+  return std::move(*Net);
+}
+
+/// One row of the final paper-vs-measured comparison table.
+struct Row {
+  std::string Benchmark;
+  std::string Engine;
+  std::string Paper;    ///< The value the paper reports.
+  std::string Measured; ///< What this reproduction computes.
+  double Seconds = 0;   ///< Wall-clock of the measured run.
+};
+
+/// Global registry the benchmarks append to.
+inline std::vector<Row> &rows() {
+  static std::vector<Row> Rows;
+  return Rows;
+}
+
+inline void addRow(std::string Benchmark, std::string Engine,
+                   std::string Paper, std::string Measured, double Seconds) {
+  // google-benchmark may invoke a benchmark function several times while
+  // estimating iteration counts; keep one row per (benchmark, engine).
+  for (Row &R : rows()) {
+    if (R.Benchmark == Benchmark && R.Engine == Engine) {
+      R.Paper = std::move(Paper);
+      R.Measured = std::move(Measured);
+      R.Seconds = Seconds;
+      return;
+    }
+  }
+  rows().push_back({std::move(Benchmark), std::move(Engine), std::move(Paper),
+                    std::move(Measured), Seconds});
+}
+
+/// Prints the accumulated comparison table (call after
+/// benchmark::RunSpecifiedBenchmarks()).
+inline void printComparison(const char *Title) {
+  std::printf("\n=== %s: paper vs measured ===\n", Title);
+  std::printf("%-36s %-12s %-14s %-20s %10s\n", "benchmark", "engine",
+              "paper", "measured", "time[s]");
+  for (const Row &R : rows())
+    std::printf("%-36s %-12s %-14s %-20s %10.3f\n", R.Benchmark.c_str(),
+                R.Engine.c_str(), R.Paper.c_str(), R.Measured.c_str(),
+                R.Seconds);
+}
+
+/// Formats a double with 4 decimals.
+inline std::string fmt(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.4f", V);
+  return Buf;
+}
+
+/// Standard main: run the registered benchmarks, then print the table.
+#define BAYONET_BENCH_MAIN(TITLE)                                            \
+  int main(int argc, char **argv) {                                         \
+    benchmark::Initialize(&argc, argv);                                     \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))                 \
+      return 1;                                                             \
+    benchmark::RunSpecifiedBenchmarks();                                    \
+    benchmark::Shutdown();                                                  \
+    bayonet::benchutil::printComparison(TITLE);                             \
+    return 0;                                                               \
+  }
+
+} // namespace bayonet::benchutil
+
+#endif // BAYONET_BENCH_BENCHUTIL_H

@@ -1,0 +1,118 @@
+//===- bench/bench_ablation.cpp - Design-choice ablations -----------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablations for the design choices called out in DESIGN.md:
+///  1. configuration merging on/off in the exact engine (the aggregate
+///     trace semantics vs raw trace enumeration);
+///  2. SMC particle-count sweep (accuracy/time trade-off, the paper uses
+///     1000);
+///  3. scheduler choice (uniform vs deterministic vs fair round-robin) on
+///     the congestion query — the Section 5.1 observation that the
+///     deterministic scheduler "considers only runs in which congestion
+///     occurs".
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "scenarios/Scenarios.h"
+
+#include <cmath>
+
+using namespace bayonet;
+using namespace bayonet::benchutil;
+
+namespace {
+
+void BM_MergeAblation(benchmark::State &State) {
+  bool Merge = State.range(0) == 1;
+  LoadedNetwork Net = mustLoad(scenarios::paperExample());
+  ExactOptions Opts;
+  Opts.MergeStates = Merge;
+  // Without merging the frontier explodes combinatorially; cap the work so
+  // the ablation terminates, and report how far it got.
+  if (!Merge)
+    Opts.MaxFrontier = 2'000'000;
+  size_t Expanded = 0, MaxFrontier = 0;
+  std::string Measured;
+  double Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec, Opts).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    Expanded = R.ConfigsExpanded;
+    MaxFrontier = R.MaxFrontierSize;
+    auto V = R.concreteValue();
+    Measured = R.QueryUnsupported ? "frontier blow-up"
+               : V                ? fmt(V->toDouble())
+                                  : "?";
+    benchmark::DoNotOptimize(R);
+  }
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "%s cfg=%zu peak=%zu", Measured.c_str(),
+                Expanded, MaxFrontier);
+  addRow(Merge ? "exact merge=on (Fig 2)" : "exact merge=off (Fig 2)",
+         "exact", "0.4487", Buf, Secs);
+}
+
+void BM_ParticleSweep(benchmark::State &State) {
+  unsigned Particles = static_cast<unsigned>(State.range(0));
+  LoadedNetwork Net = mustLoad(scenarios::paperExample());
+  const double Truth = 0.448683; // Exact engine result.
+  SampleOptions Opts;
+  Opts.Particles = Particles;
+  double Err = 0, Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    SampleResult R = Sampler(Net.Spec, Opts).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    Err = std::abs(R.Value - Truth);
+    benchmark::DoNotOptimize(R);
+  }
+  addRow("SMC particles=" + std::to_string(Particles), "SMC",
+         "|err| shrinks ~1/sqrt(N)", "|err|=" + fmt(Err), Secs);
+}
+
+void BM_SchedulerAblation(benchmark::State &State) {
+  const char *Scheds[] = {"uniform", "deterministic", "roundrobin"};
+  const char *Sched = Scheds[State.range(0)];
+  LoadedNetwork Net = mustLoad(scenarios::paperExample(false, Sched));
+  std::string Measured;
+  double Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    auto V = R.concreteValue();
+    Measured = V ? fmt(V->toDouble()) : "?";
+    benchmark::DoNotOptimize(R);
+  }
+  const char *Paper = State.range(0) == 0   ? "0.4487"
+                      : State.range(0) == 1 ? "1.0000"
+                                            : "(fair: 0)";
+  addRow(std::string("congestion sched=") + Sched, "exact", Paper, Measured,
+         Secs);
+}
+
+} // namespace
+
+BENCHMARK(BM_MergeAblation)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParticleSweep)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SchedulerAblation)
+    ->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond);
+
+BAYONET_BENCH_MAIN("Design-choice ablations")

@@ -1,0 +1,68 @@
+//===- bench/bench_bayes_reliability.cpp - Section 5.5(b) posteriors ------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the Section 5.5 reliability-with-observations posteriors:
+/// the distribution over S0's forwarding strategy (random / always-S1 /
+/// always-S2) after observing the exhaustive packet-id sequence (1,3) or
+/// (1,2,3) at H1. The paper's exact values:
+///   obs (1,3):   rand = 1, det.S1 = 0, det.S2 = 0
+///   obs (1,2,3): rand  = 41922792469/95643630613 ~ 0.4383
+///                det.S1 = 26873856000/95643630613 ~ 0.2810
+///                det.S2 = 26846982144/95643630613 ~ 0.2807
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "scenarios/Scenarios.h"
+
+using namespace bayonet;
+using namespace bayonet::benchutil;
+
+namespace {
+
+struct BayesCase {
+  const char *Obs;
+  const char *Strategy;
+  const char *Paper;
+};
+
+const BayesCase Cases[] = {
+    {"13", "rand", "1"},
+    {"13", "detS1", "0"},
+    {"13", "detS2", "0"},
+    {"123", "rand", "0.4383"},
+    {"123", "detS1", "0.2810"},
+    {"123", "detS2", "0.2807"},
+};
+
+void BM_BayesReliability(benchmark::State &State) {
+  const BayesCase &C = Cases[State.range(0)];
+  LoadedNetwork Net =
+      mustLoad(scenarios::reliabilityBayes(C.Obs, C.Strategy));
+  std::string Measured;
+  double Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    auto V = R.concreteValue();
+    Measured = V ? (V->toString() + " ~" + fmt(V->toDouble())) : "?";
+    benchmark::DoNotOptimize(R);
+  }
+  addRow(std::string("P(") + C.Strategy + " | obs " + C.Obs + ")", "exact",
+         C.Paper, Measured, Secs);
+}
+
+} // namespace
+
+BENCHMARK(BM_BayesReliability)
+    ->DenseRange(0, 5)
+    ->Unit(benchmark::kMillisecond);
+
+BAYONET_BENCH_MAIN("Section 5.5 Bayesian reliability posteriors")

@@ -1,0 +1,79 @@
+//===- bench/bench_fig3_synthesis.cpp - Figure 3 parameter synthesis ------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 3 of the paper: the probability of congestion as a
+/// piecewise function of the symbolic link costs COST_01, COST_02, COST_21,
+/// with the three regions and their exact rational values, plus the
+/// synthesis of concrete minimizing costs (Section 2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "scenarios/Scenarios.h"
+
+using namespace bayonet;
+using namespace bayonet::benchutil;
+
+static void BM_Figure3Symbolic(benchmark::State &State) {
+  LoadedNetwork Net = mustLoad(scenarios::paperExample(/*Symbolic=*/true));
+  std::vector<ProbCase> Cases;
+  double Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec).run();
+    Cases = R.cases();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    benchmark::DoNotOptimize(Cases);
+  }
+  // Figure 3's three rows keyed by the relation of COST_01 to
+  // COST_02 + COST_21.
+  for (const ProbCase &C : Cases) {
+    std::string Region = C.Region.toString(Net.Spec.Params);
+    const char *Paper = "?";
+    std::string Label;
+    if (Region.find("==") != std::string::npos) {
+      Paper = "0.4487";
+      Label = "Fig3: COST_01 == COST_02+COST_21";
+    } else if (Region == "{COST_01 - COST_02 - COST_21 < 0}") {
+      Paper = "0.4519";
+      Label = "Fig3: COST_01 <  COST_02+COST_21";
+    } else {
+      Paper = "0.4787";
+      Label = "Fig3: COST_01 >  COST_02+COST_21";
+    }
+    addRow(Label, "exact-sym", Paper,
+           C.Value.toString() + " ~" + fmt(C.Value.toDouble()), Secs);
+  }
+  // Synthesis: pick the minimizing region and a concrete cost vector.
+  if (!Cases.empty()) {
+    const ProbCase *Best = &Cases[0];
+    for (const ProbCase &C : Cases)
+      if (C.Value < Best->Value)
+        Best = &C;
+    ConstraintSet Wanted = Best->Region;
+    for (unsigned I = 0; I < Net.Spec.Params.size(); ++I)
+      Wanted.add(Constraint(LinExpr(Rational(1)) - LinExpr::param(I),
+                            RelKind::LE));
+    auto Model = Wanted.findModel(Net.Spec.Params.size());
+    std::string Synth = "no model";
+    if (Model) {
+      Synth.clear();
+      for (unsigned I = 0; I < Net.Spec.Params.size(); ++I) {
+        if (I)
+          Synth += ",";
+        Synth += (*Model)[I].toString();
+      }
+    }
+    addRow("Fig3: synthesized (C01,C02,C21)", "synthesis",
+           "equality region", Synth, 0.0);
+  }
+}
+BENCHMARK(BM_Figure3Symbolic)->Unit(benchmark::kMillisecond);
+
+BAYONET_BENCH_MAIN("Figure 3 parameter synthesis")

@@ -1,0 +1,148 @@
+//===- bench/bench_scaling.cpp - Section 5.4 network-size scaling ---------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the Section 5.4 "Performance and Network Size" study as
+/// per-size series: exact and approximate inference swept over network
+/// sizes up to the paper's 30 nodes (the size covering 70% of the
+/// production networks in the Internet Topology Zoo analysis the paper
+/// cites), on three topology families: diamond chains (congestion and
+/// reliability), rings, and complete-graph gossip.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "scenarios/Scenarios.h"
+
+using namespace bayonet;
+using namespace bayonet::benchutil;
+
+namespace {
+
+void BM_ReliabilityScaling(benchmark::State &State) {
+  unsigned Diamonds = static_cast<unsigned>(State.range(0));
+  LoadedNetwork Net = mustLoad(scenarios::reliabilityChain(Diamonds));
+  std::string Measured;
+  double Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    auto V = R.concreteValue();
+    Measured = V ? fmt(V->toDouble()) : "?";
+    benchmark::DoNotOptimize(R);
+  }
+  addRow("reliability chain, " + std::to_string(4 * Diamonds + 2) + " nodes",
+         "exact", "(1-1/2000)^D", Measured, Secs);
+}
+
+void BM_CongestionScalingSmc(benchmark::State &State) {
+  unsigned Diamonds = static_cast<unsigned>(State.range(0));
+  LoadedNetwork Net = mustLoad(scenarios::congestionChain(Diamonds));
+  double Value = 0, Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    SampleResult R = Sampler(Net.Spec).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    Value = R.Value;
+    benchmark::DoNotOptimize(R);
+  }
+  addRow("congestion chain, " + std::to_string(4 * Diamonds + 2) + " nodes",
+         "SMC-1000", "grows with size", fmt(Value), Secs);
+}
+
+void BM_RingScaling(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  LoadedNetwork Net = mustLoad(scenarios::ringReliability(N));
+  std::string Measured;
+  double Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    auto V = R.concreteValue();
+    Measured = V ? fmt(V->toDouble()) : "?";
+    benchmark::DoNotOptimize(R);
+  }
+  // Closed form (99/100)^(N-1).
+  Rational Expected(1);
+  for (unsigned I = 1; I < N; ++I)
+    Expected *= Rational(BigInt(99), BigInt(100));
+  addRow("ring, " + std::to_string(N) + " nodes", "exact",
+         fmt(Expected.toDouble()), Measured, Secs);
+}
+
+void BM_StarScaling(benchmark::State &State) {
+  unsigned Leaves = static_cast<unsigned>(State.range(0));
+  LoadedNetwork Net = mustLoad(scenarios::starIncast(Leaves));
+  std::string Measured;
+  double Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    auto V = R.concreteValue();
+    Measured = V ? (V->toString() + " ~" + fmt(V->toDouble())) : "timeout";
+    benchmark::DoNotOptimize(R);
+  }
+  addRow("star incast, " + std::to_string(Leaves) + " leaves", "exact",
+         "<= leaves (queue drops)", Measured, Secs);
+}
+
+void BM_GossipScalingSmc(benchmark::State &State) {
+  unsigned K = static_cast<unsigned>(State.range(0));
+  LoadedNetwork Net = mustLoad(scenarios::gossip(K));
+  double Value = 0, Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    SampleResult R = Sampler(Net.Spec).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    Value = R.Value;
+    benchmark::DoNotOptimize(R);
+  }
+  addRow("gossip, " + std::to_string(K) + " nodes", "SMC-1000",
+         "~0.8*K infected", fmt(Value), Secs);
+}
+
+} // namespace
+
+BENCHMARK(BM_ReliabilityScaling)
+    ->DenseRange(1, 7)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CongestionScalingSmc)
+    ->DenseRange(1, 7, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RingScaling)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StarScaling)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GossipScalingSmc)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(15)
+    ->Arg(20)
+    ->Arg(25)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+BAYONET_BENCH_MAIN("Section 5.4 scaling with network size")

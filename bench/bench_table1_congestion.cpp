@@ -1,0 +1,93 @@
+//===- bench/bench_table1_congestion.cpp - Table 1 congestion rows --------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 1 rows 1-5: probability of congestion under the
+/// uniform and deterministic schedulers for the 5-node Figure 2 network,
+/// the 6-node Figure 11(a) diamond, and the 30-node diamond chain, with
+/// both exact and approximate (SMC-1000) inference.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "scenarios/Scenarios.h"
+
+using namespace bayonet;
+using namespace bayonet::benchutil;
+
+namespace {
+
+struct CongestionCase {
+  const char *Label;
+  std::string Source;
+  const char *PaperExact;
+  const char *PaperApprox;
+  bool RunExact;
+};
+
+std::vector<CongestionCase> &cases() {
+  static std::vector<CongestionCase> Cases = {
+      {"congestion uni 5 nodes", scenarios::paperExample(false, "uniform"),
+       "0.4487", "0.4570", true},
+      {"congestion det 5 nodes",
+       scenarios::paperExample(false, "deterministic"), "1.0000", "1.0000",
+       true},
+      {"congestion uni 6 nodes", scenarios::congestionChain(1, "uniform"),
+       "0.4441", "0.4650", true},
+      {"congestion det 6 nodes",
+       scenarios::congestionChain(1, "deterministic"), "1.0000", "1.0000",
+       true},
+      {"congestion det 30 nodes",
+       scenarios::congestionChain(7, "deterministic"), "1.0000", "1.0000",
+       true},
+  };
+  return Cases;
+}
+
+void BM_CongestionExact(benchmark::State &State) {
+  const CongestionCase &C = cases()[State.range(0)];
+  LoadedNetwork Net = mustLoad(C.Source);
+  std::string Measured;
+  double Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    auto V = R.concreteValue();
+    Measured = V ? fmt(V->toDouble()) : ("?" + R.UnsupportedReason);
+    benchmark::DoNotOptimize(R);
+  }
+  addRow(C.Label, "exact", C.PaperExact, Measured, Secs);
+}
+
+void BM_CongestionSmc(benchmark::State &State) {
+  const CongestionCase &C = cases()[State.range(0)];
+  LoadedNetwork Net = mustLoad(C.Source);
+  double Value = 0, Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    SampleResult R = Sampler(Net.Spec).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    Value = R.Value;
+    benchmark::DoNotOptimize(R);
+  }
+  addRow(C.Label, "SMC-1000", C.PaperApprox, fmt(Value), Secs);
+}
+
+} // namespace
+
+BENCHMARK(BM_CongestionExact)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CongestionSmc)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+BAYONET_BENCH_MAIN("Table 1 rows 1-5 (congestion)")

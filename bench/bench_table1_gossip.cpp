@@ -1,0 +1,73 @@
+//===- bench/bench_table1_gossip.cpp - Table 1 gossip rows ----------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 1 rows 10-13: expected number of infected nodes for
+/// the gossip protocol on complete graphs. Exact inference for K=4 (both
+/// schedulers; the paper's 94/27 = 3.4815), SMC for K=20 and K=30 where
+/// the paper's exact solver timed out.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "scenarios/Scenarios.h"
+
+using namespace bayonet;
+using namespace bayonet::benchutil;
+
+namespace {
+
+void BM_GossipExact4(benchmark::State &State) {
+  const char *Sched = State.range(0) == 0 ? "uniform" : "deterministic";
+  LoadedNetwork Net = mustLoad(scenarios::gossip(4, Sched));
+  std::string Measured;
+  double Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    auto V = R.concreteValue();
+    Measured = V ? (V->toString() + " ~" + fmt(V->toDouble())) : "?";
+    benchmark::DoNotOptimize(R);
+  }
+  addRow(std::string("gossip ") + (State.range(0) == 0 ? "uni" : "det") +
+             " 4 nodes",
+         "exact", "94/27 ~3.4815", Measured, Secs);
+}
+
+void BM_GossipSmc(benchmark::State &State) {
+  unsigned K = static_cast<unsigned>(State.range(0));
+  LoadedNetwork Net = mustLoad(scenarios::gossip(K));
+  double Value = 0, Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    SampleResult R = Sampler(Net.Spec).run();
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    Value = R.Value;
+    benchmark::DoNotOptimize(R);
+  }
+  const char *Paper = K == 4    ? "3.4760"
+                      : K == 20 ? "16.0020"
+                      : K == 30 ? "23.9910"
+                                : "-";
+  addRow("gossip uni " + std::to_string(K) + " nodes", "SMC-1000", Paper,
+         fmt(Value), Secs);
+}
+
+} // namespace
+
+BENCHMARK(BM_GossipExact4)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GossipSmc)
+    ->Arg(4)
+    ->Arg(20)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+BAYONET_BENCH_MAIN("Table 1 rows 10-13 (gossip)")

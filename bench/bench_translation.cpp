@@ -1,0 +1,80 @@
+//===- bench/bench_translation.cpp - Section 4 translation metrics --------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the Section 4 in-text observation that Bayonet programs are
+/// substantially smaller than the generated probabilistic programs (about
+/// 2x for PSI and up to 10x for WebPPL), and times the translation itself
+/// for every benchmark network.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "scenarios/Scenarios.h"
+#include "translate/Translator.h"
+#include "translate/WebPplEmitter.h"
+
+using namespace bayonet;
+using namespace bayonet::benchutil;
+
+namespace {
+
+size_t countLines(const std::string &Text) {
+  size_t Lines = 0;
+  for (char C : Text)
+    Lines += C == '\n';
+  return Lines;
+}
+
+struct TranslationCase {
+  const char *Label;
+  std::string Source;
+};
+
+std::vector<TranslationCase> &cases() {
+  static std::vector<TranslationCase> Cases = {
+      {"Fig 2 example", scenarios::paperExample()},
+      {"congestion 6 nodes", scenarios::congestionChain(1)},
+      {"congestion 30 nodes", scenarios::congestionChain(7)},
+      {"reliability 6 nodes", scenarios::reliabilityChain(1)},
+      {"gossip 4 nodes", scenarios::gossip(4)},
+      {"load-balancing", scenarios::loadBalancing("1001H")},
+      {"reliability Bayes", scenarios::reliabilityBayes("123", "rand")},
+  };
+  return Cases;
+}
+
+void BM_Translate(benchmark::State &State) {
+  const TranslationCase &C = cases()[State.range(0)];
+  LoadedNetwork Net = mustLoad(C.Source);
+  size_t BayLines = countLines(C.Source);
+  size_t PsiLines = 0, WppLines = 0;
+  double Secs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    DiagEngine Diags;
+    auto Psi = translateToPsi(Net.Spec, Diags);
+    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count();
+    if (Psi) {
+      PsiLines = countLines(printPsiProgram(*Psi));
+      WppLines = countLines(emitWebPpl(*Psi));
+    }
+    benchmark::DoNotOptimize(Psi);
+  }
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "bay=%zu psi=%zu (%.1fx) wppl=%zu (%.1fx)",
+                BayLines, PsiLines, double(PsiLines) / BayLines, WppLines,
+                double(WppLines) / BayLines);
+  addRow(C.Label, "translate", "psi ~2x, wppl ~10x", Buf, Secs);
+}
+
+} // namespace
+
+BENCHMARK(BM_Translate)->DenseRange(0, 6)->Unit(benchmark::kMicrosecond);
+
+BAYONET_BENCH_MAIN("Section 4 translation size/time")

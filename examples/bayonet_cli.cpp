@@ -1,0 +1,204 @@
+//===- examples/bayonet_cli.cpp - The bayonet command-line tool -----------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `bayonet` command-line tool: parse a .bay program, run its query
+/// with a chosen inference engine, or emit the translated PSI / WebPPL
+/// program (the paper's Figure 1 pipeline).
+///
+///   bayonet FILE [--engine exact|translated|smc|reject]
+///                [--particles N] [--seed N]
+///                [--param NAME=VALUE]...
+///                [--emit-psi] [--emit-webppl]
+///                [--stats]
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Bayonet.h"
+#include "psi/PsiExact.h"
+#include "psi/PsiSampler.h"
+#include "translate/Translator.h"
+#include "translate/WebPplEmitter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace bayonet;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: bayonet FILE [options]\n"
+      "  --engine exact|translated|smc|reject   inference engine "
+      "(default exact)\n"
+      "  --particles N                          particles for sampling "
+      "(default 1000)\n"
+      "  --seed N                               PRNG seed\n"
+      "  --param NAME=VALUE                     bind a symbolic parameter\n"
+      "  --emit-psi                             print the translated PSI "
+      "program\n"
+      "  --emit-webppl                          print the translated WebPPL "
+      "program\n"
+      "  --stats                                print engine statistics\n"
+      "  --dist                                 print the exact terminal "
+      "distribution\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string FileName, Engine = "exact";
+  unsigned Particles = 1000;
+  uint64_t Seed = 0x5eed;
+  bool EmitPsi = false, EmitWebPpl = false, Stats = false, Dist = false;
+  std::vector<std::pair<std::string, Rational>> ParamBinds;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto takeValue = [&](const char *Name) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Name);
+        exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--engine")
+      Engine = takeValue("--engine");
+    else if (Arg == "--particles")
+      Particles = std::atoi(takeValue("--particles"));
+    else if (Arg == "--seed")
+      Seed = std::strtoull(takeValue("--seed"), nullptr, 10);
+    else if (Arg == "--param") {
+      std::string Bind = takeValue("--param");
+      size_t Eq = Bind.find('=');
+      Rational Value;
+      if (Eq == std::string::npos ||
+          !Rational::fromString(Bind.substr(Eq + 1), Value)) {
+        std::fprintf(stderr, "error: bad --param '%s' (want NAME=VALUE)\n",
+                     Bind.c_str());
+        return 2;
+      }
+      ParamBinds.emplace_back(Bind.substr(0, Eq), Value);
+    } else if (Arg == "--emit-psi")
+      EmitPsi = true;
+    else if (Arg == "--emit-webppl")
+      EmitWebPpl = true;
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg == "--dist")
+      Dist = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    } else if (FileName.empty())
+      FileName = Arg;
+    else {
+      std::fprintf(stderr, "error: multiple input files\n");
+      return 2;
+    }
+  }
+  if (FileName.empty()) {
+    usage();
+    return 2;
+  }
+
+  DiagEngine Diags;
+  auto Net = loadNetworkFile(FileName, Diags);
+  // Print warnings even on success.
+  if (!Diags.diags().empty())
+    std::fprintf(stderr, "%s", Diags.toString().c_str());
+  if (!Net)
+    return 1;
+
+  for (const auto &[Name, Value] : ParamBinds) {
+    if (!bindParam(*Net, Name, Value)) {
+      std::fprintf(stderr, "error: no parameter named '%s'\n", Name.c_str());
+      return 1;
+    }
+  }
+
+  if (EmitPsi || EmitWebPpl) {
+    DiagEngine TDiags;
+    auto Psi = translateToPsi(Net->Spec, TDiags);
+    if (!Psi) {
+      std::fprintf(stderr, "%s", TDiags.toString().c_str());
+      return 1;
+    }
+    if (EmitPsi)
+      std::printf("%s", printPsiProgram(*Psi).c_str());
+    if (EmitWebPpl)
+      std::printf("%s", emitWebPpl(*Psi, Particles).c_str());
+    return 0;
+  }
+
+  if (Engine == "exact") {
+    ExactOptions EOpts;
+    EOpts.CollectTerminals = Dist;
+    ExactResult R = ExactEngine(Net->Spec, EOpts).run();
+    std::printf("%s\n", formatExactAnswer(R, Net->Spec.Params).c_str());
+    if (Dist) {
+      std::printf("terminal distribution (%zu configurations):\n",
+                  R.Terminals.size());
+      for (const auto &[Config, Weight] : R.Terminals)
+        std::printf("  %-14s %s\n",
+                    Weight.toString(Net->Spec.Params).c_str(),
+                    describeConfig(Net->Spec, Config).c_str());
+    }
+    if (auto E = R.errorProbability(); E && !E->isZero())
+      std::printf("error probability: %s (~%f)\n", E->toString().c_str(),
+                  E->toDouble());
+    if (Stats)
+      std::printf("configs expanded: %zu, max frontier: %zu, steps: %lld\n",
+                  R.ConfigsExpanded, R.MaxFrontierSize,
+                  static_cast<long long>(R.StepsUsed));
+    return R.QueryUnsupported ? 1 : 0;
+  }
+  if (Engine == "translated") {
+    DiagEngine TDiags;
+    auto Psi = translateToPsi(Net->Spec, TDiags);
+    if (!Psi) {
+      std::fprintf(stderr, "%s", TDiags.toString().c_str());
+      return 1;
+    }
+    PsiExactResult R = PsiExact(*Psi).run();
+    if (auto V = R.concreteValue())
+      std::printf("%s (~%f)\n", V->toString().c_str(), V->toDouble());
+    else {
+      for (const ProbCase &C : R.cases())
+        std::printf("%s: %s (~%f)\n",
+                    C.Region.toString(Net->Spec.Params).c_str(),
+                    C.Value.toString().c_str(), C.Value.toDouble());
+    }
+    if (Stats)
+      std::printf("branches expanded: %zu, max dist: %zu\n",
+                  R.BranchesExpanded, R.MaxDistSize);
+    return R.QueryUnsupported ? 1 : 0;
+  }
+  if (Engine == "smc" || Engine == "reject") {
+    SampleOptions Opts;
+    Opts.Mode = Engine == "smc" ? SampleOptions::Method::Smc
+                                : SampleOptions::Method::Rejection;
+    Opts.Particles = Particles;
+    Opts.Seed = Seed;
+    SampleResult R = Sampler(Net->Spec, Opts).run();
+    std::printf("%f (+- %f at ~95%%)\n", R.Value, 1.96 * R.StdError);
+    if (R.ErrorFraction > 0)
+      std::printf("error fraction: %f\n", R.ErrorFraction);
+    if (Stats)
+      std::printf("survivors: %u / %u particles\n", R.Survivors,
+                  R.Particles);
+    return R.QueryUnsupported ? 1 : 0;
+  }
+  std::fprintf(stderr, "error: unknown engine '%s'\n", Engine.c_str());
+  return 2;
+}

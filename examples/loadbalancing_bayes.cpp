@@ -1,0 +1,54 @@
+//===- examples/loadbalancing_bayes.cpp - Bayesian load-balancing ---------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 5.5: Bayesian reasoning with observations. A controller receives
+/// sub-sampled copies of packets from S0, S1 and H1; from the observed
+/// source sequence, Bayonet updates the prior belief (1/10) that S0's ECMP
+/// hash function is bad.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Bayonet.h"
+#include "scenarios/Scenarios.h"
+
+#include <cstdio>
+
+using namespace bayonet;
+
+static void runCase(const char *Label, const std::string &Sources,
+                    const char *PaperValue) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(scenarios::loadBalancing(Sources), Diags);
+  if (!Net) {
+    std::fprintf(stderr, "%s", Diags.toString().c_str());
+    return;
+  }
+  ExactResult R = ExactEngine(Net->Spec).run();
+  if (auto V = R.concreteValue())
+    std::printf("%-28s P(bad_hash | obs) = %.4f   (paper: %s)\n", Label,
+                V->toDouble(), PaperValue);
+  else
+    std::printf("%-28s unsupported: %s\n", Label, R.UnsupportedReason.c_str());
+}
+
+int main() {
+  std::printf("Posterior over a bad ECMP hash (paper Section 5.5)\n");
+  std::printf("prior P(bad) = 1/10; bad hash sends 1/3 of traffic directly\n");
+  std::printf("to H1 instead of 1/2; the controller samples copies w.p. "
+              "1/2\n\n");
+
+  // The controller observes copies from S1, S0, S0, S1, H1 in that order:
+  // more S1 samples than expected, hinting at a bad hash.
+  runCase("obs = S1,S0,S0,S1,H1:", "1001H", "0.152");
+
+  // The second sequence has no S1 samples at all: evidence of a good hash.
+  runCase("obs = H1,S0,S0,H1:", "H00H", "0.004");
+
+  std::printf("\nThe first posterior rises above the prior, the second falls"
+              "\nbelow it, reproducing the paper's Bayesian update.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+//===- examples/reliability.cpp - Packet-delivery reliability -------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 5.2: reliability of packet delivery across chains of ECMP
+/// diamonds whose bottom link fails with probability 1/1000. Sweeps the
+/// chain length (6 to 30 nodes) and compares the exact answer, the closed
+/// form (1 - pfail/2)^D, and the SMC estimate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Bayonet.h"
+#include "scenarios/Scenarios.h"
+
+#include <cstdio>
+
+using namespace bayonet;
+
+int main() {
+  std::printf("Reliability of packet delivery (paper Section 5.2)\n");
+  std::printf("pfail = 1/1000 on each diamond's bottom link, ECMP split\n\n");
+  std::printf("%-8s %-8s %-12s %-12s %-12s\n", "diam.", "nodes", "exact",
+              "closed-form", "SMC(1000)");
+
+  for (unsigned D : {1u, 2u, 4u, 7u}) {
+    std::string Src = scenarios::reliabilityChain(D);
+    DiagEngine Diags;
+    auto Net = loadNetwork(Src, Diags);
+    if (!Net) {
+      std::fprintf(stderr, "%s", Diags.toString().c_str());
+      return 1;
+    }
+    ExactResult Exact = ExactEngine(Net->Spec).run();
+    SampleResult Approx = Sampler(Net->Spec).run();
+
+    // Closed form: each diamond delivers with probability 1 - pfail/2.
+    Rational PerDiamond =
+        Rational(1) - Rational(BigInt(1), BigInt(2000));
+    Rational Closed(1);
+    for (unsigned I = 0; I < D; ++I)
+      Closed *= PerDiamond;
+
+    auto V = Exact.concreteValue();
+    std::printf("%-8u %-8u %-12.6f %-12.6f %-12.6f\n", D, 4 * D + 2,
+                V ? V->toDouble() : -1.0, Closed.toDouble(), Approx.Value);
+    if (V && *V != Closed)
+      std::printf("  WARNING: exact result deviates from the closed form\n");
+  }
+  std::printf("\nThe 30-node row (7 diamonds) reproduces Table 1's 0.9965.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===- api/Bayonet.cpp - Public facade -------------------------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Bayonet.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace bayonet;
+
+std::optional<LoadedNetwork> bayonet::loadNetwork(std::string_view Source,
+                                                  DiagEngine &Diags) {
+  auto File = std::make_unique<SourceFile>(Parser::parse(Source, Diags));
+  if (Diags.hasErrors())
+    return std::nullopt;
+  auto Spec = checkNetwork(*File, Diags);
+  if (!Spec)
+    return std::nullopt;
+  LoadedNetwork Net;
+  Net.File = std::move(File);
+  Net.Spec = std::move(*Spec);
+  return Net;
+}
+
+std::optional<LoadedNetwork> bayonet::loadNetworkFile(const std::string &Path,
+                                                      DiagEngine &Diags) {
+  std::ifstream In(Path);
+  if (!In) {
+    Diags.error({}, "cannot open file '" + Path + "'");
+    return std::nullopt;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return loadNetwork(Buf.str(), Diags);
+}
+
+bool bayonet::bindParam(LoadedNetwork &Net, const std::string &Name,
+                        const Rational &Value) {
+  auto Index = Net.Spec.Params.lookup(Name);
+  if (!Index)
+    return false;
+  Net.Spec.ParamValues[*Index] = Value;
+  return true;
+}
+
+bool bayonet::unbindParam(LoadedNetwork &Net, const std::string &Name) {
+  auto Index = Net.Spec.Params.lookup(Name);
+  if (!Index)
+    return false;
+  Net.Spec.ParamValues[*Index] = std::nullopt;
+  return true;
+}
+
+std::string bayonet::describeConfig(const NetworkSpec &Spec,
+                                    const NetConfig &Config) {
+  std::string Out;
+  for (unsigned Node = 0; Node < Config.Nodes.size(); ++Node) {
+    const NodeConfig &NC = Config.Nodes[Node];
+    const DefDecl *Def =
+        Node < Spec.NodePrograms.size() ? Spec.NodePrograms[Node] : nullptr;
+    std::string Body;
+    for (unsigned Slot = 0; Slot < NC.State.size(); ++Slot) {
+      const Value &V = NC.State[Slot];
+      if (V.isConcrete() && V.concrete().isZero())
+        continue;
+      if (!Body.empty())
+        Body += " ";
+      std::string Name = Def && Slot < Def->StateVars.size()
+                             ? Def->StateVars[Slot].Name
+                             : "s" + std::to_string(Slot);
+      Body += Name + "=" + V.toString(Spec.Params);
+    }
+    if (!NC.QIn.empty())
+      Body += (Body.empty() ? "" : " ") + std::string("|qin|=") +
+              std::to_string(NC.QIn.size());
+    if (!NC.QOut.empty())
+      Body += (Body.empty() ? "" : " ") + std::string("|qout|=") +
+              std::to_string(NC.QOut.size());
+    if (Body.empty())
+      continue;
+    if (!Out.empty())
+      Out += " ";
+    Out += Spec.NodeNames[Node] + "{" + Body + "}";
+  }
+  if (Config.Error)
+    Out += Out.empty() ? "ERROR" : " ERROR";
+  return Out.empty() ? "(all zero)" : Out;
+}
+
+std::string bayonet::formatExactAnswer(const ExactResult &Result,
+                                       const ParamTable &Params) {
+  std::string Out;
+  if (Result.QueryUnsupported)
+    return "unsupported: " + Result.UnsupportedReason;
+  if (auto V = Result.concreteValue()) {
+    Out = V->toString();
+    double D = V->toDouble();
+    Out += " (~" + std::to_string(D) + ")";
+    return Out;
+  }
+  for (const ProbCase &C : Result.cases()) {
+    if (!Out.empty())
+      Out += "\n";
+    Out += C.Region.toString(Params) + ": " + C.Value.toString() + " (~" +
+           std::to_string(C.Value.toDouble()) + ")";
+  }
+  if (Out.empty())
+    Out = "no surviving mass (Z = 0)";
+  return Out;
+}

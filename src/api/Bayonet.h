@@ -1,0 +1,72 @@
+//===- api/Bayonet.h - Public facade ---------------------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry points of the Bayonet library: load a Bayonet program
+/// (lex, parse, check), then answer its query with one of the inference
+/// engines. See examples/quickstart.cpp for typical usage:
+///
+/// \code
+///   DiagEngine Diags;
+///   auto Net = loadNetwork(Source, Diags);
+///   if (!Net) { /* print Diags */ }
+///   ExactResult R = ExactEngine(Net->Spec).run();
+///   SampleResult S = Sampler(Net->Spec).run();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_API_BAYONET_H
+#define BAYONET_API_BAYONET_H
+
+#include "interp/ExactEngine.h"
+#include "interp/Sampler.h"
+#include "lang/Checker.h"
+#include "lang/Parser.h"
+#include "net/NetworkSpec.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace bayonet {
+
+/// A checked Bayonet network bundled with the AST that owns its programs.
+struct LoadedNetwork {
+  std::unique_ptr<SourceFile> File;
+  NetworkSpec Spec;
+};
+
+/// Loads a network from Bayonet source text. Returns nullopt and reports
+/// through \p Diags on any lexical, syntactic, or semantic error.
+std::optional<LoadedNetwork> loadNetwork(std::string_view Source,
+                                         DiagEngine &Diags);
+
+/// Loads a network from a file on disk.
+std::optional<LoadedNetwork> loadNetworkFile(const std::string &Path,
+                                             DiagEngine &Diags);
+
+/// Binds (or re-binds) a symbolic parameter to a concrete value.
+/// Returns false if the network declares no such parameter.
+bool bindParam(LoadedNetwork &Net, const std::string &Name,
+               const Rational &Value);
+
+/// Clears a parameter binding, making the parameter symbolic.
+bool unbindParam(LoadedNetwork &Net, const std::string &Name);
+
+/// Renders the answer of an exact run for humans: a single number for a
+/// concrete run, or one "guard: value" line per parameter region.
+std::string formatExactAnswer(const ExactResult &Result,
+                              const ParamTable &Params);
+
+/// Renders one network configuration for humans: per-node state variables
+/// and queue occupancy, e.g. "H1{pkt_cnt=2} S0{route1=2 route2=2}".
+/// Zero-valued state and empty queues are omitted.
+std::string describeConfig(const NetworkSpec &Spec, const NetConfig &Config);
+
+} // namespace bayonet
+
+#endif // BAYONET_API_BAYONET_H

@@ -1,0 +1,451 @@
+//===- interp/ExactEngine.cpp - Exact probabilistic inference -------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/ExactEngine.h"
+
+#include <unordered_map>
+
+using namespace bayonet;
+
+namespace {
+
+/// Applies an exact-mode world's guard list to a weight; empty result means
+/// the branch is infeasible.
+SymProb applyGuards(SymProb W, const std::vector<Constraint> &Guards) {
+  for (const Constraint &G : Guards) {
+    W = W.restricted(G);
+    if (W.isZero())
+      break;
+  }
+  return W;
+}
+
+/// One (value, guards) outcome of evaluating a query expression.
+struct QueryOutcome {
+  LinExpr V;
+  std::vector<Constraint> Guards;
+  bool Failed = false;
+  std::string FailReason;
+};
+
+/// Evaluates a query expression (paper Figure 8) on a terminal
+/// configuration. Deterministic, but may split on symbolic comparisons.
+class QueryEvaluator {
+public:
+  QueryEvaluator(const NetworkSpec &Spec, const NetConfig &C)
+      : Spec(Spec), C(C) {}
+
+  std::vector<QueryOutcome> eval(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::Number:
+      return {{LinExpr(cast<NumberExpr>(E).Value), {}, false, {}}};
+    case ExprKind::Var: {
+      const auto &V = cast<VarExpr>(E);
+      if (V.Res == VarRes::NodeConst)
+        return {{LinExpr(Rational(static_cast<int64_t>(V.Index))), {}, false,
+                 {}}};
+      if (V.Res == VarRes::SymParam)
+        return {{Spec.paramValue(V.Index), {}, false, {}}};
+      return {{LinExpr(), {}, true, "unknown identifier in query"}};
+    }
+    case ExprKind::StateRef: {
+      const auto &SR = cast<StateRefExpr>(E);
+      LinExpr Sum;
+      for (const auto &[Node, Slot] : SR.Targets)
+        Sum = Sum + C.Nodes[Node].State[Slot].toLinExpr();
+      return {{std::move(Sum), {}, false, {}}};
+    }
+    case ExprKind::Unary: {
+      const auto &U = cast<UnaryExpr>(E);
+      std::vector<QueryOutcome> Out;
+      for (QueryOutcome &O : eval(*U.Operand)) {
+        if (O.Failed) {
+          Out.push_back(std::move(O));
+          continue;
+        }
+        if (U.Op == UnOpKind::Neg) {
+          O.V = -O.V;
+          Out.push_back(std::move(O));
+          continue;
+        }
+        splitTruth(std::move(O), Out, /*Invert=*/true);
+      }
+      return Out;
+    }
+    case ExprKind::Binary:
+      return evalBinary(cast<BinaryExpr>(E));
+    default:
+      return {{LinExpr(), {}, true, "expression kind not allowed in query"}};
+    }
+  }
+
+  /// Splits an outcome into boolean 0/1 outcomes (for conditions).
+  static void splitTruth(QueryOutcome O, std::vector<QueryOutcome> &Out,
+                         bool Invert = false) {
+    if (O.V.isConstant()) {
+      bool T = !O.V.constant().isZero();
+      O.V = LinExpr(Rational((T != Invert) ? 1 : 0));
+      Out.push_back(std::move(O));
+      return;
+    }
+    QueryOutcome True = O;
+    True.Guards.push_back(Constraint(O.V, RelKind::NE));
+    True.V = LinExpr(Rational(Invert ? 0 : 1));
+    Out.push_back(std::move(True));
+    QueryOutcome False = std::move(O);
+    False.Guards.push_back(Constraint(False.V, RelKind::EQ));
+    False.V = LinExpr(Rational(Invert ? 1 : 0));
+    Out.push_back(std::move(False));
+  }
+
+private:
+  const NetworkSpec &Spec;
+  const NetConfig &C;
+
+  std::vector<QueryOutcome> evalBinary(const BinaryExpr &B) {
+    std::vector<QueryOutcome> Out;
+    for (QueryOutcome &L : eval(*B.Lhs)) {
+      if (L.Failed) {
+        Out.push_back(std::move(L));
+        continue;
+      }
+      for (QueryOutcome &R : eval(*B.Rhs)) {
+        if (R.Failed) {
+          Out.push_back(std::move(R));
+          continue;
+        }
+        QueryOutcome Base;
+        Base.Guards = L.Guards;
+        for (const Constraint &G : R.Guards)
+          Base.Guards.push_back(G);
+        apply(B.Op, L.V, R.V, std::move(Base), Out);
+      }
+    }
+    return Out;
+  }
+
+  void apply(BinOpKind Op, const LinExpr &L, const LinExpr &R,
+             QueryOutcome Base, std::vector<QueryOutcome> &Out) {
+    switch (Op) {
+    case BinOpKind::Add:
+      Base.V = L + R;
+      Out.push_back(std::move(Base));
+      return;
+    case BinOpKind::Sub:
+      Base.V = L - R;
+      Out.push_back(std::move(Base));
+      return;
+    case BinOpKind::Mul: {
+      auto P = L.mul(R);
+      if (!P) {
+        Base.Failed = true;
+        Base.FailReason = "nonlinear query expression";
+      } else
+        Base.V = std::move(*P);
+      Out.push_back(std::move(Base));
+      return;
+    }
+    case BinOpKind::Div: {
+      auto Q = L.div(R);
+      if (!Q) {
+        Base.Failed = true;
+        Base.FailReason = "query division by zero or by a symbolic value";
+      } else
+        Base.V = std::move(*Q);
+      Out.push_back(std::move(Base));
+      return;
+    }
+    case BinOpKind::And:
+    case BinOpKind::Or: {
+      // Boolean combination: split both sides to 0/1 first.
+      std::vector<QueryOutcome> Ls, Rs;
+      splitTruth({L, Base.Guards, false, {}}, Ls);
+      for (QueryOutcome &LB : Ls) {
+        std::vector<QueryOutcome> RBs;
+        splitTruth({R, LB.Guards, false, {}}, RBs);
+        for (QueryOutcome &RB : RBs) {
+          bool LT = !LB.V.constant().isZero();
+          bool RT = !RB.V.constant().isZero();
+          bool T = Op == BinOpKind::And ? (LT && RT) : (LT || RT);
+          QueryOutcome O;
+          O.V = LinExpr(Rational(T ? 1 : 0));
+          O.Guards = RB.Guards;
+          Out.push_back(std::move(O));
+        }
+      }
+      return;
+    }
+    case BinOpKind::Eq:
+    case BinOpKind::Ne:
+    case BinOpKind::Lt:
+    case BinOpKind::Le:
+    case BinOpKind::Gt:
+    case BinOpKind::Ge: {
+      LinExpr D = L - R;
+      Constraint C = [&] {
+        switch (Op) {
+        case BinOpKind::Eq:
+          return Constraint(D, RelKind::EQ);
+        case BinOpKind::Ne:
+          return Constraint(D, RelKind::NE);
+        case BinOpKind::Lt:
+          return Constraint(D, RelKind::LT);
+        case BinOpKind::Le:
+          return Constraint(D, RelKind::LE);
+        case BinOpKind::Gt:
+          return Constraint(-D, RelKind::LT);
+        default:
+          return Constraint(-D, RelKind::LE);
+        }
+      }();
+      if (auto Decided = C.tryDecide()) {
+        Base.V = LinExpr(Rational(*Decided ? 1 : 0));
+        Out.push_back(std::move(Base));
+        return;
+      }
+      QueryOutcome True = Base;
+      True.V = LinExpr(Rational(1));
+      True.Guards.push_back(C);
+      Out.push_back(std::move(True));
+      QueryOutcome False = std::move(Base);
+      False.V = LinExpr(Rational(0));
+      False.Guards.push_back(C.negated());
+      Out.push_back(std::move(False));
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+std::vector<std::pair<NetConfig, SymProb>>
+ExactEngine::initialDistribution() const {
+  std::vector<std::pair<NetConfig, SymProb>> Worlds;
+  NetConfig Base;
+  Base.Nodes.resize(Spec.Topo.numNodes());
+  for (NodeConfig &NC : Base.Nodes) {
+    NC.QIn = PacketQueue(Spec.QueueCapacity);
+    NC.QOut = PacketQueue(Spec.QueueCapacity);
+  }
+  auto Sched = Scheduler::forSpec(Spec);
+  Base.SchedState = Sched->initialState();
+  Worlds.emplace_back(std::move(Base), SymProb::concrete(Rational(1)));
+
+  // Evaluate state initializers node by node (each may branch the world).
+  for (unsigned Node = 0; Node < Spec.Topo.numNodes(); ++Node) {
+    const DefDecl *Def = Spec.NodePrograms[Node];
+    if (!Def)
+      continue;
+    for (unsigned Slot = 0; Slot < Def->StateVars.size(); ++Slot) {
+      const StateVarDecl &SV = Def->StateVars[Slot];
+      std::vector<std::pair<NetConfig, SymProb>> Next;
+      for (auto &[C, W] : Worlds) {
+        if (!SV.Init) {
+          NetConfig C2 = C;
+          C2.Nodes[Node].State.push_back(Value(Rational(0)));
+          Next.emplace_back(std::move(C2), W);
+          continue;
+        }
+        for (NodeExecutor::InitOutcome &O : Exec.evalInitExact(*SV.Init)) {
+          SymProb W2 = applyGuards(W.scaled(O.Prob), O.Guards);
+          if (W2.isZero())
+            continue;
+          NetConfig C2 = C;
+          if (O.Failed)
+            C2.Error = true;
+          else
+            C2.Nodes[Node].State.push_back(O.V);
+          Next.emplace_back(std::move(C2), std::move(W2));
+        }
+      }
+      Worlds = std::move(Next);
+    }
+  }
+
+  // Inject the initial packets (deterministic).
+  for (auto &[C, W] : Worlds) {
+    if (C.Error)
+      continue;
+    for (const InitPacketSpec &Init : Spec.Inits) {
+      Packet Pkt;
+      Pkt.Fields.reserve(Init.Fields.size());
+      for (const Rational &F : Init.Fields)
+        Pkt.Fields.push_back(Value(F));
+      C.Nodes[Init.Node].QIn.pushBack({std::move(Pkt), 0});
+    }
+  }
+  return Worlds;
+}
+
+void ExactEngine::accumulateQuery(const NetConfig &C, const SymProb &WtIn,
+                                  ExactResult &Result) const {
+  if (!Spec.Query || !Spec.Query->Body) {
+    Result.OkMass += WtIn;
+    Result.QueryUnsupported = true;
+    Result.UnsupportedReason = "no query";
+    return;
+  }
+  // A "given" clause acts as a terminal-state observation: mass violating
+  // it is discarded before normalization.
+  SymProb Wt = WtIn;
+  if (Spec.Query->Given) {
+    QueryEvaluator GE(Spec, C);
+    SymProb Kept;
+    std::vector<QueryOutcome> Split;
+    for (QueryOutcome &O : GE.eval(*Spec.Query->Given)) {
+      if (O.Failed) {
+        Result.QueryUnsupported = true;
+        Result.UnsupportedReason = O.FailReason;
+        continue;
+      }
+      QueryEvaluator::splitTruth(std::move(O), Split);
+    }
+    for (QueryOutcome &O : Split) {
+      if (O.V.constant().isZero())
+        continue;
+      Kept += applyGuards(Wt, O.Guards);
+    }
+    Wt = std::move(Kept);
+    if (Wt.isZero())
+      return;
+  }
+  Result.OkMass += Wt;
+  QueryEvaluator QE(Spec, C);
+  std::vector<QueryOutcome> Outcomes = QE.eval(*Spec.Query->Body);
+  if (Spec.Query->Kind == QueryKind::Probability) {
+    std::vector<QueryOutcome> Split;
+    for (QueryOutcome &O : Outcomes) {
+      if (O.Failed) {
+        Result.QueryUnsupported = true;
+        Result.UnsupportedReason = O.FailReason;
+        continue;
+      }
+      QueryEvaluator::splitTruth(std::move(O), Split);
+    }
+    for (QueryOutcome &O : Split) {
+      if (O.V.constant().isZero())
+        continue;
+      SymProb W2 = applyGuards(Wt, O.Guards);
+      Result.QueryMass += W2;
+    }
+    return;
+  }
+  // Expectation query.
+  for (QueryOutcome &O : Outcomes) {
+    if (O.Failed) {
+      Result.QueryUnsupported = true;
+      Result.UnsupportedReason = O.FailReason;
+      continue;
+    }
+    if (!O.V.isConstant()) {
+      Result.QueryUnsupported = true;
+      Result.UnsupportedReason =
+          "expectation of a symbolic value is not supported";
+      continue;
+    }
+    SymProb W2 = applyGuards(Wt, O.Guards);
+    Result.QueryMass += W2.scaled(O.V.constant());
+  }
+}
+
+ExactResult ExactEngine::run() const {
+  ExactResult Result;
+  if (Spec.Query)
+    Result.Kind = Spec.Query->Kind;
+  auto Sched = Scheduler::forSpec(Spec);
+
+  using Frontier = std::vector<std::pair<NetConfig, SymProb>>;
+  Frontier Cur = initialDistribution();
+
+  auto addTo = [this](Frontier &F,
+                      std::unordered_map<NetConfig, size_t, NetConfigHash>
+                          &Index,
+                      NetConfig C, SymProb W) {
+    if (!Opts.MergeStates) {
+      F.emplace_back(std::move(C), std::move(W));
+      return;
+    }
+    auto [It, Inserted] = Index.try_emplace(C, F.size());
+    if (Inserted)
+      F.emplace_back(std::move(C), std::move(W));
+    else
+      F[It->second].second += W;
+  };
+
+  for (int64_t Step = 0; Step <= Spec.NumSteps; ++Step) {
+    if (Cur.empty())
+      break;
+    Result.MaxFrontierSize = std::max(Result.MaxFrontierSize, Cur.size());
+    Result.StepsUsed = Step;
+    bool LastStep = Step == Spec.NumSteps;
+
+    Frontier Next;
+    std::unordered_map<NetConfig, size_t, NetConfigHash> NextIndex;
+    for (auto &[C, W] : Cur) {
+      ++Result.ConfigsExpanded;
+      if (C.Error) {
+        Result.ErrorMass += W;
+        continue;
+      }
+      std::vector<SchedChoice> Choices = Sched->choices(C);
+      if (Choices.empty()) {
+        // Terminal configuration: evaluate the query.
+        if (Opts.CollectTerminals)
+          Result.Terminals.emplace_back(C, W);
+        accumulateQuery(C, W, Result);
+        continue;
+      }
+      if (LastStep) {
+        // Live mass at the step bound: assert(terminated()) fails.
+        Result.ErrorMass += W;
+        continue;
+      }
+      for (const SchedChoice &Choice : Choices) {
+        SymProb Base = W.scaled(Choice.Prob);
+        if (Choice.Act.K == Action::Kind::Fwd) {
+          NetConfig C2 = C;
+          C2.SchedState = Choice.NextSchedState;
+          NodeConfig &Src = C2.Nodes[Choice.Act.Node];
+          QueueEntry E = Src.QOut.takeFront();
+          if (auto Peer = Spec.Topo.peer(Choice.Act.Node, E.Port)) {
+            E.Port = Peer->Port;
+            // pushBack on a full queue is a no-op: congestion drop.
+            C2.Nodes[Peer->Node].QIn.pushBack(std::move(E));
+          }
+          // No link on that port: the packet leaves the network (dropped).
+          addTo(Next, NextIndex, std::move(C2), std::move(Base));
+          continue;
+        }
+        // Run action.
+        const DefDecl *Def = Spec.NodePrograms[Choice.Act.Node];
+        for (ExecWorld &World :
+             Exec.runExact(*Def, C.Nodes[Choice.Act.Node])) {
+          SymProb W2 = applyGuards(Base.scaled(World.Prob), World.Guards);
+          if (W2.isZero())
+            continue;
+          if (World.ObserveFailed)
+            continue; // Observation failure: the mass is discarded.
+          NetConfig C2 = C;
+          C2.SchedState = Choice.NextSchedState;
+          C2.Nodes[Choice.Act.Node] = std::move(World.Node);
+          if (World.Error) {
+            Result.ErrorMass += W2;
+            continue;
+          }
+          addTo(Next, NextIndex, std::move(C2), std::move(W2));
+        }
+      }
+      if (Next.size() > Opts.MaxFrontier) {
+        Result.QueryUnsupported = true;
+        Result.UnsupportedReason = "frontier size limit exceeded";
+        return Result;
+      }
+    }
+    Cur = std::move(Next);
+  }
+  return Result;
+}

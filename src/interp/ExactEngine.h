@@ -1,0 +1,113 @@
+//===- interp/ExactEngine.h - Exact probabilistic inference ----*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact inference over the global network semantics (paper Figure 7).
+/// The engine explores the distribution over global configurations level by
+/// level (one scheduler action per level), merging identical configurations
+/// — this computes the paper's normalized aggregate trace semantics with
+/// exact rational (or piecewise-rational, for symbolic parameters) weights,
+/// playing the role of the PSI exact solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_INTERP_EXACTENGINE_H
+#define BAYONET_INTERP_EXACTENGINE_H
+
+#include "interp/Exec.h"
+#include "net/NetworkSpec.h"
+#include "net/Scheduler.h"
+#include "symbolic/SymProb.h"
+
+#include <string>
+#include <vector>
+
+namespace bayonet {
+
+/// Tuning knobs for the exact engine (the defaults reproduce the paper).
+struct ExactOptions {
+  /// Merge identical configurations between steps. Disabling this degrades
+  /// the engine to pure trace enumeration (the ablation in bench_ablation).
+  bool MergeStates = true;
+  /// Abort when the frontier exceeds this many configurations.
+  size_t MaxFrontier = 50'000'000;
+  /// Keep the terminal distribution (for tests and debugging).
+  bool CollectTerminals = false;
+};
+
+/// Result of one exact inference run.
+struct ExactResult {
+  QueryKind Kind = QueryKind::Probability;
+  /// Query numerator: mass where the predicate holds (probability queries)
+  /// or sum of value-weighted mass (expectation queries).
+  SymProb QueryMass;
+  /// Normalizer Z: all observe-surviving, non-error terminal mass.
+  SymProb OkMass;
+  /// Mass in the ⊥ state: failed asserts, runtime errors, and mass still
+  /// live when the num_steps bound is reached.
+  SymProb ErrorMass;
+  /// Set if the query touched symbolic values it cannot aggregate.
+  bool QueryUnsupported = false;
+  std::string UnsupportedReason;
+
+  // Statistics.
+  size_t ConfigsExpanded = 0;
+  size_t MaxFrontierSize = 0;
+  int64_t StepsUsed = 0;
+
+  /// Terminal distribution (only when CollectTerminals was set).
+  std::vector<std::pair<NetConfig, SymProb>> Terminals;
+
+  /// The query answer per parameter region (one unguarded case when no
+  /// parameter is symbolic). Values are QueryMass/OkMass.
+  std::vector<ProbCase> cases() const {
+    return partitionRatio(QueryMass, OkMass);
+  }
+
+  /// Concrete answer; requires a concrete (non-symbolic) run with Z > 0.
+  std::optional<Rational> concreteValue() const {
+    if (!QueryMass.isConcrete() || !OkMass.isConcrete() ||
+        OkMass.concreteValue().isZero())
+      return std::nullopt;
+    return QueryMass.concreteValue() / OkMass.concreteValue();
+  }
+
+  /// Error probability relative to all retained mass.
+  std::optional<Rational> errorProbability() const {
+    if (!ErrorMass.isConcrete() || !OkMass.isConcrete())
+      return std::nullopt;
+    Rational Total = ErrorMass.concreteValue() + OkMass.concreteValue();
+    if (Total.isZero())
+      return std::nullopt;
+    return ErrorMass.concreteValue() / Total;
+  }
+};
+
+/// Exact inference engine over a checked network.
+class ExactEngine {
+public:
+  explicit ExactEngine(const NetworkSpec &Spec, ExactOptions Opts = {})
+      : Spec(Spec), Opts(Opts), Exec(Spec) {}
+
+  /// Runs exact inference for the spec's query.
+  ExactResult run() const;
+
+  /// Builds the initial configuration distribution: state initializers
+  /// (which may be random or symbolic) and initial packets.
+  std::vector<std::pair<NetConfig, SymProb>> initialDistribution() const;
+
+private:
+  const NetworkSpec &Spec;
+  ExactOptions Opts;
+  NodeExecutor Exec;
+
+  void accumulateQuery(const NetConfig &C, const SymProb &Wt,
+                       ExactResult &Result) const;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_INTERP_EXACTENGINE_H

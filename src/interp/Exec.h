@@ -1,0 +1,93 @@
+//===- interp/Exec.h - Node program execution ------------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes one node's Bayonet program on its local configuration — the
+/// local small-step semantics of the paper's Figure 5, run to completion as
+/// one Run action (mirroring the generated run() method of Figure 9).
+///
+/// Two modes share the statement logic:
+///  - exact mode: every probabilistic draw and every comparison on symbolic
+///    values branches the "world"; the result is a weighted set of successor
+///    configurations with constraint guards;
+///  - sampling mode: draws are sampled from a PRNG and a single successor
+///    is produced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_INTERP_EXEC_H
+#define BAYONET_INTERP_EXEC_H
+
+#include "lang/Ast.h"
+#include "net/Config.h"
+#include "net/NetworkSpec.h"
+#include "support/Prng.h"
+#include "symbolic/Constraint.h"
+
+#include <string>
+#include <vector>
+
+namespace bayonet {
+
+/// One branch of an exact node-program execution.
+struct ExecWorld {
+  NodeConfig Node;
+  /// Product of the probabilities of the random draws taken on this branch.
+  Rational Prob = Rational(1);
+  /// Symbolic branch conditions assumed on this branch (conjunction).
+  std::vector<Constraint> Guards;
+  /// The node hit a failed assert or a runtime error (the ⊥ state).
+  bool Error = false;
+  /// A failed observe: the branch is infeasible and its mass is discarded.
+  bool ObserveFailed = false;
+  /// Human-readable reason when Error is set.
+  std::string ErrorReason;
+};
+
+/// Result status of a sampled node-program execution.
+enum class SampleStatus { Ok, Error, ObserveFailed };
+
+/// Executes node programs on local configurations.
+class NodeExecutor {
+public:
+  explicit NodeExecutor(const NetworkSpec &Spec) : Spec(Spec) {}
+
+  /// Exact mode: runs \p Def on \p Start and returns every weighted branch.
+  /// Branch probabilities (over each guard region) sum to one.
+  std::vector<ExecWorld> runExact(const DefDecl &Def, NodeConfig Start) const;
+
+  /// Sampling mode: runs \p Def on \p Node in place, drawing from \p Rng.
+  SampleStatus runSampled(const DefDecl &Def, NodeConfig &Node,
+                          Xoshiro &Rng) const;
+
+  /// Evaluates a state-variable initializer (exact mode): no queue access.
+  /// Each returned world carries the initial value in Node.State[0]... the
+  /// caller reads InitValues instead; see initStateExact.
+  struct InitOutcome {
+    Value V;
+    Rational Prob;
+    std::vector<Constraint> Guards;
+    bool Failed = false;
+    std::string FailReason;
+  };
+  std::vector<InitOutcome> evalInitExact(const Expr &Init) const;
+  /// Evaluates a state-variable initializer by sampling.
+  /// Returns nullopt on runtime failure.
+  std::optional<Value> evalInitSampled(const Expr &Init, Xoshiro &Rng) const;
+
+  /// Maximum loop iterations before a while loop is declared divergent.
+  static constexpr int64_t WhileFuel = 100000;
+
+private:
+  const NetworkSpec &Spec;
+
+  friend class ExactExecState;
+  friend class SampleExecState;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_INTERP_EXEC_H

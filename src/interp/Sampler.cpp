@@ -1,0 +1,185 @@
+//===- interp/Sampler.cpp - Approximate inference by sampling -------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Sampler.h"
+#include "query/QueryEval.h"
+
+#include <cmath>
+
+using namespace bayonet;
+
+Sampler::Particle Sampler::sampleInitial(Xoshiro &Rng) const {
+  Particle P;
+  P.Config.Nodes.resize(Spec.Topo.numNodes());
+  for (NodeConfig &NC : P.Config.Nodes) {
+    NC.QIn = PacketQueue(Spec.QueueCapacity);
+    NC.QOut = PacketQueue(Spec.QueueCapacity);
+  }
+  auto Sched = Scheduler::forSpec(Spec);
+  P.Config.SchedState = Sched->initialState();
+
+  for (unsigned Node = 0; Node < Spec.Topo.numNodes(); ++Node) {
+    const DefDecl *Def = Spec.NodePrograms[Node];
+    if (!Def)
+      continue;
+    for (const StateVarDecl &SV : Def->StateVars) {
+      if (!SV.Init) {
+        P.Config.Nodes[Node].State.push_back(Value(Rational(0)));
+        continue;
+      }
+      auto V = Exec.evalInitSampled(*SV.Init, Rng);
+      if (!V) {
+        P.Error = true;
+        return P;
+      }
+      P.Config.Nodes[Node].State.push_back(std::move(*V));
+    }
+  }
+  for (const InitPacketSpec &Init : Spec.Inits) {
+    Packet Pkt;
+    Pkt.Fields.reserve(Init.Fields.size());
+    for (const Rational &F : Init.Fields)
+      Pkt.Fields.push_back(Value(F));
+    P.Config.Nodes[Init.Node].QIn.pushBack({std::move(Pkt), 0});
+  }
+  return P;
+}
+
+void Sampler::step(Particle &P, const Scheduler &Sched, Xoshiro &Rng) const {
+  std::vector<SchedChoice> Choices = Sched.choices(P.Config);
+  if (Choices.empty()) {
+    P.Terminal = true;
+    return;
+  }
+  // Sample a choice according to the scheduler distribution.
+  size_t Pick = 0;
+  if (Choices.size() > 1) {
+    double U = Rng.nextDouble();
+    double Acc = 0;
+    for (size_t I = 0; I < Choices.size(); ++I) {
+      Acc += Choices[I].Prob.toDouble();
+      if (U < Acc || I + 1 == Choices.size()) {
+        Pick = I;
+        break;
+      }
+    }
+  }
+  const SchedChoice &Choice = Choices[Pick];
+  P.Config.SchedState = Choice.NextSchedState;
+  if (Choice.Act.K == Action::Kind::Fwd) {
+    NodeConfig &Src = P.Config.Nodes[Choice.Act.Node];
+    QueueEntry E = Src.QOut.takeFront();
+    if (auto Peer = Spec.Topo.peer(Choice.Act.Node, E.Port)) {
+      E.Port = Peer->Port;
+      P.Config.Nodes[Peer->Node].QIn.pushBack(std::move(E));
+    }
+    return;
+  }
+  const DefDecl *Def = Spec.NodePrograms[Choice.Act.Node];
+  SampleStatus St =
+      Exec.runSampled(*Def, P.Config.Nodes[Choice.Act.Node], Rng);
+  if (St == SampleStatus::Error)
+    P.Error = true;
+  else if (St == SampleStatus::ObserveFailed)
+    P.Dead = true;
+}
+
+SampleResult Sampler::run() const {
+  SampleResult Result;
+  if (Spec.Query)
+    Result.Kind = Spec.Query->Kind;
+  Result.Particles = Opts.Particles;
+  Xoshiro Rng(Opts.Seed);
+  auto Sched = Scheduler::forSpec(Spec);
+
+  std::vector<Particle> Pop;
+  Pop.reserve(Opts.Particles);
+  for (unsigned I = 0; I < Opts.Particles; ++I)
+    Pop.push_back(sampleInitial(Rng));
+
+  for (int64_t Step = 0; Step < Spec.NumSteps; ++Step) {
+    bool AnyLive = false;
+    unsigned Alive = 0;
+    for (Particle &P : Pop) {
+      if (P.Dead)
+        continue;
+      ++Alive;
+      if (P.Terminal || P.Error)
+        continue;
+      step(P, *Sched, Rng);
+      if (!P.Terminal && !P.Error && !P.Dead)
+        AnyLive = true;
+    }
+    // SMC: resample from the survivors when too many particles died on
+    // observations (self-normalized; weights are 0/1 with hard observes).
+    if (Opts.Mode == SampleOptions::Method::Smc && Alive > 0 &&
+        Alive < Opts.Particles * Opts.ResampleThreshold) {
+      std::vector<Particle> Survivors;
+      for (Particle &P : Pop)
+        if (!P.Dead)
+          Survivors.push_back(std::move(P));
+      std::vector<Particle> NewPop;
+      NewPop.reserve(Opts.Particles);
+      for (unsigned I = 0; I < Opts.Particles; ++I)
+        NewPop.push_back(Survivors[Rng.nextBelow(Survivors.size())]);
+      Pop = std::move(NewPop);
+    }
+    if (!AnyLive)
+      break;
+  }
+
+  // Aggregate: particles still running at the bound are error particles
+  // (assert(terminated()) fails); dead particles are discarded.
+  double Sum = 0, SumSq = 0;
+  unsigned Ok = 0, Errors = 0;
+  for (Particle &P : Pop) {
+    if (P.Dead)
+      continue;
+    if (P.Error || !P.Terminal) {
+      ++Errors;
+      continue;
+    }
+    if (!Spec.Query || !Spec.Query->Body) {
+      Result.QueryUnsupported = true;
+      Result.UnsupportedReason = "no query";
+      continue;
+    }
+    // The "given" clause is a terminal-state observation: particles that
+    // violate it are discarded like failed observes.
+    if (Spec.Query->Given) {
+      auto G = evalQueryConcrete(Spec, *Spec.Query->Given, P.Config);
+      if (!G) {
+        Result.QueryUnsupported = true;
+        Result.UnsupportedReason = "given clause not evaluable";
+        continue;
+      }
+      if (G->isZero())
+        continue;
+    }
+    auto V = evalQueryConcrete(Spec, *Spec.Query->Body, P.Config);
+    if (!V) {
+      Result.QueryUnsupported = true;
+      Result.UnsupportedReason = "query not evaluable on a sampled state";
+      continue;
+    }
+    double Sample = Result.Kind == QueryKind::Probability
+                        ? (V->isZero() ? 0.0 : 1.0)
+                        : V->toDouble();
+    Sum += Sample;
+    SumSq += Sample * Sample;
+    ++Ok;
+  }
+  Result.Survivors = Ok + Errors;
+  Result.ErrorFraction =
+      Result.Survivors ? static_cast<double>(Errors) / Result.Survivors : 0.0;
+  Result.Value = Ok ? Sum / Ok : 0.0;
+  if (Ok >= 2) {
+    double Var =
+        (SumSq - Sum * Sum / Ok) / (Ok - 1); // Sample variance.
+    Result.StdError = Var > 0 ? std::sqrt(Var / Ok) : 0.0;
+  }
+  return Result;
+}

@@ -1,0 +1,85 @@
+//===- interp/Sampler.h - Approximate inference by sampling ----*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Approximate inference over the global network semantics: sequential
+/// Monte Carlo with a particle population (the paper uses WebPPL SMC with
+/// 1000 particles), plus a plain rejection/likelihood-weighting mode.
+/// Observation failures zero out a particle; SMC resamples the population
+/// from the survivors when too many particles have died.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_INTERP_SAMPLER_H
+#define BAYONET_INTERP_SAMPLER_H
+
+#include "interp/Exec.h"
+#include "net/NetworkSpec.h"
+#include "net/Scheduler.h"
+
+#include <string>
+
+namespace bayonet {
+
+/// Sampling configuration. The defaults match the paper's setup.
+struct SampleOptions {
+  enum class Method { Smc, Rejection };
+  Method Mode = Method::Smc;
+  unsigned Particles = 1000;
+  uint64_t Seed = 0x5eed;
+  /// SMC resamples when the live fraction drops below this threshold.
+  double ResampleThreshold = 0.5;
+};
+
+/// Result of one sampling run.
+struct SampleResult {
+  QueryKind Kind = QueryKind::Probability;
+  /// The query estimate (probability or expected value).
+  double Value = 0.0;
+  /// Monte-Carlo standard error of the estimate (sample standard
+  /// deviation over sqrt(#ok particles)); 0 when fewer than 2 particles
+  /// contributed. A ~95% interval is Value +- 1.96*StdError.
+  double StdError = 0.0;
+  /// Fraction of retained particles that ended in the error state.
+  double ErrorFraction = 0.0;
+  /// Particles surviving all observations (the basis of the estimate).
+  unsigned Survivors = 0;
+  unsigned Particles = 0;
+  /// Set when the query could not be evaluated on some particle.
+  bool QueryUnsupported = false;
+  std::string UnsupportedReason;
+};
+
+/// Particle-based approximate inference engine.
+class Sampler {
+public:
+  explicit Sampler(const NetworkSpec &Spec, SampleOptions Opts = {})
+      : Spec(Spec), Opts(Opts), Exec(Spec) {}
+
+  /// Runs sampling inference for the spec's query.
+  SampleResult run() const;
+
+private:
+  const NetworkSpec &Spec;
+  SampleOptions Opts;
+  NodeExecutor Exec;
+
+  struct Particle {
+    NetConfig Config;
+    bool Dead = false;     ///< Observation failed: zero weight.
+    bool Error = false;    ///< ⊥ state.
+    bool Terminal = false; ///< No enabled actions remain.
+  };
+
+  /// Samples the initial configuration (state initializers and packets).
+  Particle sampleInitial(Xoshiro &Rng) const;
+  /// Advances a particle by one scheduler action.
+  void step(Particle &P, const Scheduler &Sched, Xoshiro &Rng) const;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_INTERP_SAMPLER_H

@@ -1,0 +1,21 @@
+//===- lang/Ast.cpp - Bayonet abstract syntax trees -----------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace bayonet;
+
+// Out-of-line virtual destructors anchor the vtables (per the coding
+// standards' "provide a virtual method anchor" rule).
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+const DefDecl *SourceFile::findDef(const std::string &Name) const {
+  for (const DefDecl &D : Defs)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}

@@ -1,0 +1,370 @@
+//===- lang/Ast.h - Bayonet abstract syntax trees --------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the Bayonet language (paper Figure 4): network topology,
+/// packet-processing programs with probabilistic expressions, and the
+/// query language of Figure 8. Name resolution information is filled in
+/// by the Checker and consumed by the inference engines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_LANG_AST_H
+#define BAYONET_LANG_AST_H
+
+#include "support/Diag.h"
+#include "support/Rational.h"
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bayonet {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  Number,    ///< Integer literal (rationals arise via division).
+  Var,       ///< Identifier: port parameter, state var, node or symbolic.
+  FieldRead, ///< pkt.f
+  Binary,    ///< e op e
+  Unary,     ///< -e, not e
+  Flip,      ///< flip(p): Bernoulli draw
+  UniformInt,///< uniformInt(a, b): uniform integer draw
+  StateRef,  ///< x@Node or x@* (query expressions only)
+};
+
+enum class BinOpKind { Add, Sub, Mul, Div, Eq, Ne, Lt, Le, Gt, Ge, And, Or };
+enum class UnOpKind { Neg, Not };
+
+struct Expr {
+  const ExprKind Kind;
+  SourceLoc Loc;
+
+  virtual ~Expr();
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Checked downcast for AST nodes.
+template <typename T> const T &cast(const Expr &E) {
+  assert(T::classof(E) && "bad expr cast");
+  return static_cast<const T &>(E);
+}
+
+struct NumberExpr : Expr {
+  Rational Value;
+
+  NumberExpr(Rational Value, SourceLoc Loc)
+      : Expr(ExprKind::Number, Loc), Value(std::move(Value)) {}
+  static bool classof(const Expr &E) { return E.Kind == ExprKind::Number; }
+};
+
+/// What a bare identifier resolved to (filled by the Checker).
+enum class VarRes {
+  Unresolved,
+  Port,      ///< The def's port parameter.
+  StateVar,  ///< State variable; Index is the slot in the def's frame.
+  NodeConst, ///< A node name used as a value; Index is the node id.
+  SymParam,  ///< Symbolic parameter; Index is the ParamTable index.
+};
+
+struct VarExpr : Expr {
+  std::string Name;
+  VarRes Res = VarRes::Unresolved;
+  unsigned Index = 0;
+
+  VarExpr(std::string Name, SourceLoc Loc)
+      : Expr(ExprKind::Var, Loc), Name(std::move(Name)) {}
+  static bool classof(const Expr &E) { return E.Kind == ExprKind::Var; }
+};
+
+struct FieldReadExpr : Expr {
+  std::string Base;  ///< Must name the def's packet parameter.
+  std::string Field;
+  unsigned FieldIndex = 0; ///< Filled by the Checker.
+
+  FieldReadExpr(std::string Base, std::string Field, SourceLoc Loc)
+      : Expr(ExprKind::FieldRead, Loc), Base(std::move(Base)),
+        Field(std::move(Field)) {}
+  static bool classof(const Expr &E) { return E.Kind == ExprKind::FieldRead; }
+};
+
+struct BinaryExpr : Expr {
+  BinOpKind Op;
+  ExprPtr Lhs, Rhs;
+
+  BinaryExpr(BinOpKind Op, ExprPtr Lhs, ExprPtr Rhs, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  static bool classof(const Expr &E) { return E.Kind == ExprKind::Binary; }
+};
+
+struct UnaryExpr : Expr {
+  UnOpKind Op;
+  ExprPtr Operand;
+
+  UnaryExpr(UnOpKind Op, ExprPtr Operand, SourceLoc Loc)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+  static bool classof(const Expr &E) { return E.Kind == ExprKind::Unary; }
+};
+
+struct FlipExpr : Expr {
+  ExprPtr Prob;
+
+  FlipExpr(ExprPtr Prob, SourceLoc Loc)
+      : Expr(ExprKind::Flip, Loc), Prob(std::move(Prob)) {}
+  static bool classof(const Expr &E) { return E.Kind == ExprKind::Flip; }
+};
+
+struct UniformIntExpr : Expr {
+  ExprPtr Lo, Hi;
+
+  UniformIntExpr(ExprPtr Lo, ExprPtr Hi, SourceLoc Loc)
+      : Expr(ExprKind::UniformInt, Loc), Lo(std::move(Lo)), Hi(std::move(Hi)) {
+  }
+  static bool classof(const Expr &E) { return E.Kind == ExprKind::UniformInt; }
+};
+
+/// x@Node or x@* — only valid inside queries (paper Figure 8).
+struct StateRefExpr : Expr {
+  std::string VarName;
+  std::string NodeName; ///< "*" for the sum over all nodes with the var.
+  /// Resolved (node id, state slot) pairs; one entry for a single node,
+  /// one per matching node for "*".
+  std::vector<std::pair<unsigned, unsigned>> Targets;
+
+  StateRefExpr(std::string VarName, std::string NodeName, SourceLoc Loc)
+      : Expr(ExprKind::StateRef, Loc), VarName(std::move(VarName)),
+        NodeName(std::move(NodeName)) {}
+  static bool classof(const Expr &E) { return E.Kind == ExprKind::StateRef; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  New,
+  Drop,
+  Dup,
+  Fwd,
+  Assign,
+  FieldAssign,
+  Observe,
+  Assert,
+  Skip,
+  If,
+  While,
+};
+
+struct Stmt {
+  const StmtKind Kind;
+  SourceLoc Loc;
+
+  virtual ~Stmt();
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+template <typename T> const T &cast(const Stmt &S) {
+  assert(T::classof(S) && "bad stmt cast");
+  return static_cast<const T &>(S);
+}
+
+/// new; drop; dup; skip; — statements with no operands.
+struct SimpleStmt : Stmt {
+  SimpleStmt(StmtKind Kind, SourceLoc Loc) : Stmt(Kind, Loc) {
+    assert(Kind == StmtKind::New || Kind == StmtKind::Drop ||
+           Kind == StmtKind::Dup || Kind == StmtKind::Skip);
+  }
+  static bool classof(const Stmt &S) {
+    return S.Kind == StmtKind::New || S.Kind == StmtKind::Drop ||
+           S.Kind == StmtKind::Dup || S.Kind == StmtKind::Skip;
+  }
+};
+
+struct FwdStmt : Stmt {
+  ExprPtr Port;
+
+  FwdStmt(ExprPtr Port, SourceLoc Loc)
+      : Stmt(StmtKind::Fwd, Loc), Port(std::move(Port)) {}
+  static bool classof(const Stmt &S) { return S.Kind == StmtKind::Fwd; }
+};
+
+struct AssignStmt : Stmt {
+  std::string Name;
+  ExprPtr Value;
+  unsigned SlotIndex = 0; ///< State-var slot, filled by the Checker.
+
+  AssignStmt(std::string Name, ExprPtr Value, SourceLoc Loc)
+      : Stmt(StmtKind::Assign, Loc), Name(std::move(Name)),
+        Value(std::move(Value)) {}
+  static bool classof(const Stmt &S) { return S.Kind == StmtKind::Assign; }
+};
+
+struct FieldAssignStmt : Stmt {
+  std::string Base; ///< Must name the def's packet parameter.
+  std::string Field;
+  ExprPtr Value;
+  unsigned FieldIndex = 0; ///< Filled by the Checker.
+
+  FieldAssignStmt(std::string Base, std::string Field, ExprPtr Value,
+                  SourceLoc Loc)
+      : Stmt(StmtKind::FieldAssign, Loc), Base(std::move(Base)),
+        Field(std::move(Field)), Value(std::move(Value)) {}
+  static bool classof(const Stmt &S) {
+    return S.Kind == StmtKind::FieldAssign;
+  }
+};
+
+/// observe(e) / assert(e).
+struct CondStmt : Stmt {
+  ExprPtr Cond;
+
+  CondStmt(StmtKind Kind, ExprPtr Cond, SourceLoc Loc)
+      : Stmt(Kind, Loc), Cond(std::move(Cond)) {
+    assert(Kind == StmtKind::Observe || Kind == StmtKind::Assert);
+  }
+  static bool classof(const Stmt &S) {
+    return S.Kind == StmtKind::Observe || S.Kind == StmtKind::Assert;
+  }
+};
+
+struct IfStmt : Stmt {
+  ExprPtr Cond;
+  std::vector<StmtPtr> Then;
+  std::vector<StmtPtr> Else;
+
+  IfStmt(ExprPtr Cond, std::vector<StmtPtr> Then, std::vector<StmtPtr> Else,
+         SourceLoc Loc)
+      : Stmt(StmtKind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  static bool classof(const Stmt &S) { return S.Kind == StmtKind::If; }
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr Cond;
+  std::vector<StmtPtr> Body;
+
+  WhileStmt(ExprPtr Cond, std::vector<StmtPtr> Body, SourceLoc Loc)
+      : Stmt(StmtKind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  static bool classof(const Stmt &S) { return S.Kind == StmtKind::While; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// One "(A, ptX) <-> (B, ptY)" link in the topology block.
+struct LinkDecl {
+  std::string NodeA;
+  int PortA = 0;
+  std::string NodeB;
+  int PortB = 0;
+  SourceLoc Loc;
+};
+
+struct TopologyDecl {
+  std::vector<std::string> NodeNames;
+  std::vector<LinkDecl> Links;
+  SourceLoc Loc;
+};
+
+/// "name(initExpr)" inside a def's state clause.
+struct StateVarDecl {
+  std::string Name;
+  ExprPtr Init;
+  SourceLoc Loc;
+};
+
+/// "def name(pkt, pt) state ... { body }".
+struct DefDecl {
+  std::string Name;
+  std::string PktParam;
+  std::string PortParam;
+  std::vector<StateVarDecl> StateVars;
+  std::vector<StmtPtr> Body;
+  SourceLoc Loc;
+};
+
+/// "Node -> defName" inside the programs block.
+struct ProgramAssign {
+  std::string NodeName;
+  std::string DefName;
+  SourceLoc Loc;
+};
+
+enum class QueryKind { Probability, Expectation };
+
+struct QueryDecl {
+  QueryKind Kind = QueryKind::Probability;
+  ExprPtr Body;
+  /// Optional terminal-state condition: "query probability(b given c);"
+  /// conditions the answer on c holding in the terminal configuration
+  /// (mass violating c is discarded like a failed observation). This is
+  /// how exhaustive observation sequences (paper Section 5.5) are stated.
+  ExprPtr Given;
+  SourceLoc Loc;
+};
+
+/// "param NAME;" or "param NAME = 3;".
+struct ParamDecl {
+  std::string Name;
+  std::optional<Rational> Value;
+  SourceLoc Loc;
+};
+
+/// One initial packet: "Node" or "Node { f = 1, ... }" in the init block.
+struct InitPacketDecl {
+  std::string NodeName;
+  std::vector<std::pair<std::string, ExprPtr>> Fields;
+  SourceLoc Loc;
+  unsigned NodeId = 0; ///< Filled by the Checker.
+};
+
+/// A parsed Bayonet source file.
+struct SourceFile {
+  std::optional<TopologyDecl> Topology;
+  std::vector<std::string> PacketFields;
+  std::vector<ProgramAssign> Programs;
+  std::vector<DefDecl> Defs;
+  std::vector<QueryDecl> Queries;
+  std::vector<ParamDecl> Params;
+  std::vector<InitPacketDecl> Inits;
+
+  std::string SchedulerName; ///< Empty if not declared (default uniform).
+  /// "scheduler weighted { Node -> w, ... };" weight overrides
+  /// (unlisted nodes default to weight 1).
+  std::vector<std::pair<std::string, int64_t>> SchedulerWeights;
+  SourceLoc SchedulerLoc;
+  unsigned SchedulerDeclCount = 0;
+
+  std::optional<int64_t> NumSteps;
+  unsigned NumStepsDeclCount = 0;
+
+  std::optional<int64_t> QueueCapacity;
+  unsigned QueueCapacityDeclCount = 0;
+
+  /// Finds a def by name, or null.
+  const DefDecl *findDef(const std::string &Name) const;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_LANG_AST_H

@@ -1,0 +1,250 @@
+//===- lang/AstPrinter.cpp - Bayonet AST pretty-printer -------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+
+using namespace bayonet;
+
+static const char *binOpText(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "/";
+  case BinOpKind::Eq:
+    return "==";
+  case BinOpKind::Ne:
+    return "!=";
+  case BinOpKind::Lt:
+    return "<";
+  case BinOpKind::Le:
+    return "<=";
+  case BinOpKind::Gt:
+    return ">";
+  case BinOpKind::Ge:
+    return ">=";
+  case BinOpKind::And:
+    return "and";
+  case BinOpKind::Or:
+    return "or";
+  }
+  return "?";
+}
+
+std::string bayonet::printExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::Number: {
+    const Rational &V = cast<NumberExpr>(E).Value;
+    // Negative or non-integer literals do not exist in the grammar; print
+    // them as parenthesized arithmetic so the output re-parses.
+    if (V.isInteger() && !V.isNegative())
+      return V.toString();
+    if (V.isInteger())
+      return "(0 - " + (-V).toString() + ")";
+    std::string Num = V.num().isNegative() ? "(0 - " + (-V.num()).toString() + ")"
+                                           : V.num().toString();
+    return "(" + Num + " / " + V.den().toString() + ")";
+  }
+  case ExprKind::Var:
+    return cast<VarExpr>(E).Name;
+  case ExprKind::FieldRead: {
+    const auto &F = cast<FieldReadExpr>(E);
+    return F.Base + "." + F.Field;
+  }
+  case ExprKind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    return "(" + printExpr(*B.Lhs) + " " + binOpText(B.Op) + " " +
+           printExpr(*B.Rhs) + ")";
+  }
+  case ExprKind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    if (U.Op == UnOpKind::Neg)
+      return "(-" + printExpr(*U.Operand) + ")";
+    return "(not " + printExpr(*U.Operand) + ")";
+  }
+  case ExprKind::Flip:
+    return "flip(" + printExpr(*cast<FlipExpr>(E).Prob) + ")";
+  case ExprKind::UniformInt: {
+    const auto &U = cast<UniformIntExpr>(E);
+    return "uniformInt(" + printExpr(*U.Lo) + ", " + printExpr(*U.Hi) + ")";
+  }
+  case ExprKind::StateRef: {
+    const auto &SR = cast<StateRefExpr>(E);
+    return SR.VarName + "@" + SR.NodeName;
+  }
+  }
+  return "?";
+}
+
+static std::string indentText(unsigned Indent) {
+  return std::string(Indent * 2, ' ');
+}
+
+static std::string printBlock(const std::vector<StmtPtr> &Stmts,
+                              unsigned Indent) {
+  std::string Out = "{\n";
+  for (const StmtPtr &S : Stmts)
+    Out += printStmt(*S, Indent + 1);
+  Out += indentText(Indent) + "}";
+  return Out;
+}
+
+std::string bayonet::printStmt(const Stmt &S, unsigned Indent) {
+  std::string Pad = indentText(Indent);
+  switch (S.Kind) {
+  case StmtKind::New:
+    return Pad + "new;\n";
+  case StmtKind::Drop:
+    return Pad + "drop;\n";
+  case StmtKind::Dup:
+    return Pad + "dup;\n";
+  case StmtKind::Skip:
+    return Pad + "skip;\n";
+  case StmtKind::Fwd:
+    return Pad + "fwd(" + printExpr(*cast<FwdStmt>(S).Port) + ");\n";
+  case StmtKind::Assign: {
+    const auto &A = cast<AssignStmt>(S);
+    return Pad + A.Name + " = " + printExpr(*A.Value) + ";\n";
+  }
+  case StmtKind::FieldAssign: {
+    const auto &FA = cast<FieldAssignStmt>(S);
+    return Pad + FA.Base + "." + FA.Field + " = " + printExpr(*FA.Value) +
+           ";\n";
+  }
+  case StmtKind::Observe:
+    return Pad + "observe(" + printExpr(*cast<CondStmt>(S).Cond) + ");\n";
+  case StmtKind::Assert:
+    return Pad + "assert(" + printExpr(*cast<CondStmt>(S).Cond) + ");\n";
+  case StmtKind::If: {
+    const auto &If = cast<IfStmt>(S);
+    std::string Out = Pad + "if " + printExpr(*If.Cond) + " " +
+                      printBlock(If.Then, Indent);
+    if (!If.Else.empty())
+      Out += " else " + printBlock(If.Else, Indent);
+    return Out + "\n";
+  }
+  case StmtKind::While: {
+    const auto &While = cast<WhileStmt>(S);
+    return Pad + "while " + printExpr(*While.Cond) + " " +
+           printBlock(While.Body, Indent) + "\n";
+  }
+  }
+  return Pad + "skip;\n";
+}
+
+std::string bayonet::printSourceFile(const SourceFile &File) {
+  std::string Out;
+  if (File.Topology) {
+    const TopologyDecl &Topo = *File.Topology;
+    Out += "topology {\n  nodes { ";
+    for (size_t I = 0; I < Topo.NodeNames.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Topo.NodeNames[I];
+    }
+    Out += " }\n  links {\n";
+    for (size_t I = 0; I < Topo.Links.size(); ++I) {
+      const LinkDecl &L = Topo.Links[I];
+      Out += "    (" + L.NodeA + ", pt" + std::to_string(L.PortA) + ") <-> (" +
+             L.NodeB + ", pt" + std::to_string(L.PortB) + ")";
+      Out += I + 1 < Topo.Links.size() ? ",\n" : "\n";
+    }
+    Out += "  }\n}\n\n";
+  }
+  if (!File.PacketFields.empty()) {
+    Out += "packet_fields { ";
+    for (size_t I = 0; I < File.PacketFields.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += File.PacketFields[I];
+    }
+    Out += " }\n";
+  }
+  for (const ParamDecl &P : File.Params) {
+    Out += "param " + P.Name;
+    if (P.Value) {
+      Out += " = ";
+      if (P.Value->isInteger())
+        Out += P.Value->toString();
+      else
+        Out += P.Value->num().toString() + "/" + P.Value->den().toString();
+    }
+    Out += ";\n";
+  }
+  if (!File.Programs.empty()) {
+    Out += "programs { ";
+    for (size_t I = 0; I < File.Programs.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += File.Programs[I].NodeName + " -> " + File.Programs[I].DefName;
+    }
+    Out += " }\n\n";
+  }
+  for (const DefDecl &Def : File.Defs) {
+    Out += "def " + Def.Name + "(" + Def.PktParam + ", " + Def.PortParam +
+           ")";
+    if (!Def.StateVars.empty()) {
+      Out += " state ";
+      for (size_t I = 0; I < Def.StateVars.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += Def.StateVars[I].Name + "(" +
+               printExpr(*Def.StateVars[I].Init) + ")";
+      }
+    }
+    Out += " " + printBlock(Def.Body, 0) + "\n\n";
+  }
+  if (!File.Inits.empty()) {
+    Out += "init { ";
+    for (size_t I = 0; I < File.Inits.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += File.Inits[I].NodeName;
+      if (!File.Inits[I].Fields.empty()) {
+        Out += " { ";
+        for (size_t J = 0; J < File.Inits[I].Fields.size(); ++J) {
+          if (J)
+            Out += ", ";
+          Out += File.Inits[I].Fields[J].first + " = " +
+                 printExpr(*File.Inits[I].Fields[J].second);
+        }
+        Out += " }";
+      }
+    }
+    Out += " }\n";
+  }
+  if (!File.SchedulerName.empty()) {
+    Out += "scheduler " + File.SchedulerName;
+    if (!File.SchedulerWeights.empty()) {
+      Out += " { ";
+      for (size_t I = 0; I < File.SchedulerWeights.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += File.SchedulerWeights[I].first + " -> " +
+               std::to_string(File.SchedulerWeights[I].second);
+      }
+      Out += " }";
+    }
+    Out += ";\n";
+  }
+  if (File.QueueCapacity)
+    Out += "queue_capacity " + std::to_string(*File.QueueCapacity) + ";\n";
+  if (File.NumSteps)
+    Out += "num_steps " + std::to_string(*File.NumSteps) + ";\n";
+  for (const QueryDecl &Q : File.Queries) {
+    Out += std::string("query ") +
+           (Q.Kind == QueryKind::Probability ? "probability" : "expectation") +
+           "(" + printExpr(*Q.Body);
+    if (Q.Given)
+      Out += " given " + printExpr(*Q.Given);
+    Out += ");\n";
+  }
+  return Out;
+}

@@ -1,0 +1,34 @@
+//===- lang/AstPrinter.h - Bayonet AST pretty-printer ----------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders ASTs back to Bayonet surface syntax. Printing a parsed file and
+/// re-parsing it yields an identical AST (round-trip property, covered by
+/// tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_LANG_ASTPRINTER_H
+#define BAYONET_LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace bayonet {
+
+/// Renders an expression as Bayonet source (fully parenthesized).
+std::string printExpr(const Expr &E);
+
+/// Renders a statement (with trailing newline), indented by \p Indent.
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+
+/// Renders a whole source file as Bayonet source.
+std::string printSourceFile(const SourceFile &File);
+
+} // namespace bayonet
+
+#endif // BAYONET_LANG_ASTPRINTER_H

@@ -1,0 +1,36 @@
+//===- lang/Checker.h - Bayonet integrity checking -------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for Bayonet programs: the domain-specific integrity
+/// checks of the paper's Section 4 (each node is assigned a program, all
+/// nodes are linked, every port is connected to at most one link, queue
+/// capacities are non-negative, exactly one query, num_steps declared
+/// exactly once) plus name resolution of variables, packet fields, node
+/// constants and symbolic parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_LANG_CHECKER_H
+#define BAYONET_LANG_CHECKER_H
+
+#include "lang/Ast.h"
+#include "net/NetworkSpec.h"
+
+#include <optional>
+
+namespace bayonet {
+
+/// Checks \p File and produces the resolved network description.
+///
+/// Resolution results are written into the AST in place, so the returned
+/// spec references (and requires) the live SourceFile. Returns nullopt and
+/// reports through \p Diags when any check fails.
+std::optional<NetworkSpec> checkNetwork(SourceFile &File, DiagEngine &Diags);
+
+} // namespace bayonet
+
+#endif // BAYONET_LANG_CHECKER_H

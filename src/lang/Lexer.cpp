@@ -1,0 +1,311 @@
+//===- lang/Lexer.cpp - Bayonet lexer -------------------------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace bayonet;
+
+const char *bayonet::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Error:
+    return "invalid token";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::Integer:
+    return "integer literal";
+  case TokKind::KwTopology:
+    return "'topology'";
+  case TokKind::KwNodes:
+    return "'nodes'";
+  case TokKind::KwLinks:
+    return "'links'";
+  case TokKind::KwPacketFields:
+    return "'packet_fields'";
+  case TokKind::KwPrograms:
+    return "'programs'";
+  case TokKind::KwDef:
+    return "'def'";
+  case TokKind::KwState:
+    return "'state'";
+  case TokKind::KwNew:
+    return "'new'";
+  case TokKind::KwDrop:
+    return "'drop'";
+  case TokKind::KwDup:
+    return "'dup'";
+  case TokKind::KwFwd:
+    return "'fwd'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwSkip:
+    return "'skip'";
+  case TokKind::KwObserve:
+    return "'observe'";
+  case TokKind::KwAssert:
+    return "'assert'";
+  case TokKind::KwAnd:
+    return "'and'";
+  case TokKind::KwOr:
+    return "'or'";
+  case TokKind::KwNot:
+    return "'not'";
+  case TokKind::KwFlip:
+    return "'flip'";
+  case TokKind::KwUniformInt:
+    return "'uniformInt'";
+  case TokKind::KwQuery:
+    return "'query'";
+  case TokKind::KwProbability:
+    return "'probability'";
+  case TokKind::KwExpectation:
+    return "'expectation'";
+  case TokKind::KwScheduler:
+    return "'scheduler'";
+  case TokKind::KwNumSteps:
+    return "'num_steps'";
+  case TokKind::KwQueueCapacity:
+    return "'queue_capacity'";
+  case TokKind::KwParam:
+    return "'param'";
+  case TokKind::KwInit:
+    return "'init'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwGiven:
+    return "'given'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semicolon:
+    return "';'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::BiArrow:
+    return "'<->'";
+  case TokKind::At:
+    return "'@'";
+  case TokKind::Dot:
+    return "'.'";
+  }
+  return "token";
+}
+
+static const std::unordered_map<std::string_view, TokKind> &keywordTable() {
+  static const std::unordered_map<std::string_view, TokKind> Table = {
+      {"topology", TokKind::KwTopology},
+      {"nodes", TokKind::KwNodes},
+      {"links", TokKind::KwLinks},
+      {"packet_fields", TokKind::KwPacketFields},
+      {"programs", TokKind::KwPrograms},
+      {"def", TokKind::KwDef},
+      {"state", TokKind::KwState},
+      {"new", TokKind::KwNew},
+      {"drop", TokKind::KwDrop},
+      {"dup", TokKind::KwDup},
+      {"fwd", TokKind::KwFwd},
+      {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},
+      {"skip", TokKind::KwSkip},
+      {"observe", TokKind::KwObserve},
+      {"assert", TokKind::KwAssert},
+      {"and", TokKind::KwAnd},
+      {"or", TokKind::KwOr},
+      {"not", TokKind::KwNot},
+      {"flip", TokKind::KwFlip},
+      {"uniformInt", TokKind::KwUniformInt},
+      {"query", TokKind::KwQuery},
+      {"probability", TokKind::KwProbability},
+      {"expectation", TokKind::KwExpectation},
+      {"scheduler", TokKind::KwScheduler},
+      {"num_steps", TokKind::KwNumSteps},
+      {"queue_capacity", TokKind::KwQueueCapacity},
+      {"param", TokKind::KwParam},
+      {"init", TokKind::KwInit},
+      {"true", TokKind::KwTrue},
+      {"false", TokKind::KwFalse},
+      {"given", TokKind::KwGiven},
+  };
+  return Table;
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      while (Pos < Source.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos >= Source.size()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = loc();
+  if (Pos >= Source.size())
+    return make(TokKind::Eof, "", Loc);
+
+  char C = advance();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text += advance();
+    auto It = keywordTable().find(Text);
+    if (It != keywordTable().end())
+      return make(It->second, std::move(Text), Loc);
+    return make(TokKind::Identifier, std::move(Text), Loc);
+  }
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Text(1, C);
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+    return make(TokKind::Integer, std::move(Text), Loc);
+  }
+
+  switch (C) {
+  case '{':
+    return make(TokKind::LBrace, "{", Loc);
+  case '}':
+    return make(TokKind::RBrace, "}", Loc);
+  case '(':
+    return make(TokKind::LParen, "(", Loc);
+  case ')':
+    return make(TokKind::RParen, ")", Loc);
+  case ',':
+    return make(TokKind::Comma, ",", Loc);
+  case ';':
+    return make(TokKind::Semicolon, ";", Loc);
+  case '.':
+    return make(TokKind::Dot, ".", Loc);
+  case '@':
+    return make(TokKind::At, "@", Loc);
+  case '+':
+    return make(TokKind::Plus, "+", Loc);
+  case '*':
+    return make(TokKind::Star, "*", Loc);
+  case '/':
+    return make(TokKind::Slash, "/", Loc);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      return make(TokKind::Arrow, "->", Loc);
+    }
+    return make(TokKind::Minus, "-", Loc);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return make(TokKind::EqEq, "==", Loc);
+    }
+    return make(TokKind::Assign, "=", Loc);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return make(TokKind::NotEq, "!=", Loc);
+    }
+    Diags.error(Loc, "expected '=' after '!'");
+    return make(TokKind::Error, "!", Loc);
+  case '<':
+    if (peek() == '-' && peek(1) == '>') {
+      advance();
+      advance();
+      return make(TokKind::BiArrow, "<->", Loc);
+    }
+    if (peek() == '=') {
+      advance();
+      return make(TokKind::LessEq, "<=", Loc);
+    }
+    return make(TokKind::Less, "<", Loc);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return make(TokKind::GreaterEq, ">=", Loc);
+    }
+    return make(TokKind::Greater, ">", Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return make(TokKind::Error, std::string(1, C), Loc);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokKind::Eof))
+      return Tokens;
+  }
+}

@@ -1,0 +1,56 @@
+//===- lang/Lexer.h - Bayonet lexer ----------------------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the Bayonet language. Supports `//` line comments
+/// and `/* */` block comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_LANG_LEXER_H
+#define BAYONET_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace bayonet {
+
+/// Turns Bayonet source text into a token stream.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes the next token, advancing the cursor.
+  Token next();
+
+  /// Lexes the whole input (ending with an Eof token). Malformed characters
+  /// produce Error tokens and diagnostics but lexing continues.
+  std::vector<Token> lexAll();
+
+private:
+  std::string_view Source;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  void skipTrivia();
+  SourceLoc loc() const { return {Line, Col}; }
+  Token make(TokKind Kind, std::string Text, SourceLoc Loc) const {
+    return {Kind, std::move(Text), Loc};
+  }
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_LANG_LEXER_H

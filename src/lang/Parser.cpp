@@ -1,0 +1,725 @@
+//===- lang/Parser.cpp - Bayonet recursive-descent parser -----------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Lexer.h"
+
+#include <cstdlib>
+
+using namespace bayonet;
+
+Token Parser::take() {
+  Token T = cur();
+  if (!cur().is(TokKind::Eof))
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokKind Kind) {
+  if (!check(Kind))
+    return false;
+  take();
+  return true;
+}
+
+bool Parser::expect(TokKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(cur().Loc, std::string("expected ") + tokKindName(Kind) +
+                             " " + Context + ", found " +
+                             tokKindName(cur().Kind));
+  return false;
+}
+
+/// Skips tokens until the next plausible declaration start.
+void Parser::syncToDecl() {
+  while (!cur().is(TokKind::Eof)) {
+    switch (cur().Kind) {
+    case TokKind::KwTopology:
+    case TokKind::KwPacketFields:
+    case TokKind::KwPrograms:
+    case TokKind::KwDef:
+    case TokKind::KwQuery:
+    case TokKind::KwScheduler:
+    case TokKind::KwNumSteps:
+    case TokKind::KwQueueCapacity:
+    case TokKind::KwParam:
+    case TokKind::KwInit:
+      return;
+    default:
+      take();
+    }
+  }
+}
+
+/// Skips tokens until just past the next ';' or up to a '}' boundary.
+void Parser::syncToStmt() {
+  while (!cur().is(TokKind::Eof)) {
+    if (accept(TokKind::Semicolon))
+      return;
+    if (check(TokKind::RBrace) || check(TokKind::LBrace))
+      return;
+    take();
+  }
+}
+
+SourceFile Parser::parseFile() {
+  SourceFile File;
+  while (!cur().is(TokKind::Eof))
+    parseDecl(File);
+  return File;
+}
+
+SourceFile Parser::parse(std::string_view Source, DiagEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  return P.parseFile();
+}
+
+ExprPtr Parser::parseQueryExpr(std::string_view Source, DiagEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  ExprPtr E = P.parseExpr();
+  if (!P.cur().is(TokKind::Eof))
+    Diags.error(P.cur().Loc, "trailing input after query expression");
+  return E;
+}
+
+void Parser::parseDecl(SourceFile &File) {
+  switch (cur().Kind) {
+  case TokKind::KwTopology:
+    parseTopology(File);
+    return;
+  case TokKind::KwPacketFields:
+    parsePacketFields(File);
+    return;
+  case TokKind::KwPrograms:
+    parsePrograms(File);
+    return;
+  case TokKind::KwDef:
+    parseDef(File);
+    return;
+  case TokKind::KwQuery:
+    parseQuery(File);
+    return;
+  case TokKind::KwScheduler:
+    parseSchedulerDecl(File);
+    return;
+  case TokKind::KwNumSteps:
+    parseNumSteps(File);
+    return;
+  case TokKind::KwQueueCapacity:
+    parseQueueCapacity(File);
+    return;
+  case TokKind::KwParam:
+    parseParam(File);
+    return;
+  case TokKind::KwInit:
+    parseInit(File);
+    return;
+  default:
+    Diags.error(cur().Loc, std::string("expected a declaration, found ") +
+                               tokKindName(cur().Kind));
+    take();
+    syncToDecl();
+  }
+}
+
+int Parser::parsePort() {
+  if (check(TokKind::Integer)) {
+    Token T = take();
+    return std::atoi(T.Text.c_str());
+  }
+  if (check(TokKind::Identifier)) {
+    Token T = take();
+    if (T.Text.size() > 2 && T.Text.compare(0, 2, "pt") == 0) {
+      bool AllDigits = true;
+      for (size_t I = 2; I < T.Text.size(); ++I)
+        AllDigits &= T.Text[I] >= '0' && T.Text[I] <= '9';
+      if (AllDigits)
+        return std::atoi(T.Text.c_str() + 2);
+    }
+    Diags.error(T.Loc, "expected a port ('ptN' or an integer), found '" +
+                           T.Text + "'");
+    return -1;
+  }
+  Diags.error(cur().Loc, std::string("expected a port, found ") +
+                             tokKindName(cur().Kind));
+  return -1;
+}
+
+void Parser::parseTopology(SourceFile &File) {
+  TopologyDecl Topo;
+  Topo.Loc = cur().Loc;
+  take(); // topology
+  if (File.Topology)
+    Diags.error(Topo.Loc, "duplicate topology declaration");
+  if (!expect(TokKind::LBrace, "after 'topology'"))
+    return syncToDecl();
+
+  if (expect(TokKind::KwNodes, "to open the nodes list") &&
+      expect(TokKind::LBrace, "after 'nodes'")) {
+    do {
+      if (check(TokKind::Identifier))
+        Topo.NodeNames.push_back(take().Text);
+      else {
+        Diags.error(cur().Loc, "expected a node name");
+        break;
+      }
+    } while (accept(TokKind::Comma));
+    expect(TokKind::RBrace, "to close the nodes list");
+  }
+
+  if (expect(TokKind::KwLinks, "to open the links list") &&
+      expect(TokKind::LBrace, "after 'links'")) {
+    if (!check(TokKind::RBrace)) {
+      do {
+        if (check(TokKind::RBrace))
+          break; // allow trailing comma
+        LinkDecl Link;
+        Link.Loc = cur().Loc;
+        if (!expect(TokKind::LParen, "to open a link endpoint"))
+          break;
+        if (check(TokKind::Identifier))
+          Link.NodeA = take().Text;
+        expect(TokKind::Comma, "between node and port");
+        Link.PortA = parsePort();
+        expect(TokKind::RParen, "to close a link endpoint");
+        expect(TokKind::BiArrow, "between link endpoints");
+        if (!expect(TokKind::LParen, "to open a link endpoint"))
+          break;
+        if (check(TokKind::Identifier))
+          Link.NodeB = take().Text;
+        expect(TokKind::Comma, "between node and port");
+        Link.PortB = parsePort();
+        expect(TokKind::RParen, "to close a link endpoint");
+        Topo.Links.push_back(std::move(Link));
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RBrace, "to close the links list");
+  }
+  expect(TokKind::RBrace, "to close the topology block");
+  File.Topology = std::move(Topo);
+}
+
+void Parser::parsePacketFields(SourceFile &File) {
+  take(); // packet_fields
+  if (!expect(TokKind::LBrace, "after 'packet_fields'"))
+    return syncToDecl();
+  do {
+    if (check(TokKind::Identifier))
+      File.PacketFields.push_back(take().Text);
+    else {
+      Diags.error(cur().Loc, "expected a field name");
+      break;
+    }
+  } while (accept(TokKind::Comma));
+  expect(TokKind::RBrace, "to close the packet_fields block");
+}
+
+void Parser::parsePrograms(SourceFile &File) {
+  take(); // programs
+  if (!expect(TokKind::LBrace, "after 'programs'"))
+    return syncToDecl();
+  do {
+    if (check(TokKind::RBrace))
+      break;
+    ProgramAssign PA;
+    PA.Loc = cur().Loc;
+    if (check(TokKind::Identifier))
+      PA.NodeName = take().Text;
+    else {
+      Diags.error(cur().Loc, "expected a node name");
+      break;
+    }
+    expect(TokKind::Arrow, "between node and program name");
+    if (check(TokKind::Identifier))
+      PA.DefName = take().Text;
+    else
+      Diags.error(cur().Loc, "expected a program name");
+    File.Programs.push_back(std::move(PA));
+  } while (accept(TokKind::Comma));
+  expect(TokKind::RBrace, "to close the programs block");
+}
+
+void Parser::parseDef(SourceFile &File) {
+  DefDecl Def;
+  Def.Loc = cur().Loc;
+  take(); // def
+  if (check(TokKind::Identifier))
+    Def.Name = take().Text;
+  else
+    Diags.error(cur().Loc, "expected a program name after 'def'");
+  if (expect(TokKind::LParen, "after the program name")) {
+    if (check(TokKind::Identifier))
+      Def.PktParam = take().Text;
+    else
+      Diags.error(cur().Loc, "expected the packet parameter name");
+    expect(TokKind::Comma, "between parameters");
+    if (check(TokKind::Identifier))
+      Def.PortParam = take().Text;
+    else
+      Diags.error(cur().Loc, "expected the port parameter name");
+    expect(TokKind::RParen, "to close the parameter list");
+  }
+  if (accept(TokKind::KwState)) {
+    do {
+      StateVarDecl SV;
+      SV.Loc = cur().Loc;
+      if (check(TokKind::Identifier))
+        SV.Name = take().Text;
+      else {
+        Diags.error(cur().Loc, "expected a state variable name");
+        break;
+      }
+      if (expect(TokKind::LParen, "after the state variable name")) {
+        SV.Init = parseExpr();
+        expect(TokKind::RParen, "to close the state initializer");
+      }
+      Def.StateVars.push_back(std::move(SV));
+    } while (accept(TokKind::Comma));
+  }
+  Def.Body = parseBlock();
+  File.Defs.push_back(std::move(Def));
+}
+
+void Parser::parseQuery(SourceFile &File) {
+  QueryDecl Q;
+  Q.Loc = cur().Loc;
+  take(); // query
+  if (accept(TokKind::KwProbability))
+    Q.Kind = QueryKind::Probability;
+  else if (accept(TokKind::KwExpectation))
+    Q.Kind = QueryKind::Expectation;
+  else {
+    Diags.error(cur().Loc, "expected 'probability' or 'expectation'");
+    syncToDecl();
+    return;
+  }
+  expect(TokKind::LParen, "after the query kind");
+  Q.Body = parseExpr();
+  if (accept(TokKind::KwGiven))
+    Q.Given = parseExpr();
+  expect(TokKind::RParen, "to close the query");
+  expect(TokKind::Semicolon, "after the query");
+  File.Queries.push_back(std::move(Q));
+}
+
+void Parser::parseSchedulerDecl(SourceFile &File) {
+  SourceLoc Loc = cur().Loc;
+  take(); // scheduler
+  ++File.SchedulerDeclCount;
+  File.SchedulerLoc = Loc;
+  if (check(TokKind::Identifier))
+    File.SchedulerName = take().Text;
+  else {
+    Diags.error(cur().Loc, "expected a scheduler name");
+    syncToDecl();
+    return;
+  }
+  // Optional weight block: "scheduler weighted { H0 -> 2, S0 -> 1 };".
+  if (accept(TokKind::LBrace)) {
+    do {
+      if (check(TokKind::RBrace))
+        break;
+      std::string Node;
+      if (check(TokKind::Identifier))
+        Node = take().Text;
+      else {
+        Diags.error(cur().Loc, "expected a node name in the weight list");
+        break;
+      }
+      expect(TokKind::Arrow, "between node and weight");
+      int64_t Weight = 0;
+      if (check(TokKind::Integer))
+        Weight = std::atoll(take().Text.c_str());
+      else
+        Diags.error(cur().Loc, "expected an integer weight");
+      File.SchedulerWeights.emplace_back(std::move(Node), Weight);
+    } while (accept(TokKind::Comma));
+    expect(TokKind::RBrace, "to close the weight list");
+  }
+  expect(TokKind::Semicolon, "after the scheduler declaration");
+}
+
+void Parser::parseNumSteps(SourceFile &File) {
+  SourceLoc Loc = cur().Loc;
+  take(); // num_steps
+  ++File.NumStepsDeclCount;
+  if (check(TokKind::Integer))
+    File.NumSteps = std::atoll(take().Text.c_str());
+  else
+    Diags.error(Loc, "expected an integer after 'num_steps'");
+  expect(TokKind::Semicolon, "after num_steps");
+}
+
+void Parser::parseQueueCapacity(SourceFile &File) {
+  SourceLoc Loc = cur().Loc;
+  take(); // queue_capacity
+  ++File.QueueCapacityDeclCount;
+  bool Neg = accept(TokKind::Minus);
+  if (check(TokKind::Integer)) {
+    int64_t V = std::atoll(take().Text.c_str());
+    File.QueueCapacity = Neg ? -V : V;
+  } else
+    Diags.error(Loc, "expected an integer after 'queue_capacity'");
+  expect(TokKind::Semicolon, "after queue_capacity");
+}
+
+void Parser::parseParam(SourceFile &File) {
+  ParamDecl P;
+  P.Loc = cur().Loc;
+  take(); // param
+  if (check(TokKind::Identifier))
+    P.Name = take().Text;
+  else
+    Diags.error(cur().Loc, "expected a parameter name after 'param'");
+  if (accept(TokKind::Assign)) {
+    bool Neg = accept(TokKind::Minus);
+    if (check(TokKind::Integer)) {
+      Rational Num;
+      Rational::fromString(take().Text, Num);
+      if (accept(TokKind::Slash)) {
+        if (check(TokKind::Integer)) {
+          Rational Den;
+          Rational::fromString(take().Text, Den);
+          if (Den.isZero())
+            Diags.error(P.Loc, "parameter denominator is zero");
+          else
+            Num = Num / Den;
+        } else
+          Diags.error(cur().Loc, "expected an integer denominator");
+      }
+      P.Value = Neg ? -Num : Num;
+    } else
+      Diags.error(cur().Loc, "expected a numeric parameter value");
+  }
+  expect(TokKind::Semicolon, "after the parameter declaration");
+  File.Params.push_back(std::move(P));
+}
+
+void Parser::parseInit(SourceFile &File) {
+  take(); // init
+  if (!expect(TokKind::LBrace, "after 'init'"))
+    return syncToDecl();
+  do {
+    if (check(TokKind::RBrace))
+      break;
+    InitPacketDecl Init;
+    Init.Loc = cur().Loc;
+    if (check(TokKind::Identifier))
+      Init.NodeName = take().Text;
+    else {
+      Diags.error(cur().Loc, "expected a node name in init block");
+      break;
+    }
+    if (accept(TokKind::LBrace)) {
+      do {
+        std::string Field;
+        if (check(TokKind::Identifier))
+          Field = take().Text;
+        else {
+          Diags.error(cur().Loc, "expected a field name");
+          break;
+        }
+        expect(TokKind::Assign, "after the field name");
+        ExprPtr Value = parseExpr();
+        Init.Fields.emplace_back(std::move(Field), std::move(Value));
+      } while (accept(TokKind::Comma));
+      expect(TokKind::RBrace, "to close the packet fields");
+    }
+    File.Inits.push_back(std::move(Init));
+  } while (accept(TokKind::Comma));
+  expect(TokKind::RBrace, "to close the init block");
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+std::vector<StmtPtr> Parser::parseBlock() {
+  std::vector<StmtPtr> Stmts;
+  if (!expect(TokKind::LBrace, "to open a block"))
+    return Stmts;
+  while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+    if (StmtPtr S = parseStmt())
+      Stmts.push_back(std::move(S));
+    else
+      syncToStmt();
+  }
+  expect(TokKind::RBrace, "to close the block");
+  return Stmts;
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokKind::KwNew:
+    take();
+    if (!expect(TokKind::Semicolon, "after 'new'"))
+      return nullptr;
+    return std::make_unique<SimpleStmt>(StmtKind::New, Loc);
+  case TokKind::KwDrop:
+    take();
+    if (!expect(TokKind::Semicolon, "after 'drop'"))
+      return nullptr;
+    return std::make_unique<SimpleStmt>(StmtKind::Drop, Loc);
+  case TokKind::KwDup:
+    take();
+    if (!expect(TokKind::Semicolon, "after 'dup'"))
+      return nullptr;
+    return std::make_unique<SimpleStmt>(StmtKind::Dup, Loc);
+  case TokKind::KwSkip:
+    take();
+    if (!expect(TokKind::Semicolon, "after 'skip'"))
+      return nullptr;
+    return std::make_unique<SimpleStmt>(StmtKind::Skip, Loc);
+  case TokKind::KwFwd: {
+    take();
+    if (!expect(TokKind::LParen, "after 'fwd'"))
+      return nullptr;
+    ExprPtr Port = parseExpr();
+    expect(TokKind::RParen, "to close 'fwd'");
+    if (!expect(TokKind::Semicolon, "after 'fwd(...)'"))
+      return nullptr;
+    return std::make_unique<FwdStmt>(std::move(Port), Loc);
+  }
+  case TokKind::KwObserve:
+  case TokKind::KwAssert: {
+    StmtKind Kind =
+        cur().is(TokKind::KwObserve) ? StmtKind::Observe : StmtKind::Assert;
+    take();
+    if (!expect(TokKind::LParen, "after the condition keyword"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    expect(TokKind::RParen, "to close the condition");
+    if (!expect(TokKind::Semicolon, "after the condition statement"))
+      return nullptr;
+    return std::make_unique<CondStmt>(Kind, std::move(Cond), Loc);
+  }
+  case TokKind::KwIf: {
+    take();
+    ExprPtr Cond = parseExpr();
+    std::vector<StmtPtr> Then = parseBlock();
+    std::vector<StmtPtr> Else;
+    if (accept(TokKind::KwElse)) {
+      if (check(TokKind::KwIf)) {
+        if (StmtPtr Nested = parseStmt())
+          Else.push_back(std::move(Nested));
+      } else {
+        Else = parseBlock();
+      }
+    }
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else), Loc);
+  }
+  case TokKind::KwWhile: {
+    take();
+    ExprPtr Cond = parseExpr();
+    std::vector<StmtPtr> Body = parseBlock();
+    return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+  }
+  case TokKind::Identifier: {
+    // Either "x = e;" or "pkt.f = e;".
+    std::string Name = take().Text;
+    if (accept(TokKind::Dot)) {
+      std::string Field;
+      if (check(TokKind::Identifier))
+        Field = take().Text;
+      else
+        Diags.error(cur().Loc, "expected a field name after '.'");
+      if (!expect(TokKind::Assign, "in the field assignment"))
+        return nullptr;
+      ExprPtr Value = parseExpr();
+      if (!expect(TokKind::Semicolon, "after the assignment"))
+        return nullptr;
+      return std::make_unique<FieldAssignStmt>(std::move(Name),
+                                               std::move(Field),
+                                               std::move(Value), Loc);
+    }
+    if (!expect(TokKind::Assign, "in the assignment"))
+      return nullptr;
+    ExprPtr Value = parseExpr();
+    if (!expect(TokKind::Semicolon, "after the assignment"))
+      return nullptr;
+    return std::make_unique<AssignStmt>(std::move(Name), std::move(Value),
+                                        Loc);
+  }
+  default:
+    Diags.error(Loc, std::string("expected a statement, found ") +
+                         tokKindName(cur().Kind));
+    take();
+    return nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr Lhs = parseAnd();
+  while (check(TokKind::KwOr)) {
+    SourceLoc Loc = take().Loc;
+    ExprPtr Rhs = parseAnd();
+    Lhs = std::make_unique<BinaryExpr>(BinOpKind::Or, std::move(Lhs),
+                                       std::move(Rhs), Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr Lhs = parseCmp();
+  while (check(TokKind::KwAnd)) {
+    SourceLoc Loc = take().Loc;
+    ExprPtr Rhs = parseCmp();
+    Lhs = std::make_unique<BinaryExpr>(BinOpKind::And, std::move(Lhs),
+                                       std::move(Rhs), Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseCmp() {
+  ExprPtr Lhs = parseAdd();
+  BinOpKind Op;
+  switch (cur().Kind) {
+  case TokKind::EqEq:
+    Op = BinOpKind::Eq;
+    break;
+  case TokKind::NotEq:
+    Op = BinOpKind::Ne;
+    break;
+  case TokKind::Less:
+    Op = BinOpKind::Lt;
+    break;
+  case TokKind::LessEq:
+    Op = BinOpKind::Le;
+    break;
+  case TokKind::Greater:
+    Op = BinOpKind::Gt;
+    break;
+  case TokKind::GreaterEq:
+    Op = BinOpKind::Ge;
+    break;
+  default:
+    return Lhs;
+  }
+  SourceLoc Loc = take().Loc;
+  ExprPtr Rhs = parseAdd();
+  return std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                      Loc);
+}
+
+ExprPtr Parser::parseAdd() {
+  ExprPtr Lhs = parseMul();
+  while (check(TokKind::Plus) || check(TokKind::Minus)) {
+    BinOpKind Op = cur().is(TokKind::Plus) ? BinOpKind::Add : BinOpKind::Sub;
+    SourceLoc Loc = take().Loc;
+    ExprPtr Rhs = parseMul();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseMul() {
+  ExprPtr Lhs = parseUnary();
+  while (check(TokKind::Star) || check(TokKind::Slash)) {
+    BinOpKind Op = cur().is(TokKind::Star) ? BinOpKind::Mul : BinOpKind::Div;
+    SourceLoc Loc = take().Loc;
+    ExprPtr Rhs = parseUnary();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokKind::Minus)) {
+    SourceLoc Loc = take().Loc;
+    ExprPtr Operand = parseUnary();
+    return std::make_unique<UnaryExpr>(UnOpKind::Neg, std::move(Operand),
+                                       Loc);
+  }
+  if (check(TokKind::KwNot)) {
+    SourceLoc Loc = take().Loc;
+    ExprPtr Operand = parseUnary();
+    return std::make_unique<UnaryExpr>(UnOpKind::Not, std::move(Operand),
+                                       Loc);
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokKind::Integer: {
+    Rational Value;
+    Rational::fromString(take().Text, Value);
+    return std::make_unique<NumberExpr>(std::move(Value), Loc);
+  }
+  case TokKind::KwTrue:
+    take();
+    return std::make_unique<NumberExpr>(Rational(1), Loc);
+  case TokKind::KwFalse:
+    take();
+    return std::make_unique<NumberExpr>(Rational(0), Loc);
+  case TokKind::KwFlip: {
+    take();
+    expect(TokKind::LParen, "after 'flip'");
+    ExprPtr Prob = parseExpr();
+    expect(TokKind::RParen, "to close 'flip'");
+    return std::make_unique<FlipExpr>(std::move(Prob), Loc);
+  }
+  case TokKind::KwUniformInt: {
+    take();
+    expect(TokKind::LParen, "after 'uniformInt'");
+    ExprPtr Lo = parseExpr();
+    expect(TokKind::Comma, "between uniformInt bounds");
+    ExprPtr Hi = parseExpr();
+    expect(TokKind::RParen, "to close 'uniformInt'");
+    return std::make_unique<UniformIntExpr>(std::move(Lo), std::move(Hi),
+                                            Loc);
+  }
+  case TokKind::LParen: {
+    take();
+    ExprPtr E = parseExpr();
+    expect(TokKind::RParen, "to close the parenthesized expression");
+    return E;
+  }
+  case TokKind::Identifier: {
+    std::string Name = take().Text;
+    if (accept(TokKind::Dot)) {
+      std::string Field;
+      if (check(TokKind::Identifier))
+        Field = take().Text;
+      else
+        Diags.error(cur().Loc, "expected a field name after '.'");
+      return std::make_unique<FieldReadExpr>(std::move(Name),
+                                             std::move(Field), Loc);
+    }
+    if (accept(TokKind::At)) {
+      std::string NodeName;
+      if (check(TokKind::Identifier))
+        NodeName = take().Text;
+      else if (accept(TokKind::Star))
+        NodeName = "*";
+      else
+        Diags.error(cur().Loc, "expected a node name or '*' after '@'");
+      return std::make_unique<StateRefExpr>(std::move(Name),
+                                            std::move(NodeName), Loc);
+    }
+    return std::make_unique<VarExpr>(std::move(Name), Loc);
+  }
+  default:
+    Diags.error(Loc, std::string("expected an expression, found ") +
+                         tokKindName(cur().Kind));
+    take();
+    return std::make_unique<NumberExpr>(Rational(0), Loc);
+  }
+}

@@ -1,0 +1,90 @@
+//===- lang/Parser.h - Bayonet recursive-descent parser --------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Bayonet language. Errors are reported
+/// through a DiagEngine and the parser synchronizes at statement/declaration
+/// boundaries, so one run reports multiple problems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_LANG_PARSER_H
+#define BAYONET_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Token.h"
+
+#include <vector>
+
+namespace bayonet {
+
+/// Parses a Bayonet source file from a token stream.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  /// Parses the whole file. Check Diags for errors afterwards.
+  SourceFile parseFile();
+
+  /// Convenience: lex and parse \p Source in one call.
+  static SourceFile parse(std::string_view Source, DiagEngine &Diags);
+
+  /// Parses a standalone query expression such as "pkt_cnt@H1 < 3"
+  /// (used by the CLI's --query override).
+  static ExprPtr parseQueryExpr(std::string_view Source, DiagEngine &Diags);
+
+private:
+  std::vector<Token> Tokens;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  Token take();
+  bool check(TokKind Kind) const { return cur().is(Kind); }
+  bool accept(TokKind Kind);
+  /// Consumes the expected token or reports an error. Returns success.
+  bool expect(TokKind Kind, const char *Context);
+  void syncToDecl();
+  void syncToStmt();
+
+  // Declarations.
+  void parseDecl(SourceFile &File);
+  void parseTopology(SourceFile &File);
+  void parsePacketFields(SourceFile &File);
+  void parsePrograms(SourceFile &File);
+  void parseDef(SourceFile &File);
+  void parseQuery(SourceFile &File);
+  void parseSchedulerDecl(SourceFile &File);
+  void parseNumSteps(SourceFile &File);
+  void parseQueueCapacity(SourceFile &File);
+  void parseParam(SourceFile &File);
+  void parseInit(SourceFile &File);
+  /// Parses "ptN" or an integer as a port number. Returns -1 on error.
+  int parsePort();
+
+  // Statements.
+  std::vector<StmtPtr> parseBlock();
+  StmtPtr parseStmt();
+
+  // Expressions (precedence climbing: or < and < cmp < add < mul < unary).
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseCmp();
+  ExprPtr parseAdd();
+  ExprPtr parseMul();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_LANG_PARSER_H

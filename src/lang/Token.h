@@ -1,0 +1,104 @@
+//===- lang/Token.h - Bayonet token definitions ----------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the Bayonet lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_LANG_TOKEN_H
+#define BAYONET_LANG_TOKEN_H
+
+#include "support/Diag.h"
+
+#include <string>
+
+namespace bayonet {
+
+/// Kinds of Bayonet tokens.
+enum class TokKind {
+  // Meta.
+  Eof,
+  Error,
+
+  // Literals and identifiers.
+  Identifier,
+  Integer,
+
+  // Keywords.
+  KwTopology,
+  KwNodes,
+  KwLinks,
+  KwPacketFields,
+  KwPrograms,
+  KwDef,
+  KwState,
+  KwNew,
+  KwDrop,
+  KwDup,
+  KwFwd,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwSkip,
+  KwObserve,
+  KwAssert,
+  KwAnd,
+  KwOr,
+  KwNot,
+  KwFlip,
+  KwUniformInt,
+  KwQuery,
+  KwProbability,
+  KwExpectation,
+  KwScheduler,
+  KwNumSteps,
+  KwQueueCapacity,
+  KwParam,
+  KwInit,
+  KwTrue,
+  KwFalse,
+  KwGiven,
+
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Comma,
+  Semicolon,
+  Assign,   // =
+  EqEq,     // ==
+  NotEq,    // !=
+  Less,     // <
+  LessEq,   // <=
+  Greater,  // >
+  GreaterEq,// >=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Arrow,    // ->
+  BiArrow,  // <->
+  At,       // @
+  Dot,
+};
+
+/// Returns a human-readable name for diagnostics ("'<->'", "identifier").
+const char *tokKindName(TokKind Kind);
+
+/// A lexed token: kind, source text, and location.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  SourceLoc Loc;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_LANG_TOKEN_H

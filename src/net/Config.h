@@ -1,0 +1,164 @@
+//===- net/Config.h - Packets, queues, and configurations ------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime state of a Bayonet network: packets, bounded packet queues,
+/// per-node configurations ⟨σ, Q_IN, Q_OUT⟩ and the global configuration
+/// (σ_s, C_1, ..., C_k) of the paper's Section 3.2. Configurations are
+/// value types with structural equality and hashing so the exact engine can
+/// merge identical configurations (the aggregate trace semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_NET_CONFIG_H
+#define BAYONET_NET_CONFIG_H
+
+#include "net/Value.h"
+
+#include <vector>
+
+namespace bayonet {
+
+/// A packet: one value per declared packet field.
+struct Packet {
+  std::vector<Value> Fields;
+
+  friend bool operator==(const Packet &A, const Packet &B) {
+    return A.Fields == B.Fields;
+  }
+  size_t hash() const {
+    size_t H = 0xa17c9db3;
+    for (const Value &V : Fields)
+      H = hashCombine(H, V.hash());
+    return H;
+  }
+};
+
+/// A queue entry: a packet together with the port it arrived on (input
+/// queues) or is leaving from (output queues).
+struct QueueEntry {
+  Packet Pkt;
+  int Port = 0;
+
+  friend bool operator==(const QueueEntry &A, const QueueEntry &B) {
+    return A.Port == B.Port && A.Pkt == B.Pkt;
+  }
+  size_t hash() const {
+    return hashCombine(Pkt.hash(), static_cast<size_t>(Port));
+  }
+};
+
+/// A bounded FIFO packet queue. Enqueueing onto a full queue silently
+/// leaves the queue unchanged (the paper's enqueue operation; this is where
+/// congestion losses happen).
+class PacketQueue {
+public:
+  PacketQueue() = default;
+  explicit PacketQueue(int64_t Capacity) : Capacity(Capacity) {}
+
+  int64_t capacity() const { return Capacity; }
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+  bool full() const { return static_cast<int64_t>(Entries.size()) >= Capacity; }
+
+  /// Enqueues at the back; a no-op when the queue is full. Returns whether
+  /// the entry was accepted.
+  bool pushBack(QueueEntry Entry) {
+    if (full())
+      return false;
+    Entries.push_back(std::move(Entry));
+    return true;
+  }
+
+  /// Enqueues at the front (used by `new` and `dup`, which place packets at
+  /// the head of the node's input queue per rules L-New/L-Dup); a no-op
+  /// when the queue is full.
+  bool pushFront(QueueEntry Entry) {
+    if (full())
+      return false;
+    Entries.insert(Entries.begin(), std::move(Entry));
+    return true;
+  }
+
+  /// \pre !empty()
+  const QueueEntry &front() const { return Entries.front(); }
+  QueueEntry &front() { return Entries.front(); }
+
+  /// Removes and returns the head entry. \pre !empty()
+  QueueEntry takeFront() {
+    QueueEntry E = std::move(Entries.front());
+    Entries.erase(Entries.begin());
+    return E;
+  }
+
+  const std::vector<QueueEntry> &entries() const { return Entries; }
+
+  friend bool operator==(const PacketQueue &A, const PacketQueue &B) {
+    return A.Capacity == B.Capacity && A.Entries == B.Entries;
+  }
+  size_t hash() const {
+    size_t H = static_cast<size_t>(Capacity) * 1000003;
+    for (const QueueEntry &E : Entries)
+      H = hashCombine(H, E.hash());
+    return H;
+  }
+
+private:
+  std::vector<QueueEntry> Entries;
+  int64_t Capacity = 0;
+};
+
+/// Per-node configuration ⟨σ, Q_IN, Q_OUT⟩. (The statement component of the
+/// paper's configuration is implicit: node programs always run to completion
+/// within one Run action, mirroring the generated run() method of Figure 9.)
+struct NodeConfig {
+  std::vector<Value> State;
+  PacketQueue QIn;
+  PacketQueue QOut;
+
+  friend bool operator==(const NodeConfig &A, const NodeConfig &B) {
+    return A.State == B.State && A.QIn == B.QIn && A.QOut == B.QOut;
+  }
+  size_t hash() const {
+    size_t H = 0x5bd1e995;
+    for (const Value &V : State)
+      H = hashCombine(H, V.hash());
+    H = hashCombine(H, QIn.hash());
+    H = hashCombine(H, QOut.hash());
+    return H;
+  }
+};
+
+/// Global network configuration (σ_s, C_1, ..., C_k), plus the error flag
+/// for the ⊥ state reached by failed assertions.
+struct NetConfig {
+  std::vector<NodeConfig> Nodes;
+  /// Scheduler state σ_s (used by the round-robin scheduler's rotor).
+  int64_t SchedState = 0;
+  /// Set when some node failed an assertion (the ⊥ state).
+  bool Error = false;
+
+  friend bool operator==(const NetConfig &A, const NetConfig &B) {
+    return A.Error == B.Error && A.SchedState == B.SchedState &&
+           A.Nodes == B.Nodes;
+  }
+  size_t hash() const {
+    size_t H = Error ? 0x2545f491 : 0x9e3779b9;
+    H = hashCombine(H, static_cast<size_t>(SchedState));
+    for (const NodeConfig &N : Nodes)
+      H = hashCombine(H, N.hash());
+    return H;
+  }
+};
+
+/// Hash functor for unordered containers keyed by NetConfig.
+struct NetConfigHash {
+  size_t operator()(const NetConfig &C) const { return C.hash(); }
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_NET_CONFIG_H

@@ -1,0 +1,97 @@
+//===- net/NetworkSpec.h - Checked network description ---------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fully resolved description of a Bayonet network, produced by the
+/// Checker and consumed by every inference engine: topology, per-node
+/// programs, queue capacity, scheduler, symbolic parameters, initial
+/// packets, the query, and the step bound. The referenced AST (DefDecl,
+/// QueryDecl) is owned by the SourceFile, which must outlive the spec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_NET_NETWORKSPEC_H
+#define BAYONET_NET_NETWORKSPEC_H
+
+#include "lang/Ast.h"
+#include "net/Topology.h"
+#include "symbolic/LinExpr.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bayonet {
+
+/// Built-in probabilistic schedulers. The paper's evaluation uses a uniform
+/// scheduler (Figure 6) and a deterministic scheduler; the deterministic
+/// scheduler of Section 5.1 "considers only runs in which congestion
+/// occurs", which our greedy fixed-priority scheduler reproduces. A fair
+/// round-robin rotor and a node-weighted scheduler (the paper's hook for
+/// modeling equipment speed and link delays) are also provided.
+enum class SchedulerKind { Uniform, RoundRobin, Deterministic, Weighted };
+
+/// One packet placed in a node's input queue at network start. Port 0, all
+/// fields default to 0 except the listed overrides.
+struct InitPacketSpec {
+  unsigned Node = 0;
+  std::vector<Rational> Fields;
+};
+
+/// A checked, resolved Bayonet network.
+struct NetworkSpec {
+  Topology Topo;
+  std::vector<std::string> NodeNames;
+  std::vector<std::string> PacketFields;
+  /// Program per node (pointer into the owning SourceFile's defs).
+  std::vector<const DefDecl *> NodePrograms;
+
+  /// Node weights for the weighted scheduler (empty otherwise). A node
+  /// with weight w is scheduled proportionally more often, modeling
+  /// faster equipment (paper Section 2.1's scheduler discussion).
+  std::vector<int64_t> NodeWeights;
+
+  int64_t QueueCapacity = 2;
+  /// Bound on global steps; live mass at the bound becomes error mass
+  /// (the paper's assert(terminated()) in the generated main()).
+  int64_t NumSteps = 0;
+  SchedulerKind Sched = SchedulerKind::Uniform;
+
+  /// Symbolic parameters and their optional concrete bindings.
+  ParamTable Params;
+  std::vector<std::optional<Rational>> ParamValues;
+
+  const QueryDecl *Query = nullptr;
+  std::vector<InitPacketSpec> Inits;
+
+  /// Index of a node by name; npos when absent.
+  std::optional<unsigned> nodeIdOf(const std::string &Name) const {
+    for (unsigned I = 0; I < NodeNames.size(); ++I)
+      if (NodeNames[I] == Name)
+        return I;
+    return std::nullopt;
+  }
+
+  /// The value of parameter \p Index: its concrete binding if given,
+  /// otherwise the symbolic parameter itself.
+  LinExpr paramValue(unsigned Index) const {
+    if (Index < ParamValues.size() && ParamValues[Index])
+      return LinExpr(*ParamValues[Index]);
+    return LinExpr::param(Index);
+  }
+
+  /// True if some parameter is left symbolic (enables synthesis mode).
+  bool hasFreeParams() const {
+    for (const auto &V : ParamValues)
+      if (!V)
+        return true;
+    return false;
+  }
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_NET_NETWORKSPEC_H

@@ -1,0 +1,110 @@
+//===- net/Scheduler.cpp - Probabilistic schedulers -----------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Scheduler.h"
+#include "net/NetworkSpec.h"
+
+#include <cassert>
+
+using namespace bayonet;
+
+Scheduler::~Scheduler() = default;
+
+std::unique_ptr<Scheduler> Scheduler::create(SchedulerKind Kind) {
+  switch (Kind) {
+  case SchedulerKind::Uniform:
+    return std::make_unique<UniformScheduler>();
+  case SchedulerKind::RoundRobin:
+    return std::make_unique<RoundRobinScheduler>();
+  case SchedulerKind::Deterministic:
+    return std::make_unique<DeterministicScheduler>();
+  case SchedulerKind::Weighted:
+    assert(false && "weighted scheduler needs a spec; use forSpec");
+    return nullptr;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Scheduler> Scheduler::forSpec(const NetworkSpec &Spec) {
+  if (Spec.Sched == SchedulerKind::Weighted)
+    return std::make_unique<WeightedScheduler>(Spec.NodeWeights);
+  return create(Spec.Sched);
+}
+
+std::vector<Action> bayonet::enabledActions(const NetConfig &C) {
+  std::vector<Action> Actions;
+  for (unsigned I = 0; I < C.Nodes.size(); ++I) {
+    if (!C.Nodes[I].QIn.empty())
+      Actions.push_back({Action::Kind::Run, I});
+    if (!C.Nodes[I].QOut.empty())
+      Actions.push_back({Action::Kind::Fwd, I});
+  }
+  return Actions;
+}
+
+std::vector<SchedChoice> UniformScheduler::choices(const NetConfig &C) const {
+  std::vector<Action> Actions = enabledActions(C);
+  std::vector<SchedChoice> Out;
+  if (Actions.empty())
+    return Out;
+  Rational P(BigInt(1), BigInt(static_cast<int64_t>(Actions.size())));
+  Out.reserve(Actions.size());
+  for (const Action &A : Actions)
+    Out.push_back({A, P, /*NextSchedState=*/0});
+  return Out;
+}
+
+std::vector<SchedChoice>
+RoundRobinScheduler::choices(const NetConfig &C) const {
+  // Slot i encodes: node i/2, Run if i is even, Fwd if odd.
+  int64_t NumSlots = static_cast<int64_t>(C.Nodes.size()) * 2;
+  std::vector<SchedChoice> Out;
+  if (NumSlots == 0)
+    return Out;
+  int64_t Start = C.SchedState % NumSlots;
+  for (int64_t Off = 0; Off < NumSlots; ++Off) {
+    int64_t Slot = (Start + Off) % NumSlots;
+    unsigned Node = static_cast<unsigned>(Slot / 2);
+    bool IsRun = Slot % 2 == 0;
+    const NodeConfig &NC = C.Nodes[Node];
+    bool Enabled = IsRun ? !NC.QIn.empty() : !NC.QOut.empty();
+    if (!Enabled)
+      continue;
+    Action A{IsRun ? Action::Kind::Run : Action::Kind::Fwd, Node};
+    Out.push_back({A, Rational(1), (Slot + 1) % NumSlots});
+    return Out;
+  }
+  return Out; // No enabled action: terminal.
+}
+
+std::vector<SchedChoice>
+WeightedScheduler::choices(const NetConfig &C) const {
+  std::vector<Action> Actions = enabledActions(C);
+  std::vector<SchedChoice> Out;
+  if (Actions.empty())
+    return Out;
+  int64_t Total = 0;
+  for (const Action &A : Actions) {
+    assert(A.Node < Weights.size() && "missing node weight");
+    Total += Weights[A.Node];
+  }
+  Out.reserve(Actions.size());
+  for (const Action &A : Actions)
+    Out.push_back({A, Rational(BigInt(Weights[A.Node]), BigInt(Total)),
+                   /*NextSchedState=*/0});
+  return Out;
+}
+
+std::vector<SchedChoice>
+DeterministicScheduler::choices(const NetConfig &C) const {
+  std::vector<SchedChoice> Out;
+  std::vector<Action> Actions = enabledActions(C);
+  if (Actions.empty())
+    return Out;
+  // enabledActions already enumerates in slot order; take the first.
+  Out.push_back({Actions.front(), Rational(1), /*NextSchedState=*/0});
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- net/Topology.cpp - Network topology --------------------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Topology.h"
+
+using namespace bayonet;
+
+bool Topology::addLink(Interface A, Interface B) {
+  if (PeerMap.count(key(A.Node, A.Port)) || PeerMap.count(key(B.Node, B.Port)))
+    return false;
+  PeerMap[key(A.Node, A.Port)] = B;
+  PeerMap[key(B.Node, B.Port)] = A;
+  Links.emplace_back(A, B);
+  return true;
+}
+
+std::optional<Interface> Topology::peer(unsigned Node, int Port) const {
+  auto It = PeerMap.find(key(Node, Port));
+  if (It == PeerMap.end())
+    return std::nullopt;
+  return It->second;
+}
+
+bool Topology::isLinked(unsigned Node) const {
+  for (const auto &[A, B] : Links)
+    if (A.Node == Node || B.Node == Node)
+      return true;
+  return false;
+}

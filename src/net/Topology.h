@@ -1,0 +1,72 @@
+//===- net/Topology.h - Network topology -----------------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Network topology: nodes identified by dense ids, interfaces (node, port)
+/// and bidirectional links (paper Section 3.1). Each interface belongs to at
+/// most one link.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_NET_TOPOLOGY_H
+#define BAYONET_NET_TOPOLOGY_H
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bayonet {
+
+/// One endpoint of a link.
+struct Interface {
+  unsigned Node = 0;
+  int Port = 0;
+
+  friend bool operator==(const Interface &A, const Interface &B) {
+    return A.Node == B.Node && A.Port == B.Port;
+  }
+};
+
+/// The network graph: a set of nodes and point-to-point links between
+/// (node, port) interfaces.
+class Topology {
+public:
+  Topology() = default;
+  explicit Topology(unsigned NumNodes) : NumNodes(NumNodes) {}
+
+  unsigned numNodes() const { return NumNodes; }
+  void setNumNodes(unsigned N) { NumNodes = N; }
+
+  /// Connects two interfaces. Returns false if either interface is already
+  /// part of a link (each interface may appear in at most one link).
+  bool addLink(Interface A, Interface B);
+
+  /// The interface on the other side of (Node, Port), if linked.
+  std::optional<Interface> peer(unsigned Node, int Port) const;
+
+  /// True if the node is an endpoint of at least one link.
+  bool isLinked(unsigned Node) const;
+
+  unsigned numLinks() const { return Links.size(); }
+  const std::vector<std::pair<Interface, Interface>> &links() const {
+    return Links;
+  }
+
+private:
+  unsigned NumNodes = 0;
+  std::vector<std::pair<Interface, Interface>> Links;
+  // Key: Node * 65536 + Port (ports are small positive integers).
+  std::unordered_map<uint64_t, Interface> PeerMap;
+
+  static uint64_t key(unsigned Node, int Port) {
+    return static_cast<uint64_t>(Node) << 16 | static_cast<uint16_t>(Port);
+  }
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_NET_TOPOLOGY_H

@@ -1,0 +1,81 @@
+//===- net/Value.h - Runtime values ----------------------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values of Bayonet programs. The paper's value domain is Vals = Q;
+/// when the operator leaves configuration parameters symbolic (Section 2.3)
+/// values may also be linear expressions over those parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_NET_VALUE_H
+#define BAYONET_NET_VALUE_H
+
+#include "symbolic/LinExpr.h"
+
+#include <variant>
+
+namespace bayonet {
+
+/// A runtime value: an exact rational, or a linear expression over symbolic
+/// parameters. Concrete values are always stored in the Rational alternative
+/// (a constant LinExpr is normalized away), so equality is structural.
+class Value {
+public:
+  /// Constructs the value 0.
+  Value() = default;
+  Value(Rational R) : Repr(std::move(R)) {}
+  Value(int64_t V) : Repr(Rational(V)) {}
+  /// Normalizes constant expressions into the rational alternative.
+  Value(LinExpr E) {
+    if (E.isConstant())
+      Repr = E.constant();
+    else
+      Repr = std::move(E);
+  }
+
+  bool isConcrete() const { return std::holds_alternative<Rational>(Repr); }
+  bool isSymbolic() const { return !isConcrete(); }
+
+  /// \pre isConcrete()
+  const Rational &concrete() const { return std::get<Rational>(Repr); }
+
+  /// The value as a linear expression (works for both alternatives).
+  LinExpr toLinExpr() const {
+    if (isConcrete())
+      return LinExpr(concrete());
+    return std::get<LinExpr>(Repr);
+  }
+
+  friend bool operator==(const Value &A, const Value &B) {
+    return A.Repr == B.Repr;
+  }
+  friend bool operator!=(const Value &A, const Value &B) { return !(A == B); }
+
+  size_t hash() const {
+    if (isConcrete())
+      return concrete().hash();
+    return std::get<LinExpr>(Repr).hash() * 2 + 1;
+  }
+
+  std::string toString(const ParamTable &Params) const {
+    if (isConcrete())
+      return concrete().toString();
+    return std::get<LinExpr>(Repr).toString(Params);
+  }
+
+private:
+  std::variant<Rational, LinExpr> Repr;
+};
+
+/// Combines hashes (boost::hash_combine style).
+inline size_t hashCombine(size_t Seed, size_t H) {
+  return Seed ^ (H + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+} // namespace bayonet
+
+#endif // BAYONET_NET_VALUE_H

@@ -1,0 +1,711 @@
+//===- psi/PsiExact.cpp - Exact inference on the PSI IR --------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "psi/PsiExact.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace bayonet;
+
+namespace {
+
+using Env = std::vector<PsiValue>;
+
+struct EnvHash {
+  size_t operator()(const Env &E) const {
+    size_t H = 0x811c9dc5;
+    for (const PsiValue &V : E)
+      H = H * 0x100000001b3ULL ^ V.hash();
+    return H;
+  }
+};
+
+/// One weighted environment.
+struct Branch {
+  Env Vars;
+  SymProb W;
+};
+
+using Dist = std::vector<Branch>;
+
+/// One outcome of evaluating an expression on a fixed environment.
+struct Outcome {
+  PsiValue V;
+  Rational Prob = Rational(1);
+  std::vector<Constraint> Guards;
+  bool Failed = false;
+  std::string FailReason;
+
+  static Outcome fail(std::string Reason) {
+    Outcome O;
+    O.Failed = true;
+    O.FailReason = std::move(Reason);
+    return O;
+  }
+};
+
+SymProb applyGuards(SymProb W, const std::vector<Constraint> &Guards) {
+  for (const Constraint &G : Guards) {
+    W = W.restricted(G);
+    if (W.isZero())
+      break;
+  }
+  return W;
+}
+
+/// The exact interpreter over distributions.
+class Interp {
+public:
+  Interp(const PsiProgram &P, const PsiExactOptions &Opts,
+         PsiExactResult &Result)
+      : P(P), Opts(Opts), Result(Result) {}
+
+  void run() {
+    Dist D;
+    Env Init(P.VarNames.size(), PsiValue());
+    D.push_back({std::move(Init), SymProb::concrete(Rational(1))});
+    execBlock(P.Body, D);
+    finish(D);
+  }
+
+private:
+  const PsiProgram &P;
+  const PsiExactOptions &Opts;
+  PsiExactResult &Result;
+  bool Aborted = false;
+
+  void fail(Branch &B, const std::string &Reason) {
+    (void)Reason;
+    Result.ErrorMass += B.W;
+  }
+
+  void mergeDist(Dist &D) {
+    if (!Opts.MergeEnvs || D.size() < 2)
+      return;
+    Dist Merged;
+    std::unordered_map<Env, size_t, EnvHash> Index;
+    for (Branch &B : D) {
+      auto [It, Inserted] = Index.try_emplace(B.Vars, Merged.size());
+      if (Inserted)
+        Merged.push_back(std::move(B));
+      else
+        Merged[It->second].W += B.W;
+    }
+    D = std::move(Merged);
+  }
+
+  void execBlock(const std::vector<PStmtPtr> &Body, Dist &D) {
+    for (const PStmtPtr &S : Body) {
+      if (Aborted || D.empty())
+        return;
+      execStmt(*S, D);
+    }
+  }
+
+  void execStmt(const PStmt &S, Dist &D) {
+    Result.MaxDistSize = std::max(Result.MaxDistSize, D.size());
+    if (D.size() > Opts.MaxDist) {
+      Result.QueryUnsupported = true;
+      Result.UnsupportedReason = "distribution size limit exceeded";
+      Aborted = true;
+      return;
+    }
+    switch (S.Kind) {
+    case PStmtKind::Assign: {
+      Dist Next;
+      for (Branch &B : D) {
+        ++Result.BranchesExpanded;
+        for (Outcome &O : eval(*S.E, B.Vars)) {
+          SymProb W = applyGuards(B.W.scaled(O.Prob), O.Guards);
+          if (W.isZero())
+            continue;
+          Branch NB{B.Vars, std::move(W)};
+          if (O.Failed) {
+            fail(NB, O.FailReason);
+            continue;
+          }
+          NB.Vars[S.Var] = std::move(O.V);
+          Next.push_back(std::move(NB));
+        }
+      }
+      D = std::move(Next);
+      return;
+    }
+    case PStmtKind::PushBack:
+    case PStmtKind::PushFront: {
+      Dist Next;
+      for (Branch &B : D) {
+        ++Result.BranchesExpanded;
+        for (Outcome &O : eval(*S.E, B.Vars)) {
+          SymProb W = applyGuards(B.W.scaled(O.Prob), O.Guards);
+          if (W.isZero())
+            continue;
+          Branch NB{B.Vars, std::move(W)};
+          if (O.Failed) {
+            fail(NB, O.FailReason);
+            continue;
+          }
+          if (!NB.Vars[S.Var].isTuple()) {
+            fail(NB, "push on a non-queue value");
+            continue;
+          }
+          auto &Elems = NB.Vars[S.Var].elems();
+          if (S.Capacity < 0 ||
+              static_cast<int64_t>(Elems.size()) < S.Capacity) {
+            if (S.Kind == PStmtKind::PushBack)
+              Elems.push_back(std::move(O.V));
+            else
+              Elems.insert(Elems.begin(), std::move(O.V));
+          }
+          Next.push_back(std::move(NB));
+        }
+      }
+      D = std::move(Next);
+      return;
+    }
+    case PStmtKind::PopFront: {
+      Dist Next;
+      for (Branch &B : D) {
+        ++Result.BranchesExpanded;
+        if (!B.Vars[S.Var].isTuple() || B.Vars[S.Var].elems().empty()) {
+          fail(B, "takeFront on an empty queue");
+          continue;
+        }
+        auto &Elems = B.Vars[S.Var].elems();
+        B.Vars[S.Var2] = Elems.front();
+        Elems.erase(Elems.begin());
+        Next.push_back(std::move(B));
+      }
+      D = std::move(Next);
+      return;
+    }
+    case PStmtKind::Observe:
+    case PStmtKind::Assert: {
+      Dist Next;
+      bool IsObserve = S.Kind == PStmtKind::Observe;
+      splitCond(*S.E, D,
+                [&](Branch B, bool Truth) {
+                  if (Truth) {
+                    Next.push_back(std::move(B));
+                    return;
+                  }
+                  if (!IsObserve)
+                    fail(B, "assertion failed");
+                  // Observe failure: mass silently discarded.
+                });
+      D = std::move(Next);
+      return;
+    }
+    case PStmtKind::If: {
+      Dist ThenD, ElseD;
+      splitCond(*S.E, D, [&](Branch B, bool Truth) {
+        (Truth ? ThenD : ElseD).push_back(std::move(B));
+      });
+      execBlock(S.Then, ThenD);
+      execBlock(S.Else, ElseD);
+      D = std::move(ThenD);
+      for (Branch &B : ElseD)
+        D.push_back(std::move(B));
+      mergeDist(D);
+      return;
+    }
+    case PStmtKind::While: {
+      Dist Live = std::move(D);
+      D.clear();
+      for (int64_t Iter = 0; Iter < Opts.WhileFuel && !Live.empty();
+           ++Iter) {
+        if (Aborted)
+          return;
+        Dist Continue;
+        splitCond(*S.E, Live, [&](Branch B, bool Truth) {
+          if (Truth)
+            Continue.push_back(std::move(B));
+          else
+            D.push_back(std::move(B));
+        });
+        execBlock(S.Then, Continue);
+        mergeDist(Continue);
+        Live = std::move(Continue);
+      }
+      for (Branch &B : Live)
+        fail(B, "while loop exceeded the fuel bound");
+      mergeDist(D);
+      return;
+    }
+    case PStmtKind::Repeat: {
+      for (int64_t Iter = 0; Iter < S.Count && !D.empty(); ++Iter) {
+        if (Aborted)
+          return;
+        execBlock(S.Then, D);
+        mergeDist(D);
+      }
+      return;
+    }
+    }
+  }
+
+  /// Evaluates a condition across a distribution, calling \p Sink with each
+  /// resulting (branch, truth) pair. Symbolic scalar conditions split on
+  /// [E != 0] / [E == 0]; failures go to error mass.
+  template <typename Fn>
+  void splitCond(const PExpr &Cond, Dist &D, Fn Sink) {
+    for (Branch &B : D) {
+      ++Result.BranchesExpanded;
+      for (Outcome &O : eval(Cond, B.Vars)) {
+        SymProb W = applyGuards(B.W.scaled(O.Prob), O.Guards);
+        if (W.isZero())
+          continue;
+        Branch NB{B.Vars, std::move(W)};
+        if (O.Failed) {
+          fail(NB, O.FailReason);
+          continue;
+        }
+        if (!O.V.isScalar()) {
+          fail(NB, "tuple used as a condition");
+          continue;
+        }
+        if (O.V.isRational()) {
+          Sink(std::move(NB), !O.V.rational().isZero());
+          continue;
+        }
+        LinExpr E = O.V.toLinExpr();
+        Branch TrueB = NB;
+        TrueB.W = TrueB.W.restricted(Constraint(E, RelKind::NE));
+        if (!TrueB.W.isZero())
+          Sink(std::move(TrueB), true);
+        NB.W = NB.W.restricted(Constraint(E, RelKind::EQ));
+        if (!NB.W.isZero())
+          Sink(std::move(NB), false);
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression evaluation
+  //===--------------------------------------------------------------------===//
+
+  std::vector<Outcome> single(PsiValue V) {
+    Outcome O;
+    O.V = std::move(V);
+    return {O};
+  }
+
+  std::vector<Outcome> eval(const PExpr &E, const Env &Vars) {
+    switch (E.Kind) {
+    case PExprKind::Const:
+      return single(PsiValue(E.ConstVal));
+    case PExprKind::Param:
+      return single(PsiValue(P.paramValue(E.Index)));
+    case PExprKind::Var:
+      return single(Vars[E.Index]);
+    case PExprKind::UnOp: {
+      std::vector<Outcome> Out;
+      for (Outcome &O : eval(*E.Ops[0], Vars)) {
+        if (O.Failed || !O.V.isScalar()) {
+          Out.push_back(O.Failed ? std::move(O)
+                                 : Outcome::fail("unary op on a tuple"));
+          continue;
+        }
+        if (E.UnOp == UnOpKind::Neg) {
+          O.V = PsiValue(O.V.toLinExpr().scaled(Rational(-1)));
+          Out.push_back(std::move(O));
+          continue;
+        }
+        // Logical not with symbolic split.
+        if (O.V.isRational()) {
+          O.V = PsiValue(Rational(O.V.rational().isZero() ? 1 : 0));
+          Out.push_back(std::move(O));
+          continue;
+        }
+        LinExpr L = O.V.toLinExpr();
+        Outcome True = O;
+        True.V = PsiValue(Rational(0));
+        True.Guards.push_back(Constraint(L, RelKind::NE));
+        Out.push_back(std::move(True));
+        O.V = PsiValue(Rational(1));
+        O.Guards.push_back(Constraint(L, RelKind::EQ));
+        Out.push_back(std::move(O));
+      }
+      return Out;
+    }
+    case PExprKind::BinOp:
+      return evalBin(E, Vars);
+    case PExprKind::Flip: {
+      std::vector<Outcome> Out;
+      for (Outcome &PR : eval(*E.Ops[0], Vars)) {
+        if (PR.Failed) {
+          Out.push_back(std::move(PR));
+          continue;
+        }
+        if (!PR.V.isRational()) {
+          Out.push_back(Outcome::fail("flip probability must be concrete"));
+          continue;
+        }
+        Rational Prob = PR.V.rational();
+        if (Prob.isNegative() || Prob > Rational(1)) {
+          Out.push_back(Outcome::fail("flip probability out of [0,1]"));
+          continue;
+        }
+        if (!Prob.isZero()) {
+          Outcome True = PR;
+          True.V = PsiValue(Rational(1));
+          True.Prob = PR.Prob * Prob;
+          Out.push_back(std::move(True));
+        }
+        if (Prob != Rational(1)) {
+          Outcome False = std::move(PR);
+          False.Prob = False.Prob * (Rational(1) - Prob);
+          False.V = PsiValue(Rational(0));
+          Out.push_back(std::move(False));
+        }
+      }
+      return Out;
+    }
+    case PExprKind::UniformInt: {
+      std::vector<Outcome> Out;
+      for (Outcome &Lo : eval(*E.Ops[0], Vars))
+        for (Outcome &Hi : eval(*E.Ops[1], Vars)) {
+          if (Lo.Failed || Hi.Failed) {
+            Out.push_back(Lo.Failed ? Lo : Hi);
+            continue;
+          }
+          if (!Lo.V.isRational() || !Hi.V.isRational() ||
+              !Lo.V.rational().isInteger() || !Hi.V.rational().isInteger() ||
+              !Lo.V.rational().num().isSmall() ||
+              !Hi.V.rational().num().isSmall()) {
+            Out.push_back(
+                Outcome::fail("uniformInt bounds must be concrete integers"));
+            continue;
+          }
+          int64_t L = Lo.V.rational().num().getSmall();
+          int64_t H = Hi.V.rational().num().getSmall();
+          if (L > H) {
+            Out.push_back(Outcome::fail("uniformInt range is empty"));
+            continue;
+          }
+          Rational Prob(BigInt(1), BigInt(H - L + 1));
+          for (int64_t I = L; I <= H; ++I) {
+            Outcome O;
+            O.V = PsiValue(Rational(I));
+            O.Prob = Lo.Prob * Hi.Prob * Prob;
+            O.Guards = Lo.Guards;
+            for (const Constraint &G : Hi.Guards)
+              O.Guards.push_back(G);
+            Out.push_back(std::move(O));
+          }
+        }
+      return Out;
+    }
+    case PExprKind::Len: {
+      std::vector<Outcome> Out;
+      for (Outcome &O : eval(*E.Ops[0], Vars)) {
+        if (O.Failed) {
+          Out.push_back(std::move(O));
+          continue;
+        }
+        if (!O.V.isTuple()) {
+          Out.push_back(Outcome::fail("length of a non-tuple"));
+          continue;
+        }
+        O.V = PsiValue(Rational(static_cast<int64_t>(O.V.elems().size())));
+        Out.push_back(std::move(O));
+      }
+      return Out;
+    }
+    case PExprKind::Index: {
+      std::vector<Outcome> Out;
+      for (Outcome &T : eval(*E.Ops[0], Vars))
+        for (Outcome &I : eval(*E.Ops[1], Vars)) {
+          if (T.Failed || I.Failed) {
+            Out.push_back(T.Failed ? T : I);
+            continue;
+          }
+          if (!T.V.isTuple() || !I.V.isRational() ||
+              !I.V.rational().isInteger() ||
+              !I.V.rational().num().isSmall()) {
+            Out.push_back(Outcome::fail("bad tuple indexing"));
+            continue;
+          }
+          int64_t Idx = I.V.rational().num().getSmall();
+          if (Idx < 0 || Idx >= static_cast<int64_t>(T.V.elems().size())) {
+            Out.push_back(Outcome::fail("tuple index out of range"));
+            continue;
+          }
+          Outcome O;
+          O.V = T.V.elems()[Idx];
+          O.Prob = T.Prob * I.Prob;
+          O.Guards = T.Guards;
+          for (const Constraint &G : I.Guards)
+            O.Guards.push_back(G);
+          Out.push_back(std::move(O));
+        }
+      return Out;
+    }
+    case PExprKind::Tuple: {
+      std::vector<Outcome> Out;
+      Outcome Base;
+      Base.V = PsiValue::tuple({});
+      Out.push_back(std::move(Base));
+      for (const PExprPtr &Op : E.Ops) {
+        std::vector<Outcome> Next;
+        for (Outcome &Prefix : Out) {
+          if (Prefix.Failed) {
+            Next.push_back(std::move(Prefix));
+            continue;
+          }
+          for (Outcome &Elem : eval(*Op, Vars)) {
+            Outcome O;
+            O.Prob = Prefix.Prob * Elem.Prob;
+            O.Guards = Prefix.Guards;
+            for (const Constraint &G : Elem.Guards)
+              O.Guards.push_back(G);
+            if (Elem.Failed) {
+              O.Failed = true;
+              O.FailReason = Elem.FailReason;
+              Next.push_back(std::move(O));
+              continue;
+            }
+            O.V = Prefix.V;
+            O.V.elems().push_back(Elem.V);
+            Next.push_back(std::move(O));
+          }
+        }
+        Out = std::move(Next);
+      }
+      return Out;
+    }
+    case PExprKind::TupleGet: {
+      std::vector<Outcome> Out;
+      for (Outcome &T : eval(*E.Ops[0], Vars)) {
+        if (T.Failed) {
+          Out.push_back(std::move(T));
+          continue;
+        }
+        if (!T.V.isTuple() || E.Index >= T.V.elems().size()) {
+          Out.push_back(Outcome::fail("tuple projection out of range"));
+          continue;
+        }
+        T.V = T.V.elems()[E.Index];
+        Out.push_back(std::move(T));
+      }
+      return Out;
+    }
+    }
+    return {Outcome::fail("unknown expression")};
+  }
+
+  std::vector<Outcome> evalBin(const PExpr &E, const Env &Vars) {
+    BinOpKind Op = E.BinOp;
+    // Short-circuit boolean operators.
+    if (Op == BinOpKind::And || Op == BinOpKind::Or) {
+      bool IsAnd = Op == BinOpKind::And;
+      std::vector<Outcome> Out;
+      for (Outcome &L : eval(*E.Ops[0], Vars)) {
+        if (L.Failed) {
+          Out.push_back(std::move(L));
+          continue;
+        }
+        for (Outcome &LT : boolSplit(std::move(L))) {
+          bool Truth = !LT.V.rational().isZero();
+          if (Truth != IsAnd) {
+            Out.push_back(std::move(LT));
+            continue;
+          }
+          for (Outcome &R : eval(*E.Ops[1], Vars)) {
+            if (R.Failed) {
+              Outcome F = std::move(R);
+              F.Prob = LT.Prob * F.Prob;
+              Out.push_back(std::move(F));
+              continue;
+            }
+            for (Outcome &RT : boolSplit(std::move(R))) {
+              Outcome O;
+              O.V = RT.V;
+              O.Prob = LT.Prob * RT.Prob;
+              O.Guards = LT.Guards;
+              for (const Constraint &G : RT.Guards)
+                O.Guards.push_back(G);
+              Out.push_back(std::move(O));
+            }
+          }
+        }
+      }
+      return Out;
+    }
+
+    std::vector<Outcome> Out;
+    for (Outcome &L : eval(*E.Ops[0], Vars)) {
+      if (L.Failed) {
+        Out.push_back(std::move(L));
+        continue;
+      }
+      for (Outcome &R : eval(*E.Ops[1], Vars)) {
+        Outcome Base;
+        Base.Prob = L.Prob * R.Prob;
+        Base.Guards = L.Guards;
+        for (const Constraint &G : R.Guards)
+          Base.Guards.push_back(G);
+        if (R.Failed) {
+          Base.Failed = true;
+          Base.FailReason = R.FailReason;
+          Out.push_back(std::move(Base));
+          continue;
+        }
+        if (!L.V.isScalar() || !R.V.isScalar()) {
+          Base.Failed = true;
+          Base.FailReason = "arithmetic on tuples";
+          Out.push_back(std::move(Base));
+          continue;
+        }
+        applyScalar(Op, L.V.toLinExpr(), R.V.toLinExpr(), std::move(Base),
+                    Out);
+      }
+    }
+    return Out;
+  }
+
+  /// Truth-normalizes an outcome to 0/1 (splitting symbolic scalars).
+  std::vector<Outcome> boolSplit(Outcome O) {
+    std::vector<Outcome> Out;
+    if (!O.V.isScalar()) {
+      Out.push_back(Outcome::fail("tuple used as a boolean"));
+      return Out;
+    }
+    if (O.V.isRational()) {
+      O.V = PsiValue(Rational(O.V.rational().isZero() ? 0 : 1));
+      Out.push_back(std::move(O));
+      return Out;
+    }
+    LinExpr L = O.V.toLinExpr();
+    Outcome True = O;
+    True.V = PsiValue(Rational(1));
+    True.Guards.push_back(Constraint(L, RelKind::NE));
+    Out.push_back(std::move(True));
+    O.V = PsiValue(Rational(0));
+    O.Guards.push_back(Constraint(L, RelKind::EQ));
+    Out.push_back(std::move(O));
+    return Out;
+  }
+
+  void applyScalar(BinOpKind Op, const LinExpr &L, const LinExpr &R,
+                   Outcome Base, std::vector<Outcome> &Out) {
+    switch (Op) {
+    case BinOpKind::Add:
+      Base.V = PsiValue(L + R);
+      Out.push_back(std::move(Base));
+      return;
+    case BinOpKind::Sub:
+      Base.V = PsiValue(L - R);
+      Out.push_back(std::move(Base));
+      return;
+    case BinOpKind::Mul: {
+      auto M = L.mul(R);
+      if (!M) {
+        Base.Failed = true;
+        Base.FailReason = "nonlinear symbolic arithmetic";
+      } else
+        Base.V = PsiValue(std::move(*M));
+      Out.push_back(std::move(Base));
+      return;
+    }
+    case BinOpKind::Div: {
+      auto Q = L.div(R);
+      if (!Q) {
+        Base.Failed = true;
+        Base.FailReason = "division by zero or by a symbolic value";
+      } else
+        Base.V = PsiValue(std::move(*Q));
+      Out.push_back(std::move(Base));
+      return;
+    }
+    default: {
+      LinExpr D = L - R;
+      Constraint C = [&] {
+        switch (Op) {
+        case BinOpKind::Eq:
+          return Constraint(D, RelKind::EQ);
+        case BinOpKind::Ne:
+          return Constraint(D, RelKind::NE);
+        case BinOpKind::Lt:
+          return Constraint(D, RelKind::LT);
+        case BinOpKind::Le:
+          return Constraint(D, RelKind::LE);
+        case BinOpKind::Gt:
+          return Constraint(-D, RelKind::LT);
+        default:
+          return Constraint(-D, RelKind::LE);
+        }
+      }();
+      if (auto Decided = C.tryDecide()) {
+        Base.V = PsiValue(Rational(*Decided ? 1 : 0));
+        Out.push_back(std::move(Base));
+        return;
+      }
+      Outcome True = Base;
+      True.V = PsiValue(Rational(1));
+      True.Guards.push_back(C);
+      Out.push_back(std::move(True));
+      Base.V = PsiValue(Rational(0));
+      Base.Guards.push_back(C.negated());
+      Out.push_back(std::move(Base));
+      return;
+    }
+    }
+  }
+
+  void finish(Dist &D) {
+    if (Aborted)
+      return;
+    for (Branch &B : D) {
+      Result.OkMass += B.W;
+      if (!P.Result) {
+        Result.QueryUnsupported = true;
+        Result.UnsupportedReason = "program has no result expression";
+        continue;
+      }
+      for (Outcome &O : eval(*P.Result, B.Vars)) {
+        SymProb W = applyGuards(B.W.scaled(O.Prob), O.Guards);
+        if (W.isZero())
+          continue;
+        if (O.Failed || !O.V.isScalar()) {
+          Result.QueryUnsupported = true;
+          Result.UnsupportedReason =
+              O.Failed ? O.FailReason : "tuple-valued result";
+          continue;
+        }
+        if (P.Kind == QueryKind::Probability) {
+          if (O.V.isRational()) {
+            if (!O.V.rational().isZero())
+              Result.QueryMass += W;
+            continue;
+          }
+          Result.QueryMass +=
+              W.restricted(Constraint(O.V.toLinExpr(), RelKind::NE));
+          continue;
+        }
+        // Expectation.
+        if (!O.V.isRational()) {
+          Result.QueryUnsupported = true;
+          Result.UnsupportedReason =
+              "expectation of a symbolic value is not supported";
+          continue;
+        }
+        Result.QueryMass += W.scaled(O.V.rational());
+      }
+    }
+  }
+};
+
+} // namespace
+
+PsiExactResult PsiExact::run() const {
+  PsiExactResult Result;
+  Result.Kind = P.Kind;
+  Interp I(P, Opts, Result);
+  I.run();
+  return Result;
+}

@@ -1,0 +1,76 @@
+//===- psi/PsiExact.h - Exact inference on the PSI IR ----------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact inference for PSI IR programs: the program is executed on a
+/// distribution of environments; probabilistic draws and comparisons on
+/// symbolic parameters split the distribution, loop boundaries merge
+/// identical environments. Weights are exact piecewise rationals. This is
+/// the standalone probabilistic-inference backend that translated Bayonet
+/// programs run on (mirroring the paper's use of the PSI solver).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_PSI_PSIEXACT_H
+#define BAYONET_PSI_PSIEXACT_H
+
+#include "psi/PsiIr.h"
+#include "symbolic/SymProb.h"
+
+#include <string>
+#include <vector>
+
+namespace bayonet {
+
+/// Result of one exact PSI run. Field meanings match interp::ExactResult.
+struct PsiExactResult {
+  QueryKind Kind = QueryKind::Probability;
+  SymProb QueryMass;
+  SymProb OkMass;
+  SymProb ErrorMass;
+  bool QueryUnsupported = false;
+  std::string UnsupportedReason;
+
+  size_t BranchesExpanded = 0;
+  size_t MaxDistSize = 0;
+
+  std::vector<ProbCase> cases() const {
+    return partitionRatio(QueryMass, OkMass);
+  }
+  std::optional<Rational> concreteValue() const {
+    if (!QueryMass.isConcrete() || !OkMass.isConcrete() ||
+        OkMass.concreteValue().isZero())
+      return std::nullopt;
+    return QueryMass.concreteValue() / OkMass.concreteValue();
+  }
+};
+
+/// Options for the exact PSI engine.
+struct PsiExactOptions {
+  /// Merge identical environments at loop boundaries.
+  bool MergeEnvs = true;
+  /// Iteration bound for while loops.
+  int64_t WhileFuel = 100000;
+  /// Abort when the distribution exceeds this many environments.
+  size_t MaxDist = 50'000'000;
+};
+
+/// Exact distribution-of-environments engine.
+class PsiExact {
+public:
+  explicit PsiExact(const PsiProgram &P, PsiExactOptions Opts = {})
+      : P(P), Opts(Opts) {}
+
+  PsiExactResult run() const;
+
+private:
+  const PsiProgram &P;
+  PsiExactOptions Opts;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_PSI_PSIEXACT_H

@@ -1,0 +1,320 @@
+//===- psi/PsiSampler.cpp - Sampling inference on the PSI IR ---------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "psi/PsiSampler.h"
+
+using namespace bayonet;
+
+namespace {
+
+enum class Status { Ok, Error, Rejected };
+
+/// Sampling interpreter: one environment per particle.
+class SampleInterp {
+public:
+  SampleInterp(const PsiProgram &P, Xoshiro &Rng, int64_t WhileFuel)
+      : P(P), Rng(Rng), WhileFuel(WhileFuel) {
+    Vars.assign(P.VarNames.size(), PsiValue());
+  }
+
+  Status run() { return execBlock(P.Body); }
+
+  /// Evaluates the result expression after a successful run.
+  std::optional<Rational> result() {
+    if (!P.Result)
+      return std::nullopt;
+    PsiValue V;
+    if (!eval(*P.Result, V) || !V.isRational())
+      return std::nullopt;
+    return V.rational();
+  }
+
+private:
+  const PsiProgram &P;
+  Xoshiro &Rng;
+  int64_t WhileFuel;
+  std::vector<PsiValue> Vars;
+
+  Status execBlock(const std::vector<PStmtPtr> &Body) {
+    for (const PStmtPtr &S : Body) {
+      Status St = execStmt(*S);
+      if (St != Status::Ok)
+        return St;
+    }
+    return Status::Ok;
+  }
+
+  Status execStmt(const PStmt &S) {
+    switch (S.Kind) {
+    case PStmtKind::Assign: {
+      PsiValue V;
+      if (!eval(*S.E, V))
+        return Status::Error;
+      Vars[S.Var] = std::move(V);
+      return Status::Ok;
+    }
+    case PStmtKind::PushBack:
+    case PStmtKind::PushFront: {
+      PsiValue V;
+      if (!eval(*S.E, V) || !Vars[S.Var].isTuple())
+        return Status::Error;
+      auto &Elems = Vars[S.Var].elems();
+      if (S.Capacity < 0 || static_cast<int64_t>(Elems.size()) < S.Capacity) {
+        if (S.Kind == PStmtKind::PushBack)
+          Elems.push_back(std::move(V));
+        else
+          Elems.insert(Elems.begin(), std::move(V));
+      }
+      return Status::Ok;
+    }
+    case PStmtKind::PopFront: {
+      if (!Vars[S.Var].isTuple() || Vars[S.Var].elems().empty())
+        return Status::Error;
+      auto &Elems = Vars[S.Var].elems();
+      Vars[S.Var2] = Elems.front();
+      Elems.erase(Elems.begin());
+      return Status::Ok;
+    }
+    case PStmtKind::Observe: {
+      bool Truth;
+      if (!evalTruth(*S.E, Truth))
+        return Status::Error;
+      return Truth ? Status::Ok : Status::Rejected;
+    }
+    case PStmtKind::Assert: {
+      bool Truth;
+      if (!evalTruth(*S.E, Truth))
+        return Status::Error;
+      return Truth ? Status::Ok : Status::Error;
+    }
+    case PStmtKind::If: {
+      bool Truth;
+      if (!evalTruth(*S.E, Truth))
+        return Status::Error;
+      return execBlock(Truth ? S.Then : S.Else);
+    }
+    case PStmtKind::While: {
+      for (int64_t Fuel = WhileFuel; Fuel > 0; --Fuel) {
+        bool Truth;
+        if (!evalTruth(*S.E, Truth))
+          return Status::Error;
+        if (!Truth)
+          return Status::Ok;
+        Status St = execBlock(S.Then);
+        if (St != Status::Ok)
+          return St;
+      }
+      return Status::Error;
+    }
+    case PStmtKind::Repeat: {
+      for (int64_t I = 0; I < S.Count; ++I) {
+        Status St = execBlock(S.Then);
+        if (St != Status::Ok)
+          return St;
+      }
+      return Status::Ok;
+    }
+    }
+    return Status::Error;
+  }
+
+  bool evalTruth(const PExpr &E, bool &Out) {
+    PsiValue V;
+    if (!eval(E, V) || !V.isRational())
+      return false;
+    Out = !V.rational().isZero();
+    return true;
+  }
+
+  bool eval(const PExpr &E, PsiValue &Out) {
+    switch (E.Kind) {
+    case PExprKind::Const:
+      Out = PsiValue(E.ConstVal);
+      return true;
+    case PExprKind::Param: {
+      LinExpr V = P.paramValue(E.Index);
+      if (!V.isConstant())
+        return false; // Sampling requires bound parameters.
+      Out = PsiValue(V.constant());
+      return true;
+    }
+    case PExprKind::Var:
+      Out = Vars[E.Index];
+      return true;
+    case PExprKind::UnOp: {
+      PsiValue V;
+      if (!eval(*E.Ops[0], V) || !V.isRational())
+        return false;
+      if (E.UnOp == UnOpKind::Neg)
+        Out = PsiValue(-V.rational());
+      else
+        Out = PsiValue(Rational(V.rational().isZero() ? 1 : 0));
+      return true;
+    }
+    case PExprKind::BinOp: {
+      if (E.BinOp == BinOpKind::And || E.BinOp == BinOpKind::Or) {
+        bool L;
+        if (!evalTruth(*E.Ops[0], L))
+          return false;
+        bool IsAnd = E.BinOp == BinOpKind::And;
+        if (L != IsAnd) {
+          Out = PsiValue(Rational(L ? 1 : 0));
+          return true;
+        }
+        bool R;
+        if (!evalTruth(*E.Ops[1], R))
+          return false;
+        Out = PsiValue(Rational(R ? 1 : 0));
+        return true;
+      }
+      PsiValue LV, RV;
+      if (!eval(*E.Ops[0], LV) || !eval(*E.Ops[1], RV) || !LV.isRational() ||
+          !RV.isRational())
+        return false;
+      const Rational &L = LV.rational(), &R = RV.rational();
+      switch (E.BinOp) {
+      case BinOpKind::Add:
+        Out = PsiValue(L + R);
+        return true;
+      case BinOpKind::Sub:
+        Out = PsiValue(L - R);
+        return true;
+      case BinOpKind::Mul:
+        Out = PsiValue(L * R);
+        return true;
+      case BinOpKind::Div:
+        if (R.isZero())
+          return false;
+        Out = PsiValue(L / R);
+        return true;
+      case BinOpKind::Eq:
+        Out = PsiValue(Rational(L == R ? 1 : 0));
+        return true;
+      case BinOpKind::Ne:
+        Out = PsiValue(Rational(L != R ? 1 : 0));
+        return true;
+      case BinOpKind::Lt:
+        Out = PsiValue(Rational(L < R ? 1 : 0));
+        return true;
+      case BinOpKind::Le:
+        Out = PsiValue(Rational(L <= R ? 1 : 0));
+        return true;
+      case BinOpKind::Gt:
+        Out = PsiValue(Rational(L > R ? 1 : 0));
+        return true;
+      case BinOpKind::Ge:
+        Out = PsiValue(Rational(L >= R ? 1 : 0));
+        return true;
+      default:
+        return false;
+      }
+    }
+    case PExprKind::Flip: {
+      PsiValue PV;
+      if (!eval(*E.Ops[0], PV) || !PV.isRational())
+        return false;
+      const Rational &Prob = PV.rational();
+      if (Prob.isNegative() || Prob > Rational(1))
+        return false;
+      Out = PsiValue(Rational(Rng.flip(Prob) ? 1 : 0));
+      return true;
+    }
+    case PExprKind::UniformInt: {
+      PsiValue Lo, Hi;
+      if (!eval(*E.Ops[0], Lo) || !eval(*E.Ops[1], Hi) || !Lo.isRational() ||
+          !Hi.isRational() || !Lo.rational().isInteger() ||
+          !Hi.rational().isInteger() || !Lo.rational().num().isSmall() ||
+          !Hi.rational().num().isSmall())
+        return false;
+      int64_t L = Lo.rational().num().getSmall();
+      int64_t H = Hi.rational().num().getSmall();
+      if (L > H)
+        return false;
+      Out = PsiValue(Rational(Rng.uniformInt(L, H)));
+      return true;
+    }
+    case PExprKind::Len: {
+      PsiValue T;
+      if (!eval(*E.Ops[0], T) || !T.isTuple())
+        return false;
+      Out = PsiValue(Rational(static_cast<int64_t>(T.elems().size())));
+      return true;
+    }
+    case PExprKind::Index: {
+      PsiValue T, I;
+      if (!eval(*E.Ops[0], T) || !eval(*E.Ops[1], I) || !T.isTuple() ||
+          !I.isRational() || !I.rational().isInteger() ||
+          !I.rational().num().isSmall())
+        return false;
+      int64_t Idx = I.rational().num().getSmall();
+      if (Idx < 0 || Idx >= static_cast<int64_t>(T.elems().size()))
+        return false;
+      Out = T.elems()[Idx];
+      return true;
+    }
+    case PExprKind::Tuple: {
+      PsiValue::Tuple Elems;
+      Elems.reserve(E.Ops.size());
+      for (const PExprPtr &Op : E.Ops) {
+        PsiValue V;
+        if (!eval(*Op, V))
+          return false;
+        Elems.push_back(std::move(V));
+      }
+      Out = PsiValue::tuple(std::move(Elems));
+      return true;
+    }
+    case PExprKind::TupleGet: {
+      PsiValue T;
+      if (!eval(*E.Ops[0], T) || !T.isTuple() ||
+          E.Index >= T.elems().size())
+        return false;
+      Out = T.elems()[E.Index];
+      return true;
+    }
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+PsiSampleResult PsiSampler::run() const {
+  PsiSampleResult Result;
+  Result.Kind = P.Kind;
+  Result.Particles = Opts.Particles;
+  Xoshiro Rng(Opts.Seed);
+  double Sum = 0;
+  unsigned Ok = 0, Errors = 0;
+  for (unsigned I = 0; I < Opts.Particles; ++I) {
+    SampleInterp Interp(P, Rng, Opts.WhileFuel);
+    switch (Interp.run()) {
+    case Status::Rejected:
+      continue;
+    case Status::Error:
+      ++Errors;
+      continue;
+    case Status::Ok:
+      break;
+    }
+    auto V = Interp.result();
+    if (!V) {
+      Result.QueryUnsupported = true;
+      Result.UnsupportedReason = "result not evaluable on a sampled run";
+      continue;
+    }
+    if (P.Kind == QueryKind::Probability)
+      Sum += V->isZero() ? 0.0 : 1.0;
+    else
+      Sum += V->toDouble();
+    ++Ok;
+  }
+  Result.Survivors = Ok + Errors;
+  Result.ErrorFraction =
+      Result.Survivors ? static_cast<double>(Errors) / Result.Survivors : 0.0;
+  Result.Value = Ok ? Sum / Ok : 0.0;
+  return Result;
+}

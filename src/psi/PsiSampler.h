@@ -1,0 +1,59 @@
+//===- psi/PsiSampler.h - Sampling inference on the PSI IR -----*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward-sampling (rejection) inference for PSI IR programs: each particle
+/// executes the whole program with sampled draws; particles that fail an
+/// observation are rejected; the query is averaged over survivors. This is
+/// the WebPPL-style approximate backend for translated programs (the
+/// network-level SMC lives in interp/Sampler).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_PSI_PSISAMPLER_H
+#define BAYONET_PSI_PSISAMPLER_H
+
+#include "psi/PsiIr.h"
+#include "support/Prng.h"
+
+#include <string>
+
+namespace bayonet {
+
+/// Options for the PSI sampling engine.
+struct PsiSampleOptions {
+  unsigned Particles = 1000;
+  uint64_t Seed = 0x5eed;
+  int64_t WhileFuel = 100000;
+};
+
+/// Result of a PSI sampling run.
+struct PsiSampleResult {
+  QueryKind Kind = QueryKind::Probability;
+  double Value = 0.0;
+  double ErrorFraction = 0.0;
+  unsigned Survivors = 0;
+  unsigned Particles = 0;
+  bool QueryUnsupported = false;
+  std::string UnsupportedReason;
+};
+
+/// Rejection-sampling engine over PSI IR programs.
+class PsiSampler {
+public:
+  explicit PsiSampler(const PsiProgram &P, PsiSampleOptions Opts = {})
+      : P(P), Opts(Opts) {}
+
+  PsiSampleResult run() const;
+
+private:
+  const PsiProgram &P;
+  PsiSampleOptions Opts;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_PSI_PSISAMPLER_H

@@ -1,0 +1,105 @@
+//===- psi/PsiValue.h - PSI IR runtime values ------------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values of the PSI-style probabilistic IR: exact rationals,
+/// linear expressions over symbolic parameters, and nested tuples (used for
+/// queue entries and queues themselves). This is the value domain of the
+/// standalone probabilistic-programming backend that Bayonet programs are
+/// translated into (paper Section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_PSI_PSIVALUE_H
+#define BAYONET_PSI_PSIVALUE_H
+
+#include "symbolic/LinExpr.h"
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bayonet {
+
+/// A PSI IR value: scalar (rational / linear expression) or tuple.
+class PsiValue {
+public:
+  using Tuple = std::vector<PsiValue>;
+
+  /// Constructs scalar zero.
+  PsiValue() : Repr(Rational(0)) {}
+  PsiValue(Rational R) : Repr(std::move(R)) {}
+  PsiValue(int64_t V) : Repr(Rational(V)) {}
+  /// Constant LinExprs normalize to the rational alternative.
+  PsiValue(LinExpr E) {
+    if (E.isConstant())
+      Repr = E.constant();
+    else
+      Repr = std::move(E);
+  }
+  static PsiValue tuple(Tuple Elems) {
+    PsiValue V;
+    V.Repr = std::move(Elems);
+    return V;
+  }
+
+  bool isRational() const { return std::holds_alternative<Rational>(Repr); }
+  bool isSymbolic() const { return std::holds_alternative<LinExpr>(Repr); }
+  bool isScalar() const { return !isTuple(); }
+  bool isTuple() const { return std::holds_alternative<Tuple>(Repr); }
+
+  /// \pre isRational()
+  const Rational &rational() const { return std::get<Rational>(Repr); }
+  /// \pre isScalar()
+  LinExpr toLinExpr() const {
+    if (isRational())
+      return LinExpr(rational());
+    return std::get<LinExpr>(Repr);
+  }
+  /// \pre isTuple()
+  const Tuple &elems() const { return std::get<Tuple>(Repr); }
+  Tuple &elems() { return std::get<Tuple>(Repr); }
+
+  friend bool operator==(const PsiValue &A, const PsiValue &B) {
+    return A.Repr == B.Repr;
+  }
+  friend bool operator!=(const PsiValue &A, const PsiValue &B) {
+    return !(A == B);
+  }
+
+  size_t hash() const {
+    if (isRational())
+      return rational().hash();
+    if (isSymbolic())
+      return std::get<LinExpr>(Repr).hash() * 2 + 1;
+    size_t H = 0x7a3f9d1b;
+    for (const PsiValue &E : elems())
+      H = H * 0x100000001b3ULL ^ E.hash();
+    return H;
+  }
+
+  std::string toString(const ParamTable &Params) const {
+    if (isRational())
+      return rational().toString();
+    if (isSymbolic())
+      return std::get<LinExpr>(Repr).toString(Params);
+    std::string Out = "(";
+    for (size_t I = 0; I < elems().size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += elems()[I].toString(Params);
+    }
+    return Out + ")";
+  }
+
+private:
+  std::variant<Rational, LinExpr, Tuple> Repr;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_PSI_PSIVALUE_H

@@ -1,0 +1,94 @@
+//===- query/QueryEval.cpp - Concrete query evaluation --------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/QueryEval.h"
+
+using namespace bayonet;
+
+std::optional<Rational> bayonet::evalQueryConcrete(const NetworkSpec &Spec,
+                                                   const Expr &E,
+                                                   const NetConfig &C) {
+  switch (E.Kind) {
+  case ExprKind::Number:
+    return cast<NumberExpr>(E).Value;
+  case ExprKind::Var: {
+    const auto &V = cast<VarExpr>(E);
+    if (V.Res == VarRes::NodeConst)
+      return Rational(static_cast<int64_t>(V.Index));
+    if (V.Res == VarRes::SymParam) {
+      LinExpr P = Spec.paramValue(V.Index);
+      if (!P.isConstant())
+        return std::nullopt;
+      return P.constant();
+    }
+    return std::nullopt;
+  }
+  case ExprKind::StateRef: {
+    const auto &SR = cast<StateRefExpr>(E);
+    Rational Sum;
+    for (const auto &[Node, Slot] : SR.Targets) {
+      const Value &V = C.Nodes[Node].State[Slot];
+      if (!V.isConcrete())
+        return std::nullopt;
+      Sum += V.concrete();
+    }
+    return Sum;
+  }
+  case ExprKind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    auto Operand = evalQueryConcrete(Spec, *U.Operand, C);
+    if (!Operand)
+      return std::nullopt;
+    if (U.Op == UnOpKind::Neg)
+      return -*Operand;
+    return Rational(Operand->isZero() ? 1 : 0);
+  }
+  case ExprKind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    auto L = evalQueryConcrete(Spec, *B.Lhs, C);
+    if (!L)
+      return std::nullopt;
+    // Short-circuit boolean connectives.
+    if (B.Op == BinOpKind::And && L->isZero())
+      return Rational(0);
+    if (B.Op == BinOpKind::Or && !L->isZero())
+      return Rational(1);
+    auto R = evalQueryConcrete(Spec, *B.Rhs, C);
+    if (!R)
+      return std::nullopt;
+    switch (B.Op) {
+    case BinOpKind::Add:
+      return *L + *R;
+    case BinOpKind::Sub:
+      return *L - *R;
+    case BinOpKind::Mul:
+      return *L * *R;
+    case BinOpKind::Div:
+      if (R->isZero())
+        return std::nullopt;
+      return *L / *R;
+    case BinOpKind::Eq:
+      return Rational(*L == *R ? 1 : 0);
+    case BinOpKind::Ne:
+      return Rational(*L != *R ? 1 : 0);
+    case BinOpKind::Lt:
+      return Rational(*L < *R ? 1 : 0);
+    case BinOpKind::Le:
+      return Rational(*L <= *R ? 1 : 0);
+    case BinOpKind::Gt:
+      return Rational(*L > *R ? 1 : 0);
+    case BinOpKind::Ge:
+      return Rational(*L >= *R ? 1 : 0);
+    case BinOpKind::And:
+    case BinOpKind::Or:
+      return Rational(R->isZero() ? 0 : 1);
+    }
+    return std::nullopt;
+  }
+  default:
+    return std::nullopt;
+  }
+}

@@ -1,0 +1,34 @@
+//===- query/QueryEval.h - Concrete query evaluation -----------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates query expressions (paper Figure 8) on a concrete terminal
+/// configuration: state references x@n / x@*, arithmetic, comparisons and
+/// boolean connectives. Used by the sampling engines; the exact engine has
+/// its own symbolic-aware evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_QUERY_QUERYEVAL_H
+#define BAYONET_QUERY_QUERYEVAL_H
+
+#include "lang/Ast.h"
+#include "net/Config.h"
+#include "net/NetworkSpec.h"
+
+#include <optional>
+
+namespace bayonet {
+
+/// Evaluates \p E on configuration \p C. Returns nullopt when the
+/// expression is invalid for concrete evaluation (symbolic state values,
+/// division by zero, random draws).
+std::optional<Rational> evalQueryConcrete(const NetworkSpec &Spec,
+                                          const Expr &E, const NetConfig &C);
+
+} // namespace bayonet
+
+#endif // BAYONET_QUERY_QUERYEVAL_H

@@ -1,0 +1,469 @@
+//===- scenarios/Scenarios.cpp - Benchmark network generators -------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scenarios/Scenarios.h"
+
+#include <cassert>
+
+using namespace bayonet;
+
+namespace {
+
+std::string num(int64_t V) { return std::to_string(V); }
+
+} // namespace
+
+std::string scenarios::paperExample(bool SymbolicCosts,
+                                    const std::string &Sched) {
+  std::string Params = SymbolicCosts ? "param COST_01;\n"
+                                       "param COST_02;\n"
+                                       "param COST_21;\n"
+                                     : "param COST_01 = 2;\n"
+                                       "param COST_02 = 1;\n"
+                                       "param COST_21 = 1;\n";
+  return R"(
+topology {
+  nodes { H0, H1, S0, S1, S2 }
+  links { (H0,pt1) <-> (S0,pt3),
+          (S0,pt1) <-> (S1,pt1), (S0,pt2) <-> (S2,pt1),
+          (S1,pt2) <-> (S2,pt2), (S1,pt3) <-> (H1,pt1) }
+}
+packet_fields { dst }
+)" + Params + R"(
+programs { H0 -> h0, H1 -> h1, S0 -> s0, S1 -> s1, S2 -> s2 }
+
+def h0(pkt, pt) state pkt_cnt(0) {
+  if pkt_cnt < 3 {
+    new;
+    pkt.dst = H1;
+    fwd(1);
+    pkt_cnt = pkt_cnt + 1;
+  } else { drop; }
+}
+def h1(pkt, pt) state pkt_cnt(0) {
+  pkt_cnt = pkt_cnt + 1;
+  drop;
+}
+def s2(pkt, pt) {
+  if pt == 1 { fwd(2); } else { fwd(1); }
+}
+def s0(pkt, pt) state route1(0), route2(0) {
+  if pt == 1 {
+    fwd(3);
+  } else if pt == 2 {
+    if pkt.dst == H0 { fwd(3); } else { fwd(1); }
+  } else if pt == 3 {
+    route1 = COST_01;
+    route2 = COST_02 + COST_21;
+    if route1 < route2 or (route1 == route2 and flip(1/2)) {
+      fwd(1);
+    } else {
+      fwd(2);
+    }
+  }
+}
+def s1(pkt, pt) state route1(0), route2(0) {
+  if pt == 1 {
+    fwd(3);
+  } else if pt == 2 {
+    if pkt.dst == H1 { fwd(3); } else { fwd(1); }
+  } else if pt == 3 {
+    route1 = COST_01;
+    route2 = COST_02 + COST_21;
+    if route1 < route2 or (route1 == route2 and flip(1/2)) {
+      fwd(1);
+    } else {
+      fwd(2);
+    }
+  }
+}
+init { H0 }
+scheduler )" + Sched + R"(;
+queue_capacity 2;
+num_steps 60;
+query probability(pkt_cnt@H1 < 3);
+)";
+}
+
+/// Emits the chain-of-diamonds topology block shared by the congestion and
+/// reliability benchmarks. Diamond j has entry Ej, top Tj, bottom Bj and
+/// exit Xj; H0 feeds E0 and X(D-1) feeds H1.
+static std::string diamondTopology(unsigned Diamonds) {
+  std::string Nodes = "H0, H1";
+  std::string Links = "(H0,pt1) <-> (E0,pt3)";
+  for (unsigned J = 0; J < Diamonds; ++J) {
+    std::string E = "E" + num(J), T = "T" + num(J), B = "B" + num(J),
+                X = "X" + num(J);
+    Nodes += ", " + E + ", " + T + ", " + B + ", " + X;
+    Links += ",\n          (" + E + ",pt1) <-> (" + T + ",pt1)";
+    Links += ", (" + E + ",pt2) <-> (" + B + ",pt1)";
+    Links += ",\n          (" + T + ",pt2) <-> (" + X + ",pt1)";
+    Links += ", (" + B + ",pt2) <-> (" + X + ",pt2)";
+    if (J + 1 < Diamonds)
+      Links += ",\n          (" + X + ",pt3) <-> (E" + num(J + 1) + ",pt3)";
+  }
+  Links += ",\n          (X" + num(Diamonds - 1) + ",pt3) <-> (H1,pt1)";
+  return "topology {\n  nodes { " + Nodes + " }\n  links { " + Links +
+         " }\n}\n";
+}
+
+/// Program assignments for the diamond chain; bottom nodes use \p BottomDef.
+static std::string diamondPrograms(unsigned Diamonds,
+                                   const std::string &BottomDef) {
+  std::string Out = "programs { H0 -> h0, H1 -> h1";
+  for (unsigned J = 0; J < Diamonds; ++J) {
+    Out += ", E" + num(J) + " -> entry";
+    Out += ", T" + num(J) + " -> relay";
+    Out += ", B" + num(J) + " -> " + BottomDef;
+    Out += ", X" + num(J) + " -> exitsw";
+  }
+  return Out + " }\n";
+}
+
+std::string scenarios::congestionChain(unsigned Diamonds,
+                                       const std::string &Sched) {
+  assert(Diamonds >= 1);
+  std::string Out = diamondTopology(Diamonds);
+  Out += "packet_fields { dst }\n";
+  Out += diamondPrograms(Diamonds, "relay");
+  Out += R"(
+def h0(pkt, pt) state pkt_cnt(0) {
+  if pkt_cnt < 3 {
+    new;
+    pkt.dst = H1;
+    fwd(1);
+    pkt_cnt = pkt_cnt + 1;
+  } else { drop; }
+}
+def h1(pkt, pt) state pkt_cnt(0) {
+  pkt_cnt = pkt_cnt + 1;
+  drop;
+}
+def entry(pkt, pt) {
+  if pt == 3 {
+    if flip(1/2) { fwd(1); } else { fwd(2); }
+  } else { fwd(3); }
+}
+def relay(pkt, pt) {
+  if pt == 1 { fwd(2); } else { fwd(1); }
+}
+def exitsw(pkt, pt) {
+  if pt == 3 { fwd(1); } else { fwd(3); }
+}
+init { H0 }
+)";
+  Out += "scheduler " + Sched + ";\n";
+  Out += "queue_capacity 2;\n";
+  Out += "num_steps " + num(24 * Diamonds + 40) + ";\n";
+  Out += "query probability(pkt_cnt@H1 < 3);\n";
+  return Out;
+}
+
+std::string scenarios::reliabilityChain(unsigned Diamonds,
+                                        const std::string &Sched,
+                                        const std::string &PFail) {
+  assert(Diamonds >= 1);
+  std::string Out = diamondTopology(Diamonds);
+  Out += "packet_fields { dst }\n";
+  Out += "param P_FAIL = " + PFail + ";\n";
+  Out += diamondPrograms(Diamonds, "lossy");
+  Out += R"(
+def h0(pkt, pt) { fwd(1); }
+def h1(pkt, pt) state arrived(0) {
+  arrived = 1;
+  drop;
+}
+def entry(pkt, pt) {
+  if pt == 3 {
+    if flip(1/2) { fwd(1); } else { fwd(2); }
+  } else { fwd(3); }
+}
+def relay(pkt, pt) {
+  if pt == 1 { fwd(2); } else { fwd(1); }
+}
+def lossy(pkt, pt) state failing(2) {
+  if failing == 2 { failing = flip(P_FAIL); }
+  if failing == 1 { drop; } else { fwd(2); }
+}
+def exitsw(pkt, pt) {
+  if pt == 3 { fwd(1); } else { fwd(3); }
+}
+init { H0 }
+)";
+  Out += "scheduler " + Sched + ";\n";
+  Out += "queue_capacity 2;\n";
+  Out += "num_steps " + num(10 * Diamonds + 20) + ";\n";
+  Out += "query probability(arrived@H1 == 1);\n";
+  return Out;
+}
+
+std::string scenarios::gossip(unsigned K, const std::string &Sched) {
+  assert(K >= 2);
+  // Complete graph: port p of node i leads to node (p <= i ? p - 1 : p).
+  auto portOf = [](unsigned I, unsigned J) {
+    return J < I ? J + 1 : J; // J's position among I's neighbors (1-based).
+  };
+  std::string Nodes;
+  std::string Links;
+  for (unsigned I = 0; I < K; ++I) {
+    if (I)
+      Nodes += ", ";
+    Nodes += "S" + num(I);
+  }
+  bool First = true;
+  for (unsigned I = 0; I < K; ++I)
+    for (unsigned J = I + 1; J < K; ++J) {
+      if (!First)
+        Links += ",\n          ";
+      First = false;
+      Links += "(S" + num(I) + ",pt" + num(portOf(I, J)) + ") <-> (S" +
+               num(J) + ",pt" + num(portOf(J, I)) + ")";
+    }
+  std::string Out = "topology {\n  nodes { " + Nodes + " }\n  links { " +
+                    Links + " }\n}\n";
+  Out += "packet_fields { dst }\n";
+  Out += "programs { S0 -> seed";
+  for (unsigned I = 1; I < K; ++I)
+    Out += ", S" + num(I) + " -> node";
+  Out += " }\n";
+  std::string Deg = num(K - 1);
+  Out += R"(
+def seed(pkt, pt) state infected(1), started(0) {
+  if started == 0 {
+    started = 1;
+    fwd(uniformInt(1, )" + Deg + R"());
+  } else { drop; }
+}
+def node(pkt, pt) state infected(0) {
+  if infected == 0 {
+    infected = 1;
+    dup;
+    fwd(uniformInt(1, )" + Deg + R"());
+    fwd(uniformInt(1, )" + Deg + R"());
+  } else { drop; }
+}
+init { S0 }
+)";
+  Out += "scheduler " + Sched + ";\n";
+  // Generous capacity: gossip has no congestion in the paper's model.
+  Out += "queue_capacity " + num(2 * K) + ";\n";
+  Out += "num_steps " + num(12 * K + 20) + ";\n";
+  Out += "query expectation(infected@*);\n";
+  return Out;
+}
+
+std::string scenarios::ringReliability(unsigned N, const std::string &PHop) {
+  assert(N >= 2);
+  // S0 -> S1 -> ... -> S(N-1); port 1 faces the successor, port 2 the
+  // predecessor. The last link closes the ring so every node is linked.
+  std::string Nodes, Links;
+  for (unsigned I = 0; I < N; ++I) {
+    if (I)
+      Nodes += ", ";
+    Nodes += "S" + num(I);
+  }
+  for (unsigned I = 0; I < N; ++I) {
+    if (I)
+      Links += ",\n          ";
+    Links += "(S" + num(I) + ",pt1) <-> (S" + num((I + 1) % N) + ",pt2)";
+  }
+  std::string Out = "topology {\n  nodes { " + Nodes + " }\n  links { " +
+                    Links + " }\n}\n";
+  Out += "packet_fields { dst }\n";
+  Out += "param P_HOP = " + PHop + ";\n";
+  Out += "programs { S" + num(N - 1) + " -> last";
+  for (unsigned I = 0; I + 1 < N; ++I)
+    Out += ", S" + num(I) + " -> hop";
+  Out += " }\n";
+  Out += R"(
+def hop(pkt, pt) {
+  if flip(P_HOP) { drop; } else { fwd(1); }
+}
+def last(pkt, pt) state arrived(0) {
+  arrived = 1;
+  drop;
+}
+init { S0 }
+scheduler uniform;
+queue_capacity 2;
+)";
+  Out += "num_steps " + num(4 * N + 10) + ";\n";
+  Out += "query probability(arrived@S" + num(N - 1) + " == 1);\n";
+  return Out;
+}
+
+std::string scenarios::starIncast(unsigned Leaves, const std::string &Sched) {
+  assert(Leaves >= 1);
+  std::string Nodes = "HUB", Links;
+  for (unsigned I = 0; I < Leaves; ++I) {
+    Nodes += ", L" + num(I);
+    if (I)
+      Links += ",\n          ";
+    Links += "(L" + num(I) + ",pt1) <-> (HUB,pt" + num(I + 1) + ")";
+  }
+  std::string Out = "topology {\n  nodes { " + Nodes + " }\n  links { " +
+                    Links + " }\n}\n";
+  Out += "packet_fields { dst }\n";
+  Out += "programs { HUB -> hub";
+  for (unsigned I = 0; I < Leaves; ++I)
+    Out += ", L" + num(I) + " -> leaf";
+  Out += " }\n";
+  Out += R"(
+def leaf(pkt, pt) { fwd(1); }
+def hub(pkt, pt) state got(0) {
+  got = got + 1;
+  drop;
+}
+init { )";
+  for (unsigned I = 0; I < Leaves; ++I)
+    Out += (I ? ", L" : "L") + num(I);
+  Out += " }\n";
+  Out += "scheduler " + Sched + ";\n";
+  Out += "queue_capacity 2;\n";
+  Out += "num_steps " + num(6 * Leaves + 10) + ";\n";
+  Out += "query expectation(got@HUB);\n";
+  return Out;
+}
+
+std::string scenarios::loadBalancing(const std::string &ObservedSources) {
+  // Controller ports: S0 -> pt1, S1 -> pt2, H1 -> pt3.
+  std::string Obs;
+  unsigned N = ObservedSources.size();
+  for (unsigned I = 0; I < N; ++I) {
+    int Port = ObservedSources[I] == '0'   ? 1
+               : ObservedSources[I] == '1' ? 2
+                                           : 3;
+    Obs += "  if num_obs == " + num(I + 1) + " { observe(pt == " +
+           num(Port) + "); }\n";
+  }
+  Obs += "  if num_obs == " + num(N + 1) + " { observe(false); }\n";
+
+  return R"(
+topology {
+  nodes { H0, S0, S1, H1, C }
+  links { (H0,pt1) <-> (S0,pt1),
+          (S0,pt2) <-> (H1,pt1), (S0,pt3) <-> (S1,pt1),
+          (S1,pt2) <-> (H1,pt2),
+          (S0,pt4) <-> (C,pt1), (S1,pt3) <-> (C,pt2),
+          (H1,pt3) <-> (C,pt3) }
+}
+packet_fields { id }
+programs { H0 -> h0, S0 -> s0, S1 -> s1, H1 -> h1, C -> c }
+
+def h0(pkt, pt) state pkt_cnt(0) {
+  if pkt_cnt < 3 {
+    new;
+    pkt_cnt = pkt_cnt + 1;
+    pkt.id = pkt_cnt;
+    fwd(1);
+  } else { drop; }
+}
+
+// Prior: the hash is bad with probability 1/10. A good hash forwards to H1
+// directly with probability 1/2; a bad one with probability 1/3. Every
+// handled packet is copied to the controller with probability 1/2.
+def s0(pkt, pt) state bad_hash(flip(1/10)) {
+  if flip(1/2) { dup; fwd(4); }
+  if bad_hash == 1 {
+    if flip(1/3) { fwd(2); } else { fwd(3); }
+  } else {
+    if flip(1/2) { fwd(2); } else { fwd(3); }
+  }
+}
+
+def s1(pkt, pt) {
+  if flip(1/2) { dup; fwd(3); }
+  fwd(2);
+}
+
+def h1(pkt, pt) state num_arr(0) {
+  if flip(1/2) { dup; fwd(3); }
+  num_arr = num_arr + 1;
+  drop;
+}
+
+def c(pkt, pt) state num_obs(0) {
+  num_obs = num_obs + 1;
+)" + Obs + R"(  drop;
+}
+
+init { H0 }
+scheduler uniform;
+queue_capacity 8;
+num_steps 80;
+query probability(bad_hash@S0 == 1 given num_obs@C == )" + num(N) + R"();
+)";
+}
+
+std::string scenarios::reliabilityBayes(const std::string &ObservedIds,
+                                        const std::string &QueryStrategy) {
+  std::string Obs;
+  unsigned N = ObservedIds.size();
+  for (unsigned I = 0; I < N; ++I)
+    Obs += "  if num_arr == " + num(I + 1) + " { observe(pkt.id == " +
+           std::string(1, ObservedIds[I]) + "); }\n";
+  Obs += "  if num_arr == " + num(N + 1) + " { observe(false); }\n";
+
+  std::string Query;
+  if (QueryStrategy == "rand")
+    Query = "is_rand@S0 == 1";
+  else if (QueryStrategy == "detS1")
+    Query = "is_rand@S0 == 0 and pref_s1@S0 == 1";
+  else
+    Query = "is_rand@S0 == 0 and pref_s1@S0 == 0";
+
+  return R"(
+topology {
+  nodes { H0, S0, S1, S2, S3, H1 }
+  links { (H0,pt1) <-> (S0,pt3),
+          (S0,pt1) <-> (S1,pt1), (S0,pt2) <-> (S2,pt1),
+          (S1,pt2) <-> (S3,pt1), (S2,pt2) <-> (S3,pt2),
+          (S3,pt3) <-> (H1,pt1) }
+}
+packet_fields { id }
+param P_FAIL = 1/1000;
+programs { H0 -> h0, S0 -> s0, S1 -> s1, S2 -> s2, S3 -> s3, H1 -> h1 }
+
+def h0(pkt, pt) state pkt_cnt(0) {
+  if pkt_cnt < 3 {
+    new;
+    pkt_cnt = pkt_cnt + 1;
+    pkt.id = pkt_cnt;
+    fwd(1);
+  } else { drop; }
+}
+
+// Prior over S0's forwarding strategy: random (1/2), always-S1 (1/4),
+// always-S2 (1/4).
+def s0(pkt, pt) state is_rand(flip(1/2)), pref_s1(flip(1/2)) {
+  if is_rand == 1 {
+    if flip(1/2) { fwd(1); } else { fwd(2); }
+  } else {
+    if pref_s1 == 1 { fwd(1); } else { fwd(2); }
+  }
+}
+
+def s1(pkt, pt) { fwd(2); }
+
+def s2(pkt, pt) state failing(2) {
+  if failing == 2 { failing = flip(P_FAIL); }
+  if failing == 1 { drop; } else { fwd(2); }
+}
+
+def s3(pkt, pt) { fwd(3); }
+
+def h1(pkt, pt) state num_arr(0) {
+  num_arr = num_arr + 1;
+)" + Obs + R"(  drop;
+}
+
+init { H0 }
+scheduler uniform;
+queue_capacity 3;
+num_steps 70;
+query probability()" + Query + " given num_arr@H1 == " + num(N) + R"();
+)";
+}

@@ -1,0 +1,76 @@
+//===- scenarios/Scenarios.h - Benchmark network generators ----*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators for the paper's evaluation networks (Figure 11 and the
+/// Section 5.5 Bayesian-reasoning scenarios), parameterized by size and
+/// scheduler. Each function returns Bayonet source text, so the same
+/// networks are exercised by tests, benchmarks, the CLI and the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_SCENARIOS_SCENARIOS_H
+#define BAYONET_SCENARIOS_SCENARIOS_H
+
+#include <string>
+
+namespace bayonet::scenarios {
+
+/// The Section 2 / Figure 2 network (5 nodes, OSPF/ECMP link costs).
+/// With \p SymbolicCosts the three COST_* parameters are left free
+/// (Figure 3 synthesis); otherwise they are bound to 2/1/1.
+std::string paperExample(bool SymbolicCosts = false,
+                         const std::string &Sched = "uniform");
+
+/// Figure 11(a)/(b) chain-of-diamonds topology for congestion: H0 sends
+/// three packets through \p Diamonds ECMP diamonds (4 switches each) to H1.
+/// Node count is 4*Diamonds + 2 (1 diamond = 6 nodes, 7 diamonds = 30).
+std::string congestionChain(unsigned Diamonds,
+                            const std::string &Sched = "uniform");
+
+/// Figure 11(b) reliability: one packet through \p Diamonds diamonds whose
+/// bottom link fails with probability \p PFail (default the paper's
+/// 1/1000). Reliability is (1 - PFail/2)^Diamonds.
+std::string reliabilityChain(unsigned Diamonds,
+                             const std::string &Sched = "uniform",
+                             const std::string &PFail = "1/1000");
+
+/// Figure 11(c) gossip on the complete graph K_k: node S0 starts infected
+/// and sends one packet; every newly infected node forwards two packets to
+/// uniformly random neighbors. Query: expected number of infected nodes.
+std::string gossip(unsigned K, const std::string &Sched = "uniform");
+
+/// Section 5.5 load-balancing: S0 splits traffic to H1 directly or via S1;
+/// S0, S1 and H1 sub-sample copies to a controller C with probability 1/2.
+/// The controller observes the source sequence \p ObservedSources (a string
+/// over {'0','1','H'} = S0, S1, H1). The query is the posterior probability
+/// that S0's hash function is bad (prior 1/10, bad = 1/3 direct instead of
+/// 1/2).
+std::string loadBalancing(const std::string &ObservedSources);
+
+/// A unidirectional ring of N switches: a packet injected at S0 is
+/// forwarded around to S(N-1); every hop loses it with probability
+/// \p PHop. Reliability has the closed form (1 - PHop)^(N-1) — used by
+/// the scaling benchmark (paper Section 5.4) as a per-size series.
+std::string ringReliability(unsigned N, const std::string &PHop = "1/100");
+
+/// A star: \p Leaves hosts each send one packet to a central hub with a
+/// bounded input queue; the query is the expected number of packets the
+/// hub receives (an incast-congestion microbenchmark).
+std::string starIncast(unsigned Leaves, const std::string &Sched = "uniform");
+
+/// Section 5.5 reliability with an unknown forwarding strategy: S0 is
+/// either random (prior 1/2) or deterministic toward S1 / S2 (1/4 each);
+/// the bottom link fails with probability 1/1000; H1 observes the
+/// exhaustive packet-id sequence \p ObservedIds (e.g. "13" or "123").
+/// \p QueryStrategy selects the posterior asked for: "rand", "detS1" or
+/// "detS2".
+std::string reliabilityBayes(const std::string &ObservedIds,
+                             const std::string &QueryStrategy);
+
+} // namespace bayonet::scenarios
+
+#endif // BAYONET_SCENARIOS_SCENARIOS_H

@@ -1,0 +1,436 @@
+//===- support/BigInt.cpp - Arbitrary-precision signed integers ----------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace bayonet;
+
+static const uint64_t LimbBase = 1ULL << 32;
+
+void BigInt::trim(std::vector<uint32_t> &Mag) {
+  while (!Mag.empty() && Mag.back() == 0)
+    Mag.pop_back();
+}
+
+void BigInt::toMag(int &SignOut, std::vector<uint32_t> &MagOut) const {
+  MagOut.clear();
+  if (!isSmall()) {
+    SignOut = Sign;
+    MagOut = Limbs;
+    return;
+  }
+  if (Small == 0) {
+    SignOut = 0;
+    return;
+  }
+  SignOut = Small < 0 ? -1 : 1;
+  // Avoid UB on INT64_MIN by working in uint64.
+  uint64_t Mag = Small < 0 ? 0 - static_cast<uint64_t>(Small)
+                           : static_cast<uint64_t>(Small);
+  MagOut.push_back(static_cast<uint32_t>(Mag));
+  if (Mag >> 32)
+    MagOut.push_back(static_cast<uint32_t>(Mag >> 32));
+}
+
+BigInt BigInt::fromMag(int Sign, std::vector<uint32_t> Mag) {
+  trim(Mag);
+  BigInt R;
+  if (Mag.empty())
+    return R;
+  assert(Sign == 1 || Sign == -1);
+  // Fits in int64?
+  if (Mag.size() <= 2) {
+    uint64_t V = Mag[0];
+    if (Mag.size() == 2)
+      V |= static_cast<uint64_t>(Mag[1]) << 32;
+    if (Sign > 0 && V <= static_cast<uint64_t>(INT64_MAX)) {
+      R.Small = static_cast<int64_t>(V);
+      return R;
+    }
+    if (Sign < 0 && V <= static_cast<uint64_t>(INT64_MAX) + 1) {
+      R.Small = static_cast<int64_t>(0 - V);
+      return R;
+    }
+  }
+  R.Sign = Sign;
+  R.Limbs = std::move(Mag);
+  return R;
+}
+
+int BigInt::cmpMag(const std::vector<uint32_t> &A,
+                   const std::vector<uint32_t> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::addMag(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  const std::vector<uint32_t> &Lo = A.size() < B.size() ? A : B;
+  const std::vector<uint32_t> &Hi = A.size() < B.size() ? B : A;
+  std::vector<uint32_t> R;
+  R.reserve(Hi.size() + 1);
+  uint64_t Carry = 0;
+  for (size_t I = 0; I < Hi.size(); ++I) {
+    uint64_t Sum = Carry + Hi[I] + (I < Lo.size() ? Lo[I] : 0);
+    R.push_back(static_cast<uint32_t>(Sum));
+    Carry = Sum >> 32;
+  }
+  if (Carry)
+    R.push_back(static_cast<uint32_t>(Carry));
+  return R;
+}
+
+std::vector<uint32_t> BigInt::subMag(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  assert(cmpMag(A, B) >= 0 && "subMag requires A >= B");
+  std::vector<uint32_t> R;
+  R.reserve(A.size());
+  int64_t Borrow = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    int64_t Diff = static_cast<int64_t>(A[I]) -
+                   (I < B.size() ? static_cast<int64_t>(B[I]) : 0) - Borrow;
+    Borrow = 0;
+    if (Diff < 0) {
+      Diff += static_cast<int64_t>(LimbBase);
+      Borrow = 1;
+    }
+    R.push_back(static_cast<uint32_t>(Diff));
+  }
+  trim(R);
+  return R;
+}
+
+std::vector<uint32_t> BigInt::mulMag(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  if (A.empty() || B.empty())
+    return {};
+  std::vector<uint32_t> R(A.size() + B.size(), 0);
+  for (size_t I = 0; I < A.size(); ++I) {
+    uint64_t Carry = 0;
+    uint64_t AV = A[I];
+    for (size_t J = 0; J < B.size(); ++J) {
+      uint64_t Cur = R[I + J] + AV * B[J] + Carry;
+      R[I + J] = static_cast<uint32_t>(Cur);
+      Carry = Cur >> 32;
+    }
+    size_t K = I + B.size();
+    while (Carry) {
+      uint64_t Cur = R[K] + Carry;
+      R[K] = static_cast<uint32_t>(Cur);
+      Carry = Cur >> 32;
+      ++K;
+    }
+  }
+  trim(R);
+  return R;
+}
+
+/// Schoolbook long division on magnitudes (Knuth algorithm D, simplified
+/// with a per-limb estimate loop). Both quotient and remainder are produced.
+void BigInt::divModMag(const std::vector<uint32_t> &A,
+                       const std::vector<uint32_t> &B,
+                       std::vector<uint32_t> &Quot,
+                       std::vector<uint32_t> &Rem) {
+  assert(!B.empty() && "division by zero magnitude");
+  Quot.clear();
+  Rem.clear();
+  if (cmpMag(A, B) < 0) {
+    Rem = A;
+    trim(Rem);
+    return;
+  }
+  if (B.size() == 1) {
+    // Fast path: single-limb divisor.
+    uint64_t D = B[0];
+    Quot.assign(A.size(), 0);
+    uint64_t R = 0;
+    for (size_t I = A.size(); I-- > 0;) {
+      uint64_t Cur = (R << 32) | A[I];
+      Quot[I] = static_cast<uint32_t>(Cur / D);
+      R = Cur % D;
+    }
+    trim(Quot);
+    if (R)
+      Rem.push_back(static_cast<uint32_t>(R));
+    return;
+  }
+
+  // General case: normalize so the divisor's top limb has its high bit set.
+  int Shift = 0;
+  uint32_t Top = B.back();
+  while (!(Top & 0x80000000u)) {
+    Top <<= 1;
+    ++Shift;
+  }
+  auto shiftLeft = [](const std::vector<uint32_t> &V, int S) {
+    std::vector<uint32_t> R(V.size() + 1, 0);
+    for (size_t I = 0; I < V.size(); ++I) {
+      R[I] |= V[I] << S;
+      if (S)
+        R[I + 1] |= static_cast<uint32_t>(
+            (static_cast<uint64_t>(V[I]) << S) >> 32);
+    }
+    trim(R);
+    return R;
+  };
+  std::vector<uint32_t> U = shiftLeft(A, Shift);
+  std::vector<uint32_t> V = shiftLeft(B, Shift);
+  size_t N = V.size(), M = U.size() >= N ? U.size() - N : 0;
+  U.resize(U.size() + 1, 0);
+  Quot.assign(M + 1, 0);
+
+  for (size_t J = M + 1; J-- > 0;) {
+    // Estimate quotient digit from the top two limbs.
+    uint64_t Num = (static_cast<uint64_t>(U[J + N]) << 32) | U[J + N - 1];
+    uint64_t QHat = Num / V[N - 1];
+    uint64_t RHat = Num % V[N - 1];
+    while (QHat >= LimbBase ||
+           (N >= 2 &&
+            QHat * V[N - 2] > ((RHat << 32) | U[J + N - 2]))) {
+      --QHat;
+      RHat += V[N - 1];
+      if (RHat >= LimbBase)
+        break;
+    }
+    // Multiply-and-subtract; fix up if the estimate was one too large.
+    int64_t Borrow = 0;
+    uint64_t Carry = 0;
+    for (size_t I = 0; I < N; ++I) {
+      uint64_t P = QHat * V[I] + Carry;
+      Carry = P >> 32;
+      int64_t Sub = static_cast<int64_t>(U[I + J]) -
+                    static_cast<int64_t>(static_cast<uint32_t>(P)) - Borrow;
+      Borrow = 0;
+      if (Sub < 0) {
+        Sub += static_cast<int64_t>(LimbBase);
+        Borrow = 1;
+      }
+      U[I + J] = static_cast<uint32_t>(Sub);
+    }
+    int64_t Sub = static_cast<int64_t>(U[J + N]) -
+                  static_cast<int64_t>(Carry) - Borrow;
+    if (Sub < 0) {
+      // QHat was one too large; add the divisor back.
+      Sub += static_cast<int64_t>(LimbBase);
+      --QHat;
+      uint64_t C = 0;
+      for (size_t I = 0; I < N; ++I) {
+        uint64_t S = static_cast<uint64_t>(U[I + J]) + V[I] + C;
+        U[I + J] = static_cast<uint32_t>(S);
+        C = S >> 32;
+      }
+      Sub += static_cast<int64_t>(C);
+      Sub &= static_cast<int64_t>(LimbBase) - 1;
+    }
+    U[J + N] = static_cast<uint32_t>(Sub);
+    Quot[J] = static_cast<uint32_t>(QHat);
+  }
+  trim(Quot);
+
+  // Remainder = U >> Shift, truncated to N limbs.
+  U.resize(N);
+  if (Shift) {
+    for (size_t I = 0; I < U.size(); ++I) {
+      U[I] >>= Shift;
+      if (I + 1 < U.size())
+        U[I] |= U[I + 1] << (32 - Shift);
+    }
+  }
+  trim(U);
+  Rem = std::move(U);
+}
+
+int BigInt::compare(const BigInt &A, const BigInt &B) {
+  if (A.isSmall() && B.isSmall())
+    return A.Small < B.Small ? -1 : (A.Small > B.Small ? 1 : 0);
+  int SA, SB;
+  std::vector<uint32_t> MA, MB;
+  A.toMag(SA, MA);
+  B.toMag(SB, MB);
+  if (SA != SB)
+    return SA < SB ? -1 : 1;
+  int C = cmpMag(MA, MB);
+  return SA < 0 ? -C : C;
+}
+
+BigInt BigInt::operator-() const {
+  if (isSmall() && Small != INT64_MIN) {
+    return BigInt(-Small);
+  }
+  int S;
+  std::vector<uint32_t> M;
+  toMag(S, M);
+  return fromMag(-S, std::move(M));
+}
+
+BigInt BigInt::abs() const { return isNegative() ? -*this : *this; }
+
+BigInt BigInt::operator+(const BigInt &B) const {
+  if (isSmall() && B.isSmall()) {
+    int64_t R;
+    if (!__builtin_add_overflow(Small, B.Small, &R))
+      return BigInt(R);
+  }
+  int SA, SB;
+  std::vector<uint32_t> MA, MB;
+  toMag(SA, MA);
+  B.toMag(SB, MB);
+  if (SA == 0)
+    return B;
+  if (SB == 0)
+    return *this;
+  if (SA == SB)
+    return fromMag(SA, addMag(MA, MB));
+  int C = cmpMag(MA, MB);
+  if (C == 0)
+    return BigInt();
+  if (C > 0)
+    return fromMag(SA, subMag(MA, MB));
+  return fromMag(SB, subMag(MB, MA));
+}
+
+BigInt BigInt::operator-(const BigInt &B) const {
+  if (isSmall() && B.isSmall()) {
+    int64_t R;
+    if (!__builtin_sub_overflow(Small, B.Small, &R))
+      return BigInt(R);
+  }
+  return *this + (-B);
+}
+
+BigInt BigInt::operator*(const BigInt &B) const {
+  if (isSmall() && B.isSmall()) {
+    int64_t R;
+    if (!__builtin_mul_overflow(Small, B.Small, &R))
+      return BigInt(R);
+  }
+  int SA, SB;
+  std::vector<uint32_t> MA, MB;
+  toMag(SA, MA);
+  B.toMag(SB, MB);
+  if (SA == 0 || SB == 0)
+    return BigInt();
+  return fromMag(SA * SB, mulMag(MA, MB));
+}
+
+void BigInt::divMod(const BigInt &A, const BigInt &B, BigInt &Quot,
+                    BigInt &Rem) {
+  assert(!B.isZero() && "division by zero");
+  if (A.isSmall() && B.isSmall() &&
+      !(A.Small == INT64_MIN && B.Small == -1)) {
+    Quot = BigInt(A.Small / B.Small);
+    Rem = BigInt(A.Small % B.Small);
+    return;
+  }
+  int SA, SB;
+  std::vector<uint32_t> MA, MB, MQ, MR;
+  A.toMag(SA, MA);
+  B.toMag(SB, MB);
+  if (SA == 0) {
+    Quot = BigInt();
+    Rem = BigInt();
+    return;
+  }
+  divModMag(MA, MB, MQ, MR);
+  Quot = MQ.empty() ? BigInt() : fromMag(SA * SB, std::move(MQ));
+  Rem = MR.empty() ? BigInt() : fromMag(SA, std::move(MR));
+}
+
+BigInt BigInt::operator/(const BigInt &B) const {
+  BigInt Q, R;
+  divMod(*this, B, Q, R);
+  return Q;
+}
+
+BigInt BigInt::operator%(const BigInt &B) const {
+  BigInt Q, R;
+  divMod(*this, B, Q, R);
+  return R;
+}
+
+BigInt BigInt::gcd(BigInt A, BigInt B) {
+  A = A.abs();
+  B = B.abs();
+  while (!B.isZero()) {
+    BigInt R = A % B;
+    A = std::move(B);
+    B = std::move(R);
+  }
+  return A;
+}
+
+bool BigInt::fromString(std::string_view Text, BigInt &Out) {
+  Out = BigInt();
+  if (Text.empty())
+    return false;
+  bool Neg = false;
+  size_t I = 0;
+  if (Text[0] == '-') {
+    Neg = true;
+    I = 1;
+    if (Text.size() == 1)
+      return false;
+  }
+  BigInt R;
+  BigInt Ten(10);
+  for (; I < Text.size(); ++I) {
+    if (Text[I] < '0' || Text[I] > '9')
+      return false;
+    R = R * Ten + BigInt(Text[I] - '0');
+  }
+  Out = Neg ? -R : R;
+  return true;
+}
+
+std::string BigInt::toString() const {
+  if (isSmall())
+    return std::to_string(Small);
+  // Repeatedly divide the magnitude by 10^9 and print chunks.
+  std::vector<uint32_t> M = Limbs;
+  std::string Out;
+  const uint64_t Chunk = 1000000000ULL;
+  while (!M.empty()) {
+    uint64_t R = 0;
+    for (size_t I = M.size(); I-- > 0;) {
+      uint64_t Cur = (R << 32) | M[I];
+      M[I] = static_cast<uint32_t>(Cur / Chunk);
+      R = Cur % Chunk;
+    }
+    trim(M);
+    std::string Part = std::to_string(R);
+    if (!M.empty())
+      Part.insert(Part.begin(), 9 - Part.size(), '0');
+    Out.insert(0, Part);
+  }
+  if (Sign < 0)
+    Out.insert(Out.begin(), '-');
+  return Out;
+}
+
+double BigInt::toDouble() const {
+  if (isSmall())
+    return static_cast<double>(Small);
+  double R = 0;
+  for (size_t I = Limbs.size(); I-- > 0;)
+    R = R * 4294967296.0 + Limbs[I];
+  return Sign < 0 ? -R : R;
+}
+
+size_t BigInt::hash() const {
+  if (isSmall())
+    return std::hash<int64_t>()(Small);
+  size_t H = Sign < 0 ? 0x9e3779b97f4a7c15ULL : 0x517cc1b727220a95ULL;
+  for (uint32_t L : Limbs)
+    H = H * 0x100000001b3ULL ^ L;
+  return H;
+}

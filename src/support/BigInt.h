@@ -1,0 +1,144 @@
+//===- support/BigInt.h - Arbitrary-precision signed integers --*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arbitrary-precision signed integer with a small-value (int64) fast path.
+///
+/// Exact inference multiplies and adds many scheduler-choice probabilities;
+/// the resulting rational weights (e.g. 30378810105265/67706637778944 in the
+/// paper's Section 2 example) overflow 64-bit integers, so weights need
+/// arbitrary precision. Most intermediate values are still small, hence the
+/// inline fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_SUPPORT_BIGINT_H
+#define BAYONET_SUPPORT_BIGINT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bayonet {
+
+/// Arbitrary-precision signed integer.
+///
+/// Representation: either a 64-bit "small" value (the common case), or a
+/// sign-magnitude array of 32-bit limbs, least significant limb first.
+/// All operations produce canonical values: a big representation is only
+/// used when the value does not fit in int64, and limb arrays never have
+/// leading zero limbs.
+class BigInt {
+public:
+  /// Constructs zero.
+  BigInt() = default;
+  /// Constructs from a machine integer.
+  BigInt(int64_t V) : Small(V) {}
+  BigInt(int V) : Small(V) {}
+
+  /// Parses a decimal integer with optional leading '-'.
+  /// Returns false (and leaves the value zero) on malformed input.
+  static bool fromString(std::string_view Text, BigInt &Out);
+
+  /// Returns true if the value fits in the small representation.
+  bool isSmall() const { return Limbs.empty(); }
+  /// Returns the value as int64. Only valid if isSmall().
+  int64_t getSmall() const { return Small; }
+
+  bool isZero() const { return isSmall() && Small == 0; }
+  bool isNegative() const { return isSmall() ? Small < 0 : Sign < 0; }
+  bool isOne() const { return isSmall() && Small == 1; }
+
+  /// Three-way comparison: negative, zero, or positive.
+  static int compare(const BigInt &A, const BigInt &B);
+
+  friend bool operator==(const BigInt &A, const BigInt &B) {
+    return compare(A, B) == 0;
+  }
+  friend bool operator!=(const BigInt &A, const BigInt &B) {
+    return compare(A, B) != 0;
+  }
+  friend bool operator<(const BigInt &A, const BigInt &B) {
+    return compare(A, B) < 0;
+  }
+  friend bool operator<=(const BigInt &A, const BigInt &B) {
+    return compare(A, B) <= 0;
+  }
+  friend bool operator>(const BigInt &A, const BigInt &B) {
+    return compare(A, B) > 0;
+  }
+  friend bool operator>=(const BigInt &A, const BigInt &B) {
+    return compare(A, B) >= 0;
+  }
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt &B) const;
+  BigInt operator-(const BigInt &B) const;
+  BigInt operator*(const BigInt &B) const;
+  /// Truncating division (C semantics: quotient rounds toward zero).
+  /// \pre !B.isZero()
+  BigInt operator/(const BigInt &B) const;
+  /// Remainder with the sign of the dividend (C semantics).
+  /// \pre !B.isZero()
+  BigInt operator%(const BigInt &B) const;
+
+  BigInt &operator+=(const BigInt &B) { return *this = *this + B; }
+  BigInt &operator-=(const BigInt &B) { return *this = *this - B; }
+  BigInt &operator*=(const BigInt &B) { return *this = *this * B; }
+
+  /// Computes quotient and remainder in one pass (C semantics).
+  /// \pre !B.isZero()
+  static void divMod(const BigInt &A, const BigInt &B, BigInt &Quot,
+                     BigInt &Rem);
+
+  /// Greatest common divisor; always non-negative. gcd(0,0) == 0.
+  static BigInt gcd(BigInt A, BigInt B);
+
+  BigInt abs() const;
+
+  /// Decimal rendering, e.g. "-12345".
+  std::string toString() const;
+
+  /// Closest double; may lose precision or overflow to +-inf.
+  double toDouble() const;
+
+  /// Hash suitable for unordered containers. Equal values hash equally.
+  size_t hash() const;
+
+private:
+  // Small representation. Valid iff Limbs is empty.
+  int64_t Small = 0;
+  // Big representation: Sign in {-1, +1}, magnitude in Limbs (LSB first,
+  // no leading zero limbs, magnitude does not fit int64).
+  int Sign = 0;
+  std::vector<uint32_t> Limbs;
+
+  // Magnitude helpers operating on limb vectors.
+  static int cmpMag(const std::vector<uint32_t> &A,
+                    const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> addMag(const std::vector<uint32_t> &A,
+                                      const std::vector<uint32_t> &B);
+  // \pre cmpMag(A, B) >= 0
+  static std::vector<uint32_t> subMag(const std::vector<uint32_t> &A,
+                                      const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> mulMag(const std::vector<uint32_t> &A,
+                                      const std::vector<uint32_t> &B);
+  static void divModMag(const std::vector<uint32_t> &A,
+                        const std::vector<uint32_t> &B,
+                        std::vector<uint32_t> &Quot,
+                        std::vector<uint32_t> &Rem);
+
+  // Converts to limb form regardless of current representation.
+  void toMag(int &SignOut, std::vector<uint32_t> &MagOut) const;
+  // Builds a canonical BigInt from sign and magnitude.
+  static BigInt fromMag(int Sign, std::vector<uint32_t> Mag);
+  static void trim(std::vector<uint32_t> &Mag);
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_SUPPORT_BIGINT_H

@@ -1,0 +1,31 @@
+//===- support/Diag.cpp - Diagnostics and source locations ---------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+using namespace bayonet;
+
+std::string Diag::toString() const {
+  const char *KindText = Kind == DiagKind::Error     ? "error"
+                         : Kind == DiagKind::Warning ? "warning"
+                                                     : "note";
+  std::string Out;
+  if (Loc.isValid())
+    Out += Loc.toString() + ": ";
+  Out += KindText;
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+std::string DiagEngine::toString() const {
+  std::string Out;
+  for (const Diag &D : Diags) {
+    Out += D.toString();
+    Out += '\n';
+  }
+  return Out;
+}

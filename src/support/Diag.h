@@ -1,0 +1,74 @@
+//===- support/Diag.h - Diagnostics and source locations -------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a diagnostic sink used by the lexer, parser and the
+/// integrity checker. The library never throws across its boundary; fallible
+/// stages report through a DiagEngine and return null/false.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_SUPPORT_DIAG_H
+#define BAYONET_SUPPORT_DIAG_H
+
+#include <string>
+#include <vector>
+
+namespace bayonet {
+
+/// A position in a source buffer (1-based line and column).
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool isValid() const { return Line > 0; }
+  std::string toString() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// A single reported diagnostic.
+struct Diag {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders like "3:14: error: unknown node 'S9'".
+  std::string toString() const;
+};
+
+/// Collects diagnostics emitted by frontend stages.
+class DiagEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diag> &diags() const { return Diags; }
+
+  /// All diagnostics rendered one per line.
+  std::string toString() const;
+
+private:
+  std::vector<Diag> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_SUPPORT_DIAG_H

@@ -1,0 +1,83 @@
+//===- support/Prng.cpp - Pseudo-random number generation ----------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Prng.h"
+
+#include <cassert>
+
+using namespace bayonet;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+void Xoshiro::reseed(uint64_t Seed) {
+  for (auto &S : State)
+    S = splitMix64(Seed);
+  // Avoid the all-zero state (cannot happen with splitmix64, but be safe).
+  if (!(State[0] | State[1] | State[2] | State[3]))
+    State[0] = 1;
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+uint64_t Xoshiro::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Xoshiro::nextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Xoshiro::nextBelow(uint64_t N) {
+  assert(N > 0 && "nextBelow(0)");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = (0 - N) % N;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % N;
+  }
+}
+
+bool Xoshiro::flip(double P) {
+  if (P <= 0)
+    return false;
+  if (P >= 1)
+    return true;
+  return nextDouble() < P;
+}
+
+bool Xoshiro::flip(const Rational &P) {
+  if (P.isZero() || P.isNegative())
+    return false;
+  if (P >= Rational(1))
+    return true;
+  // Exact draw when the denominator fits in 64 bits.
+  if (P.den().isSmall() && P.num().isSmall())
+    return nextBelow(static_cast<uint64_t>(P.den().getSmall())) <
+           static_cast<uint64_t>(P.num().getSmall());
+  return flip(P.toDouble());
+}
+
+int64_t Xoshiro::uniformInt(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty uniformInt range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}

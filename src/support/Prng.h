@@ -1,0 +1,54 @@
+//===- support/Prng.h - Pseudo-random number generation --------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// xoshiro256** PRNG used by the approximate (sampling) inference engines.
+/// Self-contained so sampling results are reproducible across platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_SUPPORT_PRNG_H
+#define BAYONET_SUPPORT_PRNG_H
+
+#include "support/Rational.h"
+
+#include <cstdint>
+
+namespace bayonet {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Xoshiro {
+public:
+  explicit Xoshiro(uint64_t Seed = 0x853c49e6748fea9bULL) { reseed(Seed); }
+
+  /// Re-seeds the full 256-bit state from a 64-bit seed.
+  void reseed(uint64_t Seed);
+
+  /// Next raw 64-bit output.
+  uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Uniform integer in [0, N). \pre N > 0. Uses rejection to avoid bias.
+  uint64_t nextBelow(uint64_t N);
+
+  /// Bernoulli draw with success probability P (clamped to [0,1]).
+  bool flip(double P);
+
+  /// Bernoulli draw with exact rational probability P.
+  bool flip(const Rational &P);
+
+  /// Uniform integer in [Lo, Hi] inclusive. \pre Lo <= Hi.
+  int64_t uniformInt(int64_t Lo, int64_t Hi);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_SUPPORT_PRNG_H

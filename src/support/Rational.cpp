@@ -1,0 +1,109 @@
+//===- support/Rational.cpp - Exact rational numbers ---------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+using namespace bayonet;
+
+Rational::Rational(BigInt N, BigInt D) : Num(std::move(N)), Den(std::move(D)) {
+  assert(!Den.isZero() && "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Den.isNegative()) {
+    Num = -Num;
+    Den = -Den;
+  }
+  if (Num.isZero()) {
+    Den = BigInt(1);
+    return;
+  }
+  BigInt G = BigInt::gcd(Num, Den);
+  if (!G.isOne()) {
+    Num = Num / G;
+    Den = Den / G;
+  }
+}
+
+int Rational::compare(const Rational &A, const Rational &B) {
+  // a/b <=> c/d  iff  a*d <=> c*b (b, d > 0).
+  return BigInt::compare(A.Num * B.Den, B.Num * A.Den);
+}
+
+Rational Rational::operator-() const {
+  Rational R;
+  R.Num = -Num;
+  R.Den = Den;
+  return R;
+}
+
+Rational Rational::operator+(const Rational &B) const {
+  return Rational(Num * B.Den + B.Num * Den, Den * B.Den);
+}
+
+Rational Rational::operator-(const Rational &B) const {
+  return Rational(Num * B.Den - B.Num * Den, Den * B.Den);
+}
+
+Rational Rational::operator*(const Rational &B) const {
+  return Rational(Num * B.Num, Den * B.Den);
+}
+
+Rational Rational::operator/(const Rational &B) const {
+  assert(!B.isZero() && "rational division by zero");
+  return Rational(Num * B.Den, Den * B.Num);
+}
+
+Rational Rational::truncToInteger() const {
+  Rational R;
+  R.Num = Num / Den;
+  R.Den = BigInt(1);
+  return R;
+}
+
+Rational Rational::floorToInteger() const {
+  BigInt Q, Rem;
+  BigInt::divMod(Num, Den, Q, Rem);
+  if (Num.isNegative() && !Rem.isZero())
+    Q = Q - BigInt(1);
+  Rational R;
+  R.Num = std::move(Q);
+  R.Den = BigInt(1);
+  return R;
+}
+
+bool Rational::fromString(std::string_view Text, Rational &Out) {
+  Out = Rational();
+  size_t Slash = Text.find('/');
+  if (Slash == std::string_view::npos) {
+    BigInt N;
+    if (!BigInt::fromString(Text, N))
+      return false;
+    Out = Rational(std::move(N), BigInt(1));
+    return true;
+  }
+  BigInt N, D;
+  if (!BigInt::fromString(Text.substr(0, Slash), N) ||
+      !BigInt::fromString(Text.substr(Slash + 1), D) || D.isZero())
+    return false;
+  Out = Rational(std::move(N), std::move(D));
+  return true;
+}
+
+std::string Rational::toString() const {
+  if (Den.isOne())
+    return Num.toString();
+  return Num.toString() + "/" + Den.toString();
+}
+
+double Rational::toDouble() const { return Num.toDouble() / Den.toDouble(); }
+
+size_t Rational::hash() const {
+  size_t H = Num.hash();
+  H ^= Den.hash() + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  return H;
+}

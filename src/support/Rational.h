@@ -1,0 +1,99 @@
+//===- support/Rational.h - Exact rational numbers -------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational arithmetic over BigInt. The Bayonet value domain is
+/// Vals = Q (paper Figure 4), and exact inference weights are rationals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_SUPPORT_RATIONAL_H
+#define BAYONET_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+#include <cassert>
+#include <string>
+
+namespace bayonet {
+
+/// Exact rational number, always stored in canonical form:
+/// gcd(Num, Den) == 1, Den > 0, and zero is 0/1.
+class Rational {
+public:
+  /// Constructs zero.
+  Rational() : Den(1) {}
+  /// Constructs an integer value.
+  Rational(int64_t V) : Num(V), Den(1) {}
+  Rational(int V) : Num(V), Den(1) {}
+  /// Constructs Num/Den and normalizes. \pre !Den.isZero()
+  Rational(BigInt Num, BigInt Den);
+
+  /// Parses "a", "-a", or "a/b" in decimal. Returns false on malformed
+  /// input or a zero denominator.
+  static bool fromString(std::string_view Text, Rational &Out);
+
+  const BigInt &num() const { return Num; }
+  const BigInt &den() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isOne() const { return Num.isOne() && Den.isOne(); }
+  bool isNegative() const { return Num.isNegative(); }
+  /// True if the denominator is one.
+  bool isInteger() const { return Den.isOne(); }
+
+  static int compare(const Rational &A, const Rational &B);
+
+  friend bool operator==(const Rational &A, const Rational &B) {
+    return A.Num == B.Num && A.Den == B.Den;
+  }
+  friend bool operator!=(const Rational &A, const Rational &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Rational &A, const Rational &B) {
+    return compare(A, B) < 0;
+  }
+  friend bool operator<=(const Rational &A, const Rational &B) {
+    return compare(A, B) <= 0;
+  }
+  friend bool operator>(const Rational &A, const Rational &B) {
+    return compare(A, B) > 0;
+  }
+  friend bool operator>=(const Rational &A, const Rational &B) {
+    return compare(A, B) >= 0;
+  }
+
+  Rational operator-() const;
+  Rational operator+(const Rational &B) const;
+  Rational operator-(const Rational &B) const;
+  Rational operator*(const Rational &B) const;
+  /// \pre !B.isZero()
+  Rational operator/(const Rational &B) const;
+
+  Rational &operator+=(const Rational &B) { return *this = *this + B; }
+  Rational &operator-=(const Rational &B) { return *this = *this - B; }
+  Rational &operator*=(const Rational &B) { return *this = *this * B; }
+  Rational &operator/=(const Rational &B) { return *this = *this / B; }
+
+  /// Truncation toward zero to an integer rational.
+  Rational truncToInteger() const;
+  /// Floor to an integer rational.
+  Rational floorToInteger() const;
+
+  /// Renders as "a" or "a/b".
+  std::string toString() const;
+  double toDouble() const;
+  size_t hash() const;
+
+private:
+  BigInt Num;
+  BigInt Den;
+  void normalize();
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_SUPPORT_RATIONAL_H

@@ -1,0 +1,372 @@
+//===- symbolic/Constraint.cpp - Linear constraints and solving ----------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/Constraint.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bayonet;
+
+//===----------------------------------------------------------------------===//
+// Constraint
+//===----------------------------------------------------------------------===//
+
+Constraint::Constraint(LinExpr E, RelKind R) : Expr(std::move(E)), Rel(R) {
+  if (Expr.isConstant())
+    return;
+  // Scale so all coefficients are integers with gcd 1. Positive scaling
+  // preserves every relation.
+  BigInt DenLcm(1);
+  for (const auto &[Index, Coeff] : Expr.terms()) {
+    (void)Index;
+    BigInt G = BigInt::gcd(DenLcm, Coeff.den());
+    DenLcm = DenLcm / G * Coeff.den();
+  }
+  BigInt G = (Expr.constant() * Rational(DenLcm, BigInt(1))).num().abs();
+  for (const auto &[Index, Coeff] : Expr.terms()) {
+    (void)Index;
+    G = BigInt::gcd(G, (Coeff * Rational(DenLcm, BigInt(1))).num());
+  }
+  if (G.isZero())
+    G = BigInt(1);
+  Rational Scale(DenLcm, G);
+  Expr = Expr.scaled(Scale);
+  // For sign-symmetric relations, make the leading coefficient positive.
+  if ((Rel == RelKind::EQ || Rel == RelKind::NE) &&
+      Expr.terms().front().second.isNegative())
+    Expr = -Expr;
+}
+
+std::optional<bool> Constraint::tryDecide() const {
+  if (!Expr.isConstant())
+    return std::nullopt;
+  const Rational &C = Expr.constant();
+  switch (Rel) {
+  case RelKind::EQ:
+    return C.isZero();
+  case RelKind::NE:
+    return !C.isZero();
+  case RelKind::LT:
+    return C.isNegative();
+  case RelKind::LE:
+    return C.isNegative() || C.isZero();
+  }
+  return std::nullopt;
+}
+
+Constraint Constraint::negated() const {
+  switch (Rel) {
+  case RelKind::EQ:
+    return Constraint(Expr, RelKind::NE);
+  case RelKind::NE:
+    return Constraint(Expr, RelKind::EQ);
+  case RelKind::LT:
+    return Constraint(-Expr, RelKind::LE);
+  case RelKind::LE:
+    return Constraint(-Expr, RelKind::LT);
+  }
+  return *this;
+}
+
+bool Constraint::evaluate(const std::vector<Rational> &ParamValues) const {
+  Rational V = Expr.evaluate(ParamValues);
+  switch (Rel) {
+  case RelKind::EQ:
+    return V.isZero();
+  case RelKind::NE:
+    return !V.isZero();
+  case RelKind::LT:
+    return V.isNegative();
+  case RelKind::LE:
+    return V.isNegative() || V.isZero();
+  }
+  return false;
+}
+
+int Constraint::compare(const Constraint &A, const Constraint &B) {
+  if (A.Rel != B.Rel)
+    return static_cast<int>(A.Rel) < static_cast<int>(B.Rel) ? -1 : 1;
+  return LinExpr::compare(A.Expr, B.Expr);
+}
+
+size_t Constraint::hash() const {
+  return Expr.hash() * 4 + static_cast<size_t>(Rel);
+}
+
+std::string Constraint::toString(const ParamTable &Params) const {
+  const char *RelText = Rel == RelKind::EQ   ? " == 0"
+                        : Rel == RelKind::NE ? " != 0"
+                        : Rel == RelKind::LT ? " < 0"
+                                             : " <= 0";
+  return Expr.toString(Params) + RelText;
+}
+
+//===----------------------------------------------------------------------===//
+// ConstraintSet
+//===----------------------------------------------------------------------===//
+
+void ConstraintSet::add(Constraint C) {
+  if (KnownFalse)
+    return;
+  if (auto Decided = C.tryDecide()) {
+    if (!*Decided)
+      KnownFalse = true;
+    return;
+  }
+  auto It = std::lower_bound(Cons.begin(), Cons.end(), C,
+                             [](const Constraint &A, const Constraint &B) {
+                               return Constraint::compare(A, B) < 0;
+                             });
+  if (It != Cons.end() && *It == C)
+    return;
+  Cons.insert(It, std::move(C));
+}
+
+namespace {
+
+/// One inequality or equality row during elimination, "E rel 0" where rel is
+/// EQ, LT, or LE (NE rows are handled separately).
+struct Row {
+  LinExpr E;
+  RelKind Rel;
+};
+
+/// Returns the highest parameter index used by any row, or nullopt.
+std::optional<unsigned> anyParam(const std::vector<Row> &Rows) {
+  std::optional<unsigned> Best;
+  for (const Row &R : Rows)
+    for (const auto &[Index, Coeff] : R.E.terms()) {
+      (void)Coeff;
+      if (!Best || Index > *Best)
+        Best = Index;
+    }
+  return Best;
+}
+
+/// Decides satisfiability of a conjunction of EQ/LT/LE rows via Gaussian
+/// elimination of equalities followed by Fourier-Motzkin elimination.
+bool rowsConsistent(std::vector<Row> Rows) {
+  // Eliminate equalities by substitution.
+  for (;;) {
+    bool Changed = false;
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      if (Rows[I].Rel != RelKind::EQ || Rows[I].E.isConstant())
+        continue;
+      unsigned Var = Rows[I].E.terms().front().first;
+      Rational Coeff = Rows[I].E.terms().front().second;
+      // Var = -(E - Coeff*Var) / Coeff
+      LinExpr Rest = Rows[I].E.substituted(Var, LinExpr());
+      LinExpr Value = (-Rest).scaled(Rational(1) / Coeff);
+      Row Eq = Rows[I];
+      Rows.erase(Rows.begin() + I);
+      for (Row &R : Rows)
+        R.E = R.E.substituted(Var, Value);
+      (void)Eq;
+      Changed = true;
+      break;
+    }
+    if (!Changed)
+      break;
+  }
+
+  // Fourier-Motzkin on the remaining inequalities.
+  for (;;) {
+    // Decide constant rows first.
+    for (size_t I = 0; I < Rows.size();) {
+      if (!Rows[I].E.isConstant()) {
+        ++I;
+        continue;
+      }
+      const Rational &C = Rows[I].E.constant();
+      bool Holds = Rows[I].Rel == RelKind::EQ ? C.isZero()
+                   : Rows[I].Rel == RelKind::LT
+                       ? C.isNegative()
+                       : (C.isNegative() || C.isZero());
+      if (!Holds)
+        return false;
+      Rows.erase(Rows.begin() + I);
+    }
+    auto Var = anyParam(Rows);
+    if (!Var)
+      return true;
+
+    // Partition on the chosen variable: a*x + R (rel) 0.
+    std::vector<Row> Lower, Upper, Rest;
+    for (Row &R : Rows) {
+      Rational A = R.E.coeff(*Var);
+      if (A.isZero()) {
+        Rest.push_back(std::move(R));
+        continue;
+      }
+      // Normalize to x (rel) Bound where Bound = -(R - a*x)/a.
+      LinExpr Bound =
+          (-(R.E.substituted(*Var, LinExpr()))).scaled(Rational(1) / A);
+      if (A.isNegative())
+        Lower.push_back({std::move(Bound), R.Rel}); // Bound (rel) x
+      else
+        Upper.push_back({std::move(Bound), R.Rel}); // x (rel) Bound
+    }
+    // Combine every lower bound with every upper bound: L (<|<=) x and
+    // x (<|<=) U  ==>  L - U (<|<=) 0, strict if either side is strict.
+    for (const Row &L : Lower)
+      for (const Row &U : Upper) {
+        RelKind Rel = (L.Rel == RelKind::LT || U.Rel == RelKind::LT)
+                          ? RelKind::LT
+                          : RelKind::LE;
+        Rest.push_back({L.E - U.E, Rel});
+      }
+    Rows = std::move(Rest);
+  }
+}
+
+/// Converts a constraint set (minus NE constraints) into rows.
+void splitConstraints(const ConstraintSet &S, std::vector<Row> &Rows,
+                      std::vector<LinExpr> &Disequalities) {
+  for (const Constraint &C : S.constraints()) {
+    if (C.rel() == RelKind::NE)
+      Disequalities.push_back(C.expr());
+    else
+      Rows.push_back({C.expr(), C.rel()});
+  }
+}
+
+} // namespace
+
+bool ConstraintSet::isConsistent() const {
+  if (KnownFalse)
+    return false;
+  std::vector<Row> Rows;
+  std::vector<LinExpr> Disequalities;
+  splitConstraints(*this, Rows, Disequalities);
+  if (!rowsConsistent(Rows))
+    return false;
+  // A nonempty convex polyhedron minus finitely many hyperplanes is empty
+  // iff the polyhedron lies inside one of the hyperplanes. So each E != 0
+  // fails exactly when the rows entail E == 0, i.e. when both E < 0 and
+  // E > 0 are infeasible alongside the rows.
+  for (const LinExpr &E : Disequalities) {
+    std::vector<Row> Neg = Rows;
+    Neg.push_back({E, RelKind::LT});
+    if (rowsConsistent(Neg))
+      continue;
+    std::vector<Row> Pos = Rows;
+    Pos.push_back({-E, RelKind::LT});
+    if (!rowsConsistent(Pos))
+      return false;
+  }
+  return true;
+}
+
+bool ConstraintSet::implies(const Constraint &C) const {
+  if (KnownFalse)
+    return true;
+  Constraint Neg = C.negated();
+  if (Neg.rel() == RelKind::NE) {
+    // NOT(E == 0) is a disjunction E < 0 or E > 0: check both branches.
+    ConstraintSet Lt = *this;
+    Lt.add(Constraint(Neg.expr(), RelKind::LT));
+    if (Lt.isConsistent())
+      return false;
+    ConstraintSet Gt = *this;
+    Gt.add(Constraint(-Neg.expr(), RelKind::LT));
+    return !Gt.isConsistent();
+  }
+  ConstraintSet S = *this;
+  S.add(Neg);
+  return !S.isConsistent();
+}
+
+ConstraintSet ConstraintSet::simplified() const {
+  if (KnownFalse)
+    return *this;
+  ConstraintSet Out = *this;
+  for (size_t I = 0; I < Out.Cons.size();) {
+    ConstraintSet Rest;
+    for (size_t J = 0; J < Out.Cons.size(); ++J)
+      if (J != I)
+        Rest.add(Out.Cons[J]);
+    if (Rest.implies(Out.Cons[I]))
+      Out.Cons.erase(Out.Cons.begin() + I);
+    else
+      ++I;
+  }
+  return Out;
+}
+
+bool ConstraintSet::evaluate(const std::vector<Rational> &ParamValues) const {
+  if (KnownFalse)
+    return false;
+  for (const Constraint &C : Cons)
+    if (!C.evaluate(ParamValues))
+      return false;
+  return true;
+}
+
+std::optional<std::vector<Rational>>
+ConstraintSet::findModel(unsigned NumParams) const {
+  if (KnownFalse)
+    return std::nullopt;
+  // Candidate coordinate values; half-integers catch strict-inequality gaps
+  // and negatives cover unconstrained directions.
+  std::vector<Rational> Candidates;
+  for (int I = 0; I <= 8; ++I)
+    Candidates.push_back(Rational(I));
+  for (int I = 0; I < 8; ++I)
+    Candidates.push_back(Rational(2 * I + 1) / Rational(2));
+  for (int I = 1; I <= 4; ++I)
+    Candidates.push_back(Rational(-I));
+  Candidates.push_back(Rational(-1) / Rational(2));
+  Candidates.push_back(Rational(16));
+  Candidates.push_back(Rational(64));
+  std::vector<Rational> Point(NumParams, Rational(0));
+  // Depth-first enumeration of the candidate grid.
+  std::vector<size_t> Index(NumParams, 0);
+  for (;;) {
+    for (unsigned P = 0; P < NumParams; ++P)
+      Point[P] = Candidates[Index[P]];
+    if (evaluate(Point))
+      return Point;
+    unsigned P = 0;
+    while (P < NumParams && ++Index[P] == Candidates.size()) {
+      Index[P] = 0;
+      ++P;
+    }
+    if (P == NumParams)
+      return std::nullopt;
+  }
+}
+
+int ConstraintSet::compare(const ConstraintSet &A, const ConstraintSet &B) {
+  if (A.KnownFalse != B.KnownFalse)
+    return A.KnownFalse ? -1 : 1;
+  if (A.Cons.size() != B.Cons.size())
+    return A.Cons.size() < B.Cons.size() ? -1 : 1;
+  for (size_t I = 0; I < A.Cons.size(); ++I)
+    if (int C = Constraint::compare(A.Cons[I], B.Cons[I]))
+      return C;
+  return 0;
+}
+
+size_t ConstraintSet::hash() const {
+  size_t H = KnownFalse ? 7 : 13;
+  for (const Constraint &C : Cons)
+    H = H * 0x100000001b3ULL ^ C.hash();
+  return H;
+}
+
+std::string ConstraintSet::toString(const ParamTable &Params) const {
+  if (KnownFalse)
+    return "{false}";
+  std::string Out = "{";
+  for (size_t I = 0; I < Cons.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Cons[I].toString(Params);
+  }
+  Out += "}";
+  return Out;
+}

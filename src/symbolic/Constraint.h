@@ -1,0 +1,120 @@
+//===- symbolic/Constraint.h - Linear constraints and solving --*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear rational constraints (E == 0, E != 0, E < 0, E <= 0) over symbolic
+/// parameters, constraint sets, and a small decision procedure for linear
+/// rational arithmetic (Gaussian elimination for equalities plus
+/// Fourier-Motzkin elimination for inequalities). This is the solver that
+/// lets Bayonet output the probability of congestion as a function of
+/// symbolic link costs (paper Section 2.3 / Figure 3), standing in for the
+/// Mathematica/Z3 step the paper defers to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_SYMBOLIC_CONSTRAINT_H
+#define BAYONET_SYMBOLIC_CONSTRAINT_H
+
+#include "symbolic/LinExpr.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bayonet {
+
+/// Relation of a constraint "E rel 0".
+enum class RelKind { EQ, NE, LT, LE };
+
+/// A canonical linear constraint "Expr rel 0".
+///
+/// Canonical form: coefficients are scaled to integers with gcd 1; for the
+/// sign-symmetric relations (EQ, NE) the leading coefficient is positive.
+/// Constant (parameter-free) constraints are allowed and decide to
+/// true/false via tryDecide().
+class Constraint {
+public:
+  Constraint() = default;
+  /// Builds the canonicalized constraint "Expr rel 0".
+  Constraint(LinExpr Expr, RelKind Rel);
+
+  const LinExpr &expr() const { return Expr; }
+  RelKind rel() const { return Rel; }
+
+  /// If the constraint is parameter-free, returns its truth value.
+  std::optional<bool> tryDecide() const;
+
+  /// The negation: !(E<0) is -E<=0, !(E<=0) is -E<0, !(E==0) is E!=0,
+  /// and !(E!=0) is E==0.
+  Constraint negated() const;
+
+  /// True under the given parameter assignment.
+  bool evaluate(const std::vector<Rational> &ParamValues) const;
+
+  friend bool operator==(const Constraint &A, const Constraint &B) {
+    return A.Rel == B.Rel && A.Expr == B.Expr;
+  }
+  friend bool operator!=(const Constraint &A, const Constraint &B) {
+    return !(A == B);
+  }
+  static int compare(const Constraint &A, const Constraint &B);
+
+  size_t hash() const;
+  /// Renders like "COST_01 - COST_02 - COST_21 < 0".
+  std::string toString(const ParamTable &Params) const;
+
+private:
+  LinExpr Expr;
+  RelKind Rel = RelKind::EQ;
+};
+
+/// A conjunction of constraints, kept sorted and duplicate-free.
+class ConstraintSet {
+public:
+  ConstraintSet() = default;
+
+  /// Conjoins a constraint. Trivially-true constraints are skipped;
+  /// trivially-false ones mark the set inconsistent immediately.
+  void add(Constraint C);
+
+  const std::vector<Constraint> &constraints() const { return Cons; }
+  bool empty() const { return Cons.empty() && !KnownFalse; }
+
+  /// Full decision procedure: satisfiable over the rationals?
+  bool isConsistent() const;
+
+  /// True if this set entails \p C (i.e. this AND NOT C is unsatisfiable).
+  bool implies(const Constraint &C) const;
+
+  /// Removes constraints entailed by the remaining ones. Keeps semantics.
+  ConstraintSet simplified() const;
+
+  /// True under the given parameter assignment.
+  bool evaluate(const std::vector<Rational> &ParamValues) const;
+
+  /// Finds a satisfying rational assignment for parameters [0, NumParams).
+  /// Searches small integer/half-integer grid points; returns nullopt if
+  /// none is found there even though the set may be satisfiable elsewhere.
+  std::optional<std::vector<Rational>> findModel(unsigned NumParams) const;
+
+  friend bool operator==(const ConstraintSet &A, const ConstraintSet &B) {
+    return A.KnownFalse == B.KnownFalse && A.Cons == B.Cons;
+  }
+  static int compare(const ConstraintSet &A, const ConstraintSet &B);
+
+  size_t hash() const;
+  /// Renders like "{A < 0, B == 0}"; "{}" for the trivial set.
+  std::string toString(const ParamTable &Params) const;
+
+private:
+  std::vector<Constraint> Cons;
+  // Set when a trivially-false constraint was added.
+  bool KnownFalse = false;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_SYMBOLIC_CONSTRAINT_H

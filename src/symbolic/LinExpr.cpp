@@ -1,0 +1,154 @@
+//===- symbolic/LinExpr.cpp - Linear expressions over parameters ---------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/LinExpr.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bayonet;
+
+unsigned ParamTable::getOrAdd(const std::string &Name) {
+  for (unsigned I = 0; I < Names.size(); ++I)
+    if (Names[I] == Name)
+      return I;
+  Names.push_back(Name);
+  return Names.size() - 1;
+}
+
+std::optional<unsigned> ParamTable::lookup(const std::string &Name) const {
+  for (unsigned I = 0; I < Names.size(); ++I)
+    if (Names[I] == Name)
+      return I;
+  return std::nullopt;
+}
+
+LinExpr LinExpr::param(unsigned Index) {
+  LinExpr E;
+  E.Terms.emplace_back(Index, Rational(1));
+  return E;
+}
+
+void LinExpr::addTerm(unsigned Index, const Rational &Coeff) {
+  if (Coeff.isZero())
+    return;
+  auto It = std::lower_bound(
+      Terms.begin(), Terms.end(), Index,
+      [](const auto &T, unsigned I) { return T.first < I; });
+  if (It != Terms.end() && It->first == Index) {
+    It->second += Coeff;
+    if (It->second.isZero())
+      Terms.erase(It);
+    return;
+  }
+  Terms.insert(It, {Index, Coeff});
+}
+
+LinExpr LinExpr::operator-() const { return scaled(Rational(-1)); }
+
+LinExpr LinExpr::operator+(const LinExpr &B) const {
+  LinExpr R = *this;
+  R.Constant += B.Constant;
+  for (const auto &[Index, Coeff] : B.Terms)
+    R.addTerm(Index, Coeff);
+  return R;
+}
+
+LinExpr LinExpr::operator-(const LinExpr &B) const { return *this + (-B); }
+
+LinExpr LinExpr::scaled(const Rational &K) const {
+  LinExpr R;
+  if (K.isZero())
+    return R;
+  R.Constant = Constant * K;
+  R.Terms.reserve(Terms.size());
+  for (const auto &[Index, Coeff] : Terms)
+    R.Terms.emplace_back(Index, Coeff * K);
+  return R;
+}
+
+std::optional<LinExpr> LinExpr::mul(const LinExpr &B) const {
+  if (B.isConstant())
+    return scaled(B.Constant);
+  if (isConstant())
+    return B.scaled(Constant);
+  return std::nullopt;
+}
+
+std::optional<LinExpr> LinExpr::div(const LinExpr &B) const {
+  if (!B.isConstant() || B.Constant.isZero())
+    return std::nullopt;
+  return scaled(Rational(1) / B.Constant);
+}
+
+Rational LinExpr::coeff(unsigned Index) const {
+  for (const auto &[I, C] : Terms)
+    if (I == Index)
+      return C;
+  return Rational();
+}
+
+LinExpr LinExpr::substituted(unsigned Index, const LinExpr &Value) const {
+  Rational C = coeff(Index);
+  if (C.isZero())
+    return *this;
+  LinExpr R = *this;
+  R.addTerm(Index, -C);
+  return R + Value.scaled(C);
+}
+
+Rational LinExpr::evaluate(const std::vector<Rational> &ParamValues) const {
+  Rational R = Constant;
+  for (const auto &[Index, Coeff] : Terms) {
+    assert(Index < ParamValues.size() && "parameter without a value");
+    R += Coeff * ParamValues[Index];
+  }
+  return R;
+}
+
+int LinExpr::compare(const LinExpr &A, const LinExpr &B) {
+  if (A.Terms.size() != B.Terms.size())
+    return A.Terms.size() < B.Terms.size() ? -1 : 1;
+  for (size_t I = 0; I < A.Terms.size(); ++I) {
+    if (A.Terms[I].first != B.Terms[I].first)
+      return A.Terms[I].first < B.Terms[I].first ? -1 : 1;
+    if (int C = Rational::compare(A.Terms[I].second, B.Terms[I].second))
+      return C;
+  }
+  return Rational::compare(A.Constant, B.Constant);
+}
+
+size_t LinExpr::hash() const {
+  size_t H = Constant.hash();
+  for (const auto &[Index, Coeff] : Terms) {
+    H = H * 0x100000001b3ULL ^ Index;
+    H ^= Coeff.hash() + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  }
+  return H;
+}
+
+std::string LinExpr::toString(const ParamTable &Params) const {
+  if (isConstant())
+    return Constant.toString();
+  std::string Out;
+  bool First = true;
+  if (!Constant.isZero()) {
+    Out += Constant.toString();
+    First = false;
+  }
+  for (const auto &[Index, Coeff] : Terms) {
+    if (!First)
+      Out += Coeff.isNegative() ? " - " : " + ";
+    else if (Coeff.isNegative())
+      Out += "-";
+    First = false;
+    Rational Abs = Coeff.isNegative() ? -Coeff : Coeff;
+    if (!Abs.isOne())
+      Out += Abs.toString() + "*";
+    Out += Params.name(Index);
+  }
+  return Out;
+}

@@ -1,0 +1,102 @@
+//===- symbolic/LinExpr.h - Linear expressions over parameters -*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear expressions with rational coefficients over named symbolic
+/// parameters (the paper's symbolic link costs COST_01, COST_02, COST_21).
+/// These are the symbolic values that flow through Bayonet programs when the
+/// operator leaves configuration parameters unspecified (Section 2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_SYMBOLIC_LINEXPR_H
+#define BAYONET_SYMBOLIC_LINEXPR_H
+
+#include "support/Rational.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bayonet {
+
+/// Interns parameter names and assigns them dense indices.
+class ParamTable {
+public:
+  /// Returns the index for \p Name, creating it if needed.
+  unsigned getOrAdd(const std::string &Name);
+  /// Returns the index for \p Name if it exists.
+  std::optional<unsigned> lookup(const std::string &Name) const;
+  const std::string &name(unsigned Index) const { return Names[Index]; }
+  unsigned size() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+};
+
+/// A linear expression c0 + sum(ci * param_i), coefficients exact rationals.
+/// Terms are kept sorted by parameter index with no zero coefficients, so
+/// equal expressions have equal representations.
+class LinExpr {
+public:
+  /// Constructs the zero expression.
+  LinExpr() = default;
+  /// Constructs a constant expression.
+  explicit LinExpr(Rational Constant) : Constant(std::move(Constant)) {}
+  /// Constructs the expression "1 * param".
+  static LinExpr param(unsigned Index);
+
+  const Rational &constant() const { return Constant; }
+  const std::vector<std::pair<unsigned, Rational>> &terms() const {
+    return Terms;
+  }
+
+  /// True if the expression has no parameter terms.
+  bool isConstant() const { return Terms.empty(); }
+  bool isZero() const { return Terms.empty() && Constant.isZero(); }
+
+  LinExpr operator-() const;
+  LinExpr operator+(const LinExpr &B) const;
+  LinExpr operator-(const LinExpr &B) const;
+  /// Scales by a rational constant.
+  LinExpr scaled(const Rational &K) const;
+  /// Product; defined only when at least one side is constant.
+  std::optional<LinExpr> mul(const LinExpr &B) const;
+  /// Quotient; defined only when B is a nonzero constant.
+  std::optional<LinExpr> div(const LinExpr &B) const;
+
+  /// Coefficient of parameter \p Index (zero if absent).
+  Rational coeff(unsigned Index) const;
+  /// Replaces parameter \p Index by the expression \p Value.
+  LinExpr substituted(unsigned Index, const LinExpr &Value) const;
+  /// Evaluates under a full assignment of parameter values.
+  Rational evaluate(const std::vector<Rational> &ParamValues) const;
+
+  friend bool operator==(const LinExpr &A, const LinExpr &B) {
+    return A.Constant == B.Constant && A.Terms == B.Terms;
+  }
+  friend bool operator!=(const LinExpr &A, const LinExpr &B) {
+    return !(A == B);
+  }
+
+  /// Deterministic ordering for use as a container key.
+  static int compare(const LinExpr &A, const LinExpr &B);
+
+  size_t hash() const;
+  /// Renders like "2 + 3*COST_01 - COST_21".
+  std::string toString(const ParamTable &Params) const;
+
+private:
+  Rational Constant;
+  std::vector<std::pair<unsigned, Rational>> Terms;
+
+  void addTerm(unsigned Index, const Rational &Coeff);
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_SYMBOLIC_LINEXPR_H

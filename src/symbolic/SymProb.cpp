@@ -1,0 +1,213 @@
+//===- symbolic/SymProb.cpp - Piecewise-rational probabilities -----------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/SymProb.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bayonet;
+
+SymProb SymProb::concrete(Rational Value) {
+  SymProb P;
+  P.addTerm(ConstraintSet(), std::move(Value));
+  return P;
+}
+
+SymProb SymProb::guarded(ConstraintSet Guard, Rational Value) {
+  SymProb P;
+  if (Guard.isConsistent())
+    P.addTerm(std::move(Guard), std::move(Value));
+  return P;
+}
+
+bool SymProb::isConcrete() const {
+  return Terms.empty() || (Terms.size() == 1 && Terms[0].Guard.empty());
+}
+
+Rational SymProb::concreteValue() const {
+  assert(isConcrete() && "weight is symbolic");
+  return Terms.empty() ? Rational() : Terms[0].Value;
+}
+
+void SymProb::addTerm(ConstraintSet Guard, Rational Value) {
+  if (Value.isZero())
+    return;
+  auto It = std::lower_bound(Terms.begin(), Terms.end(), Guard,
+                             [](const Term &T, const ConstraintSet &G) {
+                               return ConstraintSet::compare(T.Guard, G) < 0;
+                             });
+  if (It != Terms.end() && It->Guard == Guard) {
+    It->Value += Value;
+    if (It->Value.isZero())
+      Terms.erase(It);
+    return;
+  }
+  Terms.insert(It, {std::move(Guard), std::move(Value)});
+}
+
+SymProb SymProb::operator+(const SymProb &B) const {
+  SymProb R = *this;
+  R += B;
+  return R;
+}
+
+SymProb &SymProb::operator+=(const SymProb &B) {
+  for (const Term &T : B.Terms)
+    addTerm(T.Guard, T.Value);
+  return *this;
+}
+
+SymProb SymProb::scaled(const Rational &K) const {
+  SymProb R;
+  if (K.isZero())
+    return R;
+  R.Terms.reserve(Terms.size());
+  for (const Term &T : Terms)
+    R.Terms.push_back({T.Guard, T.Value * K});
+  return R;
+}
+
+SymProb SymProb::restricted(const Constraint &C) const {
+  SymProb R;
+  for (const Term &T : Terms) {
+    ConstraintSet G = T.Guard;
+    G.add(C);
+    if (G.isConsistent())
+      R.addTerm(std::move(G), T.Value);
+  }
+  return R;
+}
+
+Rational SymProb::evaluate(const std::vector<Rational> &ParamValues) const {
+  Rational Sum;
+  for (const Term &T : Terms)
+    if (T.Guard.evaluate(ParamValues))
+      Sum += T.Value;
+  return Sum;
+}
+
+std::vector<Constraint> SymProb::atoms() const {
+  std::vector<Constraint> Out;
+  for (const Term &T : Terms)
+    for (const Constraint &C : T.Guard.constraints()) {
+      if (std::find(Out.begin(), Out.end(), C) == Out.end())
+        Out.push_back(C);
+    }
+  return Out;
+}
+
+bool bayonet::operator==(const SymProb &A, const SymProb &B) {
+  if (A.Terms.size() != B.Terms.size())
+    return false;
+  for (size_t I = 0; I < A.Terms.size(); ++I)
+    if (!(A.Terms[I].Guard == B.Terms[I].Guard) ||
+        A.Terms[I].Value != B.Terms[I].Value)
+      return false;
+  return true;
+}
+
+size_t SymProb::hash() const {
+  size_t H = 0x51ed270b;
+  for (const Term &T : Terms) {
+    H = H * 0x100000001b3ULL ^ T.Guard.hash();
+    H ^= T.Value.hash() + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  }
+  return H;
+}
+
+std::string SymProb::toString(const ParamTable &Params) const {
+  if (Terms.empty())
+    return "0";
+  std::string Out;
+  for (size_t I = 0; I < Terms.size(); ++I) {
+    if (I)
+      Out += " + ";
+    Out += Terms[I].Value.toString();
+    if (!Terms[I].Guard.empty())
+      Out += "*[" + Terms[I].Guard.toString(Params) + "]";
+  }
+  return Out;
+}
+
+std::vector<ProbCase> bayonet::partitionRatio(const SymProb &Numerator,
+                                              const SymProb &Denominator) {
+  // Collect the distinct linear expressions whose signs matter. Orient each
+  // expression canonically (leading coefficient positive) so E and -E land
+  // on the same axis.
+  std::vector<LinExpr> Axes;
+  auto addAxis = [&Axes](const Constraint &C) {
+    LinExpr E = C.expr();
+    if (!E.isConstant() && E.terms().front().second.isNegative())
+      E = -E;
+    if (std::find(Axes.begin(), Axes.end(), E) == Axes.end())
+      Axes.push_back(E);
+  };
+  for (const Constraint &C : Numerator.atoms())
+    addAxis(C);
+  for (const Constraint &C : Denominator.atoms())
+    addAxis(C);
+
+  std::vector<ProbCase> Out;
+  if (Axes.empty()) {
+    // Fully concrete.
+    Rational Z = Denominator.isZero() ? Rational() : Denominator.terms()[0].Value;
+    if (!Z.isZero())
+      Out.push_back({ConstraintSet(),
+                     (Numerator.isZero() ? Rational() : Numerator.terms()[0].Value) / Z});
+    return Out;
+  }
+  assert(Axes.size() <= 16 && "too many symbolic guard atoms to partition");
+
+  // Enumerate sign assignments (<, ==, >) for every axis.
+  std::vector<unsigned> Signs(Axes.size(), 0);
+  for (;;) {
+    ConstraintSet Region;
+    for (size_t I = 0; I < Axes.size(); ++I) {
+      switch (Signs[I]) {
+      case 0:
+        Region.add(Constraint(Axes[I], RelKind::LT));
+        break;
+      case 1:
+        Region.add(Constraint(Axes[I], RelKind::EQ));
+        break;
+      default:
+        Region.add(Constraint(-Axes[I], RelKind::LT));
+        break;
+      }
+    }
+    if (Region.isConsistent()) {
+      // Every atom has a fixed truth value on the region, so each term's
+      // guard is either entailed or contradicted by the region; sum the
+      // entailed ones.
+      auto sumOn = [&Region](const SymProb &P) {
+        Rational Sum;
+        for (const SymProb::Term &T : P.terms()) {
+          bool Included = true;
+          for (const Constraint &C : T.Guard.constraints())
+            if (!Region.implies(C)) {
+              Included = false;
+              break;
+            }
+          if (Included)
+            Sum += T.Value;
+        }
+        return Sum;
+      };
+      Rational Z = sumOn(Denominator);
+      if (!Z.isZero())
+        Out.push_back({Region.simplified(), sumOn(Numerator) / Z});
+    }
+    size_t I = 0;
+    while (I < Signs.size() && ++Signs[I] == 3) {
+      Signs[I] = 0;
+      ++I;
+    }
+    if (I == Signs.size())
+      break;
+  }
+  return Out;
+}

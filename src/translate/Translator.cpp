@@ -1,0 +1,408 @@
+//===- translate/Translator.cpp - Bayonet to PSI IR translation -----------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "translate/Translator.h"
+
+#include <cassert>
+
+using namespace bayonet;
+
+namespace {
+
+/// Builds the PSI IR program for one network.
+class TranslatorImpl {
+public:
+  TranslatorImpl(const NetworkSpec &Spec, DiagEngine &Diags)
+      : Spec(Spec), Diags(Diags) {}
+
+  std::optional<PsiProgram> run();
+
+private:
+  const NetworkSpec &Spec;
+  DiagEngine &Diags;
+  PsiProgram P;
+
+  // Frame layout.
+  std::vector<unsigned> QInVar, QOutVar;
+  std::vector<std::vector<unsigned>> StateVar; // per node, per slot
+  unsigned TmpEntry = 0; ///< Scratch: a popped queue entry.
+  unsigned TmpVal = 0;   ///< Scratch: an evaluated rvalue.
+  unsigned NVar = 0;     ///< Number of enabled actions this step.
+  unsigned ChoiceVar = 0;
+  unsigned CntVar = 0;
+
+  unsigned NumFields = 0; ///< Packet entry layout: fields then port.
+
+  /// The current node while translating a def body.
+  unsigned CurNode = 0;
+
+  // Expression translation within node CurNode's program.
+  PExprPtr trExpr(const Expr &E);
+  // Statement translation into Out.
+  void trStmts(const std::vector<StmtPtr> &Stmts,
+               std::vector<PStmtPtr> &Out);
+  void trStmt(const Stmt &S, std::vector<PStmtPtr> &Out);
+
+  /// qin_CurNode[0] as an expression.
+  PExprPtr headEntry() { return pIndex(pVar(QInVar[CurNode]), pInt(0)); }
+
+  /// Emits the body of a (Run, Node) action.
+  std::vector<PStmtPtr> buildRun(unsigned Node);
+  /// Emits the body of a (Fwd, Node) action.
+  std::vector<PStmtPtr> buildFwd(unsigned Node);
+  /// The total-enabled-weight expression.
+  PExprPtr enabledCount();
+  /// The scheduling weight of node's slots (1 unless weighted).
+  int64_t slotWeight(unsigned Node) const;
+  /// Translates the query into the result expression.
+  PExprPtr trQueryExpr(const Expr &E);
+};
+
+std::optional<PsiProgram> TranslatorImpl::run() {
+  if (Spec.Sched == SchedulerKind::RoundRobin) {
+    Diags.error({}, "the translator does not support the round-robin rotor "
+                    "scheduler; use 'uniform' or 'deterministic'");
+    return std::nullopt;
+  }
+  P.Params = Spec.Params;
+  P.ParamValues = Spec.ParamValues;
+  if (Spec.Query)
+    P.Kind = Spec.Query->Kind;
+  NumFields = Spec.PacketFields.size();
+
+  // Frame layout: queues and state variables per node, then scratch.
+  unsigned NumNodes = Spec.Topo.numNodes();
+  QInVar.resize(NumNodes);
+  QOutVar.resize(NumNodes);
+  StateVar.resize(NumNodes);
+  for (unsigned I = 0; I < NumNodes; ++I) {
+    QInVar[I] = P.addVar("qin_" + Spec.NodeNames[I]);
+    QOutVar[I] = P.addVar("qout_" + Spec.NodeNames[I]);
+    const DefDecl *Def = Spec.NodePrograms[I];
+    for (const StateVarDecl &SV : Def->StateVars)
+      StateVar[I].push_back(
+          P.addVar("s_" + Spec.NodeNames[I] + "_" + SV.Name));
+  }
+  TmpEntry = P.addVar("__entry");
+  TmpVal = P.addVar("__val");
+  NVar = P.addVar("__n");
+  ChoiceVar = P.addVar("__choice");
+  CntVar = P.addVar("__cnt");
+
+  // Initialization: empty queues, state initializers, initial packets.
+  for (unsigned I = 0; I < NumNodes; ++I) {
+    P.Body.push_back(sAssign(QInVar[I], pTuple({})));
+    P.Body.push_back(sAssign(QOutVar[I], pTuple({})));
+    const DefDecl *Def = Spec.NodePrograms[I];
+    CurNode = I;
+    for (unsigned Slot = 0; Slot < Def->StateVars.size(); ++Slot) {
+      const StateVarDecl &SV = Def->StateVars[Slot];
+      P.Body.push_back(sAssign(StateVar[I][Slot],
+                               SV.Init ? trExpr(*SV.Init) : pInt(0)));
+    }
+  }
+  for (const InitPacketSpec &Init : Spec.Inits) {
+    std::vector<PExprPtr> Entry;
+    for (const Rational &F : Init.Fields)
+      Entry.push_back(pConst(F));
+    Entry.push_back(pInt(0)); // Arrival port 0.
+    P.Body.push_back(sPushBack(QInVar[Init.Node], pTuple(std::move(Entry)),
+                               Spec.QueueCapacity));
+  }
+
+  // The step driver (Figure 10's main/step): repeat num_steps times.
+  std::vector<PStmtPtr> StepBody;
+  StepBody.push_back(sAssign(NVar, enabledCount()));
+  std::vector<PStmtPtr> DoStep;
+  if (Spec.Sched == SchedulerKind::Deterministic)
+    // Greedy deterministic scheduler: always the first enabled slot.
+    DoStep.push_back(sAssign(ChoiceVar, pInt(0)));
+  else
+    // Uniform / weighted: draw a point in the enabled weight mass.
+    DoStep.push_back(sAssign(
+        ChoiceVar,
+        pUniformInt(pInt(0), pBin(BinOpKind::Sub, pVar(NVar), pInt(1)))));
+  DoStep.push_back(sAssign(CntVar, pInt(0)));
+  // Each enabled slot occupies [cnt, cnt + weight) of the choice range;
+  // weight is 1 except for the weighted scheduler.
+  auto addSlot = [&](unsigned QueueVar, std::vector<PStmtPtr> Body,
+                     int64_t Weight) {
+    std::vector<PStmtPtr> IfChosen;
+    for (PStmtPtr &S : Body)
+      IfChosen.push_back(std::move(S));
+    PExprPtr Hit = pBin(
+        BinOpKind::And,
+        pBin(BinOpKind::Le, pVar(CntVar), pVar(ChoiceVar)),
+        pBin(BinOpKind::Lt, pVar(ChoiceVar),
+             pBin(BinOpKind::Add, pVar(CntVar), pInt(Weight))));
+    std::vector<PStmtPtr> Slot;
+    Slot.push_back(sIf(std::move(Hit), std::move(IfChosen)));
+    Slot.push_back(sAssign(
+        CntVar, pBin(BinOpKind::Add, pVar(CntVar), pInt(Weight))));
+    DoStep.push_back(sIf(
+        pBin(BinOpKind::Gt, pLen(pVar(QueueVar)), pInt(0)), std::move(Slot)));
+  };
+  for (unsigned I = 0; I < NumNodes; ++I) {
+    int64_t Weight = slotWeight(I);
+    addSlot(QInVar[I], buildRun(I), Weight);
+    addSlot(QOutVar[I], buildFwd(I), Weight);
+  }
+  StepBody.push_back(sIf(pBin(BinOpKind::Gt, pVar(NVar), pInt(0)),
+                         std::move(DoStep)));
+  P.Body.push_back(sRepeat(Spec.NumSteps, std::move(StepBody)));
+
+  // assert(terminated()).
+  P.Body.push_back(sAssign(NVar, enabledCount()));
+  P.Body.push_back(sAssert(pBin(BinOpKind::Eq, pVar(NVar), pInt(0))));
+
+  // The query. A "given" clause becomes a final observation.
+  if (Spec.Query && Spec.Query->Given)
+    P.Body.push_back(sObserve(trQueryExpr(*Spec.Query->Given)));
+  if (Spec.Query && Spec.Query->Body)
+    P.Result = trQueryExpr(*Spec.Query->Body);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return std::move(P);
+}
+
+PExprPtr TranslatorImpl::enabledCount() {
+  // Total scheduling weight of the enabled slots (weight 1 per slot except
+  // for the weighted scheduler).
+  PExprPtr Sum = pInt(0);
+  for (unsigned I = 0; I < Spec.Topo.numNodes(); ++I) {
+    int64_t Weight = slotWeight(I);
+    Sum = pBin(BinOpKind::Add, std::move(Sum),
+               pBin(BinOpKind::Mul,
+                    pBin(BinOpKind::Gt, pLen(pVar(QInVar[I])), pInt(0)),
+                    pInt(Weight)));
+    Sum = pBin(BinOpKind::Add, std::move(Sum),
+               pBin(BinOpKind::Mul,
+                    pBin(BinOpKind::Gt, pLen(pVar(QOutVar[I])), pInt(0)),
+                    pInt(Weight)));
+  }
+  return Sum;
+}
+
+int64_t TranslatorImpl::slotWeight(unsigned Node) const {
+  if (Spec.Sched != SchedulerKind::Weighted)
+    return 1;
+  assert(Node < Spec.NodeWeights.size() && "missing node weight");
+  return Spec.NodeWeights[Node];
+}
+
+std::vector<PStmtPtr> TranslatorImpl::buildRun(unsigned Node) {
+  CurNode = Node;
+  std::vector<PStmtPtr> Out;
+  trStmts(Spec.NodePrograms[Node]->Body, Out);
+  return Out;
+}
+
+std::vector<PStmtPtr> TranslatorImpl::buildFwd(unsigned Node) {
+  // Pop the head of qout and route it across the link for its port.
+  std::vector<PStmtPtr> Out;
+  Out.push_back(sPopFront(QOutVar[Node], TmpEntry));
+  // If-chain over this node's connected ports; unconnected ports drop the
+  // packet (it leaves the network).
+  for (const auto &[A, B] : Spec.Topo.links()) {
+    for (int Side = 0; Side < 2; ++Side) {
+      const Interface &Src = Side ? B : A;
+      const Interface &Dst = Side ? A : B;
+      if (Src.Node != Node)
+        continue;
+      // entry[NumFields] == Src.Port: rewrite the port to Dst.Port and
+      // enqueue at Dst (bounded push models congestion loss).
+      std::vector<PExprPtr> NewEntry;
+      for (unsigned F = 0; F < NumFields; ++F)
+        NewEntry.push_back(pTupleGet(pVar(TmpEntry), F));
+      NewEntry.push_back(pInt(Dst.Port));
+      std::vector<PStmtPtr> Then;
+      Then.push_back(sPushBack(QInVar[Dst.Node], pTuple(std::move(NewEntry)),
+                               Spec.QueueCapacity));
+      Out.push_back(
+          sIf(pBin(BinOpKind::Eq, pTupleGet(pVar(TmpEntry), NumFields),
+                   pInt(Src.Port)),
+              std::move(Then)));
+    }
+  }
+  return Out;
+}
+
+PExprPtr TranslatorImpl::trExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::Number:
+    return pConst(cast<NumberExpr>(E).Value);
+  case ExprKind::Var: {
+    const auto &V = cast<VarExpr>(E);
+    switch (V.Res) {
+    case VarRes::Port:
+      return pTupleGet(headEntry(), NumFields);
+    case VarRes::StateVar:
+      return pVar(StateVar[CurNode][V.Index]);
+    case VarRes::NodeConst:
+      return pInt(static_cast<int64_t>(V.Index));
+    case VarRes::SymParam:
+      return pParam(V.Index);
+    case VarRes::Unresolved:
+      Diags.error(E.Loc, "unresolved identifier in translation");
+      return pInt(0);
+    }
+    return pInt(0);
+  }
+  case ExprKind::FieldRead:
+    return pTupleGet(headEntry(), cast<FieldReadExpr>(E).FieldIndex);
+  case ExprKind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    return pBin(B.Op, trExpr(*B.Lhs), trExpr(*B.Rhs));
+  }
+  case ExprKind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    return pUn(U.Op, trExpr(*U.Operand));
+  }
+  case ExprKind::Flip:
+    return pFlip(trExpr(*cast<FlipExpr>(E).Prob));
+  case ExprKind::UniformInt: {
+    const auto &U = cast<UniformIntExpr>(E);
+    return pUniformInt(trExpr(*U.Lo), trExpr(*U.Hi));
+  }
+  case ExprKind::StateRef:
+    Diags.error(E.Loc, "state reference outside a query");
+    return pInt(0);
+  }
+  return pInt(0);
+}
+
+void TranslatorImpl::trStmts(const std::vector<StmtPtr> &Stmts,
+                             std::vector<PStmtPtr> &Out) {
+  for (const StmtPtr &S : Stmts)
+    trStmt(*S, Out);
+}
+
+void TranslatorImpl::trStmt(const Stmt &S, std::vector<PStmtPtr> &Out) {
+  switch (S.Kind) {
+  case StmtKind::Skip:
+    return;
+  case StmtKind::New: {
+    std::vector<PExprPtr> Entry;
+    for (unsigned F = 0; F < NumFields; ++F)
+      Entry.push_back(pInt(0));
+    Entry.push_back(pInt(0));
+    Out.push_back(sPushFront(QInVar[CurNode], pTuple(std::move(Entry)),
+                             Spec.QueueCapacity));
+    return;
+  }
+  case StmtKind::Drop:
+    Out.push_back(sPopFront(QInVar[CurNode], TmpEntry));
+    return;
+  case StmtKind::Dup:
+    Out.push_back(sAssign(TmpEntry, headEntry()));
+    Out.push_back(
+        sPushFront(QInVar[CurNode], pVar(TmpEntry), Spec.QueueCapacity));
+    return;
+  case StmtKind::Fwd: {
+    const auto &F = cast<FwdStmt>(S);
+    // Evaluate the port while the head is still in place, then move the
+    // head to the output queue with the new port.
+    Out.push_back(sAssign(TmpVal, trExpr(*F.Port)));
+    Out.push_back(sPopFront(QInVar[CurNode], TmpEntry));
+    std::vector<PExprPtr> Entry;
+    for (unsigned I = 0; I < NumFields; ++I)
+      Entry.push_back(pTupleGet(pVar(TmpEntry), I));
+    Entry.push_back(pVar(TmpVal));
+    Out.push_back(sPushBack(QOutVar[CurNode], pTuple(std::move(Entry)),
+                            Spec.QueueCapacity));
+    return;
+  }
+  case StmtKind::Assign: {
+    const auto &A = cast<AssignStmt>(S);
+    Out.push_back(
+        sAssign(StateVar[CurNode][A.SlotIndex], trExpr(*A.Value)));
+    return;
+  }
+  case StmtKind::FieldAssign: {
+    const auto &FA = cast<FieldAssignStmt>(S);
+    // Evaluate the value first (it may read the head), then rebuild the
+    // head entry with the field replaced.
+    Out.push_back(sAssign(TmpVal, trExpr(*FA.Value)));
+    Out.push_back(sPopFront(QInVar[CurNode], TmpEntry));
+    std::vector<PExprPtr> Entry;
+    for (unsigned I = 0; I <= NumFields; ++I) {
+      if (I == FA.FieldIndex)
+        Entry.push_back(pVar(TmpVal));
+      else
+        Entry.push_back(pTupleGet(pVar(TmpEntry), I));
+    }
+    Out.push_back(sPushFront(QInVar[CurNode], pTuple(std::move(Entry)),
+                             Spec.QueueCapacity));
+    return;
+  }
+  case StmtKind::Observe:
+    Out.push_back(sObserve(trExpr(*cast<CondStmt>(S).Cond)));
+    return;
+  case StmtKind::Assert:
+    Out.push_back(sAssert(trExpr(*cast<CondStmt>(S).Cond)));
+    return;
+  case StmtKind::If: {
+    const auto &If = cast<IfStmt>(S);
+    std::vector<PStmtPtr> Then, Else;
+    trStmts(If.Then, Then);
+    trStmts(If.Else, Else);
+    Out.push_back(sIf(trExpr(*If.Cond), std::move(Then), std::move(Else)));
+    return;
+  }
+  case StmtKind::While: {
+    const auto &While = cast<WhileStmt>(S);
+    std::vector<PStmtPtr> Body;
+    trStmts(While.Body, Body);
+    Out.push_back(sWhile(trExpr(*While.Cond), std::move(Body)));
+    return;
+  }
+  }
+}
+
+PExprPtr TranslatorImpl::trQueryExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::Number:
+    return pConst(cast<NumberExpr>(E).Value);
+  case ExprKind::Var: {
+    const auto &V = cast<VarExpr>(E);
+    if (V.Res == VarRes::NodeConst)
+      return pInt(static_cast<int64_t>(V.Index));
+    if (V.Res == VarRes::SymParam)
+      return pParam(V.Index);
+    Diags.error(E.Loc, "identifier not allowed in a query");
+    return pInt(0);
+  }
+  case ExprKind::StateRef: {
+    const auto &SR = cast<StateRefExpr>(E);
+    PExprPtr Sum;
+    for (const auto &[Node, Slot] : SR.Targets) {
+      PExprPtr V = pVar(StateVar[Node][Slot]);
+      Sum = Sum ? pBin(BinOpKind::Add, std::move(Sum), std::move(V))
+                : std::move(V);
+    }
+    return Sum ? std::move(Sum) : pInt(0);
+  }
+  case ExprKind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    return pBin(B.Op, trQueryExpr(*B.Lhs), trQueryExpr(*B.Rhs));
+  }
+  case ExprKind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    return pUn(U.Op, trQueryExpr(*U.Operand));
+  }
+  default:
+    Diags.error(E.Loc, "expression kind not allowed in a query");
+    return pInt(0);
+  }
+}
+
+} // namespace
+
+std::optional<PsiProgram> bayonet::translateToPsi(const NetworkSpec &Spec,
+                                                  DiagEngine &Diags) {
+  TranslatorImpl Impl(Spec, Diags);
+  return Impl.run();
+}

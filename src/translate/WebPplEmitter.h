@@ -1,0 +1,31 @@
+//===- translate/WebPplEmitter.h - WebPPL source emission ------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a PSI IR program as WebPPL source text. The paper's pipeline can
+/// alternatively compile Bayonet programs to WebPPL for approximate
+/// (SMC) inference; this emitter reproduces that artifact so the generated
+/// programs can be inspected, size-compared (Section 4's "2-10x larger"
+/// observation) and, where a WebPPL runtime is available, executed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_TRANSLATE_WEBPPLEMITTER_H
+#define BAYONET_TRANSLATE_WEBPPLEMITTER_H
+
+#include "psi/PsiIr.h"
+
+#include <string>
+
+namespace bayonet {
+
+/// Renders \p P as a WebPPL program (a model function plus an Infer call
+/// using SMC with \p Particles particles).
+std::string emitWebPpl(const PsiProgram &P, unsigned Particles = 1000);
+
+} // namespace bayonet
+
+#endif // BAYONET_TRANSLATE_WEBPPLEMITTER_H

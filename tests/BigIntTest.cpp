@@ -1,0 +1,172 @@
+//===- tests/BigIntTest.cpp - BigInt unit and property tests --------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt Z;
+  EXPECT_TRUE(Z.isZero());
+  EXPECT_FALSE(Z.isNegative());
+  EXPECT_EQ(Z.toString(), "0");
+}
+
+TEST(BigIntTest, SmallArithmetic) {
+  BigInt A(7), B(-3);
+  EXPECT_EQ((A + B).toString(), "4");
+  EXPECT_EQ((A - B).toString(), "10");
+  EXPECT_EQ((A * B).toString(), "-21");
+  EXPECT_EQ((A / B).toString(), "-2");
+  EXPECT_EQ((A % B).toString(), "1");
+}
+
+TEST(BigIntTest, NegationOfInt64Min) {
+  BigInt A(INT64_MIN);
+  BigInt N = -A;
+  EXPECT_FALSE(N.isNegative());
+  EXPECT_EQ(N.toString(), "9223372036854775808");
+  EXPECT_EQ((-N).toString(), std::to_string(INT64_MIN));
+  EXPECT_EQ(-(-N), N);
+}
+
+TEST(BigIntTest, OverflowPromotesToBig) {
+  BigInt A(INT64_MAX);
+  BigInt B = A + BigInt(1);
+  EXPECT_FALSE(B.isSmall());
+  EXPECT_EQ(B.toString(), "9223372036854775808");
+  EXPECT_EQ((B - BigInt(1)).toString(), std::to_string(INT64_MAX));
+  EXPECT_TRUE((B - BigInt(1)).isSmall());
+}
+
+TEST(BigIntTest, LargeMultiplication) {
+  BigInt A, B;
+  ASSERT_TRUE(BigInt::fromString("123456789012345678901234567890", A));
+  ASSERT_TRUE(BigInt::fromString("987654321098765432109876543210", B));
+  EXPECT_EQ((A * B).toString(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  BigInt V;
+  EXPECT_FALSE(BigInt::fromString("", V));
+  EXPECT_FALSE(BigInt::fromString("-", V));
+  EXPECT_FALSE(BigInt::fromString("12a3", V));
+  EXPECT_FALSE(BigInt::fromString("+5", V));
+  EXPECT_TRUE(BigInt::fromString("-987654321987654321987654321", V));
+  EXPECT_EQ(V.toString(), "-987654321987654321987654321");
+}
+
+TEST(BigIntTest, ComparisonOrdering) {
+  BigInt Big;
+  ASSERT_TRUE(BigInt::fromString("99999999999999999999999999", Big));
+  EXPECT_LT(BigInt(5), Big);
+  EXPECT_LT(-Big, BigInt(-5));
+  EXPECT_LT(-Big, Big);
+  EXPECT_EQ(BigInt::compare(Big, Big), 0);
+  EXPECT_GE(Big, Big);
+}
+
+TEST(BigIntTest, DivModIdentityOnRandomValues) {
+  // Property: for random a, b != 0: a == (a/b)*b + a%b and |a%b| < |b|.
+  Xoshiro Rng(42);
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    BigInt A(static_cast<int64_t>(Rng.next()));
+    BigInt B(static_cast<int64_t>(Rng.next() | 1));
+    // Mix in some genuinely large operands.
+    if (Iter % 3 == 0)
+      A = A * A * A;
+    if (Iter % 5 == 0)
+      B = B * B;
+    BigInt Q, R;
+    BigInt::divMod(A, B, Q, R);
+    EXPECT_EQ(Q * B + R, A) << "a=" << A.toString() << " b=" << B.toString();
+    EXPECT_LT(R.abs(), B.abs());
+    // C semantics: remainder has the sign of the dividend (or is zero).
+    if (!R.isZero()) {
+      EXPECT_EQ(R.isNegative(), A.isNegative());
+    }
+  }
+}
+
+TEST(BigIntTest, MulDivRoundTripLarge) {
+  Xoshiro Rng(7);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    BigInt A(static_cast<int64_t>(Rng.next() >> 8));
+    BigInt B(static_cast<int64_t>(Rng.next() >> 16) + 1);
+    BigInt C = A * A * B;
+    EXPECT_EQ(C / (A.isZero() ? BigInt(1) : A),
+              A.isZero() ? BigInt(0) : A * B);
+  }
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).toString(), "6");
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).toString(), "6");
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)).toString(), "0");
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(-7)).toString(), "7");
+  BigInt A, B;
+  ASSERT_TRUE(BigInt::fromString("123456789012345678901234567890", A));
+  ASSERT_TRUE(BigInt::fromString("987654321098765432109876543210", B));
+  EXPECT_EQ(BigInt::gcd(A, B).toString(), "9000000000900000000090");
+}
+
+TEST(BigIntTest, ToStringRoundTrip) {
+  Xoshiro Rng(99);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    BigInt A(static_cast<int64_t>(Rng.next()));
+    BigInt B = A * A * A * A;
+    BigInt Back;
+    ASSERT_TRUE(BigInt::fromString(B.toString(), Back));
+    EXPECT_EQ(B, Back);
+  }
+}
+
+TEST(BigIntTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(1000).toDouble(), 1000.0);
+  BigInt A;
+  ASSERT_TRUE(BigInt::fromString("10000000000000000000", A));
+  EXPECT_DOUBLE_EQ(A.toDouble(), 1e19);
+  EXPECT_DOUBLE_EQ((-A).toDouble(), -1e19);
+}
+
+TEST(BigIntTest, HashEqualValuesAgree) {
+  BigInt A = BigInt(INT64_MAX) + BigInt(12345);
+  BigInt B = BigInt(12345) + BigInt(INT64_MAX);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  // Big value brought back into small range hashes like a native small.
+  BigInt C = A - BigInt(12345);
+  EXPECT_EQ(C.hash(), BigInt(INT64_MAX).hash());
+}
+
+TEST(BigIntTest, DivisionSignMatrix) {
+  // All four sign combinations, C truncation semantics.
+  EXPECT_EQ((BigInt(7) / BigInt(2)).toString(), "3");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).toString(), "-3");
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).toString(), "-3");
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).toString(), "3");
+  EXPECT_EQ((BigInt(7) % BigInt(2)).toString(), "1");
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).toString(), "-1");
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).toString(), "1");
+  EXPECT_EQ((BigInt(-7) % BigInt(-2)).toString(), "-1");
+}
+
+TEST(BigIntTest, PaperDenominatorArithmetic) {
+  // The Section 2 congestion probability: 30378810105265/67706637778944.
+  BigInt Num, Den;
+  ASSERT_TRUE(BigInt::fromString("30378810105265", Num));
+  ASSERT_TRUE(BigInt::fromString("67706637778944", Den));
+  EXPECT_EQ(BigInt::gcd(Num, Den).toString(), "1");
+  EXPECT_NEAR(Num.toDouble() / Den.toDouble(), 0.4487, 1e-4);
+}
+
+} // namespace

@@ -1,0 +1,196 @@
+//===- tests/ConstraintTest.cpp - Constraint solver tests -----------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/Constraint.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+class ConstraintTest : public ::testing::Test {
+protected:
+  ParamTable Params;
+  unsigned X = Params.getOrAdd("X");
+  unsigned Y = Params.getOrAdd("Y");
+  unsigned Z = Params.getOrAdd("Z");
+
+  LinExpr x() { return LinExpr::param(X); }
+  LinExpr y() { return LinExpr::param(Y); }
+  LinExpr z() { return LinExpr::param(Z); }
+  LinExpr c(int64_t V) { return LinExpr(Rational(V)); }
+};
+
+TEST_F(ConstraintTest, CanonicalizationScalesCoefficients) {
+  // 2/3*X - 4/3 < 0 canonicalizes to X - 2 < 0.
+  Constraint A(x().scaled(Rational(BigInt(2), BigInt(3))) -
+                   c(1).scaled(Rational(BigInt(4), BigInt(3))),
+               RelKind::LT);
+  Constraint B(x() - c(2), RelKind::LT);
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(ConstraintTest, EqualityOrientation) {
+  // -X + Y == 0 and X - Y == 0 are the same constraint.
+  Constraint A(y() - x(), RelKind::EQ);
+  Constraint B(x() - y(), RelKind::EQ);
+  EXPECT_EQ(A, B);
+  // But for inequalities the sign matters.
+  Constraint C(y() - x(), RelKind::LT);
+  Constraint D(x() - y(), RelKind::LT);
+  EXPECT_NE(C, D);
+}
+
+TEST_F(ConstraintTest, TryDecideConstants) {
+  EXPECT_EQ(Constraint(c(0), RelKind::EQ).tryDecide(), std::optional(true));
+  EXPECT_EQ(Constraint(c(1), RelKind::EQ).tryDecide(), std::optional(false));
+  EXPECT_EQ(Constraint(c(-1), RelKind::LT).tryDecide(), std::optional(true));
+  EXPECT_EQ(Constraint(c(0), RelKind::LT).tryDecide(), std::optional(false));
+  EXPECT_EQ(Constraint(c(0), RelKind::LE).tryDecide(), std::optional(true));
+  EXPECT_EQ(Constraint(c(2), RelKind::NE).tryDecide(), std::optional(true));
+  EXPECT_EQ(Constraint(x(), RelKind::LT).tryDecide(), std::nullopt);
+}
+
+TEST_F(ConstraintTest, NegationRoundTrip) {
+  Constraint A(x() - y(), RelKind::LT);
+  Constraint NotA = A.negated();
+  EXPECT_EQ(NotA, Constraint(y() - x(), RelKind::LE));
+  EXPECT_EQ(NotA.negated(), A);
+  Constraint E(x(), RelKind::EQ);
+  EXPECT_EQ(E.negated(), Constraint(x(), RelKind::NE));
+  EXPECT_EQ(E.negated().negated(), E);
+}
+
+TEST_F(ConstraintTest, EvaluateUnderAssignment) {
+  Constraint A(x() - y(), RelKind::LT);
+  EXPECT_TRUE(A.evaluate({Rational(1), Rational(2), Rational(0)}));
+  EXPECT_FALSE(A.evaluate({Rational(2), Rational(2), Rational(0)}));
+  Constraint E(x() - y(), RelKind::EQ);
+  EXPECT_TRUE(E.evaluate({Rational(2), Rational(2), Rational(0)}));
+}
+
+TEST_F(ConstraintTest, SimpleConsistency) {
+  ConstraintSet S;
+  S.add(Constraint(x() - y(), RelKind::LT)); // X < Y
+  S.add(Constraint(y() - z(), RelKind::LT)); // Y < Z
+  EXPECT_TRUE(S.isConsistent());
+  S.add(Constraint(z() - x(), RelKind::LT)); // Z < X: cycle, inconsistent
+  EXPECT_FALSE(S.isConsistent());
+}
+
+TEST_F(ConstraintTest, StrictVersusNonStrict) {
+  // X <= Y and Y <= X is consistent (X == Y), but X < Y and Y <= X is not.
+  ConstraintSet S1;
+  S1.add(Constraint(x() - y(), RelKind::LE));
+  S1.add(Constraint(y() - x(), RelKind::LE));
+  EXPECT_TRUE(S1.isConsistent());
+  ConstraintSet S2;
+  S2.add(Constraint(x() - y(), RelKind::LT));
+  S2.add(Constraint(y() - x(), RelKind::LE));
+  EXPECT_FALSE(S2.isConsistent());
+}
+
+TEST_F(ConstraintTest, EqualitySubstitution) {
+  // X == Y + 1, Y == 2, X < 2 is inconsistent.
+  ConstraintSet S;
+  S.add(Constraint(x() - y() - c(1), RelKind::EQ));
+  S.add(Constraint(y() - c(2), RelKind::EQ));
+  EXPECT_TRUE(S.isConsistent());
+  S.add(Constraint(x() - c(2), RelKind::LT));
+  EXPECT_FALSE(S.isConsistent());
+}
+
+TEST_F(ConstraintTest, DisequalityHandling) {
+  // X <= 0, X >= 0, X != 0 is inconsistent.
+  ConstraintSet S;
+  S.add(Constraint(x(), RelKind::LE));
+  S.add(Constraint(-x(), RelKind::LE));
+  EXPECT_TRUE(S.isConsistent());
+  S.add(Constraint(x(), RelKind::NE));
+  EXPECT_FALSE(S.isConsistent());
+  // But X <= 0 with X != 0 is fine (X < 0 exists).
+  ConstraintSet S2;
+  S2.add(Constraint(x(), RelKind::LE));
+  S2.add(Constraint(x(), RelKind::NE));
+  EXPECT_TRUE(S2.isConsistent());
+}
+
+TEST_F(ConstraintTest, TriviallyFalseAddition) {
+  ConstraintSet S;
+  S.add(Constraint(c(1), RelKind::EQ)); // 1 == 0
+  EXPECT_FALSE(S.isConsistent());
+  EXPECT_EQ(S.toString(Params), "{false}");
+}
+
+TEST_F(ConstraintTest, Implication) {
+  ConstraintSet S;
+  S.add(Constraint(x() - y(), RelKind::LT)); // X < Y
+  EXPECT_TRUE(S.implies(Constraint(x() - y(), RelKind::LE)));
+  EXPECT_TRUE(S.implies(Constraint(x() - y(), RelKind::NE)));
+  EXPECT_FALSE(S.implies(Constraint(y() - x(), RelKind::LT)));
+  // Equalities are implied when both bounds hold.
+  ConstraintSet S2;
+  S2.add(Constraint(x() - c(3), RelKind::LE));
+  S2.add(Constraint(c(3) - x(), RelKind::LE));
+  EXPECT_TRUE(S2.implies(Constraint(x() - c(3), RelKind::EQ)));
+}
+
+TEST_F(ConstraintTest, SimplifiedDropsRedundant) {
+  ConstraintSet S;
+  S.add(Constraint(x() - y(), RelKind::LT)); // X < Y
+  S.add(Constraint(x() - y(), RelKind::LE)); // implied
+  ConstraintSet Simple = S.simplified();
+  EXPECT_EQ(Simple.constraints().size(), 1u);
+  EXPECT_EQ(Simple.constraints()[0], Constraint(x() - y(), RelKind::LT));
+}
+
+TEST_F(ConstraintTest, FindModelSatisfiesSet) {
+  ConstraintSet S;
+  S.add(Constraint(x() - y(), RelKind::LT));       // X < Y
+  S.add(Constraint(y() - z(), RelKind::LT));       // Y < Z
+  S.add(Constraint(c(1) - x(), RelKind::LE));      // X >= 1
+  auto Model = S.findModel(3);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_TRUE(S.evaluate(*Model));
+  // Inconsistent set has no model.
+  S.add(Constraint(z() - x(), RelKind::LT));
+  EXPECT_FALSE(S.findModel(3).has_value());
+}
+
+TEST_F(ConstraintTest, PaperFigure3Regions) {
+  // The three regions of Figure 3: COST_01 vs COST_02 + COST_21 with
+  // X=COST_01, Y=COST_02, Z=COST_21.
+  LinExpr Diff = x() - y() - z();
+  ConstraintSet Less, Equal, Greater;
+  Less.add(Constraint(Diff, RelKind::LT));
+  Equal.add(Constraint(Diff, RelKind::EQ));
+  Greater.add(Constraint(-Diff, RelKind::LT));
+  EXPECT_TRUE(Less.isConsistent());
+  EXPECT_TRUE(Equal.isConsistent());
+  EXPECT_TRUE(Greater.isConsistent());
+  // Pairwise disjoint.
+  ConstraintSet Both = Less;
+  for (const Constraint &C : Equal.constraints())
+    Both.add(C);
+  EXPECT_FALSE(Both.isConsistent());
+  // The paper's concrete costs (2, 1, 1) fall in the Equal region.
+  std::vector<Rational> Costs = {Rational(2), Rational(1), Rational(1)};
+  EXPECT_TRUE(Equal.evaluate(Costs));
+  EXPECT_FALSE(Less.evaluate(Costs));
+}
+
+TEST_F(ConstraintTest, SetCompareAndHash) {
+  ConstraintSet A, B;
+  A.add(Constraint(x() - y(), RelKind::LT));
+  B.add(Constraint(x() - y(), RelKind::LT));
+  EXPECT_EQ(ConstraintSet::compare(A, B), 0);
+  EXPECT_EQ(A.hash(), B.hash());
+  B.add(Constraint(y() - z(), RelKind::LT));
+  EXPECT_NE(ConstraintSet::compare(A, B), 0);
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+//===- tests/CrossEngineTest.cpp - Parameterized engine properties --------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style parameterized suite run over a family of networks:
+///  1. the direct operational-semantics engine and the translate-to-PSI
+///     pipeline produce identical exact masses;
+///  2. probability mass is conserved (Ok + Error == 1 without observes,
+///     <= 1 with them);
+///  3. SMC estimates converge to the exact answer;
+///  4. pretty-print -> re-parse -> re-check -> re-run is the identity on
+///     the exact answer (full pipeline round-trip).
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Bayonet.h"
+#include "lang/AstPrinter.h"
+#include "psi/PsiExact.h"
+#include "scenarios/Scenarios.h"
+#include "translate/Translator.h"
+#include "TestNetworks.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+struct NetCase {
+  const char *Name;
+  std::string Source;
+  bool HasObserves; // Observe statements or a given-clause reduce Z.
+  /// Evidence probability too small for particle methods (the paper's
+  /// Section 4 "Complexity" caveat about unlikely observations).
+  bool RareEvidence = false;
+};
+
+std::vector<NetCase> allCases() {
+  return {
+      {"ping", testnets::PingNetwork, false},
+      {"coin", testnets::CoinNetwork, false},
+      {"die", testnets::DieNetwork, false},
+      {"observed_die", testnets::ObservedDieNetwork, true},
+      {"assert_die", testnets::AssertDieNetwork, false},
+      {"lossy", testnets::LossyNetwork, false},
+      {"tiny_congestion", testnets::TinyCongestion, false},
+      {"paper_example", scenarios::paperExample(), false},
+      {"paper_example_det",
+       scenarios::paperExample(false, "deterministic"), false},
+      {"congestion_chain1", scenarios::congestionChain(1), false},
+      {"reliability_chain1", scenarios::reliabilityChain(1), false},
+      {"reliability_chain2", scenarios::reliabilityChain(2), false},
+      {"gossip3", scenarios::gossip(3), false},
+      {"gossip4", scenarios::gossip(4), false},
+      {"bayes_rel_13", scenarios::reliabilityBayes("13", "rand"), true,
+       /*RareEvidence=*/true},
+      {"bayes_rel_123", scenarios::reliabilityBayes("123", "rand"), true},
+  };
+}
+
+class CrossEngineTest : public ::testing::TestWithParam<NetCase> {};
+
+TEST_P(CrossEngineTest, DirectAndTranslatedAgreeExactly) {
+  const NetCase &C = GetParam();
+  if (std::string(C.Name) == "tiny_congestion")
+    GTEST_SKIP() << "uses the round-robin scheduler (not translatable)";
+  DiagEngine Diags;
+  auto Net = loadNetwork(C.Source, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  ExactResult Direct = ExactEngine(Net->Spec).run();
+  DiagEngine TDiags;
+  auto Psi = translateToPsi(Net->Spec, TDiags);
+  ASSERT_TRUE(Psi.has_value()) << TDiags.toString();
+  PsiExactResult Translated = PsiExact(*Psi).run();
+  ASSERT_FALSE(Direct.QueryUnsupported) << Direct.UnsupportedReason;
+  ASSERT_FALSE(Translated.QueryUnsupported) << Translated.UnsupportedReason;
+  EXPECT_TRUE(Direct.QueryMass == Translated.QueryMass)
+      << "direct " << Direct.QueryMass.toString(Net->Spec.Params)
+      << " vs translated " << Translated.QueryMass.toString(Net->Spec.Params);
+  EXPECT_TRUE(Direct.OkMass == Translated.OkMass);
+  EXPECT_TRUE(Direct.ErrorMass == Translated.ErrorMass);
+}
+
+TEST_P(CrossEngineTest, MassConservation) {
+  const NetCase &C = GetParam();
+  DiagEngine Diags;
+  auto Net = loadNetwork(C.Source, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  ExactResult R = ExactEngine(Net->Spec).run();
+  Rational Total = R.OkMass.concreteValue() + R.ErrorMass.concreteValue();
+  if (C.HasObserves) {
+    EXPECT_LE(Total, Rational(1));
+  } else {
+    EXPECT_EQ(Total, Rational(1));
+  }
+  // The query numerator can never exceed the normalizer for probability
+  // queries.
+  if (R.Kind == QueryKind::Probability) {
+    EXPECT_LE(R.QueryMass.concreteValue(), R.OkMass.concreteValue());
+  }
+}
+
+TEST_P(CrossEngineTest, SmcConvergesToExact) {
+  const NetCase &C = GetParam();
+  DiagEngine Diags;
+  auto Net = loadNetwork(C.Source, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  if (C.RareEvidence)
+    GTEST_SKIP() << "evidence probability too small for 4000 particles";
+  ExactResult Exact = ExactEngine(Net->Spec).run();
+  auto V = Exact.concreteValue();
+  if (!V)
+    GTEST_SKIP() << "no concrete exact value";
+  SampleOptions Opts;
+  Opts.Particles = 4000;
+  Opts.Seed = 424242;
+  SampleResult S = Sampler(Net->Spec, Opts).run();
+  double Scale =
+      Exact.Kind == QueryKind::Expectation ? std::max(1.0, V->toDouble()) : 1.0;
+  EXPECT_NEAR(S.Value, V->toDouble(), 0.05 * Scale) << C.Name;
+}
+
+TEST_P(CrossEngineTest, PrintReparseRerunIsIdentity) {
+  const NetCase &C = GetParam();
+  DiagEngine D1;
+  auto Net1 = loadNetwork(C.Source, D1);
+  ASSERT_TRUE(Net1.has_value()) << D1.toString();
+  ExactResult R1 = ExactEngine(Net1->Spec).run();
+
+  std::string Printed = printSourceFile(*Net1->File);
+  DiagEngine D2;
+  auto Net2 = loadNetwork(Printed, D2);
+  ASSERT_TRUE(Net2.has_value()) << D2.toString() << "\nprinted:\n" << Printed;
+  ExactResult R2 = ExactEngine(Net2->Spec).run();
+
+  EXPECT_TRUE(R1.QueryMass == R2.QueryMass) << C.Name;
+  EXPECT_TRUE(R1.OkMass == R2.OkMass);
+  EXPECT_TRUE(R1.ErrorMass == R2.ErrorMass);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNetworks, CrossEngineTest, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<NetCase> &Info) {
+      return Info.param.Name;
+    });
+
+} // namespace

@@ -1,0 +1,106 @@
+//===- tests/LexerTest.cpp - Lexer tests ----------------------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Src) {
+  DiagEngine Diags;
+  Lexer L(Src, Diags);
+  auto Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.toString();
+  return Tokens;
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto T = lex("");
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T[0].is(TokKind::Eof));
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto T = lex("topology nodes def fwd myVar pkt_cnt flip");
+  ASSERT_EQ(T.size(), 8u);
+  EXPECT_TRUE(T[0].is(TokKind::KwTopology));
+  EXPECT_TRUE(T[1].is(TokKind::KwNodes));
+  EXPECT_TRUE(T[2].is(TokKind::KwDef));
+  EXPECT_TRUE(T[3].is(TokKind::KwFwd));
+  EXPECT_TRUE(T[4].is(TokKind::Identifier));
+  EXPECT_EQ(T[4].Text, "myVar");
+  EXPECT_TRUE(T[5].is(TokKind::Identifier));
+  EXPECT_TRUE(T[6].is(TokKind::KwFlip));
+}
+
+TEST(LexerTest, OperatorsAndArrows) {
+  auto T = lex("-> <-> <= >= == != < > = + - * / @ .");
+  std::vector<TokKind> Expected = {
+      TokKind::Arrow,  TokKind::BiArrow,   TokKind::LessEq, TokKind::GreaterEq,
+      TokKind::EqEq,   TokKind::NotEq,     TokKind::Less,   TokKind::Greater,
+      TokKind::Assign, TokKind::Plus,      TokKind::Minus,  TokKind::Star,
+      TokKind::Slash,  TokKind::At,        TokKind::Dot,    TokKind::Eof};
+  ASSERT_EQ(T.size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(T[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(LexerTest, Numbers) {
+  auto T = lex("0 42 123456789");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_TRUE(T[0].is(TokKind::Integer));
+  EXPECT_EQ(T[1].Text, "42");
+  EXPECT_EQ(T[2].Text, "123456789");
+}
+
+TEST(LexerTest, Comments) {
+  auto T = lex("a // line comment\n b /* block \n comment */ c");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[2].Text, "c");
+}
+
+TEST(LexerTest, SourceLocations) {
+  auto T = lex("ab\n  cd");
+  ASSERT_GE(T.size(), 2u);
+  EXPECT_EQ(T[0].Loc.Line, 1);
+  EXPECT_EQ(T[0].Loc.Col, 1);
+  EXPECT_EQ(T[1].Loc.Line, 2);
+  EXPECT_EQ(T[1].Loc.Col, 3);
+}
+
+TEST(LexerTest, ErrorRecovery) {
+  DiagEngine Diags;
+  Lexer L("a # b", Diags);
+  auto T = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues past the bad character.
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_TRUE(T[1].is(TokKind::Error));
+  EXPECT_EQ(T[2].Text, "b");
+}
+
+TEST(LexerTest, UnterminatedBlockComment) {
+  DiagEngine Diags;
+  Lexer L("a /* never closed", Diags);
+  auto T = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(T.back().Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, BangRequiresEquals) {
+  DiagEngine Diags;
+  Lexer L("a ! b", Diags);
+  auto T = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_TRUE(T[1].is(TokKind::Error));
+}
+
+} // namespace

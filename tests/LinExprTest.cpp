@@ -1,0 +1,106 @@
+//===- tests/LinExprTest.cpp - Linear expression tests --------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/LinExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+class LinExprTest : public ::testing::Test {
+protected:
+  ParamTable Params;
+  unsigned X = Params.getOrAdd("X");
+  unsigned Y = Params.getOrAdd("Y");
+  unsigned Z = Params.getOrAdd("Z");
+};
+
+TEST_F(LinExprTest, ParamTableInterning) {
+  EXPECT_EQ(Params.getOrAdd("X"), X);
+  EXPECT_EQ(Params.lookup("Y"), std::optional<unsigned>(Y));
+  EXPECT_EQ(Params.lookup("W"), std::nullopt);
+  EXPECT_EQ(Params.name(Z), "Z");
+  EXPECT_EQ(Params.size(), 3u);
+}
+
+TEST_F(LinExprTest, ConstantsAndZero) {
+  LinExpr E;
+  EXPECT_TRUE(E.isZero());
+  EXPECT_TRUE(E.isConstant());
+  LinExpr C(Rational(5));
+  EXPECT_FALSE(C.isZero());
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.toString(Params), "5");
+}
+
+TEST_F(LinExprTest, AdditionCancelsTerms) {
+  LinExpr E = LinExpr::param(X) + LinExpr::param(Y) - LinExpr::param(X);
+  EXPECT_EQ(E, LinExpr::param(Y));
+  LinExpr F = E - LinExpr::param(Y);
+  EXPECT_TRUE(F.isZero());
+}
+
+TEST_F(LinExprTest, ScaledAndToString) {
+  LinExpr E = LinExpr(Rational(2)) + LinExpr::param(X).scaled(Rational(3)) -
+              LinExpr::param(Z);
+  EXPECT_EQ(E.toString(Params), "2 + 3*X - Z");
+  EXPECT_EQ(E.scaled(Rational(0)), LinExpr());
+  EXPECT_EQ((-E).toString(Params), "-2 - 3*X + Z");
+}
+
+TEST_F(LinExprTest, MulOnlyWithConstantSide) {
+  LinExpr E = LinExpr::param(X);
+  LinExpr C(Rational(4));
+  ASSERT_TRUE(E.mul(C).has_value());
+  EXPECT_EQ(*E.mul(C), E.scaled(Rational(4)));
+  ASSERT_TRUE(C.mul(E).has_value());
+  EXPECT_FALSE(E.mul(E).has_value());
+  ASSERT_TRUE(E.div(C).has_value());
+  EXPECT_EQ(*E.div(C), E.scaled(Rational(BigInt(1), BigInt(4))));
+  EXPECT_FALSE(E.div(LinExpr()).has_value());
+  EXPECT_FALSE(E.div(E).has_value());
+}
+
+TEST_F(LinExprTest, Substitution) {
+  // (X + 2Y + 1)[Y := Z - 1] == X + 2Z - 1
+  LinExpr E = LinExpr::param(X) + LinExpr::param(Y).scaled(Rational(2)) +
+              LinExpr(Rational(1));
+  LinExpr V = LinExpr::param(Z) - LinExpr(Rational(1));
+  LinExpr R = E.substituted(Y, V);
+  LinExpr Expected = LinExpr::param(X) + LinExpr::param(Z).scaled(Rational(2)) -
+                     LinExpr(Rational(1));
+  EXPECT_EQ(R, Expected);
+  // Substituting an absent parameter is the identity.
+  EXPECT_EQ(E.substituted(Z, V), E);
+}
+
+TEST_F(LinExprTest, Evaluate) {
+  LinExpr E = LinExpr::param(X).scaled(Rational(2)) + LinExpr::param(Y) +
+              LinExpr(Rational(7));
+  std::vector<Rational> Vals = {Rational(3), Rational(-1), Rational(0)};
+  EXPECT_EQ(E.evaluate(Vals), Rational(12));
+}
+
+TEST_F(LinExprTest, CompareIsTotalOrder) {
+  LinExpr A = LinExpr::param(X);
+  LinExpr B = LinExpr::param(Y);
+  LinExpr C = LinExpr(Rational(1));
+  EXPECT_EQ(LinExpr::compare(A, A), 0);
+  EXPECT_NE(LinExpr::compare(A, B), 0);
+  EXPECT_EQ(LinExpr::compare(A, B), -LinExpr::compare(B, A));
+  EXPECT_NE(LinExpr::compare(A, C), 0);
+}
+
+TEST_F(LinExprTest, HashConsistency) {
+  LinExpr A = LinExpr::param(X) + LinExpr::param(Y);
+  LinExpr B = LinExpr::param(Y) + LinExpr::param(X);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+//===- tests/ParserTest.cpp - Parser tests --------------------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "TestNetworks.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+SourceFile parseOk(std::string_view Src) {
+  DiagEngine Diags;
+  SourceFile File = Parser::parse(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.toString();
+  return File;
+}
+
+TEST(ParserTest, PaperExampleParses) {
+  SourceFile File = parseOk(testnets::PaperExample);
+  ASSERT_TRUE(File.Topology.has_value());
+  EXPECT_EQ(File.Topology->NodeNames.size(), 5u);
+  EXPECT_EQ(File.Topology->Links.size(), 5u);
+  EXPECT_EQ(File.PacketFields.size(), 1u);
+  EXPECT_EQ(File.Programs.size(), 5u);
+  EXPECT_EQ(File.Defs.size(), 5u);
+  EXPECT_EQ(File.Params.size(), 3u);
+  EXPECT_EQ(File.Queries.size(), 1u);
+  EXPECT_EQ(File.Inits.size(), 1u);
+  EXPECT_EQ(File.SchedulerName, "uniform");
+  EXPECT_EQ(File.NumSteps, 60);
+  EXPECT_EQ(File.QueueCapacity, 2);
+}
+
+TEST(ParserTest, TopologyPortsAndLinks) {
+  SourceFile File = parseOk(testnets::PingNetwork);
+  ASSERT_TRUE(File.Topology.has_value());
+  const LinkDecl &L = File.Topology->Links[0];
+  EXPECT_EQ(L.NodeA, "A");
+  EXPECT_EQ(L.PortA, 1);
+  EXPECT_EQ(L.NodeB, "B");
+  EXPECT_EQ(L.PortB, 1);
+}
+
+TEST(ParserTest, DefWithStateVars) {
+  SourceFile File = parseOk(testnets::PaperExample);
+  const DefDecl *Def = File.findDef("s0");
+  ASSERT_NE(Def, nullptr);
+  EXPECT_EQ(Def->PktParam, "pkt");
+  EXPECT_EQ(Def->PortParam, "pt");
+  ASSERT_EQ(Def->StateVars.size(), 2u);
+  EXPECT_EQ(Def->StateVars[0].Name, "route1");
+  EXPECT_EQ(Def->StateVars[1].Name, "route2");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  // a + b * c parses as a + (b * c).
+  DiagEngine Diags;
+  ExprPtr E = Parser::parseQueryExpr("1 + 2 * 3", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(printExpr(*E), "(1 + (2 * 3))");
+
+  // Comparison binds tighter than and/or (the paper's s0 condition).
+  E = Parser::parseQueryExpr("1 < 2 or 1 == 2 and 0 < 1", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(printExpr(*E), "((1 < 2) or ((1 == 2) and (0 < 1)))");
+
+  // not binds tighter than and.
+  E = Parser::parseQueryExpr("not 0 and 1", Diags);
+  EXPECT_EQ(printExpr(*E), "((not 0) and 1)");
+
+  // Unary minus.
+  E = Parser::parseQueryExpr("-1 + 2", Diags);
+  EXPECT_EQ(printExpr(*E), "((-1) + 2)");
+}
+
+TEST(ParserTest, StateRefQueries) {
+  DiagEngine Diags;
+  ExprPtr E = Parser::parseQueryExpr("pkt_cnt@H1 < 3", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(printExpr(*E), "(pkt_cnt@H1 < 3)");
+  E = Parser::parseQueryExpr("infected@*", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(printExpr(*E), "infected@*");
+}
+
+TEST(ParserTest, IfElseChains) {
+  SourceFile File = parseOk(testnets::PaperExample);
+  const DefDecl *Def = File.findDef("s0");
+  ASSERT_NE(Def, nullptr);
+  ASSERT_EQ(Def->Body.size(), 1u);
+  ASSERT_EQ(Def->Body[0]->Kind, StmtKind::If);
+  const auto &If = cast<IfStmt>(*Def->Body[0]);
+  // else-if chains nest in the else branch.
+  ASSERT_EQ(If.Else.size(), 1u);
+  EXPECT_EQ(If.Else[0]->Kind, StmtKind::If);
+}
+
+TEST(ParserTest, RoundTripThroughPrinter) {
+  // print(parse(src)) must re-parse to the same printed form.
+  for (const char *Src :
+       {testnets::PaperExample, testnets::PingNetwork, testnets::CoinNetwork,
+        testnets::DieNetwork, testnets::ObservedDieNetwork,
+        testnets::TinyCongestion, testnets::PaperExampleSymbolic}) {
+    DiagEngine D1, D2;
+    SourceFile F1 = Parser::parse(Src, D1);
+    ASSERT_FALSE(D1.hasErrors()) << D1.toString();
+    std::string P1 = printSourceFile(F1);
+    SourceFile F2 = Parser::parse(P1, D2);
+    ASSERT_FALSE(D2.hasErrors()) << D2.toString() << "\nsource:\n" << P1;
+    EXPECT_EQ(P1, printSourceFile(F2));
+  }
+}
+
+TEST(ParserTest, ErrorRecoveryReportsMultiple) {
+  DiagEngine Diags;
+  Parser::parse("def f(pkt, pt) { fwd(; } def g(pkt, pt) { drop }", Diags);
+  EXPECT_GE(Diags.errorCount(), 2u);
+}
+
+TEST(ParserTest, MissingSemicolonReported) {
+  DiagEngine Diags;
+  Parser::parse("num_steps 10", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, QueryKinds) {
+  SourceFile File = parseOk(testnets::DieNetwork);
+  ASSERT_EQ(File.Queries.size(), 1u);
+  EXPECT_EQ(File.Queries[0].Kind, QueryKind::Expectation);
+  File = parseOk(testnets::CoinNetwork);
+  EXPECT_EQ(File.Queries[0].Kind, QueryKind::Probability);
+}
+
+TEST(ParserTest, ParamWithRationalValue) {
+  SourceFile File = parseOk(R"(
+    topology { nodes { A, B } links { (A,pt1) <-> (B,pt1) } }
+    packet_fields { dst }
+    param PF = 1/1000;
+    programs { A -> a, B -> a }
+    def a(pkt, pt) { drop; }
+    init { A }
+    num_steps 5;
+    query probability(0 == 0);
+  )");
+  ASSERT_EQ(File.Params.size(), 1u);
+  ASSERT_TRUE(File.Params[0].Value.has_value());
+  EXPECT_EQ(File.Params[0].Value->toString(), "1/1000");
+}
+
+TEST(ParserTest, InitWithFieldValues) {
+  SourceFile File = parseOk(R"(
+    topology { nodes { A, B } links { (A,pt1) <-> (B,pt1) } }
+    packet_fields { id, dst }
+    programs { A -> a, B -> a }
+    def a(pkt, pt) { drop; }
+    init { A { id = 1, dst = B }, A { id = 2 } }
+    num_steps 5;
+    query probability(0 == 0);
+  )");
+  ASSERT_EQ(File.Inits.size(), 2u);
+  EXPECT_EQ(File.Inits[0].Fields.size(), 2u);
+  EXPECT_EQ(File.Inits[1].Fields.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+//===- tests/PrngTest.cpp - PRNG statistical sanity tests -----------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+TEST(PrngTest, Deterministic) {
+  Xoshiro A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Xoshiro A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(PrngTest, DoubleRange) {
+  Xoshiro Rng(5);
+  for (int I = 0; I < 10000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(PrngTest, NextBelowInRangeAndRoughlyUniform) {
+  Xoshiro Rng(6);
+  int Counts[10] = {0};
+  const int N = 100000;
+  for (int I = 0; I < N; ++I) {
+    uint64_t V = Rng.nextBelow(10);
+    ASSERT_LT(V, 10u);
+    ++Counts[V];
+  }
+  for (int C : Counts)
+    EXPECT_NEAR(C, N / 10, 500);
+}
+
+TEST(PrngTest, FlipRationalExactBias) {
+  Xoshiro Rng(7);
+  const int N = 200000;
+  int Hits = 0;
+  Rational P(BigInt(1), BigInt(1000));
+  for (int I = 0; I < N; ++I)
+    Hits += Rng.flip(P);
+  EXPECT_NEAR(Hits / double(N), 0.001, 0.0005);
+  EXPECT_FALSE(Rng.flip(Rational(0)));
+  EXPECT_TRUE(Rng.flip(Rational(1)));
+}
+
+TEST(PrngTest, UniformIntBounds) {
+  Xoshiro Rng(8);
+  for (int I = 0; I < 10000; ++I) {
+    int64_t V = Rng.uniformInt(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+  }
+  EXPECT_EQ(Rng.uniformInt(5, 5), 5);
+}
+
+} // namespace

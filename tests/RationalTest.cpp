@@ -1,0 +1,107 @@
+//===- tests/RationalTest.cpp - Rational unit and property tests ----------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+Rational q(int64_t N, int64_t D) { return Rational(BigInt(N), BigInt(D)); }
+
+TEST(RationalTest, CanonicalForm) {
+  EXPECT_EQ(q(2, 4).toString(), "1/2");
+  EXPECT_EQ(q(-2, 4).toString(), "-1/2");
+  EXPECT_EQ(q(2, -4).toString(), "-1/2");
+  EXPECT_EQ(q(-2, -4).toString(), "1/2");
+  EXPECT_EQ(q(0, -7).toString(), "0");
+  EXPECT_EQ(q(0, -7).den().toString(), "1");
+  EXPECT_EQ(q(6, 3).toString(), "2");
+}
+
+TEST(RationalTest, Arithmetic) {
+  EXPECT_EQ((q(1, 2) + q(1, 3)).toString(), "5/6");
+  EXPECT_EQ((q(1, 2) - q(1, 3)).toString(), "1/6");
+  EXPECT_EQ((q(2, 3) * q(3, 4)).toString(), "1/2");
+  EXPECT_EQ((q(2, 3) / q(4, 3)).toString(), "1/2");
+  EXPECT_EQ((-q(2, 3)).toString(), "-2/3");
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(q(1, 3), q(1, 2));
+  EXPECT_LT(q(-1, 2), q(-1, 3));
+  EXPECT_LE(q(2, 4), q(1, 2));
+  EXPECT_EQ(q(2, 4), q(1, 2));
+  EXPECT_GT(q(7, 8), q(6, 7));
+}
+
+TEST(RationalTest, FromString) {
+  Rational R;
+  EXPECT_TRUE(Rational::fromString("3/9", R));
+  EXPECT_EQ(R.toString(), "1/3");
+  EXPECT_TRUE(Rational::fromString("-42", R));
+  EXPECT_EQ(R.toString(), "-42");
+  EXPECT_FALSE(Rational::fromString("1/0", R));
+  EXPECT_FALSE(Rational::fromString("1/", R));
+  EXPECT_FALSE(Rational::fromString("/2", R));
+  EXPECT_FALSE(Rational::fromString("a/2", R));
+  EXPECT_TRUE(Rational::fromString("30378810105265/67706637778944", R));
+  EXPECT_NEAR(R.toDouble(), 0.4487, 1e-4);
+}
+
+TEST(RationalTest, TruncAndFloor) {
+  EXPECT_EQ(q(7, 2).truncToInteger().toString(), "3");
+  EXPECT_EQ(q(-7, 2).truncToInteger().toString(), "-3");
+  EXPECT_EQ(q(7, 2).floorToInteger().toString(), "3");
+  EXPECT_EQ(q(-7, 2).floorToInteger().toString(), "-4");
+  EXPECT_EQ(q(-6, 2).floorToInteger().toString(), "-3");
+}
+
+TEST(RationalTest, FieldAxiomsOnRandomValues) {
+  Xoshiro Rng(2024);
+  auto randQ = [&Rng] {
+    int64_t N = static_cast<int64_t>(Rng.next() % 2001) - 1000;
+    int64_t D = static_cast<int64_t>(Rng.next() % 1000) + 1;
+    return Rational(BigInt(N), BigInt(D));
+  };
+  for (int Iter = 0; Iter < 300; ++Iter) {
+    Rational A = randQ(), B = randQ(), C = randQ();
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ(A * B, B * A);
+    EXPECT_EQ((A + B) + C, A + (B + C));
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    EXPECT_EQ(A + (-A), Rational(0));
+    if (!A.isZero()) {
+      EXPECT_EQ(A / A, Rational(1));
+    }
+    EXPECT_EQ(A - B, A + (-B));
+  }
+}
+
+TEST(RationalTest, HashConsistentWithEquality) {
+  EXPECT_EQ(q(2, 4).hash(), q(1, 2).hash());
+  EXPECT_EQ(q(-10, 5).hash(), Rational(-2).hash());
+}
+
+TEST(RationalTest, ProbabilityAccumulationExactness) {
+  // Summing 1/3 three times is exactly one; no floating-point drift.
+  Rational Third = q(1, 3);
+  Rational Sum = Third + Third + Third;
+  EXPECT_TRUE(Sum.isOne());
+  // Geometric-style accumulation stays exact.
+  Rational Total;
+  Rational W(1);
+  for (int I = 0; I < 20; ++I) {
+    W = W * q(1, 2);
+    Total += W;
+  }
+  EXPECT_EQ(Total, Rational(1) - W);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- tests/SamplerTest.cpp - Sampling inference tests -------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Bayonet.h"
+#include "TestNetworks.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+SampleResult runSampled(std::string_view Src, SampleOptions Opts = {}) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(Src, Diags);
+  EXPECT_TRUE(Net.has_value()) << Diags.toString();
+  if (!Net)
+    return {};
+  return Sampler(Net->Spec, Opts).run();
+}
+
+TEST(SamplerTest, PingDeliversAlways) {
+  SampleResult R = runSampled(testnets::PingNetwork);
+  EXPECT_DOUBLE_EQ(R.Value, 1.0);
+  EXPECT_DOUBLE_EQ(R.ErrorFraction, 0.0);
+  EXPECT_EQ(R.Survivors, 1000u);
+}
+
+TEST(SamplerTest, CoinApproximatesThird) {
+  SampleOptions Opts;
+  Opts.Particles = 20000;
+  SampleResult R = runSampled(testnets::CoinNetwork, Opts);
+  EXPECT_NEAR(R.Value, 1.0 / 3.0, 0.02);
+}
+
+TEST(SamplerTest, DieExpectation) {
+  SampleOptions Opts;
+  Opts.Particles = 20000;
+  SampleResult R = runSampled(testnets::DieNetwork, Opts);
+  EXPECT_NEAR(R.Value, 3.5, 0.05);
+  EXPECT_EQ(R.Kind, QueryKind::Expectation);
+}
+
+TEST(SamplerTest, ObservedDieConditionsCorrectly) {
+  SampleOptions Opts;
+  Opts.Particles = 20000;
+  SampleResult R = runSampled(testnets::ObservedDieNetwork, Opts);
+  EXPECT_NEAR(R.Value, 4.5, 0.05);
+  // Roughly a third of the particles die on the observation (rejection) or
+  // get resampled away (SMC); the estimate must still be unbiased.
+}
+
+TEST(SamplerTest, RejectionModeMatchesSmc) {
+  SampleOptions Smc;
+  Smc.Particles = 20000;
+  Smc.Mode = SampleOptions::Method::Smc;
+  SampleOptions Rej = Smc;
+  Rej.Mode = SampleOptions::Method::Rejection;
+  SampleResult A = runSampled(testnets::ObservedDieNetwork, Smc);
+  SampleResult B = runSampled(testnets::ObservedDieNetwork, Rej);
+  EXPECT_NEAR(A.Value, B.Value, 0.1);
+  // Rejection loses the failed particles.
+  EXPECT_LT(B.Survivors, 20000u * 8 / 10);
+}
+
+TEST(SamplerTest, AssertCountsAsError) {
+  SampleOptions Opts;
+  Opts.Particles = 20000;
+  SampleResult R = runSampled(testnets::AssertDieNetwork, Opts);
+  EXPECT_NEAR(R.ErrorFraction, 1.0 / 6.0, 0.02);
+  EXPECT_NEAR(R.Value, 3.0, 0.05);
+}
+
+TEST(SamplerTest, DeterministicSeedReproducible) {
+  SampleOptions Opts;
+  Opts.Seed = 99;
+  SampleResult A = runSampled(testnets::LossyNetwork, Opts);
+  SampleResult B = runSampled(testnets::LossyNetwork, Opts);
+  EXPECT_DOUBLE_EQ(A.Value, B.Value);
+  Opts.Seed = 100;
+  SampleResult C = runSampled(testnets::CoinNetwork, Opts);
+  SampleResult D = runSampled(testnets::CoinNetwork, Opts);
+  EXPECT_DOUBLE_EQ(C.Value, D.Value);
+}
+
+TEST(SamplerTest, AgreesWithExactOnPaperExample) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(testnets::PaperExample, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  ExactResult Exact = ExactEngine(Net->Spec).run();
+  SampleOptions Opts;
+  Opts.Particles = 4000;
+  SampleResult Approx = Sampler(Net->Spec, Opts).run();
+  ASSERT_TRUE(Exact.concreteValue().has_value());
+  // The paper's Table 1 shows exact/approximate differences < 0.03 for the
+  // congestion benchmark; allow a slightly wider statistical margin.
+  EXPECT_NEAR(Approx.Value, Exact.concreteValue()->toDouble(), 0.04);
+}
+
+TEST(SamplerTest, StdErrorIsCalibrated) {
+  // For a Bernoulli(1/3) estimate with N particles the standard error is
+  // sqrt(p(1-p)/N); the reported value must be close, and the exact value
+  // must lie within ~3 standard errors of the estimate.
+  SampleOptions Opts;
+  Opts.Particles = 10000;
+  SampleResult R = runSampled(testnets::CoinNetwork, Opts);
+  double Expected = std::sqrt((1.0 / 3) * (2.0 / 3) / 10000);
+  EXPECT_NEAR(R.StdError, Expected, Expected * 0.2);
+  EXPECT_NEAR(R.Value, 1.0 / 3, 3.5 * R.StdError);
+  // A deterministic outcome has zero spread.
+  SampleResult Det = runSampled(testnets::PingNetwork, Opts);
+  EXPECT_DOUBLE_EQ(Det.StdError, 0.0);
+}
+
+TEST(SamplerTest, StepBoundMakesErrorParticles) {
+  std::string Src = testnets::PingNetwork;
+  size_t Pos = Src.find("num_steps 10;");
+  ASSERT_NE(Pos, std::string::npos);
+  Src.replace(Pos, 13, "num_steps 1;");
+  SampleResult R = runSampled(Src);
+  EXPECT_GT(R.ErrorFraction, 0.99);
+}
+
+} // namespace

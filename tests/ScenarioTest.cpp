@@ -1,0 +1,171 @@
+//===- tests/ScenarioTest.cpp - Benchmark scenario tests ------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests of the evaluation scenarios (Figure 11 and Section 5.5)
+/// against the paper's reported values. These are the same networks the
+/// bench binaries run; the tests pin the exact rationals.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Bayonet.h"
+#include "scenarios/Scenarios.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+ExactResult exactOf(const std::string &Src) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(Src, Diags);
+  EXPECT_TRUE(Net.has_value()) << Diags.toString();
+  if (!Net)
+    return {};
+  ExactResult R = ExactEngine(Net->Spec).run();
+  EXPECT_FALSE(R.QueryUnsupported) << R.UnsupportedReason;
+  return R;
+}
+
+TEST(ScenarioTest, PaperExampleMatchesTestNetworkCopy) {
+  ExactResult R = exactOf(scenarios::paperExample());
+  ASSERT_TRUE(R.concreteValue().has_value());
+  EXPECT_EQ(R.concreteValue()->toString(), "30378810105265/67706637778944");
+}
+
+TEST(ScenarioTest, CongestionSixNodesUniformBand) {
+  // Table 1 row 3: the paper reports 0.4441 for its 6-node variant; our
+  // Figure 11(a) encoding lands in the same band.
+  ExactResult R = exactOf(scenarios::congestionChain(1, "uniform"));
+  ASSERT_TRUE(R.concreteValue().has_value());
+  double P = R.concreteValue()->toDouble();
+  EXPECT_GT(P, 0.40);
+  EXPECT_LT(P, 0.50);
+  EXPECT_TRUE(R.ErrorMass.isZero());
+}
+
+TEST(ScenarioTest, CongestionDeterministicAlwaysCongests) {
+  // Table 1 rows 2, 4, 5.
+  for (unsigned Diamonds : {1u, 7u}) {
+    ExactResult R =
+        exactOf(scenarios::congestionChain(Diamonds, "deterministic"));
+    ASSERT_TRUE(R.concreteValue().has_value());
+    EXPECT_EQ(*R.concreteValue(), Rational(1)) << Diamonds << " diamonds";
+  }
+}
+
+TEST(ScenarioTest, ReliabilityClosedForm) {
+  // Table 1 rows 6-9: reliability is exactly (1999/2000)^Diamonds.
+  Rational PerDiamond = Rational(1) - Rational(BigInt(1), BigInt(2000));
+  Rational Expected(1);
+  for (unsigned D = 1; D <= 7; ++D) {
+    Expected *= PerDiamond;
+    if (D != 1 && D != 3 && D != 7)
+      continue;
+    ExactResult R = exactOf(scenarios::reliabilityChain(D));
+    ASSERT_TRUE(R.concreteValue().has_value()) << D;
+    EXPECT_EQ(*R.concreteValue(), Expected) << D << " diamonds";
+  }
+}
+
+TEST(ScenarioTest, ReliabilityThirtyNodesValue) {
+  // (1999/2000)^7 ~ 0.9965 (Table 1 rows 8-9).
+  ExactResult R = exactOf(scenarios::reliabilityChain(7));
+  ASSERT_TRUE(R.concreteValue().has_value());
+  EXPECT_NEAR(R.concreteValue()->toDouble(), 0.9965, 0.0001);
+}
+
+TEST(ScenarioTest, GossipFourNodesExact) {
+  // Table 1 rows 10-11: 94/27 under both schedulers.
+  for (const char *Sched : {"uniform", "deterministic"}) {
+    ExactResult R = exactOf(scenarios::gossip(4, Sched));
+    ASSERT_TRUE(R.concreteValue().has_value()) << Sched;
+    EXPECT_EQ(R.concreteValue()->toString(), "94/27") << Sched;
+  }
+}
+
+TEST(ScenarioTest, GossipLargeSmcMatchesPaperShape) {
+  // Table 1 rows 12-13: ~16.0 infected for K=20, ~24.0 for K=30.
+  DiagEngine D20, D30;
+  auto Net20 = loadNetwork(scenarios::gossip(20), D20);
+  auto Net30 = loadNetwork(scenarios::gossip(30), D30);
+  ASSERT_TRUE(Net20 && Net30);
+  SampleOptions Opts;
+  Opts.Particles = 2000;
+  SampleResult R20 = Sampler(Net20->Spec, Opts).run();
+  SampleResult R30 = Sampler(Net30->Spec, Opts).run();
+  EXPECT_NEAR(R20.Value, 16.0, 0.8);
+  EXPECT_NEAR(R30.Value, 24.0, 1.0);
+  // Shape: larger networks infect more nodes, roughly 0.8*K.
+  EXPECT_GT(R30.Value, R20.Value);
+}
+
+TEST(ScenarioTest, BayesReliabilityObs13Posteriors) {
+  // Section 5.5: observation (1,3) pins the strategy to random.
+  ExactResult Rand = exactOf(scenarios::reliabilityBayes("13", "rand"));
+  EXPECT_EQ(*Rand.concreteValue(), Rational(1));
+  ExactResult S1 = exactOf(scenarios::reliabilityBayes("13", "detS1"));
+  EXPECT_EQ(*S1.concreteValue(), Rational(0));
+  ExactResult S2 = exactOf(scenarios::reliabilityBayes("13", "detS2"));
+  EXPECT_EQ(*S2.concreteValue(), Rational(0));
+}
+
+TEST(ScenarioTest, BayesReliabilityObs123PosteriorsExact) {
+  // Section 5.5: the paper's exact posterior after observing (1,2,3).
+  ExactResult Rand = exactOf(scenarios::reliabilityBayes("123", "rand"));
+  EXPECT_EQ(Rand.concreteValue()->toString(), "41922792469/95643630613");
+  ExactResult S1 = exactOf(scenarios::reliabilityBayes("123", "detS1"));
+  EXPECT_EQ(S1.concreteValue()->toString(), "26873856000/95643630613");
+  ExactResult S2 = exactOf(scenarios::reliabilityBayes("123", "detS2"));
+  EXPECT_EQ(S2.concreteValue()->toString(), "26846982144/95643630613");
+  // The three posteriors sum to one.
+  Rational Sum = *Rand.concreteValue() + *S1.concreteValue() +
+                 *S2.concreteValue();
+  EXPECT_EQ(Sum, Rational(1));
+}
+
+TEST(ScenarioTest, BayesLoadBalancingDirections) {
+  // Section 5.5(a): sequence (S1,S0,S0,S1,H1) raises P(bad) to the paper's
+  // 0.152; (H1,S0,S0,H1) lowers it below the 1/10 prior.
+  ExactResult Up = exactOf(scenarios::loadBalancing("1001H"));
+  ASSERT_TRUE(Up.concreteValue().has_value());
+  EXPECT_NEAR(Up.concreteValue()->toDouble(), 0.152, 0.001);
+  ExactResult Down = exactOf(scenarios::loadBalancing("H00H"));
+  ASSERT_TRUE(Down.concreteValue().has_value());
+  EXPECT_LT(Down.concreteValue()->toDouble(), 0.1);
+}
+
+TEST(ScenarioTest, GossipScalesWithoutErrorMass) {
+  // The step bound chosen by the generator is always sufficient.
+  for (unsigned K : {2u, 3u, 5u}) {
+    ExactResult R = exactOf(scenarios::gossip(K));
+    EXPECT_TRUE(R.ErrorMass.isZero()) << "K=" << K;
+  }
+}
+
+TEST(ScenarioTest, GossipCompleteGraphTopology) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(scenarios::gossip(5), Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  EXPECT_EQ(Net->Spec.Topo.numNodes(), 5u);
+  EXPECT_EQ(Net->Spec.Topo.numLinks(), 10u); // K_5 has C(5,2) links.
+  // Every node has degree 4: ports 1..4 all connected.
+  for (unsigned I = 0; I < 5; ++I)
+    for (int P = 1; P <= 4; ++P)
+      EXPECT_TRUE(Net->Spec.Topo.peer(I, P).has_value());
+}
+
+TEST(ScenarioTest, DiamondChainNodeCounts) {
+  for (unsigned D : {1u, 3u, 7u}) {
+    DiagEngine Diags;
+    auto Net = loadNetwork(scenarios::congestionChain(D), Diags);
+    ASSERT_TRUE(Net.has_value()) << Diags.toString();
+    EXPECT_EQ(Net->Spec.Topo.numNodes(), 4 * D + 2);
+  }
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+//===- tests/SolverPropertyTest.cpp - Constraint solver properties --------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized property tests for the linear-constraint decision procedure
+/// (Gaussian elimination + Fourier-Motzkin with disequality handling):
+///  - soundness: a set with a satisfying point is never declared
+///    inconsistent;
+///  - entailment soundness: if S implies C, every satisfying point of S
+///    satisfies C;
+///  - negation: S is partitioned by C and not-C;
+///  - findModel returns only genuine models.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Prng.h"
+#include "symbolic/Constraint.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+constexpr unsigned NumParams = 3;
+
+/// Random linear expression with small integer coefficients.
+LinExpr randomExpr(Xoshiro &Rng) {
+  LinExpr E(Rational(static_cast<int64_t>(Rng.nextBelow(7)) - 3));
+  for (unsigned P = 0; P < NumParams; ++P) {
+    int64_t Coeff = static_cast<int64_t>(Rng.nextBelow(5)) - 2;
+    if (Coeff)
+      E = E + LinExpr::param(P).scaled(Rational(Coeff));
+  }
+  return E;
+}
+
+Constraint randomConstraint(Xoshiro &Rng) {
+  RelKind Rels[] = {RelKind::EQ, RelKind::NE, RelKind::LT, RelKind::LE};
+  return Constraint(randomExpr(Rng), Rels[Rng.nextBelow(4)]);
+}
+
+ConstraintSet randomSet(Xoshiro &Rng, unsigned MaxSize) {
+  ConstraintSet S;
+  unsigned N = 1 + Rng.nextBelow(MaxSize);
+  for (unsigned I = 0; I < N; ++I)
+    S.add(randomConstraint(Rng));
+  return S;
+}
+
+std::vector<Rational> randomPoint(Xoshiro &Rng) {
+  std::vector<Rational> P;
+  for (unsigned I = 0; I < NumParams; ++I)
+    P.push_back(Rational(BigInt(static_cast<int64_t>(Rng.nextBelow(13)) - 6),
+                         BigInt(static_cast<int64_t>(1 + Rng.nextBelow(3)))));
+  return P;
+}
+
+class SolverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverPropertyTest, SatisfiedSetsAreConsistent) {
+  Xoshiro Rng(GetParam());
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    ConstraintSet S = randomSet(Rng, 4);
+    for (int PIdx = 0; PIdx < 20; ++PIdx) {
+      auto Point = randomPoint(Rng);
+      if (S.evaluate(Point)) {
+        EXPECT_TRUE(S.isConsistent())
+            << S.toString([] {
+                 ParamTable T;
+                 T.getOrAdd("a");
+                 T.getOrAdd("b");
+                 T.getOrAdd("c");
+                 return T;
+               }());
+        break;
+      }
+    }
+  }
+}
+
+TEST_P(SolverPropertyTest, ImplicationIsSound) {
+  Xoshiro Rng(GetParam() + 1000);
+  for (int Iter = 0; Iter < 30; ++Iter) {
+    ConstraintSet S = randomSet(Rng, 3);
+    Constraint C = randomConstraint(Rng);
+    if (!S.implies(C))
+      continue;
+    // Every satisfying point of S must satisfy C.
+    for (int PIdx = 0; PIdx < 40; ++PIdx) {
+      auto Point = randomPoint(Rng);
+      if (S.evaluate(Point)) {
+        EXPECT_TRUE(C.evaluate(Point));
+      }
+    }
+  }
+}
+
+TEST_P(SolverPropertyTest, NegationPartitionsPoints) {
+  Xoshiro Rng(GetParam() + 2000);
+  for (int Iter = 0; Iter < 50; ++Iter) {
+    Constraint C = randomConstraint(Rng);
+    Constraint NotC = C.negated();
+    auto Point = randomPoint(Rng);
+    EXPECT_NE(C.evaluate(Point), NotC.evaluate(Point));
+    EXPECT_EQ(NotC.negated(), C);
+  }
+}
+
+TEST_P(SolverPropertyTest, FindModelReturnsModels) {
+  Xoshiro Rng(GetParam() + 3000);
+  for (int Iter = 0; Iter < 30; ++Iter) {
+    ConstraintSet S = randomSet(Rng, 3);
+    auto Model = S.findModel(NumParams);
+    if (Model) {
+      EXPECT_TRUE(S.evaluate(*Model));
+      EXPECT_TRUE(S.isConsistent());
+    }
+  }
+}
+
+TEST_P(SolverPropertyTest, SimplifiedPreservesSatisfaction) {
+  Xoshiro Rng(GetParam() + 4000);
+  for (int Iter = 0; Iter < 20; ++Iter) {
+    ConstraintSet S = randomSet(Rng, 4);
+    ConstraintSet Simple = S.simplified();
+    for (int PIdx = 0; PIdx < 25; ++PIdx) {
+      auto Point = randomPoint(Rng);
+      EXPECT_EQ(S.evaluate(Point), Simple.evaluate(Point));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+} // namespace

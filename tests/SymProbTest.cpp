@@ -1,0 +1,136 @@
+//===- tests/SymProbTest.cpp - Piecewise probability tests ----------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/SymProb.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+class SymProbTest : public ::testing::Test {
+protected:
+  ParamTable Params;
+  unsigned X = Params.getOrAdd("X");
+  unsigned Y = Params.getOrAdd("Y");
+
+  Rational q(int64_t N, int64_t D = 1) {
+    return Rational(BigInt(N), BigInt(D));
+  }
+  Constraint xLtY() {
+    return Constraint(LinExpr::param(X) - LinExpr::param(Y), RelKind::LT);
+  }
+  Constraint xEqY() {
+    return Constraint(LinExpr::param(X) - LinExpr::param(Y), RelKind::EQ);
+  }
+};
+
+TEST_F(SymProbTest, ConcreteBasics) {
+  SymProb Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_TRUE(Zero.isConcrete());
+  EXPECT_EQ(Zero.concreteValue(), Rational(0));
+
+  SymProb Half = SymProb::concrete(q(1, 2));
+  EXPECT_FALSE(Half.isZero());
+  EXPECT_TRUE(Half.isConcrete());
+  EXPECT_EQ(Half.concreteValue(), q(1, 2));
+  EXPECT_EQ(Half.toString(Params), "1/2");
+}
+
+TEST_F(SymProbTest, AdditionMergesEqualGuards) {
+  SymProb A = SymProb::concrete(q(1, 3));
+  SymProb B = SymProb::concrete(q(1, 6));
+  SymProb Sum = A + B;
+  EXPECT_TRUE(Sum.isConcrete());
+  EXPECT_EQ(Sum.concreteValue(), q(1, 2));
+  // Adding the negation exactly cancels the term.
+  SymProb Zero = Sum + Sum.scaled(q(-1));
+  EXPECT_TRUE(Zero.isZero());
+}
+
+TEST_F(SymProbTest, RestrictionSplitsAndPrunes) {
+  SymProb W = SymProb::concrete(q(1));
+  SymProb Lt = W.restricted(xLtY());
+  SymProb Ge = W.restricted(xLtY().negated());
+  EXPECT_EQ(Lt.terms().size(), 1u);
+  EXPECT_EQ(Ge.terms().size(), 1u);
+  // Restricting to a contradiction drops everything.
+  SymProb Dead = Lt.restricted(xLtY().negated());
+  EXPECT_TRUE(Dead.isZero());
+}
+
+TEST_F(SymProbTest, EvaluateUnderAssignment) {
+  SymProb W = SymProb::concrete(q(1, 4)) +
+              SymProb::concrete(q(1, 2)).restricted(xLtY());
+  std::vector<Rational> LtPoint = {q(0), q(1)};
+  std::vector<Rational> GePoint = {q(1), q(0)};
+  EXPECT_EQ(W.evaluate(LtPoint), q(3, 4));
+  EXPECT_EQ(W.evaluate(GePoint), q(1, 4));
+}
+
+TEST_F(SymProbTest, GuardedOnInconsistentGuardIsZero) {
+  ConstraintSet Bad;
+  Bad.add(xLtY());
+  Bad.add(xLtY().negated());
+  EXPECT_TRUE(SymProb::guarded(Bad, q(1)).isZero());
+}
+
+TEST_F(SymProbTest, PartitionRatioConcrete) {
+  auto Cases =
+      partitionRatio(SymProb::concrete(q(3, 8)), SymProb::concrete(q(3, 4)));
+  ASSERT_EQ(Cases.size(), 1u);
+  EXPECT_TRUE(Cases[0].Region.empty());
+  EXPECT_EQ(Cases[0].Value, q(1, 2));
+}
+
+TEST_F(SymProbTest, PartitionRatioThreeRegions) {
+  // Numerator: 1/4 + 1/4*[X<Y] + 1/2*[X==Y]; denominator 1.
+  SymProb Num = SymProb::concrete(q(1, 4)) +
+                SymProb::concrete(q(1, 4)).restricted(xLtY()) +
+                SymProb::concrete(q(1, 2)).restricted(xEqY());
+  auto Cases = partitionRatio(Num, SymProb::concrete(q(1)));
+  ASSERT_EQ(Cases.size(), 3u);
+  // Collect values; regions are X<Y, X==Y, X>Y in some order.
+  std::vector<Rational> Values;
+  for (const ProbCase &C : Cases)
+    Values.push_back(C.Value);
+  EXPECT_NE(std::find(Values.begin(), Values.end(), q(1, 2)), Values.end());
+  EXPECT_NE(std::find(Values.begin(), Values.end(), q(3, 4)), Values.end());
+  EXPECT_NE(std::find(Values.begin(), Values.end(), q(1, 4)), Values.end());
+  // Each region evaluates consistently with the raw weights.
+  for (const ProbCase &C : Cases) {
+    auto Model = C.Region.findModel(2);
+    ASSERT_TRUE(Model.has_value());
+    EXPECT_EQ(Num.evaluate(*Model), C.Value);
+  }
+}
+
+TEST_F(SymProbTest, PartitionRatioNormalizes) {
+  // Numerator 1/3*[X<Y], denominator 2/3*[X<Y] + 1*[not X<Y].
+  SymProb Num = SymProb::concrete(q(1, 3)).restricted(xLtY());
+  SymProb Den = SymProb::concrete(q(2, 3)).restricted(xLtY()) +
+                SymProb::concrete(q(1)).restricted(xLtY().negated());
+  auto Cases = partitionRatio(Num, Den);
+  for (const ProbCase &C : Cases) {
+    auto Model = C.Region.findModel(2);
+    ASSERT_TRUE(Model.has_value());
+    if (xLtY().evaluate(*Model))
+      EXPECT_EQ(C.Value, q(1, 2));
+    else
+      EXPECT_EQ(C.Value, q(0));
+  }
+}
+
+TEST_F(SymProbTest, HashAndEquality) {
+  SymProb A = SymProb::concrete(q(1, 2)).restricted(xLtY());
+  SymProb B = SymProb::concrete(q(1, 2)).restricted(xLtY());
+  EXPECT_TRUE(A == B);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+} // namespace

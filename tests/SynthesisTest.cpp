@@ -1,0 +1,123 @@
+//===- tests/SynthesisTest.cpp - Parameter synthesis tests ----------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 2.3 / Figure 3: with symbolic link costs the congestion
+/// probability is a piecewise function of COST_01, COST_02, COST_21 with
+/// exactly three regions; concrete cost vectors can then be synthesized
+/// from the minimizing region.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Bayonet.h"
+#include "TestNetworks.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+TEST(SynthesisTest, Figure3PiecewiseCongestionExact) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(testnets::PaperExampleSymbolic, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  ExactResult R = ExactEngine(Net->Spec).run();
+  ASSERT_FALSE(R.QueryUnsupported) << R.UnsupportedReason;
+
+  std::vector<ProbCase> Cases = R.cases();
+  ASSERT_EQ(Cases.size(), 3u);
+
+  // Figure 3 of the paper, verbatim.
+  bool FoundEq = false, FoundLt = false, FoundGt = false;
+  for (const ProbCase &C : Cases) {
+    std::string Region = C.Region.toString(Net->Spec.Params);
+    if (Region.find("==") != std::string::npos) {
+      FoundEq = true;
+      EXPECT_EQ(C.Value.toString(), "30378810105265/67706637778944");
+    } else if (Region == "{COST_01 - COST_02 - COST_21 < 0}") {
+      FoundLt = true;
+      EXPECT_EQ(C.Value.toString(), "491806403/1088391168");
+    } else {
+      FoundGt = true;
+      EXPECT_EQ(C.Value.toString(), "2025575442161/4231664861184");
+    }
+  }
+  EXPECT_TRUE(FoundEq && FoundLt && FoundGt);
+}
+
+TEST(SynthesisTest, MinimizingRegionIsEquality) {
+  // The paper: minimum congestion (~0.4487) is attained when
+  // COST_01 == COST_02 + COST_21 (ECMP load-balances both paths).
+  DiagEngine Diags;
+  auto Net = loadNetwork(testnets::PaperExampleSymbolic, Diags);
+  ASSERT_TRUE(Net.has_value());
+  ExactResult R = ExactEngine(Net->Spec).run();
+  std::vector<ProbCase> Cases = R.cases();
+  ASSERT_FALSE(Cases.empty());
+  const ProbCase *Best = &Cases[0];
+  for (const ProbCase &C : Cases)
+    if (C.Value < Best->Value)
+      Best = &C;
+  ASSERT_EQ(Best->Region.constraints().size(), 1u);
+  EXPECT_EQ(Best->Region.constraints()[0].rel(), RelKind::EQ);
+
+  // Synthesize concrete costs from the minimizing region.
+  auto Model = Best->Region.findModel(Net->Spec.Params.size());
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_TRUE(Best->Region.evaluate(*Model));
+
+  // Bind the synthesized costs and re-run: the result must equal the
+  // region's value.
+  for (unsigned I = 0; I < Net->Spec.Params.size(); ++I)
+    Net->Spec.ParamValues[I] = (*Model)[I];
+  ExactResult Concrete = ExactEngine(Net->Spec).run();
+  ASSERT_TRUE(Concrete.concreteValue().has_value());
+  EXPECT_EQ(*Concrete.concreteValue(), Best->Value);
+}
+
+TEST(SynthesisTest, PaperCostVectorFallsInEqualityRegion) {
+  // COST_01=2, COST_02=1, COST_21=1 satisfies COST_01 == COST_02 + COST_21,
+  // and the concrete run matches the symbolic region value.
+  DiagEngine Diags;
+  auto Net = loadNetwork(testnets::PaperExampleSymbolic, Diags);
+  ASSERT_TRUE(Net.has_value());
+  bindParam(*Net, "COST_01", Rational(2));
+  bindParam(*Net, "COST_02", Rational(1));
+  bindParam(*Net, "COST_21", Rational(1));
+  ExactResult R = ExactEngine(Net->Spec).run();
+  ASSERT_TRUE(R.concreteValue().has_value());
+  EXPECT_EQ(R.concreteValue()->toString(), "30378810105265/67706637778944");
+}
+
+TEST(SynthesisTest, SymbolicAnswerEvaluatesConsistently) {
+  // Property: evaluating the piecewise answer at any concrete cost vector
+  // equals re-running the engine with those costs bound.
+  DiagEngine Diags;
+  auto Net = loadNetwork(testnets::PaperExampleSymbolic, Diags);
+  ASSERT_TRUE(Net.has_value());
+  ExactResult Sym = ExactEngine(Net->Spec).run();
+  std::vector<ProbCase> Cases = Sym.cases();
+
+  std::vector<std::vector<Rational>> Points = {
+      {Rational(1), Rational(1), Rational(1)}, // 1 < 2: direct cheaper
+      {Rational(3), Rational(1), Rational(1)}, // 3 > 2: detour cheaper
+      {Rational(2), Rational(1), Rational(1)}, // equal costs
+  };
+  for (const auto &Point : Points) {
+    const ProbCase *Match = nullptr;
+    for (const ProbCase &C : Cases)
+      if (C.Region.evaluate(Point))
+        Match = &C;
+    ASSERT_NE(Match, nullptr);
+    for (unsigned I = 0; I < 3; ++I)
+      Net->Spec.ParamValues[I] = Point[I];
+    ExactResult Concrete = ExactEngine(Net->Spec).run();
+    EXPECT_EQ(*Concrete.concreteValue(), Match->Value);
+  }
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- tests/TranslatorTest.cpp - Translation equivalence tests -----------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core architectural claim of the paper is that Bayonet networks can
+/// be compiled into standard probabilistic programs and solved there
+/// (Section 4). These tests translate every benchmark network to the PSI
+/// IR and assert that the PSI exact engine produces *identical* rationals
+/// to the direct operational-semantics engine, and that the PSI sampler is
+/// statistically consistent.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Bayonet.h"
+#include "psi/PsiExact.h"
+#include "psi/PsiSampler.h"
+#include "translate/Translator.h"
+#include "translate/WebPplEmitter.h"
+#include "TestNetworks.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+PsiProgram translateOk(const NetworkSpec &Spec) {
+  DiagEngine Diags;
+  auto P = translateToPsi(Spec, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.toString();
+  return P ? std::move(*P) : PsiProgram();
+}
+
+TEST(TranslatorTest, ExactEquivalenceOnAllTestNetworks) {
+  for (const char *Src :
+       {testnets::PingNetwork, testnets::CoinNetwork, testnets::DieNetwork,
+        testnets::ObservedDieNetwork, testnets::AssertDieNetwork,
+        testnets::LossyNetwork}) {
+    DiagEngine Diags;
+    auto Net = loadNetwork(Src, Diags);
+    ASSERT_TRUE(Net.has_value()) << Diags.toString();
+    ExactResult Direct = ExactEngine(Net->Spec).run();
+    PsiProgram P = translateOk(Net->Spec);
+    PsiExactResult Translated = PsiExact(P).run();
+
+    ASSERT_FALSE(Direct.QueryUnsupported);
+    ASSERT_FALSE(Translated.QueryUnsupported)
+        << Translated.UnsupportedReason;
+    EXPECT_EQ(Direct.QueryMass.concreteValue(),
+              Translated.QueryMass.concreteValue())
+        << "query mass mismatch for:\n" << Src;
+    EXPECT_EQ(Direct.OkMass.concreteValue(),
+              Translated.OkMass.concreteValue());
+    EXPECT_EQ(Direct.ErrorMass.concreteValue(),
+              Translated.ErrorMass.concreteValue());
+  }
+}
+
+TEST(TranslatorTest, PaperExampleExactEquivalence) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(testnets::PaperExample, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  PsiProgram P = translateOk(Net->Spec);
+  PsiExactResult R = PsiExact(P).run();
+  ASSERT_TRUE(R.concreteValue().has_value()) << R.UnsupportedReason;
+  // The translated program reproduces the paper's rational bit for bit,
+  // just like the direct engine.
+  EXPECT_EQ(R.concreteValue()->toString(), "30378810105265/67706637778944");
+}
+
+TEST(TranslatorTest, SymbolicSynthesisThroughTranslation) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(testnets::PaperExampleSymbolic, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  PsiProgram P = translateOk(Net->Spec);
+  PsiExactResult R = PsiExact(P).run();
+  ASSERT_FALSE(R.QueryUnsupported) << R.UnsupportedReason;
+  std::vector<ProbCase> Cases = R.cases();
+  ASSERT_EQ(Cases.size(), 3u);
+  // Same Figure 3 values as the direct engine.
+  std::vector<std::string> Values;
+  for (const ProbCase &C : Cases)
+    Values.push_back(C.Value.toString());
+  EXPECT_NE(std::find(Values.begin(), Values.end(),
+                      "30378810105265/67706637778944"),
+            Values.end());
+  EXPECT_NE(std::find(Values.begin(), Values.end(), "491806403/1088391168"),
+            Values.end());
+  EXPECT_NE(std::find(Values.begin(), Values.end(),
+                      "2025575442161/4231664861184"),
+            Values.end());
+}
+
+TEST(TranslatorTest, DeterministicSchedulerTranslation) {
+  std::string Src = testnets::PaperExample;
+  size_t Pos = Src.find("scheduler uniform;");
+  ASSERT_NE(Pos, std::string::npos);
+  Src.replace(Pos, 18, "scheduler deterministic;");
+  DiagEngine Diags;
+  auto Net = loadNetwork(Src, Diags);
+  ASSERT_TRUE(Net.has_value());
+  PsiProgram P = translateOk(Net->Spec);
+  PsiExactResult R = PsiExact(P).run();
+  ASSERT_TRUE(R.concreteValue().has_value());
+  EXPECT_EQ(*R.concreteValue(), Rational(1));
+}
+
+TEST(TranslatorTest, RoundRobinRejected) {
+  std::string Src = testnets::PaperExample;
+  size_t Pos = Src.find("scheduler uniform;");
+  Src.replace(Pos, 18, "scheduler roundrobin;");
+  DiagEngine D1, D2;
+  auto Net = loadNetwork(Src, D1);
+  ASSERT_TRUE(Net.has_value());
+  auto P = translateToPsi(Net->Spec, D2);
+  EXPECT_FALSE(P.has_value());
+  EXPECT_TRUE(D2.hasErrors());
+}
+
+TEST(TranslatorTest, SamplerConsistentWithExact) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(testnets::ObservedDieNetwork, Diags);
+  ASSERT_TRUE(Net.has_value());
+  PsiProgram P = translateOk(Net->Spec);
+  PsiSampleOptions Opts;
+  Opts.Particles = 20000;
+  PsiSampleResult S = PsiSampler(P, Opts).run();
+  EXPECT_NEAR(S.Value, 4.5, 0.05);
+  // About a third of the particles get rejected by the observation.
+  EXPECT_LT(S.Survivors, 15000u);
+  EXPECT_GT(S.Survivors, 12000u);
+}
+
+TEST(TranslatorTest, SamplerReproducible) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(testnets::CoinNetwork, Diags);
+  ASSERT_TRUE(Net.has_value());
+  PsiProgram P = translateOk(Net->Spec);
+  PsiSampleOptions Opts;
+  Opts.Seed = 31337;
+  PsiSampleResult A = PsiSampler(P, Opts).run();
+  PsiSampleResult B = PsiSampler(P, Opts).run();
+  EXPECT_DOUBLE_EQ(A.Value, B.Value);
+}
+
+TEST(TranslatorTest, PsiPrinterProducesProgramText) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(testnets::PaperExample, Diags);
+  ASSERT_TRUE(Net.has_value());
+  PsiProgram P = translateOk(Net->Spec);
+  std::string Text = printPsiProgram(P);
+  EXPECT_NE(Text.find("def main()"), std::string::npos);
+  EXPECT_NE(Text.find("qin_H0"), std::string::npos);
+  EXPECT_NE(Text.find("repeat 60"), std::string::npos);
+  EXPECT_NE(Text.find("uniformInt"), std::string::npos);
+  EXPECT_NE(Text.find("assert"), std::string::npos);
+  // Section 4: generated programs are substantially larger than the
+  // Bayonet source.
+  EXPECT_GT(Text.size(), std::string(testnets::PaperExample).size());
+}
+
+TEST(TranslatorTest, WebPplEmission) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(testnets::PaperExample, Diags);
+  ASSERT_TRUE(Net.has_value());
+  PsiProgram P = translateOk(Net->Spec);
+  std::string Js = emitWebPpl(P, 1000);
+  EXPECT_NE(Js.find("var model = function()"), std::string::npos);
+  EXPECT_NE(Js.find("Infer({method: 'SMC', particles: 1000}"),
+            std::string::npos);
+  EXPECT_NE(Js.find("factor(-Infinity)"), std::string::npos);
+  EXPECT_NE(Js.find("env.qin_H0"), std::string::npos);
+  // The paper: WebPPL programs are ~10x the Bayonet source.
+  EXPECT_GT(Js.size(), std::string(testnets::PaperExample).size() * 2);
+}
+
+} // namespace
