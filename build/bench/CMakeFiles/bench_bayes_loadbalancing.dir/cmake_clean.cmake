@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bayes_loadbalancing.dir/bench_bayes_loadbalancing.cpp.o"
+  "CMakeFiles/bench_bayes_loadbalancing.dir/bench_bayes_loadbalancing.cpp.o.d"
+  "bench_bayes_loadbalancing"
+  "bench_bayes_loadbalancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bayes_loadbalancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

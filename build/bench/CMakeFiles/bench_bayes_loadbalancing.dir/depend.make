@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_bayes_loadbalancing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bayes_reliability.dir/bench_bayes_reliability.cpp.o"
+  "CMakeFiles/bench_bayes_reliability.dir/bench_bayes_reliability.cpp.o.d"
+  "bench_bayes_reliability"
+  "bench_bayes_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bayes_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_reliability.dir/bench_table1_reliability.cpp.o"
+  "CMakeFiles/bench_table1_reliability.dir/bench_table1_reliability.cpp.o.d"
+  "bench_table1_reliability"
+  "bench_table1_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

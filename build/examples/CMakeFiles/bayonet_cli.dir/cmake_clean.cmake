@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayonet_cli.dir/bayonet_cli.cpp.o"
+  "CMakeFiles/bayonet_cli.dir/bayonet_cli.cpp.o.d"
+  "bayonet"
+  "bayonet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayonet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_synthesis.dir/congestion_synthesis.cpp.o"
+  "CMakeFiles/congestion_synthesis.dir/congestion_synthesis.cpp.o.d"
+  "congestion_synthesis"
+  "congestion_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip.dir/gossip.cpp.o"
+  "CMakeFiles/gossip.dir/gossip.cpp.o.d"
+  "gossip"
+  "gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadbalancing_bayes.dir/loadbalancing_bayes.cpp.o"
+  "CMakeFiles/loadbalancing_bayes.dir/loadbalancing_bayes.cpp.o.d"
+  "loadbalancing_bayes"
+  "loadbalancing_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadbalancing_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

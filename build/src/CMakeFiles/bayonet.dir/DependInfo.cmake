@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/Bayonet.cpp" "src/CMakeFiles/bayonet.dir/api/Bayonet.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/api/Bayonet.cpp.o.d"
+  "/root/repo/src/interp/ExactEngine.cpp" "src/CMakeFiles/bayonet.dir/interp/ExactEngine.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/interp/ExactEngine.cpp.o.d"
+  "/root/repo/src/interp/Exec.cpp" "src/CMakeFiles/bayonet.dir/interp/Exec.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/interp/Exec.cpp.o.d"
+  "/root/repo/src/interp/Sampler.cpp" "src/CMakeFiles/bayonet.dir/interp/Sampler.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/interp/Sampler.cpp.o.d"
+  "/root/repo/src/lang/Ast.cpp" "src/CMakeFiles/bayonet.dir/lang/Ast.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/lang/Ast.cpp.o.d"
+  "/root/repo/src/lang/AstPrinter.cpp" "src/CMakeFiles/bayonet.dir/lang/AstPrinter.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/lang/AstPrinter.cpp.o.d"
+  "/root/repo/src/lang/Checker.cpp" "src/CMakeFiles/bayonet.dir/lang/Checker.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/lang/Checker.cpp.o.d"
+  "/root/repo/src/lang/Lexer.cpp" "src/CMakeFiles/bayonet.dir/lang/Lexer.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/lang/Lexer.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/CMakeFiles/bayonet.dir/lang/Parser.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/lang/Parser.cpp.o.d"
+  "/root/repo/src/net/Scheduler.cpp" "src/CMakeFiles/bayonet.dir/net/Scheduler.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/net/Scheduler.cpp.o.d"
+  "/root/repo/src/net/Topology.cpp" "src/CMakeFiles/bayonet.dir/net/Topology.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/net/Topology.cpp.o.d"
+  "/root/repo/src/psi/PsiExact.cpp" "src/CMakeFiles/bayonet.dir/psi/PsiExact.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/psi/PsiExact.cpp.o.d"
+  "/root/repo/src/psi/PsiIr.cpp" "src/CMakeFiles/bayonet.dir/psi/PsiIr.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/psi/PsiIr.cpp.o.d"
+  "/root/repo/src/psi/PsiSampler.cpp" "src/CMakeFiles/bayonet.dir/psi/PsiSampler.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/psi/PsiSampler.cpp.o.d"
+  "/root/repo/src/query/QueryEval.cpp" "src/CMakeFiles/bayonet.dir/query/QueryEval.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/query/QueryEval.cpp.o.d"
+  "/root/repo/src/scenarios/Scenarios.cpp" "src/CMakeFiles/bayonet.dir/scenarios/Scenarios.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/scenarios/Scenarios.cpp.o.d"
+  "/root/repo/src/support/BigInt.cpp" "src/CMakeFiles/bayonet.dir/support/BigInt.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/support/BigInt.cpp.o.d"
+  "/root/repo/src/support/Diag.cpp" "src/CMakeFiles/bayonet.dir/support/Diag.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/support/Diag.cpp.o.d"
+  "/root/repo/src/support/Prng.cpp" "src/CMakeFiles/bayonet.dir/support/Prng.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/support/Prng.cpp.o.d"
+  "/root/repo/src/support/Rational.cpp" "src/CMakeFiles/bayonet.dir/support/Rational.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/support/Rational.cpp.o.d"
+  "/root/repo/src/symbolic/Constraint.cpp" "src/CMakeFiles/bayonet.dir/symbolic/Constraint.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/symbolic/Constraint.cpp.o.d"
+  "/root/repo/src/symbolic/LinExpr.cpp" "src/CMakeFiles/bayonet.dir/symbolic/LinExpr.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/symbolic/LinExpr.cpp.o.d"
+  "/root/repo/src/symbolic/SymProb.cpp" "src/CMakeFiles/bayonet.dir/symbolic/SymProb.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/symbolic/SymProb.cpp.o.d"
+  "/root/repo/src/translate/Translator.cpp" "src/CMakeFiles/bayonet.dir/translate/Translator.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/translate/Translator.cpp.o.d"
+  "/root/repo/src/translate/WebPplEmitter.cpp" "src/CMakeFiles/bayonet.dir/translate/WebPplEmitter.cpp.o" "gcc" "src/CMakeFiles/bayonet.dir/translate/WebPplEmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

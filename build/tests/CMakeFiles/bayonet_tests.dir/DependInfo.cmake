@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BigIntTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/BigIntTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/BigIntTest.cpp.o.d"
+  "/root/repo/tests/CheckerTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/CheckerTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/CheckerTest.cpp.o.d"
+  "/root/repo/tests/ConstraintTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/ConstraintTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/ConstraintTest.cpp.o.d"
+  "/root/repo/tests/CrossEngineTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/CrossEngineTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/CrossEngineTest.cpp.o.d"
+  "/root/repo/tests/ExactEngineTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/ExactEngineTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/ExactEngineTest.cpp.o.d"
+  "/root/repo/tests/ExecEdgeTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/ExecEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/ExecEdgeTest.cpp.o.d"
+  "/root/repo/tests/FuzzDiffTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/FuzzDiffTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/FuzzDiffTest.cpp.o.d"
+  "/root/repo/tests/GivenQueryTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/GivenQueryTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/GivenQueryTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/LinExprTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/LinExprTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/LinExprTest.cpp.o.d"
+  "/root/repo/tests/MiscTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/MiscTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/MiscTest.cpp.o.d"
+  "/root/repo/tests/NetModelTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/NetModelTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/NetModelTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PrngTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/PrngTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/PrngTest.cpp.o.d"
+  "/root/repo/tests/PsiIrTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/PsiIrTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/PsiIrTest.cpp.o.d"
+  "/root/repo/tests/RationalTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/RationalTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/RationalTest.cpp.o.d"
+  "/root/repo/tests/SamplerTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/SamplerTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/SamplerTest.cpp.o.d"
+  "/root/repo/tests/ScenarioTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/ScenarioTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/ScenarioTest.cpp.o.d"
+  "/root/repo/tests/SolverPropertyTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/SolverPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/SolverPropertyTest.cpp.o.d"
+  "/root/repo/tests/SymProbTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/SymProbTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/SymProbTest.cpp.o.d"
+  "/root/repo/tests/SynthesisTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/SynthesisTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/SynthesisTest.cpp.o.d"
+  "/root/repo/tests/TranslatorTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/TranslatorTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/TranslatorTest.cpp.o.d"
+  "/root/repo/tests/WeightedSchedTest.cpp" "tests/CMakeFiles/bayonet_tests.dir/WeightedSchedTest.cpp.o" "gcc" "tests/CMakeFiles/bayonet_tests.dir/WeightedSchedTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bayonet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

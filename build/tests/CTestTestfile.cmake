@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bayonet_tests "/root/repo/build/tests/bayonet_tests")
+set_tests_properties(bayonet_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_figure2_exact "/root/repo/build/examples/bayonet" "/root/repo/examples/programs/figure2.bay")
+set_tests_properties(cli_figure2_exact PROPERTIES  PASS_REGULAR_EXPRESSION "30378810105265/67706637778944" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_figure2_translated "/root/repo/build/examples/bayonet" "/root/repo/examples/programs/figure2.bay" "--engine" "translated")
+set_tests_properties(cli_figure2_translated PROPERTIES  PASS_REGULAR_EXPRESSION "30378810105265/67706637778944" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_figure2_symbolic "/root/repo/build/examples/bayonet" "/root/repo/examples/programs/figure2_symbolic.bay")
+set_tests_properties(cli_figure2_symbolic PROPERTIES  PASS_REGULAR_EXPRESSION "COST_01 - COST_02 - COST_21 == 0.*0\\.4486" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;45;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_param_binding "/root/repo/build/examples/bayonet" "/root/repo/examples/programs/figure2_symbolic.bay" "--param" "COST_01=1" "--param" "COST_02=3" "--param" "COST_21=4")
+set_tests_properties(cli_param_binding PROPERTIES  PASS_REGULAR_EXPRESSION "491806403/1088391168" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;50;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_gossip_exact "/root/repo/build/examples/bayonet" "/root/repo/examples/programs/gossip4.bay")
+set_tests_properties(cli_gossip_exact PROPERTIES  PASS_REGULAR_EXPRESSION "94/27" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;56;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_reliability_bayes "/root/repo/build/examples/bayonet" "/root/repo/examples/programs/reliability_bayes_123.bay")
+set_tests_properties(cli_reliability_bayes PROPERTIES  PASS_REGULAR_EXPRESSION "41922792469/95643630613" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_smc_engine "/root/repo/build/examples/bayonet" "/root/repo/examples/programs/reliability6.bay" "--engine" "smc" "--particles" "2000" "--seed" "3")
+set_tests_properties(cli_smc_engine PROPERTIES  PASS_REGULAR_EXPRESSION "0\\.99" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;66;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_emit_psi "/root/repo/build/examples/bayonet" "/root/repo/examples/programs/figure2.bay" "--emit-psi")
+set_tests_properties(cli_emit_psi PROPERTIES  PASS_REGULAR_EXPRESSION "def main\\(\\)" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_emit_webppl "/root/repo/build/examples/bayonet" "/root/repo/examples/programs/figure2.bay" "--emit-webppl")
+set_tests_properties(cli_emit_webppl PROPERTIES  PASS_REGULAR_EXPRESSION "Infer\\({method: 'SMC'" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;77;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_missing_file "/root/repo/build/examples/bayonet" "/nonexistent.bay")
+set_tests_properties(cli_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_bad_engine "/root/repo/build/examples/bayonet" "/root/repo/examples/programs/figure2.bay" "--engine" "nope")
+set_tests_properties(cli_bad_engine PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;85;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_firewall "/root/repo/build/examples/bayonet" "/root/repo/examples/programs/firewall.bay")
+set_tests_properties(cli_firewall PROPERTIES  PASS_REGULAR_EXPRESSION "^1 " _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;89;add_test;/root/repo/tests/CMakeLists.txt;0;")
