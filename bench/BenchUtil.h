@@ -88,6 +88,70 @@ inline std::string fmt(double V) {
   return Buf;
 }
 
+/// One timing of a benchmark at a specific thread count. The scaling
+/// benchmarks record each workload once serial and once parallel; the
+/// pairs land in BENCH_scaling.json so the 1-thread vs N-thread speedup
+/// is machine-readable.
+struct ScalingRow {
+  std::string Benchmark;
+  unsigned Threads = 1;
+  double Seconds = 0;
+  std::string Value; ///< Engine result — must match across thread counts.
+};
+
+inline std::vector<ScalingRow> &scalingRows() {
+  static std::vector<ScalingRow> Rows;
+  return Rows;
+}
+
+inline void addScalingRow(std::string Benchmark, unsigned Threads,
+                          double Seconds, std::string Value) {
+  for (ScalingRow &R : scalingRows()) {
+    if (R.Benchmark == Benchmark && R.Threads == Threads) {
+      R.Seconds = Seconds;
+      R.Value = std::move(Value);
+      return;
+    }
+  }
+  scalingRows().push_back(
+      {std::move(Benchmark), Threads, Seconds, std::move(Value)});
+}
+
+/// Writes the collected thread-scaling rows as a JSON array (no-op when
+/// the binary recorded none). Rows with Threads > 1 carry the speedup
+/// against the matching 1-thread row.
+inline void writeScalingJson(const char *Path) {
+  if (scalingRows().empty())
+    return;
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "[\n");
+  const std::vector<ScalingRow> &Rows = scalingRows();
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const ScalingRow &R = Rows[I];
+    std::fprintf(F,
+                 "  {\"benchmark\": \"%s\", \"threads\": %u, "
+                 "\"seconds\": %.6f, \"value\": \"%s\"",
+                 R.Benchmark.c_str(), R.Threads, R.Seconds, R.Value.c_str());
+    if (R.Threads > 1) {
+      for (const ScalingRow &Base : Rows)
+        if (Base.Benchmark == R.Benchmark && Base.Threads == 1 &&
+            R.Seconds > 0) {
+          std::fprintf(F, ", \"speedup_vs_1thread\": %.3f",
+                       Base.Seconds / R.Seconds);
+          break;
+        }
+    }
+    std::fprintf(F, "}%s\n", I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  std::printf("wrote %s (%zu rows)\n", Path, Rows.size());
+}
+
 /// Standard main: run the registered benchmarks, then print the table.
 #define BAYONET_BENCH_MAIN(TITLE)                                            \
   int main(int argc, char **argv) {                                         \
@@ -97,6 +161,7 @@ inline std::string fmt(double V) {
     benchmark::RunSpecifiedBenchmarks();                                    \
     benchmark::Shutdown();                                                  \
     bayonet::benchutil::printComparison(TITLE);                             \
+    bayonet::benchutil::writeScalingJson("BENCH_scaling.json");             \
     return 0;                                                               \
   }
 

@@ -16,29 +16,55 @@
 
 #include "BenchUtil.h"
 #include "scenarios/Scenarios.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 
 using namespace bayonet;
 using namespace bayonet::benchutil;
 
 namespace {
 
+/// The parallel lane count the scaling study compares against serial: at
+/// least 2 so the sharded code path runs even on a single-core box.
+unsigned scalingThreads() {
+  return std::max(2u, ThreadPool::defaultThreads());
+}
+
+/// Runs the exact engine on \p Net with \p Threads lanes, returning the
+/// wall-clock seconds and the rendered result value.
+double timedExact(const LoadedNetwork &Net, unsigned Threads,
+                  std::string &Value) {
+  ExactOptions Opts;
+  Opts.Threads = Threads;
+  auto T0 = std::chrono::steady_clock::now();
+  ExactResult R = ExactEngine(Net.Spec, Opts).run();
+  double Secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  auto V = R.concreteValue();
+  Value = V ? fmt(V->toDouble()) : "?";
+  benchmark::DoNotOptimize(R);
+  return Secs;
+}
+
 void BM_ReliabilityScaling(benchmark::State &State) {
   unsigned Diamonds = static_cast<unsigned>(State.range(0));
   LoadedNetwork Net = mustLoad(scenarios::reliabilityChain(Diamonds));
-  std::string Measured;
-  double Secs = 0;
+  unsigned Par = scalingThreads();
+  std::string Serial, Parallel;
+  double Secs1 = 0, SecsN = 0;
   for (auto _ : State) {
-    auto T0 = std::chrono::steady_clock::now();
-    ExactResult R = ExactEngine(Net.Spec).run();
-    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         T0)
-               .count();
-    auto V = R.concreteValue();
-    Measured = V ? fmt(V->toDouble()) : "?";
-    benchmark::DoNotOptimize(R);
+    Secs1 = timedExact(Net, 1, Serial);
+    SecsN = timedExact(Net, Par, Parallel);
   }
-  addRow("reliability chain, " + std::to_string(4 * Diamonds + 2) + " nodes",
-         "exact", "(1-1/2000)^D", Measured, Secs);
+  if (Parallel != Serial)
+    Serial += " (PARALLEL MISMATCH: " + Parallel + ")";
+  std::string Name =
+      "reliability chain, " + std::to_string(4 * Diamonds + 2) + " nodes";
+  addRow(Name, "exact", "(1-1/2000)^D", Serial, Secs1);
+  addScalingRow(Name, 1, Secs1, Serial);
+  addScalingRow(Name, Par, SecsN, Parallel);
 }
 
 void BM_CongestionScalingSmc(benchmark::State &State) {
@@ -61,24 +87,23 @@ void BM_CongestionScalingSmc(benchmark::State &State) {
 void BM_RingScaling(benchmark::State &State) {
   unsigned N = static_cast<unsigned>(State.range(0));
   LoadedNetwork Net = mustLoad(scenarios::ringReliability(N));
-  std::string Measured;
-  double Secs = 0;
+  unsigned Par = scalingThreads();
+  std::string Serial, Parallel;
+  double Secs1 = 0, SecsN = 0;
   for (auto _ : State) {
-    auto T0 = std::chrono::steady_clock::now();
-    ExactResult R = ExactEngine(Net.Spec).run();
-    Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         T0)
-               .count();
-    auto V = R.concreteValue();
-    Measured = V ? fmt(V->toDouble()) : "?";
-    benchmark::DoNotOptimize(R);
+    Secs1 = timedExact(Net, 1, Serial);
+    SecsN = timedExact(Net, Par, Parallel);
   }
+  if (Parallel != Serial)
+    Serial += " (PARALLEL MISMATCH: " + Parallel + ")";
   // Closed form (99/100)^(N-1).
   Rational Expected(1);
   for (unsigned I = 1; I < N; ++I)
     Expected *= Rational(BigInt(99), BigInt(100));
-  addRow("ring, " + std::to_string(N) + " nodes", "exact",
-         fmt(Expected.toDouble()), Measured, Secs);
+  std::string Name = "ring, " + std::to_string(N) + " nodes";
+  addRow(Name, "exact", fmt(Expected.toDouble()), Serial, Secs1);
+  addScalingRow(Name, 1, Secs1, Serial);
+  addScalingRow(Name, Par, SecsN, Parallel);
 }
 
 void BM_StarScaling(benchmark::State &State) {

@@ -40,6 +40,8 @@ void usage() {
       "  --particles N                          particles for sampling "
       "(default 1000)\n"
       "  --seed N                               PRNG seed\n"
+      "  --threads N                            worker threads (0 = auto, "
+      "1 = serial)\n"
       "  --param NAME=VALUE                     bind a symbolic parameter\n"
       "  --emit-psi                             print the translated PSI "
       "program\n"
@@ -56,6 +58,7 @@ int main(int argc, char **argv) {
   std::string FileName, Engine = "exact";
   unsigned Particles = 1000;
   uint64_t Seed = 0x5eed;
+  unsigned Threads = 0;
   bool EmitPsi = false, EmitWebPpl = false, Stats = false, Dist = false;
   std::vector<std::pair<std::string, Rational>> ParamBinds;
 
@@ -74,6 +77,19 @@ int main(int argc, char **argv) {
       Particles = std::atoi(takeValue("--particles"));
     else if (Arg == "--seed")
       Seed = std::strtoull(takeValue("--seed"), nullptr, 10);
+    else if (Arg == "--threads") {
+      const char *Val = takeValue("--threads");
+      char *End = nullptr;
+      long N = std::strtol(Val, &End, 10);
+      if (End == Val || *End != '\0' || N < 0 || N > 4096) {
+        std::fprintf(stderr,
+                     "error: --threads expects a number in [0, 4096], got "
+                     "'%s'\n",
+                     Val);
+        return 2;
+      }
+      Threads = static_cast<unsigned>(N);
+    }
     else if (Arg == "--param") {
       std::string Bind = takeValue("--param");
       size_t Eq = Bind.find('=');
@@ -144,6 +160,7 @@ int main(int argc, char **argv) {
   if (Engine == "exact") {
     ExactOptions EOpts;
     EOpts.CollectTerminals = Dist;
+    EOpts.Threads = Threads;
     ExactResult R = ExactEngine(Net->Spec, EOpts).run();
     std::printf("%s\n", formatExactAnswer(R, Net->Spec.Params).c_str());
     if (Dist) {
@@ -157,10 +174,18 @@ int main(int argc, char **argv) {
     if (auto E = R.errorProbability(); E && !E->isZero())
       std::printf("error probability: %s (~%f)\n", E->toString().c_str(),
                   E->toDouble());
-    if (Stats)
-      std::printf("configs expanded: %zu, max frontier: %zu, steps: %lld\n",
+    if (Stats) {
+      std::printf("configs expanded: %zu, max frontier: %zu, steps: %lld, "
+                  "merge hits: %zu\n",
                   R.ConfigsExpanded, R.MaxFrontierSize,
-                  static_cast<long long>(R.StepsUsed));
+                  static_cast<long long>(R.StepsUsed), R.MergeHits);
+      if (!R.WorkerConfigsExpanded.empty()) {
+        std::printf("configs expanded per worker:");
+        for (size_t N : R.WorkerConfigsExpanded)
+          std::printf(" %zu", N);
+        std::printf("\n");
+      }
+    }
     return R.QueryUnsupported ? 1 : 0;
   }
   if (Engine == "translated") {
@@ -170,7 +195,9 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "%s", TDiags.toString().c_str());
       return 1;
     }
-    PsiExactResult R = PsiExact(*Psi).run();
+    PsiExactOptions POpts;
+    POpts.Threads = Threads;
+    PsiExactResult R = PsiExact(*Psi, POpts).run();
     if (auto V = R.concreteValue())
       std::printf("%s (~%f)\n", V->toString().c_str(), V->toDouble());
     else {
@@ -180,8 +207,8 @@ int main(int argc, char **argv) {
                     C.Value.toString().c_str(), C.Value.toDouble());
     }
     if (Stats)
-      std::printf("branches expanded: %zu, max dist: %zu\n",
-                  R.BranchesExpanded, R.MaxDistSize);
+      std::printf("branches expanded: %zu, max dist: %zu, merge hits: %zu\n",
+                  R.BranchesExpanded, R.MaxDistSize, R.MergeHits);
     return R.QueryUnsupported ? 1 : 0;
   }
   if (Engine == "smc" || Engine == "reject") {
@@ -190,6 +217,7 @@ int main(int argc, char **argv) {
                                 : SampleOptions::Method::Rejection;
     Opts.Particles = Particles;
     Opts.Seed = Seed;
+    Opts.Threads = Threads;
     SampleResult R = Sampler(Net->Spec, Opts).run();
     std::printf("%f (+- %f at ~95%%)\n", R.Value, 1.96 * R.StdError);
     if (R.ErrorFraction > 0)

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + test run from ROADMAP.md,
+# followed by a thread-sanitized run of the parallel-determinism tests.
+# The TSan step runs with BAYONET_THREADS=4 so real worker threads race
+# through the sharded engine paths even on a single-core machine.
+#
+# Usage: scripts/tier1.sh [--no-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+NO_TSAN=0
+for Arg in "$@"; do
+  case "$Arg" in
+  --no-tsan) NO_TSAN=1 ;;
+  *)
+    echo "unknown argument: $Arg" >&2
+    exit 2
+    ;;
+  esac
+done
+
+echo "=== tier-1: standard build + ctest ==="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [ "$NO_TSAN" = 1 ]; then
+  echo "=== tier-1: TSan step skipped (--no-tsan) ==="
+  exit 0
+fi
+
+echo "=== tier-1: thread-sanitized parallel determinism ==="
+cmake -B build-tsan -S . -DBAYONET_SANITIZE=thread
+cmake --build build-tsan -j --target bayonet_tests
+BAYONET_THREADS=4 ./build-tsan/tests/bayonet_tests \
+  --gtest_filter='ParallelDeterminism.*'
+
+echo "=== tier-1: all checks passed ==="

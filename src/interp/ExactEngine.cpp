@@ -6,6 +6,9 @@
 
 #include "interp/ExactEngine.h"
 
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 #include <unordered_map>
 
 using namespace bayonet;
@@ -246,6 +249,7 @@ ExactEngine::initialDistribution() const {
       for (auto &[C, W] : Worlds) {
         if (!SV.Init) {
           NetConfig C2 = C;
+          C2.invalidateHash();
           C2.Nodes[Node].State.push_back(Value(Rational(0)));
           Next.emplace_back(std::move(C2), W);
           continue;
@@ -255,6 +259,7 @@ ExactEngine::initialDistribution() const {
           if (W2.isZero())
             continue;
           NetConfig C2 = C;
+          C2.invalidateHash();
           if (O.Failed)
             C2.Error = true;
           else
@@ -268,6 +273,7 @@ ExactEngine::initialDistribution() const {
 
   // Inject the initial packets (deterministic).
   for (auto &[C, W] : Worlds) {
+    C.invalidateHash();
     if (C.Error)
       continue;
     for (const InitPacketSpec &Init : Spec.Inits) {
@@ -352,28 +358,110 @@ void ExactEngine::accumulateQuery(const NetConfig &C, const SymProb &WtIn,
   }
 }
 
+namespace {
+
+/// Folds a worker-lane partial result into the final result. Weight sums
+/// are exact, so the fixed lane order only pins tie-breaking details like
+/// which unsupported-reason string wins.
+void foldPartial(ExactResult &Result, ExactResult &Partial) {
+  Result.QueryMass += Partial.QueryMass;
+  Result.OkMass += Partial.OkMass;
+  Result.ErrorMass += Partial.ErrorMass;
+  if (Partial.QueryUnsupported && !Result.QueryUnsupported) {
+    Result.QueryUnsupported = true;
+    Result.UnsupportedReason = std::move(Partial.UnsupportedReason);
+  }
+  Result.ConfigsExpanded += Partial.ConfigsExpanded;
+  for (auto &TW : Partial.Terminals)
+    Result.Terminals.push_back(std::move(TW));
+}
+
+} // namespace
+
 ExactResult ExactEngine::run() const {
   ExactResult Result;
   if (Spec.Query)
     Result.Kind = Spec.Query->Kind;
   auto Sched = Scheduler::forSpec(Spec);
+  const unsigned Threads = resolveThreads(Opts.Threads);
 
   using Frontier = std::vector<std::pair<NetConfig, SymProb>>;
   Frontier Cur = initialDistribution();
 
-  auto addTo = [this](Frontier &F,
-                      std::unordered_map<NetConfig, size_t, NetConfigHash>
-                          &Index,
-                      NetConfig C, SymProb W) {
+  // Expands one weighted configuration: terminal and error mass go into
+  // \p Res (a lane-local partial in parallel steps), successors into Emit.
+  auto expandOne = [&](const NetConfig &C, const SymProb &W, bool LastStep,
+                       ExactResult &Res, auto &&Emit) {
+    ++Res.ConfigsExpanded;
+    if (C.Error) {
+      Res.ErrorMass += W;
+      return;
+    }
+    std::vector<SchedChoice> Choices = Sched->choices(C);
+    if (Choices.empty()) {
+      // Terminal configuration: evaluate the query.
+      if (Opts.CollectTerminals)
+        Res.Terminals.emplace_back(C, W);
+      accumulateQuery(C, W, Res);
+      return;
+    }
+    if (LastStep) {
+      // Live mass at the step bound: assert(terminated()) fails.
+      Res.ErrorMass += W;
+      return;
+    }
+    for (const SchedChoice &Choice : Choices) {
+      SymProb Base = W.scaled(Choice.Prob);
+      if (Choice.Act.K == Action::Kind::Fwd) {
+        NetConfig C2 = C;
+        C2.invalidateHash(); // The copy carries C's cached hash.
+        C2.SchedState = Choice.NextSchedState;
+        NodeConfig &Src = C2.Nodes[Choice.Act.Node];
+        QueueEntry E = Src.QOut.takeFront();
+        if (auto Peer = Spec.Topo.peer(Choice.Act.Node, E.Port)) {
+          E.Port = Peer->Port;
+          // pushBack on a full queue is a no-op: congestion drop.
+          C2.Nodes[Peer->Node].QIn.pushBack(std::move(E));
+        }
+        // No link on that port: the packet leaves the network (dropped).
+        Emit(std::move(C2), std::move(Base));
+        continue;
+      }
+      // Run action.
+      const DefDecl *Def = Spec.NodePrograms[Choice.Act.Node];
+      for (ExecWorld &World : Exec.runExact(*Def, C.Nodes[Choice.Act.Node])) {
+        SymProb W2 = applyGuards(Base.scaled(World.Prob), World.Guards);
+        if (W2.isZero())
+          continue;
+        if (World.ObserveFailed)
+          continue; // Observation failure: the mass is discarded.
+        NetConfig C2 = C;
+        C2.invalidateHash();
+        C2.SchedState = Choice.NextSchedState;
+        C2.Nodes[Choice.Act.Node] = std::move(World.Node);
+        if (World.Error) {
+          Res.ErrorMass += W2;
+          continue;
+        }
+        Emit(std::move(C2), std::move(W2));
+      }
+    }
+  };
+
+  using MergeIndex = std::unordered_map<NetConfig, size_t, NetConfigHash>;
+  auto addTo = [this, &Result](Frontier &F, MergeIndex &Index, NetConfig C,
+                               SymProb W) {
     if (!Opts.MergeStates) {
       F.emplace_back(std::move(C), std::move(W));
       return;
     }
     auto [It, Inserted] = Index.try_emplace(C, F.size());
-    if (Inserted)
+    if (Inserted) {
       F.emplace_back(std::move(C), std::move(W));
-    else
+    } else {
       F[It->second].second += W;
+      ++Result.MergeHits;
+    }
   };
 
   for (int64_t Step = 0; Step <= Spec.NumSteps; ++Step) {
@@ -384,66 +472,101 @@ ExactResult ExactEngine::run() const {
     bool LastStep = Step == Spec.NumSteps;
 
     Frontier Next;
-    std::unordered_map<NetConfig, size_t, NetConfigHash> NextIndex;
-    for (auto &[C, W] : Cur) {
-      ++Result.ConfigsExpanded;
-      if (C.Error) {
-        Result.ErrorMass += W;
-        continue;
-      }
-      std::vector<SchedChoice> Choices = Sched->choices(C);
-      if (Choices.empty()) {
-        // Terminal configuration: evaluate the query.
-        if (Opts.CollectTerminals)
-          Result.Terminals.emplace_back(C, W);
-        accumulateQuery(C, W, Result);
-        continue;
-      }
-      if (LastStep) {
-        // Live mass at the step bound: assert(terminated()) fails.
-        Result.ErrorMass += W;
-        continue;
-      }
-      for (const SchedChoice &Choice : Choices) {
-        SymProb Base = W.scaled(Choice.Prob);
-        if (Choice.Act.K == Action::Kind::Fwd) {
-          NetConfig C2 = C;
-          C2.SchedState = Choice.NextSchedState;
-          NodeConfig &Src = C2.Nodes[Choice.Act.Node];
-          QueueEntry E = Src.QOut.takeFront();
-          if (auto Peer = Spec.Topo.peer(Choice.Act.Node, E.Port)) {
-            E.Port = Peer->Port;
-            // pushBack on a full queue is a no-op: congestion drop.
-            C2.Nodes[Peer->Node].QIn.pushBack(std::move(E));
-          }
-          // No link on that port: the packet leaves the network (dropped).
-          addTo(Next, NextIndex, std::move(C2), std::move(Base));
-          continue;
-        }
-        // Run action.
-        const DefDecl *Def = Spec.NodePrograms[Choice.Act.Node];
-        for (ExecWorld &World :
-             Exec.runExact(*Def, C.Nodes[Choice.Act.Node])) {
-          SymProb W2 = applyGuards(Base.scaled(World.Prob), World.Guards);
-          if (W2.isZero())
-            continue;
-          if (World.ObserveFailed)
-            continue; // Observation failure: the mass is discarded.
-          NetConfig C2 = C;
-          C2.SchedState = Choice.NextSchedState;
-          C2.Nodes[Choice.Act.Node] = std::move(World.Node);
-          if (World.Error) {
-            Result.ErrorMass += W2;
-            continue;
-          }
-          addTo(Next, NextIndex, std::move(C2), std::move(W2));
+    if (Threads <= 1 || Cur.size() < Opts.ParallelThreshold) {
+      // Serial step: expand and merge in one pass.
+      MergeIndex NextIndex;
+      NextIndex.reserve(Cur.size()); // Frontier sizes are step-correlated.
+      Next.reserve(Cur.size());
+      for (auto &[C, W] : Cur) {
+        expandOne(C, W, LastStep, Result,
+                  [&](NetConfig C2, SymProb W2) {
+                    addTo(Next, NextIndex, std::move(C2), std::move(W2));
+                  });
+        if (Next.size() > Opts.MaxFrontier) {
+          Result.QueryUnsupported = true;
+          Result.UnsupportedReason = "frontier size limit exceeded";
+          return Result;
         }
       }
-      if (Next.size() > Opts.MaxFrontier) {
+    } else {
+      // Parallel step. Phase 1: each lane expands a contiguous shard of the
+      // frontier, routing successors into hash-addressed buckets (bucket =
+      // hash % Threads) and folding terminal/error mass into a lane-local
+      // partial result. Phase 2: each bucket is merged independently,
+      // consuming lane outputs in lane order — so the merged frontier, and
+      // with it every weight, is a pure function of (frontier, Threads),
+      // and all weights are exact rationals, making query results
+      // bit-identical for every thread count.
+      ThreadPool &Pool = ThreadPool::global();
+      const size_t Lanes = Threads;
+      const size_t Chunk = (Cur.size() + Lanes - 1) / Lanes;
+      struct LaneOut {
+        std::vector<Frontier> Buckets;
+        ExactResult Partial;
+      };
+      std::vector<LaneOut> Outs(Lanes);
+      Pool.parallelFor(Lanes, [&](size_t Lane) {
+        LaneOut &O = Outs[Lane];
+        O.Buckets.resize(Lanes);
+        size_t Lo = std::min(Cur.size(), Lane * Chunk);
+        size_t Hi = std::min(Cur.size(), Lo + Chunk);
+        for (size_t I = Lo; I < Hi; ++I)
+          expandOne(Cur[I].first, Cur[I].second, LastStep, O.Partial,
+                    [&](NetConfig C2, SymProb W2) {
+                      size_t B = C2.hash() % Lanes;
+                      O.Buckets[B].emplace_back(std::move(C2),
+                                                std::move(W2));
+                    });
+      });
+      if (Result.WorkerConfigsExpanded.size() < Lanes)
+        Result.WorkerConfigsExpanded.resize(Lanes, 0);
+      for (size_t Lane = 0; Lane < Lanes; ++Lane) {
+        Result.WorkerConfigsExpanded[Lane] +=
+            Outs[Lane].Partial.ConfigsExpanded;
+        foldPartial(Result, Outs[Lane].Partial);
+      }
+      // Phase 2: merge each bucket (deterministic lane order within).
+      std::vector<Frontier> Merged(Lanes);
+      std::vector<size_t> BucketHits(Lanes, 0);
+      Pool.parallelFor(Lanes, [&](size_t B) {
+        size_t Total = 0;
+        for (size_t Lane = 0; Lane < Lanes; ++Lane)
+          Total += Outs[Lane].Buckets[B].size();
+        Frontier &F = Merged[B];
+        F.reserve(Total);
+        if (!Opts.MergeStates) {
+          for (size_t Lane = 0; Lane < Lanes; ++Lane)
+            for (auto &CW : Outs[Lane].Buckets[B])
+              F.push_back(std::move(CW));
+          return;
+        }
+        MergeIndex Index;
+        Index.reserve(Total);
+        for (size_t Lane = 0; Lane < Lanes; ++Lane)
+          for (auto &[C, W] : Outs[Lane].Buckets[B]) {
+            auto [It, Inserted] = Index.try_emplace(C, F.size());
+            if (Inserted) {
+              F.emplace_back(std::move(C), std::move(W));
+            } else {
+              F[It->second].second += W;
+              ++BucketHits[B];
+            }
+          }
+      });
+      size_t Total = 0;
+      for (size_t B = 0; B < Lanes; ++B) {
+        Total += Merged[B].size();
+        Result.MergeHits += BucketHits[B];
+      }
+      if (Total > Opts.MaxFrontier) {
         Result.QueryUnsupported = true;
         Result.UnsupportedReason = "frontier size limit exceeded";
         return Result;
       }
+      Next.reserve(Total);
+      for (size_t B = 0; B < Lanes; ++B)
+        for (auto &CW : Merged[B])
+          Next.push_back(std::move(CW));
     }
     Cur = std::move(Next);
   }

@@ -36,6 +36,15 @@ struct ExactOptions {
   size_t MaxFrontier = 50'000'000;
   /// Keep the terminal distribution (for tests and debugging).
   bool CollectTerminals = false;
+  /// Worker lanes for frontier expansion. 0 = the process default
+  /// (BAYONET_THREADS env or hardware_concurrency); 1 = the serial code
+  /// path. Results are bit-identical for every value: expansion is sharded
+  /// and merged by a hash-sharded reduction in a fixed order, and all
+  /// weight arithmetic is exact.
+  unsigned Threads = 0;
+  /// Minimum frontier size before a step fans out to the pool; smaller
+  /// frontiers expand serially (fan-out overhead would dominate).
+  size_t ParallelThreshold = 64;
 };
 
 /// Result of one exact inference run.
@@ -57,6 +66,12 @@ struct ExactResult {
   size_t ConfigsExpanded = 0;
   size_t MaxFrontierSize = 0;
   int64_t StepsUsed = 0;
+  /// Configurations expanded per worker lane (parallel steps only; empty
+  /// when every step ran serially). Summed over steps, indexed by lane.
+  std::vector<size_t> WorkerConfigsExpanded;
+  /// Successor configurations that merged into an existing frontier entry
+  /// (weight addition instead of insertion).
+  size_t MergeHits = 0;
 
   /// Terminal distribution (only when CollectTerminals was set).
   std::vector<std::pair<NetConfig, SymProb>> Terminals;

@@ -6,20 +6,19 @@
 
 #include "interp/Sampler.h"
 #include "query/QueryEval.h"
+#include "support/ThreadPool.h"
 
 #include <cmath>
 
 using namespace bayonet;
 
-Sampler::Particle Sampler::sampleInitial(Xoshiro &Rng) const {
-  Particle P;
+void Sampler::initParticle(Particle &P, int64_t InitSchedState) const {
   P.Config.Nodes.resize(Spec.Topo.numNodes());
   for (NodeConfig &NC : P.Config.Nodes) {
     NC.QIn = PacketQueue(Spec.QueueCapacity);
     NC.QOut = PacketQueue(Spec.QueueCapacity);
   }
-  auto Sched = Scheduler::forSpec(Spec);
-  P.Config.SchedState = Sched->initialState();
+  P.Config.SchedState = InitSchedState;
 
   for (unsigned Node = 0; Node < Spec.Topo.numNodes(); ++Node) {
     const DefDecl *Def = Spec.NodePrograms[Node];
@@ -30,10 +29,10 @@ Sampler::Particle Sampler::sampleInitial(Xoshiro &Rng) const {
         P.Config.Nodes[Node].State.push_back(Value(Rational(0)));
         continue;
       }
-      auto V = Exec.evalInitSampled(*SV.Init, Rng);
+      auto V = Exec.evalInitSampled(*SV.Init, P.Rng);
       if (!V) {
         P.Error = true;
-        return P;
+        return;
       }
       P.Config.Nodes[Node].State.push_back(std::move(*V));
     }
@@ -45,10 +44,9 @@ Sampler::Particle Sampler::sampleInitial(Xoshiro &Rng) const {
       Pkt.Fields.push_back(Value(F));
     P.Config.Nodes[Init.Node].QIn.pushBack({std::move(Pkt), 0});
   }
-  return P;
 }
 
-void Sampler::step(Particle &P, const Scheduler &Sched, Xoshiro &Rng) const {
+void Sampler::step(Particle &P, const Scheduler &Sched) const {
   std::vector<SchedChoice> Choices = Sched.choices(P.Config);
   if (Choices.empty()) {
     P.Terminal = true;
@@ -57,7 +55,7 @@ void Sampler::step(Particle &P, const Scheduler &Sched, Xoshiro &Rng) const {
   // Sample a choice according to the scheduler distribution.
   size_t Pick = 0;
   if (Choices.size() > 1) {
-    double U = Rng.nextDouble();
+    double U = P.Rng.nextDouble();
     double Acc = 0;
     for (size_t I = 0; I < Choices.size(); ++I) {
       Acc += Choices[I].Prob.toDouble();
@@ -80,7 +78,7 @@ void Sampler::step(Particle &P, const Scheduler &Sched, Xoshiro &Rng) const {
   }
   const DefDecl *Def = Spec.NodePrograms[Choice.Act.Node];
   SampleStatus St =
-      Exec.runSampled(*Def, P.Config.Nodes[Choice.Act.Node], Rng);
+      Exec.runSampled(*Def, P.Config.Nodes[Choice.Act.Node], P.Rng);
   if (St == SampleStatus::Error)
     P.Error = true;
   else if (St == SampleStatus::ObserveFailed)
@@ -92,29 +90,54 @@ SampleResult Sampler::run() const {
   if (Spec.Query)
     Result.Kind = Spec.Query->Kind;
   Result.Particles = Opts.Particles;
-  Xoshiro Rng(Opts.Seed);
+  const unsigned Threads = resolveThreads(Opts.Threads);
   auto Sched = Scheduler::forSpec(Spec);
 
-  std::vector<Particle> Pop;
-  Pop.reserve(Opts.Particles);
-  for (unsigned I = 0; I < Opts.Particles; ++I)
-    Pop.push_back(sampleInitial(Rng));
+  // Stream assignment is serial and in particle order: particle I's draws
+  // are a pure function of (Seed, I), never of which lane steps it. The
+  // resampler gets its own stream so population-level draws are likewise
+  // thread-count-independent.
+  Xoshiro Master(Opts.Seed);
+  Xoshiro ResampleRng = Master.split();
+  std::vector<Particle> Pop(Opts.Particles);
+  for (Particle &P : Pop)
+    P.Rng = Master.split();
+
+  // Particles are fully independent between population-level events, so
+  // lanes can step disjoint particles concurrently.
+  auto forParticles = [&](const std::function<void(size_t)> &Fn) {
+    if (Threads <= 1) {
+      for (size_t I = 0; I < Pop.size(); ++I)
+        Fn(I);
+      return;
+    }
+    ThreadPool::global().parallelFor(Pop.size(), Fn);
+  };
+
+  forParticles(
+      [&](size_t I) { initParticle(Pop[I], Sched->initialState()); });
 
   for (int64_t Step = 0; Step < Spec.NumSteps; ++Step) {
+    forParticles([&](size_t I) {
+      Particle &P = Pop[I];
+      if (P.Dead || P.Terminal || P.Error)
+        return;
+      step(P, *Sched);
+    });
     bool AnyLive = false;
     unsigned Alive = 0;
     for (Particle &P : Pop) {
       if (P.Dead)
         continue;
       ++Alive;
-      if (P.Terminal || P.Error)
-        continue;
-      step(P, *Sched, Rng);
-      if (!P.Terminal && !P.Error && !P.Dead)
+      if (!P.Terminal && !P.Error)
         AnyLive = true;
     }
     // SMC: resample from the survivors when too many particles died on
     // observations (self-normalized; weights are 0/1 with hard observes).
+    // Resampling is a population-level event: it runs serially on the
+    // dedicated resample stream, and every resampled copy gets a fresh
+    // stream (identical copies sharing a stream would evolve identically).
     if (Opts.Mode == SampleOptions::Method::Smc && Alive > 0 &&
         Alive < Opts.Particles * Opts.ResampleThreshold) {
       std::vector<Particle> Survivors;
@@ -123,8 +146,11 @@ SampleResult Sampler::run() const {
           Survivors.push_back(std::move(P));
       std::vector<Particle> NewPop;
       NewPop.reserve(Opts.Particles);
-      for (unsigned I = 0; I < Opts.Particles; ++I)
-        NewPop.push_back(Survivors[Rng.nextBelow(Survivors.size())]);
+      for (unsigned I = 0; I < Opts.Particles; ++I) {
+        Particle NP = Survivors[ResampleRng.nextBelow(Survivors.size())];
+        NP.Rng = ResampleRng.split();
+        NewPop.push_back(std::move(NP));
+      }
       Pop = std::move(NewPop);
     }
     if (!AnyLive)
@@ -132,7 +158,9 @@ SampleResult Sampler::run() const {
   }
 
   // Aggregate: particles still running at the bound are error particles
-  // (assert(terminated()) fails); dead particles are discarded.
+  // (assert(terminated()) fails); dead particles are discarded. Runs
+  // serially in particle order — double addition is not associative, so a
+  // sharded sum would vary with the thread count.
   double Sum = 0, SumSq = 0;
   unsigned Ok = 0, Errors = 0;
   for (Particle &P : Pop) {

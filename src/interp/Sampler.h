@@ -19,6 +19,7 @@
 #include "interp/Exec.h"
 #include "net/NetworkSpec.h"
 #include "net/Scheduler.h"
+#include "support/Prng.h"
 
 #include <string>
 
@@ -32,6 +33,13 @@ struct SampleOptions {
   uint64_t Seed = 0x5eed;
   /// SMC resamples when the live fraction drops below this threshold.
   double ResampleThreshold = 0.5;
+  /// Worker lanes for particle stepping. 0 = the process default
+  /// (BAYONET_THREADS env or hardware_concurrency); 1 = serial. Each
+  /// particle owns an independent PRNG substream (xoshiro jump splitting)
+  /// assigned serially in particle order, and aggregation runs serially in
+  /// particle order, so a fixed seed gives bit-identical results for every
+  /// thread count.
+  unsigned Threads = 0;
 };
 
 /// Result of one sampling run.
@@ -69,15 +77,19 @@ private:
 
   struct Particle {
     NetConfig Config;
+    /// The particle's private PRNG stream: particles evolve independently
+    /// of each other and of the lane that happens to step them.
+    Xoshiro Rng;
     bool Dead = false;     ///< Observation failed: zero weight.
     bool Error = false;    ///< ⊥ state.
     bool Terminal = false; ///< No enabled actions remain.
   };
 
-  /// Samples the initial configuration (state initializers and packets).
-  Particle sampleInitial(Xoshiro &Rng) const;
-  /// Advances a particle by one scheduler action.
-  void step(Particle &P, const Scheduler &Sched, Xoshiro &Rng) const;
+  /// Samples the initial configuration (state initializers and packets)
+  /// into \p P using the particle's own stream.
+  void initParticle(Particle &P, int64_t InitSchedState) const;
+  /// Advances a particle by one scheduler action (draws from P.Rng).
+  void step(Particle &P, const Scheduler &Sched) const;
 };
 
 } // namespace bayonet

@@ -134,6 +134,14 @@ struct NodeConfig {
 
 /// Global network configuration (σ_s, C_1, ..., C_k), plus the error flag
 /// for the ⊥ state reached by failed assertions.
+///
+/// The structural hash is cached: the exact engine probes merge maps with
+/// every produced configuration, and re-walking all node queues per probe
+/// dominated merge cost. The cache is copied along with the value (it stays
+/// valid for an identical copy); any code that mutates a configuration that
+/// may already have been hashed must call invalidateHash(). Inside the
+/// engines the only such site is the copy-then-mutate successor
+/// construction, which invalidates immediately after the copy.
 struct NetConfig {
   std::vector<NodeConfig> Nodes;
   /// Scheduler state σ_s (used by the round-robin scheduler's rotor).
@@ -142,16 +150,32 @@ struct NetConfig {
   bool Error = false;
 
   friend bool operator==(const NetConfig &A, const NetConfig &B) {
+    // Valid caches of unequal values differ (hash is a pure function of
+    // structure), so two filled caches fast-reject mismatches.
+    if (A.HashCache && B.HashCache && A.HashCache != B.HashCache)
+      return false;
     return A.Error == B.Error && A.SchedState == B.SchedState &&
            A.Nodes == B.Nodes;
   }
   size_t hash() const {
+    if (HashCache)
+      return HashCache;
     size_t H = Error ? 0x2545f491 : 0x9e3779b9;
     H = hashCombine(H, static_cast<size_t>(SchedState));
     for (const NodeConfig &N : Nodes)
       H = hashCombine(H, N.hash());
+    if (!H)
+      H = 0x9e3779b9; // 0 is the "not computed" sentinel.
+    HashCache = H;
     return H;
   }
+  /// Must be called after mutating a configuration whose hash may have been
+  /// computed already.
+  void invalidateHash() { HashCache = 0; }
+
+private:
+  /// Cached structural hash; 0 = not computed.
+  mutable size_t HashCache = 0;
 };
 
 /// Hash functor for unordered containers keyed by NetConfig.

@@ -6,6 +6,9 @@
 
 #include "psi/PsiExact.h"
 
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 #include <cassert>
 #include <unordered_map>
 
@@ -46,6 +49,25 @@ struct Outcome {
     O.FailReason = std::move(Reason);
     return O;
   }
+
+  /// A failure outcome carrying the combined probability and guards of two
+  /// evaluated operands. Binary draws (uniformInt, indexing) must use this
+  /// for every failure: a failure outcome with the default Prob = 1 counts
+  /// the whole branch as failed even when only (say) half of the operand
+  /// mass reaches the failing combination — and emitting a bare failed
+  /// operand once per outcome of the other operand multiplies its mass by
+  /// that outcome count.
+  static Outcome failCombined(std::string Reason, const Outcome &A,
+                              const Outcome &B) {
+    Outcome O;
+    O.Failed = true;
+    O.FailReason = std::move(Reason);
+    O.Prob = A.Prob * B.Prob;
+    O.Guards = A.Guards;
+    for (const Constraint &G : B.Guards)
+      O.Guards.push_back(G);
+    return O;
+  }
 };
 
 SymProb applyGuards(SymProb W, const std::vector<Constraint> &Guards) {
@@ -62,7 +84,8 @@ class Interp {
 public:
   Interp(const PsiProgram &P, const PsiExactOptions &Opts,
          PsiExactResult &Result)
-      : P(P), Opts(Opts), Result(Result) {}
+      : P(P), Opts(Opts), Result(Result),
+        Threads(resolveThreads(Opts.Threads)) {}
 
   void run() {
     Dist D;
@@ -76,26 +99,142 @@ private:
   const PsiProgram &P;
   const PsiExactOptions &Opts;
   PsiExactResult &Result;
+  const unsigned Threads;
   bool Aborted = false;
 
-  void fail(Branch &B, const std::string &Reason) {
+  void fail(Branch &B, const std::string &Reason, SymProb &ErrMass) {
     (void)Reason;
-    Result.ErrorMass += B.W;
+    ErrMass += B.W;
+  }
+  void fail(Branch &B, const std::string &Reason) {
+    fail(B, Reason, Result.ErrorMass);
+  }
+
+  bool useParallel(size_t N) const {
+    return Threads > 1 && N >= Opts.ParallelThreshold;
+  }
+
+  /// Expands every branch of \p D independently through \p PerBranch,
+  /// which receives (branch, successor sink, error-mass accumulator) and
+  /// must only touch those. Serial below the threshold; above it the
+  /// distribution is sharded into contiguous chunks and per-lane outputs
+  /// are committed in lane order, so the successor distribution is
+  /// independent of the thread count (weights are exact, so even the
+  /// one-lane order would give identical masses after merging).
+  template <typename Fn> Dist expandBranches(Dist &D, Fn PerBranch) {
+    if (!useParallel(D.size())) {
+      Dist Next;
+      Next.reserve(D.size());
+      for (Branch &B : D) {
+        ++Result.BranchesExpanded;
+        PerBranch(B, Next, Result.ErrorMass);
+      }
+      return Next;
+    }
+    struct Shard {
+      Dist Out;
+      SymProb Err;
+      size_t Expanded = 0;
+    };
+    const size_t Lanes = Threads;
+    const size_t Chunk = (D.size() + Lanes - 1) / Lanes;
+    std::vector<Shard> Shards(Lanes);
+    ThreadPool::global().parallelFor(Lanes, [&](size_t Lane) {
+      Shard &S = Shards[Lane];
+      size_t Lo = std::min(D.size(), Lane * Chunk);
+      size_t Hi = std::min(D.size(), Lo + Chunk);
+      S.Out.reserve(Hi - Lo);
+      for (size_t I = Lo; I < Hi; ++I) {
+        ++S.Expanded;
+        PerBranch(D[I], S.Out, S.Err);
+      }
+    });
+    if (Result.WorkerBranchesExpanded.size() < Lanes)
+      Result.WorkerBranchesExpanded.resize(Lanes, 0);
+    size_t Total = 0;
+    for (const Shard &S : Shards)
+      Total += S.Out.size();
+    Dist Next;
+    Next.reserve(Total);
+    for (size_t Lane = 0; Lane < Lanes; ++Lane) {
+      Shard &S = Shards[Lane];
+      Result.BranchesExpanded += S.Expanded;
+      Result.WorkerBranchesExpanded[Lane] += S.Expanded;
+      Result.ErrorMass += S.Err;
+      for (Branch &B : S.Out)
+        Next.push_back(std::move(B));
+    }
+    return Next;
   }
 
   void mergeDist(Dist &D) {
     if (!Opts.MergeEnvs || D.size() < 2)
       return;
-    Dist Merged;
-    std::unordered_map<Env, size_t, EnvHash> Index;
-    for (Branch &B : D) {
-      auto [It, Inserted] = Index.try_emplace(B.Vars, Merged.size());
-      if (Inserted)
-        Merged.push_back(std::move(B));
-      else
-        Merged[It->second].W += B.W;
+    if (!useParallel(D.size())) {
+      Dist Merged;
+      Merged.reserve(D.size());
+      std::unordered_map<Env, size_t, EnvHash> Index;
+      Index.reserve(D.size());
+      for (Branch &B : D) {
+        auto [It, Inserted] = Index.try_emplace(B.Vars, Merged.size());
+        if (Inserted) {
+          Merged.push_back(std::move(B));
+        } else {
+          Merged[It->second].W += B.W;
+          ++Result.MergeHits;
+        }
+      }
+      D = std::move(Merged);
+      return;
     }
-    D = std::move(Merged);
+    // Hash-sharded parallel merge: route each environment to bucket
+    // hash % Lanes, merge each bucket independently (scanning lanes in
+    // order), then concatenate buckets — a pure function of (D, Threads).
+    ThreadPool &Pool = ThreadPool::global();
+    const size_t Lanes = Threads;
+    const size_t Chunk = (D.size() + Lanes - 1) / Lanes;
+    std::vector<std::vector<Dist>> Routed(Lanes);
+    Pool.parallelFor(Lanes, [&](size_t Lane) {
+      std::vector<Dist> &Buckets = Routed[Lane];
+      Buckets.resize(Lanes);
+      size_t Lo = std::min(D.size(), Lane * Chunk);
+      size_t Hi = std::min(D.size(), Lo + Chunk);
+      for (size_t I = Lo; I < Hi; ++I) {
+        size_t B = EnvHash()(D[I].Vars) % Lanes;
+        Buckets[B].push_back(std::move(D[I]));
+      }
+    });
+    std::vector<Dist> Merged(Lanes);
+    std::vector<size_t> BucketHits(Lanes, 0);
+    Pool.parallelFor(Lanes, [&](size_t B) {
+      size_t Total = 0;
+      for (size_t Lane = 0; Lane < Lanes; ++Lane)
+        Total += Routed[Lane][B].size();
+      Dist &F = Merged[B];
+      F.reserve(Total);
+      std::unordered_map<Env, size_t, EnvHash> Index;
+      Index.reserve(Total);
+      for (size_t Lane = 0; Lane < Lanes; ++Lane)
+        for (Branch &Br : Routed[Lane][B]) {
+          auto [It, Inserted] = Index.try_emplace(Br.Vars, F.size());
+          if (Inserted) {
+            F.push_back(std::move(Br));
+          } else {
+            F[It->second].W += Br.W;
+            ++BucketHits[B];
+          }
+        }
+    });
+    size_t Total = 0;
+    for (size_t B = 0; B < Lanes; ++B) {
+      Total += Merged[B].size();
+      Result.MergeHits += BucketHits[B];
+    }
+    D.clear();
+    D.reserve(Total);
+    for (size_t B = 0; B < Lanes; ++B)
+      for (Branch &Br : Merged[B])
+        D.push_back(std::move(Br));
   }
 
   void execBlock(const std::vector<PStmtPtr> &Body, Dist &D) {
@@ -116,41 +255,36 @@ private:
     }
     switch (S.Kind) {
     case PStmtKind::Assign: {
-      Dist Next;
-      for (Branch &B : D) {
-        ++Result.BranchesExpanded;
+      D = expandBranches(D, [&](Branch &B, Dist &Out, SymProb &Err) {
         for (Outcome &O : eval(*S.E, B.Vars)) {
           SymProb W = applyGuards(B.W.scaled(O.Prob), O.Guards);
           if (W.isZero())
             continue;
           Branch NB{B.Vars, std::move(W)};
           if (O.Failed) {
-            fail(NB, O.FailReason);
+            fail(NB, O.FailReason, Err);
             continue;
           }
           NB.Vars[S.Var] = std::move(O.V);
-          Next.push_back(std::move(NB));
+          Out.push_back(std::move(NB));
         }
-      }
-      D = std::move(Next);
+      });
       return;
     }
     case PStmtKind::PushBack:
     case PStmtKind::PushFront: {
-      Dist Next;
-      for (Branch &B : D) {
-        ++Result.BranchesExpanded;
+      D = expandBranches(D, [&](Branch &B, Dist &Out, SymProb &Err) {
         for (Outcome &O : eval(*S.E, B.Vars)) {
           SymProb W = applyGuards(B.W.scaled(O.Prob), O.Guards);
           if (W.isZero())
             continue;
           Branch NB{B.Vars, std::move(W)};
           if (O.Failed) {
-            fail(NB, O.FailReason);
+            fail(NB, O.FailReason, Err);
             continue;
           }
           if (!NB.Vars[S.Var].isTuple()) {
-            fail(NB, "push on a non-queue value");
+            fail(NB, "push on a non-queue value", Err);
             continue;
           }
           auto &Elems = NB.Vars[S.Var].elems();
@@ -161,26 +295,22 @@ private:
             else
               Elems.insert(Elems.begin(), std::move(O.V));
           }
-          Next.push_back(std::move(NB));
+          Out.push_back(std::move(NB));
         }
-      }
-      D = std::move(Next);
+      });
       return;
     }
     case PStmtKind::PopFront: {
-      Dist Next;
-      for (Branch &B : D) {
-        ++Result.BranchesExpanded;
+      D = expandBranches(D, [&](Branch &B, Dist &Out, SymProb &Err) {
         if (!B.Vars[S.Var].isTuple() || B.Vars[S.Var].elems().empty()) {
-          fail(B, "takeFront on an empty queue");
-          continue;
+          fail(B, "takeFront on an empty queue", Err);
+          return;
         }
         auto &Elems = B.Vars[S.Var].elems();
         B.Vars[S.Var2] = Elems.front();
         Elems.erase(Elems.begin());
-        Next.push_back(std::move(B));
-      }
-      D = std::move(Next);
+        Out.push_back(std::move(B));
+      });
       return;
     }
     case PStmtKind::Observe:
@@ -248,39 +378,83 @@ private:
     }
   }
 
+  /// Evaluates \p Cond on one branch, emitting (branch, truth) pairs.
+  /// Symbolic scalar conditions split on [E != 0] / [E == 0]; failures go
+  /// to \p Err.
+  template <typename Fn>
+  void splitCondOne(const PExpr &Cond, Branch &B, SymProb &Err, Fn Emit) {
+    for (Outcome &O : eval(Cond, B.Vars)) {
+      SymProb W = applyGuards(B.W.scaled(O.Prob), O.Guards);
+      if (W.isZero())
+        continue;
+      Branch NB{B.Vars, std::move(W)};
+      if (O.Failed) {
+        fail(NB, O.FailReason, Err);
+        continue;
+      }
+      if (!O.V.isScalar()) {
+        fail(NB, "tuple used as a condition", Err);
+        continue;
+      }
+      if (O.V.isRational()) {
+        Emit(std::move(NB), !O.V.rational().isZero());
+        continue;
+      }
+      LinExpr E = O.V.toLinExpr();
+      Branch TrueB = NB;
+      TrueB.W = TrueB.W.restricted(Constraint(E, RelKind::NE));
+      if (!TrueB.W.isZero())
+        Emit(std::move(TrueB), true);
+      NB.W = NB.W.restricted(Constraint(E, RelKind::EQ));
+      if (!NB.W.isZero())
+        Emit(std::move(NB), false);
+    }
+  }
+
   /// Evaluates a condition across a distribution, calling \p Sink with each
-  /// resulting (branch, truth) pair. Symbolic scalar conditions split on
-  /// [E != 0] / [E == 0]; failures go to error mass.
+  /// resulting (branch, truth) pair. Large distributions evaluate in
+  /// parallel shards; the collected pairs are replayed into \p Sink in
+  /// shard order, so Sink runs serially and sees a thread-count-independent
+  /// branch order.
   template <typename Fn>
   void splitCond(const PExpr &Cond, Dist &D, Fn Sink) {
-    for (Branch &B : D) {
-      ++Result.BranchesExpanded;
-      for (Outcome &O : eval(Cond, B.Vars)) {
-        SymProb W = applyGuards(B.W.scaled(O.Prob), O.Guards);
-        if (W.isZero())
-          continue;
-        Branch NB{B.Vars, std::move(W)};
-        if (O.Failed) {
-          fail(NB, O.FailReason);
-          continue;
-        }
-        if (!O.V.isScalar()) {
-          fail(NB, "tuple used as a condition");
-          continue;
-        }
-        if (O.V.isRational()) {
-          Sink(std::move(NB), !O.V.rational().isZero());
-          continue;
-        }
-        LinExpr E = O.V.toLinExpr();
-        Branch TrueB = NB;
-        TrueB.W = TrueB.W.restricted(Constraint(E, RelKind::NE));
-        if (!TrueB.W.isZero())
-          Sink(std::move(TrueB), true);
-        NB.W = NB.W.restricted(Constraint(E, RelKind::EQ));
-        if (!NB.W.isZero())
-          Sink(std::move(NB), false);
+    if (!useParallel(D.size())) {
+      for (Branch &B : D) {
+        ++Result.BranchesExpanded;
+        splitCondOne(Cond, B, Result.ErrorMass, [&](Branch NB, bool Truth) {
+          Sink(std::move(NB), Truth);
+        });
       }
+      return;
+    }
+    struct Shard {
+      std::vector<std::pair<Branch, bool>> Out;
+      SymProb Err;
+      size_t Expanded = 0;
+    };
+    const size_t Lanes = Threads;
+    const size_t Chunk = (D.size() + Lanes - 1) / Lanes;
+    std::vector<Shard> Shards(Lanes);
+    ThreadPool::global().parallelFor(Lanes, [&](size_t Lane) {
+      Shard &S = Shards[Lane];
+      size_t Lo = std::min(D.size(), Lane * Chunk);
+      size_t Hi = std::min(D.size(), Lo + Chunk);
+      for (size_t I = Lo; I < Hi; ++I) {
+        ++S.Expanded;
+        splitCondOne(Cond, D[I], S.Err, [&](Branch NB, bool Truth) {
+          S.Out.emplace_back(std::move(NB), Truth);
+        });
+      }
+    });
+    if (Result.WorkerBranchesExpanded.size() < Lanes)
+      Result.WorkerBranchesExpanded.resize(Lanes, 0);
+    for (size_t Lane = 0; Lane < Lanes; ++Lane) {
+      Shard &S = Shards[Lane];
+      Result.BranchesExpanded += S.Expanded;
+      Result.WorkerBranchesExpanded[Lane] += S.Expanded;
+      Result.ErrorMass += S.Err;
+      for (auto &[NB, Truth] : S.Out)
+        Sink(std::move(NB), Truth);
     }
   }
 
@@ -370,21 +544,23 @@ private:
       for (Outcome &Lo : eval(*E.Ops[0], Vars))
         for (Outcome &Hi : eval(*E.Ops[1], Vars)) {
           if (Lo.Failed || Hi.Failed) {
-            Out.push_back(Lo.Failed ? Lo : Hi);
+            Out.push_back(Outcome::failCombined(
+                Lo.Failed ? Lo.FailReason : Hi.FailReason, Lo, Hi));
             continue;
           }
           if (!Lo.V.isRational() || !Hi.V.isRational() ||
               !Lo.V.rational().isInteger() || !Hi.V.rational().isInteger() ||
               !Lo.V.rational().num().isSmall() ||
               !Hi.V.rational().num().isSmall()) {
-            Out.push_back(
-                Outcome::fail("uniformInt bounds must be concrete integers"));
+            Out.push_back(Outcome::failCombined(
+                "uniformInt bounds must be concrete integers", Lo, Hi));
             continue;
           }
           int64_t L = Lo.V.rational().num().getSmall();
           int64_t H = Hi.V.rational().num().getSmall();
           if (L > H) {
-            Out.push_back(Outcome::fail("uniformInt range is empty"));
+            Out.push_back(
+                Outcome::failCombined("uniformInt range is empty", Lo, Hi));
             continue;
           }
           Rational Prob(BigInt(1), BigInt(H - L + 1));
@@ -421,18 +597,20 @@ private:
       for (Outcome &T : eval(*E.Ops[0], Vars))
         for (Outcome &I : eval(*E.Ops[1], Vars)) {
           if (T.Failed || I.Failed) {
-            Out.push_back(T.Failed ? T : I);
+            Out.push_back(Outcome::failCombined(
+                T.Failed ? T.FailReason : I.FailReason, T, I));
             continue;
           }
           if (!T.V.isTuple() || !I.V.isRational() ||
               !I.V.rational().isInteger() ||
               !I.V.rational().num().isSmall()) {
-            Out.push_back(Outcome::fail("bad tuple indexing"));
+            Out.push_back(Outcome::failCombined("bad tuple indexing", T, I));
             continue;
           }
           int64_t Idx = I.V.rational().num().getSmall();
           if (Idx < 0 || Idx >= static_cast<int64_t>(T.V.elems().size())) {
-            Out.push_back(Outcome::fail("tuple index out of range"));
+            Out.push_back(
+                Outcome::failCombined("tuple index out of range", T, I));
             continue;
           }
           Outcome O;
@@ -489,7 +667,10 @@ private:
           Out.push_back(Outcome::fail("tuple projection out of range"));
           continue;
         }
-        T.V = T.V.elems()[E.Index];
+        // Copy the element out before assigning: T.V's variant destroys
+        // the tuple vector first, which would free the element in place.
+        PsiValue Elem = T.V.elems()[E.Index];
+        T.V = std::move(Elem);
         Out.push_back(std::move(T));
       }
       return Out;
@@ -657,46 +838,82 @@ private:
     }
   }
 
+  /// Per-branch terminal accounting; partials go to lane-local state in
+  /// parallel runs and are folded in lane order.
+  struct FinishPartial {
+    SymProb OkMass;
+    SymProb QueryMass;
+    bool Unsupported = false;
+    std::string UnsupportedReason;
+  };
+
+  void finishOne(const Branch &B, FinishPartial &Res) {
+    Res.OkMass += B.W;
+    if (!P.Result) {
+      Res.Unsupported = true;
+      Res.UnsupportedReason = "program has no result expression";
+      return;
+    }
+    for (Outcome &O : eval(*P.Result, B.Vars)) {
+      SymProb W = applyGuards(B.W.scaled(O.Prob), O.Guards);
+      if (W.isZero())
+        continue;
+      if (O.Failed || !O.V.isScalar()) {
+        Res.Unsupported = true;
+        Res.UnsupportedReason = O.Failed ? O.FailReason : "tuple-valued result";
+        continue;
+      }
+      if (P.Kind == QueryKind::Probability) {
+        if (O.V.isRational()) {
+          if (!O.V.rational().isZero())
+            Res.QueryMass += W;
+          continue;
+        }
+        Res.QueryMass +=
+            W.restricted(Constraint(O.V.toLinExpr(), RelKind::NE));
+        continue;
+      }
+      // Expectation.
+      if (!O.V.isRational()) {
+        Res.Unsupported = true;
+        Res.UnsupportedReason =
+            "expectation of a symbolic value is not supported";
+        continue;
+      }
+      Res.QueryMass += W.scaled(O.V.rational());
+    }
+  }
+
+  void foldFinish(const FinishPartial &Part) {
+    Result.OkMass += Part.OkMass;
+    Result.QueryMass += Part.QueryMass;
+    if (Part.Unsupported && !Result.QueryUnsupported) {
+      Result.QueryUnsupported = true;
+      Result.UnsupportedReason = Part.UnsupportedReason;
+    }
+  }
+
   void finish(Dist &D) {
     if (Aborted)
       return;
-    for (Branch &B : D) {
-      Result.OkMass += B.W;
-      if (!P.Result) {
-        Result.QueryUnsupported = true;
-        Result.UnsupportedReason = "program has no result expression";
-        continue;
-      }
-      for (Outcome &O : eval(*P.Result, B.Vars)) {
-        SymProb W = applyGuards(B.W.scaled(O.Prob), O.Guards);
-        if (W.isZero())
-          continue;
-        if (O.Failed || !O.V.isScalar()) {
-          Result.QueryUnsupported = true;
-          Result.UnsupportedReason =
-              O.Failed ? O.FailReason : "tuple-valued result";
-          continue;
-        }
-        if (P.Kind == QueryKind::Probability) {
-          if (O.V.isRational()) {
-            if (!O.V.rational().isZero())
-              Result.QueryMass += W;
-            continue;
-          }
-          Result.QueryMass +=
-              W.restricted(Constraint(O.V.toLinExpr(), RelKind::NE));
-          continue;
-        }
-        // Expectation.
-        if (!O.V.isRational()) {
-          Result.QueryUnsupported = true;
-          Result.UnsupportedReason =
-              "expectation of a symbolic value is not supported";
-          continue;
-        }
-        Result.QueryMass += W.scaled(O.V.rational());
-      }
+    if (!useParallel(D.size())) {
+      FinishPartial Part;
+      for (Branch &B : D)
+        finishOne(B, Part);
+      foldFinish(Part);
+      return;
     }
+    const size_t Lanes = Threads;
+    const size_t Chunk = (D.size() + Lanes - 1) / Lanes;
+    std::vector<FinishPartial> Parts(Lanes);
+    ThreadPool::global().parallelFor(Lanes, [&](size_t Lane) {
+      size_t Lo = std::min(D.size(), Lane * Chunk);
+      size_t Hi = std::min(D.size(), Lo + Chunk);
+      for (size_t I = Lo; I < Hi; ++I)
+        finishOne(D[I], Parts[Lane]);
+    });
+    for (const FinishPartial &Part : Parts)
+      foldFinish(Part);
   }
 };
 

@@ -36,6 +36,11 @@ struct PsiExactResult {
 
   size_t BranchesExpanded = 0;
   size_t MaxDistSize = 0;
+  /// Branches expanded per worker lane (parallel statements only; empty
+  /// when everything ran serially). Summed over statements, by lane.
+  std::vector<size_t> WorkerBranchesExpanded;
+  /// Environments that merged into an existing distribution entry.
+  size_t MergeHits = 0;
 
   std::vector<ProbCase> cases() const {
     return partitionRatio(QueryMass, OkMass);
@@ -56,6 +61,12 @@ struct PsiExactOptions {
   int64_t WhileFuel = 100000;
   /// Abort when the distribution exceeds this many environments.
   size_t MaxDist = 50'000'000;
+  /// Worker lanes for distribution expansion. 0 = the process default
+  /// (BAYONET_THREADS env or hardware_concurrency); 1 = the serial code
+  /// path. Exact weights make results bit-identical for every value.
+  unsigned Threads = 0;
+  /// Minimum distribution size before a statement fans out to the pool.
+  size_t ParallelThreshold = 64;
 };
 
 /// Exact distribution-of-environments engine.

@@ -6,6 +6,8 @@
 
 #include "psi/PsiSampler.h"
 
+#include "support/ThreadPool.h"
+
 using namespace bayonet;
 
 namespace {
@@ -286,30 +288,71 @@ PsiSampleResult PsiSampler::run() const {
   PsiSampleResult Result;
   Result.Kind = P.Kind;
   Result.Particles = Opts.Particles;
-  Xoshiro Rng(Opts.Seed);
-  double Sum = 0;
-  unsigned Ok = 0, Errors = 0;
-  for (unsigned I = 0; I < Opts.Particles; ++I) {
-    SampleInterp Interp(P, Rng, Opts.WhileFuel);
+  const unsigned Threads = resolveThreads(Opts.Threads);
+
+  // Serial stream assignment in particle order: particle I's draws depend
+  // only on (Seed, I), not on the lane that runs it.
+  Xoshiro Master(Opts.Seed);
+  std::vector<Xoshiro> Streams;
+  Streams.reserve(Opts.Particles);
+  for (unsigned I = 0; I < Opts.Particles; ++I)
+    Streams.push_back(Master.split());
+
+  // Per-particle outcome, aggregated serially afterwards (double addition
+  // is not associative; summing in particle order keeps the estimate
+  // bit-identical across thread counts).
+  enum class OutKind : uint8_t { Rejected, Error, Unsupported, Ok };
+  struct ParticleOut {
+    OutKind K = OutKind::Rejected;
+    Rational V;
+  };
+  std::vector<ParticleOut> Outs(Opts.Particles);
+  auto runOne = [&](size_t I) {
+    SampleInterp Interp(P, Streams[I], Opts.WhileFuel);
     switch (Interp.run()) {
     case Status::Rejected:
-      continue;
+      return;
     case Status::Error:
-      ++Errors;
-      continue;
+      Outs[I].K = OutKind::Error;
+      return;
     case Status::Ok:
       break;
     }
     auto V = Interp.result();
     if (!V) {
+      Outs[I].K = OutKind::Unsupported;
+      return;
+    }
+    Outs[I].K = OutKind::Ok;
+    Outs[I].V = std::move(*V);
+  };
+  if (Threads <= 1) {
+    for (size_t I = 0; I < Outs.size(); ++I)
+      runOne(I);
+  } else {
+    ThreadPool::global().parallelFor(Outs.size(), runOne);
+  }
+
+  double Sum = 0;
+  unsigned Ok = 0, Errors = 0;
+  for (ParticleOut &O : Outs) {
+    switch (O.K) {
+    case OutKind::Rejected:
+      continue;
+    case OutKind::Error:
+      ++Errors;
+      continue;
+    case OutKind::Unsupported:
       Result.QueryUnsupported = true;
       Result.UnsupportedReason = "result not evaluable on a sampled run";
       continue;
+    case OutKind::Ok:
+      break;
     }
     if (P.Kind == QueryKind::Probability)
-      Sum += V->isZero() ? 0.0 : 1.0;
+      Sum += O.V.isZero() ? 0.0 : 1.0;
     else
-      Sum += V->toDouble();
+      Sum += O.V.toDouble();
     ++Ok;
   }
   Result.Survivors = Ok + Errors;

@@ -28,6 +28,12 @@ struct PsiSampleOptions {
   unsigned Particles = 1000;
   uint64_t Seed = 0x5eed;
   int64_t WhileFuel = 100000;
+  /// Worker lanes for particle runs. 0 = the process default
+  /// (BAYONET_THREADS env or hardware_concurrency); 1 = serial. Each
+  /// particle gets an independent PRNG substream assigned serially in
+  /// particle order and results aggregate serially in particle order, so a
+  /// fixed seed is bit-identical for every thread count.
+  unsigned Threads = 0;
 };
 
 /// Result of a PSI sampling run.

@@ -62,23 +62,43 @@ public:
   }
   /// \pre isTuple()
   const Tuple &elems() const { return std::get<Tuple>(Repr); }
-  Tuple &elems() { return std::get<Tuple>(Repr); }
+  /// Mutable element access invalidates the cached structural hash (this is
+  /// the only mutation path besides whole-value assignment, which replaces
+  /// the cache together with the representation).
+  Tuple &elems() {
+    HashCache = 0;
+    return std::get<Tuple>(Repr);
+  }
 
   friend bool operator==(const PsiValue &A, const PsiValue &B) {
+    // Filled caches of unequal values differ: fast-reject on mismatch.
+    if (A.HashCache && B.HashCache && A.HashCache != B.HashCache)
+      return false;
     return A.Repr == B.Repr;
   }
   friend bool operator!=(const PsiValue &A, const PsiValue &B) {
     return !(A == B);
   }
 
+  /// Structural hash, cached: environment-merge maps in the exact PSI
+  /// interpreter hash whole variable frames on every probe, and deep tuple
+  /// walks (queues of packet tuples) dominated that cost.
   size_t hash() const {
+    if (HashCache)
+      return HashCache;
+    size_t H;
     if (isRational())
-      return rational().hash();
-    if (isSymbolic())
-      return std::get<LinExpr>(Repr).hash() * 2 + 1;
-    size_t H = 0x7a3f9d1b;
-    for (const PsiValue &E : elems())
-      H = H * 0x100000001b3ULL ^ E.hash();
+      H = rational().hash();
+    else if (isSymbolic())
+      H = std::get<LinExpr>(Repr).hash() * 2 + 1;
+    else {
+      H = 0x7a3f9d1b;
+      for (const PsiValue &E : elems())
+        H = H * 0x100000001b3ULL ^ E.hash();
+    }
+    if (!H)
+      H = 0x7a3f9d1b; // 0 is the "not computed" sentinel.
+    HashCache = H;
     return H;
   }
 
@@ -98,6 +118,9 @@ public:
 
 private:
   std::variant<Rational, LinExpr, Tuple> Repr;
+  /// Cached structural hash; 0 = not computed. Copied with the value (it
+  /// stays valid for identical copies), reset by mutable elems() access.
+  mutable size_t HashCache = 0;
 };
 
 } // namespace bayonet

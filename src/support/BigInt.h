@@ -86,9 +86,37 @@ public:
   /// \pre !B.isZero()
   BigInt operator%(const BigInt &B) const;
 
-  BigInt &operator+=(const BigInt &B) { return *this = *this + B; }
-  BigInt &operator-=(const BigInt &B) { return *this = *this - B; }
-  BigInt &operator*=(const BigInt &B) { return *this = *this * B; }
+  // The compound operators mutate in place on the small-representation
+  // fast path (no temporary BigInt, no limb-vector churn) — these dominate
+  // weight accumulation during exact-engine frontier merges. Overflow and
+  // big operands fall back to the full out-of-place operation.
+  BigInt &operator+=(const BigInt &B) {
+    int64_t R;
+    if (isSmall() && B.isSmall() &&
+        !__builtin_add_overflow(Small, B.Small, &R)) {
+      Small = R;
+      return *this;
+    }
+    return *this = *this + B;
+  }
+  BigInt &operator-=(const BigInt &B) {
+    int64_t R;
+    if (isSmall() && B.isSmall() &&
+        !__builtin_sub_overflow(Small, B.Small, &R)) {
+      Small = R;
+      return *this;
+    }
+    return *this = *this - B;
+  }
+  BigInt &operator*=(const BigInt &B) {
+    int64_t R;
+    if (isSmall() && B.isSmall() &&
+        !__builtin_mul_overflow(Small, B.Small, &R)) {
+      Small = R;
+      return *this;
+    }
+    return *this = *this * B;
+  }
 
   /// Computes quotient and remainder in one pass (C semantics).
   /// \pre !B.isZero()

@@ -76,6 +76,30 @@ bool Xoshiro::flip(const Rational &P) {
   return flip(P.toDouble());
 }
 
+void Xoshiro::jump() {
+  // Jump polynomial from the xoshiro256** reference implementation
+  // (Blackman & Vigna): equivalent to 2^128 calls to next().
+  static const uint64_t Jump[] = {0x180ec6d33cfd0abaULL,
+                                  0xd5a61266f0c9392cULL,
+                                  0xa9582618e03fc9aaULL,
+                                  0x39abdc4529b1661cULL};
+  uint64_t S0 = 0, S1 = 0, S2 = 0, S3 = 0;
+  for (uint64_t Mask : Jump)
+    for (int Bit = 0; Bit < 64; ++Bit) {
+      if (Mask & (1ULL << Bit)) {
+        S0 ^= State[0];
+        S1 ^= State[1];
+        S2 ^= State[2];
+        S3 ^= State[3];
+      }
+      next();
+    }
+  State[0] = S0;
+  State[1] = S1;
+  State[2] = S2;
+  State[3] = S3;
+}
+
 int64_t Xoshiro::uniformInt(int64_t Lo, int64_t Hi) {
   assert(Lo <= Hi && "empty uniformInt range");
   uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;

@@ -45,6 +45,20 @@ public:
   /// Uniform integer in [Lo, Hi] inclusive. \pre Lo <= Hi.
   int64_t uniformInt(int64_t Lo, int64_t Hi);
 
+  /// Advances the state by 2^128 steps (the xoshiro256** jump polynomial).
+  /// Streams separated by jumps are non-overlapping for any realistic use.
+  void jump();
+
+  /// Returns the current stream and jumps this generator past it: the
+  /// canonical way to derive independent per-particle substreams from one
+  /// seed. Splitting is deterministic, so a population of particles gets
+  /// the same streams regardless of how many threads later consume them.
+  Xoshiro split() {
+    Xoshiro Child = *this;
+    jump();
+    return Child;
+  }
+
 private:
   uint64_t State[4];
 };

@@ -1,0 +1,108 @@
+//===- support/ThreadPool.cpp - Shared worker pool -------------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+
+using namespace bayonet;
+
+unsigned ThreadPool::defaultThreads() {
+  if (const char *Env = std::getenv("BAYONET_THREADS")) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  unsigned H = std::thread::hardware_concurrency();
+  return H ? H : 1;
+}
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool(defaultThreads());
+  return Pool;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  unsigned Spawn = Threads > 1 ? Threads - 1 : 0;
+  Workers.reserve(Spawn);
+  for (unsigned I = 0; I < Spawn; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stop = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    std::shared_ptr<Batch> B;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WorkCv.wait(L, [&] {
+        return Stop || (Job && Generation != SeenGeneration);
+      });
+      if (Stop)
+        return;
+      SeenGeneration = Generation;
+      B = Job;
+    }
+    runBatch(*B);
+  }
+}
+
+void ThreadPool::runBatch(Batch &B) {
+  for (;;) {
+    size_t I = B.NextIndex.fetch_add(1, std::memory_order_relaxed);
+    if (I >= B.N)
+      break;
+    (*B.Fn)(I);
+    if (B.Completed.fetch_add(1, std::memory_order_acq_rel) + 1 == B.N) {
+      // Make the notify race-free against the submitter entering wait.
+      { std::lock_guard<std::mutex> L(Mu); }
+      DoneCv.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Workers.empty() || N == 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  std::lock_guard<std::mutex> Submit(SubmitMu);
+  auto B = std::make_shared<Batch>();
+  B->Fn = &Fn;
+  B->N = N;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Job = B;
+    ++Generation;
+  }
+  WorkCv.notify_all();
+  // The submitting thread is a lane too.
+  runBatch(*B);
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    DoneCv.wait(L, [&] {
+      return B->Completed.load(std::memory_order_acquire) == N;
+    });
+    Job.reset();
+  }
+  // B->Completed == N proves every claimed index finished running, so Fn
+  // is no longer referenced: a late worker still holding this batch sees
+  // NextIndex >= N and drops its reference without touching Fn.
+}

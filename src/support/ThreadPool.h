@@ -1,0 +1,100 @@
+//===- support/ThreadPool.h - Shared worker pool ---------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent worker-thread pool with a blocking parallelFor, shared by
+/// the inference engines. Engines use it to expand frontiers / particle
+/// populations in shards: the pool guarantees every index in [0, N) runs
+/// exactly once, and engines arrange their shard/merge order so results are
+/// bit-identical regardless of how indices land on physical threads.
+///
+/// parallelFor is NOT reentrant: a task must not call parallelFor again on
+/// the same pool. The engines only fan out at top level, never from inside
+/// a worker task.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_SUPPORT_THREADPOOL_H
+#define BAYONET_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bayonet {
+
+/// A fixed-size pool of worker threads executing indexed task batches.
+class ThreadPool {
+public:
+  /// Creates a pool that executes batches on \p Threads lanes in total
+  /// (the calling thread participates, so Threads - 1 workers are spawned).
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total execution lanes (spawned workers + the calling thread).
+  unsigned lanes() const { return static_cast<unsigned>(Workers.size()) + 1; }
+
+  /// Runs Fn(I) for every I in [0, N) across the pool and the calling
+  /// thread; returns when all N invocations completed. Indices are handed
+  /// out dynamically, so Fn must not depend on which thread runs it.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// The process-wide pool, sized to defaultThreads(), created on first use.
+  static ThreadPool &global();
+
+  /// The default thread count: the BAYONET_THREADS environment variable if
+  /// set and positive, else std::thread::hardware_concurrency(), else 1.
+  static unsigned defaultThreads();
+
+private:
+  /// State of one parallelFor call. Each batch owns its index counters so
+  /// a worker that wakes late and still holds the previous (fully drained)
+  /// batch can never claim an index of the next one — its NextIndex is
+  /// already past N, and the stale function pointer is never invoked.
+  struct Batch {
+    const std::function<void(size_t)> *Fn;
+    size_t N;
+    std::atomic<size_t> NextIndex{0};
+    std::atomic<size_t> Completed{0};
+  };
+
+  void workerLoop();
+
+  /// Claims and runs indices of \p B until they are exhausted; notifies
+  /// DoneCv when this thread completes the final index.
+  void runBatch(Batch &B);
+
+  std::vector<std::thread> Workers;
+
+  // One batch at a time; parallelFor serializes callers.
+  std::mutex SubmitMu;
+
+  // Batch hand-off state, guarded by Mu.
+  std::mutex Mu;
+  std::condition_variable WorkCv; ///< Workers wait for a new generation.
+  std::condition_variable DoneCv; ///< The submitter waits for completion.
+  std::shared_ptr<Batch> Job;
+  uint64_t Generation = 0;
+  bool Stop = false;
+};
+
+/// Resolves a Threads option: 0 means "use the default", any other value is
+/// taken literally (1 selects the serial code path in every engine).
+inline unsigned resolveThreads(unsigned Opt) {
+  return Opt ? Opt : ThreadPool::defaultThreads();
+}
+
+} // namespace bayonet
+
+#endif // BAYONET_SUPPORT_THREADPOOL_H

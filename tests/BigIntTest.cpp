@@ -169,4 +169,46 @@ TEST(BigIntTest, PaperDenominatorArithmetic) {
   EXPECT_NEAR(Num.toDouble() / Den.toDouble(), 0.4487, 1e-4);
 }
 
+
+TEST(BigIntTest, CompoundOpsInPlaceSmallPath) {
+  BigInt A(10);
+  A += BigInt(32);
+  EXPECT_EQ(A.toString(), "42");
+  EXPECT_TRUE(A.isSmall());
+  A -= BigInt(50);
+  EXPECT_EQ(A.toString(), "-8");
+  A *= BigInt(-6);
+  EXPECT_EQ(A.toString(), "48");
+  EXPECT_TRUE(A.isSmall());
+  // Self-aliasing: the in-place path must read B before writing *this.
+  A += A;
+  EXPECT_EQ(A.toString(), "96");
+  A -= A;
+  EXPECT_TRUE(A.isZero());
+  BigInt M(7);
+  M *= M;
+  EXPECT_EQ(M.toString(), "49");
+}
+
+TEST(BigIntTest, CompoundOpsOverflowFallsBackToBig) {
+  BigInt A(INT64_MAX);
+  A += BigInt(1);
+  EXPECT_FALSE(A.isSmall());
+  EXPECT_EQ(A.toString(), "9223372036854775808");
+  A -= BigInt(1);
+  EXPECT_EQ(A.toString(), "9223372036854775807");
+  BigInt B(INT64_MIN);
+  B -= BigInt(1);
+  EXPECT_EQ(B.toString(), "-9223372036854775809");
+  BigInt C(1);
+  for (int I = 0; I < 4; ++I)
+    C *= BigInt(INT64_MAX);
+  EXPECT_EQ(C, BigInt(INT64_MAX) * BigInt(INT64_MAX) * BigInt(INT64_MAX) *
+                   BigInt(INT64_MAX));
+  // Mixed small/big compound ops route through the full operation.
+  BigInt D(5);
+  D += C;
+  EXPECT_EQ(D, C + BigInt(5));
+}
+
 } // namespace

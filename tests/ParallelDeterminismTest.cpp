@@ -1,0 +1,243 @@
+//===- tests/ParallelDeterminismTest.cpp - Parallel determinism -----------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel inference engines promise bit-identical results for every
+/// thread count: exact weights are order-independent rationals, sampler
+/// particles own split PRNG streams assigned in particle order. These tests
+/// pin that promise on the Table 1 scenarios, forcing the parallel code
+/// path with ParallelThreshold = 1 and oversubscribed lane counts (the
+/// shard structure, not the physical core count, is what must not leak
+/// into results).
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Bayonet.h"
+#include "psi/PsiExact.h"
+#include "psi/PsiSampler.h"
+#include "scenarios/Scenarios.h"
+#include "support/ThreadPool.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+using namespace bayonet;
+
+namespace {
+
+Rational q(int64_t N, int64_t D = 1) { return Rational(BigInt(N), BigInt(D)); }
+
+ExactResult exactWithThreads(const LoadedNetwork &Net, unsigned Threads) {
+  ExactOptions Opts;
+  Opts.Threads = Threads;
+  Opts.ParallelThreshold = 1; // Force the sharded path for Threads > 1.
+  ExactResult R = ExactEngine(Net.Spec, Opts).run();
+  EXPECT_FALSE(R.QueryUnsupported) << R.UnsupportedReason;
+  return R;
+}
+
+/// Renders the full result state that must not depend on the thread count.
+std::string fingerprint(const ExactResult &R, const ParamTable &Params) {
+  return R.QueryMass.toString(Params) + "|" + R.OkMass.toString(Params) +
+         "|" + R.ErrorMass.toString(Params);
+}
+
+TEST(ParallelDeterminism, ExactTableOneScenariosBitIdentical) {
+  struct Case {
+    const char *Name;
+    std::string Src;
+    const char *PinnedValue; // nullptr: only cross-thread equality.
+  };
+  const Case Cases[] = {
+      {"paperExample", scenarios::paperExample(),
+       "30378810105265/67706637778944"},
+      {"congestion1", scenarios::congestionChain(1, "uniform"), nullptr},
+      {"reliability3", scenarios::reliabilityChain(3), nullptr},
+      {"gossip4", scenarios::gossip(4), "94/27"},
+  };
+  for (const Case &C : Cases) {
+    DiagEngine Diags;
+    auto Net = loadNetwork(C.Src, Diags);
+    ASSERT_TRUE(Net.has_value()) << C.Name << ": " << Diags.toString();
+    ExactResult Base = exactWithThreads(*Net, 1);
+    ASSERT_TRUE(Base.concreteValue().has_value()) << C.Name;
+    if (C.PinnedValue) {
+      EXPECT_EQ(Base.concreteValue()->toString(), C.PinnedValue) << C.Name;
+    }
+    std::string BaseFp = fingerprint(Base, Net->Spec.Params);
+    for (unsigned Threads : {2u, 8u}) {
+      ExactResult R = exactWithThreads(*Net, Threads);
+      EXPECT_EQ(fingerprint(R, Net->Spec.Params), BaseFp)
+          << C.Name << " with " << Threads << " threads";
+      ASSERT_TRUE(R.concreteValue().has_value());
+      EXPECT_EQ(*R.concreteValue(), *Base.concreteValue())
+          << C.Name << " with " << Threads << " threads";
+      // Expansion and merge totals are sharding-invariant too.
+      EXPECT_EQ(R.ConfigsExpanded, Base.ConfigsExpanded) << C.Name;
+      EXPECT_EQ(R.MergeHits, Base.MergeHits) << C.Name;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ExactWorkerCountersCoverAllExpansions) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(scenarios::paperExample(), Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  ExactResult R = exactWithThreads(*Net, 8);
+  // With ParallelThreshold = 1 every step fans out, so the per-lane
+  // counters account for every expanded configuration.
+  ASSERT_EQ(R.WorkerConfigsExpanded.size(), 8u);
+  size_t Sum = 0;
+  for (size_t N : R.WorkerConfigsExpanded)
+    Sum += N;
+  EXPECT_EQ(Sum, R.ConfigsExpanded);
+  EXPECT_GT(R.MergeHits, 0u); // The paper example merges configurations.
+}
+
+TEST(ParallelDeterminism, PsiExactTranslatedBitIdentical) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(scenarios::paperExample(), Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  auto Psi = translateToPsi(Net->Spec, Diags);
+  ASSERT_TRUE(Psi.has_value()) << Diags.toString();
+
+  auto runWith = [&](unsigned Threads) {
+    PsiExactOptions Opts;
+    Opts.Threads = Threads;
+    Opts.ParallelThreshold = 1;
+    PsiExactResult R = PsiExact(*Psi, Opts).run();
+    EXPECT_FALSE(R.QueryUnsupported) << R.UnsupportedReason;
+    return R;
+  };
+  PsiExactResult Base = runWith(1);
+  ASSERT_TRUE(Base.concreteValue().has_value());
+  EXPECT_EQ(Base.concreteValue()->toString(), "30378810105265/67706637778944");
+  for (unsigned Threads : {2u, 8u}) {
+    PsiExactResult R = runWith(Threads);
+    ASSERT_TRUE(R.concreteValue().has_value()) << Threads;
+    EXPECT_EQ(*R.concreteValue(), *Base.concreteValue()) << Threads;
+    EXPECT_EQ(R.OkMass.toString(Net->Spec.Params),
+              Base.OkMass.toString(Net->Spec.Params));
+    EXPECT_EQ(R.ErrorMass.toString(Net->Spec.Params),
+              Base.ErrorMass.toString(Net->Spec.Params));
+    EXPECT_EQ(R.BranchesExpanded, Base.BranchesExpanded);
+    EXPECT_EQ(R.MergeHits, Base.MergeHits);
+  }
+}
+
+TEST(ParallelDeterminism, SamplerSeededRunsIdenticalAcrossThreadCounts) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(scenarios::reliabilityChain(2), Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  auto runWith = [&](unsigned Threads, uint64_t Seed) {
+    SampleOptions Opts;
+    Opts.Particles = 300;
+    Opts.Seed = Seed;
+    Opts.Threads = Threads;
+    return Sampler(Net->Spec, Opts).run();
+  };
+  SampleResult Base = runWith(1, 42);
+  for (unsigned Threads : {2u, 8u}) {
+    SampleResult R = runWith(Threads, 42);
+    EXPECT_EQ(R.Value, Base.Value) << Threads;
+    EXPECT_EQ(R.StdError, Base.StdError) << Threads;
+    EXPECT_EQ(R.Survivors, Base.Survivors) << Threads;
+    EXPECT_EQ(R.ErrorFraction, Base.ErrorFraction) << Threads;
+  }
+  // Same seed reproduces; a different seed draws different streams.
+  SampleResult Again = runWith(1, 42);
+  EXPECT_EQ(Again.Value, Base.Value);
+  EXPECT_EQ(Again.StdError, Base.StdError);
+}
+
+TEST(ParallelDeterminism, PsiSamplerSeededRunsIdenticalAcrossThreadCounts) {
+  PsiProgram P;
+  unsigned X = P.addVar("x");
+  unsigned Y = P.addVar("y");
+  P.Body.push_back(sAssign(X, pFlip(pConst(q(1, 3)))));
+  P.Body.push_back(sAssign(Y, pUniformInt(pInt(0), pInt(5))));
+  P.Result = pBin(BinOpKind::Or, pVar(X),
+                  pBin(BinOpKind::Eq, pVar(Y), pInt(0)));
+  auto runWith = [&](unsigned Threads) {
+    PsiSampleOptions Opts;
+    Opts.Particles = 500;
+    Opts.Seed = 7;
+    Opts.Threads = Threads;
+    return PsiSampler(P, Opts).run();
+  };
+  PsiSampleResult Base = runWith(1);
+  for (unsigned Threads : {2u, 8u}) {
+    PsiSampleResult R = runWith(Threads);
+    EXPECT_EQ(R.Value, Base.Value) << Threads;
+    EXPECT_EQ(R.Survivors, Base.Survivors) << Threads;
+    EXPECT_EQ(R.ErrorFraction, Base.ErrorFraction) << Threads;
+  }
+}
+
+// Regression: a failed uniformInt operand must contribute exactly the
+// operand combination's probability mass to the error state. The old code
+// pushed the failed operand outcome once per outcome of the other operand
+// (multiplying its mass) and dropped the other operand's probability.
+TEST(ParallelDeterminism, UniformIntFailurePropagatesOperandMass) {
+  PsiProgram P;
+  unsigned T = P.addVar("t");
+  unsigned I = P.addVar("i");
+  unsigned X = P.addVar("x");
+  std::vector<PExprPtr> Elems;
+  Elems.push_back(pInt(2));
+  P.Body.push_back(sAssign(T, pTuple(std::move(Elems)))); // t = (2)
+  P.Body.push_back(sAssign(I, pUniformInt(pInt(0), pInt(1))));
+  // In the i == 1 branch t[i] is out of range, so the uniformInt's low
+  // bound fails with probability 1 there; the high bound still splits into
+  // two outcomes of 1/2 each. Correct error mass: 1/2 * (1/2 + 1/2) = 1/2.
+  // The old accounting produced 1 (the Lo outcome pushed twice), making
+  // total mass exceed 1.
+  P.Body.push_back(sAssign(
+      X, pUniformInt(pIndex(pVar(T), pVar(I)),
+                     pUniformInt(pInt(3), pInt(4)))));
+  P.Result = pInt(1);
+  PsiExactResult R = PsiExact(P).run();
+  EXPECT_FALSE(R.QueryUnsupported) << R.UnsupportedReason;
+  EXPECT_EQ(R.ErrorMass.concreteValue(), q(1, 2));
+  EXPECT_EQ(R.OkMass.concreteValue(), q(1, 2));
+  EXPECT_EQ(*R.concreteValue(), q(1));
+}
+
+// Same accounting for failures detected inside uniformInt itself: an empty
+// range reached with probability 1/2 contributes 1/2, not 1.
+TEST(ParallelDeterminism, UniformIntEmptyRangeCarriesOperandProbability) {
+  PsiProgram P;
+  unsigned X = P.addVar("x");
+  // hi ~ uniform{1..4}; the range [3, hi] is empty for hi in {1, 2}.
+  P.Body.push_back(
+      sAssign(X, pUniformInt(pInt(3), pUniformInt(pInt(1), pInt(4)))));
+  P.Result = pInt(1);
+  PsiExactResult R = PsiExact(P).run();
+  EXPECT_FALSE(R.QueryUnsupported) << R.UnsupportedReason;
+  EXPECT_EQ(R.ErrorMass.concreteValue(), q(1, 2));
+  EXPECT_EQ(R.OkMass.concreteValue(), q(1, 2));
+}
+
+// Indexing has the same two failure paths; pin the out-of-range one.
+TEST(ParallelDeterminism, TupleIndexFailureCarriesOperandProbability) {
+  PsiProgram P;
+  unsigned T = P.addVar("t");
+  unsigned X = P.addVar("x");
+  std::vector<PExprPtr> Elems;
+  Elems.push_back(pInt(5));
+  Elems.push_back(pInt(6));
+  P.Body.push_back(sAssign(T, pTuple(std::move(Elems)))); // t = (5, 6)
+  // idx ~ uniform{1..2}: idx == 2 is out of range with probability 1/2.
+  P.Body.push_back(
+      sAssign(X, pIndex(pVar(T), pUniformInt(pInt(1), pInt(2)))));
+  P.Result = pInt(1);
+  PsiExactResult R = PsiExact(P).run();
+  EXPECT_FALSE(R.QueryUnsupported) << R.UnsupportedReason;
+  EXPECT_EQ(R.ErrorMass.concreteValue(), q(1, 2));
+  EXPECT_EQ(R.OkMass.concreteValue(), q(1, 2));
+}
+
+} // namespace

@@ -70,4 +70,49 @@ TEST(PrngTest, UniformIntBounds) {
   EXPECT_EQ(Rng.uniformInt(5, 5), 5);
 }
 
+
+TEST(PrngTest, JumpAdvancesState) {
+  Xoshiro A(123), B(123);
+  B.jump();
+  // Jumped generator leaves the original sequence behind.
+  bool Differs = false;
+  for (int I = 0; I < 8; ++I)
+    Differs |= A.next() != B.next();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(PrngTest, SplitStreamsAreDisjointAndDeterministic) {
+  Xoshiro M1(0x5eed), M2(0x5eed);
+  Xoshiro A1 = M1.split(), B1 = M1.split();
+  Xoshiro A2 = M2.split(), B2 = M2.split();
+  // Same master seed: the same family of substreams, in order.
+  for (int I = 0; I < 16; ++I) {
+    EXPECT_EQ(A1.next(), A2.next());
+    EXPECT_EQ(B1.next(), B2.next());
+  }
+  // Sibling substreams differ from each other and from the master.
+  Xoshiro A3 = M1.split();
+  bool DiffersAB = false, DiffersAM = false;
+  Xoshiro AFresh(0x5eed);
+  Xoshiro AChild = AFresh.split();
+  Xoshiro BChild = AFresh.split();
+  for (int I = 0; I < 16; ++I) {
+    DiffersAB |= AChild.next() != BChild.next();
+    DiffersAM |= A3.next() != M1.next();
+  }
+  EXPECT_TRUE(DiffersAB);
+  EXPECT_TRUE(DiffersAM);
+}
+
+TEST(PrngTest, SplitChildContinuesLikeCopy) {
+  // split() returns the pre-jump state: the child reproduces what the
+  // parent would have produced, which is what makes stream assignment a
+  // pure function of (seed, index).
+  Xoshiro M(99);
+  Xoshiro Copy = M; // parent state before the split
+  Xoshiro Child = M.split();
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Child.next(), Copy.next());
+}
+
 } // namespace
