@@ -152,6 +152,62 @@ inline void writeScalingJson(const char *Path) {
   std::printf("wrote %s (%zu rows)\n", Path, Rows.size());
 }
 
+/// One governance-overhead measurement: the same workload run ungoverned
+/// and with a (never-tripping) budget tracker attached. The charging
+/// fast-path is the only difference, so the pair bounds the cost of
+/// resource governance; the target is under 2% overhead.
+struct BudgetRow {
+  std::string Benchmark;
+  double UngovernedSeconds = 0;
+  double GovernedSeconds = 0;
+};
+
+inline std::vector<BudgetRow> &budgetRows() {
+  static std::vector<BudgetRow> Rows;
+  return Rows;
+}
+
+inline void addBudgetRow(std::string Benchmark, double UngovernedSeconds,
+                         double GovernedSeconds) {
+  for (BudgetRow &R : budgetRows()) {
+    if (R.Benchmark == Benchmark) {
+      R.UngovernedSeconds = UngovernedSeconds;
+      R.GovernedSeconds = GovernedSeconds;
+      return;
+    }
+  }
+  budgetRows().push_back(
+      {std::move(Benchmark), UngovernedSeconds, GovernedSeconds});
+}
+
+/// Writes the governance-overhead rows as a JSON array (no-op when the
+/// binary recorded none).
+inline void writeBudgetJson(const char *Path) {
+  if (budgetRows().empty())
+    return;
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "[\n");
+  const std::vector<BudgetRow> &Rows = budgetRows();
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const BudgetRow &R = Rows[I];
+    double Pct = R.UngovernedSeconds > 0
+                     ? (R.GovernedSeconds / R.UngovernedSeconds - 1.0) * 100.0
+                     : 0.0;
+    std::fprintf(F,
+                 "  {\"benchmark\": \"%s\", \"ungoverned_s\": %.6f, "
+                 "\"governed_s\": %.6f, \"overhead_pct\": %.2f}%s\n",
+                 R.Benchmark.c_str(), R.UngovernedSeconds, R.GovernedSeconds,
+                 Pct, I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  std::printf("wrote %s (%zu rows)\n", Path, Rows.size());
+}
+
 /// Standard main: run the registered benchmarks, then print the table.
 #define BAYONET_BENCH_MAIN(TITLE)                                            \
   int main(int argc, char **argv) {                                         \
@@ -162,6 +218,7 @@ inline void writeScalingJson(const char *Path) {
     benchmark::Shutdown();                                                  \
     bayonet::benchutil::printComparison(TITLE);                             \
     bayonet::benchutil::writeScalingJson("BENCH_scaling.json");             \
+    bayonet::benchutil::writeBudgetJson("BENCH_budget.json");               \
     return 0;                                                               \
   }
 

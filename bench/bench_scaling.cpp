@@ -142,6 +142,43 @@ void BM_GossipScalingSmc(benchmark::State &State) {
          "~0.8*K infected", fmt(Value), Secs);
 }
 
+/// Measures what attaching a (never-tripping) budget tracker costs the
+/// exact engine: the charging fast-path plus one checkpoint per scheduler
+/// step. Target: under 2% against the ungoverned run (BENCH_budget.json).
+void BM_GovernanceOverhead(benchmark::State &State) {
+  unsigned Diamonds = static_cast<unsigned>(State.range(0));
+  LoadedNetwork Net = mustLoad(scenarios::reliabilityChain(Diamonds));
+  BudgetLimits Generous;
+  Generous.MaxStates = uint64_t(1) << 40;
+  Generous.MaxFrontier = uint64_t(1) << 40;
+  Generous.MaxMerges = uint64_t(1) << 40;
+  Generous.MaxBytes = uint64_t(1) << 50;
+  Generous.MaxSchedSteps = uint64_t(1) << 40;
+  std::string Ungoverned, Governed;
+  double BestUn = 1e99, BestGov = 1e99;
+  for (auto _ : State) {
+    BestUn = std::min(BestUn, timedExact(Net, 1, Ungoverned));
+    ExactOptions Opts;
+    Opts.Threads = 1;
+    Opts.Budget = std::make_shared<BudgetTracker>(Generous);
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec, Opts).run();
+    BestGov = std::min(
+        BestGov,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count());
+    auto V = R.concreteValue();
+    Governed = V ? fmt(V->toDouble()) : "?";
+    benchmark::DoNotOptimize(R);
+  }
+  if (Governed != Ungoverned)
+    Ungoverned += " (GOVERNED MISMATCH: " + Governed + ")";
+  std::string Name = "governance overhead, reliability " +
+                     std::to_string(4 * Diamonds + 2) + " nodes";
+  addRow(Name, "exact", "< 2% overhead", Ungoverned, BestGov);
+  addBudgetRow(Name, BestUn, BestGov);
+}
+
 } // namespace
 
 BENCHMARK(BM_ReliabilityScaling)
@@ -168,6 +205,10 @@ BENCHMARK(BM_GossipScalingSmc)
     ->Arg(20)
     ->Arg(25)
     ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GovernanceOverhead)
+    ->Arg(4)
+    ->Arg(6)
     ->Unit(benchmark::kMillisecond);
 
 BAYONET_BENCH_MAIN("Section 5.4 scaling with network size")

@@ -6,24 +6,32 @@
 ///
 /// \file
 /// The `bayonet` command-line tool: parse a .bay program, run its query
-/// with a chosen inference engine, or emit the translated PSI / WebPPL
-/// program (the paper's Figure 1 pipeline).
+/// with a chosen inference engine under resource budgets, or emit the
+/// translated PSI / WebPPL program (the paper's Figure 1 pipeline).
 ///
 ///   bayonet FILE [--engine exact|translated|smc|reject]
-///                [--particles N] [--seed N]
+///                [--particles N] [--seed N] [--threads N]
+///                [--deadline-ms N] [--max-states N] [--max-frontier N]
+///                [--max-merges N] [--max-bytes N] [--max-sched-steps N]
+///                [--on-budget-exceeded fail|fallback-smc]
 ///                [--param NAME=VALUE]...
 ///                [--emit-psi] [--emit-webppl]
-///                [--stats]
+///                [--stats] [--dist]
+///
+/// Exit codes: 0 = answered, 1 = query unsupported by the engine,
+/// 2 = invalid input (usage, parse, check, untranslatable), 3 = budget
+/// exceeded or cancelled, 4 = internal error.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "api/Bayonet.h"
-#include "psi/PsiExact.h"
-#include "psi/PsiSampler.h"
+#include "support/Diag.h"
 #include "translate/Translator.h"
 #include "translate/WebPplEmitter.h"
 
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -43,22 +51,69 @@ void usage() {
       "  --threads N                            worker threads (0 = auto, "
       "1 = serial)\n"
       "  --param NAME=VALUE                     bind a symbolic parameter\n"
+      "  --deadline-ms N                        wall-clock budget\n"
+      "  --max-states N                         expansion budget (configs / "
+      "branches / particle-steps)\n"
+      "  --max-frontier N                       live frontier size budget\n"
+      "  --max-merges N                         merged-successor budget\n"
+      "  --max-bytes N                          approximate live heap bytes "
+      "budget\n"
+      "  --max-sched-steps N                    scheduler step budget\n"
+      "  --on-budget-exceeded fail|fallback-smc degrade to SMC instead of "
+      "failing (default fail)\n"
       "  --emit-psi                             print the translated PSI "
       "program\n"
       "  --emit-webppl                          print the translated WebPPL "
       "program\n"
-      "  --stats                                print engine statistics\n"
+      "  --stats                                print engine statistics and "
+      "resource spend\n"
       "  --dist                                 print the exact terminal "
-      "distribution\n");
+      "distribution\n"
+      "\n"
+      "Budget flags default from BAYONET_DEADLINE_MS, BAYONET_MAX_STATES,\n"
+      "BAYONET_MAX_FRONTIER, BAYONET_MAX_MERGES, BAYONET_MAX_BYTES,\n"
+      "BAYONET_MAX_SCHED_STEPS, BAYONET_FAULT and "
+      "BAYONET_ON_BUDGET_EXCEEDED.\n"
+      "\n"
+      "exit codes: 0 ok, 1 query unsupported, 2 invalid input, 3 budget "
+      "exceeded\n"
+      "or cancelled, 4 internal error\n");
 }
 
-} // namespace
+/// Prints a one-line diagnostic in the frontend's format.
+void reportError(const std::string &Message) {
+  Diag D{DiagKind::Error, {}, Message};
+  std::fprintf(stderr, "bayonet: %s\n", D.toString().c_str());
+}
 
-int main(int argc, char **argv) {
+int exitCodeFor(const EngineStatus &S, bool QueryUnsupported) {
+  switch (S.Code) {
+  case StatusCode::Ok:
+    return QueryUnsupported ? 1 : 0;
+  case StatusCode::BudgetExceeded:
+  case StatusCode::Cancelled:
+    return 3;
+  case StatusCode::Invalid:
+    return 2;
+  case StatusCode::Internal:
+    return 4;
+  }
+  return 4;
+}
+
+int runMain(int argc, char **argv) {
   std::string FileName, Engine = "exact";
-  unsigned Particles = 1000;
-  uint64_t Seed = 0x5eed;
-  unsigned Threads = 0;
+  InferenceOptions IOpts;
+  IOpts.Limits = BudgetLimits::fromEnv();
+  if (const char *Env = std::getenv("BAYONET_ON_BUDGET_EXCEEDED")) {
+    if (std::strcmp(Env, "fallback-smc") == 0)
+      IOpts.OnBudgetExceeded = BudgetPolicy::FallbackSmc;
+    else if (std::strcmp(Env, "fail") != 0) {
+      reportError(std::string("bad BAYONET_ON_BUDGET_EXCEEDED '") + Env +
+                  "' (want fail or fallback-smc)");
+      return 2;
+    }
+  }
   bool EmitPsi = false, EmitWebPpl = false, Stats = false, Dist = false;
   std::vector<std::pair<std::string, Rational>> ParamBinds;
 
@@ -71,12 +126,24 @@ int main(int argc, char **argv) {
       }
       return argv[++I];
     };
+    auto takeU64 = [&](const char *Name) -> uint64_t {
+      const char *Val = takeValue(Name);
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Val, &End, 10);
+      if (End == Val || *End != '\0') {
+        std::fprintf(stderr,
+                     "error: %s expects a non-negative integer, got '%s'\n",
+                     Name, Val);
+        exit(2);
+      }
+      return N;
+    };
     if (Arg == "--engine")
       Engine = takeValue("--engine");
     else if (Arg == "--particles")
-      Particles = std::atoi(takeValue("--particles"));
+      IOpts.Particles = std::atoi(takeValue("--particles"));
     else if (Arg == "--seed")
-      Seed = std::strtoull(takeValue("--seed"), nullptr, 10);
+      IOpts.Seed = std::strtoull(takeValue("--seed"), nullptr, 10);
     else if (Arg == "--threads") {
       const char *Val = takeValue("--threads");
       char *End = nullptr;
@@ -88,9 +155,33 @@ int main(int argc, char **argv) {
                      Val);
         return 2;
       }
-      Threads = static_cast<unsigned>(N);
-    }
-    else if (Arg == "--param") {
+      IOpts.Threads = static_cast<unsigned>(N);
+    } else if (Arg == "--deadline-ms")
+      IOpts.Limits.DeadlineMs = static_cast<int64_t>(takeU64("--deadline-ms"));
+    else if (Arg == "--max-states")
+      IOpts.Limits.MaxStates = takeU64("--max-states");
+    else if (Arg == "--max-frontier")
+      IOpts.Limits.MaxFrontier = takeU64("--max-frontier");
+    else if (Arg == "--max-merges")
+      IOpts.Limits.MaxMerges = takeU64("--max-merges");
+    else if (Arg == "--max-bytes")
+      IOpts.Limits.MaxBytes = takeU64("--max-bytes");
+    else if (Arg == "--max-sched-steps")
+      IOpts.Limits.MaxSchedSteps = takeU64("--max-sched-steps");
+    else if (Arg == "--on-budget-exceeded") {
+      std::string Val = takeValue("--on-budget-exceeded");
+      if (Val == "fail")
+        IOpts.OnBudgetExceeded = BudgetPolicy::Fail;
+      else if (Val == "fallback-smc")
+        IOpts.OnBudgetExceeded = BudgetPolicy::FallbackSmc;
+      else {
+        std::fprintf(stderr,
+                     "error: --on-budget-exceeded expects fail or "
+                     "fallback-smc, got '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+    } else if (Arg == "--param") {
       std::string Bind = takeValue("--param");
       size_t Eq = Bind.find('=');
       Rational Value;
@@ -128,18 +219,32 @@ int main(int argc, char **argv) {
     return 2;
   }
 
+  if (Engine == "exact")
+    IOpts.Engine = EngineChoice::Exact;
+  else if (Engine == "translated")
+    IOpts.Engine = EngineChoice::Translated;
+  else if (Engine == "smc")
+    IOpts.Engine = EngineChoice::Smc;
+  else if (Engine == "reject")
+    IOpts.Engine = EngineChoice::Reject;
+  else {
+    std::fprintf(stderr, "error: unknown engine '%s'\n", Engine.c_str());
+    return 2;
+  }
+  IOpts.CollectTerminals = Dist;
+
   DiagEngine Diags;
   auto Net = loadNetworkFile(FileName, Diags);
   // Print warnings even on success.
   if (!Diags.diags().empty())
     std::fprintf(stderr, "%s", Diags.toString().c_str());
   if (!Net)
-    return 1;
+    return 2;
 
   for (const auto &[Name, Value] : ParamBinds) {
     if (!bindParam(*Net, Name, Value)) {
       std::fprintf(stderr, "error: no parameter named '%s'\n", Name.c_str());
-      return 1;
+      return 2;
     }
   }
 
@@ -148,85 +253,127 @@ int main(int argc, char **argv) {
     auto Psi = translateToPsi(Net->Spec, TDiags);
     if (!Psi) {
       std::fprintf(stderr, "%s", TDiags.toString().c_str());
-      return 1;
+      return 2;
     }
     if (EmitPsi)
       std::printf("%s", printPsiProgram(*Psi).c_str());
     if (EmitWebPpl)
-      std::printf("%s", emitWebPpl(*Psi, Particles).c_str());
+      std::printf("%s", emitWebPpl(*Psi, IOpts.Particles).c_str());
     return 0;
   }
 
-  if (Engine == "exact") {
-    ExactOptions EOpts;
-    EOpts.CollectTerminals = Dist;
-    EOpts.Threads = Threads;
-    ExactResult R = ExactEngine(Net->Spec, EOpts).run();
-    std::printf("%s\n", formatExactAnswer(R, Net->Spec.Params).c_str());
-    if (Dist) {
-      std::printf("terminal distribution (%zu configurations):\n",
-                  R.Terminals.size());
-      for (const auto &[Config, Weight] : R.Terminals)
-        std::printf("  %-14s %s\n",
-                    Weight.toString(Net->Spec.Params).c_str(),
-                    describeConfig(Net->Spec, Config).c_str());
-    }
-    if (auto E = R.errorProbability(); E && !E->isZero())
-      std::printf("error probability: %s (~%f)\n", E->toString().c_str(),
-                  E->toDouble());
-    if (Stats) {
-      std::printf("configs expanded: %zu, max frontier: %zu, steps: %lld, "
-                  "merge hits: %zu\n",
-                  R.ConfigsExpanded, R.MaxFrontierSize,
-                  static_cast<long long>(R.StepsUsed), R.MergeHits);
-      if (!R.WorkerConfigsExpanded.empty()) {
-        std::printf("configs expanded per worker:");
-        for (size_t N : R.WorkerConfigsExpanded)
-          std::printf(" %zu", N);
-        std::printf("\n");
+  InferenceResult R = runInference(*Net, IOpts);
+
+  if (R.Status.Code == StatusCode::Invalid ||
+      R.Status.Code == StatusCode::Internal) {
+    reportError(R.Status.toString());
+    return exitCodeFor(R.Status, false);
+  }
+
+  // The answer is always the first line on stdout (integration tests
+  // anchor their regexes at the start of the output); engine attribution,
+  // statistics, and any budget diagnostics follow.
+  bool QueryUnsupported = false;
+  switch (R.EngineUsed) {
+  case EngineChoice::Exact:
+    if (R.Exact) {
+      const ExactResult &ER = *R.Exact;
+      std::printf("%s\n", formatExactAnswer(ER, Net->Spec.Params).c_str());
+      if (Dist) {
+        std::printf("terminal distribution (%zu configurations):\n",
+                    ER.Terminals.size());
+        for (const auto &[Config, Weight] : ER.Terminals)
+          std::printf("  %-14s %s\n",
+                      Weight.toString(Net->Spec.Params).c_str(),
+                      describeConfig(Net->Spec, Config).c_str());
       }
+      if (auto E = ER.errorProbability(); E && !E->isZero())
+        std::printf("error probability: %s (~%f)\n", E->toString().c_str(),
+                    E->toDouble());
+      if (Stats) {
+        std::printf("configs expanded: %zu, max frontier: %zu, steps: %lld, "
+                    "merge hits: %zu\n",
+                    ER.ConfigsExpanded, ER.MaxFrontierSize,
+                    static_cast<long long>(ER.StepsUsed), ER.MergeHits);
+        if (!ER.WorkerConfigsExpanded.empty()) {
+          std::printf("configs expanded per worker:");
+          for (size_t N : ER.WorkerConfigsExpanded)
+            std::printf(" %zu", N);
+          std::printf("\n");
+        }
+      }
+      QueryUnsupported = ER.QueryUnsupported;
     }
-    return R.QueryUnsupported ? 1 : 0;
-  }
-  if (Engine == "translated") {
-    DiagEngine TDiags;
-    auto Psi = translateToPsi(Net->Spec, TDiags);
-    if (!Psi) {
-      std::fprintf(stderr, "%s", TDiags.toString().c_str());
-      return 1;
+    break;
+  case EngineChoice::Translated:
+    if (R.Translated) {
+      const PsiExactResult &PR = *R.Translated;
+      if (auto V = PR.concreteValue())
+        std::printf("%s (~%f)\n", V->toString().c_str(), V->toDouble());
+      else {
+        for (const ProbCase &C : PR.cases())
+          std::printf("%s: %s (~%f)\n",
+                      C.Region.toString(Net->Spec.Params).c_str(),
+                      C.Value.toString().c_str(), C.Value.toDouble());
+      }
+      if (Stats)
+        std::printf("branches expanded: %zu, max dist: %zu, merge hits: "
+                    "%zu\n",
+                    PR.BranchesExpanded, PR.MaxDistSize, PR.MergeHits);
+      QueryUnsupported = PR.QueryUnsupported;
     }
-    PsiExactOptions POpts;
-    POpts.Threads = Threads;
-    PsiExactResult R = PsiExact(*Psi, POpts).run();
-    if (auto V = R.concreteValue())
-      std::printf("%s (~%f)\n", V->toString().c_str(), V->toDouble());
-    else {
-      for (const ProbCase &C : R.cases())
-        std::printf("%s: %s (~%f)\n",
-                    C.Region.toString(Net->Spec.Params).c_str(),
-                    C.Value.toString().c_str(), C.Value.toDouble());
+    break;
+  case EngineChoice::Smc:
+  case EngineChoice::Reject:
+    if (R.Sampled) {
+      const SampleResult &SR = *R.Sampled;
+      std::printf("%f (+- %f at ~95%%)\n", SR.Value, 1.96 * SR.StdError);
+      if (SR.ErrorFraction > 0)
+        std::printf("error fraction: %f\n", SR.ErrorFraction);
+      if (Stats)
+        std::printf("survivors: %u / %u particles\n", SR.Survivors,
+                    SR.Particles);
+      QueryUnsupported = SR.QueryUnsupported;
     }
-    if (Stats)
-      std::printf("branches expanded: %zu, max dist: %zu, merge hits: %zu\n",
-                  R.BranchesExpanded, R.MaxDistSize, R.MergeHits);
-    return R.QueryUnsupported ? 1 : 0;
+    break;
   }
-  if (Engine == "smc" || Engine == "reject") {
-    SampleOptions Opts;
-    Opts.Mode = Engine == "smc" ? SampleOptions::Method::Smc
-                                : SampleOptions::Method::Rejection;
-    Opts.Particles = Particles;
-    Opts.Seed = Seed;
-    Opts.Threads = Threads;
-    SampleResult R = Sampler(Net->Spec, Opts).run();
-    std::printf("%f (+- %f at ~95%%)\n", R.Value, 1.96 * R.StdError);
-    if (R.ErrorFraction > 0)
-      std::printf("error fraction: %f\n", R.ErrorFraction);
-    if (Stats)
-      std::printf("survivors: %u / %u particles\n", R.Survivors,
-                  R.Particles);
-    return R.QueryUnsupported ? 1 : 0;
+
+  if (R.FellBack)
+    std::printf("engine: %s (fell back from %s: %s)\n",
+                engineChoiceName(R.EngineUsed),
+                engineChoiceName(IOpts.Engine),
+                R.ExactStatus.toString().c_str());
+  else if (Stats)
+    std::printf("engine: %s\n", engineChoiceName(R.EngineUsed));
+  if (Stats)
+    std::printf("spent: states=%" PRIu64 " merges=%" PRIu64
+                " peak-frontier=%" PRIu64 " peak-bytes=%" PRIu64
+                " sched-steps=%" PRIu64 " wall-ms=%.2f\n",
+                R.Spent.StatesExpanded, R.Spent.MergeHits,
+                R.Spent.PeakFrontier, R.Spent.PeakBytes, R.Spent.SchedSteps,
+                R.Spent.WallMs);
+
+  if (!R.Status.ok())
+    reportError(R.Status.toString());
+  return exitCodeFor(R.Status, QueryUnsupported);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Top-level handler: nothing below main reports failure by throwing on
+  // purpose (the library carries EngineStatus), so anything arriving here
+  // is converted to a one-line diagnostic and a stable exit code.
+  try {
+    return runMain(argc, argv);
+  } catch (const InferenceError &E) {
+    reportError(E.status().toString());
+    return exitCodeFor(E.status(), false);
+  } catch (const std::exception &E) {
+    reportError(std::string("internal error: ") + E.what());
+    return 4;
+  } catch (...) {
+    reportError("internal error: unknown exception");
+    return 4;
   }
-  std::fprintf(stderr, "error: unknown engine '%s'\n", Engine.c_str());
-  return 2;
 }

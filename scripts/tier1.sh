@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the standard build + test run from ROADMAP.md,
-# followed by a thread-sanitized run of the parallel-determinism tests.
+# Tier-1 verification: the standard build + test run from ROADMAP.md, a
+# budget-regression check (a tight --max-states run must exit 3), and a
+# thread-sanitized run of the parallel-determinism and budget tests.
 # The TSan step runs with BAYONET_THREADS=4 so real worker threads race
 # through the sharded engine paths even on a single-core machine.
 #
@@ -25,15 +26,26 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "=== tier-1: budget regression (tight --max-states must exit 3) ==="
+set +e
+./build/examples/bayonet examples/programs/gossip4.bay --max-states 50
+BudgetExit=$?
+set -e
+if [ "$BudgetExit" != 3 ]; then
+  echo "budget regression: expected exit 3 (budget exceeded), got $BudgetExit" >&2
+  exit 1
+fi
+echo "budget regression: exit 3 as expected"
+
 if [ "$NO_TSAN" = 1 ]; then
   echo "=== tier-1: TSan step skipped (--no-tsan) ==="
   exit 0
 fi
 
-echo "=== tier-1: thread-sanitized parallel determinism ==="
+echo "=== tier-1: thread-sanitized parallel determinism + budgets ==="
 cmake -B build-tsan -S . -DBAYONET_SANITIZE=thread
 cmake --build build-tsan -j --target bayonet_tests
 BAYONET_THREADS=4 ./build-tsan/tests/bayonet_tests \
-  --gtest_filter='ParallelDeterminism.*'
+  --gtest_filter='ParallelDeterminism.*:Budget.*'
 
 echo "=== tier-1: all checks passed ==="

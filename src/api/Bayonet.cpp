@@ -6,10 +6,160 @@
 
 #include "api/Bayonet.h"
 
+#include "translate/Translator.h"
+
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
 using namespace bayonet;
+
+const char *bayonet::engineChoiceName(EngineChoice E) {
+  switch (E) {
+  case EngineChoice::Exact:
+    return "exact";
+  case EngineChoice::Translated:
+    return "translated";
+  case EngineChoice::Smc:
+    return "smc";
+  case EngineChoice::Reject:
+    return "reject";
+  }
+  return "unknown";
+}
+
+namespace {
+
+ResourceSpend spendOf(const BudgetTracker &T, double WallMs) {
+  ResourceSpend S;
+  S.StatesExpanded = T.statesSpent();
+  S.MergeHits = T.mergesSpent();
+  S.PeakFrontier = T.peakFrontier();
+  S.PeakBytes = T.peakBytes();
+  S.SchedSteps = T.schedStepsSpent();
+  S.WallMs = WallMs;
+  return S;
+}
+
+std::string trimmed(std::string S) {
+  while (!S.empty() && (S.back() == '\n' || S.back() == ' '))
+    S.pop_back();
+  return S;
+}
+
+/// Runs the selected primary engine, filling status/spend/payload.
+void runPrimary(const LoadedNetwork &Net, const InferenceOptions &Opts,
+                const std::shared_ptr<BudgetTracker> &Tracker,
+                InferenceResult &R) {
+  switch (Opts.Engine) {
+  case EngineChoice::Exact: {
+    ExactOptions EO;
+    EO.Threads = Opts.Threads;
+    EO.CollectTerminals = Opts.CollectTerminals;
+    EO.Budget = Tracker;
+    ExactResult ER = ExactEngine(Net.Spec, EO).run();
+    R.Status = ER.Status;
+    R.Spent = spendOf(*Tracker, ER.WallMs);
+    R.Exact = std::move(ER);
+    return;
+  }
+  case EngineChoice::Translated: {
+    DiagEngine TDiags;
+    auto Psi = translateToPsi(Net.Spec, TDiags);
+    if (!Psi) {
+      R.Status = EngineStatus::invalid(trimmed(TDiags.toString()));
+      return;
+    }
+    PsiExactOptions PO;
+    PO.Threads = Opts.Threads;
+    PO.Budget = Tracker;
+    PsiExactResult PR = PsiExact(*Psi, PO).run();
+    R.Status = PR.Status;
+    R.Spent = spendOf(*Tracker, PR.WallMs);
+    R.Translated = std::move(PR);
+    return;
+  }
+  case EngineChoice::Smc:
+  case EngineChoice::Reject: {
+    SampleOptions SO;
+    SO.Mode = Opts.Engine == EngineChoice::Smc
+                  ? SampleOptions::Method::Smc
+                  : SampleOptions::Method::Rejection;
+    SO.Particles = Opts.Particles;
+    SO.Seed = Opts.Seed;
+    SO.Threads = Opts.Threads;
+    SO.Budget = Tracker;
+    SampleResult SR = Sampler(Net.Spec, SO).run();
+    R.Status = SR.Status;
+    R.Spent = spendOf(*Tracker, SR.WallMs);
+    R.Sampled = std::move(SR);
+    return;
+  }
+  }
+}
+
+} // namespace
+
+InferenceResult bayonet::runInference(const LoadedNetwork &Net,
+                                      const InferenceOptions &Opts) {
+  InferenceResult R;
+  R.EngineUsed = Opts.Engine;
+  try {
+    auto Tracker = std::make_shared<BudgetTracker>(Opts.Limits, Opts.Cancel);
+    runPrimary(Net, Opts, Tracker, R);
+
+    // Graceful degradation: an exact engine ran out of budget and the
+    // policy prefers an approximate answer over a failure. Cancellation is
+    // user intent and never falls back.
+    if (R.Status.Code == StatusCode::BudgetExceeded &&
+        Opts.OnBudgetExceeded == BudgetPolicy::FallbackSmc &&
+        (Opts.Engine == EngineChoice::Exact ||
+         Opts.Engine == EngineChoice::Translated)) {
+      R.ExactStatus = R.Status;
+      // Size the particle population from the remaining time budget.
+      int64_t RemainMs = Tracker->remainingMs();
+      unsigned Particles = Opts.Particles;
+      BudgetLimits FallbackLimits; // The fallback gets time budget only.
+      if (RemainMs >= 0) {
+        uint64_t Sized =
+            static_cast<uint64_t>(RemainMs) * Opts.FallbackParticlesPerMs;
+        Particles = static_cast<unsigned>(std::clamp<uint64_t>(
+            Sized, 64, Opts.Particles ? Opts.Particles : 64));
+        // Keep the fallback itself bounded, but give it enough room to
+        // produce the floor-sized estimate even at a spent deadline.
+        FallbackLimits.DeadlineMs = std::max<int64_t>(RemainMs, 10);
+      }
+      auto FallbackTracker =
+          std::make_shared<BudgetTracker>(FallbackLimits, Opts.Cancel);
+      SampleOptions SO;
+      SO.Mode = SampleOptions::Method::Smc;
+      SO.Particles = Particles;
+      SO.Seed = Opts.Seed;
+      SO.Threads = Opts.Threads;
+      SO.Budget = FallbackTracker;
+      SampleResult SR = Sampler(Net.Spec, SO).run();
+      R.FellBack = true;
+      R.EngineUsed = EngineChoice::Smc;
+      R.Status = SR.Status;
+      // The spend report covers both runs.
+      ResourceSpend FS = spendOf(*FallbackTracker, SR.WallMs);
+      R.Spent.StatesExpanded += FS.StatesExpanded;
+      R.Spent.MergeHits += FS.MergeHits;
+      R.Spent.PeakFrontier = std::max(R.Spent.PeakFrontier, FS.PeakFrontier);
+      R.Spent.PeakBytes = std::max(R.Spent.PeakBytes, FS.PeakBytes);
+      R.Spent.SchedSteps += FS.SchedSteps;
+      R.Spent.WallMs += FS.WallMs;
+      R.Sampled = std::move(SR);
+    }
+  } catch (const InferenceError &E) {
+    R.Status = E.status();
+  } catch (const std::exception &E) {
+    R.Status = EngineStatus::internal(E.what());
+  } catch (...) {
+    R.Status = EngineStatus::internal("unknown exception");
+  }
+  return R;
+}
 
 std::optional<LoadedNetwork> bayonet::loadNetwork(std::string_view Source,
                                                   DiagEngine &Diags) {

@@ -27,6 +27,8 @@
 #include "lang/Checker.h"
 #include "lang/Parser.h"
 #include "net/NetworkSpec.h"
+#include "psi/PsiExact.h"
+#include "support/Budget.h"
 
 #include <memory>
 #include <optional>
@@ -56,6 +58,78 @@ bool bindParam(LoadedNetwork &Net, const std::string &Name,
 
 /// Clears a parameter binding, making the parameter symbolic.
 bool unbindParam(LoadedNetwork &Net, const std::string &Name);
+
+//===----------------------------------------------------------------------===//
+// Governed inference
+//===----------------------------------------------------------------------===//
+
+/// Which inference engine answers the query.
+enum class EngineChoice : uint8_t {
+  Exact,      ///< interp/ExactEngine (network-level exact).
+  Translated, ///< translate to PSI IR, then psi/PsiExact.
+  Smc,        ///< interp/Sampler, sequential Monte Carlo.
+  Reject,     ///< interp/Sampler, rejection sampling.
+};
+
+/// Human-readable engine name ("exact", "translated", "smc", "reject").
+const char *engineChoiceName(EngineChoice E);
+
+/// What to do when exact inference exceeds its budget.
+enum class BudgetPolicy : uint8_t {
+  Fail,        ///< Return the BudgetExceeded status.
+  FallbackSmc, ///< Degrade to SMC sized from the remaining time budget.
+};
+
+/// Options for a governed inference run through runInference().
+struct InferenceOptions {
+  EngineChoice Engine = EngineChoice::Exact;
+  unsigned Particles = 1000; ///< For the sampling engines and the fallback.
+  uint64_t Seed = 0x5eed;
+  unsigned Threads = 0;          ///< 0 = process default, 1 = serial.
+  bool CollectTerminals = false; ///< Exact engine: keep the terminal dist.
+  /// Resource budgets (default: unlimited). See BudgetLimits::fromEnv()
+  /// for the BAYONET_* environment variables.
+  BudgetLimits Limits;
+  BudgetPolicy OnBudgetExceeded = BudgetPolicy::Fail;
+  /// Cooperative cancellation handle; requestCancel() stops the run (and
+  /// any fallback) promptly, draining in-flight pool workers.
+  CancelToken Cancel;
+  /// Fallback sizing heuristic: particles per millisecond of remaining
+  /// deadline (floor 64, cap Particles). Ignored without a deadline.
+  unsigned FallbackParticlesPerMs = 8;
+};
+
+/// What a governed run consumed, for reports and regression tracking.
+struct ResourceSpend {
+  uint64_t StatesExpanded = 0; ///< Configs / branches / particle-steps.
+  uint64_t MergeHits = 0;
+  uint64_t PeakFrontier = 0;
+  uint64_t PeakBytes = 0; ///< Approximate; see BudgetTracker.
+  uint64_t SchedSteps = 0;
+  double WallMs = 0;
+};
+
+/// Result of a governed inference run. Exactly one of Exact / Translated /
+/// Sampled is populated, per EngineUsed; when the fallback policy fired,
+/// EngineUsed is Smc, FellBack is set, and ExactStatus records why the
+/// primary engine gave up.
+struct InferenceResult {
+  EngineStatus Status;
+  EngineChoice EngineUsed = EngineChoice::Exact;
+  bool FellBack = false;
+  EngineStatus ExactStatus; ///< Primary engine's status when FellBack.
+  std::optional<ExactResult> Exact;
+  std::optional<PsiExactResult> Translated;
+  std::optional<SampleResult> Sampled;
+  ResourceSpend Spent;
+};
+
+/// Runs the spec's query under the given engine, budgets, and degradation
+/// policy. Never throws on the inference path: every failure — invalid
+/// input (untranslatable program), tripped budget, cancellation, or an
+/// unexpected internal error — is carried in Result.Status.
+InferenceResult runInference(const LoadedNetwork &Net,
+                             const InferenceOptions &Opts);
 
 /// Renders the answer of an exact run for humans: a single number for a
 /// concrete run, or one "guard: value" line per parameter region.

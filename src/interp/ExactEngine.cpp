@@ -9,6 +9,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 using namespace bayonet;
@@ -379,11 +380,58 @@ void foldPartial(ExactResult &Result, ExactResult &Partial) {
 } // namespace
 
 ExactResult ExactEngine::run() const {
+  const auto WallStart = std::chrono::steady_clock::now();
   ExactResult Result;
   if (Spec.Query)
     Result.Kind = Spec.Query->Kind;
   auto Sched = Scheduler::forSpec(Spec);
   const unsigned Threads = resolveThreads(Opts.Threads);
+
+  BudgetTracker *BT = Opts.Budget.get();
+  const std::atomic<bool> *StopF = BT ? &BT->stopFlag() : nullptr;
+  auto setWall = [&] {
+    Result.WallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - WallStart)
+                        .count();
+  };
+
+  // Boundary snapshot of everything the run reports. Budget *decisions*
+  // happen serially at scheduler-step boundaries, but cancellation, the
+  // wall-clock deadline, and the byte gauge can stop a step midway; in that
+  // case the partial work is discarded and the result restored to the last
+  // completed boundary, so what a failed run reports is bit-identical for
+  // any thread count regardless of which stop class fired.
+  struct BoundarySnap {
+    SymProb QueryMass, OkMass, ErrorMass;
+    bool QueryUnsupported = false;
+    std::string UnsupportedReason;
+    size_t ConfigsExpanded = 0, MaxFrontierSize = 0, MergeHits = 0;
+    size_t TerminalCount = 0;
+    int64_t StepsUsed = 0;
+    std::vector<size_t> WorkerConfigsExpanded;
+  };
+  BoundarySnap Snap;
+  auto takeSnapshot = [&] {
+    Snap = {Result.QueryMass,        Result.OkMass,
+            Result.ErrorMass,        Result.QueryUnsupported,
+            Result.UnsupportedReason, Result.ConfigsExpanded,
+            Result.MaxFrontierSize,  Result.MergeHits,
+            Result.Terminals.size(), Result.StepsUsed,
+            Result.WorkerConfigsExpanded};
+  };
+  auto restoreSnapshot = [&] {
+    Result.QueryMass = Snap.QueryMass;
+    Result.OkMass = Snap.OkMass;
+    Result.ErrorMass = Snap.ErrorMass;
+    Result.QueryUnsupported = Snap.QueryUnsupported;
+    Result.UnsupportedReason = Snap.UnsupportedReason;
+    Result.ConfigsExpanded = Snap.ConfigsExpanded;
+    Result.MaxFrontierSize = Snap.MaxFrontierSize;
+    Result.MergeHits = Snap.MergeHits;
+    Result.Terminals.resize(Snap.TerminalCount);
+    Result.StepsUsed = Snap.StepsUsed;
+    Result.WorkerConfigsExpanded = Snap.WorkerConfigsExpanded;
+  };
 
   using Frontier = std::vector<std::pair<NetConfig, SymProb>>;
   Frontier Cur = initialDistribution();
@@ -393,6 +441,8 @@ ExactResult ExactEngine::run() const {
   auto expandOne = [&](const NetConfig &C, const SymProb &W, bool LastStep,
                        ExactResult &Res, auto &&Emit) {
     ++Res.ConfigsExpanded;
+    if (BT)
+      BT->chargeStates();
     if (C.Error) {
       Res.ErrorMass += W;
       return;
@@ -449,8 +499,7 @@ ExactResult ExactEngine::run() const {
   };
 
   using MergeIndex = std::unordered_map<NetConfig, size_t, NetConfigHash>;
-  auto addTo = [this, &Result](Frontier &F, MergeIndex &Index, NetConfig C,
-                               SymProb W) {
+  auto addTo = [&](Frontier &F, MergeIndex &Index, NetConfig C, SymProb W) {
     if (!Opts.MergeStates) {
       F.emplace_back(std::move(C), std::move(W));
       return;
@@ -461,12 +510,26 @@ ExactResult ExactEngine::run() const {
     } else {
       F[It->second].second += W;
       ++Result.MergeHits;
+      if (BT)
+        BT->chargeMerges();
     }
   };
 
   for (int64_t Step = 0; Step <= Spec.NumSteps; ++Step) {
     if (Cur.empty())
       break;
+    if (BT) {
+      // Deterministic budget decision at the step boundary: a pure function
+      // of the cumulative counters, independent of thread interleaving.
+      if (!BT->checkpoint(Cur.size())) {
+        Result.Status = BT->status();
+        setWall();
+        return Result;
+      }
+      BT->chargeSchedStep();
+      BT->resetBytes(); // The byte gauge tracks the frontier being built.
+      takeSnapshot();
+    }
     Result.MaxFrontierSize = std::max(Result.MaxFrontierSize, Cur.size());
     Result.StepsUsed = Step;
     bool LastStep = Step == Spec.NumSteps;
@@ -478,13 +541,21 @@ ExactResult ExactEngine::run() const {
       NextIndex.reserve(Cur.size()); // Frontier sizes are step-correlated.
       Next.reserve(Cur.size());
       for (auto &[C, W] : Cur) {
+        if (BT && BT->stop())
+          break; // Mid-step stop; the post-step check restores and returns.
         expandOne(C, W, LastStep, Result,
                   [&](NetConfig C2, SymProb W2) {
+                    if (BT)
+                      BT->chargeBytes(C2.approxBytes());
                     addTo(Next, NextIndex, std::move(C2), std::move(W2));
                   });
         if (Next.size() > Opts.MaxFrontier) {
           Result.QueryUnsupported = true;
           Result.UnsupportedReason = "frontier size limit exceeded";
+          Result.Status.Code = StatusCode::BudgetExceeded;
+          Result.Status.Violation = {BudgetClass::Frontier, Next.size(),
+                                     Opts.MaxFrontier};
+          setWall();
           return Result;
         }
       }
@@ -510,14 +581,27 @@ ExactResult ExactEngine::run() const {
         O.Buckets.resize(Lanes);
         size_t Lo = std::min(Cur.size(), Lane * Chunk);
         size_t Hi = std::min(Cur.size(), Lo + Chunk);
-        for (size_t I = Lo; I < Hi; ++I)
+        for (size_t I = Lo; I < Hi; ++I) {
+          if (StopF && StopF->load(std::memory_order_acquire))
+            return; // Drain: partial lane output is discarded below.
           expandOne(Cur[I].first, Cur[I].second, LastStep, O.Partial,
                     [&](NetConfig C2, SymProb W2) {
+                      if (BT)
+                        BT->chargeBytes(C2.approxBytes());
                       size_t B = C2.hash() % Lanes;
                       O.Buckets[B].emplace_back(std::move(C2),
                                                 std::move(W2));
                     });
-      });
+        }
+      }, StopF);
+      if (BT && BT->stop()) {
+        // Mid-step stop (cancel, deadline, byte trip): discard the lanes'
+        // partial output and report the last completed boundary.
+        restoreSnapshot();
+        Result.Status = BT->status();
+        setWall();
+        return Result;
+      }
       if (Result.WorkerConfigsExpanded.size() < Lanes)
         Result.WorkerConfigsExpanded.resize(Lanes, 0);
       for (size_t Lane = 0; Lane < Lanes; ++Lane) {
@@ -552,15 +636,23 @@ ExactResult ExactEngine::run() const {
               ++BucketHits[B];
             }
           }
-      });
+      }, StopF);
       size_t Total = 0;
+      size_t StepHits = 0;
       for (size_t B = 0; B < Lanes; ++B) {
         Total += Merged[B].size();
-        Result.MergeHits += BucketHits[B];
+        StepHits += BucketHits[B];
       }
+      Result.MergeHits += StepHits;
+      if (BT)
+        BT->chargeMerges(StepHits);
       if (Total > Opts.MaxFrontier) {
         Result.QueryUnsupported = true;
         Result.UnsupportedReason = "frontier size limit exceeded";
+        Result.Status.Code = StatusCode::BudgetExceeded;
+        Result.Status.Violation = {BudgetClass::Frontier, Total,
+                                   Opts.MaxFrontier};
+        setWall();
         return Result;
       }
       Next.reserve(Total);
@@ -568,7 +660,16 @@ ExactResult ExactEngine::run() const {
         for (auto &CW : Merged[B])
           Next.push_back(std::move(CW));
     }
+    if (BT && BT->stop()) {
+      // A stop fired during the step (serial break, or phase 2 of the
+      // parallel path): the step did not complete, so report the boundary.
+      restoreSnapshot();
+      Result.Status = BT->status();
+      setWall();
+      return Result;
+    }
     Cur = std::move(Next);
   }
+  setWall();
   return Result;
 }

@@ -20,8 +20,10 @@
 #include "interp/Exec.h"
 #include "net/NetworkSpec.h"
 #include "net/Scheduler.h"
+#include "support/Budget.h"
 #include "symbolic/SymProb.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,12 @@ struct ExactOptions {
   /// Minimum frontier size before a step fans out to the pool; smaller
   /// frontiers expand serially (fan-out overhead would dominate).
   size_t ParallelThreshold = 64;
+  /// Optional resource governor. When set, the engine charges expansions,
+  /// merges and frontier bytes to it and consults it at every scheduler-step
+  /// boundary; on a stop it returns partial statistics as of the last
+  /// completed boundary (bit-identical for any Threads value) with
+  /// Result.Status naming the cause. Null = ungoverned (no overhead).
+  std::shared_ptr<BudgetTracker> Budget;
 };
 
 /// Result of one exact inference run.
@@ -61,6 +69,13 @@ struct ExactResult {
   /// Set if the query touched symbolic values it cannot aggregate.
   bool QueryUnsupported = false;
   std::string UnsupportedReason;
+
+  /// Outcome of the run: Ok, or why it stopped early (budget/cancellation).
+  /// On a non-Ok status the masses and statistics are the partial state as
+  /// of the last completed scheduler-step boundary.
+  EngineStatus Status;
+  /// Wall-clock time spent inside run(), milliseconds.
+  double WallMs = 0;
 
   // Statistics.
   size_t ConfigsExpanded = 0;

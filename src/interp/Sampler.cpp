@@ -8,6 +8,7 @@
 #include "query/QueryEval.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
 #include <cmath>
 
 using namespace bayonet;
@@ -86,12 +87,16 @@ void Sampler::step(Particle &P, const Scheduler &Sched) const {
 }
 
 SampleResult Sampler::run() const {
+  const auto WallStart = std::chrono::steady_clock::now();
   SampleResult Result;
   if (Spec.Query)
     Result.Kind = Spec.Query->Kind;
   Result.Particles = Opts.Particles;
   const unsigned Threads = resolveThreads(Opts.Threads);
   auto Sched = Scheduler::forSpec(Spec);
+
+  BudgetTracker *BT = Opts.Budget.get();
+  const std::atomic<bool> *StopF = BT ? &BT->stopFlag() : nullptr;
 
   // Stream assignment is serial and in particle order: particle I's draws
   // are a pure function of (Seed, I), never of which lane steps it. The
@@ -107,21 +112,43 @@ SampleResult Sampler::run() const {
   // lanes can step disjoint particles concurrently.
   auto forParticles = [&](const std::function<void(size_t)> &Fn) {
     if (Threads <= 1) {
-      for (size_t I = 0; I < Pop.size(); ++I)
+      for (size_t I = 0; I < Pop.size(); ++I) {
+        if (StopF && StopF->load(std::memory_order_acquire))
+          return; // Cooperative mid-batch stop (deadline / cancellation).
         Fn(I);
+      }
       return;
     }
-    ThreadPool::global().parallelFor(Pop.size(), Fn);
+    ThreadPool::global().parallelFor(Pop.size(), Fn, StopF);
   };
 
-  forParticles(
-      [&](size_t I) { initParticle(Pop[I], Sched->initialState()); });
+  forParticles([&](size_t I) {
+    initParticle(Pop[I], Sched->initialState());
+    if (BT) {
+      BT->chargeStates();
+      // The population's memory is allocated once, up front: the byte
+      // gauge is charged at init and never reset.
+      BT->chargeBytes(Pop[I].Config.approxBytes());
+    }
+  });
 
   for (int64_t Step = 0; Step < Spec.NumSteps; ++Step) {
+    if (BT) {
+      // Boundary decision: the population state here is a pure function of
+      // (seed, completed steps), so deterministic budget classes stop at
+      // the same boundary for every thread count.
+      if (!BT->checkpoint(Pop.size())) {
+        Result.Status = BT->status();
+        break;
+      }
+      BT->chargeSchedStep();
+    }
     forParticles([&](size_t I) {
       Particle &P = Pop[I];
       if (P.Dead || P.Terminal || P.Error)
         return;
+      if (BT)
+        BT->chargeStates(); // One particle-step.
       step(P, *Sched);
     });
     bool AnyLive = false;
@@ -153,6 +180,14 @@ SampleResult Sampler::run() const {
       }
       Pop = std::move(NewPop);
     }
+    if (BT && BT->stop()) {
+      // The stop fired mid-step (only the timing-dependent classes can):
+      // report it and aggregate whatever is terminal. The step does not
+      // count as completed.
+      Result.Status = BT->status();
+      break;
+    }
+    Result.StepsRun = Step + 1;
     if (!AnyLive)
       break;
   }
@@ -209,5 +244,8 @@ SampleResult Sampler::run() const {
         (SumSq - Sum * Sum / Ok) / (Ok - 1); // Sample variance.
     Result.StdError = Var > 0 ? std::sqrt(Var / Ok) : 0.0;
   }
+  Result.WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - WallStart)
+                      .count();
   return Result;
 }

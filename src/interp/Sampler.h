@@ -19,8 +19,10 @@
 #include "interp/Exec.h"
 #include "net/NetworkSpec.h"
 #include "net/Scheduler.h"
+#include "support/Budget.h"
 #include "support/Prng.h"
 
+#include <memory>
 #include <string>
 
 namespace bayonet {
@@ -40,6 +42,12 @@ struct SampleOptions {
   /// particle order, so a fixed seed gives bit-identical results for every
   /// thread count.
   unsigned Threads = 0;
+  /// Optional resource governor. Particle-steps are charged as states; the
+  /// tracker is consulted at every scheduler-step boundary, and a stop
+  /// aggregates the population as of the last completed boundary (for the
+  /// deterministic budget classes this partial estimate is bit-identical
+  /// for any Threads value). Null = ungoverned.
+  std::shared_ptr<BudgetTracker> Budget;
 };
 
 /// Result of one sampling run.
@@ -59,6 +67,14 @@ struct SampleResult {
   /// Set when the query could not be evaluated on some particle.
   bool QueryUnsupported = false;
   std::string UnsupportedReason;
+
+  /// Outcome of the run: Ok, or why it stopped early. On a budget stop the
+  /// estimate covers the particles terminal at the last completed boundary.
+  EngineStatus Status;
+  /// Scheduler steps completed before the run ended.
+  int64_t StepsRun = 0;
+  /// Wall-clock time spent inside run(), milliseconds.
+  double WallMs = 0;
 };
 
 /// Particle-based approximate inference engine.

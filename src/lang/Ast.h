@@ -355,6 +355,13 @@ struct SourceFile {
   SourceLoc SchedulerLoc;
   unsigned SchedulerDeclCount = 0;
 
+  /// Where each top-level clause was declared, so the Checker can point
+  /// its diagnostics at the offending declaration instead of at nothing.
+  SourceLoc PacketLoc;
+  SourceLoc NumStepsLoc;
+  SourceLoc QueueCapacityLoc;
+  SourceLoc InitLoc;
+
   std::optional<int64_t> NumSteps;
   unsigned NumStepsDeclCount = 0;
 

@@ -65,7 +65,7 @@ std::optional<unsigned> CheckerImpl::stateSlotOf(const DefDecl &Def,
 
 void CheckerImpl::checkTopology() {
   if (!File.Topology) {
-    Diags.error({}, "missing topology declaration");
+    Diags.error({1, 1}, "missing topology declaration");
     return;
   }
   const TopologyDecl &Topo = *File.Topology;
@@ -110,7 +110,7 @@ void CheckerImpl::checkPacketFields() {
   std::unordered_set<std::string> Seen;
   for (const std::string &F : File.PacketFields)
     if (!Seen.insert(F).second)
-      Diags.error({}, "duplicate packet field '" + F + "'");
+      Diags.error(File.PacketLoc, "duplicate packet field '" + F + "'");
   Spec.PacketFields = File.PacketFields;
 }
 
@@ -132,10 +132,11 @@ void CheckerImpl::checkPrograms() {
                   "node '" + PA.NodeName + "' is assigned two programs");
     Spec.NodePrograms[*Node] = Def;
   }
+  SourceLoc TopoLoc = File.Topology ? File.Topology->Loc : SourceLoc{1, 1};
   for (unsigned I = 0; I < Spec.NodePrograms.size(); ++I)
     if (!Spec.NodePrograms[I])
-      Diags.error({}, "node '" + Spec.NodeNames[I] +
-                          "' has no program assigned");
+      Diags.error(TopoLoc, "node '" + Spec.NodeNames[I] +
+                               "' has no program assigned");
   // Warn about defs never assigned to a node.
   for (const DefDecl &Def : File.Defs) {
     bool Used = false;
@@ -183,26 +184,27 @@ void CheckerImpl::checkDefs() {
 
 void CheckerImpl::checkConfigDecls() {
   if (File.NumStepsDeclCount == 0)
-    Diags.error({}, "num_steps must be declared (exactly once)");
+    Diags.error({1, 1}, "num_steps must be declared (exactly once)");
   else if (File.NumStepsDeclCount > 1)
-    Diags.error({}, "num_steps declared more than once");
+    Diags.error(File.NumStepsLoc, "num_steps declared more than once");
   if (File.NumSteps) {
     if (*File.NumSteps <= 0)
-      Diags.error({}, "num_steps must be positive");
+      Diags.error(File.NumStepsLoc, "num_steps must be positive");
     Spec.NumSteps = *File.NumSteps;
   }
 
   if (File.QueueCapacityDeclCount > 1)
-    Diags.error({}, "queue_capacity declared more than once");
+    Diags.error(File.QueueCapacityLoc, "queue_capacity declared more than once");
   if (File.QueueCapacity) {
     if (*File.QueueCapacity < 0)
-      Diags.error({}, "queue capacity must be non-negative");
+      Diags.error(File.QueueCapacityLoc, "queue capacity must be non-negative");
     else
       Spec.QueueCapacity = *File.QueueCapacity;
   }
 
   if (File.SchedulerDeclCount > 1)
     Diags.error(File.SchedulerLoc, "scheduler declared more than once");
+  Spec.SchedulerLoc = File.SchedulerLoc;
   if (!File.SchedulerName.empty()) {
     if (File.SchedulerName == "uniform")
       Spec.Sched = SchedulerKind::Uniform;
@@ -242,8 +244,9 @@ void CheckerImpl::checkConfigDecls() {
 
 void CheckerImpl::checkInits() {
   if (File.Inits.empty())
-    Diags.warning({}, "init block is empty: the network starts with no "
-                      "packets and is immediately terminal");
+    Diags.warning(File.InitLoc.isValid() ? File.InitLoc : SourceLoc{1, 1},
+                  "init block is empty: the network starts with no "
+                  "packets and is immediately terminal");
   for (InitPacketDecl &Init : File.Inits) {
     auto Node = Spec.nodeIdOf(Init.NodeName);
     if (!Node) {
@@ -279,7 +282,7 @@ void CheckerImpl::checkInits() {
 
 void CheckerImpl::checkQueries() {
   if (File.Queries.empty()) {
-    Diags.error({}, "a query must be declared (exactly one)");
+    Diags.error({1, 1}, "a query must be declared (exactly one)");
     return;
   }
   if (File.Queries.size() > 1)

@@ -206,6 +206,7 @@ void Parser::parseTopology(SourceFile &File) {
 }
 
 void Parser::parsePacketFields(SourceFile &File) {
+  File.PacketLoc = cur().Loc;
   take(); // packet_fields
   if (!expect(TokKind::LBrace, "after 'packet_fields'"))
     return syncToDecl();
@@ -347,6 +348,7 @@ void Parser::parseSchedulerDecl(SourceFile &File) {
 
 void Parser::parseNumSteps(SourceFile &File) {
   SourceLoc Loc = cur().Loc;
+  File.NumStepsLoc = Loc;
   take(); // num_steps
   ++File.NumStepsDeclCount;
   if (check(TokKind::Integer))
@@ -358,6 +360,7 @@ void Parser::parseNumSteps(SourceFile &File) {
 
 void Parser::parseQueueCapacity(SourceFile &File) {
   SourceLoc Loc = cur().Loc;
+  File.QueueCapacityLoc = Loc;
   take(); // queue_capacity
   ++File.QueueCapacityDeclCount;
   bool Neg = accept(TokKind::Minus);
@@ -402,6 +405,7 @@ void Parser::parseParam(SourceFile &File) {
 }
 
 void Parser::parseInit(SourceFile &File) {
+  File.InitLoc = cur().Loc;
   take(); // init
   if (!expect(TokKind::LBrace, "after 'init'"))
     return syncToDecl();

@@ -26,6 +26,10 @@ namespace bayonet {
 struct Packet {
   std::vector<Value> Fields;
 
+  /// Approximate heap footprint (shallow per-value sizing; the budget
+  /// tracker only needs order-of-magnitude accuracy).
+  size_t approxBytes() const { return Fields.size() * sizeof(Value); }
+
   friend bool operator==(const Packet &A, const Packet &B) {
     return A.Fields == B.Fields;
   }
@@ -96,6 +100,14 @@ public:
 
   const std::vector<QueueEntry> &entries() const { return Entries; }
 
+  /// Approximate heap footprint of the queued entries.
+  size_t approxBytes() const {
+    size_t B = Entries.size() * sizeof(QueueEntry);
+    for (const QueueEntry &E : Entries)
+      B += E.Pkt.approxBytes();
+    return B;
+  }
+
   friend bool operator==(const PacketQueue &A, const PacketQueue &B) {
     return A.Capacity == B.Capacity && A.Entries == B.Entries;
   }
@@ -118,6 +130,12 @@ struct NodeConfig {
   std::vector<Value> State;
   PacketQueue QIn;
   PacketQueue QOut;
+
+  /// Approximate heap footprint of state and queues.
+  size_t approxBytes() const {
+    return State.size() * sizeof(Value) + QIn.approxBytes() +
+           QOut.approxBytes();
+  }
 
   friend bool operator==(const NodeConfig &A, const NodeConfig &B) {
     return A.State == B.State && A.QIn == B.QIn && A.QOut == B.QOut;
@@ -172,6 +190,16 @@ struct NetConfig {
   /// Must be called after mutating a configuration whose hash may have been
   /// computed already.
   void invalidateHash() { HashCache = 0; }
+
+  /// Approximate heap footprint, used by the budget tracker's byte gauge.
+  /// Shallow per-value sizing: big rationals under-count, which is fine
+  /// for an order-of-magnitude OOM guard.
+  size_t approxBytes() const {
+    size_t B = sizeof(NetConfig) + Nodes.size() * sizeof(NodeConfig);
+    for (const NodeConfig &N : Nodes)
+      B += N.approxBytes();
+    return B;
+  }
 
 private:
   /// Cached structural hash; 0 = not computed.

@@ -59,6 +59,9 @@ struct NetworkSpec {
   /// (the paper's assert(terminated()) in the generated main()).
   int64_t NumSteps = 0;
   SchedulerKind Sched = SchedulerKind::Uniform;
+  /// Where the scheduler was declared, so later pipeline stages (e.g. the
+  /// translator rejecting round-robin) can point at the declaration.
+  SourceLoc SchedulerLoc;
 
   /// Symbolic parameters and their optional concrete bindings.
   ParamTable Params;

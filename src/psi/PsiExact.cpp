@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <unordered_map>
 
 using namespace bayonet;
@@ -84,15 +85,26 @@ class Interp {
 public:
   Interp(const PsiProgram &P, const PsiExactOptions &Opts,
          PsiExactResult &Result)
-      : P(P), Opts(Opts), Result(Result),
-        Threads(resolveThreads(Opts.Threads)) {}
+      : P(P), Opts(Opts), Result(Result), Threads(resolveThreads(Opts.Threads)),
+        BT(Opts.Budget.get()), StopF(BT ? &BT->stopFlag() : nullptr) {}
 
   void run() {
     Dist D;
     Env Init(P.VarNames.size(), PsiValue());
     D.push_back({std::move(Init), SymProb::concrete(Rational(1))});
     execBlock(P.Body, D);
-    finish(D);
+    if (BT && BT->stop()) {
+      // Budget/cancellation stop: report the last completed statement
+      // boundary (bit-identical for every thread count for the
+      // deterministic stop classes).
+      restoreSnapshot();
+      Result.Status = BT->status();
+      return;
+    }
+    if (!Aborted)
+      finish(D);
+    if (BT && BT->stop())
+      Result.Status = BT->status(); // Stop raced in during finish().
   }
 
 private:
@@ -100,7 +112,53 @@ private:
   const PsiExactOptions &Opts;
   PsiExactResult &Result;
   const unsigned Threads;
+  BudgetTracker *BT;
+  const std::atomic<bool> *StopF;
   bool Aborted = false;
+
+  /// Boundary snapshot of the reported statistics: a mid-statement stop
+  /// (cancellation, deadline, byte trip) discards the statement's partial
+  /// work and restores this.
+  struct BoundarySnap {
+    SymProb ErrorMass;
+    bool QueryUnsupported = false;
+    std::string UnsupportedReason;
+    size_t BranchesExpanded = 0, MaxDistSize = 0, MergeHits = 0;
+    std::vector<size_t> WorkerBranchesExpanded;
+  };
+  BoundarySnap Snap;
+  void takeSnapshot() {
+    Snap = {Result.ErrorMass,         Result.QueryUnsupported,
+            Result.UnsupportedReason, Result.BranchesExpanded,
+            Result.MaxDistSize,       Result.MergeHits,
+            Result.WorkerBranchesExpanded};
+  }
+  void restoreSnapshot() {
+    Result.ErrorMass = Snap.ErrorMass;
+    Result.QueryUnsupported = Snap.QueryUnsupported;
+    Result.UnsupportedReason = Snap.UnsupportedReason;
+    Result.BranchesExpanded = Snap.BranchesExpanded;
+    Result.MaxDistSize = Snap.MaxDistSize;
+    Result.MergeHits = Snap.MergeHits;
+    Result.WorkerBranchesExpanded = Snap.WorkerBranchesExpanded;
+  }
+
+  static size_t envBytes(const Env &E) {
+    size_t B = 0;
+    for (const PsiValue &V : E)
+      B += V.approxBytes();
+    return B;
+  }
+
+  /// Charges one expanded branch to the governor (thread-safe).
+  void chargeBranch(const Branch &B) {
+    if (!BT)
+      return;
+    BT->chargeStates();
+    BT->chargeBytes(envBytes(B.Vars));
+  }
+
+  bool stopped() const { return BT && BT->stop(); }
 
   void fail(Branch &B, const std::string &Reason, SymProb &ErrMass) {
     (void)Reason;
@@ -126,7 +184,12 @@ private:
       Dist Next;
       Next.reserve(D.size());
       for (Branch &B : D) {
+        if (stopped()) {
+          Aborted = true; // Mid-statement stop; run() restores the boundary.
+          break;
+        }
         ++Result.BranchesExpanded;
+        chargeBranch(B);
         PerBranch(B, Next, Result.ErrorMass);
       }
       return Next;
@@ -145,10 +208,17 @@ private:
       size_t Hi = std::min(D.size(), Lo + Chunk);
       S.Out.reserve(Hi - Lo);
       for (size_t I = Lo; I < Hi; ++I) {
+        if (StopF && StopF->load(std::memory_order_acquire))
+          return; // Drain; partial shard output is discarded by run().
         ++S.Expanded;
+        chargeBranch(D[I]);
         PerBranch(D[I], S.Out, S.Err);
       }
-    });
+    }, StopF);
+    if (stopped()) {
+      Aborted = true;
+      return {};
+    }
     if (Result.WorkerBranchesExpanded.size() < Lanes)
       Result.WorkerBranchesExpanded.resize(Lanes, 0);
     size_t Total = 0;
@@ -182,6 +252,8 @@ private:
         } else {
           Merged[It->second].W += B.W;
           ++Result.MergeHits;
+          if (BT)
+            BT->chargeMerges();
         }
       }
       D = std::move(Merged);
@@ -203,7 +275,7 @@ private:
         size_t B = EnvHash()(D[I].Vars) % Lanes;
         Buckets[B].push_back(std::move(D[I]));
       }
-    });
+    }, StopF);
     std::vector<Dist> Merged(Lanes);
     std::vector<size_t> BucketHits(Lanes, 0);
     Pool.parallelFor(Lanes, [&](size_t B) {
@@ -224,12 +296,21 @@ private:
             ++BucketHits[B];
           }
         }
-    });
+    }, StopF);
+    if (stopped()) {
+      Aborted = true;
+      D.clear();
+      return;
+    }
     size_t Total = 0;
+    size_t Hits = 0;
     for (size_t B = 0; B < Lanes; ++B) {
       Total += Merged[B].size();
-      Result.MergeHits += BucketHits[B];
+      Hits += BucketHits[B];
     }
+    Result.MergeHits += Hits;
+    if (BT)
+      BT->chargeMerges(Hits);
     D.clear();
     D.reserve(Total);
     for (size_t B = 0; B < Lanes; ++B)
@@ -246,10 +327,27 @@ private:
   }
 
   void execStmt(const PStmt &S, Dist &D) {
+    if (BT) {
+      // Deterministic budget decision at the statement boundary: a pure
+      // function of the cumulative counters.
+      if (!BT->checkpoint(D.size())) {
+        // The boundary itself was reached: current stats are the report
+        // (run()'s restore then becomes a no-op).
+        takeSnapshot();
+        Aborted = true;
+        return;
+      }
+      BT->chargeSchedStep();
+      BT->resetBytes(); // The byte gauge tracks this statement's branches.
+      takeSnapshot();
+    }
     Result.MaxDistSize = std::max(Result.MaxDistSize, D.size());
     if (D.size() > Opts.MaxDist) {
       Result.QueryUnsupported = true;
       Result.UnsupportedReason = "distribution size limit exceeded";
+      Result.Status.Code = StatusCode::BudgetExceeded;
+      Result.Status.Violation = {BudgetClass::Frontier, D.size(),
+                                 Opts.MaxDist};
       Aborted = true;
       return;
     }
@@ -420,7 +518,12 @@ private:
   void splitCond(const PExpr &Cond, Dist &D, Fn Sink) {
     if (!useParallel(D.size())) {
       for (Branch &B : D) {
+        if (stopped()) {
+          Aborted = true; // Mid-statement stop; run() restores the boundary.
+          return;
+        }
         ++Result.BranchesExpanded;
+        chargeBranch(B);
         splitCondOne(Cond, B, Result.ErrorMass, [&](Branch NB, bool Truth) {
           Sink(std::move(NB), Truth);
         });
@@ -440,12 +543,19 @@ private:
       size_t Lo = std::min(D.size(), Lane * Chunk);
       size_t Hi = std::min(D.size(), Lo + Chunk);
       for (size_t I = Lo; I < Hi; ++I) {
+        if (StopF && StopF->load(std::memory_order_acquire))
+          return; // Drain; partial shard output is discarded by run().
         ++S.Expanded;
+        chargeBranch(D[I]);
         splitCondOne(Cond, D[I], S.Err, [&](Branch NB, bool Truth) {
           S.Out.emplace_back(std::move(NB), Truth);
         });
       }
-    });
+    }, StopF);
+    if (stopped()) {
+      Aborted = true;
+      return;
+    }
     if (Result.WorkerBranchesExpanded.size() < Lanes)
       Result.WorkerBranchesExpanded.resize(Lanes, 0);
     for (size_t Lane = 0; Lane < Lanes; ++Lane) {
@@ -898,8 +1008,11 @@ private:
       return;
     if (!useParallel(D.size())) {
       FinishPartial Part;
-      for (Branch &B : D)
+      for (Branch &B : D) {
+        if (stopped())
+          return; // Skip folding the partial terminal accounting.
         finishOne(B, Part);
+      }
       foldFinish(Part);
       return;
     }
@@ -909,9 +1022,14 @@ private:
     ThreadPool::global().parallelFor(Lanes, [&](size_t Lane) {
       size_t Lo = std::min(D.size(), Lane * Chunk);
       size_t Hi = std::min(D.size(), Lo + Chunk);
-      for (size_t I = Lo; I < Hi; ++I)
+      for (size_t I = Lo; I < Hi; ++I) {
+        if (StopF && StopF->load(std::memory_order_acquire))
+          return;
         finishOne(D[I], Parts[Lane]);
-    });
+      }
+    }, StopF);
+    if (stopped())
+      return;
     for (const FinishPartial &Part : Parts)
       foldFinish(Part);
   }
@@ -920,9 +1038,13 @@ private:
 } // namespace
 
 PsiExactResult PsiExact::run() const {
+  const auto WallStart = std::chrono::steady_clock::now();
   PsiExactResult Result;
   Result.Kind = P.Kind;
   Interp I(P, Opts, Result);
   I.run();
+  Result.WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - WallStart)
+                      .count();
   return Result;
 }

@@ -18,8 +18,10 @@
 #define BAYONET_PSI_PSIEXACT_H
 
 #include "psi/PsiIr.h"
+#include "support/Budget.h"
 #include "symbolic/SymProb.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,13 @@ struct PsiExactResult {
   SymProb ErrorMass;
   bool QueryUnsupported = false;
   std::string UnsupportedReason;
+
+  /// Outcome of the run: Ok, or why it stopped early (budget/cancellation).
+  /// On a non-Ok status the statistics are the partial state as of the last
+  /// completed statement boundary.
+  EngineStatus Status;
+  /// Wall-clock time spent inside run(), milliseconds.
+  double WallMs = 0;
 
   size_t BranchesExpanded = 0;
   size_t MaxDistSize = 0;
@@ -67,6 +76,11 @@ struct PsiExactOptions {
   unsigned Threads = 0;
   /// Minimum distribution size before a statement fans out to the pool.
   size_t ParallelThreshold = 64;
+  /// Optional resource governor. Branch expansions are charged as states,
+  /// statements as scheduler steps; the tracker is consulted at every
+  /// statement boundary, so budget stops are bit-identical for any Threads
+  /// value. Null = ungoverned (no overhead).
+  std::shared_ptr<BudgetTracker> Budget;
 };
 
 /// Exact distribution-of-environments engine.

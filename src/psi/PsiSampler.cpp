@@ -8,21 +8,32 @@
 
 #include "support/ThreadPool.h"
 
+#include <chrono>
+
 using namespace bayonet;
 
 namespace {
 
-enum class Status { Ok, Error, Rejected };
+enum class Status { Ok, Error, Rejected, Stopped };
 
 /// Sampling interpreter: one environment per particle.
 class SampleInterp {
 public:
-  SampleInterp(const PsiProgram &P, Xoshiro &Rng, int64_t WhileFuel)
-      : P(P), Rng(Rng), WhileFuel(WhileFuel) {
+  SampleInterp(const PsiProgram &P, Xoshiro &Rng, int64_t WhileFuel,
+               const std::atomic<bool> *Stop = nullptr)
+      : P(P), Rng(Rng), WhileFuel(WhileFuel), Stop(Stop) {
     Vars.assign(P.VarNames.size(), PsiValue());
   }
 
   Status run() { return execBlock(P.Body); }
+
+  /// Approximate heap footprint of the particle's environment.
+  size_t envBytes() const {
+    size_t B = 0;
+    for (const PsiValue &V : Vars)
+      B += V.approxBytes();
+    return B;
+  }
 
   /// Evaluates the result expression after a successful run.
   std::optional<Rational> result() {
@@ -38,6 +49,8 @@ private:
   const PsiProgram &P;
   Xoshiro &Rng;
   int64_t WhileFuel;
+  const std::atomic<bool> *Stop;
+  uint64_t StmtsSeen = 0;
   std::vector<PsiValue> Vars;
 
   Status execBlock(const std::vector<PStmtPtr> &Body) {
@@ -50,6 +63,11 @@ private:
   }
 
   Status execStmt(const PStmt &S) {
+    // Strided cooperative-stop poll so a long-running particle (deep while
+    // loop) drains promptly on cancellation or a deadline.
+    if (Stop && (++StmtsSeen & 255) == 0 &&
+        Stop->load(std::memory_order_acquire))
+      return Status::Stopped;
     switch (S.Kind) {
     case PStmtKind::Assign: {
       PsiValue V;
@@ -285,32 +303,67 @@ private:
 } // namespace
 
 PsiSampleResult PsiSampler::run() const {
+  const auto WallStart = std::chrono::steady_clock::now();
   PsiSampleResult Result;
   Result.Kind = P.Kind;
   Result.Particles = Opts.Particles;
   const unsigned Threads = resolveThreads(Opts.Threads);
+  auto setWall = [&] {
+    Result.WallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - WallStart)
+                        .count();
+  };
+
+  BudgetTracker *BT = Opts.Budget.get();
+  const std::atomic<bool> *StopF = BT ? &BT->stopFlag() : nullptr;
+
+  // The state budget caps the particle count up front: remaining budget =
+  // particles run, in particle order — deterministic for any thread count.
+  unsigned Effective = Opts.Particles;
+  if (BT && BT->limits().MaxStates) {
+    uint64_t Spent = BT->statesSpent();
+    uint64_t Avail =
+        BT->limits().MaxStates > Spent ? BT->limits().MaxStates - Spent : 0;
+    if (Avail < Effective)
+      Effective = static_cast<unsigned>(Avail);
+  }
+  if (BT && !BT->checkpoint(Effective)) {
+    Result.Status = BT->status();
+    setWall();
+    return Result;
+  }
 
   // Serial stream assignment in particle order: particle I's draws depend
   // only on (Seed, I), not on the lane that runs it.
   Xoshiro Master(Opts.Seed);
   std::vector<Xoshiro> Streams;
-  Streams.reserve(Opts.Particles);
-  for (unsigned I = 0; I < Opts.Particles; ++I)
+  Streams.reserve(Effective);
+  for (unsigned I = 0; I < Effective; ++I)
     Streams.push_back(Master.split());
 
   // Per-particle outcome, aggregated serially afterwards (double addition
   // is not associative; summing in particle order keeps the estimate
   // bit-identical across thread counts).
-  enum class OutKind : uint8_t { Rejected, Error, Unsupported, Ok };
+  enum class OutKind : uint8_t { NotRun, Rejected, Error, Unsupported, Ok };
   struct ParticleOut {
-    OutKind K = OutKind::Rejected;
+    OutKind K = OutKind::NotRun;
     Rational V;
   };
-  std::vector<ParticleOut> Outs(Opts.Particles);
+  std::vector<ParticleOut> Outs(Effective);
   auto runOne = [&](size_t I) {
-    SampleInterp Interp(P, Streams[I], Opts.WhileFuel);
-    switch (Interp.run()) {
+    if (StopF && StopF->load(std::memory_order_acquire))
+      return; // Drained: the particle stays NotRun.
+    if (BT)
+      BT->chargeStates();
+    SampleInterp Interp(P, Streams[I], Opts.WhileFuel, StopF);
+    Status St = Interp.run();
+    if (BT)
+      BT->chargeBytes(Interp.envBytes());
+    switch (St) {
+    case Status::Stopped:
+      return; // Unfinished: stays NotRun, excluded from the estimate.
     case Status::Rejected:
+      Outs[I].K = OutKind::Rejected;
       return;
     case Status::Error:
       Outs[I].K = OutKind::Error;
@@ -327,26 +380,42 @@ PsiSampleResult PsiSampler::run() const {
     Outs[I].V = std::move(*V);
   };
   if (Threads <= 1) {
-    for (size_t I = 0; I < Outs.size(); ++I)
+    for (size_t I = 0; I < Outs.size(); ++I) {
+      if (StopF && StopF->load(std::memory_order_acquire))
+        break;
       runOne(I);
+    }
   } else {
-    ThreadPool::global().parallelFor(Outs.size(), runOne);
+    ThreadPool::global().parallelFor(Outs.size(), runOne, StopF);
   }
+
+  // A budget-capped population is a state-budget violation: report it after
+  // the capped batch ran (raising it earlier would drain the batch).
+  if (BT && Effective < Opts.Particles)
+    BT->noteViolation(BudgetClass::States,
+                      BT->statesSpent() + (Opts.Particles - Effective),
+                      BT->limits().MaxStates);
 
   double Sum = 0;
   unsigned Ok = 0, Errors = 0;
   for (ParticleOut &O : Outs) {
     switch (O.K) {
+    case OutKind::NotRun:
+      continue;
     case OutKind::Rejected:
+      ++Result.ParticlesRun;
       continue;
     case OutKind::Error:
+      ++Result.ParticlesRun;
       ++Errors;
       continue;
     case OutKind::Unsupported:
+      ++Result.ParticlesRun;
       Result.QueryUnsupported = true;
       Result.UnsupportedReason = "result not evaluable on a sampled run";
       continue;
     case OutKind::Ok:
+      ++Result.ParticlesRun;
       break;
     }
     if (P.Kind == QueryKind::Probability)
@@ -359,5 +428,8 @@ PsiSampleResult PsiSampler::run() const {
   Result.ErrorFraction =
       Result.Survivors ? static_cast<double>(Errors) / Result.Survivors : 0.0;
   Result.Value = Ok ? Sum / Ok : 0.0;
+  if (BT)
+    Result.Status = BT->status();
+  setWall();
   return Result;
 }

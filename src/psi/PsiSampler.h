@@ -17,8 +17,10 @@
 #define BAYONET_PSI_PSISAMPLER_H
 
 #include "psi/PsiIr.h"
+#include "support/Budget.h"
 #include "support/Prng.h"
 
+#include <memory>
 #include <string>
 
 namespace bayonet {
@@ -34,6 +36,11 @@ struct PsiSampleOptions {
   /// particle order and results aggregate serially in particle order, so a
   /// fixed seed is bit-identical for every thread count.
   unsigned Threads = 0;
+  /// Optional resource governor. The state budget caps the particle count
+  /// deterministically up front (remaining budget = particles run, in
+  /// particle order); deadlines and cancellation drain the batch mid-run,
+  /// leaving unfinished particles out of the estimate. Null = ungoverned.
+  std::shared_ptr<BudgetTracker> Budget;
 };
 
 /// Result of a PSI sampling run.
@@ -43,8 +50,17 @@ struct PsiSampleResult {
   double ErrorFraction = 0.0;
   unsigned Survivors = 0;
   unsigned Particles = 0;
+  /// Particles that actually ran to an outcome (< Particles when a budget
+  /// capped the population or a stop drained the batch).
+  unsigned ParticlesRun = 0;
   bool QueryUnsupported = false;
   std::string UnsupportedReason;
+
+  /// Outcome of the run: Ok, or why it stopped early. The estimate covers
+  /// the particles that ran.
+  EngineStatus Status;
+  /// Wall-clock time spent inside run(), milliseconds.
+  double WallMs = 0;
 };
 
 /// Rejection-sampling engine over PSI IR programs.

@@ -102,6 +102,17 @@ public:
     return H;
   }
 
+  /// Approximate heap footprint (shallow: tuple spine only; scalar digit
+  /// storage is not walked — the budget tracker's byte gauge only needs
+  /// order-of-magnitude accuracy).
+  size_t approxBytes() const {
+    size_t B = sizeof(PsiValue);
+    if (isTuple())
+      for (const PsiValue &E : elems())
+        B += E.approxBytes();
+    return B;
+  }
+
   std::string toString(const ParamTable &Params) const {
     if (isRational())
       return rational().toString();

@@ -65,7 +65,10 @@ void ThreadPool::runBatch(Batch &B) {
     size_t I = B.NextIndex.fetch_add(1, std::memory_order_relaxed);
     if (I >= B.N)
       break;
-    (*B.Fn)(I);
+    // Draining on stop: skipped indices still count as completed so the
+    // submitter's wait terminates; it discards the batch's output anyway.
+    if (!B.Stop || !B.Stop->load(std::memory_order_acquire))
+      (*B.Fn)(I);
     if (B.Completed.fetch_add(1, std::memory_order_acq_rel) + 1 == B.N) {
       // Make the notify race-free against the submitter entering wait.
       { std::lock_guard<std::mutex> L(Mu); }
@@ -74,19 +77,23 @@ void ThreadPool::runBatch(Batch &B) {
   }
 }
 
-void ThreadPool::parallelFor(size_t N,
-                             const std::function<void(size_t)> &Fn) {
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn,
+                             const std::atomic<bool> *Stop) {
   if (N == 0)
     return;
   if (Workers.empty() || N == 1) {
-    for (size_t I = 0; I < N; ++I)
+    for (size_t I = 0; I < N; ++I) {
+      if (Stop && Stop->load(std::memory_order_acquire))
+        return;
       Fn(I);
+    }
     return;
   }
   std::lock_guard<std::mutex> Submit(SubmitMu);
   auto B = std::make_shared<Batch>();
   B->Fn = &Fn;
   B->N = N;
+  B->Stop = Stop;
   {
     std::lock_guard<std::mutex> L(Mu);
     Job = B;

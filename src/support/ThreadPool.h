@@ -48,7 +48,14 @@ public:
   /// Runs Fn(I) for every I in [0, N) across the pool and the calling
   /// thread; returns when all N invocations completed. Indices are handed
   /// out dynamically, so Fn must not depend on which thread runs it.
-  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+  ///
+  /// When \p Stop is non-null and becomes true mid-batch, remaining
+  /// indices are claimed and counted without invoking Fn, so in-flight
+  /// workers drain promptly on cancellation or a tripped budget (the
+  /// caller observes the stop through its BudgetTracker and discards the
+  /// batch's partial output).
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn,
+                   const std::atomic<bool> *Stop = nullptr);
 
   /// The process-wide pool, sized to defaultThreads(), created on first use.
   static ThreadPool &global();
@@ -65,6 +72,9 @@ private:
   struct Batch {
     const std::function<void(size_t)> *Fn;
     size_t N;
+    /// Optional cooperative-stop flag: once true, remaining indices are
+    /// drained without running Fn.
+    const std::atomic<bool> *Stop = nullptr;
     std::atomic<size_t> NextIndex{0};
     std::atomic<size_t> Completed{0};
   };

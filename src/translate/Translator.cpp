@@ -63,8 +63,9 @@ private:
 
 std::optional<PsiProgram> TranslatorImpl::run() {
   if (Spec.Sched == SchedulerKind::RoundRobin) {
-    Diags.error({}, "the translator does not support the round-robin rotor "
-                    "scheduler; use 'uniform' or 'deterministic'");
+    Diags.error(Spec.SchedulerLoc,
+                "the translator does not support the round-robin rotor "
+                "scheduler; use 'uniform' or 'deterministic'");
     return std::nullopt;
   }
   P.Params = Spec.Params;
