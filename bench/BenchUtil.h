@@ -208,6 +208,62 @@ inline void writeBudgetJson(const char *Path) {
   std::printf("wrote %s (%zu rows)\n", Path, Rows.size());
 }
 
+/// One observability-overhead measurement: the same workload run with no
+/// ObsContext attached (the disabled path: one null-check branch per probe
+/// site) and with tracing + metrics fully enabled. Targets: the disabled
+/// path within the noise floor (< 1%), enabled under 5%.
+struct ObsRow {
+  std::string Benchmark;
+  double DisabledSeconds = 0;
+  double EnabledSeconds = 0;
+};
+
+inline std::vector<ObsRow> &obsRows() {
+  static std::vector<ObsRow> Rows;
+  return Rows;
+}
+
+inline void addObsRow(std::string Benchmark, double DisabledSeconds,
+                      double EnabledSeconds) {
+  for (ObsRow &R : obsRows()) {
+    if (R.Benchmark == Benchmark) {
+      R.DisabledSeconds = DisabledSeconds;
+      R.EnabledSeconds = EnabledSeconds;
+      return;
+    }
+  }
+  obsRows().push_back(
+      {std::move(Benchmark), DisabledSeconds, EnabledSeconds});
+}
+
+/// Writes the observability-overhead rows as a JSON array (no-op when the
+/// binary recorded none).
+inline void writeObsJson(const char *Path) {
+  if (obsRows().empty())
+    return;
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "[\n");
+  const std::vector<ObsRow> &Rows = obsRows();
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const ObsRow &R = Rows[I];
+    double Pct = R.DisabledSeconds > 0
+                     ? (R.EnabledSeconds / R.DisabledSeconds - 1.0) * 100.0
+                     : 0.0;
+    std::fprintf(F,
+                 "  {\"benchmark\": \"%s\", \"obs_disabled_s\": %.6f, "
+                 "\"obs_enabled_s\": %.6f, \"overhead_pct\": %.2f}%s\n",
+                 R.Benchmark.c_str(), R.DisabledSeconds, R.EnabledSeconds,
+                 Pct, I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  std::printf("wrote %s (%zu rows)\n", Path, Rows.size());
+}
+
 /// Standard main: run the registered benchmarks, then print the table.
 #define BAYONET_BENCH_MAIN(TITLE)                                            \
   int main(int argc, char **argv) {                                         \
@@ -219,6 +275,7 @@ inline void writeBudgetJson(const char *Path) {
     bayonet::benchutil::printComparison(TITLE);                             \
     bayonet::benchutil::writeScalingJson("BENCH_scaling.json");             \
     bayonet::benchutil::writeBudgetJson("BENCH_budget.json");               \
+    bayonet::benchutil::writeObsJson("BENCH_obs.json");                     \
     return 0;                                                               \
   }
 

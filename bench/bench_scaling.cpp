@@ -179,6 +179,38 @@ void BM_GovernanceOverhead(benchmark::State &State) {
   addBudgetRow(Name, BestUn, BestGov);
 }
 
+// Cost of the observability layer on the exact hot path: the same
+// workload with no ObsContext (every probe site is one null-check branch)
+// and with tracing + metrics fully live. Serial, min-of-iterations, and
+// the answers must match bit-for-bit — observation must never perturb.
+void BM_ObsOverhead(benchmark::State &State) {
+  unsigned Diamonds = static_cast<unsigned>(State.range(0));
+  LoadedNetwork Net = mustLoad(scenarios::reliabilityChain(Diamonds));
+  std::string Disabled, Enabled;
+  double BestOff = 1e99, BestOn = 1e99;
+  for (auto _ : State) {
+    BestOff = std::min(BestOff, timedExact(Net, 1, Disabled));
+    ExactOptions Opts;
+    Opts.Threads = 1;
+    Opts.Obs = std::make_shared<ObsContext>(true, true);
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec, Opts).run();
+    BestOn = std::min(
+        BestOn,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count());
+    auto V = R.concreteValue();
+    Enabled = V ? fmt(V->toDouble()) : "?";
+    benchmark::DoNotOptimize(R);
+  }
+  if (Enabled != Disabled)
+    Disabled += " (OBSERVED MISMATCH: " + Enabled + ")";
+  std::string Name = "obs overhead, reliability " +
+                     std::to_string(4 * Diamonds + 2) + " nodes";
+  addRow(Name, "exact", "< 5% enabled", Disabled, BestOn);
+  addObsRow(Name, BestOff, BestOn);
+}
+
 } // namespace
 
 BENCHMARK(BM_ReliabilityScaling)
@@ -207,6 +239,10 @@ BENCHMARK(BM_GossipScalingSmc)
     ->Arg(30)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GovernanceOverhead)
+    ->Arg(4)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ObsOverhead)
     ->Arg(4)
     ->Arg(6)
     ->Unit(benchmark::kMillisecond);

@@ -16,7 +16,8 @@
 ///                [--on-budget-exceeded fail|fallback-smc]
 ///                [--param NAME=VALUE]...
 ///                [--emit-psi] [--emit-webppl]
-///                [--stats] [--dist]
+///                [--stats[=full]] [--dist]
+///                [--trace-out FILE] [--metrics-out FILE]
 ///
 /// Exit codes: 0 = answered, 1 = query unsupported by the engine,
 /// 2 = invalid input (usage, parse, check, untranslatable), 3 = budget
@@ -26,6 +27,7 @@
 
 #include "api/Bayonet.h"
 #include "support/Diag.h"
+#include "support/ThreadPool.h"
 #include "translate/Translator.h"
 #include "translate/WebPplEmitter.h"
 
@@ -33,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 using namespace bayonet;
@@ -67,8 +70,17 @@ void usage() {
       "program\n"
       "  --stats                                print engine statistics and "
       "resource spend\n"
+      "  --stats=full                           also print the full metrics "
+      "table on stderr\n"
       "  --dist                                 print the exact terminal "
       "distribution\n"
+      "  --trace-out FILE                       write a Chrome-trace JSON "
+      "of the run\n"
+      "  --metrics-out FILE                     write Prometheus text-format "
+      "metrics\n"
+      "\n"
+      "Tracing/metrics also turn on via BAYONET_TRACE=FILE and\n"
+      "BAYONET_METRICS=FILE (flags win over the environment).\n"
       "\n"
       "Budget flags default from BAYONET_DEADLINE_MS, BAYONET_MAX_STATES,\n"
       "BAYONET_MAX_FRONTIER, BAYONET_MAX_MERGES, BAYONET_MAX_BYTES,\n"
@@ -115,6 +127,8 @@ int runMain(int argc, char **argv) {
     }
   }
   bool EmitPsi = false, EmitWebPpl = false, Stats = false, Dist = false;
+  bool StatsFull = false;
+  std::string TraceFile, MetricsFile;
   std::vector<std::pair<std::string, Rational>> ParamBinds;
 
   for (int I = 1; I < argc; ++I) {
@@ -125,6 +139,19 @@ int runMain(int argc, char **argv) {
         exit(2);
       }
       return argv[++I];
+    };
+    // Matches both "--flag FILE" and "--flag=FILE".
+    auto takePath = [&](const char *Name, std::string &Out) -> bool {
+      if (Arg == Name) {
+        Out = takeValue(Name);
+        return true;
+      }
+      std::string Prefix = std::string(Name) + "=";
+      if (Arg.rfind(Prefix, 0) == 0) {
+        Out = Arg.substr(Prefix.size());
+        return true;
+      }
+      return false;
     };
     auto takeU64 = [&](const char *Name) -> uint64_t {
       const char *Val = takeValue(Name);
@@ -198,7 +225,13 @@ int runMain(int argc, char **argv) {
       EmitWebPpl = true;
     else if (Arg == "--stats")
       Stats = true;
-    else if (Arg == "--dist")
+    else if (Arg == "--stats=full") {
+      Stats = true;
+      StatsFull = true;
+    } else if (takePath("--trace-out", TraceFile) ||
+               takePath("--metrics-out", MetricsFile)) {
+      // Handled by takePath.
+    } else if (Arg == "--dist")
       Dist = true;
     else if (Arg == "--help" || Arg == "-h") {
       usage();
@@ -233,8 +266,57 @@ int runMain(int argc, char **argv) {
   }
   IOpts.CollectTerminals = Dist;
 
+  // Observability: flags win, BAYONET_TRACE / BAYONET_METRICS fill in
+  // whichever output the flags left unset. --stats=full needs the metrics
+  // registry live even without a metrics file.
+  if (const char *Env = std::getenv("BAYONET_TRACE"); Env && TraceFile.empty())
+    TraceFile = Env;
+  if (const char *Env = std::getenv("BAYONET_METRICS");
+      Env && MetricsFile.empty())
+    MetricsFile = Env;
+  std::shared_ptr<ObsContext> ObsCtx;
+  if (!TraceFile.empty() || !MetricsFile.empty() || StatsFull)
+    ObsCtx = std::make_shared<ObsContext>(
+        /*EnableTrace=*/!TraceFile.empty(),
+        /*EnableMetrics=*/!MetricsFile.empty() || StatsFull);
+  ObsHandle Obs(ObsCtx);
+  IOpts.Obs = ObsCtx;
+
+  // Writes the requested exporter files; called once all spans are closed.
+  auto exportObs = [&]() -> bool {
+    if (!ObsCtx)
+      return true;
+    if (ObsCtx->metrics()) {
+      // The pool counters live process-global (they are thread-count
+      // dependent by construction); fold them in at export time.
+      ThreadPool::PoolStats PS = ThreadPool::stats();
+      ObsCtx->metrics()->set(ObsCtx->ids().PoolBatches, PS.Batches);
+      ObsCtx->metrics()->set(ObsCtx->ids().PoolTasks, PS.Tasks);
+    }
+    auto writeFile = [](const std::string &Path,
+                        const std::string &Text) -> bool {
+      std::ofstream Out(Path);
+      Out << Text;
+      Out.close();
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+        return false;
+      }
+      return true;
+    };
+    if (!TraceFile.empty() && ObsCtx->tracer() &&
+        !writeFile(TraceFile, ObsCtx->tracer()->renderChromeJson()))
+      return false;
+    if (!MetricsFile.empty() && ObsCtx->metrics() &&
+        !writeFile(MetricsFile, ObsCtx->metrics()->renderProm()))
+      return false;
+    if (StatsFull)
+      std::fprintf(stderr, "%s", ObsCtx->renderFullStats().c_str());
+    return true;
+  };
+
   DiagEngine Diags;
-  auto Net = loadNetworkFile(FileName, Diags);
+  auto Net = loadNetworkFile(FileName, Diags, Obs);
   // Print warnings even on success.
   if (!Diags.diags().empty())
     std::fprintf(stderr, "%s", Diags.toString().c_str());
@@ -259,7 +341,7 @@ int runMain(int argc, char **argv) {
       std::printf("%s", printPsiProgram(*Psi).c_str());
     if (EmitWebPpl)
       std::printf("%s", emitWebPpl(*Psi, IOpts.Particles).c_str());
-    return 0;
+    return exportObs() ? 0 : 2;
   }
 
   InferenceResult R = runInference(*Net, IOpts);
@@ -267,12 +349,14 @@ int runMain(int argc, char **argv) {
   if (R.Status.Code == StatusCode::Invalid ||
       R.Status.Code == StatusCode::Internal) {
     reportError(R.Status.toString());
+    exportObs();
     return exitCodeFor(R.Status, false);
   }
 
   // The answer is always the first line on stdout (integration tests
   // anchor their regexes at the start of the output); engine attribution,
   // statistics, and any budget diagnostics follow.
+  Span QuerySpan = Obs.span("query-eval");
   bool QueryUnsupported = false;
   switch (R.EngineUsed) {
   case EngineChoice::Exact:
@@ -337,6 +421,7 @@ int runMain(int argc, char **argv) {
     }
     break;
   }
+  QuerySpan.end();
 
   if (R.FellBack)
     std::printf("engine: %s (fell back from %s: %s)\n",
@@ -345,16 +430,26 @@ int runMain(int argc, char **argv) {
                 R.ExactStatus.toString().c_str());
   else if (Stats)
     std::printf("engine: %s\n", engineChoiceName(R.EngineUsed));
-  if (Stats)
-    std::printf("spent: states=%" PRIu64 " merges=%" PRIu64
-                " peak-frontier=%" PRIu64 " peak-bytes=%" PRIu64
-                " sched-steps=%" PRIu64 " wall-ms=%.2f\n",
+  if (Stats) {
+    double MergeRate = R.Spent.MergeAttempts
+                           ? static_cast<double>(R.Spent.MergeHits) /
+                                 static_cast<double>(R.Spent.MergeAttempts)
+                           : 0.0;
+    std::printf("spent: states=%" PRIu64 " merges=%" PRIu64 "/%" PRIu64
+                " (rate %.3f) peak-frontier=%" PRIu64 " peak-bytes=%" PRIu64
+                " sched-steps=%" PRIu64 " wall-ms=%.2f",
                 R.Spent.StatesExpanded, R.Spent.MergeHits,
-                R.Spent.PeakFrontier, R.Spent.PeakBytes, R.Spent.SchedSteps,
-                R.Spent.WallMs);
+                R.Spent.MergeAttempts, MergeRate, R.Spent.PeakFrontier,
+                R.Spent.PeakBytes, R.Spent.SchedSteps, R.Spent.WallMs);
+    if (!R.Spent.TrippedBudget.empty())
+      std::printf(" tripped=%s", R.Spent.TrippedBudget.c_str());
+    std::printf("\n");
+  }
 
   if (!R.Status.ok())
     reportError(R.Status.toString());
+  if (!exportObs())
+    return 2;
   return exitCodeFor(R.Status, QueryUnsupported);
 }
 

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validates the bayonet observability exporter outputs.
+
+Usage: check_obs.py TRACE_JSON METRICS_PROM
+
+Checks that the Chrome-trace file is valid JSON with a well-nested span
+tree covering every pipeline phase, and that the metrics file is parseable
+Prometheus text exposition with sane counter values. Exits non-zero with a
+diagnostic on the first violation.
+"""
+import json
+import sys
+
+REQUIRED_SPANS = [
+    "lex",
+    "parse",
+    "check",
+    "inference",
+    "exact.run",
+    "exact.step",
+    "exact.expand",
+    "exact.merge",
+    "query-eval",
+]
+
+REQUIRED_METRICS = [
+    "bayonet_states_expanded_total",
+    "bayonet_merge_attempts_total",
+    "bayonet_merge_hits_total",
+    "bayonet_sched_steps_total",
+    "bayonet_peak_frontier_states",
+    "bayonet_frontier_size",
+    "bayonet_step_duration_ms",
+]
+
+
+def fail(msg):
+    print(f"check_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents array")
+
+    spans = {}
+    for ev in events:
+        for key in ("name", "ph", "pid", "tid", "ts", "args"):
+            if key not in ev:
+                fail(f"{path}: event missing '{key}': {ev}")
+        args = ev["args"]
+        if "span_id" not in args or "parent_id" not in args:
+            fail(f"{path}: event missing span_id/parent_id args: {ev}")
+        if ev["ph"] == "X":
+            if "dur" not in ev:
+                fail(f"{path}: span without dur: {ev}")
+            sid = args["span_id"]
+            if sid in spans:
+                fail(f"{path}: duplicate span id {sid}")
+            spans[sid] = ev
+        elif ev["ph"] != "i":
+            fail(f"{path}: unexpected phase {ev['ph']!r}")
+
+    # Nesting: every parent id refers to a span in the file (0 = root),
+    # and a child's parent chain terminates at the root without cycles.
+    for ev in events:
+        pid = ev["args"]["parent_id"]
+        if pid != 0 and pid not in spans:
+            fail(f"{path}: dangling parent_id {pid} on {ev['name']}")
+        seen = set()
+        while pid != 0:
+            if pid in seen:
+                fail(f"{path}: parent cycle at span {pid}")
+            seen.add(pid)
+            pid = spans[pid]["args"]["parent_id"]
+
+    names = {ev["name"] for ev in events}
+    for want in REQUIRED_SPANS:
+        if want not in names:
+            fail(f"{path}: required span '{want}' missing "
+                 f"(have: {sorted(names)})")
+
+    # Per-round expansion: each exact.step encloses an expand and a merge.
+    steps = [s for s in spans.values() if s["name"] == "exact.step"]
+    by_parent = {}
+    for s in spans.values():
+        by_parent.setdefault(s["args"]["parent_id"], []).append(s["name"])
+    for s in steps:
+        kids = by_parent.get(s["args"]["span_id"], [])
+        if "exact.expand" not in kids or "exact.merge" not in kids:
+            fail(f"{path}: exact.step span {s['args']['span_id']} lacks "
+                 f"expand/merge children (has {kids})")
+
+    print(f"check_obs: trace OK ({len(events)} events, {len(spans)} spans, "
+          f"{len(steps)} scheduler rounds)")
+
+
+def check_metrics(path):
+    values = {}
+    with open(path) as f:
+        for ln, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                if line.startswith("#") and not (
+                        line.startswith("# HELP ") or
+                        line.startswith("# TYPE ")):
+                    fail(f"{path}:{ln}: bad comment line: {line}")
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                fail(f"{path}:{ln}: expected 'name value': {line}")
+            try:
+                values[parts[0]] = float(parts[1])
+            except ValueError:
+                fail(f"{path}:{ln}: unparseable value: {line}")
+
+    for want in REQUIRED_METRICS:
+        hits = [k for k in values if k == want or k.startswith(want + "_")]
+        if not hits:
+            fail(f"{path}: required metric '{want}' missing")
+    if values.get("bayonet_states_expanded_total", 0) <= 0:
+        fail(f"{path}: bayonet_states_expanded_total should be positive")
+    if (values.get("bayonet_merge_hits_total", 0) >
+            values.get("bayonet_merge_attempts_total", 0)):
+        fail(f"{path}: merge hits exceed merge attempts")
+    print(f"check_obs: metrics OK ({len(values)} samples)")
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(sys.argv[1])
+    check_metrics(sys.argv[2])
+    print("check_obs: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,14 @@ if [ "$BudgetExit" != 3 ]; then
 fi
 echo "budget regression: exit 3 as expected"
 
+echo "=== tier-1: observability exporters on a Table-1 query ==="
+ObsTmp="$(mktemp -d)"
+trap 'rm -rf "$ObsTmp"' EXIT
+./build/examples/bayonet examples/programs/gossip4.bay --stats \
+  --trace-out="$ObsTmp/trace.json" --metrics-out="$ObsTmp/metrics.prom" \
+  > /dev/null
+python3 scripts/check_obs.py "$ObsTmp/trace.json" "$ObsTmp/metrics.prom"
+
 if [ "$NO_TSAN" = 1 ]; then
   echo "=== tier-1: TSan step skipped (--no-tsan) ==="
   exit 0
@@ -46,6 +54,6 @@ echo "=== tier-1: thread-sanitized parallel determinism + budgets ==="
 cmake -B build-tsan -S . -DBAYONET_SANITIZE=thread
 cmake --build build-tsan -j --target bayonet_tests
 BAYONET_THREADS=4 ./build-tsan/tests/bayonet_tests \
-  --gtest_filter='ParallelDeterminism.*:Budget.*'
+  --gtest_filter='ParallelDeterminism.*:Budget.*:Obs.*'
 
 echo "=== tier-1: all checks passed ==="

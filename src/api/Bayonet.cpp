@@ -6,6 +6,7 @@
 
 #include "api/Bayonet.h"
 
+#include "lang/Lexer.h"
 #include "translate/Translator.h"
 
 #include <algorithm>
@@ -38,6 +39,8 @@ ResourceSpend spendOf(const BudgetTracker &T, double WallMs) {
   S.PeakBytes = T.peakBytes();
   S.SchedSteps = T.schedStepsSpent();
   S.WallMs = WallMs;
+  if (auto V = T.violation())
+    S.TrippedBudget = budgetClassName(V->Which);
   return S;
 }
 
@@ -57,15 +60,20 @@ void runPrimary(const LoadedNetwork &Net, const InferenceOptions &Opts,
     EO.Threads = Opts.Threads;
     EO.CollectTerminals = Opts.CollectTerminals;
     EO.Budget = Tracker;
+    EO.Obs = Opts.Obs;
     ExactResult ER = ExactEngine(Net.Spec, EO).run();
     R.Status = ER.Status;
     R.Spent = spendOf(*Tracker, ER.WallMs);
+    R.Spent.MergeAttempts = ER.MergeAttempts;
     R.Exact = std::move(ER);
     return;
   }
   case EngineChoice::Translated: {
     DiagEngine TDiags;
+    ObsHandle O(Opts.Obs);
+    Span TranslateSpan = O.span("translate");
     auto Psi = translateToPsi(Net.Spec, TDiags);
+    TranslateSpan.end();
     if (!Psi) {
       R.Status = EngineStatus::invalid(trimmed(TDiags.toString()));
       return;
@@ -73,9 +81,11 @@ void runPrimary(const LoadedNetwork &Net, const InferenceOptions &Opts,
     PsiExactOptions PO;
     PO.Threads = Opts.Threads;
     PO.Budget = Tracker;
+    PO.Obs = Opts.Obs;
     PsiExactResult PR = PsiExact(*Psi, PO).run();
     R.Status = PR.Status;
     R.Spent = spendOf(*Tracker, PR.WallMs);
+    R.Spent.MergeAttempts = PR.MergeAttempts;
     R.Translated = std::move(PR);
     return;
   }
@@ -89,6 +99,7 @@ void runPrimary(const LoadedNetwork &Net, const InferenceOptions &Opts,
     SO.Seed = Opts.Seed;
     SO.Threads = Opts.Threads;
     SO.Budget = Tracker;
+    SO.Obs = Opts.Obs;
     SampleResult SR = Sampler(Net.Spec, SO).run();
     R.Status = SR.Status;
     R.Spent = spendOf(*Tracker, SR.WallMs);
@@ -104,8 +115,24 @@ InferenceResult bayonet::runInference(const LoadedNetwork &Net,
                                       const InferenceOptions &Opts) {
   InferenceResult R;
   R.EngineUsed = Opts.Engine;
+  ObsHandle O(Opts.Obs);
   try {
+    Span InferSpan = O.span("inference");
+    if (O.tracing())
+      InferSpan.arg("engine", engineChoiceName(Opts.Engine));
     auto Tracker = std::make_shared<BudgetTracker>(Opts.Limits, Opts.Cancel);
+    if (O) {
+      // A budget trip becomes a trace event attached to whatever span is
+      // open when it fires, plus a counter tick. The observer runs on the
+      // tripping thread; both sinks are thread-safe.
+      ObsHandle VO = O;
+      Tracker->setViolationObserver([VO](const BudgetViolation &V) mutable {
+        VO.count(&EngineMetricIds::BudgetTrips);
+        VO.event("budget-trip", {{"class", budgetClassName(V.Which)},
+                                 {"observed", std::to_string(V.Observed)},
+                                 {"limit", std::to_string(V.Limit)}});
+      });
+    }
     runPrimary(Net, Opts, Tracker, R);
 
     // Graceful degradation: an exact engine ran out of budget and the
@@ -116,6 +143,10 @@ InferenceResult bayonet::runInference(const LoadedNetwork &Net,
         (Opts.Engine == EngineChoice::Exact ||
          Opts.Engine == EngineChoice::Translated)) {
       R.ExactStatus = R.Status;
+      O.count(&EngineMetricIds::Fallbacks);
+      O.event("fallback-smc",
+              {{"from", engineChoiceName(Opts.Engine)},
+               {"why", budgetClassName(R.Status.Violation.Which)}});
       // Size the particle population from the remaining time budget.
       int64_t RemainMs = Tracker->remainingMs();
       unsigned Particles = Opts.Particles;
@@ -137,6 +168,7 @@ InferenceResult bayonet::runInference(const LoadedNetwork &Net,
       SO.Seed = Opts.Seed;
       SO.Threads = Opts.Threads;
       SO.Budget = FallbackTracker;
+      SO.Obs = Opts.Obs;
       SampleResult SR = Sampler(Net.Spec, SO).run();
       R.FellBack = true;
       R.EngineUsed = EngineChoice::Smc;
@@ -162,11 +194,23 @@ InferenceResult bayonet::runInference(const LoadedNetwork &Net,
 }
 
 std::optional<LoadedNetwork> bayonet::loadNetwork(std::string_view Source,
-                                                  DiagEngine &Diags) {
-  auto File = std::make_unique<SourceFile>(Parser::parse(Source, Diags));
+                                                  DiagEngine &Diags,
+                                                  ObsHandle Obs) {
+  // Lex and parse run separately (instead of through Parser::parse) so
+  // each frontend phase gets its own span.
+  Span LexSpan = Obs.span("lex");
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  LexSpan.end();
+  Span ParseSpan = Obs.span("parse");
+  Parser P(std::move(Tokens), Diags);
+  auto File = std::make_unique<SourceFile>(P.parseFile());
+  ParseSpan.end();
   if (Diags.hasErrors())
     return std::nullopt;
+  Span CheckSpan = Obs.span("check");
   auto Spec = checkNetwork(*File, Diags);
+  CheckSpan.end();
   if (!Spec)
     return std::nullopt;
   LoadedNetwork Net;
@@ -176,7 +220,8 @@ std::optional<LoadedNetwork> bayonet::loadNetwork(std::string_view Source,
 }
 
 std::optional<LoadedNetwork> bayonet::loadNetworkFile(const std::string &Path,
-                                                      DiagEngine &Diags) {
+                                                      DiagEngine &Diags,
+                                                      ObsHandle Obs) {
   std::ifstream In(Path);
   if (!In) {
     Diags.error({}, "cannot open file '" + Path + "'");
@@ -184,7 +229,7 @@ std::optional<LoadedNetwork> bayonet::loadNetworkFile(const std::string &Path,
   }
   std::ostringstream Buf;
   Buf << In.rdbuf();
-  return loadNetwork(Buf.str(), Diags);
+  return loadNetwork(Buf.str(), Diags, Obs);
 }
 
 bool bayonet::bindParam(LoadedNetwork &Net, const std::string &Name,

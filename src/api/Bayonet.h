@@ -27,6 +27,7 @@
 #include "lang/Checker.h"
 #include "lang/Parser.h"
 #include "net/NetworkSpec.h"
+#include "obs/Obs.h"
 #include "psi/PsiExact.h"
 #include "support/Budget.h"
 
@@ -43,13 +44,17 @@ struct LoadedNetwork {
 };
 
 /// Loads a network from Bayonet source text. Returns nullopt and reports
-/// through \p Diags on any lexical, syntactic, or semantic error.
+/// through \p Diags on any lexical, syntactic, or semantic error. When an
+/// observability handle is passed, the frontend phases emit "lex", "parse"
+/// and "check" spans.
 std::optional<LoadedNetwork> loadNetwork(std::string_view Source,
-                                         DiagEngine &Diags);
+                                         DiagEngine &Diags,
+                                         ObsHandle Obs = {});
 
 /// Loads a network from a file on disk.
 std::optional<LoadedNetwork> loadNetworkFile(const std::string &Path,
-                                             DiagEngine &Diags);
+                                             DiagEngine &Diags,
+                                             ObsHandle Obs = {});
 
 /// Binds (or re-binds) a symbolic parameter to a concrete value.
 /// Returns false if the network declares no such parameter.
@@ -97,16 +102,26 @@ struct InferenceOptions {
   /// Fallback sizing heuristic: particles per millisecond of remaining
   /// deadline (floor 64, cap Particles). Ignored without a deadline.
   unsigned FallbackParticlesPerMs = 8;
+  /// Optional observability context, threaded through to the engine that
+  /// runs (and the fallback). The run emits an "inference" span, budget
+  /// trips and fallbacks become trace events and counters. Null = off.
+  std::shared_ptr<ObsContext> Obs;
 };
 
 /// What a governed run consumed, for reports and regression tracking.
 struct ResourceSpend {
   uint64_t StatesExpanded = 0; ///< Configs / branches / particle-steps.
   uint64_t MergeHits = 0;
+  /// Merge-table lookups (exact engines; 0 for the samplers). The spend
+  /// line reports the hit *rate* MergeHits/MergeAttempts.
+  uint64_t MergeAttempts = 0;
   uint64_t PeakFrontier = 0;
   uint64_t PeakBytes = 0; ///< Approximate; see BudgetTracker.
   uint64_t SchedSteps = 0;
   double WallMs = 0;
+  /// Name of the budget class that tripped ("state", "wall-clock", ...);
+  /// empty when no budget tripped.
+  std::string TrippedBudget;
 };
 
 /// Result of a governed inference run. Exactly one of Exact / Translated /

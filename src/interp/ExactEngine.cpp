@@ -389,6 +389,8 @@ ExactResult ExactEngine::run() const {
 
   BudgetTracker *BT = Opts.Budget.get();
   const std::atomic<bool> *StopF = BT ? &BT->stopFlag() : nullptr;
+  ObsHandle O(Opts.Obs);
+  Span RunSpan = O.span("exact.run");
   auto setWall = [&] {
     Result.WallMs = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - WallStart)
@@ -406,6 +408,7 @@ ExactResult ExactEngine::run() const {
     bool QueryUnsupported = false;
     std::string UnsupportedReason;
     size_t ConfigsExpanded = 0, MaxFrontierSize = 0, MergeHits = 0;
+    size_t MergeAttempts = 0;
     size_t TerminalCount = 0;
     int64_t StepsUsed = 0;
     std::vector<size_t> WorkerConfigsExpanded;
@@ -416,8 +419,8 @@ ExactResult ExactEngine::run() const {
             Result.ErrorMass,        Result.QueryUnsupported,
             Result.UnsupportedReason, Result.ConfigsExpanded,
             Result.MaxFrontierSize,  Result.MergeHits,
-            Result.Terminals.size(), Result.StepsUsed,
-            Result.WorkerConfigsExpanded};
+            Result.MergeAttempts,    Result.Terminals.size(),
+            Result.StepsUsed,        Result.WorkerConfigsExpanded};
   };
   auto restoreSnapshot = [&] {
     Result.QueryMass = Snap.QueryMass;
@@ -428,6 +431,7 @@ ExactResult ExactEngine::run() const {
     Result.ConfigsExpanded = Snap.ConfigsExpanded;
     Result.MaxFrontierSize = Snap.MaxFrontierSize;
     Result.MergeHits = Snap.MergeHits;
+    Result.MergeAttempts = Snap.MergeAttempts;
     Result.Terminals.resize(Snap.TerminalCount);
     Result.StepsUsed = Snap.StepsUsed;
     Result.WorkerConfigsExpanded = Snap.WorkerConfigsExpanded;
@@ -504,6 +508,7 @@ ExactResult ExactEngine::run() const {
       F.emplace_back(std::move(C), std::move(W));
       return;
     }
+    ++Result.MergeAttempts;
     auto [It, Inserted] = Index.try_emplace(C, F.size());
     if (Inserted) {
       F.emplace_back(std::move(C), std::move(W));
@@ -534,9 +539,30 @@ ExactResult ExactEngine::run() const {
     Result.StepsUsed = Step;
     bool LastStep = Step == Spec.NumSteps;
 
+    // Obs: one span per scheduler round, metrics charged as deltas when the
+    // round completes (a serial point — counted quantities are therefore
+    // independent of the thread count). Rounds cut short by a budget stop
+    // charge nothing; the boundary restore keeps that deterministic too.
+    Span StepSpan = O.span("exact.step");
+    std::chrono::steady_clock::time_point StepT0;
+    const size_t ObsPrevExpanded = Result.ConfigsExpanded;
+    const size_t ObsPrevAttempts = Result.MergeAttempts;
+    const size_t ObsPrevHits = Result.MergeHits;
+    if (O) {
+      StepT0 = std::chrono::steady_clock::now();
+      if (O.tracing()) {
+        StepSpan.arg("step", static_cast<uint64_t>(Step));
+        StepSpan.arg("frontier_in", static_cast<uint64_t>(Cur.size()));
+      }
+    }
+
     Frontier Next;
     if (Threads <= 1 || Cur.size() < Opts.ParallelThreshold) {
-      // Serial step: expand and merge in one pass.
+      // Serial step: expand and merge in one pass. The expand/merge spans
+      // mirror the parallel path's phase structure (names, ids, args) so
+      // the trace shape is identical at any thread count; the merge span
+      // is zero-width here because merging is inlined into expansion.
+      Span ExpandSpan = O.span("exact.expand");
       MergeIndex NextIndex;
       NextIndex.reserve(Cur.size()); // Frontier sizes are step-correlated.
       Next.reserve(Cur.size());
@@ -559,6 +585,8 @@ ExactResult ExactEngine::run() const {
           return Result;
         }
       }
+      ExpandSpan.end();
+      Span MergeSpan = O.span("exact.merge");
     } else {
       // Parallel step. Phase 1: each lane expands a contiguous shard of the
       // frontier, routing successors into hash-addressed buckets (bucket =
@@ -569,6 +597,7 @@ ExactResult ExactEngine::run() const {
       // and all weights are exact rationals, making query results
       // bit-identical for every thread count.
       ThreadPool &Pool = ThreadPool::global();
+      Span ExpandSpan = O.span("exact.expand");
       const size_t Lanes = Threads;
       const size_t Chunk = (Cur.size() + Lanes - 1) / Lanes;
       struct LaneOut {
@@ -609,9 +638,12 @@ ExactResult ExactEngine::run() const {
             Outs[Lane].Partial.ConfigsExpanded;
         foldPartial(Result, Outs[Lane].Partial);
       }
+      ExpandSpan.end();
       // Phase 2: merge each bucket (deterministic lane order within).
+      Span MergeSpan = O.span("exact.merge");
       std::vector<Frontier> Merged(Lanes);
       std::vector<size_t> BucketHits(Lanes, 0);
+      std::vector<size_t> BucketAttempts(Lanes, 0);
       Pool.parallelFor(Lanes, [&](size_t B) {
         size_t Total = 0;
         for (size_t Lane = 0; Lane < Lanes; ++Lane)
@@ -624,6 +656,7 @@ ExactResult ExactEngine::run() const {
               F.push_back(std::move(CW));
           return;
         }
+        BucketAttempts[B] = Total; // Every input is one merge lookup.
         MergeIndex Index;
         Index.reserve(Total);
         for (size_t Lane = 0; Lane < Lanes; ++Lane)
@@ -642,6 +675,7 @@ ExactResult ExactEngine::run() const {
       for (size_t B = 0; B < Lanes; ++B) {
         Total += Merged[B].size();
         StepHits += BucketHits[B];
+        Result.MergeAttempts += BucketAttempts[B];
       }
       Result.MergeHits += StepHits;
       if (BT)
@@ -668,7 +702,30 @@ ExactResult ExactEngine::run() const {
       setWall();
       return Result;
     }
+    if (O) {
+      O.count(&EngineMetricIds::StatesExpanded,
+              Result.ConfigsExpanded - ObsPrevExpanded);
+      O.count(&EngineMetricIds::MergeAttempts,
+              Result.MergeAttempts - ObsPrevAttempts);
+      O.count(&EngineMetricIds::MergeHits, Result.MergeHits - ObsPrevHits);
+      O.count(&EngineMetricIds::SchedSteps);
+      O.gaugeMax(&EngineMetricIds::PeakFrontier, Cur.size());
+      O.observe(&EngineMetricIds::FrontierSize,
+                static_cast<double>(Cur.size()));
+      O.observe(&EngineMetricIds::StepDurMs,
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - StepT0)
+                    .count());
+      if (O.tracing())
+        StepSpan.arg("expanded", static_cast<uint64_t>(
+                                     Result.ConfigsExpanded - ObsPrevExpanded));
+    }
     Cur = std::move(Next);
+  }
+  if (O.tracing()) {
+    RunSpan.arg("states", static_cast<uint64_t>(Result.ConfigsExpanded));
+    RunSpan.arg("peak_frontier",
+                static_cast<uint64_t>(Result.MaxFrontierSize));
   }
   setWall();
   return Result;

@@ -20,6 +20,7 @@
 #include "interp/Exec.h"
 #include "net/NetworkSpec.h"
 #include "net/Scheduler.h"
+#include "obs/Obs.h"
 #include "support/Budget.h"
 #include "symbolic/SymProb.h"
 
@@ -53,6 +54,11 @@ struct ExactOptions {
   /// completed boundary (bit-identical for any Threads value) with
   /// Result.Status naming the cause. Null = ungoverned (no overhead).
   std::shared_ptr<BudgetTracker> Budget;
+  /// Optional observability context. When set, the engine opens a span per
+  /// run and per scheduler step and charges metrics as deltas at step
+  /// boundaries — serial points, so every counted quantity is bit-identical
+  /// at any thread count. Null = unobserved (one branch per probe site).
+  std::shared_ptr<ObsContext> Obs;
 };
 
 /// Result of one exact inference run.
@@ -87,6 +93,9 @@ struct ExactResult {
   /// Successor configurations that merged into an existing frontier entry
   /// (weight addition instead of insertion).
   size_t MergeHits = 0;
+  /// Merge-table lookups (every successor when merging is on). The hit
+  /// rate MergeHits/MergeAttempts is the spend-line figure of merit.
+  size_t MergeAttempts = 0;
 
   /// Terminal distribution (only when CollectTerminals was set).
   std::vector<std::pair<NetConfig, SymProb>> Terminals;

@@ -97,6 +97,8 @@ SampleResult Sampler::run() const {
 
   BudgetTracker *BT = Opts.Budget.get();
   const std::atomic<bool> *StopF = BT ? &BT->stopFlag() : nullptr;
+  ObsHandle O(Opts.Obs);
+  Span RunSpan = O.span("smc.run");
 
   // Stream assignment is serial and in particle order: particle I's draws
   // are a pure function of (Seed, I), never of which lane steps it. The
@@ -143,6 +145,22 @@ SampleResult Sampler::run() const {
       }
       BT->chargeSchedStep();
     }
+    // Obs: span per scheduler step; particle-steps are counted serially
+    // here (the set of active particles at a boundary is a pure function of
+    // the seed and completed steps, never of lane interleaving).
+    Span StepSpan = O.span("smc.step");
+    std::chrono::steady_clock::time_point StepT0;
+    uint64_t ObsActive = 0;
+    if (O) {
+      StepT0 = std::chrono::steady_clock::now();
+      for (const Particle &P : Pop)
+        if (!P.Dead && !P.Terminal && !P.Error)
+          ++ObsActive;
+      if (O.tracing()) {
+        StepSpan.arg("step", static_cast<uint64_t>(Step));
+        StepSpan.arg("active", ObsActive);
+      }
+    }
     forParticles([&](size_t I) {
       Particle &P = Pop[I];
       if (P.Dead || P.Terminal || P.Error)
@@ -167,6 +185,10 @@ SampleResult Sampler::run() const {
     // stream (identical copies sharing a stream would evolve identically).
     if (Opts.Mode == SampleOptions::Method::Smc && Alive > 0 &&
         Alive < Opts.Particles * Opts.ResampleThreshold) {
+      Span ResampleSpan = O.span("smc.resample");
+      if (O.tracing())
+        ResampleSpan.arg("alive", static_cast<uint64_t>(Alive));
+      O.count(&EngineMetricIds::Resamples);
       std::vector<Particle> Survivors;
       for (Particle &P : Pop)
         if (!P.Dead)
@@ -188,9 +210,19 @@ SampleResult Sampler::run() const {
       break;
     }
     Result.StepsRun = Step + 1;
+    if (O) {
+      O.count(&EngineMetricIds::Particles, ObsActive);
+      O.count(&EngineMetricIds::SchedSteps);
+      O.observe(&EngineMetricIds::StepDurMs,
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - StepT0)
+                    .count());
+    }
     if (!AnyLive)
       break;
   }
+  if (O.tracing())
+    RunSpan.arg("steps", static_cast<uint64_t>(Result.StepsRun));
 
   // Aggregate: particles still running at the bound are error particles
   // (assert(terminated()) fails); dead particles are discarded. Runs

@@ -19,6 +19,7 @@
 #include "interp/Exec.h"
 #include "net/NetworkSpec.h"
 #include "net/Scheduler.h"
+#include "obs/Obs.h"
 #include "support/Budget.h"
 #include "support/Prng.h"
 
@@ -48,6 +49,10 @@ struct SampleOptions {
   /// deterministic budget classes this partial estimate is bit-identical
   /// for any Threads value). Null = ungoverned.
   std::shared_ptr<BudgetTracker> Budget;
+  /// Optional observability context: spans per run/step/resample
+  /// generation, particle and resample counters charged at serial
+  /// boundaries (bit-identical at any thread count). Null = unobserved.
+  std::shared_ptr<ObsContext> Obs;
 };
 
 /// Result of one sampling run.

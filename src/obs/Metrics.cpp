@@ -1,0 +1,220 @@
+//===- obs/Metrics.cpp - Thread-sharded metrics registry -------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+using namespace bayonet;
+
+namespace {
+
+/// Round-robin shard assignment: each thread keeps the shard it drew first,
+/// so a thread's increments never migrate and never contend with another
+/// thread that drew a different shard.
+std::atomic<unsigned> NextShardIndex{0};
+
+unsigned myShardIndex(unsigned NumShards) {
+  thread_local unsigned Mine =
+      NextShardIndex.fetch_add(1, std::memory_order_relaxed);
+  return Mine % NumShards;
+}
+
+/// Histograms store their running sum as a scaled integer so the hot path
+/// stays a single fetch_add (no atomic<double> CAS loop). Micro-units keep
+/// six fractional digits of millisecond latencies.
+constexpr double SumScale = 1e6;
+
+std::string fmtDouble(double V) {
+  char Buf[64];
+  if (V == static_cast<uint64_t>(V) && V < 1e15)
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(V));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+} // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : Shards(NumShards), MetaArr(new Meta[MaxMetrics]) {
+  for (Shard &S : Shards)
+    S.Slots = std::vector<std::atomic<uint64_t>>(Capacity);
+}
+
+MetricsRegistry::Shard &MetricsRegistry::shard() {
+  return Shards[myShardIndex(NumShards)];
+}
+
+const MetricsRegistry::Meta *MetricsRegistry::findMeta(uint32_t Slot) const {
+  uint32_t N = NumMetrics.load(std::memory_order_acquire);
+  for (uint32_t I = 0; I < N; ++I)
+    if (MetaArr[I].Slot == Slot)
+      return &MetaArr[I];
+  return nullptr;
+}
+
+MetricId MetricsRegistry::registerMetric(const std::string &Name,
+                                         const std::string &Help,
+                                         MetricKind Kind, uint32_t NumSlots,
+                                         std::vector<double> Bounds) {
+  std::lock_guard<std::mutex> Lock(RegMu);
+  uint32_t N = NumMetrics.load(std::memory_order_relaxed);
+  for (uint32_t I = 0; I < N; ++I)
+    if (MetaArr[I].Name == Name) {
+      if (MetaArr[I].Kind != Kind)
+        throw std::runtime_error("metric '" + Name +
+                                 "' re-registered with a different kind");
+      return {MetaArr[I].Slot};
+    }
+  if (N >= MaxMetrics || NextSlot + NumSlots > Capacity)
+    throw std::runtime_error("metrics registry capacity exceeded");
+  MetaArr[N] = Meta{Name, Help, Kind, NextSlot, NumSlots, std::move(Bounds)};
+  NextSlot += NumSlots;
+  // Publish: readers acquire NumMetrics and only then touch MetaArr[N].
+  NumMetrics.store(N + 1, std::memory_order_release);
+  return {MetaArr[N].Slot};
+}
+
+MetricId MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Help) {
+  return registerMetric(Name, Help, MetricKind::Counter, 1, {});
+}
+
+MetricId MetricsRegistry::gauge(const std::string &Name,
+                                const std::string &Help) {
+  return registerMetric(Name, Help, MetricKind::Gauge, 1, {});
+}
+
+MetricId MetricsRegistry::histogram(const std::string &Name,
+                                    const std::string &Help,
+                                    std::vector<double> Bounds) {
+  for (size_t I = 1; I < Bounds.size(); ++I)
+    if (!(Bounds[I - 1] < Bounds[I]))
+      throw std::runtime_error("histogram '" + Name +
+                               "' bounds must be strictly increasing");
+  // Slots: one per finite bucket, one +Inf bucket, one scaled sum.
+  uint32_t NumSlots = static_cast<uint32_t>(Bounds.size()) + 2;
+  return registerMetric(Name, Help, MetricKind::Histogram, NumSlots,
+                        std::move(Bounds));
+}
+
+void MetricsRegistry::observe(MetricId Id, double V) {
+  if (!Id.valid())
+    return;
+  const Meta *M = findMeta(Id.Slot); // Lock-free: metadata is append-only.
+  if (!M || M->Kind != MetricKind::Histogram)
+    return;
+  uint32_t Bucket = static_cast<uint32_t>(M->Bounds.size()); // +Inf default.
+  for (uint32_t I = 0; I < M->Bounds.size(); ++I)
+    if (V <= M->Bounds[I]) {
+      Bucket = I;
+      break;
+    }
+  Shard &S = shard();
+  S.Slots[Id.Slot + Bucket].fetch_add(1, std::memory_order_relaxed);
+  uint64_t Scaled =
+      V <= 0 ? 0 : static_cast<uint64_t>(std::llround(V * SumScale));
+  S.Slots[Id.Slot + M->NumSlots - 1].fetch_add(Scaled,
+                                               std::memory_order_relaxed);
+}
+
+uint64_t MetricsRegistry::sumSlot(uint32_t Slot) const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards)
+    Total += S.Slots[Slot].load(std::memory_order_relaxed);
+  return Total;
+}
+
+uint64_t MetricsRegistry::value(MetricId Id) const {
+  if (!Id.valid())
+    return 0;
+  const Meta *M = findMeta(Id.Slot);
+  if (!M)
+    return 0;
+  switch (M->Kind) {
+  case MetricKind::Gauge:
+    return Shards[0].Slots[M->Slot].load(std::memory_order_relaxed);
+  case MetricKind::Histogram: {
+    uint64_t Count = 0;
+    for (uint32_t I = 0; I + 1 < M->NumSlots; ++I)
+      Count += sumSlot(M->Slot + I);
+    return Count;
+  }
+  case MetricKind::Counter:
+    break;
+  }
+  return sumSlot(M->Slot);
+}
+
+std::vector<MetricValue> MetricsRegistry::snapshot() const {
+  uint32_t N = NumMetrics.load(std::memory_order_acquire);
+  std::vector<MetricValue> Out;
+  Out.reserve(N);
+  for (uint32_t MI = 0; MI < N; ++MI) {
+    const Meta &M = MetaArr[MI];
+    MetricValue V;
+    V.Name = M.Name;
+    V.Help = M.Help;
+    V.Kind = M.Kind;
+    switch (M.Kind) {
+    case MetricKind::Counter:
+      V.Value = sumSlot(M.Slot);
+      break;
+    case MetricKind::Gauge:
+      V.Value = Shards[0].Slots[M.Slot].load(std::memory_order_relaxed);
+      break;
+    case MetricKind::Histogram: {
+      V.BucketBounds = M.Bounds;
+      uint64_t Cumulative = 0;
+      for (uint32_t I = 0; I + 1 < M.NumSlots; ++I) {
+        Cumulative += sumSlot(M.Slot + I);
+        V.BucketCounts.push_back(Cumulative);
+      }
+      V.Value = Cumulative;
+      V.Sum =
+          static_cast<double>(sumSlot(M.Slot + M.NumSlots - 1)) / SumScale;
+      break;
+    }
+    }
+    Out.push_back(std::move(V));
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::renderProm() const {
+  std::string Out;
+  for (const MetricValue &V : snapshot()) {
+    Out += "# HELP " + V.Name + " " + V.Help + "\n";
+    Out += "# TYPE " + V.Name + " ";
+    switch (V.Kind) {
+    case MetricKind::Counter:
+      Out += "counter\n";
+      Out += V.Name + " " + std::to_string(V.Value) + "\n";
+      break;
+    case MetricKind::Gauge:
+      Out += "gauge\n";
+      Out += V.Name + " " + std::to_string(V.Value) + "\n";
+      break;
+    case MetricKind::Histogram:
+      Out += "histogram\n";
+      for (size_t I = 0; I < V.BucketCounts.size(); ++I) {
+        std::string Le = I < V.BucketBounds.size()
+                             ? fmtDouble(V.BucketBounds[I])
+                             : "+Inf";
+        Out += V.Name + "_bucket{le=\"" + Le + "\"} " +
+               std::to_string(V.BucketCounts[I]) + "\n";
+      }
+      Out += V.Name + "_sum " + fmtDouble(V.Sum) + "\n";
+      Out += V.Name + "_count " + std::to_string(V.Value) + "\n";
+      break;
+    }
+  }
+  return Out;
+}

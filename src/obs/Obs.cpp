@@ -1,0 +1,107 @@
+//===- obs/Obs.cpp - Observability context and engine handle ---------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace bayonet;
+
+ObsContext::ObsContext(bool EnableTrace, bool EnableMetrics) {
+  if (EnableTrace)
+    Trace = std::make_unique<Tracer>();
+  if (!EnableMetrics)
+    return;
+  Reg = std::make_unique<MetricsRegistry>();
+  // Frontier sizes span a few states on toy programs to hundreds of
+  // thousands before a budget trips; step durations are sub-ms to seconds.
+  std::vector<double> SizeBounds = {1,    8,     64,     512,   4096,
+                                    32768, 262144, 2097152};
+  std::vector<double> MsBounds = {0.1, 0.5, 2, 10, 50, 250, 1000, 5000};
+  Ids.StatesExpanded = Reg->counter(
+      "bayonet_states_expanded_total",
+      "NetConfig states expanded by the exact engines");
+  Ids.MergeAttempts = Reg->counter(
+      "bayonet_merge_attempts_total",
+      "State-merge table lookups during frontier folding");
+  Ids.MergeHits = Reg->counter(
+      "bayonet_merge_hits_total",
+      "Merge lookups that coalesced into an existing state");
+  Ids.SchedSteps = Reg->counter("bayonet_sched_steps_total",
+                                "Scheduler steps executed");
+  Ids.Particles = Reg->counter("bayonet_particles_total",
+                               "Particles advanced by the samplers");
+  Ids.Resamples = Reg->counter("bayonet_resamples_total",
+                               "SMC resample generations triggered");
+  Ids.BudgetTrips = Reg->counter("bayonet_budget_trips_total",
+                                 "Resource-budget violations recorded");
+  Ids.Fallbacks = Reg->counter("bayonet_fallbacks_total",
+                               "Exact-to-SMC fallbacks taken");
+  Ids.PeakFrontier = Reg->gauge("bayonet_peak_frontier_states",
+                                "Largest frontier size observed");
+  Ids.FrontierSize = Reg->histogram("bayonet_frontier_size",
+                                    "Frontier size per scheduler step",
+                                    SizeBounds);
+  Ids.StepDurMs = Reg->histogram("bayonet_step_duration_ms",
+                                 "Wall milliseconds per scheduler step",
+                                 MsBounds);
+  Ids.PoolBatches = Reg->counter("bayonet_pool_batches_total",
+                                 "Thread-pool batches dispatched");
+  Ids.PoolTasks = Reg->counter("bayonet_pool_tasks_total",
+                               "Thread-pool tasks executed");
+}
+
+std::string ObsContext::renderFullStats() const {
+  std::string Out = "=== bayonet stats (full) ===\n";
+  if (!Reg) {
+    Out += "(metrics disabled)\n";
+    return Out;
+  }
+  char Buf[160];
+  for (const MetricValue &V : Reg->snapshot()) {
+    switch (V.Kind) {
+    case MetricKind::Counter:
+    case MetricKind::Gauge:
+      std::snprintf(Buf, sizeof(Buf), "%-36s %12llu\n", V.Name.c_str(),
+                    static_cast<unsigned long long>(V.Value));
+      Out += Buf;
+      break;
+    case MetricKind::Histogram: {
+      std::snprintf(Buf, sizeof(Buf), "%-36s count=%llu sum=%.3f\n",
+                    V.Name.c_str(),
+                    static_cast<unsigned long long>(V.Value), V.Sum);
+      Out += Buf;
+      for (size_t I = 0; I < V.BucketCounts.size(); ++I) {
+        if (I < V.BucketBounds.size())
+          std::snprintf(Buf, sizeof(Buf), "  le=%-10g %12llu\n",
+                        V.BucketBounds[I],
+                        static_cast<unsigned long long>(V.BucketCounts[I]));
+        else
+          std::snprintf(Buf, sizeof(Buf), "  le=+Inf      %12llu\n",
+                        static_cast<unsigned long long>(V.BucketCounts[I]));
+        Out += Buf;
+      }
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+std::shared_ptr<ObsContext> bayonet::obsFromEnv(std::string &TraceOut,
+                                                std::string &MetricsOut) {
+  const char *T = std::getenv("BAYONET_TRACE");
+  const char *M = std::getenv("BAYONET_METRICS");
+  if (T && *T)
+    TraceOut = T;
+  if (M && *M)
+    MetricsOut = M;
+  if (TraceOut.empty() && MetricsOut.empty())
+    return nullptr;
+  return std::make_shared<ObsContext>(!TraceOut.empty(),
+                                      !MetricsOut.empty());
+}

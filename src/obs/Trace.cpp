@@ -1,0 +1,155 @@
+//===- obs/Trace.cpp - Span-based tracing with Chrome-trace export ---------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace bayonet;
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Span
+//===----------------------------------------------------------------------===//
+
+void Span::arg(const std::string &Key, const std::string &Value) {
+  if (T)
+    T->spanArg(Index, Key, Value);
+}
+
+void Span::arg(const std::string &Key, uint64_t Value) {
+  if (T)
+    T->spanArg(Index, Key, std::to_string(Value));
+}
+
+void Span::end() {
+  if (T)
+    T->endSpan(Index, Id);
+  T = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+Tracer::Tracer() : Epoch(std::chrono::steady_clock::now()) {}
+
+uint64_t Tracer::nowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+Span Tracer::span(std::string Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Event E;
+  E.Name = std::move(Name);
+  E.Phase = 'X';
+  E.Id = NextId++;
+  E.ParentId = OpenStack.empty() ? 0 : OpenStack.back();
+  E.TsUs = nowUs();
+  E.Open = true;
+  size_t Index = Events.size();
+  Events.push_back(std::move(E));
+  OpenStack.push_back(Events[Index].Id);
+  return Span(this, Index, Events[Index].Id);
+}
+
+void Tracer::endSpan(size_t Index, uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Event &E = Events[Index];
+  E.DurUs = nowUs() - E.TsUs;
+  E.Open = false;
+  // Spans close LIFO at serial orchestration points, so Id sits at (or
+  // near, if an inner no-longer-open entry lingered) the top of the stack.
+  auto It = std::find(OpenStack.rbegin(), OpenStack.rend(), Id);
+  if (It != OpenStack.rend())
+    OpenStack.erase(std::next(It).base());
+}
+
+void Tracer::spanArg(size_t Index, std::string Key, std::string Value) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events[Index].Args.emplace_back(std::move(Key), std::move(Value));
+}
+
+void Tracer::event(std::string Name,
+                   std::vector<std::pair<std::string, std::string>> Args) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Event E;
+  E.Name = std::move(Name);
+  E.Phase = 'i';
+  E.Id = 0;
+  E.ParentId = OpenStack.empty() ? 0 : OpenStack.back();
+  E.TsUs = nowUs();
+  E.Args = std::move(Args);
+  Events.push_back(std::move(E));
+}
+
+size_t Tracer::numEvents() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+std::string Tracer::renderChromeJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out = "{\"traceEvents\":[\n";
+  bool First = true;
+  for (const Event &E : Events) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += "{\"name\":\"" + jsonEscape(E.Name) + "\",\"ph\":\"";
+    Out += E.Phase;
+    Out += "\",\"pid\":1,\"tid\":1,\"ts\":" + std::to_string(E.TsUs);
+    if (E.Phase == 'X')
+      Out += ",\"dur\":" + std::to_string(E.DurUs);
+    if (E.Phase == 'i')
+      Out += ",\"s\":\"t\"";
+    Out += ",\"args\":{\"span_id\":" + std::to_string(E.Id) +
+           ",\"parent_id\":" + std::to_string(E.ParentId) + "";
+    for (const auto &A : E.Args)
+      Out += ",\"" + jsonEscape(A.first) + "\":\"" + jsonEscape(A.second) +
+             "\"";
+    Out += "}}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}

@@ -86,13 +86,19 @@ public:
   Interp(const PsiProgram &P, const PsiExactOptions &Opts,
          PsiExactResult &Result)
       : P(P), Opts(Opts), Result(Result), Threads(resolveThreads(Opts.Threads)),
-        BT(Opts.Budget.get()), StopF(BT ? &BT->stopFlag() : nullptr) {}
+        BT(Opts.Budget.get()), StopF(BT ? &BT->stopFlag() : nullptr),
+        O(Opts.Obs) {}
 
   void run() {
+    Span RunSpan = O.span("psi.run");
     Dist D;
     Env Init(P.VarNames.size(), PsiValue());
     D.push_back({std::move(Init), SymProb::concrete(Rational(1))});
     execBlock(P.Body, D);
+    if (O.tracing()) {
+      RunSpan.arg("branches", static_cast<uint64_t>(Result.BranchesExpanded));
+      RunSpan.arg("peak_dist", static_cast<uint64_t>(Result.MaxDistSize));
+    }
     if (BT && BT->stop()) {
       // Budget/cancellation stop: report the last completed statement
       // boundary (bit-identical for every thread count for the
@@ -114,6 +120,10 @@ private:
   const unsigned Threads;
   BudgetTracker *BT;
   const std::atomic<bool> *StopF;
+  ObsHandle O;
+  /// Statement nesting depth; spans and metric charges happen only at
+  /// depth 0 (top-level statements — serial points with bounded count).
+  unsigned Depth = 0;
   bool Aborted = false;
 
   /// Boundary snapshot of the reported statistics: a mid-statement stop
@@ -124,6 +134,7 @@ private:
     bool QueryUnsupported = false;
     std::string UnsupportedReason;
     size_t BranchesExpanded = 0, MaxDistSize = 0, MergeHits = 0;
+    size_t MergeAttempts = 0;
     std::vector<size_t> WorkerBranchesExpanded;
   };
   BoundarySnap Snap;
@@ -131,7 +142,7 @@ private:
     Snap = {Result.ErrorMass,         Result.QueryUnsupported,
             Result.UnsupportedReason, Result.BranchesExpanded,
             Result.MaxDistSize,       Result.MergeHits,
-            Result.WorkerBranchesExpanded};
+            Result.MergeAttempts,     Result.WorkerBranchesExpanded};
   }
   void restoreSnapshot() {
     Result.ErrorMass = Snap.ErrorMass;
@@ -140,6 +151,7 @@ private:
     Result.BranchesExpanded = Snap.BranchesExpanded;
     Result.MaxDistSize = Snap.MaxDistSize;
     Result.MergeHits = Snap.MergeHits;
+    Result.MergeAttempts = Snap.MergeAttempts;
     Result.WorkerBranchesExpanded = Snap.WorkerBranchesExpanded;
   }
 
@@ -245,6 +257,7 @@ private:
       Merged.reserve(D.size());
       std::unordered_map<Env, size_t, EnvHash> Index;
       Index.reserve(D.size());
+      Result.MergeAttempts += D.size();
       for (Branch &B : D) {
         auto [It, Inserted] = Index.try_emplace(B.Vars, Merged.size());
         if (Inserted) {
@@ -308,6 +321,7 @@ private:
       Total += Merged[B].size();
       Hits += BucketHits[B];
     }
+    Result.MergeAttempts += D.size(); // Every routed env is one lookup.
     Result.MergeHits += Hits;
     if (BT)
       BT->chargeMerges(Hits);
@@ -351,6 +365,46 @@ private:
       Aborted = true;
       return;
     }
+    // Obs: top-level statements are the PSI engine's "rounds" — serial
+    // points where spans open and metric deltas are charged. Nested
+    // statements stay probe-free (their work is folded into the enclosing
+    // top-level delta), so obs cost is bounded by the program's length.
+    if (!O || Depth > 0) {
+      ++Depth;
+      execStmtInner(S, D);
+      --Depth;
+      return;
+    }
+    Span StmtSpan = O.span("psi.stmt");
+    std::chrono::steady_clock::time_point T0;
+    const size_t PrevExpanded = Result.BranchesExpanded;
+    const size_t PrevAttempts = Result.MergeAttempts;
+    const size_t PrevHits = Result.MergeHits;
+    T0 = std::chrono::steady_clock::now();
+    if (O.tracing())
+      StmtSpan.arg("dist_in", static_cast<uint64_t>(D.size()));
+    ++Depth;
+    execStmtInner(S, D);
+    --Depth;
+    if (Aborted)
+      return; // Incomplete statement: nothing is charged (boundary rule).
+    O.count(&EngineMetricIds::StatesExpanded,
+            Result.BranchesExpanded - PrevExpanded);
+    O.count(&EngineMetricIds::MergeAttempts,
+            Result.MergeAttempts - PrevAttempts);
+    O.count(&EngineMetricIds::MergeHits, Result.MergeHits - PrevHits);
+    O.count(&EngineMetricIds::SchedSteps);
+    O.gaugeMax(&EngineMetricIds::PeakFrontier, D.size());
+    O.observe(&EngineMetricIds::FrontierSize, static_cast<double>(D.size()));
+    O.observe(&EngineMetricIds::StepDurMs,
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count());
+    if (O.tracing())
+      StmtSpan.arg("dist_out", static_cast<uint64_t>(D.size()));
+  }
+
+  void execStmtInner(const PStmt &S, Dist &D) {
     switch (S.Kind) {
     case PStmtKind::Assign: {
       D = expandBranches(D, [&](Branch &B, Dist &Out, SymProb &Err) {
@@ -468,6 +522,13 @@ private:
       for (int64_t Iter = 0; Iter < S.Count && !D.empty(); ++Iter) {
         if (Aborted)
           return;
+        // A top-level repeat is the translated scheduler loop: give each
+        // iteration its own "round" span, nested under the stmt span.
+        Span RoundSpan = Depth == 1 ? O.span("psi.round") : Span();
+        if (Depth == 1 && O.tracing()) {
+          RoundSpan.arg("iter", static_cast<uint64_t>(Iter));
+          RoundSpan.arg("dist", static_cast<uint64_t>(D.size()));
+        }
         execBlock(S.Then, D);
         mergeDist(D);
       }

@@ -17,6 +17,7 @@
 #ifndef BAYONET_PSI_PSIEXACT_H
 #define BAYONET_PSI_PSIEXACT_H
 
+#include "obs/Obs.h"
 #include "psi/PsiIr.h"
 #include "support/Budget.h"
 #include "symbolic/SymProb.h"
@@ -50,6 +51,9 @@ struct PsiExactResult {
   std::vector<size_t> WorkerBranchesExpanded;
   /// Environments that merged into an existing distribution entry.
   size_t MergeHits = 0;
+  /// Merge-table lookups at loop/branch boundaries (hit rate =
+  /// MergeHits/MergeAttempts).
+  size_t MergeAttempts = 0;
 
   std::vector<ProbCase> cases() const {
     return partitionRatio(QueryMass, OkMass);
@@ -81,6 +85,11 @@ struct PsiExactOptions {
   /// statement boundary, so budget stops are bit-identical for any Threads
   /// value. Null = ungoverned (no overhead).
   std::shared_ptr<BudgetTracker> Budget;
+  /// Optional observability context: spans per run / top-level statement /
+  /// top-level repeat round, metrics charged as deltas at statement
+  /// boundaries (serial, so bit-identical at any thread count). Null =
+  /// unobserved.
+  std::shared_ptr<ObsContext> Obs;
 };
 
 /// Exact distribution-of-environments engine.

@@ -316,6 +316,8 @@ PsiSampleResult PsiSampler::run() const {
 
   BudgetTracker *BT = Opts.Budget.get();
   const std::atomic<bool> *StopF = BT ? &BT->stopFlag() : nullptr;
+  ObsHandle OH(Opts.Obs);
+  Span RunSpan = OH.span("psi_smc.run");
 
   // The state budget caps the particle count up front: remaining budget =
   // particles run, in particle order — deterministic for any thread count.
@@ -428,6 +430,14 @@ PsiSampleResult PsiSampler::run() const {
   Result.ErrorFraction =
       Result.Survivors ? static_cast<double>(Errors) / Result.Survivors : 0.0;
   Result.Value = Ok ? Sum / Ok : 0.0;
+  // Obs: charged after the serial aggregation pass, so the counted value is
+  // a pure function of (seed, effective population) at any thread count.
+  OH.count(&EngineMetricIds::Particles, Result.ParticlesRun);
+  if (OH.tracing()) {
+    RunSpan.arg("particles_run",
+                static_cast<uint64_t>(Result.ParticlesRun));
+    RunSpan.arg("survivors", static_cast<uint64_t>(Result.Survivors));
+  }
   if (BT)
     Result.Status = BT->status();
   setWall();

@@ -16,6 +16,7 @@
 #ifndef BAYONET_PSI_PSISAMPLER_H
 #define BAYONET_PSI_PSISAMPLER_H
 
+#include "obs/Obs.h"
 #include "psi/PsiIr.h"
 #include "support/Budget.h"
 #include "support/Prng.h"
@@ -41,6 +42,9 @@ struct PsiSampleOptions {
   /// particle order); deadlines and cancellation drain the batch mid-run,
   /// leaving unfinished particles out of the estimate. Null = ungoverned.
   std::shared_ptr<BudgetTracker> Budget;
+  /// Optional observability context: a run span plus particle counters
+  /// charged after the serial aggregation pass. Null = unobserved.
+  std::shared_ptr<ObsContext> Obs;
 };
 
 /// Result of a PSI sampling run.

@@ -134,6 +134,8 @@ void BudgetTracker::recordViolation(BudgetClass Which, uint64_t Observed,
     Vio = {Which, Observed, Limit};
     VioState.store(2, std::memory_order_release);
     StopFlag.store(true, std::memory_order_release);
+    if (VioObserver)
+      VioObserver(Vio);
   }
 }
 

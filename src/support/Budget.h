@@ -29,6 +29,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -220,6 +221,16 @@ public:
   std::optional<BudgetViolation> violation() const;
   bool cancelled() const { return CancelledFlag.load(std::memory_order_acquire); }
 
+  /// Registers a callback fired exactly once, by whichever thread records
+  /// the first violation (so it must be thread-safe and cheap). The
+  /// observability layer uses this to attach a budget-trip event to the
+  /// trace; the tracker itself stays free of obs dependencies. Set it
+  /// before the run starts — registration is not synchronized against
+  /// concurrent charging.
+  void setViolationObserver(std::function<void(const BudgetViolation &)> Fn) {
+    VioObserver = std::move(Fn);
+  }
+
   //===--------------------------------------------------------------------===//
   // Spend accounting (for reports and fallback sizing)
   //===--------------------------------------------------------------------===//
@@ -263,6 +274,7 @@ private:
   /// First-violation record: 0 = none, 1 = being written, 2 = readable.
   std::atomic<uint8_t> VioState{0};
   BudgetViolation Vio;
+  std::function<void(const BudgetViolation &)> VioObserver;
 
   /// Parsed fault-injection triggers (state-counter thresholds).
   uint64_t CancelAtStates = 0;   ///< 0 = disarmed.

@@ -10,6 +10,17 @@
 
 using namespace bayonet;
 
+namespace {
+// Process-global dispatch counters (relaxed: they only feed exporters).
+std::atomic<uint64_t> GlobalBatches{0};
+std::atomic<uint64_t> GlobalTasks{0};
+} // namespace
+
+ThreadPool::PoolStats ThreadPool::stats() {
+  return {GlobalBatches.load(std::memory_order_relaxed),
+          GlobalTasks.load(std::memory_order_relaxed)};
+}
+
 unsigned ThreadPool::defaultThreads() {
   if (const char *Env = std::getenv("BAYONET_THREADS")) {
     long V = std::strtol(Env, nullptr, 10);
@@ -81,6 +92,8 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn,
                              const std::atomic<bool> *Stop) {
   if (N == 0)
     return;
+  GlobalBatches.fetch_add(1, std::memory_order_relaxed);
+  GlobalTasks.fetch_add(N, std::memory_order_relaxed);
   if (Workers.empty() || N == 1) {
     for (size_t I = 0; I < N; ++I) {
       if (Stop && Stop->load(std::memory_order_acquire))

@@ -60,6 +60,17 @@ public:
   /// The process-wide pool, sized to defaultThreads(), created on first use.
   static ThreadPool &global();
 
+  /// Process-global dispatch counters for the observability exporters:
+  /// batches submitted through any pool and tasks (indices) executed.
+  /// Deliberately outside the cross-thread-count determinism contract —
+  /// the serial code path never touches the pool, so these vary with the
+  /// thread count by construction.
+  struct PoolStats {
+    uint64_t Batches = 0;
+    uint64_t Tasks = 0;
+  };
+  static PoolStats stats();
+
   /// The default thread count: the BAYONET_THREADS environment variable if
   /// set and positive, else std::thread::hardware_concurrency(), else 1.
   static unsigned defaultThreads();

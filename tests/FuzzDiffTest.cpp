@@ -239,6 +239,34 @@ TEST_P(FuzzDiffTest, PrintReparseIdentity) {
   EXPECT_TRUE(R1.ErrorMass == R2.ErrorMass);
 }
 
+// Observability must be a pure observer: running the exact engine with
+// tracing and metrics live cannot perturb a single bit of the answer.
+TEST_P(FuzzDiffTest, TracingInvariance) {
+  NetworkGen Gen(GetParam());
+  std::string Source = Gen.generate();
+  SCOPED_TRACE(Source);
+
+  DiagEngine Diags;
+  auto Net = loadNetwork(Source, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+
+  ExactResult Plain = ExactEngine(Net->Spec).run();
+
+  auto Ctx = std::make_shared<ObsContext>(true, true);
+  ExactOptions Opts;
+  Opts.Obs = Ctx;
+  ExactResult Traced = ExactEngine(Net->Spec, Opts).run();
+
+  EXPECT_TRUE(Plain.QueryMass == Traced.QueryMass)
+      << "plain " << Plain.QueryMass.toString(Net->Spec.Params)
+      << "\ntraced " << Traced.QueryMass.toString(Net->Spec.Params);
+  EXPECT_TRUE(Plain.OkMass == Traced.OkMass);
+  EXPECT_TRUE(Plain.ErrorMass == Traced.ErrorMass);
+  EXPECT_EQ(Plain.ConfigsExpanded, Traced.ConfigsExpanded);
+  EXPECT_EQ(Plain.MergeHits, Traced.MergeHits);
+  EXPECT_GT(Ctx->tracer()->numEvents(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDiffTest,
                          ::testing::Range<uint64_t>(0, 30));
 

@@ -1,0 +1,387 @@
+//===- tests/ObsTest.cpp - Observability layer ------------------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observability tests: the sharded metrics registry loses no increments
+/// under heavy concurrency, histogram buckets follow Prometheus `le`
+/// semantics exactly, the tracer renders well-formed and well-nested
+/// Chrome-trace JSON with deterministic span ids, and every counted
+/// quantity is bit-identical across 1 / 2 / 8 worker threads and with
+/// observability on or off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Bayonet.h"
+#include "scenarios/Scenarios.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <thread>
+#include <vector>
+
+using namespace bayonet;
+
+namespace {
+
+LoadedNetwork load(const std::string &Src) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(Src, Diags);
+  EXPECT_TRUE(Net.has_value()) << Diags.toString();
+  return std::move(*Net);
+}
+
+/// Pulls every "key":<number> with the given key out of a JSON string, in
+/// document order. Enough of a parser for the flat event objects the
+/// tracer emits.
+std::vector<uint64_t> jsonNumbers(const std::string &Json,
+                                  const std::string &Key) {
+  std::vector<uint64_t> Out;
+  std::regex Re("\"" + Key + "\":([0-9]+)");
+  for (auto It = std::sregex_iterator(Json.begin(), Json.end(), Re);
+       It != std::sregex_iterator(); ++It)
+    Out.push_back(std::stoull((*It)[1].str()));
+  return Out;
+}
+
+/// Blanks the only nondeterministic fields (ts / dur, microseconds) so two
+/// traces of the same run can be compared byte-for-byte.
+std::string stripTimestamps(std::string Json) {
+  Json = std::regex_replace(Json, std::regex("\"ts\":[0-9]+"), "\"ts\":T");
+  return std::regex_replace(Json, std::regex("\"dur\":[0-9]+"), "\"dur\":D");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+// The headline concurrency guarantee: 8 threads hammering one counter with
+// a million increments each lose nothing — the aggregated total is exact,
+// not approximate.
+TEST(Obs, ConcurrentCounterStressExactTotal) {
+  MetricsRegistry Reg;
+  MetricId C = Reg.counter("stress_total", "concurrency stress counter");
+  MetricId H = Reg.histogram("stress_hist", "concurrency stress histogram",
+                             {10, 100, 1000});
+  constexpr unsigned NumThreads = 8;
+  constexpr uint64_t PerThread = 1000000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Reg, C, H, T] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        Reg.add(C);
+      // A sprinkle of histogram traffic rides along on each thread.
+      for (uint64_t I = 0; I < 1000; ++I)
+        Reg.observe(H, static_cast<double>(T * 137 % 2000));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Reg.value(C), NumThreads * PerThread);
+  EXPECT_EQ(Reg.value(H), NumThreads * 1000u);
+}
+
+TEST(Obs, HistogramBucketBoundaries) {
+  MetricsRegistry Reg;
+  MetricId H = Reg.histogram("h", "boundary semantics", {1, 2, 4});
+  // Prometheus `le` semantics: a value equal to a bound lands IN that
+  // bucket; anything above the last bound lands in +Inf.
+  Reg.observe(H, 0.5);
+  Reg.observe(H, 1.0);
+  Reg.observe(H, 1.5);
+  Reg.observe(H, 4.0);
+  Reg.observe(H, 5.0);
+  auto Snap = Reg.snapshot();
+  ASSERT_EQ(Snap.size(), 1u);
+  const MetricValue &V = Snap[0];
+  ASSERT_EQ(V.BucketCounts.size(), 4u); // 3 finite + the +Inf bucket.
+  EXPECT_EQ(V.BucketCounts[0], 2u);     // le=1: 0.5, 1.0
+  EXPECT_EQ(V.BucketCounts[1], 3u);     // le=2: + 1.5
+  EXPECT_EQ(V.BucketCounts[2], 4u);     // le=4: + 4.0 (== bound)
+  EXPECT_EQ(V.BucketCounts[3], 5u);     // +Inf: + 5.0
+  EXPECT_EQ(V.Value, 5u);
+  EXPECT_NEAR(V.Sum, 12.0, 1e-9);
+}
+
+TEST(Obs, GaugeSetAndMax) {
+  MetricsRegistry Reg;
+  MetricId G = Reg.gauge("g", "gauge");
+  Reg.set(G, 7);
+  EXPECT_EQ(Reg.value(G), 7u);
+  Reg.max(G, 3); // Lower: no effect.
+  EXPECT_EQ(Reg.value(G), 7u);
+  Reg.max(G, 11);
+  EXPECT_EQ(Reg.value(G), 11u);
+}
+
+TEST(Obs, RegistryDedupesAndChecksKinds) {
+  MetricsRegistry Reg;
+  MetricId A = Reg.counter("same", "help");
+  MetricId B = Reg.counter("same", "help");
+  EXPECT_EQ(A.Slot, B.Slot);
+  EXPECT_THROW(Reg.gauge("same", "help"), std::runtime_error);
+  EXPECT_THROW(Reg.histogram("bad", "help", {2, 2}), std::runtime_error);
+}
+
+TEST(Obs, RenderPromFormat) {
+  MetricsRegistry Reg;
+  MetricId C = Reg.counter("bayo_test_total", "a counter");
+  MetricId H = Reg.histogram("bayo_lat", "a histogram", {1, 2, 4});
+  Reg.add(C, 42);
+  Reg.observe(H, 1.0);
+  Reg.observe(H, 9.0);
+  std::string Prom = Reg.renderProm();
+  EXPECT_NE(Prom.find("# HELP bayo_test_total a counter\n"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("# TYPE bayo_test_total counter\n"), std::string::npos);
+  EXPECT_NE(Prom.find("bayo_test_total 42\n"), std::string::npos);
+  EXPECT_NE(Prom.find("# TYPE bayo_lat histogram\n"), std::string::npos);
+  EXPECT_NE(Prom.find("bayo_lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(Prom.find("bayo_lat_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("bayo_lat_sum 10\n"), std::string::npos);
+  EXPECT_NE(Prom.find("bayo_lat_count 2\n"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+TEST(Obs, TraceJsonSchemaAndNesting) {
+  Tracer T;
+  {
+    Span Outer = T.span("outer");
+    Outer.arg("k", std::string("v\"q"));
+    {
+      Span Inner = T.span("inner");
+      T.event("tick", {{"n", "1"}});
+    }
+  }
+  std::string Json = T.renderChromeJson();
+  // Shape: one trace-events array, spans as "X" with dur, instants as "i".
+  EXPECT_NE(Json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Json.find("\\\"q"), std::string::npos); // Escaped quote in arg.
+  // Nesting via span_id/parent_id (timestamp-free): outer is 1 under root
+  // 0, inner is 2 under 1, the instant event reports parent 2.
+  EXPECT_EQ(jsonNumbers(Json, "span_id"), (std::vector<uint64_t>{1, 2, 0}));
+  EXPECT_EQ(jsonNumbers(Json, "parent_id"),
+            (std::vector<uint64_t>{0, 1, 2}));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the exact engine under a fresh metrics-only context and returns
+/// (context, result). ParallelThreshold 1 forces the sharded path so the
+/// thread count actually matters.
+std::pair<std::shared_ptr<ObsContext>, ExactResult>
+exactWithObs(const LoadedNetwork &Net, unsigned Threads) {
+  auto Ctx = std::make_shared<ObsContext>(false, true);
+  ExactOptions Opts;
+  Opts.Threads = Threads;
+  Opts.ParallelThreshold = 1;
+  Opts.Obs = Ctx;
+  return {Ctx, ExactEngine(Net.Spec, Opts).run()};
+}
+
+/// Every deterministic engine metric (everything except the duration
+/// histogram, whose bucket placement is wall-clock dependent).
+std::string metricFingerprint(const ObsContext &Ctx) {
+  std::string Out;
+  for (const MetricValue &V : Ctx.metrics()->snapshot()) {
+    if (V.Name == "bayonet_step_duration_ms" ||
+        V.Name == "bayonet_pool_batches_total" ||
+        V.Name == "bayonet_pool_tasks_total")
+      continue; // Duration- or thread-count-dependent by design.
+    Out += V.Name + "=" + std::to_string(V.Value);
+    for (uint64_t B : V.BucketCounts)
+      Out += "," + std::to_string(B);
+    Out += ";";
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(Obs, ExactCountersIdenticalAcrossThreadCounts) {
+  LoadedNetwork Net = load(scenarios::gossip(3));
+  auto [Ctx1, R1] = exactWithObs(Net, 1);
+  auto [Ctx2, R2] = exactWithObs(Net, 2);
+  auto [Ctx8, R8] = exactWithObs(Net, 8);
+  ASSERT_TRUE(R1.Status.ok());
+  ASSERT_TRUE(R2.Status.ok());
+  ASSERT_TRUE(R8.Status.ok());
+  EXPECT_GT(Ctx1->metrics()->value(Ctx1->ids().StatesExpanded), 0u);
+  std::string F1 = metricFingerprint(*Ctx1);
+  EXPECT_EQ(F1, metricFingerprint(*Ctx2));
+  EXPECT_EQ(F1, metricFingerprint(*Ctx8));
+  // The registry view agrees with the engine's own result statistics.
+  EXPECT_EQ(Ctx1->metrics()->value(Ctx1->ids().StatesExpanded),
+            R1.ConfigsExpanded);
+  EXPECT_EQ(Ctx1->metrics()->value(Ctx1->ids().MergeHits), R1.MergeHits);
+  EXPECT_EQ(Ctx1->metrics()->value(Ctx1->ids().MergeAttempts),
+            R1.MergeAttempts);
+  EXPECT_GE(R1.MergeAttempts, R1.MergeHits);
+  EXPECT_EQ(Ctx1->metrics()->value(Ctx1->ids().PeakFrontier),
+            R1.MaxFrontierSize);
+}
+
+TEST(Obs, AnswersIdenticalWithObsOnAndOff) {
+  LoadedNetwork Net = load(scenarios::gossip(3));
+  ExactResult Plain = ExactEngine(Net.Spec).run();
+  auto [Ctx, Observed] = exactWithObs(Net, 2);
+  ASSERT_TRUE(Plain.Status.ok());
+  ASSERT_TRUE(Observed.Status.ok());
+  EXPECT_TRUE(Plain.QueryMass == Observed.QueryMass);
+  EXPECT_EQ(Plain.ConfigsExpanded, Observed.ConfigsExpanded);
+  EXPECT_EQ(Plain.MergeHits, Observed.MergeHits);
+}
+
+TEST(Obs, SamplerCountersIdenticalAcrossThreadCounts) {
+  LoadedNetwork Net = load(scenarios::reliabilityChain(1));
+  auto run = [&](unsigned Threads) {
+    auto Ctx = std::make_shared<ObsContext>(false, true);
+    SampleOptions Opts;
+    Opts.Particles = 512;
+    Opts.Seed = 7;
+    Opts.Threads = Threads;
+    Opts.Obs = Ctx;
+    SampleResult R = Sampler(Net.Spec, Opts).run();
+    EXPECT_TRUE(R.Status.ok());
+    return Ctx;
+  };
+  auto C1 = run(1), C2 = run(2), C8 = run(8);
+  EXPECT_GT(C1->metrics()->value(C1->ids().Particles), 0u);
+  std::string F1 = metricFingerprint(*C1);
+  EXPECT_EQ(F1, metricFingerprint(*C2));
+  EXPECT_EQ(F1, metricFingerprint(*C8));
+}
+
+TEST(Obs, TraceShapeDeterministicAcrossRunsAndThreads) {
+  LoadedNetwork Net = load(scenarios::gossip(3));
+  auto traceOf = [&](unsigned Threads) {
+    auto Ctx = std::make_shared<ObsContext>(true, false);
+    InferenceOptions Opts;
+    Opts.Threads = Threads;
+    Opts.Obs = Ctx;
+    InferenceResult R = runInference(Net, Opts);
+    EXPECT_TRUE(R.Status.ok());
+    return stripTimestamps(Ctx->tracer()->renderChromeJson());
+  };
+  std::string A = traceOf(1);
+  // Same event sequence, names, span ids, parents, args — byte for byte —
+  // across a rerun and across thread counts.
+  EXPECT_EQ(A, traceOf(1));
+  EXPECT_EQ(A, traceOf(2));
+  EXPECT_EQ(A, traceOf(8));
+  EXPECT_NE(A.find("\"name\":\"inference\""), std::string::npos);
+  EXPECT_NE(A.find("\"name\":\"exact.run\""), std::string::npos);
+  EXPECT_NE(A.find("\"name\":\"exact.step\""), std::string::npos);
+  EXPECT_NE(A.find("\"name\":\"exact.expand\""), std::string::npos);
+  EXPECT_NE(A.find("\"name\":\"exact.merge\""), std::string::npos);
+
+  // Same guarantee with the sharded path forced (ParallelThreshold 1):
+  // the serial fused expand+merge emits the identical span pair the
+  // two-phase parallel step does.
+  auto forcedTraceOf = [&](unsigned Threads) {
+    auto Ctx = std::make_shared<ObsContext>(true, false);
+    ExactOptions Opts;
+    Opts.Threads = Threads;
+    Opts.ParallelThreshold = 1;
+    Opts.Obs = Ctx;
+    ExactResult R = ExactEngine(Net.Spec, Opts).run();
+    EXPECT_TRUE(R.Status.ok());
+    return stripTimestamps(Ctx->tracer()->renderChromeJson());
+  };
+  std::string F = forcedTraceOf(1);
+  EXPECT_EQ(F, forcedTraceOf(2));
+  EXPECT_EQ(F, forcedTraceOf(8));
+}
+
+TEST(Obs, TranslatedEngineEmitsPsiSpans) {
+  LoadedNetwork Net = load(scenarios::paperExample());
+  auto Ctx = std::make_shared<ObsContext>(true, true);
+  InferenceOptions Opts;
+  Opts.Engine = EngineChoice::Translated;
+  Opts.Obs = Ctx;
+  InferenceResult R = runInference(Net, Opts);
+  ASSERT_TRUE(R.Status.ok());
+  std::string Json = Ctx->tracer()->renderChromeJson();
+  EXPECT_NE(Json.find("\"name\":\"translate\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"psi.run\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"psi.stmt\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"psi.round\""), std::string::npos);
+  ASSERT_TRUE(R.Translated.has_value());
+  EXPECT_EQ(Ctx->metrics()->value(Ctx->ids().StatesExpanded),
+            R.Translated->BranchesExpanded);
+  EXPECT_EQ(R.Spent.MergeAttempts, R.Translated->MergeAttempts);
+}
+
+TEST(Obs, SmcEmitsResampleSpansAndParticleCounters) {
+  LoadedNetwork Net = load(scenarios::reliabilityChain(2));
+  auto Ctx = std::make_shared<ObsContext>(true, true);
+  InferenceOptions Opts;
+  Opts.Engine = EngineChoice::Smc;
+  Opts.Particles = 256;
+  Opts.Obs = Ctx;
+  InferenceResult R = runInference(Net, Opts);
+  ASSERT_TRUE(R.Status.ok());
+  std::string Json = Ctx->tracer()->renderChromeJson();
+  EXPECT_NE(Json.find("\"name\":\"smc.run\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"smc.step\""), std::string::npos);
+  EXPECT_GT(Ctx->metrics()->value(Ctx->ids().Particles), 0u);
+}
+
+TEST(Obs, BudgetTripBecomesEventCounterAndSpendField) {
+  LoadedNetwork Net = load(scenarios::gossip(4));
+  auto Ctx = std::make_shared<ObsContext>(true, true);
+  InferenceOptions Opts;
+  Opts.Limits.MaxStates = 50;
+  Opts.Obs = Ctx;
+  InferenceResult R = runInference(Net, Opts);
+  EXPECT_EQ(R.Status.Code, StatusCode::BudgetExceeded);
+  EXPECT_EQ(R.Spent.TrippedBudget, "state");
+  EXPECT_EQ(Ctx->metrics()->value(Ctx->ids().BudgetTrips), 1u);
+  std::string Json = Ctx->tracer()->renderChromeJson();
+  EXPECT_NE(Json.find("\"name\":\"budget-trip\""), std::string::npos);
+  EXPECT_NE(Json.find("\"class\":\"state\""), std::string::npos);
+}
+
+TEST(Obs, FallbackEmitsEventAndCounter) {
+  LoadedNetwork Net = load(scenarios::gossip(4));
+  auto Ctx = std::make_shared<ObsContext>(true, true);
+  InferenceOptions Opts;
+  Opts.Limits.MaxStates = 50;
+  Opts.OnBudgetExceeded = BudgetPolicy::FallbackSmc;
+  Opts.Particles = 512;
+  Opts.Obs = Ctx;
+  InferenceResult R = runInference(Net, Opts);
+  EXPECT_TRUE(R.FellBack);
+  EXPECT_EQ(Ctx->metrics()->value(Ctx->ids().Fallbacks), 1u);
+  std::string Json = Ctx->tracer()->renderChromeJson();
+  EXPECT_NE(Json.find("\"name\":\"fallback-smc\""), std::string::npos);
+  // The fallback sampler reuses the same context: its spans follow.
+  EXPECT_NE(Json.find("\"name\":\"smc.run\""), std::string::npos);
+}
+
+TEST(Obs, FrontendPhasesEmitSpans) {
+  auto Ctx = std::make_shared<ObsContext>(true, false);
+  DiagEngine Diags;
+  auto Net = loadNetwork(scenarios::gossip(3), Diags, ObsHandle(Ctx));
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  std::string Json = Ctx->tracer()->renderChromeJson();
+  EXPECT_NE(Json.find("\"name\":\"lex\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"check\""), std::string::npos);
+}
