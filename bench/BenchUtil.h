@@ -26,6 +26,32 @@
 
 namespace bayonet::benchutil {
 
+/// Directory every machine-readable benchmark artifact is written to:
+/// $BAYONET_BENCH_OUT when set (scripts/bench_all.sh sets it), the current
+/// directory otherwise. The caller is responsible for the directory
+/// existing.
+inline std::string benchOutDir() {
+  const char *Dir = std::getenv("BAYONET_BENCH_OUT");
+  return Dir && *Dir ? Dir : ".";
+}
+
+/// Joins benchOutDir() with a file name.
+inline std::string outPath(const std::string &File) {
+  return benchOutDir() + "/" + File;
+}
+
+/// The suite name of a bench binary: basename of argv[0] without the
+/// "bench_" prefix ("bench/bench_table1_gossip" -> "table1_gossip").
+inline std::string suiteName(const char *Argv0) {
+  std::string Name = Argv0 ? Argv0 : "unknown";
+  size_t Slash = Name.find_last_of('/');
+  if (Slash != std::string::npos)
+    Name = Name.substr(Slash + 1);
+  if (Name.rfind("bench_", 0) == 0)
+    Name = Name.substr(6);
+  return Name;
+}
+
 /// Loads a network or aborts the benchmark binary.
 inline LoadedNetwork mustLoad(const std::string &Source) {
   DiagEngine Diags;
@@ -79,6 +105,47 @@ inline void printComparison(const char *Title) {
     std::printf("%-36s %-12s %-14s %-20s %10.3f\n", R.Benchmark.c_str(),
                 R.Engine.c_str(), R.Paper.c_str(), R.Measured.c_str(),
                 R.Seconds);
+}
+
+/// Escapes a string for embedding in JSON output.
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+/// Writes the paper-vs-measured comparison table as machine-readable JSON
+/// (BENCH_<suite>_rows.json in benchOutDir()), so every bench binary — not
+/// just the scaling one — emits a uniform artifact.
+inline void writeRowsJson(const char *Argv0) {
+  if (rows().empty())
+    return;
+  std::string Suite = suiteName(Argv0);
+  std::string Path = outPath("BENCH_" + Suite + "_rows.json");
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\"suite\": \"%s\", \"rows\": [\n", Suite.c_str());
+  const std::vector<Row> &Rows = rows();
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::fprintf(F,
+                 "  {\"benchmark\": \"%s\", \"engine\": \"%s\", "
+                 "\"paper\": \"%s\", \"measured\": \"%s\", "
+                 "\"seconds\": %.6f}%s\n",
+                 jsonEscape(R.Benchmark).c_str(), jsonEscape(R.Engine).c_str(),
+                 jsonEscape(R.Paper).c_str(), jsonEscape(R.Measured).c_str(),
+                 R.Seconds, I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "]}\n");
+  std::fclose(F);
+  std::printf("wrote %s (%zu rows)\n", Path.c_str(), Rows.size());
 }
 
 /// Formats a double with 4 decimals.
@@ -264,7 +331,8 @@ inline void writeObsJson(const char *Path) {
   std::printf("wrote %s (%zu rows)\n", Path, Rows.size());
 }
 
-/// Standard main: run the registered benchmarks, then print the table.
+/// Standard main: run the registered benchmarks, then print the table and
+/// write every machine-readable artifact into benchOutDir().
 #define BAYONET_BENCH_MAIN(TITLE)                                            \
   int main(int argc, char **argv) {                                         \
     benchmark::Initialize(&argc, argv);                                     \
@@ -273,9 +341,13 @@ inline void writeObsJson(const char *Path) {
     benchmark::RunSpecifiedBenchmarks();                                    \
     benchmark::Shutdown();                                                  \
     bayonet::benchutil::printComparison(TITLE);                             \
-    bayonet::benchutil::writeScalingJson("BENCH_scaling.json");             \
-    bayonet::benchutil::writeBudgetJson("BENCH_budget.json");               \
-    bayonet::benchutil::writeObsJson("BENCH_obs.json");                     \
+    bayonet::benchutil::writeRowsJson(argv[0]);                             \
+    bayonet::benchutil::writeScalingJson(                                   \
+        bayonet::benchutil::outPath("BENCH_scaling.json").c_str());         \
+    bayonet::benchutil::writeBudgetJson(                                    \
+        bayonet::benchutil::outPath("BENCH_budget.json").c_str());          \
+    bayonet::benchutil::writeObsJson(                                       \
+        bayonet::benchutil::outPath("BENCH_obs.json").c_str());             \
     return 0;                                                               \
   }
 

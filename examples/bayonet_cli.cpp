@@ -17,7 +17,7 @@
 ///                [--param NAME=VALUE]...
 ///                [--emit-psi] [--emit-webppl]
 ///                [--stats[=full]] [--dist]
-///                [--trace-out FILE] [--metrics-out FILE]
+///                [--trace-out FILE] [--metrics-out FILE] [--diag-out FILE]
 ///
 /// Exit codes: 0 = answered, 1 = query unsupported by the engine,
 /// 2 = invalid input (usage, parse, check, untranslatable), 3 = budget
@@ -78,9 +78,14 @@ void usage() {
       "of the run\n"
       "  --metrics-out FILE                     write Prometheus text-format "
       "metrics\n"
+      "  --diag-out FILE                        write inference-quality "
+      "diagnostics JSON\n"
+      "                                         (per-step ESS, frontier / "
+      "merge trajectory)\n"
       "\n"
-      "Tracing/metrics also turn on via BAYONET_TRACE=FILE and\n"
-      "BAYONET_METRICS=FILE (flags win over the environment).\n"
+      "Tracing/metrics/diagnostics also turn on via BAYONET_TRACE=FILE,\n"
+      "BAYONET_METRICS=FILE and BAYONET_DIAG=FILE (flags win over the\n"
+      "environment). Diagnostics print degeneracy warnings on stderr.\n"
       "\n"
       "Budget flags default from BAYONET_DEADLINE_MS, BAYONET_MAX_STATES,\n"
       "BAYONET_MAX_FRONTIER, BAYONET_MAX_MERGES, BAYONET_MAX_BYTES,\n"
@@ -128,7 +133,7 @@ int runMain(int argc, char **argv) {
   }
   bool EmitPsi = false, EmitWebPpl = false, Stats = false, Dist = false;
   bool StatsFull = false;
-  std::string TraceFile, MetricsFile;
+  std::string TraceFile, MetricsFile, DiagFile;
   std::vector<std::pair<std::string, Rational>> ParamBinds;
 
   for (int I = 1; I < argc; ++I) {
@@ -229,7 +234,8 @@ int runMain(int argc, char **argv) {
       Stats = true;
       StatsFull = true;
     } else if (takePath("--trace-out", TraceFile) ||
-               takePath("--metrics-out", MetricsFile)) {
+               takePath("--metrics-out", MetricsFile) ||
+               takePath("--diag-out", DiagFile)) {
       // Handled by takePath.
     } else if (Arg == "--dist")
       Dist = true;
@@ -274,11 +280,15 @@ int runMain(int argc, char **argv) {
   if (const char *Env = std::getenv("BAYONET_METRICS");
       Env && MetricsFile.empty())
     MetricsFile = Env;
+  if (const char *Env = std::getenv("BAYONET_DIAG"); Env && DiagFile.empty())
+    DiagFile = Env;
   std::shared_ptr<ObsContext> ObsCtx;
-  if (!TraceFile.empty() || !MetricsFile.empty() || StatsFull)
+  if (!TraceFile.empty() || !MetricsFile.empty() || !DiagFile.empty() ||
+      StatsFull)
     ObsCtx = std::make_shared<ObsContext>(
         /*EnableTrace=*/!TraceFile.empty(),
-        /*EnableMetrics=*/!MetricsFile.empty() || StatsFull);
+        /*EnableMetrics=*/!MetricsFile.empty() || StatsFull,
+        /*EnableDiag=*/!DiagFile.empty());
   ObsHandle Obs(ObsCtx);
   IOpts.Obs = ObsCtx;
 
@@ -310,6 +320,14 @@ int runMain(int argc, char **argv) {
     if (!MetricsFile.empty() && ObsCtx->metrics() &&
         !writeFile(MetricsFile, ObsCtx->metrics()->renderProm()))
       return false;
+    if (!DiagFile.empty() && ObsCtx->diag()) {
+      DiagReport DR = ObsCtx->diag()->report();
+      if (!writeFile(DiagFile, DR.toJson()))
+        return false;
+      // The human-readable degeneracy / blowup warning line(s).
+      for (const std::string &W : DR.Summary.Warnings)
+        std::fprintf(stderr, "warning: %s\n", W.c_str());
+    }
     if (StatsFull)
       std::fprintf(stderr, "%s", ObsCtx->renderFullStats().c_str());
     return true;

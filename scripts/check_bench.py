@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Aggregates and regression-checks the bayonet benchmark results.
+
+Usage:
+  check_bench.py aggregate OUTDIR... [-o BENCH.json]
+      Combine OUTDIR/gbench_*.json (google-benchmark --benchmark_out
+      files) into one canonical BENCH.json. Several OUTDIRs (separate
+      bench_all.sh runs) merge by keeping each benchmark's fastest
+      sample — per-process layout luck means one run can be uniformly
+      slow for one benchmark, so the min across runs is the honest
+      "how fast can this code go" number.
+
+  check_bench.py [compare] [BASELINE [CANDIDATE...]]
+      Compare CANDIDATE (default bench_out/BENCH.json) against BASELINE
+      (default BENCH.json, the committed one). Exits 1 when any benchmark
+      regresses beyond the tolerance band. With several CANDIDATEs only
+      benchmarks that regress in EVERY candidate fail — a real
+      regression shows up in each run, a noise flake rarely hits the
+      same benchmark twice.
+
+Environment:
+  BAYONET_BENCH_TOL     relative tolerance band (default 0.15 = +/-15%)
+  BAYONET_BENCH_MIN_MS  noise floor: benchmarks whose baseline CPU time
+                        is below this many ms are reported but never fail
+                        the check (default 1.0)
+  BAYONET_BENCH_DRIFT   cap on any suite's median slowdown
+                        (default 0.5 = +50%)
+
+Comparison gates on cpu_time (wall time inflates under unrelated load)
+and is drift-corrected per suite: every benchmark's candidate/baseline
+ratio is divided by its suite's median ratio before applying the
+tolerance band. A suite's benchmarks run inside the same ~30s window, so
+host slow phases (CPU steal, frequency scaling) inflate them coherently;
+dividing the shared component out leaves only relative movement, which
+is what a code regression looks like. A genuine broad regression is
+still caught by the separate drift cap on the suite medians themselves.
+
+Canonical BENCH.json schema:
+  {"schema": 1,
+   "suites": {
+     "bench_overview": {
+       "benchmarks": {
+         "BM_OverviewExact": {"real_time_ms": 26.1, "cpu_time_ms": 26.0,
+                              "iterations": 27}}}}}
+"""
+import glob
+import json
+import os
+import sys
+
+SCHEMA = 1
+
+TIME_UNIT_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def aggregate(outdirs, dest):
+    suites = {}
+    raw_files = []
+    for outdir in outdirs:
+        found = sorted(glob.glob(os.path.join(outdir, "gbench_*.json")))
+        if not found:
+            fail(f"no gbench_*.json files in {outdir} "
+                 "(run scripts/bench_all.sh first)")
+        raw_files.extend(found)
+    for path in raw_files:
+        suite = os.path.basename(path)[len("gbench_"):-len(".json")]
+        for b in json_benchmarks(path):
+            unit = TIME_UNIT_MS.get(b.get("time_unit", "ns"))
+            if unit is None:
+                fail(f"{path}: unknown time_unit in {b.get('name')}")
+            entry = {
+                "real_time_ms": round(b["real_time"] * unit, 6),
+                "cpu_time_ms": round(b["cpu_time"] * unit, 6),
+                "iterations": b.get("iterations", 0),
+            }
+            name = b["name"]
+            benches = suites.setdefault(suite, {"benchmarks": {}})
+            benches = benches["benchmarks"]
+            # Repetitions of the same benchmark — within one run or across
+            # merged runs — keep the fastest sample, the usual practice.
+            if (name not in benches or
+                    entry["cpu_time_ms"] < benches[name]["cpu_time_ms"]):
+                benches[name] = entry
+    suites = {s: v for s, v in suites.items() if v["benchmarks"]}
+    if not suites:
+        fail(f"no benchmark entries found under {' '.join(outdirs)}")
+    doc = {"schema": SCHEMA, "suites": suites}
+    with open(dest, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+    total = sum(len(s["benchmarks"]) for s in suites.values())
+    print(f"check_bench: aggregated {total} benchmarks from "
+          f"{len(suites)} suites into {dest}")
+
+
+def json_benchmarks(path):
+    """Plain per-iteration rows from a google-benchmark JSON file (skips
+    the mean/median/stddev aggregate rows repetitions add). A binary whose
+    benchmarks were all filtered out leaves an empty file — treat as no
+    rows rather than an error."""
+    with open(path) as f:
+        text = f.read()
+    if not text.strip():
+        return []
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"{path}: malformed benchmark JSON ({e})")
+    return [b for b in doc.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"]
+
+
+def load(path, role):
+    if not os.path.exists(path):
+        fail(f"{role} file {path} not found")
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: unsupported schema {doc.get('schema')!r}")
+    return doc["suites"]
+
+
+def analyze(base, cand, tol, min_ms):
+    """One baseline-vs-candidate pass. Returns (regressions keyed by
+    suite/name, improvements, suite drifts, compared, skipped, missing)."""
+    by_suite, compared, skipped_noise, missing = {}, 0, 0, []
+    for suite, sdata in sorted(base.items()):
+        cbenches = cand.get(suite, {}).get("benchmarks", {})
+        for name, b in sorted(sdata["benchmarks"].items()):
+            c = cbenches.get(name)
+            key = f"{suite}/{name}"
+            if c is None:
+                missing.append(key)
+                continue
+            # Gate on CPU time: wall time inflates under transient load on
+            # a shared box, CPU time tracks the work actually done.
+            bt, ct = b["cpu_time_ms"], c["cpu_time_ms"]
+            if bt <= 0:
+                continue
+            compared += 1
+            if bt < min_ms:
+                skipped_noise += 1
+                continue
+            by_suite.setdefault(suite, []).append((key, bt, ct, ct / bt))
+
+    if compared == 0:
+        fail("baseline and candidate share no benchmarks")
+
+    # Per-suite drift: a suite's benchmarks run inside one ~30s window, so
+    # host slow phases inflate them coherently; the suite's median ratio is
+    # that shared machine component. Benchmarks are judged relative to it,
+    # and the medians themselves get a wider cap so a real broad slowdown
+    # still fails.
+    # Lower median: for even counts pick the smaller middle element, so a
+    # regressed benchmark in a two-entry suite can't become its own
+    # baseline. Suites with fewer than 3 gated entries borrow the global
+    # drift — their own median IS the benchmark under test.
+    def lower_median(rs):
+        return sorted(rs)[(len(rs) - 1) // 2]
+
+    all_ratios = [r[3] for rows in by_suite.values() for r in rows]
+    global_drift = lower_median(all_ratios) if all_ratios else 1.0
+
+    regressions, improvements, drifts = {}, [], []
+    for suite, rows in sorted(by_suite.items()):
+        drift = (lower_median([r[3] for r in rows]) if len(rows) >= 3
+                 else global_drift)
+        drifts.append((suite, drift))
+        for key, bt, ct, ratio in rows:
+            adj = ratio / drift
+            if adj > 1 + tol:
+                regressions[key] = (bt, ct, adj)
+            elif adj < 1 - tol:
+                improvements.append((key, bt, ct, adj))
+    return regressions, improvements, drifts, compared, skipped_noise, missing
+
+
+def compare(baseline_path, candidate_paths):
+    tol = float(os.environ.get("BAYONET_BENCH_TOL", "0.15"))
+    min_ms = float(os.environ.get("BAYONET_BENCH_MIN_MS", "1.0"))
+    drift_cap = float(os.environ.get("BAYONET_BENCH_DRIFT", "0.5"))
+    base = load(baseline_path, "baseline")
+
+    confirmed, first = None, None
+    caps_exceeded, compared = 0, 0
+    for cpath in candidate_paths:
+        cand = load(cpath, "candidate")
+        regs, improvements, drifts, compared, skipped_noise, missing = \
+            analyze(base, cand, tol, min_ms)
+        if compared == 0:
+            fail(f"baseline and {cpath} share no benchmarks")
+        drift_line = ", ".join(f"{s} {(d - 1) * 100:+.0f}%"
+                               for s, d in drifts if abs(d - 1) >= 0.05)
+        print(f"check_bench: {cpath}: suite drift corrected "
+              f"({drift_line if drift_line else 'all suites within 5%'})")
+        for key, bt, ct, adj in sorted(improvements, key=lambda r: r[3]):
+            print(f"check_bench: improved   {key}: {bt:.3f} -> {ct:.3f} ms "
+                  f"({(adj - 1) * 100:+.1f}% drift-adjusted)")
+        for key in missing:
+            print(f"check_bench: warning: {key} missing from {cpath} "
+                  "(not run?)")
+        for key, (bt, ct, adj) in sorted(regs.items(), key=lambda r: -r[1][2]):
+            print(f"check_bench: regressed in {cpath}: {key}: "
+                  f"{bt:.3f} -> {ct:.3f} ms ({(adj - 1) * 100:+.1f}% "
+                  f"drift-adjusted, tolerance {tol * 100:.0f}%)")
+        worst = max(drifts, key=lambda d: d[1])
+        if worst[1] > 1 + drift_cap:
+            caps_exceeded += 1
+            print(f"check_bench: {cpath}: suite {worst[0]} median slowdown "
+                  f"{(worst[1] - 1) * 100:+.1f}% exceeds the "
+                  f"{drift_cap * 100:.0f}% drift cap")
+        # Only benchmarks regressed in EVERY candidate count: a genuine
+        # code regression is slow in each run, while a per-process layout
+        # flake rarely hits the same benchmark in independent runs.
+        if first is None:
+            first = regs
+            confirmed = set(regs)
+        else:
+            confirmed &= set(regs)
+
+    if caps_exceeded == len(candidate_paths):
+        fail(f"suite median slowdown exceeds the {drift_cap * 100:.0f}% "
+             "drift cap in every run — broad regression")
+    if confirmed:
+        for key in sorted(confirmed, key=lambda k: -first[k][2]):
+            bt, ct, adj = first[key]
+            print(f"check_bench: REGRESSED  {key}: {bt:.3f} -> {ct:.3f} ms "
+                  f"({(adj - 1) * 100:+.1f}% drift-adjusted, confirmed in "
+                  f"{len(candidate_paths)} run(s))", file=sys.stderr)
+        fail(f"{len(confirmed)} of {compared} benchmarks regressed beyond "
+             f"{tol * 100:.0f}% in every run")
+    if first and len(candidate_paths) > 1:
+        print(f"check_bench: {len(first)} first-run regression(s) not "
+              "confirmed by the retry — treated as noise")
+    print(f"check_bench: OK — {compared} benchmarks within "
+          f"{tol * 100:.0f}% of the drift-adjusted baseline")
+
+
+def main():
+    args = sys.argv[1:]
+    if args and args[0] == "aggregate":
+        args = args[1:]
+        dest = "BENCH.json"
+        if "-o" in args:
+            i = args.index("-o")
+            dest = args[i + 1]
+            args = args[:i] + args[i + 2:]
+        if not args:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        aggregate(args, dest)
+        return
+    if args and args[0] == "compare":
+        args = args[1:]
+    if any(a.startswith("-") for a in args):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    baseline = args[0] if len(args) > 0 else "BENCH.json"
+    candidates = args[1:] if len(args) > 1 else ["bench_out/BENCH.json"]
+    compare(baseline, candidates)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Validates the bayonet observability exporter outputs.
 
-Usage: check_obs.py TRACE_JSON METRICS_PROM
+Usage: check_obs.py TRACE_JSON METRICS_PROM [DIAG_JSON]
 
 Checks that the Chrome-trace file is valid JSON with a well-nested span
 tree covering every pipeline phase, and that the metrics file is parseable
-Prometheus text exposition with sane counter values. Exits non-zero with a
-diagnostic on the first violation.
+Prometheus text exposition with sane counter values. When DIAG_JSON is
+given, also validates the --diag-out inference-diagnostics report schema
+and its internal invariants. Exits non-zero with a diagnostic on the
+first violation.
 """
 import json
 import sys
@@ -129,12 +131,118 @@ def check_metrics(path):
     print(f"check_obs: metrics OK ({len(values)} samples)")
 
 
+DIAG_SUMMARY_KEYS = [
+    "schema",
+    "engine",
+    "particles",
+    "resamples",
+    "final_ess",
+    "min_ess",
+    "min_ess_fraction",
+    "min_ess_step",
+    "support_size",
+    "peak_frontier",
+    "warnings",
+    "smc_steps",
+    "exact_rounds",
+]
+
+DIAG_SMC_KEYS = [
+    "step",
+    "active",
+    "alive",
+    "ess",
+    "ess_fraction",
+    "weight_cv",
+    "min_log_weight",
+    "max_log_weight",
+    "dead_mass_fraction",
+    "resampled",
+]
+
+DIAG_EXACT_KEYS = [
+    "step",
+    "frontier_in",
+    "frontier_out",
+    "expanded",
+    "merge_attempts",
+    "merge_hits",
+    "merge_hit_rate",
+]
+
+
+def check_diag(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for key in DIAG_SUMMARY_KEYS:
+        if key not in doc:
+            fail(f"{path}: diag report missing '{key}'")
+    if doc["schema"] != 1:
+        fail(f"{path}: unsupported diag schema {doc['schema']!r}")
+    if not doc["engine"]:
+        fail(f"{path}: empty engine name")
+    particles = doc["particles"]
+    if not (0 <= doc["min_ess"] <= max(particles, doc["min_ess"])):
+        fail(f"{path}: min_ess {doc['min_ess']} out of range")
+    if not 0 <= doc["min_ess_fraction"] <= 1:
+        fail(f"{path}: min_ess_fraction out of [0,1]")
+    if "residual_mass" in doc and not 0 <= doc["residual_mass"] <= 1 + 1e-9:
+        fail(f"{path}: residual_mass out of [0,1]")
+    if "tv_divergence" in doc and not 0 <= doc["tv_divergence"] <= 1 + 1e-9:
+        fail(f"{path}: tv_divergence out of [0,1]")
+    if not isinstance(doc["warnings"], list):
+        fail(f"{path}: warnings is not a list")
+
+    resampled_steps = 0
+    for i, s in enumerate(doc["smc_steps"]):
+        for key in DIAG_SMC_KEYS:
+            if key not in s:
+                fail(f"{path}: smc_steps[{i}] missing '{key}'")
+        # "active" counts still-running particles before the step; "alive"
+        # counts non-dead survivors after it (terminal particles included),
+        # so both are bounded by the population but not by each other.
+        for pop in ("alive", "active"):
+            if particles and not 0 <= s[pop] <= particles:
+                fail(f"{path}: smc_steps[{i}]: {pop} out of [0,particles]")
+        if particles and not 0 <= s["ess"] <= particles + 1e-9:
+            fail(f"{path}: smc_steps[{i}]: ess out of [0,particles]")
+        for frac in ("ess_fraction", "dead_mass_fraction"):
+            if not 0 <= s[frac] <= 1 + 1e-9:
+                fail(f"{path}: smc_steps[{i}]: {frac} out of [0,1]")
+        if s["resampled"]:
+            resampled_steps += 1
+    if doc["resamples"] != resampled_steps:
+        fail(f"{path}: resamples {doc['resamples']} != "
+             f"{resampled_steps} resampled steps")
+
+    peak = 0
+    for i, r in enumerate(doc["exact_rounds"]):
+        for key in DIAG_EXACT_KEYS:
+            if key not in r:
+                fail(f"{path}: exact_rounds[{i}] missing '{key}'")
+        if r["merge_hits"] > r["merge_attempts"]:
+            fail(f"{path}: exact_rounds[{i}]: merge hits > attempts")
+        if not 0 <= r["merge_hit_rate"] <= 1 + 1e-9:
+            fail(f"{path}: exact_rounds[{i}]: merge_hit_rate out of [0,1]")
+        peak = max(peak, r["frontier_in"], r["frontier_out"])
+    if doc["exact_rounds"] and doc["peak_frontier"] < peak:
+        fail(f"{path}: peak_frontier {doc['peak_frontier']} below "
+             f"observed round peak {peak}")
+
+    print(f"check_obs: diag OK (engine {doc['engine']}, "
+          f"{len(doc['smc_steps'])} smc steps, "
+          f"{len(doc['exact_rounds'])} exact rounds, "
+          f"{len(doc['warnings'])} warnings)")
+
+
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     check_trace(sys.argv[1])
     check_metrics(sys.argv[2])
+    if len(sys.argv) == 4:
+        check_diag(sys.argv[3])
     print("check_obs: all checks passed")
 
 

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + test run from ROADMAP.md, a
-# budget-regression check (a tight --max-states run must exit 3), and a
-# thread-sanitized run of the parallel-determinism and budget tests.
-# The TSan step runs with BAYONET_THREADS=4 so real worker threads race
-# through the sharded engine paths even on a single-core machine.
+# budget-regression check (a tight --max-states run must exit 3), the
+# observability + diagnostics exporters (including diag determinism
+# across thread counts), a benchmark-regression check against the
+# committed BENCH.json baseline, and a thread-sanitized run of the
+# parallel-determinism and budget tests. The TSan step runs with
+# BAYONET_THREADS=4 so real worker threads race through the sharded
+# engine paths even on a single-core machine.
 #
 # Usage: scripts/tier1.sh [--no-tsan]
+#   BAYONET_SKIP_BENCH=1 skips the benchmark-regression step (slow:
+#   runs the full bench suite, ~2 minutes).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,8 +47,47 @@ ObsTmp="$(mktemp -d)"
 trap 'rm -rf "$ObsTmp"' EXIT
 ./build/examples/bayonet examples/programs/gossip4.bay --stats \
   --trace-out="$ObsTmp/trace.json" --metrics-out="$ObsTmp/metrics.prom" \
+  --diag-out="$ObsTmp/diag.json" \
   > /dev/null
-python3 scripts/check_obs.py "$ObsTmp/trace.json" "$ObsTmp/metrics.prom"
+python3 scripts/check_obs.py "$ObsTmp/trace.json" "$ObsTmp/metrics.prom" \
+  "$ObsTmp/diag.json"
+
+echo "=== tier-1: diagnostics bit-identical across thread counts ==="
+for Engine in exact smc; do
+  for T in 1 2 8; do
+    ./build/examples/bayonet examples/programs/gossip4.bay \
+      --engine "$Engine" --particles 500 --seed 7 --threads "$T" \
+      --diag-out="$ObsTmp/diag_${Engine}_$T.json" > /dev/null 2>&1
+  done
+  for T in 2 8; do
+    if ! cmp -s "$ObsTmp/diag_${Engine}_1.json" \
+        "$ObsTmp/diag_${Engine}_$T.json"; then
+      echo "diag determinism: $Engine report differs at --threads $T" >&2
+      exit 1
+    fi
+  done
+  echo "diag determinism: $Engine identical at --threads 1/2/8"
+done
+
+if [ "${BAYONET_SKIP_BENCH:-0}" = 1 ]; then
+  echo "=== tier-1: bench-regress skipped (BAYONET_SKIP_BENCH=1) ==="
+elif [ ! -f BENCH.json ]; then
+  echo "=== tier-1: bench-regress skipped (no committed BENCH.json) ==="
+else
+  echo "=== tier-1: bench-regress against committed BENCH.json ==="
+  BenchTmp="$(mktemp -d)"
+  scripts/bench_all.sh -o "$BenchTmp/r1"
+  if ! python3 scripts/check_bench.py BENCH.json "$BenchTmp/r1/BENCH.json"; then
+    # Per-process layout luck can make one benchmark uniformly slow for a
+    # whole run; a second run redraws it. Only benchmarks that regress in
+    # BOTH independent runs fail — a real regression shows up in each.
+    echo "bench-regress: retrying once to rule out per-run noise"
+    scripts/bench_all.sh -o "$BenchTmp/r2"
+    python3 scripts/check_bench.py BENCH.json \
+      "$BenchTmp/r1/BENCH.json" "$BenchTmp/r2/BENCH.json"
+  fi
+  rm -rf "$BenchTmp"
+fi
 
 if [ "$NO_TSAN" = 1 ]; then
   echo "=== tier-1: TSan step skipped (--no-tsan) ==="

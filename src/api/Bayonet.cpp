@@ -10,6 +10,7 @@
 #include "translate/Translator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -182,6 +183,33 @@ InferenceResult bayonet::runInference(const LoadedNetwork &Net,
       R.Spent.SchedSteps += FS.SchedSteps;
       R.Spent.WallMs += FS.WallMs;
       R.Sampled = std::move(SR);
+    }
+
+    // Cross-engine check: a cheap exact reference for a sampled probability
+    // answer. The reference runs under its own states budget and without
+    // obs, so it neither pollutes the trace nor breaks determinism.
+    std::optional<double> Tv;
+    if (Opts.CrossCheckTv && R.Sampled && R.Status.Code == StatusCode::Ok &&
+        !R.Sampled->QueryUnsupported &&
+        R.Sampled->Kind == QueryKind::Probability) {
+      ExactOptions EO;
+      EO.Threads = Opts.Threads;
+      BudgetLimits RefLimits;
+      RefLimits.MaxStates = Opts.TvRefMaxStates;
+      EO.Budget = std::make_shared<BudgetTracker>(RefLimits, Opts.Cancel);
+      ExactResult Ref = ExactEngine(Net.Spec, EO).run();
+      if (Ref.Status.Code == StatusCode::Ok && !Ref.QueryUnsupported)
+        if (auto V = Ref.concreteValue())
+          Tv = std::abs(V->toDouble() - R.Sampled->Value);
+    }
+    DiagCollector *DC = Opts.Obs ? Opts.Obs->diag() : nullptr;
+    if (DC) {
+      if (Tv)
+        DC->recordTv(*Tv);
+      R.Diagnostics = DC->summary();
+    } else {
+      R.Diagnostics.Engine = engineChoiceName(R.EngineUsed);
+      R.Diagnostics.TvDivergence = Tv;
     }
   } catch (const InferenceError &E) {
     R.Status = E.status();

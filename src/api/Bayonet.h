@@ -106,6 +106,13 @@ struct InferenceOptions {
   /// runs (and the fallback). The run emits an "inference" span, budget
   /// trips and fallbacks become trace events and counters. Null = off.
   std::shared_ptr<ObsContext> Obs;
+  /// Cross-engine check: after a sampling engine answers a probability
+  /// query, run a small budgeted exact reference and record the total
+  /// variation divergence |p_exact - p_smc| in the diagnostics. The
+  /// reference is silently skipped when it exceeds TvRefMaxStates (exact
+  /// inference was not cheap). Off by default.
+  bool CrossCheckTv = false;
+  uint64_t TvRefMaxStates = 200000;
 };
 
 /// What a governed run consumed, for reports and regression tracking.
@@ -137,6 +144,10 @@ struct InferenceResult {
   std::optional<PsiExactResult> Translated;
   std::optional<SampleResult> Sampled;
   ResourceSpend Spent;
+  /// Statistical-health summary: final/min ESS, resample count, support
+  /// size, degeneracy warnings (populated from the DiagCollector when
+  /// InferenceOptions::Obs carries one; TV divergence when CrossCheckTv).
+  InferenceDiagnostics Diagnostics;
 };
 
 /// Runs the spec's query under the given engine, budgets, and degradation

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <unordered_map>
 
 using namespace bayonet;
@@ -373,6 +374,7 @@ void foldPartial(ExactResult &Result, ExactResult &Partial) {
     Result.UnsupportedReason = std::move(Partial.UnsupportedReason);
   }
   Result.ConfigsExpanded += Partial.ConfigsExpanded;
+  Result.TerminalConfigs += Partial.TerminalConfigs;
   for (auto &TW : Partial.Terminals)
     Result.Terminals.push_back(std::move(TW));
 }
@@ -391,6 +393,9 @@ ExactResult ExactEngine::run() const {
   const std::atomic<bool> *StopF = BT ? &BT->stopFlag() : nullptr;
   ObsHandle O(Opts.Obs);
   Span RunSpan = O.span("exact.run");
+  DiagCollector *DC = O.diag();
+  if (DC)
+    DC->beginEngine("exact");
   auto setWall = [&] {
     Result.WallMs = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - WallStart)
@@ -409,6 +414,7 @@ ExactResult ExactEngine::run() const {
     std::string UnsupportedReason;
     size_t ConfigsExpanded = 0, MaxFrontierSize = 0, MergeHits = 0;
     size_t MergeAttempts = 0;
+    size_t TerminalConfigs = 0;
     size_t TerminalCount = 0;
     int64_t StepsUsed = 0;
     std::vector<size_t> WorkerConfigsExpanded;
@@ -419,8 +425,9 @@ ExactResult ExactEngine::run() const {
             Result.ErrorMass,        Result.QueryUnsupported,
             Result.UnsupportedReason, Result.ConfigsExpanded,
             Result.MaxFrontierSize,  Result.MergeHits,
-            Result.MergeAttempts,    Result.Terminals.size(),
-            Result.StepsUsed,        Result.WorkerConfigsExpanded};
+            Result.MergeAttempts,    Result.TerminalConfigs,
+            Result.Terminals.size(), Result.StepsUsed,
+            Result.WorkerConfigsExpanded};
   };
   auto restoreSnapshot = [&] {
     Result.QueryMass = Snap.QueryMass;
@@ -432,6 +439,7 @@ ExactResult ExactEngine::run() const {
     Result.MaxFrontierSize = Snap.MaxFrontierSize;
     Result.MergeHits = Snap.MergeHits;
     Result.MergeAttempts = Snap.MergeAttempts;
+    Result.TerminalConfigs = Snap.TerminalConfigs;
     Result.Terminals.resize(Snap.TerminalCount);
     Result.StepsUsed = Snap.StepsUsed;
     Result.WorkerConfigsExpanded = Snap.WorkerConfigsExpanded;
@@ -454,6 +462,7 @@ ExactResult ExactEngine::run() const {
     std::vector<SchedChoice> Choices = Sched->choices(C);
     if (Choices.empty()) {
       // Terminal configuration: evaluate the query.
+      ++Res.TerminalConfigs;
       if (Opts.CollectTerminals)
         Res.Terminals.emplace_back(C, W);
       accumulateQuery(C, W, Res);
@@ -720,12 +729,50 @@ ExactResult ExactEngine::run() const {
         StepSpan.arg("expanded", static_cast<uint64_t>(
                                      Result.ConfigsExpanded - ObsPrevExpanded));
     }
+    // Diagnostics checkpoint: the frontier/merge trajectory, charged as
+    // deltas at this serial point so the series is thread-count-invariant.
+    if (DC) {
+      ExactRoundDiag D;
+      D.Step = Step;
+      D.FrontierIn = Cur.size();
+      D.FrontierOut = Next.size();
+      D.Expanded = Result.ConfigsExpanded - ObsPrevExpanded;
+      D.MergeAttempts = Result.MergeAttempts - ObsPrevAttempts;
+      D.MergeHits = Result.MergeHits - ObsPrevHits;
+      D.MergeHitRate = D.MergeAttempts
+                           ? static_cast<double>(D.MergeHits) / D.MergeAttempts
+                           : 0.0;
+      bool Blowup = DC->recordExactRound(D);
+      if (O.tracing()) {
+        char Rate[32];
+        std::snprintf(Rate, sizeof(Rate), "%.9g", D.MergeHitRate);
+        O.event("diag.frontier",
+                {{"step", std::to_string(Step)},
+                 {"frontier_out", std::to_string(D.FrontierOut)},
+                 {"merge_hit_rate", Rate}});
+        if (Blowup)
+          O.event("diag.blowup",
+                  {{"step", std::to_string(Step)},
+                   {"frontier", std::to_string(D.FrontierOut)}});
+      }
+    }
     Cur = std::move(Next);
   }
   if (O.tracing()) {
     RunSpan.arg("states", static_cast<uint64_t>(Result.ConfigsExpanded));
     RunSpan.arg("peak_frontier",
                 static_cast<uint64_t>(Result.MaxFrontierSize));
+  }
+  if (DC) {
+    // Residual mass is what observations discarded: with concrete weights
+    // the retained mass is OkMass + ErrorMass and the rest vanished into
+    // failed observes (exactly — these are rationals).
+    std::optional<double> Residual;
+    auto Known = [](const SymProb &M) { return M.isConcrete() || M.isZero(); };
+    if (Known(Result.OkMass) && Known(Result.ErrorMass))
+      Residual = 1.0 - Result.OkMass.concreteValue().toDouble() -
+                 Result.ErrorMass.concreteValue().toDouble();
+    DC->finishExact(Result.TerminalConfigs, Residual);
   }
   setWall();
   return Result;

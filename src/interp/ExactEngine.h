@@ -96,6 +96,9 @@ struct ExactResult {
   /// Merge-table lookups (every successor when merging is on). The hit
   /// rate MergeHits/MergeAttempts is the spend-line figure of merit.
   size_t MergeAttempts = 0;
+  /// Terminal configurations reached (the support of the terminal
+  /// distribution as visited; merged duplicates count once per arrival).
+  size_t TerminalConfigs = 0;
 
   /// Terminal distribution (only when CollectTerminals was set).
   std::vector<std::pair<NetConfig, SymProb>> Terminals;

@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 
 using namespace bayonet;
 
@@ -99,6 +100,11 @@ SampleResult Sampler::run() const {
   const std::atomic<bool> *StopF = BT ? &BT->stopFlag() : nullptr;
   ObsHandle O(Opts.Obs);
   Span RunSpan = O.span("smc.run");
+  DiagCollector *DC = O.diag();
+  if (DC)
+    DC->beginEngine(Opts.Mode == SampleOptions::Method::Smc ? "smc"
+                                                            : "reject",
+                    Opts.Particles);
 
   // Stream assignment is serial and in particle order: particle I's draws
   // are a pure function of (Seed, I), never of which lane steps it. The
@@ -183,8 +189,10 @@ SampleResult Sampler::run() const {
     // Resampling is a population-level event: it runs serially on the
     // dedicated resample stream, and every resampled copy gets a fresh
     // stream (identical copies sharing a stream would evolve identically).
+    bool DidResample = false;
     if (Opts.Mode == SampleOptions::Method::Smc && Alive > 0 &&
         Alive < Opts.Particles * Opts.ResampleThreshold) {
+      DidResample = true;
       Span ResampleSpan = O.span("smc.resample");
       if (O.tracing())
         ResampleSpan.arg("alive", static_cast<uint64_t>(Alive));
@@ -217,6 +225,39 @@ SampleResult Sampler::run() const {
                 std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - StepT0)
                     .count());
+    }
+    // Diagnostics checkpoint: every quantity below is a pure function of
+    // (seed, completed steps), so the series is bit-identical for any
+    // thread count. Hard observes give 0/1 weights: sum w = sum w^2 =
+    // Alive, hence ESS = Alive and CV = sqrt(N/Alive - 1).
+    if (DC) {
+      SmcStepDiag D;
+      D.Step = Step;
+      D.Active = ObsActive;
+      D.Alive = Alive;
+      const double N = Opts.Particles;
+      D.Ess = Alive;
+      D.EssFraction = N > 0 ? Alive / N : 0.0;
+      D.WeightCv = Alive ? std::sqrt(N / Alive - 1.0) : 0.0;
+      D.MinLogWeight = 0.0; // All surviving weights are exactly 1.
+      D.MaxLogWeight = 0.0;
+      D.DeadMassFraction = N > 0 ? (N - Alive) / N : 0.0;
+      D.Resampled = DidResample;
+      bool Degenerate = DC->recordSmcStep(D);
+      O.observe(&EngineMetricIds::EssFraction, D.EssFraction);
+      if (O.tracing()) {
+        char Frac[32];
+        std::snprintf(Frac, sizeof(Frac), "%.9g", D.EssFraction);
+        O.event("diag.ess", {{"step", std::to_string(Step)},
+                             {"ess", std::to_string(D.Alive)},
+                             {"fraction", Frac}});
+        if (Degenerate)
+          O.event("diag.degeneracy", {{"step", std::to_string(Step)},
+                                      {"ess", std::to_string(D.Alive)},
+                                      {"fraction", Frac}});
+      }
+      if (Degenerate)
+        O.count(&EngineMetricIds::DegeneracySteps);
     }
     if (!AnyLive)
       break;
@@ -268,6 +309,8 @@ SampleResult Sampler::run() const {
     ++Ok;
   }
   Result.Survivors = Ok + Errors;
+  if (DC)
+    DC->finishSampler(Result.Survivors);
   Result.ErrorFraction =
       Result.Survivors ? static_cast<double>(Errors) / Result.Survivors : 0.0;
   Result.Value = Ok ? Sum / Ok : 0.0;

@@ -1,0 +1,229 @@
+//===- obs/Diagnostics.cpp - Inference-quality diagnostics -----------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace bayonet;
+
+DiagCollector::DiagCollector(double EssWarnFraction, uint64_t FrontierWarnSize)
+    : EssWarnFrac(EssWarnFraction), FrontierWarnSize(FrontierWarnSize) {}
+
+void DiagCollector::beginEngine(const std::string &Name, uint64_t Particles) {
+  R.Summary.Engine = Name;
+  if (Particles)
+    R.Summary.Particles = Particles;
+}
+
+bool DiagCollector::recordSmcStep(const SmcStepDiag &D) {
+  R.SmcSteps.push_back(D);
+  return R.Summary.Particles > 0 && D.EssFraction < EssWarnFrac;
+}
+
+bool DiagCollector::recordExactRound(const ExactRoundDiag &D) {
+  R.ExactRounds.push_back(D);
+  uint64_t Peak = std::max(D.FrontierIn, D.FrontierOut);
+  if (FrontierWarned || Peak < FrontierWarnSize)
+    return false;
+  FrontierWarned = true;
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "frontier grew to %llu states at round %lld",
+                static_cast<unsigned long long>(Peak),
+                static_cast<long long>(D.Step));
+  addWarning(Buf);
+  return true;
+}
+
+void DiagCollector::finishExact(uint64_t SupportSize,
+                                std::optional<double> ResidualMass) {
+  R.Summary.SupportSize = SupportSize;
+  if (ResidualMass) {
+    R.Summary.ResidualMass = *ResidualMass;
+    R.Summary.ResidualMassKnown = true;
+  }
+}
+
+void DiagCollector::finishSampler(uint64_t Survivors) {
+  R.Summary.SupportSize = Survivors;
+}
+
+void DiagCollector::recordTv(double Tv) { R.Summary.TvDivergence = Tv; }
+
+void DiagCollector::addWarning(std::string W) {
+  R.Summary.Warnings.push_back(std::move(W));
+}
+
+DiagReport DiagCollector::report() const {
+  DiagReport Out = R;
+  InferenceDiagnostics &S = Out.Summary;
+  S.Resamples = 0;
+  bool HaveMin = false;
+  for (const SmcStepDiag &D : Out.SmcSteps) {
+    if (D.Resampled)
+      ++S.Resamples;
+    if (!HaveMin || D.Ess < S.MinEss) {
+      HaveMin = true;
+      S.MinEss = D.Ess;
+      S.MinEssFraction = D.EssFraction;
+      S.MinEssStep = D.Step;
+    }
+  }
+  if (!Out.SmcSteps.empty())
+    S.FinalEss = Out.SmcSteps.back().Ess;
+  for (const ExactRoundDiag &D : Out.ExactRounds)
+    S.PeakFrontier =
+        std::max(S.PeakFrontier, std::max(D.FrontierIn, D.FrontierOut));
+  if (HaveMin && S.MinEssFraction < EssWarnFrac) {
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf),
+                  "ESS fell to %.1f%% of particles at step %lld",
+                  S.MinEssFraction * 100.0,
+                  static_cast<long long>(S.MinEssStep));
+    // Degeneracy leads; recorded warnings (blowup etc.) follow.
+    S.Warnings.insert(S.Warnings.begin(), Buf);
+  }
+  return Out;
+}
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+// Deterministic double formatting: same value -> same bytes, everywhere.
+void appendDouble(std::string &Out, double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  Out += Buf;
+}
+
+void appendUInt(std::string &Out, uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu", static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+void appendInt(std::string &Out, int64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+  Out += Buf;
+}
+
+} // namespace
+
+std::string DiagReport::toJson() const {
+  const InferenceDiagnostics &S = Summary;
+  std::string J = "{\n  \"schema\": 1,\n  \"engine\": ";
+  appendEscaped(J, S.Engine);
+  J += ",\n  \"particles\": ";
+  appendUInt(J, S.Particles);
+  J += ",\n  \"resamples\": ";
+  appendUInt(J, S.Resamples);
+  J += ",\n  \"final_ess\": ";
+  appendDouble(J, S.FinalEss);
+  J += ",\n  \"min_ess\": ";
+  appendDouble(J, S.MinEss);
+  J += ",\n  \"min_ess_fraction\": ";
+  appendDouble(J, S.MinEssFraction);
+  J += ",\n  \"min_ess_step\": ";
+  appendInt(J, S.MinEssStep);
+  J += ",\n  \"support_size\": ";
+  appendUInt(J, S.SupportSize);
+  J += ",\n  \"peak_frontier\": ";
+  appendUInt(J, S.PeakFrontier);
+  if (S.ResidualMassKnown) {
+    J += ",\n  \"residual_mass\": ";
+    appendDouble(J, S.ResidualMass);
+  }
+  if (S.TvDivergence) {
+    J += ",\n  \"tv_divergence\": ";
+    appendDouble(J, *S.TvDivergence);
+  }
+  J += ",\n  \"warnings\": [";
+  for (size_t I = 0; I < S.Warnings.size(); ++I) {
+    J += I ? ", " : "";
+    appendEscaped(J, S.Warnings[I]);
+  }
+  J += "],\n  \"smc_steps\": [";
+  for (size_t I = 0; I < SmcSteps.size(); ++I) {
+    const SmcStepDiag &D = SmcSteps[I];
+    J += I ? ",\n    {" : "\n    {";
+    J += "\"step\": ";
+    appendInt(J, D.Step);
+    J += ", \"active\": ";
+    appendUInt(J, D.Active);
+    J += ", \"alive\": ";
+    appendUInt(J, D.Alive);
+    J += ", \"ess\": ";
+    appendDouble(J, D.Ess);
+    J += ", \"ess_fraction\": ";
+    appendDouble(J, D.EssFraction);
+    J += ", \"weight_cv\": ";
+    appendDouble(J, D.WeightCv);
+    J += ", \"min_log_weight\": ";
+    appendDouble(J, D.MinLogWeight);
+    J += ", \"max_log_weight\": ";
+    appendDouble(J, D.MaxLogWeight);
+    J += ", \"dead_mass_fraction\": ";
+    appendDouble(J, D.DeadMassFraction);
+    J += ", \"resampled\": ";
+    J += D.Resampled ? "true" : "false";
+    J += "}";
+  }
+  J += SmcSteps.empty() ? "]" : "\n  ]";
+  J += ",\n  \"exact_rounds\": [";
+  for (size_t I = 0; I < ExactRounds.size(); ++I) {
+    const ExactRoundDiag &D = ExactRounds[I];
+    J += I ? ",\n    {" : "\n    {";
+    J += "\"step\": ";
+    appendInt(J, D.Step);
+    J += ", \"frontier_in\": ";
+    appendUInt(J, D.FrontierIn);
+    J += ", \"frontier_out\": ";
+    appendUInt(J, D.FrontierOut);
+    J += ", \"expanded\": ";
+    appendUInt(J, D.Expanded);
+    J += ", \"merge_attempts\": ";
+    appendUInt(J, D.MergeAttempts);
+    J += ", \"merge_hits\": ";
+    appendUInt(J, D.MergeHits);
+    J += ", \"merge_hit_rate\": ";
+    appendDouble(J, D.MergeHitRate);
+    J += "}";
+  }
+  J += ExactRounds.empty() ? "]" : "\n  ]";
+  J += "\n}\n";
+  return J;
+}

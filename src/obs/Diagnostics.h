@@ -1,0 +1,141 @@
+//===- obs/Diagnostics.h - Inference-quality diagnostics --------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistical-health diagnostics for an inference run. The execution layer
+/// (Trace/Metrics) says *where time went*; this layer says *whether the
+/// answer can be trusted*: per-step effective sample size and weight spread
+/// for the samplers, per-round frontier and merge-rate trajectories for the
+/// exact engines, and an optional exact-vs-SMC total-variation cross-check.
+///
+/// Engines feed a DiagCollector only at their existing serial checkpoint
+/// boundaries (the same discipline as metric deltas), so a DiagReport is
+/// bit-identical across 1, 2 or 8 threads and across obs on/off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_OBS_DIAGNOSTICS_H
+#define BAYONET_OBS_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bayonet {
+
+/// One SMC population checkpoint, recorded at the serial end of each
+/// scheduler step (after stepping every particle, before the next step).
+struct SmcStepDiag {
+  int64_t Step = 0;         ///< Scheduler step index (0-based).
+  uint64_t Active = 0;      ///< Particles advanced this step.
+  uint64_t Alive = 0;       ///< Particles with nonzero weight afterwards.
+  double Ess = 0;           ///< Effective sample size (Kong's estimator).
+  double EssFraction = 0;   ///< Ess / population size.
+  double WeightCv = 0;      ///< Coefficient of variation of the weights.
+  double MinLogWeight = 0;  ///< log of smallest nonzero weight.
+  double MaxLogWeight = 0;  ///< log of largest weight.
+  double DeadMassFraction = 0; ///< Rejected/failed fraction of the population.
+  bool Resampled = false;   ///< Whether this step triggered a resample.
+};
+
+/// One exact-engine round checkpoint (scheduler round in ExactEngine, top
+/// level statement in PsiExact), recorded in the serial post-round block.
+struct ExactRoundDiag {
+  int64_t Step = 0;          ///< Round / statement index (0-based).
+  uint64_t FrontierIn = 0;   ///< Distribution size entering the round.
+  uint64_t FrontierOut = 0;  ///< Distribution size after merging.
+  uint64_t Expanded = 0;     ///< States / branches expanded this round.
+  uint64_t MergeAttempts = 0;
+  uint64_t MergeHits = 0;
+  double MergeHitRate = 0;   ///< Hits / attempts (0 when no attempts).
+};
+
+/// Summary handed back on InferenceResult: the headline numbers a caller
+/// should look at before trusting the answer.
+struct InferenceDiagnostics {
+  std::string Engine;          ///< Last engine that fed the collector.
+  uint64_t Particles = 0;      ///< Population size (samplers only).
+  uint64_t Resamples = 0;      ///< Resample generations triggered.
+  double FinalEss = 0;         ///< ESS at the last recorded step.
+  double MinEss = 0;           ///< Smallest per-step ESS.
+  double MinEssFraction = 1;   ///< MinEss / population size.
+  int64_t MinEssStep = -1;     ///< Step where the minimum occurred.
+  uint64_t SupportSize = 0;    ///< Terminal support (exact) / survivors.
+  uint64_t PeakFrontier = 0;   ///< Largest frontier seen (exact).
+  double ResidualMass = 0;     ///< Observe-discarded mass (exact, concrete).
+  bool ResidualMassKnown = false;
+  std::optional<double> TvDivergence; ///< |p_exact - p_smc| cross-check.
+  std::vector<std::string> Warnings;  ///< Degeneracy / blowup warnings.
+};
+
+/// Full report: the summary plus the per-step series, exportable as
+/// deterministic JSON (`--diag-out`). Doubles are printed with %.9g so the
+/// bytes are identical whenever the values are.
+struct DiagReport {
+  InferenceDiagnostics Summary;
+  std::vector<SmcStepDiag> SmcSteps;
+  std::vector<ExactRoundDiag> ExactRounds;
+
+  std::string toJson() const;
+};
+
+/// Accumulates diagnostics for one run. All record methods are called from
+/// serial checkpoint code only, so no locking is needed and insertion order
+/// is deterministic. Owned by ObsContext; engines reach it through
+/// `ObsHandle::diag()` (null when diagnostics are off).
+class DiagCollector {
+public:
+  /// \p EssWarnFraction: a step whose ESS falls below this fraction of the
+  /// population counts as degenerate. \p FrontierWarnSize: a frontier at or
+  /// above this size triggers a state-space blowup warning.
+  explicit DiagCollector(double EssWarnFraction = 0.1,
+                         uint64_t FrontierWarnSize = 1000000);
+
+  /// Marks the start of an engine run ("exact", "smc", "psi", "psi-smc").
+  /// A fallback run appends to the same collector: both series survive.
+  void beginEngine(const std::string &Name, uint64_t Particles = 0);
+
+  /// Records one SMC step. Returns true when the step is degenerate (ESS
+  /// below the warning fraction) so the caller can emit the trace event /
+  /// bump the warning counter at the same serial point.
+  bool recordSmcStep(const SmcStepDiag &D);
+
+  /// Records one exact round. Returns true when the frontier crossed the
+  /// blowup warning size for the first time.
+  bool recordExactRound(const ExactRoundDiag &D);
+
+  /// Final exact-run facts: terminal support size and, when the retained
+  /// mass is concrete, the observe-discarded residual mass.
+  void finishExact(uint64_t SupportSize, std::optional<double> ResidualMass);
+
+  /// Final sampler facts: surviving particles (the support of the estimate).
+  void finishSampler(uint64_t Survivors);
+
+  /// Cross-engine total-variation divergence |p_exact - p_smc|.
+  void recordTv(double Tv);
+
+  void addWarning(std::string W);
+
+  double essWarnFraction() const { return EssWarnFrac; }
+
+  /// Snapshot of everything recorded so far, with summary fields (min/final
+  /// ESS, warning lines) computed from the series.
+  DiagReport report() const;
+
+  /// Summary only (what InferenceResult carries).
+  InferenceDiagnostics summary() const { return report().Summary; }
+
+private:
+  double EssWarnFrac;
+  uint64_t FrontierWarnSize;
+  bool FrontierWarned = false;
+  DiagReport R;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_OBS_DIAGNOSTICS_H

@@ -11,9 +11,12 @@
 
 using namespace bayonet;
 
-ObsContext::ObsContext(bool EnableTrace, bool EnableMetrics) {
+ObsContext::ObsContext(bool EnableTrace, bool EnableMetrics,
+                       bool EnableDiag) {
   if (EnableTrace)
     Trace = std::make_unique<Tracer>();
+  if (EnableDiag)
+    Diag = std::make_unique<DiagCollector>();
   if (!EnableMetrics)
     return;
   Reg = std::make_unique<MetricsRegistry>();
@@ -53,6 +56,15 @@ ObsContext::ObsContext(bool EnableTrace, bool EnableMetrics) {
                                  "Thread-pool batches dispatched");
   Ids.PoolTasks = Reg->counter("bayonet_pool_tasks_total",
                                "Thread-pool tasks executed");
+  // ESS fractions live in [0, 1]; bounds chosen so a degeneracy collapse
+  // (most mass below 0.1) is visible at a glance.
+  std::vector<double> FracBounds = {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1};
+  Ids.EssFraction = Reg->histogram("bayonet_smc_ess_fraction",
+                                   "Per-step effective-sample-size fraction",
+                                   FracBounds);
+  Ids.DegeneracySteps = Reg->counter(
+      "bayonet_degeneracy_steps_total",
+      "SMC steps whose ESS fell below the degeneracy warning level");
 }
 
 std::string ObsContext::renderFullStats() const {
@@ -93,15 +105,19 @@ std::string ObsContext::renderFullStats() const {
 }
 
 std::shared_ptr<ObsContext> bayonet::obsFromEnv(std::string &TraceOut,
-                                                std::string &MetricsOut) {
+                                                std::string &MetricsOut,
+                                                std::string &DiagOut) {
   const char *T = std::getenv("BAYONET_TRACE");
   const char *M = std::getenv("BAYONET_METRICS");
+  const char *D = std::getenv("BAYONET_DIAG");
   if (T && *T)
     TraceOut = T;
   if (M && *M)
     MetricsOut = M;
-  if (TraceOut.empty() && MetricsOut.empty())
+  if (D && *D)
+    DiagOut = D;
+  if (TraceOut.empty() && MetricsOut.empty() && DiagOut.empty())
     return nullptr;
-  return std::make_shared<ObsContext>(!TraceOut.empty(),
-                                      !MetricsOut.empty());
+  return std::make_shared<ObsContext>(!TraceOut.empty(), !MetricsOut.empty(),
+                                      !DiagOut.empty());
 }

@@ -18,6 +18,7 @@
 #ifndef BAYONET_OBS_OBS_H
 #define BAYONET_OBS_OBS_H
 
+#include "obs/Diagnostics.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -43,17 +44,21 @@ struct EngineMetricIds {
   MetricId StepDurMs;       ///< Histogram: wall ms per sched step.
   MetricId PoolBatches;     ///< Counter: thread-pool batches dispatched.
   MetricId PoolTasks;       ///< Counter: thread-pool tasks executed.
+  MetricId EssFraction;     ///< Histogram: per-step ESS / population.
+  MetricId DegeneracySteps; ///< Counter: steps with ESS below warn level.
 };
 
 /// Owns the observability state for one run: an optional tracer, an
 /// optional metrics registry, and the pre-registered engine metric ids.
 class ObsContext {
 public:
-  ObsContext(bool EnableTrace, bool EnableMetrics);
+  ObsContext(bool EnableTrace, bool EnableMetrics, bool EnableDiag = false);
 
   Tracer *tracer() { return Trace.get(); }
   MetricsRegistry *metrics() { return Reg.get(); }
   const MetricsRegistry *metrics() const { return Reg.get(); }
+  DiagCollector *diag() { return Diag.get(); }
+  const DiagCollector *diag() const { return Diag.get(); }
   const EngineMetricIds &ids() const { return Ids; }
 
   /// Enriched human-readable stats table (the `--stats=full` view):
@@ -64,6 +69,7 @@ public:
 private:
   std::unique_ptr<Tracer> Trace;
   std::unique_ptr<MetricsRegistry> Reg;
+  std::unique_ptr<DiagCollector> Diag;
   EngineMetricIds Ids;
 };
 
@@ -116,16 +122,21 @@ public:
   /// Whether tracing is live (to skip arg-formatting work when off).
   bool tracing() const { return Ctx && Ctx->tracer(); }
 
+  /// The diagnostics collector, or null when diagnostics are off. Engines
+  /// only touch it at serial checkpoint boundaries.
+  DiagCollector *diag() const { return Ctx ? Ctx->diag() : nullptr; }
+
 private:
   ObsContext *Ctx = nullptr;
 };
 
-/// Builds an ObsContext from the BAYONET_TRACE / BAYONET_METRICS
-/// environment variables (each names an output file). Returns null when
-/// neither is set. The file paths come back through the out-params so the
-/// caller can export after the run.
+/// Builds an ObsContext from the BAYONET_TRACE / BAYONET_METRICS /
+/// BAYONET_DIAG environment variables (each names an output file). Returns
+/// null when none is set. The file paths come back through the out-params
+/// so the caller can export after the run.
 std::shared_ptr<ObsContext> obsFromEnv(std::string &TraceOut,
-                                       std::string &MetricsOut);
+                                       std::string &MetricsOut,
+                                       std::string &DiagOut);
 
 } // namespace bayonet
 

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <unordered_map>
 
 using namespace bayonet;
@@ -91,6 +92,8 @@ public:
 
   void run() {
     Span RunSpan = O.span("psi.run");
+    if (DiagCollector *DC = O.diag())
+      DC->beginEngine("psi");
     Dist D;
     Env Init(P.VarNames.size(), PsiValue());
     D.push_back({std::move(Init), SymProb::concrete(Rational(1))});
@@ -111,6 +114,18 @@ public:
       finish(D);
     if (BT && BT->stop())
       Result.Status = BT->status(); // Stop raced in during finish().
+    if (DiagCollector *DC = O.diag()) {
+      // Support = surviving environments; residual = observe-discarded
+      // mass when the retained masses are concrete.
+      std::optional<double> Residual;
+      auto Known = [](const SymProb &M) {
+        return M.isConcrete() || M.isZero();
+      };
+      if (Known(Result.OkMass) && Known(Result.ErrorMass))
+        Residual = 1.0 - Result.OkMass.concreteValue().toDouble() -
+                   Result.ErrorMass.concreteValue().toDouble();
+      DC->finishExact(D.size(), Residual);
+    }
   }
 
 private:
@@ -124,6 +139,8 @@ private:
   /// Statement nesting depth; spans and metric charges happen only at
   /// depth 0 (top-level statements — serial points with bounded count).
   unsigned Depth = 0;
+  /// Top-level statements completed (the diagnostics round index).
+  int64_t DiagStmt = 0;
   bool Aborted = false;
 
   /// Boundary snapshot of the reported statistics: a mid-statement stop
@@ -377,6 +394,7 @@ private:
     }
     Span StmtSpan = O.span("psi.stmt");
     std::chrono::steady_clock::time_point T0;
+    const size_t DistIn = D.size();
     const size_t PrevExpanded = Result.BranchesExpanded;
     const size_t PrevAttempts = Result.MergeAttempts;
     const size_t PrevHits = Result.MergeHits;
@@ -402,6 +420,34 @@ private:
                   .count());
     if (O.tracing())
       StmtSpan.arg("dist_out", static_cast<uint64_t>(D.size()));
+    // Diagnostics checkpoint: one "round" per top-level statement, charged
+    // at this serial point (thread-count-invariant deltas).
+    if (DiagCollector *DC = O.diag()) {
+      ExactRoundDiag RD;
+      RD.Step = DiagStmt++;
+      RD.FrontierIn = DistIn;
+      RD.FrontierOut = D.size();
+      RD.Expanded = Result.BranchesExpanded - PrevExpanded;
+      RD.MergeAttempts = Result.MergeAttempts - PrevAttempts;
+      RD.MergeHits = Result.MergeHits - PrevHits;
+      RD.MergeHitRate =
+          RD.MergeAttempts
+              ? static_cast<double>(RD.MergeHits) / RD.MergeAttempts
+              : 0.0;
+      bool Blowup = DC->recordExactRound(RD);
+      if (O.tracing()) {
+        char Rate[32];
+        std::snprintf(Rate, sizeof(Rate), "%.9g", RD.MergeHitRate);
+        O.event("diag.frontier",
+                {{"step", std::to_string(RD.Step)},
+                 {"frontier_out", std::to_string(RD.FrontierOut)},
+                 {"merge_hit_rate", Rate}});
+        if (Blowup)
+          O.event("diag.blowup",
+                  {{"step", std::to_string(RD.Step)},
+                   {"frontier", std::to_string(RD.FrontierOut)}});
+      }
+    }
   }
 
   void execStmtInner(const PStmt &S, Dist &D) {

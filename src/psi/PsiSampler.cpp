@@ -9,6 +9,8 @@
 #include "support/ThreadPool.h"
 
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 
 using namespace bayonet;
 
@@ -318,6 +320,8 @@ PsiSampleResult PsiSampler::run() const {
   const std::atomic<bool> *StopF = BT ? &BT->stopFlag() : nullptr;
   ObsHandle OH(Opts.Obs);
   Span RunSpan = OH.span("psi_smc.run");
+  if (DiagCollector *DC = OH.diag())
+    DC->beginEngine("psi-smc", Opts.Particles);
 
   // The state budget caps the particle count up front: remaining budget =
   // particles run, in particle order — deterministic for any thread count.
@@ -437,6 +441,36 @@ PsiSampleResult PsiSampler::run() const {
     RunSpan.arg("particles_run",
                 static_cast<uint64_t>(Result.ParticlesRun));
     RunSpan.arg("survivors", static_cast<uint64_t>(Result.Survivors));
+  }
+  // Diagnostics: one summary checkpoint — rejection sampling is a single
+  // population-level event (weights are 0/1, survivors carry weight 1).
+  if (DiagCollector *DC = OH.diag()) {
+    SmcStepDiag D;
+    D.Step = 0;
+    D.Active = Result.ParticlesRun;
+    D.Alive = Result.Survivors;
+    const double N = Result.ParticlesRun;
+    D.Ess = Result.Survivors;
+    D.EssFraction = N > 0 ? Result.Survivors / N : 0.0;
+    D.WeightCv =
+        Result.Survivors ? std::sqrt(N / Result.Survivors - 1.0) : 0.0;
+    D.DeadMassFraction = N > 0 ? (N - Result.Survivors) / N : 0.0;
+    bool Degenerate = DC->recordSmcStep(D);
+    OH.observe(&EngineMetricIds::EssFraction, D.EssFraction);
+    if (Degenerate)
+      OH.count(&EngineMetricIds::DegeneracySteps);
+    if (OH.tracing()) {
+      char Frac[32];
+      std::snprintf(Frac, sizeof(Frac), "%.9g", D.EssFraction);
+      OH.event("diag.ess", {{"step", "0"},
+                            {"ess", std::to_string(D.Alive)},
+                            {"fraction", Frac}});
+      if (Degenerate)
+        OH.event("diag.degeneracy", {{"step", "0"},
+                                     {"ess", std::to_string(D.Alive)},
+                                     {"fraction", Frac}});
+    }
+    DC->finishSampler(Result.Survivors);
   }
   if (BT)
     Result.Status = BT->status();

@@ -18,6 +18,8 @@
 #include "scenarios/Scenarios.h"
 #include "translate/Translator.h"
 
+#include "TestNetworks.h"
+
 #include <gtest/gtest.h>
 
 #include <regex>
@@ -384,4 +386,136 @@ TEST(Obs, FrontendPhasesEmitSpans) {
   EXPECT_NE(Json.find("\"name\":\"lex\""), std::string::npos);
   EXPECT_NE(Json.find("\"name\":\"parse\""), std::string::npos);
   EXPECT_NE(Json.find("\"name\":\"check\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Inference-quality diagnostics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+size_t countSubstr(const std::string &Hay, const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t Pos = Hay.find(Needle); Pos != std::string::npos;
+       Pos = Hay.find(Needle, Pos + Needle.size()))
+    ++Count;
+  return Count;
+}
+
+} // namespace
+
+// The headline diagnostics guarantee: the full DiagReport JSON — every
+// per-step ESS, weight CV, frontier size, merge hit-rate, and warning
+// line — is byte-identical at 1 / 2 / 8 threads, for both engine
+// families, with the sharded path forced.
+TEST(Obs, DiagReportByteIdenticalAcrossThreadCountsExact) {
+  LoadedNetwork Net = load(scenarios::gossip(3));
+  auto diagOf = [&](unsigned Threads) {
+    auto Ctx = std::make_shared<ObsContext>(false, false, true);
+    ExactOptions Opts;
+    Opts.Threads = Threads;
+    Opts.ParallelThreshold = 1;
+    Opts.Obs = Ctx;
+    ExactResult R = ExactEngine(Net.Spec, Opts).run();
+    EXPECT_TRUE(R.Status.ok());
+    return Ctx->diag()->report().toJson();
+  };
+  std::string D1 = diagOf(1);
+  EXPECT_FALSE(D1.empty());
+  EXPECT_NE(D1.find("\"engine\": \"exact\""), std::string::npos);
+  EXPECT_NE(D1.find("\"exact_rounds\": ["), std::string::npos);
+  EXPECT_EQ(D1, diagOf(2));
+  EXPECT_EQ(D1, diagOf(8));
+}
+
+TEST(Obs, DiagReportByteIdenticalAcrossThreadCountsSmc) {
+  LoadedNetwork Net = load(scenarios::reliabilityChain(2));
+  auto diagOf = [&](unsigned Threads) {
+    auto Ctx = std::make_shared<ObsContext>(false, false, true);
+    SampleOptions Opts;
+    Opts.Particles = 512;
+    Opts.Seed = 7;
+    Opts.Threads = Threads;
+    Opts.Obs = Ctx;
+    SampleResult R = Sampler(Net.Spec, Opts).run();
+    EXPECT_TRUE(R.Status.ok());
+    return Ctx->diag()->report().toJson();
+  };
+  std::string D1 = diagOf(1);
+  EXPECT_NE(D1.find("\"engine\": \"smc\""), std::string::npos);
+  EXPECT_NE(D1.find("\"smc_steps\": ["), std::string::npos);
+  EXPECT_EQ(D1, diagOf(2));
+  EXPECT_EQ(D1, diagOf(8));
+}
+
+// Turning the other exporters on or off must not perturb the diagnostics:
+// all diag quantities are charged at the same serial points whether or not
+// a tracer / metrics registry is attached.
+TEST(Obs, DiagReportIdenticalWithOtherExportersOnOrOff) {
+  LoadedNetwork Net = load(scenarios::gossip(3));
+  auto diagOf = [&](bool Trace, bool Metrics) {
+    auto Ctx = std::make_shared<ObsContext>(Trace, Metrics, true);
+    ExactOptions Opts;
+    Opts.Threads = 2;
+    Opts.ParallelThreshold = 1;
+    Opts.Obs = Ctx;
+    ExactResult R = ExactEngine(Net.Spec, Opts).run();
+    EXPECT_TRUE(R.Status.ok());
+    return Ctx->diag()->report().toJson();
+  };
+  std::string DiagOnly = diagOf(false, false);
+  EXPECT_EQ(DiagOnly, diagOf(true, true));
+  EXPECT_EQ(DiagOnly, diagOf(true, false));
+}
+
+// Degeneracy end to end: a peaked observation kills ~95% of the particles
+// in one step, so the warning fires, the degeneracy counter ticks, and the
+// resample count agrees between the report, the per-step series, and the
+// smc.resample spans in the trace.
+TEST(Obs, DegenerateSmcStepWarnsAndCountersAgree) {
+  LoadedNetwork Net = load(testnets::PeakedDieNetwork);
+  auto Ctx = std::make_shared<ObsContext>(true, true, true);
+  SampleOptions Opts;
+  Opts.Particles = 2000;
+  Opts.Seed = 11;
+  Opts.Obs = Ctx;
+  SampleResult R = Sampler(Net.Spec, Opts).run();
+  ASSERT_TRUE(R.Status.ok());
+
+  DiagReport Rep = Ctx->diag()->report();
+  EXPECT_LT(Rep.Summary.MinEssFraction, Ctx->diag()->essWarnFraction());
+  ASSERT_FALSE(Rep.Summary.Warnings.empty());
+  EXPECT_NE(Rep.Summary.Warnings.front().find("ESS fell to"),
+            std::string::npos);
+
+  uint64_t ResampledSteps = 0;
+  for (const SmcStepDiag &S : Rep.SmcSteps)
+    if (S.Resampled)
+      ++ResampledSteps;
+  EXPECT_GT(Rep.Summary.Resamples, 0u);
+  EXPECT_EQ(Rep.Summary.Resamples, ResampledSteps);
+  std::string Json = Ctx->tracer()->renderChromeJson();
+  EXPECT_EQ(countSubstr(Json, "\"name\":\"smc.resample\""),
+            Rep.Summary.Resamples);
+  EXPECT_EQ(countSubstr(Json, "\"name\":\"diag.degeneracy\""),
+            Ctx->metrics()->value(Ctx->ids().DegeneracySteps));
+  EXPECT_GE(Ctx->metrics()->value(Ctx->ids().DegeneracySteps), 1u);
+}
+
+// The optional exact-vs-SMC cross-check: on a small network the budgeted
+// exact reference run exists, so the TV divergence is reported and small.
+TEST(Obs, CrossCheckTvDivergenceReportedAndSmall) {
+  LoadedNetwork Net = load(testnets::CoinNetwork);
+  auto Ctx = std::make_shared<ObsContext>(false, false, true);
+  InferenceOptions Opts;
+  Opts.Engine = EngineChoice::Smc;
+  Opts.Particles = 20000;
+  Opts.CrossCheckTv = true;
+  Opts.Obs = Ctx;
+  InferenceResult R = runInference(Net, Opts);
+  ASSERT_TRUE(R.Status.ok());
+  ASSERT_TRUE(R.Diagnostics.TvDivergence.has_value());
+  EXPECT_GE(*R.Diagnostics.TvDivergence, 0.0);
+  EXPECT_LT(*R.Diagnostics.TvDivergence, 0.05);
+  EXPECT_EQ(R.Diagnostics.Engine, "smc");
 }

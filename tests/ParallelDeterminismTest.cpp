@@ -177,6 +177,70 @@ TEST(ParallelDeterminism, PsiSamplerSeededRunsIdenticalAcrossThreadCounts) {
   }
 }
 
+// The diagnostics report rides the same serial checkpoints as the engine
+// results, so the rendered JSON — per-step ESS and frontier series,
+// summary, warnings — must be bit-identical at every thread count for
+// every engine family, with the sharded paths forced.
+TEST(ParallelDeterminism, DiagReportBitIdenticalAcrossThreadCounts) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(scenarios::paperExample(), Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  auto Psi = translateToPsi(Net->Spec, Diags);
+  ASSERT_TRUE(Psi.has_value()) << Diags.toString();
+
+  auto exactDiag = [&](unsigned Threads) {
+    auto Ctx = std::make_shared<ObsContext>(false, false, true);
+    ExactOptions Opts;
+    Opts.Threads = Threads;
+    Opts.ParallelThreshold = 1;
+    Opts.Obs = Ctx;
+    ExactResult R = ExactEngine(Net->Spec, Opts).run();
+    EXPECT_TRUE(R.Status.ok());
+    return Ctx->diag()->report().toJson();
+  };
+  auto psiDiag = [&](unsigned Threads) {
+    auto Ctx = std::make_shared<ObsContext>(false, false, true);
+    PsiExactOptions Opts;
+    Opts.Threads = Threads;
+    Opts.ParallelThreshold = 1;
+    Opts.Obs = Ctx;
+    PsiExactResult R = PsiExact(*Psi, Opts).run();
+    EXPECT_FALSE(R.QueryUnsupported) << R.UnsupportedReason;
+    return Ctx->diag()->report().toJson();
+  };
+  auto samplerDiag = [&](unsigned Threads) {
+    auto Ctx = std::make_shared<ObsContext>(false, false, true);
+    SampleOptions Opts;
+    Opts.Particles = 400;
+    Opts.Seed = 42;
+    Opts.Threads = Threads;
+    Opts.Obs = Ctx;
+    SampleResult R = Sampler(Net->Spec, Opts).run();
+    EXPECT_TRUE(R.Status.ok());
+    return Ctx->diag()->report().toJson();
+  };
+  auto psiSamplerDiag = [&](unsigned Threads) {
+    auto Ctx = std::make_shared<ObsContext>(false, false, true);
+    PsiSampleOptions Opts;
+    Opts.Particles = 400;
+    Opts.Seed = 42;
+    Opts.Threads = Threads;
+    Opts.Obs = Ctx;
+    PsiSampleResult R = PsiSampler(*Psi, Opts).run();
+    return Ctx->diag()->report().toJson();
+  };
+
+  const std::string Exact1 = exactDiag(1), Psi1 = psiDiag(1),
+                    Smc1 = samplerDiag(1), PsiSmc1 = psiSamplerDiag(1);
+  EXPECT_FALSE(Exact1.empty());
+  for (unsigned Threads : {2u, 8u}) {
+    EXPECT_EQ(exactDiag(Threads), Exact1) << Threads;
+    EXPECT_EQ(psiDiag(Threads), Psi1) << Threads;
+    EXPECT_EQ(samplerDiag(Threads), Smc1) << Threads;
+    EXPECT_EQ(psiSamplerDiag(Threads), PsiSmc1) << Threads;
+  }
+}
+
 // Regression: a failed uniformInt operand must contribute exactly the
 // operand combination's probability mass to the error state. The old code
 // pushed the failed operand outcome once per outcome of the other operand

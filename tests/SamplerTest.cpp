@@ -116,6 +116,46 @@ TEST(SamplerTest, StdErrorIsCalibrated) {
   EXPECT_DOUBLE_EQ(Det.StdError, 0.0);
 }
 
+TEST(SamplerTest, PeakedObservationDegeneratesButStaysUnbiased) {
+  // A d20 observed to land exactly on 20 kills ~95% of the particles in a
+  // single step: the diagnostics must flag the collapse (min ESS fraction
+  // below the warning threshold, at a recorded step, with a warning line)
+  // while the resampled population still delivers the exact conditional
+  // expectation E[x | x == 20] = 20.
+  DiagEngine Diags;
+  auto Net = loadNetwork(testnets::PeakedDieNetwork, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+  auto Ctx = std::make_shared<ObsContext>(false, false, true);
+  SampleOptions Opts;
+  Opts.Particles = 4000;
+  Opts.Seed = 3;
+  Opts.Obs = Ctx;
+  SampleResult R = Sampler(Net->Spec, Opts).run();
+  ASSERT_TRUE(R.Status.ok());
+  EXPECT_DOUBLE_EQ(R.Value, 20.0);
+
+  DiagReport Rep = Ctx->diag()->report();
+  EXPECT_LT(Rep.Summary.MinEssFraction, Ctx->diag()->essWarnFraction());
+  EXPECT_NEAR(Rep.Summary.MinEssFraction, 0.05, 0.03);
+  EXPECT_GE(Rep.Summary.MinEssStep, 0);
+  EXPECT_GT(Rep.Summary.Resamples, 0u);
+  ASSERT_FALSE(Rep.Summary.Warnings.empty());
+  EXPECT_NE(Rep.Summary.Warnings.front().find("ESS fell to"),
+            std::string::npos);
+  // A well-conditioned network never trips the warning path.
+  auto CalmCtx = std::make_shared<ObsContext>(false, false, true);
+  SampleOptions CalmOpts;
+  CalmOpts.Particles = 4000;
+  CalmOpts.Seed = 3;
+  CalmOpts.Obs = CalmCtx;
+  DiagEngine CalmDiags;
+  auto Calm = loadNetwork(testnets::CoinNetwork, CalmDiags);
+  ASSERT_TRUE(Calm.has_value()) << CalmDiags.toString();
+  SampleResult CalmR = Sampler(Calm->Spec, CalmOpts).run();
+  ASSERT_TRUE(CalmR.Status.ok());
+  EXPECT_TRUE(CalmCtx->diag()->report().Summary.Warnings.empty());
+}
+
 TEST(SamplerTest, StepBoundMakesErrorParticles) {
   std::string Src = testnets::PingNetwork;
   size_t Pos = Src.find("num_steps 10;");

@@ -169,6 +169,29 @@ num_steps 10;
 query expectation(x@A);
 )";
 
+/// Peaked likelihood: a d20 roll observed to be exactly 20 kills ~95% of
+/// the particles in a single step, driving the SMC effective sample size
+/// far below the 10% degeneracy-warning threshold. E[x | x == 20] = 20.
+inline const char *PeakedDieNetwork = R"(
+topology {
+  nodes { A, B }
+  links { (A,pt1) <-> (B,pt1) }
+}
+packet_fields { dst }
+programs { A -> a, B -> b }
+def a(pkt, pt) state x(0) {
+  x = uniformInt(1, 20);
+  observe(x == 20);
+  drop;
+}
+def b(pkt, pt) { drop; }
+init { A }
+scheduler uniform;
+queue_capacity 2;
+num_steps 10;
+query expectation(x@A);
+)";
+
 /// Die with an assertion that fails 1/6 of the time.
 inline const char *AssertDieNetwork = R"(
 topology {
