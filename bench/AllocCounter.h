@@ -1,0 +1,97 @@
+//===- bench/AllocCounter.h - Heap-allocation counting ---------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counting interposition of the global allocation functions, enabled by
+/// building with -DBAYONET_COUNT_ALLOCS (the BAYONET_COUNT_ALLOCS CMake
+/// option). Replacing operator new in the executable interposes for the
+/// whole process — the statically linked bayonet library included — so
+/// allocsNow() deltas measure the true allocation count of any code
+/// region. Include this header from at most one translation unit per
+/// binary (the replacement functions are non-inline by requirement).
+///
+/// Without the define, allocCountingEnabled() is false and allocsNow()
+/// returns 0, so call sites need no conditional compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_BENCH_ALLOCCOUNTER_H
+#define BAYONET_BENCH_ALLOCCOUNTER_H
+
+#include <cstdint>
+
+#ifdef BAYONET_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace bayonet::benchutil {
+
+inline std::atomic<uint64_t> GAllocCount{0};
+
+constexpr bool allocCountingEnabled() { return true; }
+
+/// Total heap allocations the process has performed so far.
+inline uint64_t allocsNow() {
+  return GAllocCount.load(std::memory_order_relaxed);
+}
+
+} // namespace bayonet::benchutil
+
+void *operator new(std::size_t Size) {
+  bayonet::benchutil::GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Size) {
+  bayonet::benchutil::GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  bayonet::benchutil::GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t Al = static_cast<std::size_t>(Align);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t Rounded = ((Size ? Size : 1) + Al - 1) / Al * Al;
+  if (void *P = std::aligned_alloc(Al, Rounded))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Size, std::align_val_t Align) {
+  return ::operator new(Size, Align);
+}
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+
+#else // !BAYONET_COUNT_ALLOCS
+
+namespace bayonet::benchutil {
+
+constexpr bool allocCountingEnabled() { return false; }
+inline uint64_t allocsNow() { return 0; }
+
+} // namespace bayonet::benchutil
+
+#endif // BAYONET_COUNT_ALLOCS
+
+#endif // BAYONET_BENCH_ALLOCCOUNTER_H

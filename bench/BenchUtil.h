@@ -15,6 +15,7 @@
 #ifndef BAYONET_BENCH_BENCHUTIL_H
 #define BAYONET_BENCH_BENCHUTIL_H
 
+#include "AllocCounter.h"
 #include "api/Bayonet.h"
 
 #include <benchmark/benchmark.h>
@@ -71,6 +72,9 @@ struct Row {
   std::string Paper;    ///< The value the paper reports.
   std::string Measured; ///< What this reproduction computes.
   double Seconds = 0;   ///< Wall-clock of the measured run.
+  /// Heap allocations per benchmark iteration, measured when the binary
+  /// was built with BAYONET_COUNT_ALLOCS; negative = not measured.
+  double AllocsPerIter = -1;
 };
 
 /// Global registry the benchmarks append to.
@@ -80,7 +84,8 @@ inline std::vector<Row> &rows() {
 }
 
 inline void addRow(std::string Benchmark, std::string Engine,
-                   std::string Paper, std::string Measured, double Seconds) {
+                   std::string Paper, std::string Measured, double Seconds,
+                   double AllocsPerIter = -1) {
   // google-benchmark may invoke a benchmark function several times while
   // estimating iteration counts; keep one row per (benchmark, engine).
   for (Row &R : rows()) {
@@ -88,11 +93,12 @@ inline void addRow(std::string Benchmark, std::string Engine,
       R.Paper = std::move(Paper);
       R.Measured = std::move(Measured);
       R.Seconds = Seconds;
+      R.AllocsPerIter = AllocsPerIter;
       return;
     }
   }
   rows().push_back({std::move(Benchmark), std::move(Engine), std::move(Paper),
-                    std::move(Measured), Seconds});
+                    std::move(Measured), Seconds, AllocsPerIter});
 }
 
 /// Prints the accumulated comparison table (call after
@@ -138,10 +144,13 @@ inline void writeRowsJson(const char *Argv0) {
     std::fprintf(F,
                  "  {\"benchmark\": \"%s\", \"engine\": \"%s\", "
                  "\"paper\": \"%s\", \"measured\": \"%s\", "
-                 "\"seconds\": %.6f}%s\n",
+                 "\"seconds\": %.6f",
                  jsonEscape(R.Benchmark).c_str(), jsonEscape(R.Engine).c_str(),
                  jsonEscape(R.Paper).c_str(), jsonEscape(R.Measured).c_str(),
-                 R.Seconds, I + 1 < Rows.size() ? "," : "");
+                 R.Seconds);
+    if (R.AllocsPerIter >= 0)
+      std::fprintf(F, ", \"allocs_per_iter\": %.1f", R.AllocsPerIter);
+    std::fprintf(F, "}%s\n", I + 1 < Rows.size() ? "," : "");
   }
   std::fprintf(F, "]}\n");
   std::fclose(F);

@@ -25,6 +25,7 @@ void BM_GossipExact4(benchmark::State &State) {
   LoadedNetwork Net = mustLoad(scenarios::gossip(4, Sched));
   std::string Measured;
   double Secs = 0;
+  uint64_t Allocs0 = allocsNow(), Iters = 0;
   for (auto _ : State) {
     auto T0 = std::chrono::steady_clock::now();
     ExactResult R = ExactEngine(Net.Spec).run();
@@ -34,10 +35,15 @@ void BM_GossipExact4(benchmark::State &State) {
     auto V = R.concreteValue();
     Measured = V ? (V->toString() + " ~" + fmt(V->toDouble())) : "?";
     benchmark::DoNotOptimize(R);
+    ++Iters;
   }
+  double AllocsPerIter =
+      allocCountingEnabled() && Iters
+          ? static_cast<double>(allocsNow() - Allocs0) / Iters
+          : -1;
   addRow(std::string("gossip ") + (State.range(0) == 0 ? "uni" : "det") +
              " 4 nodes",
-         "exact", "94/27 ~3.4815", Measured, Secs);
+         "exact", "94/27 ~3.4815", Measured, Secs, AllocsPerIter);
 }
 
 void BM_GossipSmc(benchmark::State &State) {

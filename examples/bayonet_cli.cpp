@@ -11,6 +11,7 @@
 ///
 ///   bayonet FILE [--engine exact|translated|smc|reject]
 ///                [--particles N] [--seed N] [--threads N]
+///                [--txcache on|off|BYTES]
 ///                [--deadline-ms N] [--max-states N] [--max-frontier N]
 ///                [--max-merges N] [--max-bytes N] [--max-sched-steps N]
 ///                [--on-budget-exceeded fail|fallback-smc]
@@ -53,6 +54,10 @@ void usage() {
       "  --seed N                               PRNG seed\n"
       "  --threads N                            worker threads (0 = auto, "
       "1 = serial)\n"
+      "  --txcache on|off|BYTES                 successor-transition cache "
+      "(default on;\n"
+      "                                         results identical either "
+      "way)\n"
       "  --param NAME=VALUE                     bind a symbolic parameter\n"
       "  --deadline-ms N                        wall-clock budget\n"
       "  --max-states N                         expansion budget (configs / "
@@ -188,6 +193,27 @@ int runMain(int argc, char **argv) {
         return 2;
       }
       IOpts.Threads = static_cast<unsigned>(N);
+    } else if (Arg == "--txcache" ||
+               Arg.rfind("--txcache=", 0) == 0) {
+      std::string Val = Arg == "--txcache"
+                            ? std::string(takeValue("--txcache"))
+                            : Arg.substr(std::strlen("--txcache="));
+      if (Val == "on")
+        IOpts.TxCacheBytes = TxCacheDefaultBytes;
+      else if (Val == "off")
+        IOpts.TxCacheBytes = 0;
+      else {
+        char *End = nullptr;
+        unsigned long long N = std::strtoull(Val.c_str(), &End, 10);
+        if (Val.empty() || End == Val.c_str() || *End != '\0') {
+          std::fprintf(stderr,
+                       "error: --txcache expects on, off, or a byte count, "
+                       "got '%s'\n",
+                       Val.c_str());
+          return 2;
+        }
+        IOpts.TxCacheBytes = N;
+      }
     } else if (Arg == "--deadline-ms")
       IOpts.Limits.DeadlineMs = static_cast<int64_t>(takeU64("--deadline-ms"));
     else if (Arg == "--max-states")
@@ -397,6 +423,10 @@ int runMain(int argc, char **argv) {
                     "merge hits: %zu\n",
                     ER.ConfigsExpanded, ER.MaxFrontierSize,
                     static_cast<long long>(ER.StepsUsed), ER.MergeHits);
+        if (ER.TxHits || ER.TxMisses)
+          std::printf("txcache: hits=%" PRIu64 " misses=%" PRIu64
+                      " evictions=%" PRIu64 " bytes=%" PRIu64 "\n",
+                      ER.TxHits, ER.TxMisses, ER.TxEvictions, ER.TxBytes);
         if (!ER.WorkerConfigsExpanded.empty()) {
           std::printf("configs expanded per worker:");
           for (size_t N : ER.WorkerConfigsExpanded)

@@ -16,7 +16,18 @@ Usage:
       regresses beyond the tolerance band. With several CANDIDATEs only
       benchmarks that regress in EVERY candidate fail — a real
       regression shows up in each run, a noise flake rarely hits the
-      same benchmark twice.
+      same benchmark twice. Benchmarks present only in the candidate
+      (newly added) are reported as "new" and never fail the check.
+
+  check_bench.py improve BASELINE CANDIDATE [SUITE[:REGEX]...]
+      Verify an intended optimisation landed: each named suite's median
+      cpu-time ratio must improve by at least BAYONET_BENCH_IMPROVE
+      (default 0.25 = 25% faster) versus BASELINE. A SUITE may carry a
+      ":REGEX" suffix restricting the median to matching benchmark
+      names (e.g. "bench_scaling:Exact|Scaling" to judge only the
+      exact-engine entries of a mixed suite). Without SUITE arguments,
+      every suite shared by both files must meet the bar. No drift
+      correction — absolute movement is the point here.
 
 Environment:
   BAYONET_BENCH_TOL     relative tolerance band (default 0.15 = +/-15%)
@@ -25,6 +36,8 @@ Environment:
                         the check (default 1.0)
   BAYONET_BENCH_DRIFT   cap on any suite's median slowdown
                         (default 0.5 = +50%)
+  BAYONET_BENCH_IMPROVE required median speedup for the improve
+                        subcommand (default 0.25 = 25% faster)
 
 Comparison gates on cpu_time (wall time inflates under unrelated load)
 and is drift-corrected per suite: every benchmark's candidate/baseline
@@ -125,6 +138,19 @@ def load(path, role):
     return doc["suites"]
 
 
+def new_benchmarks(base, cand):
+    """suite/name keys present in the candidate but not the baseline:
+    newly added benchmarks, informational only (they have nothing to
+    regress against until the baseline is re-aggregated)."""
+    new = []
+    for suite, sdata in sorted(cand.items()):
+        bbenches = base.get(suite, {}).get("benchmarks", {})
+        for name in sorted(sdata["benchmarks"]):
+            if name not in bbenches:
+                new.append(f"{suite}/{name}")
+    return new
+
+
 def analyze(base, cand, tol, min_ms):
     """One baseline-vs-candidate pass. Returns (regressions keyed by
     suite/name, improvements, suite drifts, compared, skipped, missing)."""
@@ -204,6 +230,10 @@ def compare(baseline_path, candidate_paths):
         for key in missing:
             print(f"check_bench: warning: {key} missing from {cpath} "
                   "(not run?)")
+        for key in new_benchmarks(base, cand):
+            c = cand[key.split("/", 1)[0]]["benchmarks"][key.split("/", 1)[1]]
+            print(f"check_bench: new        {key}: {c['cpu_time_ms']:.3f} ms "
+                  "(no baseline entry, informational)")
         for key, (bt, ct, adj) in sorted(regs.items(), key=lambda r: -r[1][2]):
             print(f"check_bench: regressed in {cpath}: {key}: "
                   f"{bt:.3f} -> {ct:.3f} ms ({(adj - 1) * 100:+.1f}% "
@@ -241,6 +271,62 @@ def compare(baseline_path, candidate_paths):
           f"{tol * 100:.0f}% of the drift-adjusted baseline")
 
 
+def improve(baseline_path, candidate_path, suite_names):
+    """Asserts the optimisation landed: per-suite median cpu-time ratio
+    must be <= 1 - BAYONET_BENCH_IMPROVE. Unlike compare(), no drift
+    correction is applied — a uniform speedup IS the signal here, and the
+    threshold (default 25%) dwarfs host noise."""
+    import re
+    thresh = float(os.environ.get("BAYONET_BENCH_IMPROVE", "0.25"))
+    min_ms = float(os.environ.get("BAYONET_BENCH_MIN_MS", "1.0"))
+    base = load(baseline_path, "baseline")
+    cand = load(candidate_path, "candidate")
+    specs = ([(s.split(":", 1)[0], s.split(":", 1)[1] if ":" in s else None)
+              for s in suite_names] or
+             [(s, None) for s in sorted(set(base) & set(cand))])
+    if not specs:
+        fail("baseline and candidate share no suites")
+
+    def lower_median(rs):
+        return sorted(rs)[(len(rs) - 1) // 2]
+
+    failed = []
+    for suite, pattern in specs:
+        if suite not in base:
+            fail(f"suite {suite} not in baseline {baseline_path}")
+        if suite not in cand:
+            fail(f"suite {suite} not in candidate {candidate_path}")
+        label = suite if pattern is None else f"{suite}:{pattern}"
+        cbenches = cand[suite]["benchmarks"]
+        ratios = []
+        for name, b in sorted(base[suite]["benchmarks"].items()):
+            if pattern is not None and not re.search(pattern, name):
+                continue
+            c = cbenches.get(name)
+            bt = b["cpu_time_ms"]
+            # Sub-noise-floor benchmarks can't measure a speedup honestly.
+            if c is None or bt < min_ms:
+                continue
+            ratio = c["cpu_time_ms"] / bt
+            ratios.append(ratio)
+            print(f"check_bench: {suite}/{name}: {bt:.3f} -> "
+                  f"{c['cpu_time_ms']:.3f} ms ({(ratio - 1) * 100:+.1f}%)")
+        if not ratios:
+            fail(f"suite {label}: no comparable benchmarks above the "
+                 f"{min_ms}ms noise floor")
+        med = lower_median(ratios)
+        verdict = "OK" if med <= 1 - thresh else "SHORT"
+        print(f"check_bench: {verdict} suite {label}: median "
+              f"{(1 - med) * 100:.1f}% faster "
+              f"(required >= {thresh * 100:.0f}%)")
+        if med > 1 - thresh:
+            failed.append(label)
+    if failed:
+        fail(f"suites {', '.join(failed)} improved less than "
+             f"{thresh * 100:.0f}%")
+    print(f"check_bench: improvement confirmed in {len(specs)} suite(s)")
+
+
 def main():
     args = sys.argv[1:]
     if args and args[0] == "aggregate":
@@ -254,6 +340,13 @@ def main():
             print(__doc__, file=sys.stderr)
             sys.exit(2)
         aggregate(args, dest)
+        return
+    if args and args[0] == "improve":
+        args = args[1:]
+        if len(args) < 2 or any(a.startswith("-") for a in args):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        improve(args[0], args[1], args[2:])
         return
     if args and args[0] == "compare":
         args = args[1:]

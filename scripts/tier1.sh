@@ -2,7 +2,9 @@
 # Tier-1 verification: the standard build + test run from ROADMAP.md, a
 # budget-regression check (a tight --max-states run must exit 3), the
 # observability + diagnostics exporters (including diag determinism
-# across thread counts), a benchmark-regression check against the
+# across thread counts), a zero-allocation assertion on the exact
+# engine's weight-merge hot path (alloc_check from an armed
+# BAYONET_COUNT_ALLOCS build), a benchmark-regression check against the
 # committed BENCH.json baseline, and a thread-sanitized run of the
 # parallel-determinism and budget tests. The TSan step runs with
 # BAYONET_THREADS=4 so real worker threads race through the sharded
@@ -68,6 +70,11 @@ for Engine in exact smc; do
   done
   echo "diag determinism: $Engine identical at --threads 1/2/8"
 done
+
+echo "=== tier-1: zero-allocation merge hot path (gossip4) ==="
+cmake -B build-allocs -S . -DBAYONET_COUNT_ALLOCS=ON
+cmake --build build-allocs -j --target alloc_check
+./build-allocs/bench/alloc_check
 
 if [ "${BAYONET_SKIP_BENCH:-0}" = 1 ]; then
   echo "=== tier-1: bench-regress skipped (BAYONET_SKIP_BENCH=1) ==="

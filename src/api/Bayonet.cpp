@@ -60,6 +60,7 @@ void runPrimary(const LoadedNetwork &Net, const InferenceOptions &Opts,
     ExactOptions EO;
     EO.Threads = Opts.Threads;
     EO.CollectTerminals = Opts.CollectTerminals;
+    EO.TxCacheBytes = Opts.TxCacheBytes;
     EO.Budget = Tracker;
     EO.Obs = Opts.Obs;
     ExactResult ER = ExactEngine(Net.Spec, EO).run();

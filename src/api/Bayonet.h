@@ -92,6 +92,9 @@ struct InferenceOptions {
   uint64_t Seed = 0x5eed;
   unsigned Threads = 0;          ///< 0 = process default, 1 = serial.
   bool CollectTerminals = false; ///< Exact engine: keep the terminal dist.
+  /// Exact engine: byte cap for the successor-transition cache (--txcache).
+  /// 0 disables it; results are bit-identical either way.
+  uint64_t TxCacheBytes = TxCacheDefaultBytes;
   /// Resource budgets (default: unlimited). See BudgetLimits::fromEnv()
   /// for the BAYONET_* environment variables.
   BudgetLimits Limits;

@@ -112,14 +112,19 @@ private:
 
   std::vector<QueryOutcome> evalBinary(const BinaryExpr &B) {
     std::vector<QueryOutcome> Out;
+    // The operands are independent: evaluate the right side once and pair
+    // it against every left outcome, instead of re-evaluating the whole
+    // right subtree per left outcome (quadratic re-evaluation for chained
+    // binary expressions).
+    const std::vector<QueryOutcome> Rhs = eval(*B.Rhs);
     for (QueryOutcome &L : eval(*B.Lhs)) {
       if (L.Failed) {
         Out.push_back(std::move(L));
         continue;
       }
-      for (QueryOutcome &R : eval(*B.Rhs)) {
+      for (const QueryOutcome &R : Rhs) {
         if (R.Failed) {
-          Out.push_back(std::move(R));
+          Out.push_back(R);
           continue;
         }
         QueryOutcome Base;
@@ -232,7 +237,8 @@ ExactEngine::initialDistribution() const {
   std::vector<std::pair<NetConfig, SymProb>> Worlds;
   NetConfig Base;
   Base.Nodes.resize(Spec.Topo.numNodes());
-  for (NodeConfig &NC : Base.Nodes) {
+  for (unsigned I = 0; I < Spec.Topo.numNodes(); ++I) {
+    NodeConfig &NC = Base.Nodes.mut(I);
     NC.QIn = PacketQueue(Spec.QueueCapacity);
     NC.QOut = PacketQueue(Spec.QueueCapacity);
   }
@@ -252,7 +258,7 @@ ExactEngine::initialDistribution() const {
         if (!SV.Init) {
           NetConfig C2 = C;
           C2.invalidateHash();
-          C2.Nodes[Node].State.push_back(Value(Rational(0)));
+          C2.Nodes.mut(Node).State.push_back(Value(Rational(0)));
           Next.emplace_back(std::move(C2), W);
           continue;
         }
@@ -265,7 +271,7 @@ ExactEngine::initialDistribution() const {
           if (O.Failed)
             C2.Error = true;
           else
-            C2.Nodes[Node].State.push_back(O.V);
+            C2.Nodes.mut(Node).State.push_back(O.V);
           Next.emplace_back(std::move(C2), std::move(W2));
         }
       }
@@ -283,7 +289,7 @@ ExactEngine::initialDistribution() const {
       Pkt.Fields.reserve(Init.Fields.size());
       for (const Rational &F : Init.Fields)
         Pkt.Fields.push_back(Value(F));
-      C.Nodes[Init.Node].QIn.pushBack({std::move(Pkt), 0});
+      C.Nodes.mut(Init.Node).QIn.pushBack({std::move(Pkt), 0});
     }
   }
   return Worlds;
@@ -375,6 +381,8 @@ void foldPartial(ExactResult &Result, ExactResult &Partial) {
   }
   Result.ConfigsExpanded += Partial.ConfigsExpanded;
   Result.TerminalConfigs += Partial.TerminalConfigs;
+  Result.TxHits += Partial.TxHits;
+  Result.TxMisses += Partial.TxMisses;
   for (auto &TW : Partial.Terminals)
     Result.Terminals.push_back(std::move(TW));
 }
@@ -417,6 +425,7 @@ ExactResult ExactEngine::run() const {
     size_t TerminalConfigs = 0;
     size_t TerminalCount = 0;
     int64_t StepsUsed = 0;
+    uint64_t TxHits = 0, TxMisses = 0;
     std::vector<size_t> WorkerConfigsExpanded;
   };
   BoundarySnap Snap;
@@ -427,6 +436,7 @@ ExactResult ExactEngine::run() const {
             Result.MaxFrontierSize,  Result.MergeHits,
             Result.MergeAttempts,    Result.TerminalConfigs,
             Result.Terminals.size(), Result.StepsUsed,
+            Result.TxHits,           Result.TxMisses,
             Result.WorkerConfigsExpanded};
   };
   auto restoreSnapshot = [&] {
@@ -442,16 +452,28 @@ ExactResult ExactEngine::run() const {
     Result.TerminalConfigs = Snap.TerminalConfigs;
     Result.Terminals.resize(Snap.TerminalCount);
     Result.StepsUsed = Snap.StepsUsed;
+    Result.TxHits = Snap.TxHits;
+    Result.TxMisses = Snap.TxMisses;
     Result.WorkerConfigsExpanded = Snap.WorkerConfigsExpanded;
   };
 
   using Frontier = std::vector<std::pair<NetConfig, SymProb>>;
   Frontier Cur = initialDistribution();
 
+  // Successor-transition cache: memoizes node-program expansion per
+  // (program, node block). Lookups during a step read only the snapshot
+  // published at the previous boundary; misses stage per lane and publish
+  // serially below — so hit/miss counts, eviction order, and every weight
+  // are bit-identical for any thread count, with the cache on or off.
+  std::unique_ptr<TxCache> Cache;
+  if (Opts.TxCacheBytes)
+    Cache = std::make_unique<TxCache>(Opts.TxCacheBytes, Threads);
+
   // Expands one weighted configuration: terminal and error mass go into
   // \p Res (a lane-local partial in parallel steps), successors into Emit.
+  // \p Lane names the staging lane for transition-cache misses.
   auto expandOne = [&](const NetConfig &C, const SymProb &W, bool LastStep,
-                       ExactResult &Res, auto &&Emit) {
+                       ExactResult &Res, unsigned Lane, auto &&Emit) {
     ++Res.ConfigsExpanded;
     if (BT)
       BT->chargeStates();
@@ -479,20 +501,75 @@ ExactResult ExactEngine::run() const {
         NetConfig C2 = C;
         C2.invalidateHash(); // The copy carries C's cached hash.
         C2.SchedState = Choice.NextSchedState;
-        NodeConfig &Src = C2.Nodes[Choice.Act.Node];
+        NodeConfig &Src = C2.Nodes.mut(Choice.Act.Node);
         QueueEntry E = Src.QOut.takeFront();
         if (auto Peer = Spec.Topo.peer(Choice.Act.Node, E.Port)) {
           E.Port = Peer->Port;
           // pushBack on a full queue is a no-op: congestion drop.
-          C2.Nodes[Peer->Node].QIn.pushBack(std::move(E));
+          C2.Nodes.mut(Peer->Node).QIn.pushBack(std::move(E));
         }
         // No link on that port: the packet leaves the network (dropped).
         Emit(std::move(C2), std::move(Base));
         continue;
       }
-      // Run action.
+      // Run action. runExact is pure in (program, node configuration), so
+      // the expansion is memoizable per node block; a hit replays the
+      // recorded worlds through the identical weight arithmetic.
       const DefDecl *Def = Spec.NodePrograms[Choice.Act.Node];
-      for (ExecWorld &World : Exec.runExact(*Def, C.Nodes[Choice.Act.Node])) {
+      const unsigned Node = Choice.Act.Node;
+      if (Cache) {
+        if (const TxEntry *E = Cache->lookup(Def, C.Nodes.block(Node))) {
+          ++Res.TxHits;
+          for (const TxWorld &TW : E->Worlds) {
+            SymProb W2 = applyGuards(Base.scaled(TW.Prob), TW.Guards);
+            if (W2.isZero())
+              continue;
+            if (TW.Error) {
+              Res.ErrorMass += W2;
+              continue;
+            }
+            NetConfig C2 = C;
+            C2.invalidateHash();
+            C2.SchedState = Choice.NextSchedState;
+            C2.Nodes.setBlock(Node, TW.Node);
+            Emit(std::move(C2), std::move(W2));
+          }
+          continue;
+        }
+        ++Res.TxMisses;
+        TxEntry NE;
+        NE.Def = Def;
+        NE.Key = C.Nodes.block(Node);
+        for (ExecWorld &World : Exec.runExact(*Def, C.Nodes[Node])) {
+          if (World.ObserveFailed)
+            continue; // Observation failure: the mass is discarded.
+          SymProb W2 = applyGuards(Base.scaled(World.Prob), World.Guards);
+          if (World.Error) {
+            // Error worlds memoize with a null block; only mass matters.
+            NE.Worlds.push_back(
+                {nullptr, std::move(World.Prob), std::move(World.Guards),
+                 /*Error=*/true});
+            if (!W2.isZero())
+              Res.ErrorMass += W2;
+            continue;
+          }
+          // Share the block between the emitted successor and the staged
+          // entry: future replays alias this storage.
+          auto NB = std::make_shared<NodeBlock>(std::move(World.Node));
+          NE.Worlds.push_back({NB, std::move(World.Prob),
+                               std::move(World.Guards), /*Error=*/false});
+          if (W2.isZero())
+            continue;
+          NetConfig C2 = C;
+          C2.invalidateHash();
+          C2.SchedState = Choice.NextSchedState;
+          C2.Nodes.setBlock(Node, std::move(NB));
+          Emit(std::move(C2), std::move(W2));
+        }
+        Cache->stage(Lane, std::move(NE));
+        continue;
+      }
+      for (ExecWorld &World : Exec.runExact(*Def, C.Nodes[Node])) {
         SymProb W2 = applyGuards(Base.scaled(World.Prob), World.Guards);
         if (W2.isZero())
           continue;
@@ -501,7 +578,7 @@ ExactResult ExactEngine::run() const {
         NetConfig C2 = C;
         C2.invalidateHash();
         C2.SchedState = Choice.NextSchedState;
-        C2.Nodes[Choice.Act.Node] = std::move(World.Node);
+        C2.Nodes.set(Node, std::move(World.Node));
         if (World.Error) {
           Res.ErrorMass += W2;
           continue;
@@ -522,7 +599,7 @@ ExactResult ExactEngine::run() const {
     if (Inserted) {
       F.emplace_back(std::move(C), std::move(W));
     } else {
-      F[It->second].second += W;
+      F[It->second].second += std::move(W);
       ++Result.MergeHits;
       if (BT)
         BT->chargeMerges();
@@ -557,6 +634,9 @@ ExactResult ExactEngine::run() const {
     const size_t ObsPrevExpanded = Result.ConfigsExpanded;
     const size_t ObsPrevAttempts = Result.MergeAttempts;
     const size_t ObsPrevHits = Result.MergeHits;
+    const uint64_t ObsPrevTxHits = Result.TxHits;
+    const uint64_t ObsPrevTxMisses = Result.TxMisses;
+    const uint64_t ObsPrevTxEvictions = Result.TxEvictions;
     if (O) {
       StepT0 = std::chrono::steady_clock::now();
       if (O.tracing()) {
@@ -578,7 +658,7 @@ ExactResult ExactEngine::run() const {
       for (auto &[C, W] : Cur) {
         if (BT && BT->stop())
           break; // Mid-step stop; the post-step check restores and returns.
-        expandOne(C, W, LastStep, Result,
+        expandOne(C, W, LastStep, Result, /*Lane=*/0,
                   [&](NetConfig C2, SymProb W2) {
                     if (BT)
                       BT->chargeBytes(C2.approxBytes());
@@ -623,6 +703,7 @@ ExactResult ExactEngine::run() const {
           if (StopF && StopF->load(std::memory_order_acquire))
             return; // Drain: partial lane output is discarded below.
           expandOne(Cur[I].first, Cur[I].second, LastStep, O.Partial,
+                    static_cast<unsigned>(Lane),
                     [&](NetConfig C2, SymProb W2) {
                       if (BT)
                         BT->chargeBytes(C2.approxBytes());
@@ -674,7 +755,7 @@ ExactResult ExactEngine::run() const {
             if (Inserted) {
               F.emplace_back(std::move(C), std::move(W));
             } else {
-              F[It->second].second += W;
+              F[It->second].second += std::move(W);
               ++BucketHits[B];
             }
           }
@@ -711,7 +792,34 @@ ExactResult ExactEngine::run() const {
       setWall();
       return Result;
     }
+    // Transition-cache publication: the serial point where this step's
+    // staged misses become visible to the next step. Inserted bytes are
+    // charged to the budget (the cache is retained memory, unlike the
+    // per-step frontier gauge, so it is charged on growth only).
+    if (Cache) {
+      Span TxSpan = O.span("exact.txcache");
+      TxCache::PublishStats TxStats = Cache->publishStaged();
+      Result.TxEvictions += TxStats.Evicted;
+      Result.TxBytes = Cache->bytes();
+      if (BT && TxStats.InsertedBytes)
+        BT->chargeBytes(TxStats.InsertedBytes);
+      if (O.tracing()) {
+        TxSpan.arg("staged", TxStats.Staged);
+        TxSpan.arg("inserted", TxStats.Inserted);
+        TxSpan.arg("evicted", TxStats.Evicted);
+        TxSpan.arg("bytes", Cache->bytes());
+      }
+    }
     if (O) {
+      if (Cache) {
+        O.count(&EngineMetricIds::TxCacheHits,
+                Result.TxHits - ObsPrevTxHits);
+        O.count(&EngineMetricIds::TxCacheMisses,
+                Result.TxMisses - ObsPrevTxMisses);
+        O.count(&EngineMetricIds::TxCacheEvictions,
+                Result.TxEvictions - ObsPrevTxEvictions);
+        O.gaugeMax(&EngineMetricIds::TxCacheBytes, Result.TxBytes);
+      }
       O.count(&EngineMetricIds::StatesExpanded,
               Result.ConfigsExpanded - ObsPrevExpanded);
       O.count(&EngineMetricIds::MergeAttempts,
@@ -742,6 +850,9 @@ ExactResult ExactEngine::run() const {
       D.MergeHitRate = D.MergeAttempts
                            ? static_cast<double>(D.MergeHits) / D.MergeAttempts
                            : 0.0;
+      D.TxHits = Result.TxHits - ObsPrevTxHits;
+      D.TxMisses = Result.TxMisses - ObsPrevTxMisses;
+      D.TxBytes = Result.TxBytes;
       bool Blowup = DC->recordExactRound(D);
       if (O.tracing()) {
         char Rate[32];

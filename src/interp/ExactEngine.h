@@ -18,6 +18,7 @@
 #define BAYONET_INTERP_EXACTENGINE_H
 
 #include "interp/Exec.h"
+#include "interp/TxCache.h"
 #include "net/NetworkSpec.h"
 #include "net/Scheduler.h"
 #include "obs/Obs.h"
@@ -59,6 +60,12 @@ struct ExactOptions {
   /// boundaries — serial points, so every counted quantity is bit-identical
   /// at any thread count. Null = unobserved (one branch per probe site).
   std::shared_ptr<ObsContext> Obs;
+  /// Byte cap for the successor-transition cache (memoized node-program
+  /// expansions, see interp/TxCache.h). 0 disables the cache entirely.
+  /// Results are bit-identical with the cache on or off and for every
+  /// Threads value: lookups read only the snapshot published at the last
+  /// step boundary, and misses replay the exact uncached arithmetic.
+  uint64_t TxCacheBytes = TxCacheDefaultBytes;
 };
 
 /// Result of one exact inference run.
@@ -99,6 +106,15 @@ struct ExactResult {
   /// Terminal configurations reached (the support of the terminal
   /// distribution as visited; merged duplicates count once per arrival).
   size_t TerminalConfigs = 0;
+  /// Transition-cache statistics (all zero when the cache is off). Hits
+  /// and misses count Run-action expansions; evictions and bytes reflect
+  /// the cache state after the final publication. All four are pure
+  /// functions of (spec, options minus Threads): lookups see only
+  /// step-boundary snapshots, so the counts are thread-count-invariant.
+  uint64_t TxHits = 0;
+  uint64_t TxMisses = 0;
+  uint64_t TxEvictions = 0;
+  uint64_t TxBytes = 0;
 
   /// Terminal distribution (only when CollectTerminals was set).
   std::vector<std::pair<NetConfig, SymProb>> Terminals;

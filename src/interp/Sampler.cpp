@@ -16,7 +16,8 @@ using namespace bayonet;
 
 void Sampler::initParticle(Particle &P, int64_t InitSchedState) const {
   P.Config.Nodes.resize(Spec.Topo.numNodes());
-  for (NodeConfig &NC : P.Config.Nodes) {
+  for (unsigned I = 0; I < Spec.Topo.numNodes(); ++I) {
+    NodeConfig &NC = P.Config.Nodes.mut(I);
     NC.QIn = PacketQueue(Spec.QueueCapacity);
     NC.QOut = PacketQueue(Spec.QueueCapacity);
   }
@@ -28,7 +29,7 @@ void Sampler::initParticle(Particle &P, int64_t InitSchedState) const {
       continue;
     for (const StateVarDecl &SV : Def->StateVars) {
       if (!SV.Init) {
-        P.Config.Nodes[Node].State.push_back(Value(Rational(0)));
+        P.Config.Nodes.mut(Node).State.push_back(Value(Rational(0)));
         continue;
       }
       auto V = Exec.evalInitSampled(*SV.Init, P.Rng);
@@ -36,7 +37,7 @@ void Sampler::initParticle(Particle &P, int64_t InitSchedState) const {
         P.Error = true;
         return;
       }
-      P.Config.Nodes[Node].State.push_back(std::move(*V));
+      P.Config.Nodes.mut(Node).State.push_back(std::move(*V));
     }
   }
   for (const InitPacketSpec &Init : Spec.Inits) {
@@ -44,7 +45,7 @@ void Sampler::initParticle(Particle &P, int64_t InitSchedState) const {
     Pkt.Fields.reserve(Init.Fields.size());
     for (const Rational &F : Init.Fields)
       Pkt.Fields.push_back(Value(F));
-    P.Config.Nodes[Init.Node].QIn.pushBack({std::move(Pkt), 0});
+    P.Config.Nodes.mut(Init.Node).QIn.pushBack({std::move(Pkt), 0});
   }
 }
 
@@ -70,17 +71,17 @@ void Sampler::step(Particle &P, const Scheduler &Sched) const {
   const SchedChoice &Choice = Choices[Pick];
   P.Config.SchedState = Choice.NextSchedState;
   if (Choice.Act.K == Action::Kind::Fwd) {
-    NodeConfig &Src = P.Config.Nodes[Choice.Act.Node];
+    NodeConfig &Src = P.Config.Nodes.mut(Choice.Act.Node);
     QueueEntry E = Src.QOut.takeFront();
     if (auto Peer = Spec.Topo.peer(Choice.Act.Node, E.Port)) {
       E.Port = Peer->Port;
-      P.Config.Nodes[Peer->Node].QIn.pushBack(std::move(E));
+      P.Config.Nodes.mut(Peer->Node).QIn.pushBack(std::move(E));
     }
     return;
   }
   const DefDecl *Def = Spec.NodePrograms[Choice.Act.Node];
   SampleStatus St =
-      Exec.runSampled(*Def, P.Config.Nodes[Choice.Act.Node], P.Rng);
+      Exec.runSampled(*Def, P.Config.Nodes.mut(Choice.Act.Node), P.Rng);
   if (St == SampleStatus::Error)
     P.Error = true;
   else if (St == SampleStatus::ObserveFailed)

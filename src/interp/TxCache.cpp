@@ -1,0 +1,89 @@
+//===- interp/TxCache.cpp - Successor-transition memo cache ---------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/TxCache.h"
+#include "lang/Ast.h"
+
+#include <algorithm>
+
+using namespace bayonet;
+
+void TxEntry::computeBytes() {
+  size_t B = sizeof(TxEntry) + sizeof(NodeBlock) + Key->config().approxBytes();
+  for (const TxWorld &W : Worlds) {
+    B += sizeof(TxWorld) + W.Guards.size() * sizeof(Constraint);
+    if (W.Node)
+      B += sizeof(NodeBlock) + W.Node->config().approxBytes();
+  }
+  Bytes = B;
+}
+
+TxCache::TxCache(uint64_t ByteCap, unsigned Lanes)
+    : ByteCap(ByteCap), Pending(std::max(1u, Lanes)) {}
+
+const TxEntry *TxCache::lookup(const DefDecl *Def,
+                               const NodeArray::BlockPtr &KeyBlock) const {
+  auto It = Map.find(Key{Def, KeyBlock});
+  return It == Map.end() ? nullptr : &It->second;
+}
+
+void TxCache::stage(unsigned Lane, TxEntry E) {
+  Pending[Lane].push_back(std::move(E));
+}
+
+TxCache::PublishStats TxCache::publishStaged() {
+  PublishStats Stats;
+  // Collect all lanes' pending entries.
+  std::vector<TxEntry> Staged;
+  for (std::vector<TxEntry> &Lane : Pending) {
+    for (TxEntry &E : Lane)
+      Staged.push_back(std::move(E));
+    Lane.clear();
+  }
+  Stats.Staged = Staged.size();
+  if (Staged.empty())
+    return Stats;
+  // Content order, not lane order: which lane computed a miss depends on
+  // the thread count, but the set of staged (program, node) keys does not.
+  // Sorting by content makes insertion — and therefore FIFO eviction —
+  // reproducible across thread counts and across processes.
+  std::stable_sort(Staged.begin(), Staged.end(),
+                   [](const TxEntry &A, const TxEntry &B) {
+                     if (A.Def != B.Def) {
+                       if (int C = A.Def->Name.compare(B.Def->Name))
+                         return C < 0;
+                     }
+                     return A.Key->hash() < B.Key->hash();
+                   });
+  for (TxEntry &E : Staged) {
+    Key K{E.Def, E.Key};
+    // Duplicates (several configurations missing on the same node state
+    // within one step) publish once; later copies are identical values.
+    auto [It, Inserted] = Map.try_emplace(K, TxEntry());
+    if (!Inserted)
+      continue;
+    if (!E.Bytes)
+      E.computeBytes();
+    Bytes += E.Bytes;
+    Stats.InsertedBytes += E.Bytes;
+    ++Stats.Inserted;
+    It->second = std::move(E);
+    Fifo.push_back(std::move(K));
+  }
+  // FIFO eviction down to the byte cap. Entries are pure values, so this
+  // only ever costs a future recomputation.
+  while (Bytes > ByteCap && !Fifo.empty()) {
+    Key &Victim = Fifo.front();
+    auto It = Map.find(Victim);
+    if (It != Map.end()) {
+      Bytes -= std::min<uint64_t>(Bytes, It->second.Bytes);
+      Map.erase(It);
+      ++Stats.Evicted;
+    }
+    Fifo.pop_front();
+  }
+  return Stats;
+}

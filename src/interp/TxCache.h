@@ -1,0 +1,141 @@
+//===- interp/TxCache.h - Successor-transition memo cache ------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoization of node-program expansion for the exact engine.
+/// NodeExecutor::runExact is a pure function of (program, node
+/// configuration), and large frontiers re-run it for the same node state
+/// over and over (gossip-style networks re-derive identical per-node
+/// branches across thousands of configurations). The cache maps
+/// (program, node block) to the list of successor worlds, with each
+/// successor's node configuration held as a shared immutable NodeBlock so
+/// every replay shares storage with every other replay.
+///
+/// Determinism protocol (the serial-checkpoint discipline of the parallel
+/// engine): during a scheduler step, lanes only *read* the published map —
+/// lookups therefore see a snapshot that is a pure function of the
+/// completed steps, so per-step hit/miss counts are identical for every
+/// thread count. Misses are staged into per-lane pending lists and
+/// published once, serially, at the step boundary, in an order sorted by
+/// content (program name, then key-block hash) — so the insertion order,
+/// and with it FIFO eviction under the byte cap, is also independent of
+/// both the thread count and lane scheduling. Entries are pure values:
+/// eviction can only cost recomputation, never change a result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_INTERP_TXCACHE_H
+#define BAYONET_INTERP_TXCACHE_H
+
+#include "net/Config.h"
+#include "support/Rational.h"
+#include "symbolic/Constraint.h"
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace bayonet {
+
+struct DefDecl;
+
+/// Default byte cap for the transition cache (the --txcache=on setting).
+inline constexpr uint64_t TxCacheDefaultBytes = 256ull << 20;
+
+/// One memoized successor world of a node-program run: probability,
+/// symbolic guards, and the resulting node configuration as a shared
+/// block. Error worlds carry a null Node (only their mass matters).
+/// Observe-failed worlds are not recorded — their mass is discarded
+/// without side effects, so replay never needs them.
+struct TxWorld {
+  NodeArray::BlockPtr Node;
+  Rational Prob;
+  std::vector<Constraint> Guards;
+  bool Error = false;
+};
+
+/// A memoized expansion: all successor worlds of running \p Def on the
+/// node configuration held by \p Key.
+struct TxEntry {
+  const DefDecl *Def = nullptr;
+  NodeArray::BlockPtr Key;
+  std::vector<TxWorld> Worlds;
+  /// Approximate retained bytes (key + worlds), for the byte cap and the
+  /// budget tracker's gauge.
+  size_t Bytes = 0;
+
+  void computeBytes();
+};
+
+/// Thread-sharded successor-transition cache. See the file comment for the
+/// read-published/stage/publish protocol that keeps results and counters
+/// bit-identical across thread counts.
+class TxCache {
+public:
+  /// \p ByteCap bounds retained entry bytes (FIFO eviction); \p Lanes is
+  /// the maximum lane index that will stage misses.
+  TxCache(uint64_t ByteCap, unsigned Lanes);
+
+  /// Read-only lookup against the published map. Safe to call from any
+  /// lane while other lanes stage misses. Returns null on miss.
+  const TxEntry *lookup(const DefDecl *Def,
+                        const NodeArray::BlockPtr &Key) const;
+
+  /// Stages a freshly computed entry into lane \p Lane's pending list.
+  /// Duplicate keys (within or across lanes) are deduplicated at publish.
+  void stage(unsigned Lane, TxEntry E);
+
+  struct PublishStats {
+    uint64_t Staged = 0;
+    uint64_t Inserted = 0;
+    uint64_t InsertedBytes = 0;
+    uint64_t Evicted = 0;
+  };
+
+  /// Serial step-boundary publication: sorts the staged entries by
+  /// (program name, key hash), inserts keys not already present, and
+  /// FIFO-evicts down to the byte cap. Must not race with lookups.
+  PublishStats publishStaged();
+
+  /// Retained bytes across all published entries.
+  uint64_t bytes() const { return Bytes; }
+  /// Published entry count.
+  size_t size() const { return Map.size(); }
+
+private:
+  struct Key {
+    const DefDecl *Def = nullptr;
+    NodeArray::BlockPtr Block;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      return hashCombine(reinterpret_cast<size_t>(K.Def), K.Block->hash());
+    }
+  };
+  struct KeyEq {
+    bool operator()(const Key &A, const Key &B) const {
+      if (A.Def != B.Def)
+        return false;
+      if (A.Block == B.Block)
+        return true;
+      return A.Block->hash() == B.Block->hash() &&
+             A.Block->config() == B.Block->config();
+    }
+  };
+
+  uint64_t ByteCap;
+  uint64_t Bytes = 0;
+  std::unordered_map<Key, TxEntry, KeyHash, KeyEq> Map;
+  /// Insertion order for FIFO eviction (deterministic: publication is
+  /// serial and content-sorted).
+  std::deque<Key> Fifo;
+  std::vector<std::vector<TxEntry>> Pending;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_INTERP_TXCACHE_H

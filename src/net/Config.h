@@ -18,6 +18,8 @@
 
 #include "net/Value.h"
 
+#include <atomic>
+#include <memory>
 #include <vector>
 
 namespace bayonet {
@@ -150,6 +152,138 @@ struct NodeConfig {
   }
 };
 
+/// An immutable, shared, hash-cached node block: one NodeConfig behind a
+/// shared_ptr so successor configurations share the nodes a scheduler step
+/// did not touch. The structural hash is computed once per block and
+/// reused by every configuration that shares it.
+///
+/// Blocks are logically immutable once shared: NodeArray::mut() is the
+/// only mutator, and it clones the block first whenever any other owner
+/// (another configuration, or the transition cache) still references it.
+/// The hash cache is a relaxed atomic — concurrent lanes may race to fill
+/// it, but every writer stores the same pure function of the structure, so
+/// the race is benign and TSan-clean.
+class NodeBlock {
+public:
+  NodeBlock() = default;
+  explicit NodeBlock(NodeConfig C) : Cfg(std::move(C)) {}
+  NodeBlock(const NodeBlock &B)
+      : Cfg(B.Cfg), Hash(B.Hash.load(std::memory_order_relaxed)) {}
+  NodeBlock &operator=(const NodeBlock &) = delete;
+
+  const NodeConfig &config() const { return Cfg; }
+
+  /// Cached structural hash (never 0; 0 is the "not computed" sentinel).
+  size_t hash() const {
+    size_t H = Hash.load(std::memory_order_relaxed);
+    if (!H) {
+      H = Cfg.hash();
+      if (!H)
+        H = 0x5bd1e995;
+      Hash.store(H, std::memory_order_relaxed);
+    }
+    return H;
+  }
+
+private:
+  friend class NodeArray;
+  NodeConfig Cfg;
+  mutable std::atomic<size_t> Hash{0};
+};
+
+/// The node array of a configuration: copy-on-write storage of NodeConfigs
+/// behind shared NodeBlocks. Copying a NodeArray shares every block;
+/// mut()/set() clone only the touched node. Reads go through the const
+/// operator[], so read sites look exactly like a plain vector.
+class NodeArray {
+public:
+  using BlockPtr = std::shared_ptr<NodeBlock>;
+
+  size_t size() const { return Blocks.size(); }
+  bool empty() const { return Blocks.empty(); }
+
+  /// Grows (or shrinks) to \p N nodes; new nodes are distinct empty blocks.
+  void resize(size_t N) {
+    if (N <= Blocks.size()) {
+      Blocks.resize(N);
+      return;
+    }
+    Blocks.reserve(N);
+    while (Blocks.size() < N)
+      Blocks.push_back(std::make_shared<NodeBlock>());
+  }
+
+  const NodeConfig &operator[](size_t I) const { return Blocks[I]->config(); }
+
+  /// Mutable access to node \p I: clones the block if any other owner still
+  /// shares it, and resets its cached hash. The caller owns the returned
+  /// reference only until the next copy of this array.
+  NodeConfig &mut(size_t I) {
+    BlockPtr &B = Blocks[I];
+    if (B.use_count() != 1)
+      B = std::make_shared<NodeBlock>(B->config());
+    B->Hash.store(0, std::memory_order_relaxed);
+    return B->Cfg;
+  }
+
+  /// Replaces node \p I with a fresh block holding \p C.
+  void set(size_t I, NodeConfig C) {
+    Blocks[I] = std::make_shared<NodeBlock>(std::move(C));
+  }
+
+  /// The shared block behind node \p I (for block-level sharing, e.g. the
+  /// transition cache replaying a memoized successor).
+  const BlockPtr &block(size_t I) const { return Blocks[I]; }
+
+  /// Installs an existing (immutable) block at node \p I.
+  void setBlock(size_t I, BlockPtr B) { Blocks[I] = std::move(B); }
+
+  /// Cached per-block structural hash of node \p I.
+  size_t blockHash(size_t I) const { return Blocks[I]->hash(); }
+
+  /// Const iteration over the node configurations.
+  class const_iterator {
+  public:
+    explicit const_iterator(const BlockPtr *P) : P(P) {}
+    const NodeConfig &operator*() const { return (*P)->config(); }
+    const NodeConfig *operator->() const { return &(*P)->config(); }
+    const_iterator &operator++() {
+      ++P;
+      return *this;
+    }
+    friend bool operator!=(const const_iterator &A, const const_iterator &B) {
+      return A.P != B.P;
+    }
+    friend bool operator==(const const_iterator &A, const const_iterator &B) {
+      return A.P == B.P;
+    }
+
+  private:
+    const BlockPtr *P;
+  };
+  const_iterator begin() const { return const_iterator(Blocks.data()); }
+  const_iterator end() const {
+    return const_iterator(Blocks.data() + Blocks.size());
+  }
+
+  friend bool operator==(const NodeArray &A, const NodeArray &B) {
+    if (A.Blocks.size() != B.Blocks.size())
+      return false;
+    for (size_t I = 0; I < A.Blocks.size(); ++I) {
+      if (A.Blocks[I] == B.Blocks[I])
+        continue; // Shared block: trivially equal.
+      if (A.Blocks[I]->hash() != B.Blocks[I]->hash())
+        return false; // Per-block hash fast-rejects mismatches.
+      if (!(A.Blocks[I]->config() == B.Blocks[I]->config()))
+        return false;
+    }
+    return true;
+  }
+
+private:
+  std::vector<BlockPtr> Blocks;
+};
+
 /// Global network configuration (σ_s, C_1, ..., C_k), plus the error flag
 /// for the ⊥ state reached by failed assertions.
 ///
@@ -161,7 +295,7 @@ struct NodeConfig {
 /// engines the only such site is the copy-then-mutate successor
 /// construction, which invalidates immediately after the copy.
 struct NetConfig {
-  std::vector<NodeConfig> Nodes;
+  NodeArray Nodes;
   /// Scheduler state σ_s (used by the round-robin scheduler's rotor).
   int64_t SchedState = 0;
   /// Set when some node failed an assertion (the ⊥ state).
@@ -180,8 +314,9 @@ struct NetConfig {
       return HashCache;
     size_t H = Error ? 0x2545f491 : 0x9e3779b9;
     H = hashCombine(H, static_cast<size_t>(SchedState));
-    for (const NodeConfig &N : Nodes)
-      H = hashCombine(H, N.hash());
+    // Per-block cached hashes: shared blocks are hashed once globally.
+    for (size_t I = 0, N = Nodes.size(); I < N; ++I)
+      H = hashCombine(H, Nodes.blockHash(I));
     if (!H)
       H = 0x9e3779b9; // 0 is the "not computed" sentinel.
     HashCache = H;

@@ -221,6 +221,12 @@ std::string DiagReport::toJson() const {
     appendUInt(J, D.MergeHits);
     J += ", \"merge_hit_rate\": ";
     appendDouble(J, D.MergeHitRate);
+    J += ", \"tx_hits\": ";
+    appendUInt(J, D.TxHits);
+    J += ", \"tx_misses\": ";
+    appendUInt(J, D.TxMisses);
+    J += ", \"tx_bytes\": ";
+    appendUInt(J, D.TxBytes);
     J += "}";
   }
   J += ExactRounds.empty() ? "]" : "\n  ]";

@@ -52,6 +52,9 @@ struct ExactRoundDiag {
   uint64_t MergeAttempts = 0;
   uint64_t MergeHits = 0;
   double MergeHitRate = 0;   ///< Hits / attempts (0 when no attempts).
+  uint64_t TxHits = 0;       ///< Transition-cache hits this round (0 = off).
+  uint64_t TxMisses = 0;     ///< Transition-cache misses this round.
+  uint64_t TxBytes = 0;      ///< Retained cache bytes after the round.
 };
 
 /// Summary handed back on InferenceResult: the headline numbers a caller

@@ -65,6 +65,17 @@ ObsContext::ObsContext(bool EnableTrace, bool EnableMetrics,
   Ids.DegeneracySteps = Reg->counter(
       "bayonet_degeneracy_steps_total",
       "SMC steps whose ESS fell below the degeneracy warning level");
+  Ids.TxCacheHits = Reg->counter(
+      "bayonet_txcache_hits_total",
+      "Transition-cache hits (memoized node-program expansions replayed)");
+  Ids.TxCacheMisses = Reg->counter(
+      "bayonet_txcache_misses_total",
+      "Transition-cache misses (node-program expansions computed and staged)");
+  Ids.TxCacheEvictions = Reg->counter(
+      "bayonet_txcache_evictions_total",
+      "Transition-cache entries evicted by the FIFO byte cap");
+  Ids.TxCacheBytes = Reg->gauge("bayonet_txcache_bytes",
+                                "Peak retained transition-cache bytes");
 }
 
 std::string ObsContext::renderFullStats() const {

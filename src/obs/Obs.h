@@ -46,6 +46,10 @@ struct EngineMetricIds {
   MetricId PoolTasks;       ///< Counter: thread-pool tasks executed.
   MetricId EssFraction;     ///< Histogram: per-step ESS / population.
   MetricId DegeneracySteps; ///< Counter: steps with ESS below warn level.
+  MetricId TxCacheHits;     ///< Counter: transition-cache expansion hits.
+  MetricId TxCacheMisses;   ///< Counter: transition-cache expansion misses.
+  MetricId TxCacheEvictions; ///< Counter: transition-cache FIFO evictions.
+  MetricId TxCacheBytes;    ///< Gauge (max): retained transition-cache bytes.
 };
 
 /// Owns the observability state for one run: an optional tracer, an

@@ -280,7 +280,7 @@ private:
         if (Inserted) {
           Merged.push_back(std::move(B));
         } else {
-          Merged[It->second].W += B.W;
+          Merged[It->second].W += std::move(B.W);
           ++Result.MergeHits;
           if (BT)
             BT->chargeMerges();
@@ -322,7 +322,7 @@ private:
           if (Inserted) {
             F.push_back(std::move(Br));
           } else {
-            F[It->second].W += Br.W;
+            F[It->second].W += std::move(Br.W);
             ++BucketHits[B];
           }
         }

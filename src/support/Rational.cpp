@@ -14,6 +14,29 @@ Rational::Rational(BigInt N, BigInt D) : Num(std::move(N)), Den(std::move(D)) {
 }
 
 void Rational::normalize() {
+  // Small fast path: int64 gcd instead of BigInt's division loop. The
+  // INT64_MIN magnitudes are excluded so the negations below cannot
+  // overflow; they take the general path.
+  if (isSmallRepr()) {
+    int64_t N = Num.getSmall(), D = Den.getSmall();
+    if (N != INT64_MIN && D != INT64_MIN) {
+      if (N == 0) {
+        Den = BigInt(1);
+        return;
+      }
+      if (D < 0) {
+        N = -N;
+        D = -D;
+      }
+      const uint64_t G = gcdMag(mag64(N), static_cast<uint64_t>(D));
+      if (G > 1) {
+        N /= static_cast<int64_t>(G);
+        D /= static_cast<int64_t>(G);
+      }
+      setSmall(N, D);
+      return;
+    }
+  }
   if (Den.isNegative()) {
     Num = -Num;
     Den = -Den;
@@ -31,6 +54,14 @@ void Rational::normalize() {
 
 int Rational::compare(const Rational &A, const Rational &B) {
   // a/b <=> c/d  iff  a*d <=> c*b (b, d > 0).
+  if (A.isSmallRepr() && B.isSmallRepr()) {
+    // 128-bit cross products are always exact for int64 components.
+    const __int128 L =
+        static_cast<__int128>(A.Num.getSmall()) * B.Den.getSmall();
+    const __int128 R =
+        static_cast<__int128>(B.Num.getSmall()) * A.Den.getSmall();
+    return L < R ? -1 : L > R ? 1 : 0;
+  }
   return BigInt::compare(A.Num * B.Den, B.Num * A.Den);
 }
 
@@ -42,19 +73,31 @@ Rational Rational::operator-() const {
 }
 
 Rational Rational::operator+(const Rational &B) const {
+  Rational R = *this;
+  if (R.addSubFast(B, /*Sub=*/false))
+    return R;
   return Rational(Num * B.Den + B.Num * Den, Den * B.Den);
 }
 
 Rational Rational::operator-(const Rational &B) const {
+  Rational R = *this;
+  if (R.addSubFast(B, /*Sub=*/true))
+    return R;
   return Rational(Num * B.Den - B.Num * Den, Den * B.Den);
 }
 
 Rational Rational::operator*(const Rational &B) const {
+  Rational R = *this;
+  if (R.mulFast(B))
+    return R;
   return Rational(Num * B.Num, Den * B.Den);
 }
 
 Rational Rational::operator/(const Rational &B) const {
   assert(!B.isZero() && "rational division by zero");
+  Rational R = *this;
+  if (R.divFast(B))
+    return R;
   return Rational(Num * B.Den, Den * B.Num);
 }
 

@@ -61,6 +61,17 @@ SymProb &SymProb::operator+=(const SymProb &B) {
   return *this;
 }
 
+SymProb &SymProb::operator+=(SymProb &&B) {
+  if (Terms.empty()) {
+    Terms = std::move(B.Terms);
+    return *this;
+  }
+  for (Term &T : B.Terms)
+    addTerm(std::move(T.Guard), std::move(T.Value));
+  B.Terms.clear();
+  return *this;
+}
+
 SymProb SymProb::scaled(const Rational &K) const {
   SymProb R;
   if (K.isZero())

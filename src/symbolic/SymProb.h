@@ -51,6 +51,11 @@ public:
 
   SymProb operator+(const SymProb &B) const;
   SymProb &operator+=(const SymProb &B);
+  /// Rvalue addend: steals each term's guard set instead of copying it.
+  /// The merge loops in both exact engines add a weight that is about
+  /// to be discarded, so this keeps symbolic merging allocation-free
+  /// alongside the small-rational fast path for the concrete case.
+  SymProb &operator+=(SymProb &&B);
   /// Scales every term by a rational factor.
   SymProb scaled(const Rational &K) const;
   /// Multiplies every term's guard by the constraint [C]; inconsistent

@@ -267,6 +267,77 @@ TEST_P(FuzzDiffTest, TracingInvariance) {
   EXPECT_GT(Ctx->tracer()->numEvents(), 0u);
 }
 
+// The successor-transition cache must be invisible in the answer: cache
+// off, cache on, and a tiny byte cap that forces constant eviction all
+// produce bit-identical masses and expansion statistics.
+TEST_P(FuzzDiffTest, TxCacheInvariance) {
+  NetworkGen Gen(GetParam());
+  std::string Source = Gen.generate();
+  SCOPED_TRACE(Source);
+
+  DiagEngine Diags;
+  auto Net = loadNetwork(Source, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+
+  ExactOptions Off;
+  Off.TxCacheBytes = 0;
+  ExactResult Plain = ExactEngine(Net->Spec, Off).run();
+
+  for (uint64_t Cap : {TxCacheDefaultBytes, uint64_t(4096)}) {
+    ExactOptions On;
+    On.TxCacheBytes = Cap;
+    ExactResult Cached = ExactEngine(Net->Spec, On).run();
+    EXPECT_TRUE(Plain.QueryMass == Cached.QueryMass)
+        << "plain " << Plain.QueryMass.toString(Net->Spec.Params)
+        << "\ncached " << Cached.QueryMass.toString(Net->Spec.Params);
+    EXPECT_TRUE(Plain.OkMass == Cached.OkMass);
+    EXPECT_TRUE(Plain.ErrorMass == Cached.ErrorMass);
+    EXPECT_EQ(Plain.ConfigsExpanded, Cached.ConfigsExpanded);
+    EXPECT_EQ(Plain.MergeHits, Cached.MergeHits);
+    EXPECT_EQ(Plain.TerminalConfigs, Cached.TerminalConfigs);
+  }
+}
+
+// Small-path/big-path differential mode: re-accumulate the terminal mass
+// of a full exact run (whose weight merging rode the small-int64 Rational
+// fast paths) with definitionally pure BigInt arithmetic — cross-multiply
+// sums reduced by BigInt::gcd, no Rational operators anywhere — and
+// require the canonical numerator/denominator bytes to match exactly.
+TEST_P(FuzzDiffTest, SmallBigWeightIdentity) {
+  NetworkGen Gen(GetParam());
+  std::string Source = Gen.generate();
+  SCOPED_TRACE(Source);
+
+  DiagEngine Diags;
+  auto Net = loadNetwork(Source, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+
+  ExactOptions Opts;
+  Opts.CollectTerminals = true;
+  ExactResult R = ExactEngine(Net->Spec, Opts).run();
+  ASSERT_TRUE(R.OkMass.isConcrete() || R.OkMass.isZero());
+
+  struct RefQ {
+    BigInt N{0}, D{1};
+  };
+  auto refAdd = [](const RefQ &A, const RefQ &B) {
+    RefQ S{A.N * B.D + B.N * A.D, A.D * B.D};
+    if (S.N.isZero())
+      return RefQ{BigInt(0), BigInt(1)};
+    BigInt G = BigInt::gcd(S.N, S.D);
+    return RefQ{S.N / G, S.D / G};
+  };
+  RefQ Sum;
+  for (const auto &[C, W] : R.Terminals) {
+    ASSERT_TRUE(W.isConcrete() || W.isZero());
+    Rational V = W.concreteValue();
+    Sum = refAdd(Sum, RefQ{V.num(), V.den()});
+  }
+  Rational Ok = R.OkMass.concreteValue();
+  EXPECT_EQ(Ok.num().toString(), Sum.N.toString());
+  EXPECT_EQ(Ok.den().toString(), Sum.D.toString());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDiffTest,
                          ::testing::Range<uint64_t>(0, 30));
 

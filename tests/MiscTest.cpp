@@ -54,16 +54,16 @@ TEST(QueryEvalTest, ConcreteEvaluation) {
   // Build a terminal-ish config by hand: x@A = 1.
   NetConfig C;
   C.Nodes.resize(2);
-  C.Nodes[0].State.push_back(Value(Rational(1)));
+  C.Nodes.mut(0).State.push_back(Value(Rational(1)));
   ASSERT_NE(Net->Spec.Query, nullptr);
   auto V = evalQueryConcrete(Net->Spec, *Net->Spec.Query->Body, C);
   ASSERT_TRUE(V.has_value());
   EXPECT_EQ(*V, Rational(1)); // x == 1 holds.
-  C.Nodes[0].State[0] = Value(Rational(0));
+  C.Nodes.mut(0).State[0] = Value(Rational(0));
   V = evalQueryConcrete(Net->Spec, *Net->Spec.Query->Body, C);
   EXPECT_EQ(*V, Rational(0));
   // Symbolic state is not concretely evaluable.
-  C.Nodes[0].State[0] = Value(LinExpr::param(0));
+  C.Nodes.mut(0).State[0] = Value(LinExpr::param(0));
   EXPECT_FALSE(
       evalQueryConcrete(Net->Spec, *Net->Spec.Query->Body, C).has_value());
 }
@@ -74,11 +74,11 @@ TEST(DescribeConfigTest, ShowsNonzeroStateAndQueues) {
   ASSERT_TRUE(Net.has_value());
   NetConfig C;
   C.Nodes.resize(2);
-  C.Nodes[1].State.push_back(Value(Rational(1))); // arrived@B = 1
-  C.Nodes[0].QIn = PacketQueue(2);
+  C.Nodes.mut(1).State.push_back(Value(Rational(1))); // arrived@B = 1
+  C.Nodes.mut(0).QIn = PacketQueue(2);
   Packet P;
   P.Fields.push_back(Value(Rational(0)));
-  C.Nodes[0].QIn.pushBack({P, 0});
+  C.Nodes.mut(0).QIn.pushBack({P, 0});
   std::string Text = describeConfig(Net->Spec, C);
   EXPECT_NE(Text.find("B{arrived=1}"), std::string::npos);
   EXPECT_NE(Text.find("A{|qin|=1}"), std::string::npos);

@@ -95,12 +95,12 @@ TEST(ConfigTest, EqualityAndHashing) {
   NetConfig A, B;
   A.Nodes.resize(2);
   B.Nodes.resize(2);
-  A.Nodes[0].State.push_back(Value(Rational(1)));
-  B.Nodes[0].State.push_back(Value(Rational(1)));
+  A.Nodes.mut(0).State.push_back(Value(Rational(1)));
+  B.Nodes.mut(0).State.push_back(Value(Rational(1)));
   EXPECT_EQ(A, B);
   EXPECT_EQ(A.hash(), B.hash());
-  B.Nodes[1].QIn = PacketQueue(2);
-  B.Nodes[1].QIn.pushBack({mkPacket(1), 1});
+  B.Nodes.mut(1).QIn = PacketQueue(2);
+  B.Nodes.mut(1).QIn.pushBack({mkPacket(1), 1});
   EXPECT_FALSE(A == B);
   // Scheduler state and error flag distinguish configurations.
   NetConfig C = A;
@@ -114,18 +114,19 @@ TEST(ConfigTest, EqualityAndHashing) {
 NetConfig twoNodeConfig(bool In0, bool Out0, bool In1, bool Out1) {
   NetConfig C;
   C.Nodes.resize(2);
-  for (NodeConfig &N : C.Nodes) {
+  for (unsigned I = 0; I < 2; ++I) {
+    NodeConfig &N = C.Nodes.mut(I);
     N.QIn = PacketQueue(2);
     N.QOut = PacketQueue(2);
   }
   if (In0)
-    C.Nodes[0].QIn.pushBack({mkPacket(0), 0});
+    C.Nodes.mut(0).QIn.pushBack({mkPacket(0), 0});
   if (Out0)
-    C.Nodes[0].QOut.pushBack({mkPacket(0), 1});
+    C.Nodes.mut(0).QOut.pushBack({mkPacket(0), 1});
   if (In1)
-    C.Nodes[1].QIn.pushBack({mkPacket(0), 0});
+    C.Nodes.mut(1).QIn.pushBack({mkPacket(0), 0});
   if (Out1)
-    C.Nodes[1].QOut.pushBack({mkPacket(0), 1});
+    C.Nodes.mut(1).QOut.pushBack({mkPacket(0), 1});
   return C;
 }
 

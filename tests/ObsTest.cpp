@@ -270,6 +270,55 @@ TEST(Obs, SamplerCountersIdenticalAcrossThreadCounts) {
   EXPECT_EQ(F1, metricFingerprint(*C8));
 }
 
+// The --txcache {on, off} x --threads {1, 2, 8} matrix: metric
+// fingerprints and trace shapes are byte-identical across thread counts
+// within each cache mode, the cache-on runs surface nonzero hit counters
+// and the txcache span, and the cache-off runs surface neither.
+TEST(Obs, TxCacheMatrixCountersAndTraceShape) {
+  LoadedNetwork Net = load(scenarios::gossip(3));
+  auto runWith = [&](uint64_t CacheBytes, unsigned Threads) {
+    auto Ctx = std::make_shared<ObsContext>(true, true);
+    ExactOptions Opts;
+    Opts.Threads = Threads;
+    Opts.ParallelThreshold = 1;
+    Opts.TxCacheBytes = CacheBytes;
+    Opts.Obs = Ctx;
+    ExactResult R = ExactEngine(Net.Spec, Opts).run();
+    EXPECT_TRUE(R.Status.ok());
+    return std::make_pair(Ctx, R);
+  };
+  std::optional<Rational> Posterior;
+  for (uint64_t CacheBytes : {uint64_t(0), TxCacheDefaultBytes}) {
+    auto [Ctx1, R1] = runWith(CacheBytes, 1);
+    std::string Metrics1 = metricFingerprint(*Ctx1);
+    std::string Trace1 = stripTimestamps(Ctx1->tracer()->renderChromeJson());
+    for (unsigned Threads : {2u, 8u}) {
+      auto [Ctx, R] = runWith(CacheBytes, Threads);
+      EXPECT_EQ(metricFingerprint(*Ctx), Metrics1)
+          << "txcache=" << CacheBytes << " threads=" << Threads;
+      EXPECT_EQ(stripTimestamps(Ctx->tracer()->renderChromeJson()), Trace1)
+          << "txcache=" << CacheBytes << " threads=" << Threads;
+    }
+    // The posterior is identical across the cache modes too.
+    ASSERT_TRUE(R1.concreteValue().has_value());
+    if (!Posterior)
+      Posterior = *R1.concreteValue();
+    else
+      EXPECT_EQ(*R1.concreteValue(), *Posterior);
+    uint64_t Hits = Ctx1->metrics()->value(Ctx1->ids().TxCacheHits);
+    bool HasSpan =
+        Trace1.find("\"name\":\"exact.txcache\"") != std::string::npos;
+    if (CacheBytes) {
+      EXPECT_GT(Hits, 0u);
+      EXPECT_EQ(Hits, R1.TxHits);
+      EXPECT_TRUE(HasSpan);
+    } else {
+      EXPECT_EQ(Hits, 0u);
+      EXPECT_FALSE(HasSpan);
+    }
+  }
+}
+
 TEST(Obs, TraceShapeDeterministicAcrossRunsAndThreads) {
   LoadedNetwork Net = load(scenarios::gossip(3));
   auto traceOf = [&](unsigned Threads) {

@@ -241,6 +241,86 @@ TEST(ParallelDeterminism, DiagReportBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The full --txcache {on, off} x --threads {1, 2, 8} matrix: the
+// posterior and every mass is bit-identical in all six combinations, and
+// within each cache mode the transition-cache counters themselves are
+// thread-count-invariant (lookups only ever see step-boundary snapshots).
+TEST(ParallelDeterminism, TxCacheMatrixBitIdentical) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(scenarios::gossip(4), Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+
+  auto run = [&](uint64_t CacheBytes, unsigned Threads) {
+    ExactOptions Opts;
+    Opts.Threads = Threads;
+    Opts.ParallelThreshold = 1;
+    Opts.TxCacheBytes = CacheBytes;
+    ExactResult R = ExactEngine(Net->Spec, Opts).run();
+    EXPECT_FALSE(R.QueryUnsupported) << R.UnsupportedReason;
+    return R;
+  };
+
+  ExactResult Base = run(0, 1);
+  ASSERT_TRUE(Base.concreteValue().has_value());
+  EXPECT_EQ(Base.concreteValue()->toString(), "94/27");
+  std::string BaseFp = fingerprint(Base, Net->Spec.Params);
+
+  std::optional<ExactResult> CachedBase;
+  for (uint64_t CacheBytes : {uint64_t(0), TxCacheDefaultBytes}) {
+    for (unsigned Threads : {1u, 2u, 8u}) {
+      ExactResult R = run(CacheBytes, Threads);
+      EXPECT_EQ(fingerprint(R, Net->Spec.Params), BaseFp)
+          << "txcache=" << CacheBytes << " threads=" << Threads;
+      EXPECT_EQ(R.ConfigsExpanded, Base.ConfigsExpanded);
+      EXPECT_EQ(R.MergeHits, Base.MergeHits);
+      EXPECT_EQ(R.MergeAttempts, Base.MergeAttempts);
+      if (!CacheBytes) {
+        // Cache off: the counters stay untouched.
+        EXPECT_EQ(R.TxHits, 0u);
+        EXPECT_EQ(R.TxMisses, 0u);
+      } else if (!CachedBase) {
+        CachedBase = R;
+        EXPECT_GT(R.TxHits, 0u); // gossip4 re-runs node states heavily.
+        EXPECT_GT(R.TxMisses, 0u);
+      } else {
+        EXPECT_EQ(R.TxHits, CachedBase->TxHits) << Threads;
+        EXPECT_EQ(R.TxMisses, CachedBase->TxMisses) << Threads;
+        EXPECT_EQ(R.TxEvictions, CachedBase->TxEvictions) << Threads;
+        EXPECT_EQ(R.TxBytes, CachedBase->TxBytes) << Threads;
+      }
+    }
+  }
+}
+
+// DiagReport bytes across the same matrix: identical across thread counts
+// within each cache mode (the tx_* diag series is part of the report, so
+// the two modes legitimately differ from each other in those fields).
+TEST(ParallelDeterminism, TxCacheDiagReportBitIdenticalAcrossThreads) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(scenarios::paperExample(), Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+
+  auto diagOf = [&](uint64_t CacheBytes, unsigned Threads) {
+    auto Ctx = std::make_shared<ObsContext>(false, false, true);
+    ExactOptions Opts;
+    Opts.Threads = Threads;
+    Opts.ParallelThreshold = 1;
+    Opts.TxCacheBytes = CacheBytes;
+    Opts.Obs = Ctx;
+    ExactResult R = ExactEngine(Net->Spec, Opts).run();
+    EXPECT_TRUE(R.Status.ok());
+    return Ctx->diag()->report().toJson();
+  };
+
+  for (uint64_t CacheBytes : {uint64_t(0), TxCacheDefaultBytes}) {
+    const std::string One = diagOf(CacheBytes, 1);
+    EXPECT_FALSE(One.empty());
+    for (unsigned Threads : {2u, 8u})
+      EXPECT_EQ(diagOf(CacheBytes, Threads), One)
+          << "txcache=" << CacheBytes << " threads=" << Threads;
+  }
+}
+
 // Regression: a failed uniformInt operand must contribute exactly the
 // operand combination's probability mass to the error state. The old code
 // pushed the failed operand outcome once per outcome of the other operand

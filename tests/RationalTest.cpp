@@ -84,6 +84,123 @@ TEST(RationalTest, FieldAxiomsOnRandomValues) {
   }
 }
 
+// Reference arithmetic straight out of the definition, in pure BigInt —
+// no Rational fast paths anywhere: cross-multiply, then reduce with
+// BigInt::gcd. The property tests below pit the small-int64 fast paths
+// (and their overflow-promotion to the BigInt path) against this.
+struct RefQ {
+  BigInt N, D; // D > 0, gcd(N, D) == 1.
+
+  static RefQ make(BigInt N, BigInt D) {
+    if (D.isNegative()) {
+      N = -N;
+      D = -D;
+    }
+    if (N.isZero())
+      return {BigInt(0), BigInt(1)};
+    BigInt G = BigInt::gcd(N, D);
+    return {N / G, D / G};
+  }
+  static RefQ of(const Rational &Q) { return {Q.num(), Q.den()}; }
+  static RefQ add(const RefQ &A, const RefQ &B) {
+    return make(A.N * B.D + B.N * A.D, A.D * B.D);
+  }
+  static RefQ sub(const RefQ &A, const RefQ &B) {
+    return make(A.N * B.D - B.N * A.D, A.D * B.D);
+  }
+  static RefQ mul(const RefQ &A, const RefQ &B) {
+    return make(A.N * B.N, A.D * B.D);
+  }
+  static RefQ div(const RefQ &A, const RefQ &B) {
+    return make(A.N * B.D, A.D * B.N);
+  }
+  bool matches(const Rational &Q) const {
+    return Q.num().toString() == N.toString() &&
+           Q.den().toString() == D.toString();
+  }
+};
+
+TEST(RationalTest, SmallBigBoundaryCrossings) {
+  // Magnitudes chosen to straddle the INT64 overflow boundary: products
+  // and cross-products of two ~2^62 components overflow int64, so every
+  // operation exercises the promotion bail-out; small magnitudes keep the
+  // fast path itself covered, including gcd normalization both sides.
+  Xoshiro Rng(0xb0a7);
+  auto randComponent = [&Rng]() -> int64_t {
+    switch (Rng.next() % 4) {
+    case 0: // Tiny: stays on the fast path through every op.
+      return static_cast<int64_t>(Rng.next() % 64) + 1;
+    case 1: // Mid: products overflow, sums do not.
+      return static_cast<int64_t>(Rng.next() % (1ull << 33)) + 3;
+    case 2: // Near the boundary: nearly everything overflows.
+      return INT64_MAX - static_cast<int64_t>(Rng.next() % 1024);
+    default: // Edge values, including INT64_MIN's magnitude.
+      return static_cast<int64_t>((1ull << 63) -
+                                  (Rng.next() % 3) * (Rng.next() % 2));
+    }
+  };
+  auto randQ = [&]() -> Rational {
+    int64_t N = randComponent();
+    if (Rng.next() & 1)
+      N = (N == INT64_MIN) ? INT64_MIN : -N;
+    int64_t D = randComponent();
+    if (D == INT64_MIN)
+      D = INT64_MAX; // Keep the denominator positive-representable.
+    return Rational(BigInt(N), BigInt(D));
+  };
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    Rational A = randQ(), B = randQ();
+    RefQ RA = RefQ::of(A), RB = RefQ::of(B);
+    EXPECT_TRUE(RefQ::add(RA, RB).matches(A + B));
+    EXPECT_TRUE(RefQ::sub(RA, RB).matches(A - B));
+    EXPECT_TRUE(RefQ::mul(RA, RB).matches(A * B));
+    if (!B.isZero())
+      EXPECT_TRUE(RefQ::div(RA, RB).matches(A / B));
+    // Compound ops must agree with their out-of-place forms exactly.
+    Rational S = A;
+    S += B;
+    EXPECT_EQ(S, A + B);
+    S = A;
+    S -= B;
+    EXPECT_EQ(S, A - B);
+    S = A;
+    S *= B;
+    EXPECT_EQ(S, A * B);
+    if (!B.isZero()) {
+      S = A;
+      S /= B;
+      EXPECT_EQ(S, A / B);
+    }
+    // Canonical-form invariants hold on both sides of the boundary.
+    Rational P = A * B;
+    EXPECT_TRUE(P.isZero() || BigInt::gcd(P.num(), P.den()).isOne());
+    EXPECT_FALSE(P.den().isNegative());
+  }
+}
+
+TEST(RationalTest, SmallBigBoundaryEdgeCases) {
+  const int64_t Min = INT64_MIN, Max = INT64_MAX;
+  // INT64_MIN numerators and magnitudes: negation in the fast paths would
+  // overflow, so these must promote — and still come out canonical.
+  Rational MinQ{BigInt(Min), BigInt(1)};
+  EXPECT_EQ(MinQ + MinQ, Rational(BigInt(Min) + BigInt(Min), BigInt(1)));
+  EXPECT_EQ(MinQ - MinQ, Rational(0));
+  EXPECT_TRUE(RefQ::mul(RefQ::of(MinQ), RefQ::of(MinQ))
+                  .matches(MinQ * MinQ));
+  EXPECT_EQ(MinQ / MinQ, Rational(1));
+  Rational MinOverMax{BigInt(Min), BigInt(Max)};
+  EXPECT_TRUE(RefQ::div(RefQ::of(MinOverMax), RefQ::of(MinOverMax))
+                  .matches(MinOverMax / MinOverMax));
+  // Denominator sign normalization across the divide fast path.
+  Rational Neg = q(1, 3) / q(-2, 5);
+  EXPECT_EQ(Neg, q(-5, 6));
+  EXPECT_FALSE(Neg.den().isNegative());
+  // A sum whose intermediate cross products overflow but whose reduced
+  // result is small again: (Max-1)/Max + 1/Max == 1.
+  Rational AlmostOne{BigInt(Max - 1), BigInt(Max)};
+  EXPECT_TRUE((AlmostOne + Rational(BigInt(1), BigInt(Max))).isOne());
+}
+
 TEST(RationalTest, HashConsistentWithEquality) {
   EXPECT_EQ(q(2, 4).hash(), q(1, 2).hash());
   EXPECT_EQ(q(-10, 5).hash(), Rational(-2).hash());
