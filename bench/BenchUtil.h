@@ -340,6 +340,68 @@ inline void writeObsJson(const char *Path) {
   std::printf("wrote %s (%zu rows)\n", Path, Rows.size());
 }
 
+/// One checkpoint-overhead measurement: the same workload run with no
+/// checkpointer and with a Checkpointer writing durable snapshots at the
+/// default `--checkpoint-every` stride (32). The pair bounds what durable
+/// checkpoint/restore costs a run that never crashes; the target is under
+/// 3% overhead.
+struct SnapshotRow {
+  std::string Benchmark;
+  double PlainSeconds = 0;
+  double CheckpointedSeconds = 0;
+  uint64_t SnapshotsWritten = 0;
+};
+
+inline std::vector<SnapshotRow> &snapshotRows() {
+  static std::vector<SnapshotRow> Rows;
+  return Rows;
+}
+
+inline void addSnapshotRow(std::string Benchmark, double PlainSeconds,
+                           double CheckpointedSeconds,
+                           uint64_t SnapshotsWritten) {
+  for (SnapshotRow &R : snapshotRows()) {
+    if (R.Benchmark == Benchmark) {
+      R.PlainSeconds = PlainSeconds;
+      R.CheckpointedSeconds = CheckpointedSeconds;
+      R.SnapshotsWritten = SnapshotsWritten;
+      return;
+    }
+  }
+  snapshotRows().push_back({std::move(Benchmark), PlainSeconds,
+                            CheckpointedSeconds, SnapshotsWritten});
+}
+
+/// Writes the checkpoint-overhead rows as a JSON array (no-op when the
+/// binary recorded none).
+inline void writeSnapshotJson(const char *Path) {
+  if (snapshotRows().empty())
+    return;
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "[\n");
+  const std::vector<SnapshotRow> &Rows = snapshotRows();
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const SnapshotRow &R = Rows[I];
+    double Pct = R.PlainSeconds > 0
+                     ? (R.CheckpointedSeconds / R.PlainSeconds - 1.0) * 100.0
+                     : 0.0;
+    std::fprintf(F,
+                 "  {\"benchmark\": \"%s\", \"plain_s\": %.6f, "
+                 "\"checkpointed_s\": %.6f, \"snapshots_written\": %llu, "
+                 "\"overhead_pct\": %.2f}%s\n",
+                 R.Benchmark.c_str(), R.PlainSeconds, R.CheckpointedSeconds,
+                 static_cast<unsigned long long>(R.SnapshotsWritten), Pct,
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  std::printf("wrote %s (%zu rows)\n", Path, Rows.size());
+}
+
 /// Standard main: run the registered benchmarks, then print the table and
 /// write every machine-readable artifact into benchOutDir().
 #define BAYONET_BENCH_MAIN(TITLE)                                            \
@@ -357,6 +419,8 @@ inline void writeObsJson(const char *Path) {
         bayonet::benchutil::outPath("BENCH_budget.json").c_str());          \
     bayonet::benchutil::writeObsJson(                                       \
         bayonet::benchutil::outPath("BENCH_obs.json").c_str());             \
+    bayonet::benchutil::writeSnapshotJson(                                  \
+        bayonet::benchutil::outPath("BENCH_snapshot.json").c_str());        \
     return 0;                                                               \
   }
 

@@ -16,6 +16,7 @@
 
 #include "BenchUtil.h"
 #include "scenarios/Scenarios.h"
+#include "support/Snapshot.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -179,6 +180,63 @@ void BM_GovernanceOverhead(benchmark::State &State) {
   addBudgetRow(Name, BestUn, BestGov);
 }
 
+/// Median of \p V (destructive); 0 when empty.
+double medianOf(std::vector<double> V) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  return V[V.size() / 2];
+}
+
+/// Cost of durable checkpointing on the exact hot path: the same workload
+/// with no checkpointer and with a Checkpointer writing fsync'd snapshots
+/// at the default `--checkpoint-every` stride (32). Each iteration times
+/// the pair back-to-back and the row reports the median of the paired
+/// differences against the median plain runtime: scheduling noise on a
+/// shared box is several times the true cost, but it hits both halves of
+/// a pair alike, so the paired median converges where min-of-iterations
+/// (two independent minima) keeps bouncing. The answers must match
+/// bit-for-bit — checkpointing must never perturb the run it protects.
+/// Target: under 3% overhead (BENCH_snapshot.json).
+void BM_CheckpointOverhead(benchmark::State &State) {
+  unsigned Diamonds = static_cast<unsigned>(State.range(0));
+  LoadedNetwork Net = mustLoad(scenarios::reliabilityChain(Diamonds));
+  std::string SnapPath = outPath(".bench_checkpoint.snap");
+  std::string Plain, Checkpointed;
+  std::vector<double> PlainTimes, Deltas;
+  uint64_t Writes = 0;
+  for (auto _ : State) {
+    double PlainSecs = timedExact(Net, 1, Plain);
+    CheckpointOptions CO;
+    CO.OutPath = SnapPath; // Every stays at the CLI default stride (32).
+    ExactOptions Opts;
+    Opts.Threads = 1;
+    Opts.Checkpoint = std::make_shared<Checkpointer>(CO);
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec, Opts).run();
+    double CkSecs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    PlainTimes.push_back(PlainSecs);
+    Deltas.push_back(CkSecs - PlainSecs);
+    Writes = Opts.Checkpoint->writesDone();
+    auto V = R.concreteValue();
+    Checkpointed = V ? fmt(V->toDouble()) : "?";
+    benchmark::DoNotOptimize(R);
+  }
+  std::remove(SnapPath.c_str());
+  std::remove((SnapPath + ".prev").c_str());
+  if (Checkpointed != Plain)
+    Plain += " (CHECKPOINTED MISMATCH: " + Checkpointed + ")";
+  double MedPlain = medianOf(std::move(PlainTimes));
+  // A negative median difference means the cost is below the noise floor.
+  double MedCk = MedPlain + std::max(0.0, medianOf(std::move(Deltas)));
+  std::string Name = "checkpoint overhead, reliability " +
+                     std::to_string(4 * Diamonds + 2) + " nodes";
+  addRow(Name, "exact", "< 3% overhead", Plain, MedCk);
+  addSnapshotRow(Name, MedPlain, MedCk, Writes);
+}
+
 // Cost of the observability layer on the exact hot path: the same
 // workload with no ObsContext (every probe site is one null-check branch)
 // and with tracing + metrics fully live. Serial, min-of-iterations, and
@@ -245,6 +303,10 @@ BENCHMARK(BM_GovernanceOverhead)
 BENCHMARK(BM_ObsOverhead)
     ->Arg(4)
     ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CheckpointOverhead)
+    ->Arg(10)
+    ->MinTime(4.0)
     ->Unit(benchmark::kMillisecond);
 
 BAYONET_BENCH_MAIN("Section 5.4 scaling with network size")

@@ -28,20 +28,47 @@
 
 #include "api/Bayonet.h"
 #include "support/Diag.h"
+#include "support/Snapshot.h"
 #include "support/ThreadPool.h"
 #include "translate/Translator.h"
 #include "translate/WebPplEmitter.h"
 
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <string>
 
 using namespace bayonet;
 
 namespace {
+
+/// Cancellation handle tripped by SIGINT/SIGTERM: the engines drain their
+/// workers, write a final checkpoint (when one is configured), and return a
+/// Cancelled status that exits with code 3.
+CancelToken GCancel; // NOLINT: signal handler needs process-global state.
+
+/// Exporter flush shared with main()'s catch handlers, so trace/metrics/
+/// diagnostics files are written even when an exception escapes runMain.
+std::function<void()> GFlushObs;
+
+extern "C" void handleShutdownSignal(int) {
+  // Async-signal-safe: requestCancel is a relaxed atomic store.
+  GCancel.requestCancel();
+}
+
+void installSignalHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = handleShutdownSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+}
 
 void usage() {
   std::fprintf(
@@ -87,6 +114,17 @@ void usage() {
       "diagnostics JSON\n"
       "                                         (per-step ESS, frontier / "
       "merge trajectory)\n"
+      "  --checkpoint-out FILE                  write durable snapshots of "
+      "the run\n"
+      "  --checkpoint-every N                   snapshot every N serial "
+      "boundaries (default 32)\n"
+      "  --resume FILE                          resume from a snapshot "
+      "(falls back to FILE.prev)\n"
+      "\n"
+      "Checkpointing also turns on via BAYONET_CHECKPOINT_OUT=FILE,\n"
+      "BAYONET_CHECKPOINT_EVERY=N and BAYONET_RESUME=FILE (flags win).\n"
+      "SIGINT/SIGTERM cancel gracefully: workers drain, a final snapshot\n"
+      "is written, exporters flush, and the exit code is 3.\n"
       "\n"
       "Tracing/metrics/diagnostics also turn on via BAYONET_TRACE=FILE,\n"
       "BAYONET_METRICS=FILE and BAYONET_DIAG=FILE (flags win over the\n"
@@ -139,6 +177,8 @@ int runMain(int argc, char **argv) {
   bool EmitPsi = false, EmitWebPpl = false, Stats = false, Dist = false;
   bool StatsFull = false;
   std::string TraceFile, MetricsFile, DiagFile;
+  std::string CheckpointOut, ResumePath;
+  uint64_t CheckpointEvery = 0; // 0 = flag unset (env or default applies).
   std::vector<std::pair<std::string, Rational>> ParamBinds;
 
   for (int I = 1; I < argc; ++I) {
@@ -261,8 +301,17 @@ int runMain(int argc, char **argv) {
       StatsFull = true;
     } else if (takePath("--trace-out", TraceFile) ||
                takePath("--metrics-out", MetricsFile) ||
-               takePath("--diag-out", DiagFile)) {
+               takePath("--diag-out", DiagFile) ||
+               takePath("--checkpoint-out", CheckpointOut) ||
+               takePath("--resume", ResumePath)) {
       // Handled by takePath.
+    } else if (Arg == "--checkpoint-every") {
+      CheckpointEvery = takeU64("--checkpoint-every");
+      if (CheckpointEvery == 0) {
+        std::fprintf(stderr,
+                     "error: --checkpoint-every expects a positive count\n");
+        return 2;
+      }
     } else if (Arg == "--dist")
       Dist = true;
     else if (Arg == "--help" || Arg == "-h") {
@@ -318,8 +367,34 @@ int runMain(int argc, char **argv) {
   ObsHandle Obs(ObsCtx);
   IOpts.Obs = ObsCtx;
 
+  // Checkpoint/restore: flags win, BAYONET_CHECKPOINT_OUT /
+  // BAYONET_CHECKPOINT_EVERY / BAYONET_RESUME fill in what they left
+  // unset. The CLI hard-exits on an injected crash fault (emulating a
+  // killed process); in-process tests use soft crashes instead.
+  CheckpointOptions CkOpts = CheckpointOptions::fromEnv();
+  if (!CheckpointOut.empty())
+    CkOpts.OutPath = CheckpointOut;
+  if (!ResumePath.empty())
+    CkOpts.ResumePath = ResumePath;
+  if (CheckpointEvery)
+    CkOpts.Every = CheckpointEvery;
+  CkOpts.HardExit = true;
+  std::shared_ptr<Checkpointer> Checkpoint;
+  if (CkOpts.enabled()) {
+    Checkpoint = std::make_shared<Checkpointer>(CkOpts);
+    IOpts.Checkpoint = Checkpoint;
+  }
+
+  // Graceful signal-driven shutdown: SIGINT/SIGTERM trip the cancel token
+  // the engines poll; they drain, checkpoint, and report Cancelled.
+  IOpts.Cancel = GCancel;
+  installSignalHandlers();
+
   // Writes the requested exporter files; called once all spans are closed.
-  auto exportObs = [&]() -> bool {
+  // Captures by value so main()'s catch handlers can still flush through
+  // GFlushObs after this frame has unwound.
+  auto exportObs = [ObsCtx, TraceFile, MetricsFile, DiagFile,
+                    StatsFull]() -> bool {
     if (!ObsCtx)
       return true;
     if (ObsCtx->metrics()) {
@@ -358,6 +433,24 @@ int runMain(int argc, char **argv) {
       std::fprintf(stderr, "%s", ObsCtx->renderFullStats().c_str());
     return true;
   };
+  GFlushObs = [exportObs] { (void)exportObs(); };
+
+  // The resource-spend report line; printed on success and on every error
+  // exit (a failed run's partial spend is exactly what debugging needs).
+  auto printSpend = [&](const ResourceSpend &S) {
+    double MergeRate = S.MergeAttempts
+                           ? static_cast<double>(S.MergeHits) /
+                                 static_cast<double>(S.MergeAttempts)
+                           : 0.0;
+    std::printf("spent: states=%" PRIu64 " merges=%" PRIu64 "/%" PRIu64
+                " (rate %.3f) peak-frontier=%" PRIu64 " peak-bytes=%" PRIu64
+                " sched-steps=%" PRIu64 " wall-ms=%.2f",
+                S.StatesExpanded, S.MergeHits, S.MergeAttempts, MergeRate,
+                S.PeakFrontier, S.PeakBytes, S.SchedSteps, S.WallMs);
+    if (!S.TrippedBudget.empty())
+      std::printf(" tripped=%s", S.TrippedBudget.c_str());
+    std::printf("\n");
+  };
 
   DiagEngine Diags;
   auto Net = loadNetworkFile(FileName, Diags, Obs);
@@ -393,6 +486,11 @@ int runMain(int argc, char **argv) {
   if (R.Status.Code == StatusCode::Invalid ||
       R.Status.Code == StatusCode::Internal) {
     reportError(R.Status.toString());
+    if (Stats) {
+      printSpend(R.Spent);
+      if (Checkpoint)
+        std::printf("checkpoint: %s\n", Checkpoint->describe().c_str());
+    }
     exportObs();
     return exitCodeFor(R.Status, false);
   }
@@ -479,19 +577,9 @@ int runMain(int argc, char **argv) {
   else if (Stats)
     std::printf("engine: %s\n", engineChoiceName(R.EngineUsed));
   if (Stats) {
-    double MergeRate = R.Spent.MergeAttempts
-                           ? static_cast<double>(R.Spent.MergeHits) /
-                                 static_cast<double>(R.Spent.MergeAttempts)
-                           : 0.0;
-    std::printf("spent: states=%" PRIu64 " merges=%" PRIu64 "/%" PRIu64
-                " (rate %.3f) peak-frontier=%" PRIu64 " peak-bytes=%" PRIu64
-                " sched-steps=%" PRIu64 " wall-ms=%.2f",
-                R.Spent.StatesExpanded, R.Spent.MergeHits,
-                R.Spent.MergeAttempts, MergeRate, R.Spent.PeakFrontier,
-                R.Spent.PeakBytes, R.Spent.SchedSteps, R.Spent.WallMs);
-    if (!R.Spent.TrippedBudget.empty())
-      std::printf(" tripped=%s", R.Spent.TrippedBudget.c_str());
-    std::printf("\n");
+    printSpend(R.Spent);
+    if (Checkpoint)
+      std::printf("checkpoint: %s\n", Checkpoint->describe().c_str());
   }
 
   if (!R.Status.ok())
@@ -511,12 +599,18 @@ int main(int argc, char **argv) {
     return runMain(argc, argv);
   } catch (const InferenceError &E) {
     reportError(E.status().toString());
+    if (GFlushObs)
+      GFlushObs();
     return exitCodeFor(E.status(), false);
   } catch (const std::exception &E) {
     reportError(std::string("internal error: ") + E.what());
+    if (GFlushObs)
+      GFlushObs();
     return 4;
   } catch (...) {
     reportError("internal error: unknown exception");
+    if (GFlushObs)
+      GFlushObs();
     return 4;
   }
 }

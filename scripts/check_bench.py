@@ -8,7 +8,10 @@ Usage:
       bench_all.sh runs) merge by keeping each benchmark's fastest
       sample — per-process layout luck means one run can be uniformly
       slow for one benchmark, so the min across runs is the honest
-      "how fast can this code go" number.
+      "how fast can this code go" number. Each suite's paper-vs-measured
+      table (BENCH_<suite>_rows.json) rides along under the suite's
+      "rows" key; a missing or unparseable rows file in one of the dirs
+      warns and is skipped, never aborts the aggregation.
 
   check_bench.py [compare] [BASELINE [CANDIDATE...]]
       Compare CANDIDATE (default bench_out/BENCH.json) against BASELINE
@@ -71,6 +74,52 @@ def fail(msg):
     sys.exit(1)
 
 
+def warn(msg):
+    print(f"check_bench: warning: {msg}", file=sys.stderr)
+
+
+def collect_rows(outdirs, suites):
+    """Folds the per-suite paper-vs-measured tables (BENCH_<suite>_rows.json,
+    written by each bench binary itself) into the canonical aggregate under
+    the suite's "rows" key. A binary that crashed before writing its rows
+    file, or wrote a torn/empty one, must not kill the whole aggregation:
+    missing or unparseable rows files warn and are skipped, keeping the
+    first parseable copy across the given dirs."""
+    found = {}  # bench suite name -> (path, rows list)
+    present = {}  # bench suite name -> set of outdirs that have the file
+    for outdir in outdirs:
+        pattern = os.path.join(outdir, "BENCH_*_rows.json")
+        for path in sorted(glob.glob(pattern)):
+            short = os.path.basename(path)[len("BENCH_"):-len("_rows.json")]
+            suite = "bench_" + short
+            present.setdefault(suite, set()).add(outdir)
+            if suite in found:
+                continue
+            try:
+                with open(path) as f:
+                    doc = json.load(f)
+                rows = doc["rows"]
+                if not isinstance(rows, list):
+                    raise ValueError("\"rows\" is not a list")
+            except (OSError, ValueError, KeyError) as e:
+                warn(f"skipping unparseable rows file {path} ({e})")
+                continue
+            found[suite] = (path, rows)
+    for suite, (path, rows) in sorted(found.items()):
+        if suite in suites:
+            suites[suite]["rows"] = rows
+        else:
+            warn(f"{path} has no matching gbench data; rows dropped")
+    for suite, dirs in sorted(present.items()):
+        for outdir in outdirs:
+            if outdir not in dirs:
+                warn(f"{suite}: no BENCH_*_rows.json in {outdir} "
+                     "(binary crashed before writing it?); skipped")
+    for suite in sorted(set(suites) - set(present)):
+        warn(f"{suite}: no BENCH_*_rows.json in any dir "
+             "(suite emits no comparison table?)")
+
+
 def aggregate(outdirs, dest):
     suites = {}
     raw_files = []
@@ -102,6 +151,7 @@ def aggregate(outdirs, dest):
     suites = {s: v for s, v in suites.items() if v["benchmarks"]}
     if not suites:
         fail(f"no benchmark entries found under {' '.join(outdirs)}")
+    collect_rows(outdirs, suites)
     doc = {"schema": SCHEMA, "suites": suites}
     with open(dest, "w") as f:
         json.dump(doc, f, indent=1, sort_keys=True)
@@ -131,8 +181,11 @@ def json_benchmarks(path):
 def load(path, role):
     if not os.path.exists(path):
         fail(f"{role} file {path} not found")
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{role} file {path}: malformed JSON ({e})")
     if doc.get("schema") != SCHEMA:
         fail(f"{path}: unsupported schema {doc.get('schema')!r}")
     return doc["suites"]

@@ -2,12 +2,14 @@
 # Tier-1 verification: the standard build + test run from ROADMAP.md, a
 # budget-regression check (a tight --max-states run must exit 3), the
 # observability + diagnostics exporters (including diag determinism
-# across thread counts), a zero-allocation assertion on the exact
-# engine's weight-merge hot path (alloc_check from an armed
-# BAYONET_COUNT_ALLOCS build), a benchmark-regression check against the
-# committed BENCH.json baseline, and a thread-sanitized run of the
-# parallel-determinism and budget tests. The TSan step runs with
-# BAYONET_THREADS=4 so real worker threads race through the sharded
+# across thread counts), a snapshot step (a CLI run killed at an injected
+# checkpoint crash and resumed must be byte-identical to a straight run,
+# exact + SMC), a zero-allocation assertion on the exact engine's
+# weight-merge hot path (alloc_check from an armed BAYONET_COUNT_ALLOCS
+# build), a benchmark-regression check against the committed BENCH.json
+# baseline, and a thread-sanitized run of the parallel-determinism,
+# budget, observability, snapshot, and signal tests. The TSan step runs
+# with BAYONET_THREADS=4 so real worker threads race through the sharded
 # engine paths even on a single-core machine.
 #
 # Usage: scripts/tier1.sh [--no-tsan]
@@ -71,6 +73,45 @@ for Engine in exact smc; do
   echo "diag determinism: $Engine identical at --threads 1/2/8"
 done
 
+echo "=== tier-1: snapshot crash -> resume determinism (gossip4) ==="
+# Kill the CLI at an injected checkpoint crash (a real _exit(137)), resume
+# from the snapshot it left behind, and require the resumed output to be
+# byte-identical to a straight-through run — for the exact engine and SMC.
+for Engine in exact smc; do
+  rm -f "$ObsTmp/ck_$Engine.snap" "$ObsTmp/ck_$Engine.snap.prev"
+  ./build/examples/bayonet examples/programs/gossip4.bay \
+    --engine "$Engine" --particles 500 --seed 7 --stats \
+    > "$ObsTmp/straight_$Engine.txt"
+  set +e
+  BAYONET_FAULT=crash-at-checkpoint=3 ./build/examples/bayonet \
+    examples/programs/gossip4.bay \
+    --engine "$Engine" --particles 500 --seed 7 \
+    --checkpoint-out "$ObsTmp/ck_$Engine.snap" --checkpoint-every 2 \
+    > /dev/null 2>&1
+  CrashExit=$?
+  set -e
+  if [ "$CrashExit" != 137 ]; then
+    echo "snapshot: expected the injected crash to _exit(137), got $CrashExit" >&2
+    exit 1
+  fi
+  ./build/examples/bayonet examples/programs/gossip4.bay \
+    --engine "$Engine" --particles 500 --seed 7 --stats \
+    --resume "$ObsTmp/ck_$Engine.snap" \
+    > "$ObsTmp/resumed_$Engine.txt"
+  # The resumed run reports its own wall clock and checkpoint line; strip
+  # both before the byte comparison (everything else must match exactly).
+  for F in straight resumed; do
+    sed -e 's/ wall-ms=[0-9.]*//' -e '/^checkpoint:/d' \
+      "$ObsTmp/${F}_$Engine.txt" > "$ObsTmp/${F}_$Engine.cmp"
+  done
+  if ! cmp -s "$ObsTmp/straight_$Engine.cmp" "$ObsTmp/resumed_$Engine.cmp"; then
+    echo "snapshot: $Engine resumed output differs from the straight run" >&2
+    diff "$ObsTmp/straight_$Engine.cmp" "$ObsTmp/resumed_$Engine.cmp" >&2 || true
+    exit 1
+  fi
+  echo "snapshot: $Engine crash -> resume byte-identical"
+done
+
 echo "=== tier-1: zero-allocation merge hot path (gossip4) ==="
 cmake -B build-allocs -S . -DBAYONET_COUNT_ALLOCS=ON
 cmake --build build-allocs -j --target alloc_check
@@ -105,6 +146,6 @@ echo "=== tier-1: thread-sanitized parallel determinism + budgets ==="
 cmake -B build-tsan -S . -DBAYONET_SANITIZE=thread
 cmake --build build-tsan -j --target bayonet_tests
 BAYONET_THREADS=4 ./build-tsan/tests/bayonet_tests \
-  --gtest_filter='ParallelDeterminism.*:Budget.*:Obs.*'
+  --gtest_filter='ParallelDeterminism.*:Budget.*:Obs.*:Snapshot.*:Signal.*'
 
 echo "=== tier-1: all checks passed ==="

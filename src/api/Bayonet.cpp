@@ -7,6 +7,7 @@
 #include "api/Bayonet.h"
 
 #include "lang/Lexer.h"
+#include "support/Snapshot.h"
 #include "translate/Translator.h"
 
 #include <algorithm>
@@ -54,6 +55,7 @@ std::string trimmed(std::string S) {
 /// Runs the selected primary engine, filling status/spend/payload.
 void runPrimary(const LoadedNetwork &Net, const InferenceOptions &Opts,
                 const std::shared_ptr<BudgetTracker> &Tracker,
+                const std::shared_ptr<Checkpointer> &Checkpoint,
                 InferenceResult &R) {
   switch (Opts.Engine) {
   case EngineChoice::Exact: {
@@ -63,6 +65,7 @@ void runPrimary(const LoadedNetwork &Net, const InferenceOptions &Opts,
     EO.TxCacheBytes = Opts.TxCacheBytes;
     EO.Budget = Tracker;
     EO.Obs = Opts.Obs;
+    EO.Checkpoint = Checkpoint;
     ExactResult ER = ExactEngine(Net.Spec, EO).run();
     R.Status = ER.Status;
     R.Spent = spendOf(*Tracker, ER.WallMs);
@@ -84,6 +87,7 @@ void runPrimary(const LoadedNetwork &Net, const InferenceOptions &Opts,
     PO.Threads = Opts.Threads;
     PO.Budget = Tracker;
     PO.Obs = Opts.Obs;
+    PO.Checkpoint = Checkpoint;
     PsiExactResult PR = PsiExact(*Psi, PO).run();
     R.Status = PR.Status;
     R.Spent = spendOf(*Tracker, PR.WallMs);
@@ -102,6 +106,7 @@ void runPrimary(const LoadedNetwork &Net, const InferenceOptions &Opts,
     SO.Threads = Opts.Threads;
     SO.Budget = Tracker;
     SO.Obs = Opts.Obs;
+    SO.Checkpoint = Checkpoint;
     SampleResult SR = Sampler(Net.Spec, SO).run();
     R.Status = SR.Status;
     R.Spent = spendOf(*Tracker, SR.WallMs);
@@ -119,10 +124,31 @@ InferenceResult bayonet::runInference(const LoadedNetwork &Net,
   R.EngineUsed = Opts.Engine;
   ObsHandle O(Opts.Obs);
   try {
+    auto Tracker = std::make_shared<BudgetTracker>(Opts.Limits, Opts.Cancel);
+    // Checkpoint/restore driver: explicit, or built from the environment
+    // (BAYONET_CHECKPOINT_OUT / BAYONET_CHECKPOINT_EVERY / BAYONET_RESUME).
+    std::shared_ptr<Checkpointer> Checkpoint = Opts.Checkpoint;
+    if (!Checkpoint) {
+      CheckpointOptions CO = CheckpointOptions::fromEnv();
+      if (CO.enabled())
+        Checkpoint = std::make_shared<Checkpointer>(CO);
+    }
+    if (Checkpoint) {
+      // Restore before the "inference" span opens: the snapshot's trace is
+      // installed wholesale and its open spans (this one included) are
+      // re-adopted by the spans the resumed run opens.
+      Checkpoint->restoreCommon(Tracker.get(), Opts.Obs.get());
+      if (Checkpoint->resumeFailed()) {
+        // A requested resume without a valid snapshot is an error, never a
+        // silent fresh start.
+        R.Status = EngineStatus::invalid("cannot resume: " +
+                                         Checkpoint->resumeError());
+        return R;
+      }
+    }
     Span InferSpan = O.span("inference");
     if (O.tracing())
       InferSpan.arg("engine", engineChoiceName(Opts.Engine));
-    auto Tracker = std::make_shared<BudgetTracker>(Opts.Limits, Opts.Cancel);
     if (O) {
       // A budget trip becomes a trace event attached to whatever span is
       // open when it fires, plus a counter tick. The observer runs on the
@@ -135,7 +161,7 @@ InferenceResult bayonet::runInference(const LoadedNetwork &Net,
                                  {"limit", std::to_string(V.Limit)}});
       });
     }
-    runPrimary(Net, Opts, Tracker, R);
+    runPrimary(Net, Opts, Tracker, Checkpoint, R);
 
     // Graceful degradation: an exact engine ran out of budget and the
     // policy prefers an approximate answer over a failure. Cancellation is

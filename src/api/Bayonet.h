@@ -116,6 +116,12 @@ struct InferenceOptions {
   /// inference was not cheap). Off by default.
   bool CrossCheckTv = false;
   uint64_t TvRefMaxStates = 200000;
+  /// Optional durable checkpoint/restore driver (support/Snapshot.h),
+  /// threaded into the primary engine (never the SMC fallback or the
+  /// cross-check reference). When null, one is created automatically from
+  /// the BAYONET_CHECKPOINT_OUT / BAYONET_CHECKPOINT_EVERY /
+  /// BAYONET_RESUME environment variables when any is set.
+  std::shared_ptr<Checkpointer> Checkpoint;
 };
 
 /// What a governed run consumed, for reports and regression tracking.

@@ -6,6 +6,7 @@
 
 #include "interp/ExactEngine.h"
 
+#include "support/Snapshot.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -399,6 +400,32 @@ ExactResult ExactEngine::run() const {
 
   BudgetTracker *BT = Opts.Budget.get();
   const std::atomic<bool> *StopF = BT ? &BT->stopFlag() : nullptr;
+  Checkpointer *CP = Opts.Checkpoint.get();
+  ObsContext *ObsC = Opts.Obs.get();
+  const uint64_t SpecFp = CP ? specFingerprint(Spec) : 0;
+  const uint64_t OptsFp = CP ? Fingerprint()
+                                   .mix(std::string("exact"))
+                                   .mix(Opts.MergeStates)
+                                   .mix(Opts.MaxFrontier)
+                                   .mix(Opts.CollectTerminals)
+                                   .mix(Opts.TxCacheBytes)
+                                   .value()
+                             : 0;
+  if (CP) {
+    // Must run before the first span opens: restoring the trace arms span
+    // adoption for the spans that were open at the snapshot boundary.
+    CP->restoreCommon(BT, ObsC);
+    if (CP->resumeFailed()) {
+      // A requested resume without a valid snapshot is an error, never a
+      // silent fresh start.
+      Result.Status =
+          EngineStatus::invalid("cannot resume: " + CP->resumeError());
+      Result.WallMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - WallStart)
+                          .count();
+      return Result;
+    }
+  }
   ObsHandle O(Opts.Obs);
   Span RunSpan = O.span("exact.run");
   DiagCollector *DC = O.diag();
@@ -458,7 +485,7 @@ ExactResult ExactEngine::run() const {
   };
 
   using Frontier = std::vector<std::pair<NetConfig, SymProb>>;
-  Frontier Cur = initialDistribution();
+  Frontier Cur;
 
   // Successor-transition cache: memoizes node-program expansion per
   // (program, node block). Lookups during a step read only the snapshot
@@ -468,6 +495,132 @@ ExactResult ExactEngine::run() const {
   std::unique_ptr<TxCache> Cache;
   if (Opts.TxCacheBytes)
     Cache = std::make_unique<TxCache>(Opts.TxCacheBytes, Threads);
+
+  // Stable program<->index mapping for snapshot (de)serialization: a
+  // program is named by the first node that runs it.
+  auto DefIndex = [&](const DefDecl *Def) -> uint32_t {
+    for (uint32_t I = 0, N = Spec.NodePrograms.size(); I < N; ++I)
+      if (Spec.NodePrograms[I] == Def)
+        return I;
+    return 0xFFFFFFFFu;
+  };
+  auto DefAt = [&](uint32_t I) -> const DefDecl * {
+    return I < Spec.NodePrograms.size() ? Spec.NodePrograms[I] : nullptr;
+  };
+
+  int64_t StartStep = 0;
+  if (CP && CP->resumed()) {
+    SnapReader *R = CP->beginEngine("exact", SpecFp, OptsFp);
+    if (!R) {
+      Result.Status =
+          EngineStatus::invalid("cannot resume: " + CP->resumeError());
+      setWall();
+      return Result;
+    }
+    BlockReadTable T;
+    StartStep = R->i64();
+    uint64_t N = R->count();
+    Cur.reserve(N);
+    bool Ok = true;
+    for (uint64_t I = 0; I < N && Ok && R->ok(); ++I) {
+      NetConfig C;
+      SymProb W;
+      Ok = readNetConfig(*R, T, C) && readSymProb(*R, W);
+      if (Ok)
+        Cur.emplace_back(std::move(C), std::move(W));
+    }
+    Ok = Ok && readSymProb(*R, Result.QueryMass) &&
+         readSymProb(*R, Result.OkMass) && readSymProb(*R, Result.ErrorMass);
+    Result.QueryUnsupported = R->boolean();
+    Result.UnsupportedReason = R->str();
+    Result.ConfigsExpanded = R->u64();
+    Result.MaxFrontierSize = R->u64();
+    Result.StepsUsed = R->i64();
+    Result.MergeHits = R->u64();
+    Result.MergeAttempts = R->u64();
+    Result.TerminalConfigs = R->u64();
+    Result.TxHits = R->u64();
+    Result.TxMisses = R->u64();
+    Result.TxEvictions = R->u64();
+    Result.TxBytes = R->u64();
+    uint64_t NW = R->count();
+    Result.WorkerConfigsExpanded.assign(NW, 0);
+    for (uint64_t I = 0; I < NW && R->ok(); ++I)
+      Result.WorkerConfigsExpanded[I] = R->u64();
+    bool HadTerminals = R->boolean();
+    Ok = Ok && HadTerminals == Opts.CollectTerminals;
+    if (Ok && HadTerminals) {
+      uint64_t NT = R->count();
+      Result.Terminals.reserve(NT);
+      for (uint64_t I = 0; I < NT && Ok && R->ok(); ++I) {
+        NetConfig C;
+        SymProb W;
+        Ok = readNetConfig(*R, T, C) && readSymProb(*R, W);
+        if (Ok)
+          Result.Terminals.emplace_back(std::move(C), std::move(W));
+      }
+    }
+    bool HadCache = R->boolean();
+    Ok = Ok && HadCache == (Cache != nullptr);
+    if (Ok && Cache)
+      Ok = Cache->restoreFrom(*R, T, DefAt);
+    if (!Ok || !R->ok()) {
+      Result = ExactResult();
+      if (Spec.Query)
+        Result.Kind = Spec.Query->Kind;
+      Result.Status =
+          EngineStatus::invalid("corrupt snapshot: exact engine payload");
+      setWall();
+      return Result;
+    }
+  } else {
+    Cur = initialDistribution();
+  }
+
+  // Serializes the engine state as of the current serial boundary. Cur is
+  // const for the duration of a step (expansion writes Next), and mid-step
+  // finals restore Result to the boundary snapshot before serializing, so
+  // this always describes the last completed boundary exactly.
+  int64_t BoundStep = StartStep;
+  auto SerializeState = [&](SnapWriter &W) {
+    BlockTable T;
+    W.i64(BoundStep);
+    W.u64(Cur.size());
+    for (const auto &[C, Wt] : Cur) {
+      snapNetConfig(W, T, C);
+      snapSymProb(W, Wt);
+    }
+    snapSymProb(W, Result.QueryMass);
+    snapSymProb(W, Result.OkMass);
+    snapSymProb(W, Result.ErrorMass);
+    W.boolean(Result.QueryUnsupported);
+    W.str(Result.UnsupportedReason);
+    W.u64(Result.ConfigsExpanded);
+    W.u64(Result.MaxFrontierSize);
+    W.i64(Result.StepsUsed);
+    W.u64(Result.MergeHits);
+    W.u64(Result.MergeAttempts);
+    W.u64(Result.TerminalConfigs);
+    W.u64(Result.TxHits);
+    W.u64(Result.TxMisses);
+    W.u64(Result.TxEvictions);
+    W.u64(Result.TxBytes);
+    W.u64(Result.WorkerConfigsExpanded.size());
+    for (size_t V : Result.WorkerConfigsExpanded)
+      W.u64(V);
+    W.boolean(Opts.CollectTerminals);
+    if (Opts.CollectTerminals) {
+      W.u64(Result.Terminals.size());
+      for (const auto &[C, Wt] : Result.Terminals) {
+        snapNetConfig(W, T, C);
+        snapSymProb(W, Wt);
+      }
+    }
+    W.boolean(Cache != nullptr);
+    if (Cache)
+      Cache->snapshotTo(W, T, DefIndex);
+  };
+  BoundaryMark Mark;
 
   // Expands one weighted configuration: terminal and error mass go into
   // \p Res (a lane-local partial in parallel steps), successors into Emit.
@@ -606,13 +759,36 @@ ExactResult ExactEngine::run() const {
     }
   };
 
-  for (int64_t Step = 0; Step <= Spec.NumSteps; ++Step) {
+  for (int64_t Step = StartStep; Step <= Spec.NumSteps; ++Step) {
     if (Cur.empty())
       break;
+    if (CP) {
+      // Serial boundary: everything charged so far is a pure function of
+      // the workload, so a snapshot taken here resumes bit-identically at
+      // any thread count. Written before the budget/obs charges below so a
+      // resumed run re-executes them exactly once.
+      BoundStep = Step;
+      CP->maybeWrite("exact", SpecFp, OptsFp, BT, ObsC, SerializeState);
+      if (CP->crashed()) {
+        Result.Status = injectedCrashStatus();
+        setWall();
+        return Result;
+      }
+      Mark.Valid = true;
+      if (BT)
+        Mark.Spend = BT->spendSnapshot();
+      if (ObsC && ObsC->tracer()) {
+        Mark.TraceOpenStack.clear();
+        ObsC->tracer()->captureMark(Mark.TraceEvents, Mark.TraceNextId,
+                                    Mark.TraceOpenStack);
+      }
+    }
     if (BT) {
       // Deterministic budget decision at the step boundary: a pure function
       // of the cumulative counters, independent of thread interleaving.
       if (!BT->checkpoint(Cur.size())) {
+        if (CP && BT->cancelled())
+          CP->writeFinal("exact", SpecFp, OptsFp, BT, ObsC, SerializeState);
         Result.Status = BT->status();
         setWall();
         return Result;
@@ -718,6 +894,9 @@ ExactResult ExactEngine::run() const {
         // partial output and report the last completed boundary.
         restoreSnapshot();
         Result.Status = BT->status();
+        if (CP && BT->cancelled())
+          CP->writeFinal("exact", SpecFp, OptsFp, BT, ObsC, SerializeState,
+                         &Mark);
         setWall();
         return Result;
       }
@@ -789,6 +968,9 @@ ExactResult ExactEngine::run() const {
       // parallel path): the step did not complete, so report the boundary.
       restoreSnapshot();
       Result.Status = BT->status();
+      if (CP && BT->cancelled())
+        CP->writeFinal("exact", SpecFp, OptsFp, BT, ObsC, SerializeState,
+                       &Mark);
       setWall();
       return Result;
     }

@@ -31,6 +31,8 @@
 
 namespace bayonet {
 
+class Checkpointer;
+
 /// Tuning knobs for the exact engine (the defaults reproduce the paper).
 struct ExactOptions {
   /// Merge identical configurations between steps. Disabling this degrades
@@ -66,6 +68,11 @@ struct ExactOptions {
   /// Threads value: lookups read only the snapshot published at the last
   /// step boundary, and misses replay the exact uncached arithmetic.
   uint64_t TxCacheBytes = TxCacheDefaultBytes;
+  /// Optional durable checkpoint/restore driver (support/Snapshot.h). When
+  /// set, the engine snapshots the full frontier and partial result at its
+  /// serial step boundaries and can resume a run from such a snapshot; a
+  /// resumed run is bit-identical to an uninterrupted one.
+  std::shared_ptr<Checkpointer> Checkpoint;
 };
 
 /// Result of one exact inference run.

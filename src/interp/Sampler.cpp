@@ -6,11 +6,13 @@
 
 #include "interp/Sampler.h"
 #include "query/QueryEval.h"
+#include "support/Snapshot.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 using namespace bayonet;
 
@@ -99,6 +101,43 @@ SampleResult Sampler::run() const {
 
   BudgetTracker *BT = Opts.Budget.get();
   const std::atomic<bool> *StopF = BT ? &BT->stopFlag() : nullptr;
+  const std::string EngineName =
+      Opts.Mode == SampleOptions::Method::Smc ? "smc" : "reject";
+  Checkpointer *CP = Opts.Checkpoint.get();
+  ObsContext *ObsC = Opts.Obs.get();
+  auto setWall = [&] {
+    Result.WallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - WallStart)
+                        .count();
+  };
+  const uint64_t SpecFp = CP ? specFingerprint(Spec) : 0;
+  uint64_t OptsFp = 0;
+  if (CP) {
+    // The resample threshold enters bit-exactly: a double compares by value
+    // only through its bit pattern.
+    uint64_t ThresholdBits = 0;
+    std::memcpy(&ThresholdBits, &Opts.ResampleThreshold,
+                sizeof(ThresholdBits));
+    OptsFp = Fingerprint()
+                 .mix(EngineName)
+                 .mix(static_cast<uint64_t>(Opts.Particles))
+                 .mix(Opts.Seed)
+                 .mix(ThresholdBits)
+                 .value();
+  }
+  if (CP) {
+    // Must run before the first span opens: restoring the trace arms span
+    // adoption for the spans that were open at the snapshot boundary.
+    CP->restoreCommon(BT, ObsC);
+    if (CP->resumeFailed()) {
+      // A requested resume without a valid snapshot is an error, never a
+      // silent fresh start.
+      Result.Status =
+          EngineStatus::invalid("cannot resume: " + CP->resumeError());
+      setWall();
+      return Result;
+    }
+  }
   ObsHandle O(Opts.Obs);
   Span RunSpan = O.span("smc.run");
   DiagCollector *DC = O.diag();
@@ -131,22 +170,92 @@ SampleResult Sampler::run() const {
     ThreadPool::global().parallelFor(Pop.size(), Fn, StopF);
   };
 
-  forParticles([&](size_t I) {
-    initParticle(Pop[I], Sched->initialState());
-    if (BT) {
-      BT->chargeStates();
-      // The population's memory is allocated once, up front: the byte
-      // gauge is charged at init and never reset.
-      BT->chargeBytes(Pop[I].Config.approxBytes());
+  int64_t StartStep = 0;
+  bool Resumed = false;
+  if (CP && CP->resumed()) {
+    SnapReader *R = CP->beginEngine(EngineName, SpecFp, OptsFp);
+    if (!R) {
+      Result.Status =
+          EngineStatus::invalid("cannot resume: " + CP->resumeError());
+      setWall();
+      return Result;
     }
-  });
+    BlockReadTable T;
+    StartStep = R->i64();
+    Result.StepsRun = R->i64();
+    bool Ok = readRng(*R, ResampleRng);
+    uint64_t N = R->count();
+    Ok = Ok && N == Pop.size();
+    for (uint64_t I = 0; I < N && Ok && R->ok(); ++I) {
+      Particle &P = Pop[I];
+      Ok = readNetConfig(*R, T, P.Config) && readRng(*R, P.Rng);
+      P.Dead = R->boolean();
+      P.Error = R->boolean();
+      P.Terminal = R->boolean();
+    }
+    if (!Ok || !R->ok()) {
+      Result = SampleResult();
+      if (Spec.Query)
+        Result.Kind = Spec.Query->Kind;
+      Result.Particles = Opts.Particles;
+      Result.Status =
+          EngineStatus::invalid("corrupt snapshot: sampler engine payload");
+      setWall();
+      return Result;
+    }
+    Resumed = true;
+  }
 
-  for (int64_t Step = 0; Step < Spec.NumSteps; ++Step) {
+  if (!Resumed)
+    forParticles([&](size_t I) {
+      initParticle(Pop[I], Sched->initialState());
+      if (BT) {
+        BT->chargeStates();
+        // The population's memory is allocated once, up front: the byte
+        // gauge is charged at init and never reset.
+        BT->chargeBytes(Pop[I].Config.approxBytes());
+      }
+    });
+
+  // Serializes the population as of the current serial boundary. Written
+  // before the boundary's budget/obs charges, so a resumed run re-executes
+  // them exactly once; never written mid-step (lanes mutate particles).
+  int64_t BoundStep = StartStep;
+  auto SerializeState = [&](SnapWriter &W) {
+    BlockTable T;
+    W.i64(BoundStep);
+    W.i64(Result.StepsRun);
+    snapRng(W, ResampleRng);
+    W.u64(Pop.size());
+    for (const Particle &P : Pop) {
+      snapNetConfig(W, T, P.Config);
+      snapRng(W, P.Rng);
+      W.boolean(P.Dead);
+      W.boolean(P.Error);
+      W.boolean(P.Terminal);
+    }
+  };
+
+  for (int64_t Step = StartStep; Step < Spec.NumSteps; ++Step) {
+    if (CP) {
+      // Serial boundary: the population is a pure function of (seed,
+      // completed steps) here, so a snapshot resumes bit-identically at
+      // any thread count.
+      BoundStep = Step;
+      CP->maybeWrite(EngineName, SpecFp, OptsFp, BT, ObsC, SerializeState);
+      if (CP->crashed()) {
+        Result.Status = injectedCrashStatus();
+        break;
+      }
+    }
     if (BT) {
       // Boundary decision: the population state here is a pure function of
       // (seed, completed steps), so deterministic budget classes stop at
       // the same boundary for every thread count.
       if (!BT->checkpoint(Pop.size())) {
+        if (CP && BT->cancelled())
+          CP->writeFinal(EngineName, SpecFp, OptsFp, BT, ObsC,
+                         SerializeState);
         Result.Status = BT->status();
         break;
       }

@@ -28,6 +28,8 @@
 
 namespace bayonet {
 
+class Checkpointer;
+
 /// Sampling configuration. The defaults match the paper's setup.
 struct SampleOptions {
   enum class Method { Smc, Rejection };
@@ -53,6 +55,11 @@ struct SampleOptions {
   /// generation, particle and resample counters charged at serial
   /// boundaries (bit-identical at any thread count). Null = unobserved.
   std::shared_ptr<ObsContext> Obs;
+  /// Optional durable checkpoint/restore driver (support/Snapshot.h). When
+  /// set, the engine snapshots the whole population (configs and PRNG
+  /// streams) at its serial step boundaries and can resume a run from such
+  /// a snapshot; a resumed run is bit-identical to an uninterrupted one.
+  std::shared_ptr<Checkpointer> Checkpoint;
 };
 
 /// Result of one sampling run.

@@ -6,6 +6,7 @@
 
 #include "interp/TxCache.h"
 #include "lang/Ast.h"
+#include "support/Snapshot.h"
 
 #include <algorithm>
 
@@ -86,4 +87,85 @@ TxCache::PublishStats TxCache::publishStaged() {
     Fifo.pop_front();
   }
   return Stats;
+}
+
+void TxCache::snapshotTo(
+    SnapWriter &W, BlockTable &T,
+    const std::function<uint32_t(const DefDecl *)> &DefIndex) const {
+  // Count live entries first (stale FIFO keys, if any, are skipped — they
+  // carry no cached result, so dropping them cannot change a replay).
+  uint64_t Live = 0;
+  for (const Key &K : Fifo)
+    if (Map.count(K))
+      ++Live;
+  W.u64(Live);
+  for (const Key &K : Fifo) {
+    auto It = Map.find(K);
+    if (It == Map.end())
+      continue;
+    const TxEntry &E = It->second;
+    W.u32(DefIndex(E.Def));
+    T.write(W, E.Key);
+    W.u64(E.Worlds.size());
+    for (const TxWorld &World : E.Worlds) {
+      T.write(W, World.Node);
+      snapRational(W, World.Prob);
+      W.u64(World.Guards.size());
+      for (const Constraint &C : World.Guards)
+        snapConstraint(W, C);
+      W.boolean(World.Error);
+    }
+  }
+}
+
+bool TxCache::restoreFrom(
+    SnapReader &R, BlockReadTable &T,
+    const std::function<const DefDecl *(uint32_t)> &DefAt) {
+  Map.clear();
+  Fifo.clear();
+  Bytes = 0;
+  uint64_t N = R.count();
+  for (uint64_t I = 0; I < N && R.ok(); ++I) {
+    TxEntry E;
+    E.Def = DefAt(R.u32());
+    if (!E.Def || !T.read(R, E.Key) || !E.Key) {
+      R.fail();
+      break;
+    }
+    uint64_t NWorlds = R.count();
+    E.Worlds.reserve(NWorlds);
+    for (uint64_t J = 0; J < NWorlds && R.ok(); ++J) {
+      TxWorld World;
+      if (!T.read(R, World.Node) || !readRational(R, World.Prob)) {
+        R.fail();
+        break;
+      }
+      uint64_t NGuards = R.count();
+      World.Guards.reserve(NGuards);
+      for (uint64_t G = 0; G < NGuards && R.ok(); ++G) {
+        Constraint C;
+        if (!readConstraint(R, C)) {
+          R.fail();
+          break;
+        }
+        World.Guards.push_back(std::move(C));
+      }
+      World.Error = R.boolean();
+      E.Worlds.push_back(std::move(World));
+    }
+    if (!R.ok())
+      break;
+    E.computeBytes();
+    Key K{E.Def, E.Key};
+    Bytes += E.Bytes;
+    Map.try_emplace(K, std::move(E));
+    Fifo.push_back(std::move(K));
+  }
+  if (!R.ok()) {
+    Map.clear();
+    Fifo.clear();
+    Bytes = 0;
+    return false;
+  }
+  return true;
 }

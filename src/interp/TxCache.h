@@ -36,12 +36,17 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
 namespace bayonet {
 
 struct DefDecl;
+class BlockReadTable;
+class BlockTable;
+class SnapReader;
+class SnapWriter;
 
 /// Default byte cap for the transition cache (the --txcache=on setting).
 inline constexpr uint64_t TxCacheDefaultBytes = 256ull << 20;
@@ -105,6 +110,21 @@ public:
   uint64_t bytes() const { return Bytes; }
   /// Published entry count.
   size_t size() const { return Map.size(); }
+
+  /// Serializes the published entries in FIFO order (checkpoint support,
+  /// see support/Snapshot.h). \p DefIndex maps a program pointer to a
+  /// stable index (node id in the spec). Node blocks dedup through \p T,
+  /// so blocks shared with the frontier serialize once. Called at serial
+  /// boundaries only (must not race with stage()).
+  void snapshotTo(SnapWriter &W, BlockTable &T,
+                  const std::function<uint32_t(const DefDecl *)> &DefIndex)
+      const;
+
+  /// Rebuilds the cache from a checkpoint: entries re-enter the map and
+  /// FIFO in serialized order, so future evictions replay identically.
+  /// \p DefAt inverts DefIndex. Returns false on a corrupt section.
+  bool restoreFrom(SnapReader &R, BlockReadTable &T,
+                   const std::function<const DefDecl *(uint32_t)> &DefAt);
 
 private:
   struct Key {

@@ -6,6 +6,8 @@
 
 #include "obs/Diagnostics.h"
 
+#include "support/Snapshot.h"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -57,6 +59,102 @@ void DiagCollector::recordTv(double Tv) { R.Summary.TvDivergence = Tv; }
 
 void DiagCollector::addWarning(std::string W) {
   R.Summary.Warnings.push_back(std::move(W));
+}
+
+void DiagCollector::snapshotTo(SnapWriter &W) const {
+  W.boolean(FrontierWarned);
+  // Stored summary facts only; report() recomputes the derived fields.
+  W.str(R.Summary.Engine);
+  W.u64(R.Summary.Particles);
+  W.u64(R.Summary.SupportSize);
+  W.f64(R.Summary.ResidualMass);
+  W.boolean(R.Summary.ResidualMassKnown);
+  W.boolean(R.Summary.TvDivergence.has_value());
+  W.f64(R.Summary.TvDivergence.value_or(0));
+  W.u64(R.Summary.Warnings.size());
+  for (const std::string &S : R.Summary.Warnings)
+    W.str(S);
+  W.u64(R.SmcSteps.size());
+  for (const SmcStepDiag &D : R.SmcSteps) {
+    W.i64(D.Step);
+    W.u64(D.Active);
+    W.u64(D.Alive);
+    W.f64(D.Ess);
+    W.f64(D.EssFraction);
+    W.f64(D.WeightCv);
+    W.f64(D.MinLogWeight);
+    W.f64(D.MaxLogWeight);
+    W.f64(D.DeadMassFraction);
+    W.boolean(D.Resampled);
+  }
+  W.u64(R.ExactRounds.size());
+  for (const ExactRoundDiag &D : R.ExactRounds) {
+    W.i64(D.Step);
+    W.u64(D.FrontierIn);
+    W.u64(D.FrontierOut);
+    W.u64(D.Expanded);
+    W.u64(D.MergeAttempts);
+    W.u64(D.MergeHits);
+    W.f64(D.MergeHitRate);
+    W.u64(D.TxHits);
+    W.u64(D.TxMisses);
+    W.u64(D.TxBytes);
+  }
+}
+
+bool DiagCollector::restoreFrom(SnapReader &R2) {
+  R = DiagReport();
+  FrontierWarned = R2.boolean();
+  R.Summary.Engine = R2.str();
+  R.Summary.Particles = R2.u64();
+  R.Summary.SupportSize = R2.u64();
+  R.Summary.ResidualMass = R2.f64();
+  R.Summary.ResidualMassKnown = R2.boolean();
+  bool HasTv = R2.boolean();
+  double Tv = R2.f64();
+  if (HasTv)
+    R.Summary.TvDivergence = Tv;
+  uint64_t NWarn = R2.count();
+  for (uint64_t I = 0; I < NWarn && R2.ok(); ++I)
+    R.Summary.Warnings.push_back(R2.str());
+  uint64_t NSmc = R2.count();
+  R.SmcSteps.reserve(NSmc);
+  for (uint64_t I = 0; I < NSmc && R2.ok(); ++I) {
+    SmcStepDiag D;
+    D.Step = R2.i64();
+    D.Active = R2.u64();
+    D.Alive = R2.u64();
+    D.Ess = R2.f64();
+    D.EssFraction = R2.f64();
+    D.WeightCv = R2.f64();
+    D.MinLogWeight = R2.f64();
+    D.MaxLogWeight = R2.f64();
+    D.DeadMassFraction = R2.f64();
+    D.Resampled = R2.boolean();
+    R.SmcSteps.push_back(D);
+  }
+  uint64_t NExact = R2.count();
+  R.ExactRounds.reserve(NExact);
+  for (uint64_t I = 0; I < NExact && R2.ok(); ++I) {
+    ExactRoundDiag D;
+    D.Step = R2.i64();
+    D.FrontierIn = R2.u64();
+    D.FrontierOut = R2.u64();
+    D.Expanded = R2.u64();
+    D.MergeAttempts = R2.u64();
+    D.MergeHits = R2.u64();
+    D.MergeHitRate = R2.f64();
+    D.TxHits = R2.u64();
+    D.TxMisses = R2.u64();
+    D.TxBytes = R2.u64();
+    R.ExactRounds.push_back(D);
+  }
+  if (!R2.ok()) {
+    R = DiagReport();
+    FrontierWarned = false;
+    return false;
+  }
+  return true;
 }
 
 DiagReport DiagCollector::report() const {

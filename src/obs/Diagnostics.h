@@ -27,6 +27,9 @@
 
 namespace bayonet {
 
+class SnapReader;
+class SnapWriter;
+
 /// One SMC population checkpoint, recorded at the serial end of each
 /// scheduler step (after stepping every particle, before the next step).
 struct SmcStepDiag {
@@ -131,6 +134,15 @@ public:
 
   /// Summary only (what InferenceResult carries).
   InferenceDiagnostics summary() const { return report().Summary; }
+
+  /// Serializes the recorded series and stored summary facts (derived
+  /// summary fields are recomputed by report(), so they are not stored).
+  /// Checkpoint support (support/Snapshot.h).
+  void snapshotTo(SnapWriter &W) const;
+
+  /// Replaces the collector's state with a checkpointed one. Returns
+  /// false (leaving the collector empty) on a corrupt section.
+  bool restoreFrom(SnapReader &R);
 
 private:
   double EssWarnFrac;

@@ -6,6 +6,8 @@
 
 #include "obs/Metrics.h"
 
+#include "support/Snapshot.h"
+
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -186,6 +188,39 @@ std::vector<MetricValue> MetricsRegistry::snapshot() const {
     Out.push_back(std::move(V));
   }
   return Out;
+}
+
+void MetricsRegistry::snapshotTo(SnapWriter &W) const {
+  uint32_t N = NumMetrics.load(std::memory_order_acquire);
+  W.u64(N);
+  for (uint32_t MI = 0; MI < N; ++MI) {
+    const Meta &M = MetaArr[MI];
+    W.str(M.Name);
+    W.u64(M.NumSlots);
+    for (uint32_t I = 0; I < M.NumSlots; ++I)
+      W.u64(sumSlot(M.Slot + I));
+  }
+}
+
+bool MetricsRegistry::restoreFrom(SnapReader &R) {
+  uint64_t N = R.count();
+  for (uint64_t MI = 0; MI < N && R.ok(); ++MI) {
+    std::string Name = R.str();
+    uint64_t NumSlots = R.count();
+    const Meta *Found = nullptr;
+    uint32_t Registered = NumMetrics.load(std::memory_order_acquire);
+    for (uint32_t I = 0; I < Registered; ++I)
+      if (MetaArr[I].Name == Name) {
+        Found = &MetaArr[I];
+        break;
+      }
+    for (uint64_t I = 0; I < NumSlots && R.ok(); ++I) {
+      uint64_t V = R.u64();
+      if (Found && I < Found->NumSlots)
+        Shards[0].Slots[Found->Slot + I].store(V, std::memory_order_relaxed);
+    }
+  }
+  return R.ok();
 }
 
 std::string MetricsRegistry::renderProm() const {

@@ -33,6 +33,9 @@
 
 namespace bayonet {
 
+class SnapReader;
+class SnapWriter;
+
 /// Opaque handle to a registered metric: an index into the shard slot
 /// arrays. Histograms own a contiguous run of slots (one per bucket, one
 /// for +Inf, one for the scaled sum).
@@ -126,6 +129,17 @@ public:
 
   /// Prometheus text exposition (HELP/TYPE comments + samples).
   std::string renderProm() const;
+
+  /// Serializes every metric's raw integer slot sums (summed across
+  /// shards) by name — exact integers, so restore + re-snapshot is
+  /// byte-stable. Checkpoint support (support/Snapshot.h).
+  void snapshotTo(SnapWriter &W) const;
+
+  /// Installs checkpointed slot sums into shard 0 by name lookup (the
+  /// receiving registry is freshly constructed with identically registered
+  /// metrics, so all other shards are zero and totals match exactly).
+  /// Unknown names are skipped. Returns false on a corrupt section.
+  bool restoreFrom(SnapReader &R);
 
 private:
   /// Shard count: enough that 8-16 worker lanes rarely collide, small

@@ -59,6 +59,7 @@ public:
   ObsContext(bool EnableTrace, bool EnableMetrics, bool EnableDiag = false);
 
   Tracer *tracer() { return Trace.get(); }
+  const Tracer *tracer() const { return Trace.get(); }
   MetricsRegistry *metrics() { return Reg.get(); }
   const MetricsRegistry *metrics() const { return Reg.get(); }
   DiagCollector *diag() { return Diag.get(); }

@@ -32,6 +32,8 @@
 namespace bayonet {
 
 class Tracer;
+class SnapReader;
+class SnapWriter;
 
 /// RAII handle for one span. Default-constructed spans are no-ops, which is
 /// how the disabled path stays branch-only. Move-only; ends the span on
@@ -97,6 +99,31 @@ public:
   /// without relying on timestamps.
   std::string renderChromeJson() const;
 
+  //===--------------------------------------------------------------------===//
+  // Checkpoint support (support/Snapshot.h)
+  //===--------------------------------------------------------------------===//
+
+  /// Captures the current log position for a later boundary-exact snapshot
+  /// (events appended after the mark are truncated out of the write).
+  void captureMark(size_t &NumEvents, uint64_t &NextId,
+                   std::vector<uint64_t> &OpenStack) const;
+
+  /// Serializes the log. When \p NumEvents is SIZE_MAX the live state is
+  /// written; otherwise the log is truncated to the marked boundary and
+  /// \p NextId / \p OpenAt stand in for the live counter and open stack.
+  void snapshotTo(SnapWriter &W, size_t NumEvents = SIZE_MAX,
+                  uint64_t NextId = 0,
+                  const std::vector<uint64_t> *OpenAt = nullptr) const;
+
+  /// Replaces the whole log with a checkpointed one and arms span
+  /// adoption: the spans that were open at the snapshot boundary are
+  /// re-handed out (outermost first) to the next matching span() calls, so
+  /// a resumed run continues inside the same span tree instead of opening
+  /// duplicates. Clears the adopted spans' args — the resuming code path
+  /// re-applies them. Returns false (leaving the tracer empty) on a
+  /// corrupt section.
+  bool restoreFrom(SnapReader &R);
+
 private:
   friend class Span;
 
@@ -120,6 +147,12 @@ private:
   std::vector<uint64_t> OpenStack; ///< Ids of currently open spans.
   uint64_t NextId = 1;
   std::chrono::steady_clock::time_point Epoch;
+  /// Restored-open-span adoption queue: indices into Events of the spans
+  /// open at the snapshot boundary, outermost first. span() hands these
+  /// back instead of opening new events until the queue drains or a name
+  /// mismatch drops it (fail-open).
+  std::vector<size_t> AdoptQueue;
+  size_t AdoptNext = 0;
 };
 
 } // namespace bayonet

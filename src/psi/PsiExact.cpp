@@ -6,12 +6,14 @@
 
 #include "psi/PsiExact.h"
 
+#include "support/Snapshot.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <unordered_map>
 
 using namespace bayonet;
@@ -88,16 +90,108 @@ public:
          PsiExactResult &Result)
       : P(P), Opts(Opts), Result(Result), Threads(resolveThreads(Opts.Threads)),
         BT(Opts.Budget.get()), StopF(BT ? &BT->stopFlag() : nullptr),
-        O(Opts.Obs) {}
+        CP(Opts.Checkpoint.get()), ObsC(Opts.Obs.get()), O(Opts.Obs) {
+    if (CP) {
+      // The PSI IR has no structural identity beyond its text: fingerprint
+      // the printed program (deterministic, covers every statement).
+      SpecFp = Fingerprint().mix(printPsiProgram(P)).value();
+      OptsFp = Fingerprint()
+                   .mix(std::string("psi"))
+                   .mix(Opts.MergeEnvs)
+                   .mix(static_cast<uint64_t>(Opts.WhileFuel))
+                   .mix(Opts.MaxDist)
+                   .value();
+      SerializeFn = [this](SnapWriter &W) { serializeState(W); };
+    }
+  }
 
   void run() {
+    if (CP) {
+      // Must run before the first span opens: restoring the trace arms
+      // span adoption for the spans open at the snapshot boundary.
+      CP->restoreCommon(BT, ObsC);
+      if (CP->resumeFailed()) {
+        // A requested resume without a valid snapshot is an error, never a
+        // silent fresh start.
+        Result.Status =
+            EngineStatus::invalid("cannot resume: " + CP->resumeError());
+        return;
+      }
+    }
     Span RunSpan = O.span("psi.run");
     if (DiagCollector *DC = O.diag())
       DC->beginEngine("psi");
     Dist D;
-    Env Init(P.VarNames.size(), PsiValue());
-    D.push_back({std::move(Init), SymProb::concrete(Rational(1))});
-    execBlock(P.Body, D);
+    size_t StartIdx = 0;
+    bool Resumed = false;
+    if (CP && CP->resumed()) {
+      SnapReader *R = CP->beginEngine("psi", SpecFp, OptsFp);
+      if (!R) {
+        Result.Status =
+            EngineStatus::invalid("cannot resume: " + CP->resumeError());
+        return;
+      }
+      StartIdx = static_cast<size_t>(R->i64());
+      DiagStmt = R->i64();
+      uint64_t N = R->count();
+      D.reserve(N);
+      bool Ok = StartIdx <= P.Body.size();
+      for (uint64_t I = 0; I < N && Ok && R->ok(); ++I) {
+        Branch B;
+        uint64_t NV = R->count();
+        Ok = NV == P.VarNames.size();
+        B.Vars.reserve(NV);
+        for (uint64_t V = 0; V < NV && Ok && R->ok(); ++V) {
+          PsiValue PV;
+          Ok = readPsiValue(*R, PV);
+          if (Ok)
+            B.Vars.push_back(std::move(PV));
+        }
+        Ok = Ok && readSymProb(*R, B.W);
+        if (Ok)
+          D.push_back(std::move(B));
+      }
+      Ok = Ok && readSymProb(*R, Result.ErrorMass);
+      Result.QueryUnsupported = R->boolean();
+      Result.UnsupportedReason = R->str();
+      Result.BranchesExpanded = R->u64();
+      Result.MaxDistSize = R->u64();
+      Result.MergeHits = R->u64();
+      Result.MergeAttempts = R->u64();
+      uint64_t NW = R->count();
+      Result.WorkerBranchesExpanded.assign(NW, 0);
+      for (uint64_t I = 0; I < NW && R->ok(); ++I)
+        Result.WorkerBranchesExpanded[I] = R->u64();
+      if (!Ok || !R->ok()) {
+        Result = PsiExactResult();
+        Result.Kind = P.Kind;
+        Result.Status =
+            EngineStatus::invalid("corrupt snapshot: psi engine payload");
+        return;
+      }
+      Resumed = true;
+    }
+    if (!Resumed) {
+      Env Init(P.VarNames.size(), PsiValue());
+      D.push_back({std::move(Init), SymProb::concrete(Rational(1))});
+    }
+    // Top-level statements execute one by one so the checkpointer can
+    // snapshot at their boundaries, where D is the whole engine state.
+    TopD = &D;
+    for (size_t I = StartIdx; I < P.Body.size(); ++I) {
+      if (Aborted || D.empty())
+        break;
+      TopIdx = static_cast<int64_t>(I);
+      if (CP) {
+        CP->maybeWrite("psi", SpecFp, OptsFp, BT, ObsC, SerializeFn);
+        if (CP->crashed()) {
+          Result.Status = injectedCrashStatus();
+          return;
+        }
+      }
+      execStmt(*P.Body[I], D);
+    }
+    TopD = nullptr;
     if (O.tracing()) {
       RunSpan.arg("branches", static_cast<uint64_t>(Result.BranchesExpanded));
       RunSpan.arg("peak_dist", static_cast<uint64_t>(Result.MaxDistSize));
@@ -135,7 +229,18 @@ private:
   const unsigned Threads;
   BudgetTracker *BT;
   const std::atomic<bool> *StopF;
+  Checkpointer *CP;
+  ObsContext *ObsC;
   ObsHandle O;
+  /// Snapshot identity and write callback (set only when CP != null).
+  uint64_t SpecFp = 0;
+  uint64_t OptsFp = 0;
+  std::function<void(SnapWriter &)> SerializeFn;
+  /// The top-level distribution and statement index, valid while run()'s
+  /// statement loop is live: snapshots are only taken at its boundaries,
+  /// where this pair is the whole resumable state.
+  Dist *TopD = nullptr;
+  int64_t TopIdx = 0;
   /// Statement nesting depth; spans and metric charges happen only at
   /// depth 0 (top-level statements — serial points with bounded count).
   unsigned Depth = 0;
@@ -170,6 +275,31 @@ private:
     Result.MergeHits = Snap.MergeHits;
     Result.MergeAttempts = Snap.MergeAttempts;
     Result.WorkerBranchesExpanded = Snap.WorkerBranchesExpanded;
+  }
+
+  /// Serializes the engine state as of the current top-level statement
+  /// boundary (run()'s loop keeps TopD/TopIdx current; D is untouched
+  /// between the boundary and the statement's first expansion).
+  void serializeState(SnapWriter &W) {
+    W.i64(TopIdx);
+    W.i64(DiagStmt);
+    W.u64(TopD->size());
+    for (const Branch &B : *TopD) {
+      W.u64(B.Vars.size());
+      for (const PsiValue &V : B.Vars)
+        snapPsiValue(W, V);
+      snapSymProb(W, B.W);
+    }
+    snapSymProb(W, Result.ErrorMass);
+    W.boolean(Result.QueryUnsupported);
+    W.str(Result.UnsupportedReason);
+    W.u64(Result.BranchesExpanded);
+    W.u64(Result.MaxDistSize);
+    W.u64(Result.MergeHits);
+    W.u64(Result.MergeAttempts);
+    W.u64(Result.WorkerBranchesExpanded.size());
+    for (size_t V : Result.WorkerBranchesExpanded)
+      W.u64(V);
   }
 
   static size_t envBytes(const Env &E) {
@@ -363,8 +493,12 @@ private:
       // function of the cumulative counters.
       if (!BT->checkpoint(D.size())) {
         // The boundary itself was reached: current stats are the report
-        // (run()'s restore then becomes a no-op).
+        // (run()'s restore then becomes a no-op). At the top level D is
+        // still the intact boundary distribution, so a graceful
+        // cancellation can write its final snapshot here.
         takeSnapshot();
+        if (CP && Depth == 0 && &D == TopD && BT->cancelled())
+          CP->writeFinal("psi", SpecFp, OptsFp, BT, ObsC, SerializeFn);
         Aborted = true;
         return;
       }

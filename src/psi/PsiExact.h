@@ -28,6 +28,8 @@
 
 namespace bayonet {
 
+class Checkpointer;
+
 /// Result of one exact PSI run. Field meanings match interp::ExactResult.
 struct PsiExactResult {
   QueryKind Kind = QueryKind::Probability;
@@ -90,6 +92,11 @@ struct PsiExactOptions {
   /// boundaries (serial, so bit-identical at any thread count). Null =
   /// unobserved.
   std::shared_ptr<ObsContext> Obs;
+  /// Optional durable checkpoint/restore driver (support/Snapshot.h). When
+  /// set, the engine snapshots the environment distribution at top-level
+  /// statement boundaries and can resume a run from such a snapshot; a
+  /// resumed run is bit-identical to an uninterrupted one.
+  std::shared_ptr<Checkpointer> Checkpoint;
 };
 
 /// Exact distribution-of-environments engine.

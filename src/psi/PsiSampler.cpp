@@ -6,6 +6,7 @@
 
 #include "psi/PsiSampler.h"
 
+#include "support/Snapshot.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -318,15 +319,85 @@ PsiSampleResult PsiSampler::run() const {
 
   BudgetTracker *BT = Opts.Budget.get();
   const std::atomic<bool> *StopF = BT ? &BT->stopFlag() : nullptr;
+  Checkpointer *CP = Opts.Checkpoint.get();
+  ObsContext *ObsC = Opts.Obs.get();
+  uint64_t SpecFp = 0, OptsFp = 0;
+  if (CP) {
+    // The PSI IR has no structural identity beyond its text: fingerprint
+    // the printed program.
+    SpecFp = Fingerprint().mix(printPsiProgram(P)).value();
+    OptsFp = Fingerprint()
+                 .mix(std::string("psi-smc"))
+                 .mix(static_cast<uint64_t>(Opts.Particles))
+                 .mix(Opts.Seed)
+                 .mix(static_cast<uint64_t>(Opts.WhileFuel))
+                 .value();
+    // Must run before the first span opens: restoring the trace arms span
+    // adoption for the spans open at the snapshot boundary.
+    CP->restoreCommon(BT, ObsC);
+    if (CP->resumeFailed()) {
+      // A requested resume without a valid snapshot is an error, never a
+      // silent fresh start.
+      Result.Status =
+          EngineStatus::invalid("cannot resume: " + CP->resumeError());
+      setWall();
+      return Result;
+    }
+  }
   ObsHandle OH(Opts.Obs);
   Span RunSpan = OH.span("psi_smc.run");
   if (DiagCollector *DC = OH.diag())
     DC->beginEngine("psi-smc", Opts.Particles);
 
+  // Per-particle outcome, aggregated serially afterwards (double addition
+  // is not associative; summing in particle order keeps the estimate
+  // bit-identical across thread counts).
+  enum class OutKind : uint8_t { NotRun, Rejected, Error, Unsupported, Ok };
+  struct ParticleOut {
+    OutKind K = OutKind::NotRun;
+    Rational V;
+  };
+  std::vector<ParticleOut> Outs;
+
   // The state budget caps the particle count up front: remaining budget =
   // particles run, in particle order — deterministic for any thread count.
+  // A resume restores the cap from the snapshot (recomputing it against the
+  // restored, already-charged spend would shrink it a second time).
   unsigned Effective = Opts.Particles;
-  if (BT && BT->limits().MaxStates) {
+  size_t StartAt = 0;
+  bool Resumed = false;
+  if (CP && CP->resumed()) {
+    SnapReader *R = CP->beginEngine("psi-smc", SpecFp, OptsFp);
+    if (!R) {
+      Result.Status =
+          EngineStatus::invalid("cannot resume: " + CP->resumeError());
+      setWall();
+      return Result;
+    }
+    StartAt = R->u64();
+    Effective = static_cast<unsigned>(R->u64());
+    bool Ok = Effective <= Opts.Particles && StartAt <= Effective;
+    Outs.reserve(Effective);
+    for (size_t I = 0; I < StartAt && Ok && R->ok(); ++I) {
+      ParticleOut PO;
+      uint8_t K = R->u8();
+      Ok = K <= static_cast<uint8_t>(OutKind::Ok) &&
+           readRational(*R, PO.V);
+      PO.K = static_cast<OutKind>(K);
+      Outs.push_back(std::move(PO));
+    }
+    if (!Ok || !R->ok()) {
+      Result = PsiSampleResult();
+      Result.Kind = P.Kind;
+      Result.Particles = Opts.Particles;
+      Result.Status =
+          EngineStatus::invalid("corrupt snapshot: psi sampler payload");
+      setWall();
+      return Result;
+    }
+    Resumed = true;
+  }
+  if (!Resumed && BT && BT->limits().MaxStates) {
     uint64_t Spent = BT->statesSpent();
     uint64_t Avail =
         BT->limits().MaxStates > Spent ? BT->limits().MaxStates - Spent : 0;
@@ -340,22 +411,15 @@ PsiSampleResult PsiSampler::run() const {
   }
 
   // Serial stream assignment in particle order: particle I's draws depend
-  // only on (Seed, I), not on the lane that runs it.
+  // only on (Seed, I), not on the lane that runs it — which also lets a
+  // resume regenerate every stream instead of serializing them.
   Xoshiro Master(Opts.Seed);
   std::vector<Xoshiro> Streams;
   Streams.reserve(Effective);
   for (unsigned I = 0; I < Effective; ++I)
     Streams.push_back(Master.split());
 
-  // Per-particle outcome, aggregated serially afterwards (double addition
-  // is not associative; summing in particle order keeps the estimate
-  // bit-identical across thread counts).
-  enum class OutKind : uint8_t { NotRun, Rejected, Error, Unsupported, Ok };
-  struct ParticleOut {
-    OutKind K = OutKind::NotRun;
-    Rational V;
-  };
-  std::vector<ParticleOut> Outs(Effective);
+  Outs.resize(Effective);
   auto runOne = [&](size_t I) {
     if (StopF && StopF->load(std::memory_order_acquire))
       return; // Drained: the particle stays NotRun.
@@ -385,14 +449,50 @@ PsiSampleResult PsiSampler::run() const {
     Outs[I].K = OutKind::Ok;
     Outs[I].V = std::move(*V);
   };
-  if (Threads <= 1) {
-    for (size_t I = 0; I < Outs.size(); ++I) {
-      if (StopF && StopF->load(std::memory_order_acquire))
-        break;
-      runOne(I);
+  auto runRange = [&](size_t Lo, size_t Hi) {
+    if (Threads <= 1) {
+      for (size_t I = Lo; I < Hi; ++I) {
+        if (StopF && StopF->load(std::memory_order_acquire))
+          break;
+        runOne(I);
+      }
+    } else {
+      ThreadPool::global().parallelFor(
+          Hi - Lo, [&](size_t J) { runOne(Lo + J); }, StopF);
     }
+  };
+  if (!CP) {
+    runRange(0, Outs.size());
   } else {
-    ThreadPool::global().parallelFor(Outs.size(), runOne, StopF);
+    // Chunked batch with a serial boundary between chunks: completed
+    // outcomes are a pure function of (seed, particle index), so the chunk
+    // boundary state resumes bit-identically at any thread count.
+    const size_t ChunkSize = 256;
+    size_t BoundAt = StartAt;
+    auto SerializeState = [&](SnapWriter &W) {
+      W.u64(BoundAt);
+      W.u64(Effective);
+      for (size_t I = 0; I < BoundAt; ++I) {
+        W.u8(static_cast<uint8_t>(Outs[I].K));
+        snapRational(W, Outs[I].V);
+      }
+    };
+    for (size_t Lo = StartAt; Lo < Outs.size(); Lo += ChunkSize) {
+      BoundAt = Lo;
+      CP->maybeWrite("psi-smc", SpecFp, OptsFp, BT, ObsC, SerializeState);
+      if (CP->crashed()) {
+        Result.Status = injectedCrashStatus();
+        setWall();
+        return Result;
+      }
+      if (BT && BT->stop()) {
+        if (BT->cancelled())
+          CP->writeFinal("psi-smc", SpecFp, OptsFp, BT, ObsC,
+                         SerializeState);
+        break;
+      }
+      runRange(Lo, std::min(Outs.size(), Lo + ChunkSize));
+    }
   }
 
   // A budget-capped population is a state-budget violation: report it after

@@ -26,6 +26,8 @@
 
 namespace bayonet {
 
+class Checkpointer;
+
 /// Options for the PSI sampling engine.
 struct PsiSampleOptions {
   unsigned Particles = 1000;
@@ -45,6 +47,11 @@ struct PsiSampleOptions {
   /// Optional observability context: a run span plus particle counters
   /// charged after the serial aggregation pass. Null = unobserved.
   std::shared_ptr<ObsContext> Obs;
+  /// Optional durable checkpoint/restore driver (support/Snapshot.h). When
+  /// set, particles run in fixed-size chunks and completed outcomes are
+  /// snapshot at chunk boundaries; a resumed run is bit-identical to an
+  /// uninterrupted one (streams are regenerated from the seed).
+  std::shared_ptr<Checkpointer> Checkpoint;
 };
 
 /// Result of a PSI sampling run.

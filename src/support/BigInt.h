@@ -137,6 +137,17 @@ public:
   /// Hash suitable for unordered containers. Equal values hash equally.
   size_t hash() const;
 
+  /// Exports the value as sign (-1/0/+1) and little-endian 32-bit limbs
+  /// with no leading zero limbs. The pair round-trips exactly through
+  /// fromMag, so snapshots serialize limbs directly instead of rendering
+  /// decimal digits (toString is quadratic in the digit count).
+  void toMag(int &SignOut, std::vector<uint32_t> &MagOut) const;
+  /// Builds a canonical BigInt from sign and magnitude; trims leading zero
+  /// limbs and drops to the small representation when the magnitude fits,
+  /// so any input yields the canonical form. \pre Sign is +-1 unless the
+  /// magnitude is zero.
+  static BigInt fromMag(int Sign, std::vector<uint32_t> Mag);
+
 private:
   // Small representation. Valid iff Limbs is empty.
   int64_t Small = 0;
@@ -160,10 +171,6 @@ private:
                         std::vector<uint32_t> &Quot,
                         std::vector<uint32_t> &Rem);
 
-  // Converts to limb form regardless of current representation.
-  void toMag(int &SignOut, std::vector<uint32_t> &MagOut) const;
-  // Builds a canonical BigInt from sign and magnitude.
-  static BigInt fromMag(int Sign, std::vector<uint32_t> Mag);
   static void trim(std::vector<uint32_t> &Mag);
 };
 

@@ -131,6 +131,18 @@ private:
   EngineStatus S;
 };
 
+/// The cumulative spend counters of a BudgetTracker, as captured at a
+/// serial boundary (for checkpoint snapshots). Wall-clock state is
+/// deliberately absent: a resumed run gets a fresh deadline allowance.
+struct BudgetSpend {
+  uint64_t States = 0;
+  uint64_t StepBytes = 0;
+  uint64_t PeakBytes = 0;
+  uint64_t PeakFrontier = 0;
+  uint64_t Merges = 0;
+  uint64_t SchedSteps = 0;
+};
+
 /// A shareable cooperative-cancellation handle. Copies observe the same
 /// flag; requesting cancellation is thread-safe and sticky.
 class CancelToken {
@@ -234,6 +246,31 @@ public:
   //===--------------------------------------------------------------------===//
   // Spend accounting (for reports and fallback sizing)
   //===--------------------------------------------------------------------===//
+
+  /// All spend counters at once (for checkpoint snapshots; called at
+  /// serial boundaries, values are then stable).
+  BudgetSpend spendSnapshot() const {
+    BudgetSpend S;
+    S.States = States.load(std::memory_order_relaxed);
+    S.StepBytes = StepBytes.load(std::memory_order_relaxed);
+    S.PeakBytes = PeakBytes.load(std::memory_order_relaxed);
+    S.PeakFrontier = PeakFrontier.load(std::memory_order_relaxed);
+    S.Merges = Merges.load(std::memory_order_relaxed);
+    S.SchedSteps = SchedSteps.load(std::memory_order_relaxed);
+    return S;
+  }
+
+  /// Installs checkpointed spend counters into a fresh tracker (resume).
+  /// Must run before any charging; deadline/violation state is untouched
+  /// (a resumed run gets a fresh wall-clock allowance).
+  void restoreSpend(const BudgetSpend &S) {
+    States.store(S.States, std::memory_order_relaxed);
+    StepBytes.store(S.StepBytes, std::memory_order_relaxed);
+    PeakBytes.store(S.PeakBytes, std::memory_order_relaxed);
+    PeakFrontier.store(S.PeakFrontier, std::memory_order_relaxed);
+    Merges.store(S.Merges, std::memory_order_relaxed);
+    SchedSteps.store(S.SchedSteps, std::memory_order_relaxed);
+  }
 
   uint64_t statesSpent() const { return States.load(std::memory_order_relaxed); }
   uint64_t mergesSpent() const { return Merges.load(std::memory_order_relaxed); }

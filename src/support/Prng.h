@@ -59,6 +59,17 @@ public:
     return Child;
   }
 
+  /// Raw 256-bit state access, for checkpoint serialization: restoring the
+  /// words restores the exact stream position.
+  void getState(uint64_t Out[4]) const {
+    for (int I = 0; I < 4; ++I)
+      Out[I] = State[I];
+  }
+  void setState(const uint64_t In[4]) {
+    for (int I = 0; I < 4; ++I)
+      State[I] = In[I];
+  }
+
 private:
   uint64_t State[4];
 };

@@ -82,6 +82,8 @@ public:
 
   const std::vector<Constraint> &constraints() const { return Cons; }
   bool empty() const { return Cons.empty() && !KnownFalse; }
+  /// Whether a trivially-false constraint made the set inconsistent.
+  bool knownFalse() const { return KnownFalse; }
 
   /// Full decision procedure: satisfiable over the rationals?
   bool isConsistent() const;

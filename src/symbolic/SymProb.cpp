@@ -24,6 +24,12 @@ SymProb SymProb::guarded(ConstraintSet Guard, Rational Value) {
   return P;
 }
 
+SymProb SymProb::fromCanonicalTerms(std::vector<Term> Terms) {
+  SymProb P;
+  P.Terms = std::move(Terms);
+  return P;
+}
+
 bool SymProb::isConcrete() const {
   return Terms.empty() || (Terms.size() == 1 && Terms[0].Guard.empty());
 }

@@ -40,6 +40,10 @@ public:
   static SymProb concrete(Rational Value);
   /// Constructs "Value * [Guard]"; empty if the guard is inconsistent.
   static SymProb guarded(ConstraintSet Guard, Rational Value);
+  /// Trusted direct install of already-canonical terms (sorted by guard,
+  /// no duplicates, no zero values) — the checkpoint-restore path, which
+  /// round-trips terms() output and must not re-run consistency checks.
+  static SymProb fromCanonicalTerms(std::vector<Term> Terms);
 
   bool isZero() const { return Terms.empty(); }
   /// True if there is a single term with an empty guard.

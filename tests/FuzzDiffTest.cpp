@@ -21,6 +21,7 @@
 #include "lang/AstPrinter.h"
 #include "psi/PsiExact.h"
 #include "support/Prng.h"
+#include "support/Snapshot.h"
 #include "translate/Translator.h"
 
 #include <gtest/gtest.h>
@@ -336,6 +337,65 @@ TEST_P(FuzzDiffTest, SmallBigWeightIdentity) {
   Rational Ok = R.OkMass.concreteValue();
   EXPECT_EQ(Ok.num().toString(), Sum.N.toString());
   EXPECT_EQ(Ok.den().toString(), Sum.D.toString());
+}
+
+// Snapshot round-trip invariance: serialize → deserialize → re-serialize
+// must be byte-stable on the real state an engine checkpoints — terminal
+// NetConfig distributions with their copy-on-write block sharing, exact
+// SymProb weights, and PRNG streams. Byte stability is what makes a
+// resumed run's own snapshots identical to the uninterrupted run's.
+TEST_P(FuzzDiffTest, SnapshotRoundTrip) {
+  NetworkGen Gen(GetParam());
+  std::string Source = Gen.generate();
+  SCOPED_TRACE(Source);
+
+  DiagEngine Diags;
+  auto Net = loadNetwork(Source, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+
+  ExactOptions Opts;
+  Opts.CollectTerminals = true;
+  ExactResult R = ExactEngine(Net->Spec, Opts).run();
+
+  Xoshiro Rng(GetParam());
+  auto serialize = [&](const std::vector<std::pair<NetConfig, SymProb>> &Dist,
+                       const Xoshiro &G) {
+    SnapWriter W;
+    BlockTable T;
+    W.u64(Dist.size());
+    for (const auto &[C, P] : Dist) {
+      snapNetConfig(W, T, C);
+      snapSymProb(W, P);
+    }
+    snapRng(W, G);
+    return W.buffer();
+  };
+
+  std::string First = serialize(R.Terminals, Rng);
+
+  SnapReader Reader(First);
+  BlockReadTable RT;
+  std::vector<std::pair<NetConfig, SymProb>> Restored;
+  uint64_t N = Reader.u64();
+  for (uint64_t I = 0; I < N; ++I) {
+    NetConfig C;
+    SymProb P;
+    ASSERT_TRUE(readNetConfig(Reader, RT, C));
+    ASSERT_TRUE(readSymProb(Reader, P));
+    Restored.emplace_back(std::move(C), std::move(P));
+  }
+  Xoshiro Rng2(0);
+  ASSERT_TRUE(readRng(Reader, Rng2));
+  EXPECT_TRUE(Reader.atEnd());
+
+  EXPECT_EQ(First, serialize(Restored, Rng2));
+
+  // And the restored distribution is semantically the one serialized.
+  ASSERT_EQ(Restored.size(), R.Terminals.size());
+  for (size_t I = 0; I < Restored.size(); ++I) {
+    EXPECT_TRUE(Restored[I].first == R.Terminals[I].first);
+    EXPECT_TRUE(Restored[I].second == R.Terminals[I].second);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDiffTest,
