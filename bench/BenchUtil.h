@@ -402,6 +402,62 @@ inline void writeSnapshotJson(const char *Path) {
   std::printf("wrote %s (%zu rows)\n", Path, Rows.size());
 }
 
+/// One serve-overhead measurement: the same observed workload with no
+/// introspection server and with one live (bound, threads parked, never
+/// scraped). The pair bounds what `--serve` costs a run nobody scrapes;
+/// the target is under 2% overhead.
+struct ServeRow {
+  std::string Benchmark;
+  double UnservedSeconds = 0;
+  double ServedSeconds = 0;
+};
+
+inline std::vector<ServeRow> &serveRows() {
+  static std::vector<ServeRow> Rows;
+  return Rows;
+}
+
+inline void addServeRow(std::string Benchmark, double UnservedSeconds,
+                        double ServedSeconds) {
+  for (ServeRow &R : serveRows()) {
+    if (R.Benchmark == Benchmark) {
+      R.UnservedSeconds = UnservedSeconds;
+      R.ServedSeconds = ServedSeconds;
+      return;
+    }
+  }
+  serveRows().push_back(
+      {std::move(Benchmark), UnservedSeconds, ServedSeconds});
+}
+
+/// Writes the serve-overhead rows as a JSON array (no-op when the binary
+/// recorded none).
+inline void writeServeJson(const char *Path) {
+  if (serveRows().empty())
+    return;
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "[\n");
+  const std::vector<ServeRow> &Rows = serveRows();
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const ServeRow &R = Rows[I];
+    double Pct = R.UnservedSeconds > 0
+                     ? (R.ServedSeconds / R.UnservedSeconds - 1.0) * 100.0
+                     : 0.0;
+    std::fprintf(F,
+                 "  {\"benchmark\": \"%s\", \"unserved_s\": %.6f, "
+                 "\"served_s\": %.6f, \"overhead_pct\": %.2f}%s\n",
+                 R.Benchmark.c_str(), R.UnservedSeconds, R.ServedSeconds,
+                 Pct, I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  std::printf("wrote %s (%zu rows)\n", Path, Rows.size());
+}
+
 /// Standard main: run the registered benchmarks, then print the table and
 /// write every machine-readable artifact into benchOutDir().
 #define BAYONET_BENCH_MAIN(TITLE)                                            \
@@ -421,6 +477,8 @@ inline void writeSnapshotJson(const char *Path) {
         bayonet::benchutil::outPath("BENCH_obs.json").c_str());             \
     bayonet::benchutil::writeSnapshotJson(                                  \
         bayonet::benchutil::outPath("BENCH_snapshot.json").c_str());        \
+    bayonet::benchutil::writeServeJson(                                     \
+        bayonet::benchutil::outPath("BENCH_serve.json").c_str());           \
     return 0;                                                               \
   }
 

@@ -19,6 +19,8 @@
 ///                [--emit-psi] [--emit-webppl]
 ///                [--stats[=full]] [--dist]
 ///                [--trace-out FILE] [--metrics-out FILE] [--diag-out FILE]
+///                [--trace-format bayonet|chrome] [--serve ADDR:PORT]
+///                [--log-json]
 ///
 /// Exit codes: 0 = answered, 1 = query unsupported by the engine,
 /// 2 = invalid input (usage, parse, check, untranslatable), 3 = budget
@@ -27,6 +29,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Bayonet.h"
+#include "obs/Log.h"
 #include "support/Diag.h"
 #include "support/Snapshot.h"
 #include "support/ThreadPool.h"
@@ -114,6 +117,18 @@ void usage() {
       "diagnostics JSON\n"
       "                                         (per-step ESS, frontier / "
       "merge trajectory)\n"
+      "  --trace-format bayonet|chrome          trace-out renderer (chrome "
+      "loads in Perfetto /\n"
+      "                                         chrome://tracing; default "
+      "bayonet)\n"
+      "  --serve ADDR:PORT                      embedded introspection "
+      "server: /metrics\n"
+      "                                         (Prometheus), /healthz, "
+      "/statusz, /trace?last=N\n"
+      "                                         (port 0 picks one; prints "
+      "'serving: ...' on stderr)\n"
+      "  --log-json                             one JSON object per stderr "
+      "log line\n"
       "  --checkpoint-out FILE                  write durable snapshots of "
       "the run\n"
       "  --checkpoint-every N                   snapshot every N serial "
@@ -129,6 +144,9 @@ void usage() {
       "Tracing/metrics/diagnostics also turn on via BAYONET_TRACE=FILE,\n"
       "BAYONET_METRICS=FILE and BAYONET_DIAG=FILE (flags win over the\n"
       "environment). Diagnostics print degeneracy warnings on stderr.\n"
+      "The introspection server and log framing also turn on via\n"
+      "BAYONET_SERVE=ADDR:PORT, BAYONET_TRACE_FORMAT=bayonet|chrome and\n"
+      "BAYONET_LOG_JSON=1.\n"
       "\n"
       "Budget flags default from BAYONET_DEADLINE_MS, BAYONET_MAX_STATES,\n"
       "BAYONET_MAX_FRONTIER, BAYONET_MAX_MERGES, BAYONET_MAX_BYTES,\n"
@@ -177,6 +195,8 @@ int runMain(int argc, char **argv) {
   bool EmitPsi = false, EmitWebPpl = false, Stats = false, Dist = false;
   bool StatsFull = false;
   std::string TraceFile, MetricsFile, DiagFile;
+  std::string TraceFormatStr, ServeBind;
+  bool LogJson = false;
   std::string CheckpointOut, ResumePath;
   uint64_t CheckpointEvery = 0; // 0 = flag unset (env or default applies).
   std::vector<std::pair<std::string, Rational>> ParamBinds;
@@ -302,9 +322,13 @@ int runMain(int argc, char **argv) {
     } else if (takePath("--trace-out", TraceFile) ||
                takePath("--metrics-out", MetricsFile) ||
                takePath("--diag-out", DiagFile) ||
+               takePath("--trace-format", TraceFormatStr) ||
+               takePath("--serve", ServeBind) ||
                takePath("--checkpoint-out", CheckpointOut) ||
                takePath("--resume", ResumePath)) {
       // Handled by takePath.
+    } else if (Arg == "--log-json") {
+      LogJson = true;
     } else if (Arg == "--checkpoint-every") {
       CheckpointEvery = takeU64("--checkpoint-every");
       if (CheckpointEvery == 0) {
@@ -357,15 +381,52 @@ int runMain(int argc, char **argv) {
     MetricsFile = Env;
   if (const char *Env = std::getenv("BAYONET_DIAG"); Env && DiagFile.empty())
     DiagFile = Env;
+  if (const char *Env = std::getenv("BAYONET_SERVE");
+      Env && ServeBind.empty())
+    ServeBind = Env;
+  if (const char *Env = std::getenv("BAYONET_TRACE_FORMAT");
+      Env && TraceFormatStr.empty())
+    TraceFormatStr = Env;
+  if (const char *Env = std::getenv("BAYONET_LOG_JSON");
+      Env && *Env && std::strcmp(Env, "0") != 0)
+    LogJson = true;
+  setLogJson(LogJson);
+  TraceFormat TraceFmt = TraceFormat::Bayonet;
+  if (!TraceFormatStr.empty() &&
+      !traceFormatFromString(TraceFormatStr, TraceFmt)) {
+    std::fprintf(stderr,
+                 "error: --trace-format expects bayonet or chrome, got "
+                 "'%s'\n",
+                 TraceFormatStr.c_str());
+    return 2;
+  }
+  // --serve needs the trace and metrics sinks live even without output
+  // files: the endpoints render straight off the in-memory registries.
   std::shared_ptr<ObsContext> ObsCtx;
   if (!TraceFile.empty() || !MetricsFile.empty() || !DiagFile.empty() ||
-      StatsFull)
+      StatsFull || !ServeBind.empty())
     ObsCtx = std::make_shared<ObsContext>(
-        /*EnableTrace=*/!TraceFile.empty(),
-        /*EnableMetrics=*/!MetricsFile.empty() || StatsFull,
+        /*EnableTrace=*/!TraceFile.empty() || !ServeBind.empty(),
+        /*EnableMetrics=*/!MetricsFile.empty() || StatsFull ||
+            !ServeBind.empty(),
         /*EnableDiag=*/!DiagFile.empty());
   ObsHandle Obs(ObsCtx);
   IOpts.Obs = ObsCtx;
+
+  // The introspection server mounts the obs context read-only; engines
+  // never see it, so results are identical with it on or off.
+  std::shared_ptr<IntrospectServer> Server;
+  if (!ServeBind.empty()) {
+    Server = std::make_shared<IntrospectServer>(ObsCtx);
+    std::string ServeErr;
+    if (!Server->start(ServeBind, ServeErr)) {
+      reportError("cannot serve on '" + ServeBind + "': " + ServeErr);
+      return 2;
+    }
+    logLine(LogLevel::Info, "serve.start", "serving: " + Server->address(),
+            {{"address", Server->address()},
+             {"port", std::to_string(Server->port())}});
+  }
 
   // Checkpoint/restore: flags win, BAYONET_CHECKPOINT_OUT /
   // BAYONET_CHECKPOINT_EVERY / BAYONET_RESUME fill in what they left
@@ -393,8 +454,14 @@ int runMain(int argc, char **argv) {
   // Writes the requested exporter files; called once all spans are closed.
   // Captures by value so main()'s catch handlers can still flush through
   // GFlushObs after this frame has unwound.
-  auto exportObs = [ObsCtx, TraceFile, MetricsFile, DiagFile,
-                    StatsFull]() -> bool {
+  auto exportObs = [ObsCtx, Server, TraceFile, MetricsFile, DiagFile,
+                    TraceFmt, StatsFull]() -> bool {
+    // Stop serving before touching the exporter files — on every exit
+    // path, including error unwinds through GFlushObs — so no in-flight
+    // scrape races the final renders and the bound port is released
+    // before the process reports its exit status.
+    if (Server)
+      Server->stop();
     if (!ObsCtx)
       return true;
     if (ObsCtx->metrics()) {
@@ -416,7 +483,7 @@ int runMain(int argc, char **argv) {
       return true;
     };
     if (!TraceFile.empty() && ObsCtx->tracer() &&
-        !writeFile(TraceFile, ObsCtx->tracer()->renderChromeJson()))
+        !writeFile(TraceFile, ObsCtx->tracer()->renderJson(TraceFmt)))
       return false;
     if (!MetricsFile.empty() && ObsCtx->metrics() &&
         !writeFile(MetricsFile, ObsCtx->metrics()->renderProm()))
@@ -425,9 +492,11 @@ int runMain(int argc, char **argv) {
       DiagReport DR = ObsCtx->diag()->report();
       if (!writeFile(DiagFile, DR.toJson()))
         return false;
-      // The human-readable degeneracy / blowup warning line(s).
+      // The degeneracy / blowup warning line(s) — the classic human line,
+      // or one JSON object each under --log-json.
       for (const std::string &W : DR.Summary.Warnings)
-        std::fprintf(stderr, "warning: %s\n", W.c_str());
+        logLine(LogLevel::Warn, "diag.warning", W,
+                {{"engine", DR.Summary.Engine}});
     }
     if (StatsFull)
       std::fprintf(stderr, "%s", ObsCtx->renderFullStats().c_str());

@@ -2,6 +2,8 @@
 """Validates the bayonet observability exporter outputs.
 
 Usage: check_obs.py TRACE_JSON METRICS_PROM [DIAG_JSON]
+       check_obs.py --prometheus TARGET
+       check_obs.py --statusz TARGET
 
 Checks that the Chrome-trace file is valid JSON with a well-nested span
 tree covering every pipeline phase, and that the metrics file is parseable
@@ -9,9 +11,19 @@ Prometheus text exposition with sane counter values. When DIAG_JSON is
 given, also validates the --diag-out inference-diagnostics report schema
 and its internal invariants. Exits non-zero with a diagnostic on the
 first violation.
+
+The --prometheus and --statusz modes validate a single live-introspection
+endpoint instead of exporter files; TARGET is either a file path or an
+http:// URL (typically http://127.0.0.1:PORT/metrics served by --serve).
+--prometheus runs the exposition-format checks minus the required-metric
+floor values (a mid-run scrape may precede the first expansion);
+--statusz validates the progress-snapshot schema and prints the serial
+step and publish count so callers can assert forward progress between
+two scrapes.
 """
 import json
 import sys
+import urllib.request
 
 REQUIRED_SPANS = [
     "lex",
@@ -100,25 +112,37 @@ def check_trace(path):
           f"{len(steps)} scheduler rounds)")
 
 
-def check_metrics(path):
-    values = {}
-    with open(path) as f:
-        for ln, line in enumerate(f, 1):
-            line = line.rstrip("\n")
-            if not line or line.startswith("#"):
-                if line.startswith("#") and not (
-                        line.startswith("# HELP ") or
-                        line.startswith("# TYPE ")):
-                    fail(f"{path}:{ln}: bad comment line: {line}")
-                continue
-            parts = line.split()
-            if len(parts) != 2:
-                fail(f"{path}:{ln}: expected 'name value': {line}")
-            try:
-                values[parts[0]] = float(parts[1])
-            except ValueError:
-                fail(f"{path}:{ln}: unparseable value: {line}")
+def read_target(target):
+    """Reads a file path or an http:// URL into text."""
+    if target.startswith("http://") or target.startswith("https://"):
+        with urllib.request.urlopen(target, timeout=10) as resp:
+            return resp.read().decode("utf-8")
+    with open(target) as f:
+        return f.read()
 
+
+def parse_prom(text, label):
+    """Parses Prometheus 0.0.4 text exposition into {sample_name: value}."""
+    values = {}
+    for ln, line in enumerate(text.splitlines(), 1):
+        if not line or line.startswith("#"):
+            if line.startswith("#") and not (
+                    line.startswith("# HELP ") or
+                    line.startswith("# TYPE ")):
+                fail(f"{label}:{ln}: bad comment line: {line}")
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            fail(f"{label}:{ln}: expected 'name value': {line}")
+        try:
+            values[parts[0]] = float(parts[1])
+        except ValueError:
+            fail(f"{label}:{ln}: unparseable value: {line}")
+    return values
+
+
+def check_metrics(path):
+    values = parse_prom(read_target(path), path)
     for want in REQUIRED_METRICS:
         hits = [k for k in values if k == want or k.startswith(want + "_")]
         if not hits:
@@ -235,7 +259,78 @@ def check_diag(path):
           f"{len(doc['warnings'])} warnings)")
 
 
+def check_prometheus(target):
+    """A live /metrics scrape: format-valid, family names known, histograms
+    internally consistent. No floor values — a mid-run scrape may land
+    before the first expansion is charged."""
+    values = parse_prom(read_target(target), target)
+    if not values:
+        fail(f"{target}: empty exposition")
+    for name in values:
+        if not name.startswith("bayonet_"):
+            fail(f"{target}: unexpected metric namespace: {name}")
+    if (values.get("bayonet_merge_hits_total", 0) >
+            values.get("bayonet_merge_attempts_total", 0)):
+        fail(f"{target}: merge hits exceed merge attempts")
+    # Histogram sample triplets agree: +Inf bucket == _count.
+    for name, val in values.items():
+        if name.endswith("_count"):
+            inf = values.get(name[:-len("_count")] + '_bucket{le="+Inf"}')
+            if inf is not None and inf != val:
+                fail(f"{target}: {name} {val} != +Inf bucket {inf}")
+    print(f"check_obs: prometheus OK ({len(values)} samples)")
+
+
+STATUSZ_KEYS = [
+    "engine",
+    "phase",
+    "step",
+    "frontier",
+    "active_particles",
+    "particles",
+    "states_expanded",
+    "sched_steps",
+    "merge_attempts",
+    "merge_hits",
+    "merge_hit_rate",
+    "ess_fraction",
+    "resamples",
+    "txcache_bytes",
+    "checkpoint",
+    "publishes",
+    "published",
+    "uptime_s",
+]
+
+
+def check_statusz(target):
+    doc = json.loads(read_target(target))
+    for key in STATUSZ_KEYS:
+        if key not in doc:
+            fail(f"{target}: statusz missing '{key}'")
+    for key in ("writes", "bytes_total", "age_s"):
+        if key not in doc["checkpoint"]:
+            fail(f"{target}: statusz checkpoint missing '{key}'")
+    if doc["published"] and not doc["engine"]:
+        fail(f"{target}: published board with empty engine tag")
+    if doc["merge_hits"] > doc["merge_attempts"]:
+        fail(f"{target}: merge hits exceed merge attempts")
+    if doc["step"] < 0:
+        fail(f"{target}: negative step {doc['step']}")
+    # step= / publishes= are grepped by callers asserting forward progress
+    # between two scrapes.
+    print(f"check_obs: statusz OK engine={doc['engine'] or '-'} "
+          f"phase={doc['phase'] or '-'} step={doc['step']} "
+          f"publishes={doc['publishes']}")
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--prometheus":
+        check_prometheus(sys.argv[2])
+        return
+    if len(sys.argv) == 3 and sys.argv[1] == "--statusz":
+        check_statusz(sys.argv[2])
+        return
     if len(sys.argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
         sys.exit(2)

@@ -431,6 +431,12 @@ ExactResult ExactEngine::run() const {
   DiagCollector *DC = O.diag();
   if (DC)
     DC->beginEngine("exact");
+  if (ProgressBoard *PB = O.progress()) {
+    ProgressUpdate PU;
+    PU.EngineTag = packTag("exact");
+    PU.PhaseTag = packTag("run");
+    PB->publish(PU);
+  }
   auto setWall = [&] {
     Result.WallMs = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - WallStart)
@@ -1049,12 +1055,41 @@ ExactResult ExactEngine::run() const {
                    {"frontier", std::to_string(D.FrontierOut)}});
       }
     }
+    // Live progress: published at the same serial boundary that charged
+    // the budget, metrics, and diagnostics, so publication order and cost
+    // are thread-count-independent and results are untouched with the
+    // introspection server on or off (docs/IMPLEMENTATION.md §11).
+    if (ProgressBoard *PB = O.progress()) {
+      ProgressUpdate PU;
+      PU.EngineTag = packTag("exact");
+      PU.PhaseTag = packTag("step");
+      PU.Step = Step;
+      PU.Frontier = Next.size();
+      PU.StatesExpanded = Result.ConfigsExpanded;
+      PU.MergeAttempts = Result.MergeAttempts;
+      PU.MergeHits = Result.MergeHits;
+      PU.SchedSteps = static_cast<uint64_t>(Step);
+      PU.TxBytes = Result.TxBytes;
+      PB->publish(PU);
+    }
     Cur = std::move(Next);
   }
   if (O.tracing()) {
     RunSpan.arg("states", static_cast<uint64_t>(Result.ConfigsExpanded));
     RunSpan.arg("peak_frontier",
                 static_cast<uint64_t>(Result.MaxFrontierSize));
+  }
+  if (ProgressBoard *PB = O.progress()) {
+    ProgressUpdate PU;
+    PU.EngineTag = packTag("exact");
+    PU.PhaseTag = packTag("done");
+    PU.Step = Result.StepsUsed;
+    PU.StatesExpanded = Result.ConfigsExpanded;
+    PU.MergeAttempts = Result.MergeAttempts;
+    PU.MergeHits = Result.MergeHits;
+    PU.SchedSteps = static_cast<uint64_t>(Result.StepsUsed);
+    PU.TxBytes = Result.TxBytes;
+    PB->publish(PU);
   }
   if (DC) {
     // Residual mass is what observations discarded: with concrete weights

@@ -145,6 +145,14 @@ SampleResult Sampler::run() const {
     DC->beginEngine(Opts.Mode == SampleOptions::Method::Smc ? "smc"
                                                             : "reject",
                     Opts.Particles);
+  const uint64_t EngineTag = packTag(EngineName.c_str());
+  if (ProgressBoard *PB = O.progress()) {
+    ProgressUpdate PU;
+    PU.EngineTag = EngineTag;
+    PU.PhaseTag = packTag("run");
+    PU.Particles = Opts.Particles;
+    PB->publish(PU);
+  }
 
   // Stream assignment is serial and in particle order: particle I's draws
   // are a pure function of (Seed, I), never of which lane steps it. The
@@ -236,6 +244,8 @@ SampleResult Sampler::run() const {
     }
   };
 
+  uint64_t TotalResamples = 0;
+  uint64_t TotalParticleSteps = 0;
   for (int64_t Step = StartStep; Step < Spec.NumSteps; ++Step) {
     if (CP) {
       // Serial boundary: the population is a pure function of (seed,
@@ -369,11 +379,45 @@ SampleResult Sampler::run() const {
       if (Degenerate)
         O.count(&EngineMetricIds::DegeneracySteps);
     }
+    // Live progress: published at the same serial boundary as the budget,
+    // metric, and diagnostic charges, so publication order and cost are
+    // thread-count-independent and results are untouched with the
+    // introspection server on or off (docs/IMPLEMENTATION.md §11).
+    if (ProgressBoard *PB = O.progress()) {
+      TotalParticleSteps += ObsActive;
+      if (DidResample)
+        ++TotalResamples;
+      ProgressUpdate PU;
+      PU.EngineTag = EngineTag;
+      PU.PhaseTag = packTag("step");
+      PU.Step = Step;
+      PU.Active = Alive;
+      PU.Particles = Opts.Particles;
+      PU.StatesExpanded = TotalParticleSteps;
+      PU.EssFraction =
+          Opts.Particles > 0
+              ? static_cast<double>(Alive) / static_cast<double>(Opts.Particles)
+              : 0.0;
+      PU.Resamples = TotalResamples;
+      PU.SchedSteps = static_cast<uint64_t>(Result.StepsRun);
+      PB->publish(PU);
+    }
     if (!AnyLive)
       break;
   }
   if (O.tracing())
     RunSpan.arg("steps", static_cast<uint64_t>(Result.StepsRun));
+  if (ProgressBoard *PB = O.progress()) {
+    ProgressUpdate PU;
+    PU.EngineTag = EngineTag;
+    PU.PhaseTag = packTag("done");
+    PU.Step = Result.StepsRun;
+    PU.Particles = Opts.Particles;
+    PU.StatesExpanded = TotalParticleSteps;
+    PU.Resamples = TotalResamples;
+    PU.SchedSteps = static_cast<uint64_t>(Result.StepsRun);
+    PB->publish(PU);
+  }
 
   // Aggregate: particles still running at the bound are error particles
   // (assert(terminated()) fails); dead particles are discarded. Runs

@@ -1,0 +1,306 @@
+//===- obs/HttpServer.cpp - Minimal embedded HTTP/1.1 server ---------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/HttpServer.h"
+
+#include <arpa/inet.h>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace bayonet;
+
+namespace {
+
+/// Requests larger than this are rejected outright — introspection GETs
+/// are a few hundred bytes; anything bigger is not one of ours.
+constexpr size_t MaxRequestBytes = 8192;
+/// Handler pool size. Scrapes are cheap reads; two handlers cover a
+/// Prometheus scraper plus a human curling /statusz at the same time.
+constexpr unsigned NumHandlers = 2;
+
+const char *statusText(int Status) {
+  switch (Status) {
+  case 200:
+    return "OK";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 503:
+    return "Service Unavailable";
+  default:
+    return "Error";
+  }
+}
+
+bool sendAll(int Fd, const char *Data, size_t Len) {
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::send(Fd, Data + Off, Len - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::string percentDecode(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] == '%' && I + 2 < S.size() && isxdigit(S[I + 1]) &&
+        isxdigit(S[I + 2])) {
+      char Hex[3] = {S[I + 1], S[I + 2], 0};
+      Out += static_cast<char>(std::strtoul(Hex, nullptr, 16));
+      I += 2;
+    } else if (S[I] == '+') {
+      Out += ' ';
+    } else {
+      Out += S[I];
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+void HttpServer::route(std::string Path, Handler H) {
+  Routes.emplace_back(std::move(Path), std::move(H));
+}
+
+bool HttpServer::start(const std::string &Bind, std::string &Err) {
+  if (Running.load(std::memory_order_acquire)) {
+    Err = "server already running";
+    return false;
+  }
+  // Parse "ADDR:PORT" | ":PORT" | "PORT" (bare digits).
+  std::string Addr = "127.0.0.1";
+  std::string PortStr = Bind;
+  size_t Colon = Bind.rfind(':');
+  if (Colon != std::string::npos) {
+    if (Colon > 0)
+      Addr = Bind.substr(0, Colon);
+    PortStr = Bind.substr(Colon + 1);
+  }
+  if (PortStr.empty() ||
+      PortStr.find_first_not_of("0123456789") != std::string::npos) {
+    Err = "invalid serve address '" + Bind + "' (expected ADDR:PORT)";
+    return false;
+  }
+  unsigned long PortVal = std::strtoul(PortStr.c_str(), nullptr, 10);
+  if (PortVal > 65535) {
+    Err = "invalid serve port '" + PortStr + "'";
+    return false;
+  }
+
+  sockaddr_in Sa;
+  std::memset(&Sa, 0, sizeof(Sa));
+  Sa.sin_family = AF_INET;
+  Sa.sin_port = htons(static_cast<uint16_t>(PortVal));
+  if (::inet_pton(AF_INET, Addr.c_str(), &Sa.sin_addr) != 1) {
+    Err = "invalid serve address '" + Addr + "' (IPv4 only)";
+    return false;
+  }
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Sa), sizeof(Sa)) < 0) {
+    Err = "bind " + Bind + ": " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  if (::listen(Fd, 16) < 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  socklen_t SaLen = sizeof(Sa);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Sa), &SaLen) < 0) {
+    Err = std::string("getsockname: ") + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  ListenFd = Fd;
+  Port = ntohs(Sa.sin_port);
+  char AddrBuf[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &Sa.sin_addr, AddrBuf, sizeof(AddrBuf));
+  Address = std::string(AddrBuf) + ":" + std::to_string(Port);
+
+  Running.store(true, std::memory_order_release);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  for (unsigned I = 0; I < NumHandlers; ++I)
+    Handlers.emplace_back([this] { handlerLoop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!Running.exchange(false, std::memory_order_acq_rel)) {
+    // Not running (or a concurrent stop won the exchange): still join any
+    // threads a racing start left behind — stop() must be a full barrier.
+    if (AcceptThread.joinable())
+      AcceptThread.join();
+    for (std::thread &T : Handlers)
+      if (T.joinable())
+        T.join();
+    Handlers.clear();
+    return;
+  }
+  QueueCv.notify_all();
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  for (std::thread &T : Handlers)
+    if (T.joinable())
+      T.join();
+  Handlers.clear();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  std::lock_guard<std::mutex> Lock(QueueMu);
+  for (int Fd : Pending)
+    ::close(Fd);
+  Pending.clear();
+}
+
+void HttpServer::acceptLoop() {
+  while (Running.load(std::memory_order_acquire)) {
+    pollfd Pfd;
+    Pfd.fd = ListenFd;
+    Pfd.events = POLLIN;
+    Pfd.revents = 0;
+    int N = ::poll(&Pfd, 1, /*timeout ms=*/100);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0 || !(Pfd.revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    timeval Tv;
+    Tv.tv_sec = 2;
+    Tv.tv_usec = 0;
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+    ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      Pending.push_back(Fd);
+    }
+    QueueCv.notify_one();
+  }
+}
+
+void HttpServer::handlerLoop() {
+  for (;;) {
+    int Fd = -1;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      QueueCv.wait(Lock, [this] {
+        return !Pending.empty() || !Running.load(std::memory_order_acquire);
+      });
+      if (Pending.empty())
+        return; // Stopping; leftover fds are closed by stop().
+      Fd = Pending.back();
+      Pending.pop_back();
+    }
+    serveConnection(Fd);
+    ::close(Fd);
+  }
+}
+
+void HttpServer::serveConnection(int Fd) {
+  // Read until the header terminator, the size cap, or a timeout.
+  std::string Buf;
+  char Chunk[1024];
+  while (Buf.size() < MaxRequestBytes &&
+         Buf.find("\r\n\r\n") == std::string::npos &&
+         Buf.find("\n\n") == std::string::npos) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      break;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+
+  HttpResponse Resp;
+  size_t Eol = Buf.find_first_of("\r\n");
+  std::string Line = Eol == std::string::npos ? Buf : Buf.substr(0, Eol);
+  size_t Sp1 = Line.find(' ');
+  size_t Sp2 = Line.find(' ', Sp1 == std::string::npos ? 0 : Sp1 + 1);
+  if (Buf.size() >= MaxRequestBytes) {
+    Resp.Status = 400;
+    Resp.Body = "request too large\n";
+  } else if (Sp1 == std::string::npos || Sp2 == std::string::npos) {
+    Resp.Status = 400;
+    Resp.Body = "malformed request\n";
+  } else if (Line.substr(0, Sp1) != "GET") {
+    Resp.Status = 405;
+    Resp.Body = "only GET is supported\n";
+  } else {
+    HttpRequest Req;
+    std::string Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+    size_t Q = Target.find('?');
+    Req.Path = Target.substr(0, Q);
+    if (Q != std::string::npos) {
+      std::string Qs = Target.substr(Q + 1);
+      size_t Pos = 0;
+      while (Pos <= Qs.size()) {
+        size_t Amp = Qs.find('&', Pos);
+        std::string Pair = Qs.substr(
+            Pos, Amp == std::string::npos ? std::string::npos : Amp - Pos);
+        size_t Eq = Pair.find('=');
+        if (!Pair.empty())
+          Req.Query.emplace_back(
+              percentDecode(Pair.substr(0, Eq)),
+              Eq == std::string::npos ? "" : percentDecode(Pair.substr(Eq + 1)));
+        if (Amp == std::string::npos)
+          break;
+        Pos = Amp + 1;
+      }
+    }
+    const Handler *Found = nullptr;
+    for (const auto &R : Routes)
+      if (R.first == Req.Path) {
+        Found = &R.second;
+        break;
+      }
+    if (!Found) {
+      Resp.Status = 404;
+      Resp.Body = "not found\n";
+    } else {
+      Resp = (*Found)(Req);
+    }
+  }
+
+  std::string Head = "HTTP/1.1 " + std::to_string(Resp.Status) + " " +
+                     statusText(Resp.Status) + "\r\n" +
+                     "Content-Type: " + Resp.ContentType + "\r\n" +
+                     "Content-Length: " + std::to_string(Resp.Body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (sendAll(Fd, Head.data(), Head.size()))
+    sendAll(Fd, Resp.Body.data(), Resp.Body.size());
+}

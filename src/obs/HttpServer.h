@@ -1,0 +1,104 @@
+//===- obs/HttpServer.h - Minimal embedded HTTP/1.1 server ------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free embedded HTTP/1.1 server for live introspection. One
+/// accept thread (poll()-driven so stop() is prompt) feeds a small handler
+/// pool through a bounded queue; requests are size-capped GETs, responses
+/// always `Connection: close`. Nothing here touches inference state — the
+/// server only ever calls the read-side of the obs structures, so running
+/// it cannot perturb results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_OBS_HTTPSERVER_H
+#define BAYONET_OBS_HTTPSERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace bayonet {
+
+/// A parsed GET request: path plus decoded query parameters.
+struct HttpRequest {
+  std::string Path;
+  std::vector<std::pair<std::string, std::string>> Query;
+
+  /// First value of query parameter \p Key, or \p Default.
+  std::string query(const std::string &Key,
+                    const std::string &Default = "") const {
+    for (const auto &KV : Query)
+      if (KV.first == Key)
+        return KV.second;
+    return Default;
+  }
+};
+
+/// Response a route handler fills in. Defaults to 200 text/plain.
+struct HttpResponse {
+  int Status = 200;
+  std::string ContentType = "text/plain; charset=utf-8";
+  std::string Body;
+};
+
+/// Minimal HTTP/1.1 server over POSIX sockets. Route handlers run on the
+/// handler pool; they must be thread-safe with respect to each other and
+/// with the inference run. stop() is idempotent and joins all threads.
+class HttpServer {
+public:
+  using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+  HttpServer() = default;
+  ~HttpServer() { stop(); }
+  HttpServer(const HttpServer &) = delete;
+  HttpServer &operator=(const HttpServer &) = delete;
+
+  /// Registers a handler for an exact path. Must be called before start().
+  void route(std::string Path, Handler H);
+
+  /// Binds and starts serving. \p Bind is "ADDR:PORT", ":PORT", or "PORT"
+  /// (address defaults to 127.0.0.1; port 0 picks an ephemeral port —
+  /// read it back via port()). Returns false with \p Err set on failure.
+  bool start(const std::string &Bind, std::string &Err);
+
+  /// Stops accepting, drains the handler pool, joins all threads. Safe to
+  /// call from a signal-driven shutdown path (not from the handler itself)
+  /// and safe to call more than once.
+  void stop();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+  /// The bound port (meaningful after a successful start()).
+  uint16_t port() const { return Port; }
+  /// "ADDR:PORT" actually bound (meaningful after a successful start()).
+  const std::string &address() const { return Address; }
+
+private:
+  void acceptLoop();
+  void handlerLoop();
+  void serveConnection(int Fd);
+
+  std::vector<std::pair<std::string, Handler>> Routes;
+  std::atomic<bool> Running{false};
+  int ListenFd = -1;
+  uint16_t Port = 0;
+  std::string Address;
+  std::thread AcceptThread;
+  std::vector<std::thread> Handlers;
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::vector<int> Pending;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_OBS_HTTPSERVER_H

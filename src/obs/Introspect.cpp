@@ -1,0 +1,246 @@
+//===- obs/Introspect.cpp - Live introspection server ----------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Introspect.h"
+
+#include "obs/Obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace bayonet;
+
+//===----------------------------------------------------------------------===//
+// ProgressBoard
+//===----------------------------------------------------------------------===//
+
+std::string ProgressBoard::unpackTag(uint64_t V) {
+  std::string Out;
+  for (int I = 0; I < 8; ++I) {
+    char C = static_cast<char>((V >> (8 * I)) & 0xff);
+    if (!C)
+      break;
+    Out += C;
+  }
+  return Out;
+}
+
+bool ProgressBoard::read(ProgressSnapshot &Out) const {
+  uint64_t Words[16];
+  uint64_t S1;
+  for (;;) {
+    S1 = Seq.load(std::memory_order_acquire);
+    if (S1 & 1)
+      continue; // Writer mid-publish; the write is a handful of stores.
+    for (int I = 0; I < 16; ++I)
+      Words[I] = W[I].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (Seq.load(std::memory_order_relaxed) == S1)
+      break;
+  }
+  Out.Engine = unpackTag(Words[0]);
+  Out.Phase = unpackTag(Words[1]);
+  Out.Step = static_cast<int64_t>(Words[2]);
+  Out.Frontier = Words[3];
+  Out.Active = Words[4];
+  Out.Particles = Words[5];
+  Out.StatesExpanded = Words[6];
+  Out.MergeAttempts = Words[7];
+  Out.MergeHits = Words[8];
+  double Ess;
+  __builtin_memcpy(&Ess, &Words[9], sizeof(Ess));
+  Out.EssFraction = Ess;
+  Out.Resamples = Words[10];
+  Out.SchedSteps = Words[11];
+  Out.TxBytes = Words[12];
+  Out.CheckpointWrites = Words[13];
+  Out.CheckpointBytes = Words[14];
+  Out.CheckpointLastMs = Words[15];
+  Out.Publishes = S1 / 2;
+  return S1 != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// IntrospectServer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string jsonStr(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string jsonNum(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+
+} // namespace
+
+IntrospectServer::IntrospectServer(std::shared_ptr<ObsContext> Ctx)
+    : Ctx(std::move(Ctx)) {
+  Server.route("/", [this](const HttpRequest &R) { return handleIndex(R); });
+  Server.route("/metrics",
+               [this](const HttpRequest &R) { return handleMetrics(R); });
+  Server.route("/healthz",
+               [this](const HttpRequest &R) { return handleHealthz(R); });
+  Server.route("/statusz",
+               [this](const HttpRequest &R) { return handleStatusz(R); });
+  Server.route("/trace",
+               [this](const HttpRequest &R) { return handleTrace(R); });
+}
+
+bool IntrospectServer::start(const std::string &Bind, std::string &Err) {
+  if (!Ctx) {
+    Err = "introspection server needs an observability context";
+    return false;
+  }
+  return Server.start(Bind, Err);
+}
+
+HttpResponse IntrospectServer::handleIndex(const HttpRequest &) {
+  HttpResponse Resp;
+  Resp.Body = "bayonet live introspection\n"
+              "  /metrics  Prometheus text exposition (0.0.4)\n"
+              "  /healthz  liveness + readiness JSON\n"
+              "  /statusz  progress snapshot JSON\n"
+              "  /trace    recent completed spans (?last=N)\n";
+  return Resp;
+}
+
+HttpResponse IntrospectServer::handleMetrics(const HttpRequest &) {
+  HttpResponse Resp;
+  MetricsRegistry *Reg = Ctx->metrics();
+  if (!Reg) {
+    Resp.Status = 503;
+    Resp.Body = "metrics disabled for this run\n";
+    return Resp;
+  }
+  // Freshen the checkpoint-age gauge at scrape time: the board carries the
+  // last-write timestamp; the gauge is its age in whole seconds. Only a
+  // scrape mutates this gauge, so unscraped runs keep bit-identical
+  // metric fingerprints with the server on or off.
+  ProgressSnapshot P;
+  ProgressBoard &Board = Ctx->progress();
+  Board.read(P);
+  if (P.CheckpointLastMs)
+    Reg->set(Ctx->ids().CheckpointAge,
+             (Board.nowMs() - P.CheckpointLastMs) / 1000);
+  Resp.ContentType = "text/plain; version=0.0.4; charset=utf-8";
+  Resp.Body = Reg->renderProm();
+  return Resp;
+}
+
+HttpResponse IntrospectServer::handleHealthz(const HttpRequest &) {
+  HttpResponse Resp;
+  Resp.ContentType = "application/json; charset=utf-8";
+  ProgressSnapshot P;
+  ProgressBoard &Board = Ctx->progress();
+  bool Published = Board.read(P);
+  bool BudgetTripped =
+      Ctx->metrics() && Ctx->metrics()->value(Ctx->ids().BudgetTrips) > 0;
+  std::string Body = "{\"status\":";
+  Body += BudgetTripped ? "\"degraded\"" : "\"ok\"";
+  Body += ",\"live\":true";
+  Body += ",\"budget_tripped\":";
+  Body += BudgetTripped ? "true" : "false";
+  Body += ",\"published\":";
+  Body += Published ? "true" : "false";
+  Body += ",\"uptime_s\":" + jsonNum(Board.nowMs() / 1000.0);
+  Body += ",\"checkpoint_age_s\":";
+  if (P.CheckpointLastMs)
+    Body += jsonNum((Board.nowMs() - P.CheckpointLastMs) / 1000.0);
+  else
+    Body += "null";
+  Body += "}\n";
+  Resp.Body = Body;
+  if (BudgetTripped)
+    Resp.Status = 503;
+  return Resp;
+}
+
+HttpResponse IntrospectServer::handleStatusz(const HttpRequest &) {
+  HttpResponse Resp;
+  Resp.ContentType = "application/json; charset=utf-8";
+  ProgressSnapshot P;
+  ProgressBoard &Board = Ctx->progress();
+  bool Published = Board.read(P);
+  std::string Body = "{";
+  Body += "\"engine\":" + jsonStr(P.Engine);
+  Body += ",\"phase\":" + jsonStr(P.Phase);
+  Body += ",\"step\":" + std::to_string(P.Step);
+  Body += ",\"frontier\":" + std::to_string(P.Frontier);
+  Body += ",\"active_particles\":" + std::to_string(P.Active);
+  Body += ",\"particles\":" + std::to_string(P.Particles);
+  Body += ",\"states_expanded\":" + std::to_string(P.StatesExpanded);
+  Body += ",\"sched_steps\":" + std::to_string(P.SchedSteps);
+  Body += ",\"merge_attempts\":" + std::to_string(P.MergeAttempts);
+  Body += ",\"merge_hits\":" + std::to_string(P.MergeHits);
+  Body += ",\"merge_hit_rate\":";
+  Body += P.MergeAttempts
+              ? jsonNum(static_cast<double>(P.MergeHits) /
+                        static_cast<double>(P.MergeAttempts))
+              : "null";
+  Body += ",\"ess_fraction\":";
+  Body += P.EssFraction >= 0 ? jsonNum(P.EssFraction) : "null";
+  Body += ",\"resamples\":" + std::to_string(P.Resamples);
+  Body += ",\"txcache_bytes\":" + std::to_string(P.TxBytes);
+  Body += ",\"checkpoint\":{\"writes\":" + std::to_string(P.CheckpointWrites);
+  Body += ",\"bytes_total\":" + std::to_string(P.CheckpointBytes);
+  Body += ",\"age_s\":";
+  if (P.CheckpointLastMs)
+    Body += jsonNum((Board.nowMs() - P.CheckpointLastMs) / 1000.0);
+  else
+    Body += "null";
+  Body += "}";
+  Body += ",\"publishes\":" + std::to_string(P.Publishes);
+  Body += ",\"published\":";
+  Body += Published ? "true" : "false";
+  Body += ",\"uptime_s\":" + jsonNum(Board.nowMs() / 1000.0);
+  Body += "}\n";
+  Resp.Body = Body;
+  return Resp;
+}
+
+HttpResponse IntrospectServer::handleTrace(const HttpRequest &Req) {
+  HttpResponse Resp;
+  Tracer *T = Ctx->tracer();
+  if (!T) {
+    Resp.Status = 503;
+    Resp.Body = "tracing disabled for this run (pass --trace-out or "
+                "--serve implies metrics only)\n";
+    return Resp;
+  }
+  unsigned long N = 64;
+  std::string Last = Req.query("last");
+  if (!Last.empty()) {
+    char *End = nullptr;
+    N = std::strtoul(Last.c_str(), &End, 10);
+    if (!End || *End || N == 0) {
+      Resp.Status = 400;
+      Resp.Body = "invalid ?last=N (want a positive integer)\n";
+      return Resp;
+    }
+  }
+  Resp.ContentType = "application/json; charset=utf-8";
+  Resp.Body = T->renderRecentJson(static_cast<size_t>(N));
+  return Resp;
+}

@@ -1,0 +1,192 @@
+//===- obs/Introspect.h - Live introspection server -------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Live run introspection. A ProgressBoard is a seqlock-published POD
+/// snapshot of where the run is — engine, phase, serial step, frontier
+/// size, ESS, spend counters — written by the engines at their existing
+/// serial step/statement boundaries (the same sites that charge
+/// BudgetTracker), so publication cost is deterministic and publication
+/// order is thread-count-independent. The IntrospectServer mounts the
+/// board, the MetricsRegistry, and the Tracer behind an embedded HTTP
+/// server: `/metrics` (Prometheus 0.0.4), `/healthz`, `/statusz` (JSON),
+/// and `/trace?last=N` (recent completed spans).
+///
+/// Single-writer contract: the board is written only from the serial
+/// orchestration thread (engines run sequentially, and the Checkpointer's
+/// write notes happen inside the engines' serial boundaries). Readers —
+/// HTTP handler threads — retry the seqlock until they see a stable even
+/// sequence. Every word is a relaxed atomic, so the protocol is
+/// data-race-free under TSan, and a reader can never block the writer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_OBS_INTROSPECT_H
+#define BAYONET_OBS_INTROSPECT_H
+
+#include "obs/HttpServer.h"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace bayonet {
+
+class ObsContext;
+
+/// What an engine publishes at a serial boundary. Plain integers and two
+/// 8-char packed tags — building one allocates nothing.
+struct ProgressUpdate {
+  uint64_t EngineTag = 0; ///< packTag("exact") etc.
+  uint64_t PhaseTag = 0;  ///< packTag("step"), packTag("run"), ...
+  int64_t Step = 0;       ///< Serial step / statement / chunk index.
+  uint64_t Frontier = 0;  ///< Exact: live frontier size.
+  uint64_t Active = 0;    ///< Samplers: particles still alive.
+  uint64_t Particles = 0; ///< Samplers: population size.
+  uint64_t StatesExpanded = 0;
+  uint64_t MergeAttempts = 0;
+  uint64_t MergeHits = 0;
+  double EssFraction = -1; ///< Latest ESS / population; -1 = none yet.
+  uint64_t Resamples = 0;
+  uint64_t SchedSteps = 0;
+  uint64_t TxBytes = 0; ///< Retained transition-cache bytes.
+};
+
+/// Decoded read-side view of the board.
+struct ProgressSnapshot {
+  std::string Engine; ///< "" until the first publish.
+  std::string Phase;
+  int64_t Step = 0;
+  uint64_t Frontier = 0;
+  uint64_t Active = 0;
+  uint64_t Particles = 0;
+  uint64_t StatesExpanded = 0;
+  uint64_t MergeAttempts = 0;
+  uint64_t MergeHits = 0;
+  double EssFraction = -1;
+  uint64_t Resamples = 0;
+  uint64_t SchedSteps = 0;
+  uint64_t TxBytes = 0;
+  uint64_t CheckpointWrites = 0;
+  uint64_t CheckpointBytes = 0;
+  uint64_t CheckpointLastMs = 0; ///< Board-epoch ms of last write; 0 = never.
+  uint64_t Publishes = 0;        ///< Total successful publish() calls.
+};
+
+/// Packs up to 8 chars of \p S into a u64 (little-endian, NUL-padded) so a
+/// tag compare/store is one word. Longer names are truncated.
+constexpr uint64_t packTag(const char *S) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8 && S[I]; ++I)
+    V |= static_cast<uint64_t>(static_cast<unsigned char>(S[I])) << (8 * I);
+  return V;
+}
+
+/// Seqlock-published progress snapshot. One writer (the serial
+/// orchestration thread), any number of lock-free readers.
+class ProgressBoard {
+public:
+  ProgressBoard() : EpochTp(std::chrono::steady_clock::now()) {}
+  ProgressBoard(const ProgressBoard &) = delete;
+  ProgressBoard &operator=(const ProgressBoard &) = delete;
+
+  /// Publishes a full update (writer thread only). Checkpoint words are
+  /// owned by noteCheckpointWrite and survive publishes.
+  void publish(const ProgressUpdate &U) {
+    uint64_t S = Seq.load(std::memory_order_relaxed);
+    Seq.store(S + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    W[0].store(U.EngineTag, std::memory_order_relaxed);
+    W[1].store(U.PhaseTag, std::memory_order_relaxed);
+    W[2].store(static_cast<uint64_t>(U.Step), std::memory_order_relaxed);
+    W[3].store(U.Frontier, std::memory_order_relaxed);
+    W[4].store(U.Active, std::memory_order_relaxed);
+    W[5].store(U.Particles, std::memory_order_relaxed);
+    W[6].store(U.StatesExpanded, std::memory_order_relaxed);
+    W[7].store(U.MergeAttempts, std::memory_order_relaxed);
+    W[8].store(U.MergeHits, std::memory_order_relaxed);
+    uint64_t EssBits;
+    static_assert(sizeof(EssBits) == sizeof(U.EssFraction), "bitcast");
+    __builtin_memcpy(&EssBits, &U.EssFraction, sizeof(EssBits));
+    W[9].store(EssBits, std::memory_order_relaxed);
+    W[10].store(U.Resamples, std::memory_order_relaxed);
+    W[11].store(U.SchedSteps, std::memory_order_relaxed);
+    W[12].store(U.TxBytes, std::memory_order_relaxed);
+    Seq.store(S + 2, std::memory_order_release);
+  }
+
+  /// Records one durable snapshot write (writer thread only — called from
+  /// the Checkpointer inside an engine's serial boundary).
+  void noteCheckpointWrite(uint64_t Bytes) {
+    uint64_t S = Seq.load(std::memory_order_relaxed);
+    Seq.store(S + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    W[13].store(W[13].load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+    W[14].store(W[14].load(std::memory_order_relaxed) + Bytes,
+                std::memory_order_relaxed);
+    W[15].store(nowMs(), std::memory_order_relaxed);
+    Seq.store(S + 2, std::memory_order_release);
+  }
+
+  /// Reads a consistent snapshot (any thread). Returns false when nothing
+  /// has ever been published (snapshot is still filled with zeros).
+  bool read(ProgressSnapshot &Out) const;
+
+  /// Milliseconds since the board was constructed (steady clock).
+  uint64_t nowMs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - EpochTp)
+            .count());
+  }
+
+private:
+  static std::string unpackTag(uint64_t V);
+
+  std::atomic<uint64_t> Seq{0};
+  std::array<std::atomic<uint64_t>, 16> W{};
+  std::chrono::steady_clock::time_point EpochTp;
+};
+
+/// The live introspection server: binds an HttpServer to an ObsContext and
+/// serves `/metrics`, `/healthz`, `/statusz`, `/trace`, and `/`. Owns no
+/// inference state; all handlers are read-only over the obs structures.
+class IntrospectServer {
+public:
+  explicit IntrospectServer(std::shared_ptr<ObsContext> Ctx);
+  ~IntrospectServer() { stop(); }
+
+  /// Starts serving on \p Bind ("ADDR:PORT", ":PORT", or "PORT"; port 0
+  /// picks an ephemeral port). Returns false with \p Err set on failure.
+  bool start(const std::string &Bind, std::string &Err);
+
+  /// Stops the server and joins its threads. Idempotent. Call this BEFORE
+  /// flushing exporter files on any exit path, so no scrape observes a
+  /// half-written registry render.
+  void stop() { Server.stop(); }
+
+  bool running() const { return Server.running(); }
+  uint16_t port() const { return Server.port(); }
+  const std::string &address() const { return Server.address(); }
+
+private:
+  HttpResponse handleMetrics(const HttpRequest &Req);
+  HttpResponse handleHealthz(const HttpRequest &Req);
+  HttpResponse handleStatusz(const HttpRequest &Req);
+  HttpResponse handleTrace(const HttpRequest &Req);
+  HttpResponse handleIndex(const HttpRequest &Req);
+
+  std::shared_ptr<ObsContext> Ctx;
+  HttpServer Server;
+};
+
+} // namespace bayonet
+
+#endif // BAYONET_OBS_INTROSPECT_H

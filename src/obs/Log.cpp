@@ -1,0 +1,105 @@
+//===- obs/Log.cpp - Structured stderr logging -----------------------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Log.h"
+
+#include <atomic>
+#include <cstdio>
+
+using namespace bayonet;
+
+namespace {
+
+std::atomic<bool> JsonMode{false};
+
+const char *levelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  }
+  return "info";
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+void bayonet::setLogJson(bool Enable) {
+  JsonMode.store(Enable, std::memory_order_relaxed);
+}
+
+bool bayonet::logJsonEnabled() {
+  return JsonMode.load(std::memory_order_relaxed);
+}
+
+std::string bayonet::formatLogLine(
+    LogLevel Level, const std::string &Event, const std::string &Message,
+    const std::vector<std::pair<std::string, std::string>> &Fields) {
+  if (!logJsonEnabled()) {
+    // Human mode reproduces the CLI's historical lines byte for byte:
+    // warnings have always been "warning: <msg>".
+    switch (Level) {
+    case LogLevel::Warn:
+      return "warning: " + Message;
+    case LogLevel::Error:
+      return "error: " + Message;
+    case LogLevel::Info:
+      break;
+    }
+    return Message;
+  }
+  std::string Out = "{\"level\":\"";
+  Out += levelName(Level);
+  Out += "\",\"event\":\"" + jsonEscape(Event) + "\",\"fields\":{";
+  bool First = true;
+  for (const auto &F : Fields) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + jsonEscape(F.first) + "\":\"" + jsonEscape(F.second) + "\"";
+  }
+  Out += "},\"message\":\"" + jsonEscape(Message) + "\"}";
+  return Out;
+}
+
+void bayonet::logLine(
+    LogLevel Level, const std::string &Event, const std::string &Message,
+    const std::vector<std::pair<std::string, std::string>> &Fields) {
+  std::string Line = formatLogLine(Level, Event, Message, Fields);
+  std::fprintf(stderr, "%s\n", Line.c_str());
+}

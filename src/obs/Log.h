@@ -1,0 +1,51 @@
+//===- obs/Log.h - Structured stderr logging --------------------*- C++ -*-===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny structured-log helper for the CLI's stderr diagnostics. In the
+/// default (human) mode each call prints exactly the line the CLI always
+/// printed (`warning: ...`, `serving: ...`); with JSON mode enabled
+/// (`--log-json` / BAYONET_LOG_JSON) the same call emits one machine-
+/// parseable JSON object per line: `{"level":...,"event":...,"fields":
+/// {...},"message":...}`. One line per call either way, always to stderr,
+/// so log scrapers in a service deployment get stable framing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAYONET_OBS_LOG_H
+#define BAYONET_OBS_LOG_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bayonet {
+
+enum class LogLevel { Info, Warn, Error };
+
+/// Switches stderr logging to one-JSON-object-per-line mode.
+void setLogJson(bool Enable);
+bool logJsonEnabled();
+
+/// Emits one log line to stderr. \p Event is a stable machine name
+/// ("diag.ess", "serve.start"); \p Message is the human line (printed
+/// verbatim after the level prefix in human mode); \p Fields are extra
+/// key/values carried only in JSON mode.
+void logLine(LogLevel Level, const std::string &Event,
+             const std::string &Message,
+             const std::vector<std::pair<std::string, std::string>> &Fields =
+                 {});
+
+/// Formats (but does not print) the line logLine would emit — the JSON
+/// object or the prefixed human line, without the trailing newline.
+/// Exposed for tests.
+std::string formatLogLine(
+    LogLevel Level, const std::string &Event, const std::string &Message,
+    const std::vector<std::pair<std::string, std::string>> &Fields = {});
+
+} // namespace bayonet
+
+#endif // BAYONET_OBS_LOG_H

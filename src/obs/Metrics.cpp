@@ -223,10 +223,30 @@ bool MetricsRegistry::restoreFrom(SnapReader &R) {
   return R.ok();
 }
 
+namespace {
+
+/// Prometheus text exposition 0.0.4: in HELP text, backslash and newline
+/// must be escaped as `\\` and `\n`.
+std::string escapeHelp(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
 std::string MetricsRegistry::renderProm() const {
   std::string Out;
   for (const MetricValue &V : snapshot()) {
-    Out += "# HELP " + V.Name + " " + V.Help + "\n";
+    Out += "# HELP " + V.Name + " " + escapeHelp(V.Help) + "\n";
     Out += "# TYPE " + V.Name + " ";
     switch (V.Kind) {
     case MetricKind::Counter:

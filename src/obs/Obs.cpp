@@ -76,6 +76,15 @@ ObsContext::ObsContext(bool EnableTrace, bool EnableMetrics,
       "Transition-cache entries evicted by the FIFO byte cap");
   Ids.TxCacheBytes = Reg->gauge("bayonet_txcache_bytes",
                                 "Peak retained transition-cache bytes");
+  Ids.CheckpointWrites = Reg->counter(
+      "bayonet_checkpoint_writes_total",
+      "Durable snapshots written by the Checkpointer");
+  Ids.CheckpointBytes = Reg->counter(
+      "bayonet_checkpoint_bytes_total",
+      "Total snapshot bytes written by the Checkpointer");
+  Ids.CheckpointAge = Reg->gauge(
+      "bayonet_checkpoint_age_seconds",
+      "Seconds since the last snapshot write (freshened at scrape time)");
 }
 
 std::string ObsContext::renderFullStats() const {

@@ -19,6 +19,7 @@
 #define BAYONET_OBS_OBS_H
 
 #include "obs/Diagnostics.h"
+#include "obs/Introspect.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -50,6 +51,10 @@ struct EngineMetricIds {
   MetricId TxCacheMisses;   ///< Counter: transition-cache expansion misses.
   MetricId TxCacheEvictions; ///< Counter: transition-cache FIFO evictions.
   MetricId TxCacheBytes;    ///< Gauge (max): retained transition-cache bytes.
+  MetricId CheckpointWrites; ///< Counter: durable snapshots written.
+  MetricId CheckpointBytes; ///< Counter: total snapshot bytes written.
+  MetricId CheckpointAge;   ///< Gauge: seconds since the last snapshot
+                            ///< write (freshened at /metrics scrape time).
 };
 
 /// Owns the observability state for one run: an optional tracer, an
@@ -66,6 +71,11 @@ public:
   const DiagCollector *diag() const { return Diag.get(); }
   const EngineMetricIds &ids() const { return Ids; }
 
+  /// The live progress board. Always present (it is a fixed block of
+  /// atomics) so publication never needs a null check beyond the handle's.
+  ProgressBoard &progress() { return Board; }
+  const ProgressBoard &progress() const { return Board; }
+
   /// Enriched human-readable stats table (the `--stats=full` view):
   /// every registered metric with its aggregated value, histograms with
   /// count/sum/buckets.
@@ -76,6 +86,7 @@ private:
   std::unique_ptr<MetricsRegistry> Reg;
   std::unique_ptr<DiagCollector> Diag;
   EngineMetricIds Ids;
+  ProgressBoard Board;
 };
 
 /// Cheap value-type handle the engines thread through their hot paths. A
@@ -130,6 +141,12 @@ public:
   /// The diagnostics collector, or null when diagnostics are off. Engines
   /// only touch it at serial checkpoint boundaries.
   DiagCollector *diag() const { return Ctx ? Ctx->diag() : nullptr; }
+
+  /// The live progress board, or null without a context. Engines publish
+  /// to it at the same serial boundaries that charge BudgetTracker, so
+  /// publication cost (a dozen relaxed stores) is thread-count-independent
+  /// and can never perturb results.
+  ProgressBoard *progress() const { return Ctx ? &Ctx->progress() : nullptr; }
 
 private:
   ObsContext *Ctx = nullptr;

@@ -47,6 +47,18 @@ std::string jsonEscape(const std::string &S) {
 
 } // namespace
 
+bool bayonet::traceFormatFromString(const std::string &S, TraceFormat &Out) {
+  if (S == "bayonet") {
+    Out = TraceFormat::Bayonet;
+    return true;
+  }
+  if (S == "chrome") {
+    Out = TraceFormat::Chrome;
+    return true;
+  }
+  return false;
+}
+
 //===----------------------------------------------------------------------===//
 // Span
 //===----------------------------------------------------------------------===//
@@ -117,6 +129,17 @@ void Tracer::endSpan(size_t Index, uint64_t Id) {
   auto It = std::find(OpenStack.rbegin(), OpenStack.rend(), Id);
   if (It != OpenStack.rend())
     OpenStack.erase(std::next(It).base());
+  recentPush(Index);
+}
+
+void Tracer::recentPush(size_t Index) {
+  // Caller holds Mu.
+  if (Recent.size() < RecentCap) {
+    Recent.push_back(Index);
+  } else {
+    Recent[RecentStart] = Index;
+    RecentStart = (RecentStart + 1) % RecentCap;
+  }
 }
 
 void Tracer::spanArg(size_t Index, std::string Key, std::string Value) {
@@ -190,6 +213,8 @@ bool Tracer::restoreFrom(SnapReader &R) {
   AdoptQueue.clear();
   AdoptNext = 0;
   NextId = 1;
+  Recent.clear();
+  RecentStart = 0;
   uint64_t N = R.count();
   Events.reserve(N);
   for (uint64_t I = 0; I < N && R.ok(); ++I) {
@@ -232,30 +257,80 @@ bool Tracer::restoreFrom(SnapReader &R) {
         AdoptQueue.push_back(I);
         break;
       }
+  // Rebuild the recent-completion ring. The snapshot doesn't record
+  // completion order, so begin order stands in — deterministic, and the
+  // ring converges back to true completion order as the resumed run
+  // closes spans.
+  for (size_t I = 0; I < Events.size(); ++I)
+    if (Events[I].Phase == 'X' && !Events[I].Open)
+      recentPush(I);
   return true;
 }
 
-std::string Tracer::renderChromeJson() const {
+void Tracer::appendEventJson(std::string &Out, const Event &E,
+                             TraceFormat F) const {
+  Out += "{\"name\":\"" + jsonEscape(E.Name) + "\",";
+  if (F == TraceFormat::Chrome) {
+    // Category from the span-name prefix ("exact.step" -> "exact") so
+    // Perfetto can filter by subsystem.
+    size_t Dot = E.Name.find('.');
+    Out += "\"cat\":\"" +
+           jsonEscape(Dot == std::string::npos ? E.Name
+                                               : E.Name.substr(0, Dot)) +
+           "\",";
+  }
+  Out += "\"ph\":\"";
+  Out += E.Phase;
+  Out += "\",\"pid\":1,\"tid\":1,\"ts\":" + std::to_string(E.TsUs);
+  if (E.Phase == 'X')
+    Out += ",\"dur\":" + std::to_string(E.DurUs);
+  if (E.Phase == 'i')
+    Out += ",\"s\":\"t\"";
+  Out += ",\"args\":{\"span_id\":" + std::to_string(E.Id) +
+         ",\"parent_id\":" + std::to_string(E.ParentId) + "";
+  for (const auto &A : E.Args)
+    Out += ",\"" + jsonEscape(A.first) + "\":\"" + jsonEscape(A.second) +
+           "\"";
+  Out += "}}";
+}
+
+std::string Tracer::renderJson(TraceFormat F) const {
   std::lock_guard<std::mutex> Lock(Mu);
   std::string Out = "{\"traceEvents\":[\n";
   bool First = true;
+  if (F == TraceFormat::Chrome) {
+    // Standard Trace Event metadata: name the process and the single
+    // orchestrator lane. Spans only open at serial orchestration points
+    // (the determinism contract), so every span lives on tid 1; worker
+    // lanes never own spans and need no tid of their own.
+    Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+           "\"args\":{\"name\":\"bayonet\"}},\n";
+    Out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+           "\"args\":{\"name\":\"orchestrator\"}}";
+    First = false;
+  }
   for (const Event &E : Events) {
     if (!First)
       Out += ",\n";
     First = false;
-    Out += "{\"name\":\"" + jsonEscape(E.Name) + "\",\"ph\":\"";
-    Out += E.Phase;
-    Out += "\",\"pid\":1,\"tid\":1,\"ts\":" + std::to_string(E.TsUs);
-    if (E.Phase == 'X')
-      Out += ",\"dur\":" + std::to_string(E.DurUs);
-    if (E.Phase == 'i')
-      Out += ",\"s\":\"t\"";
-    Out += ",\"args\":{\"span_id\":" + std::to_string(E.Id) +
-           ",\"parent_id\":" + std::to_string(E.ParentId) + "";
-    for (const auto &A : E.Args)
-      Out += ",\"" + jsonEscape(A.first) + "\":\"" + jsonEscape(A.second) +
-             "\"";
-    Out += "}}";
+    appendEventJson(Out, E, F);
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::string Tracer::renderRecentJson(size_t LastN) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t Have = Recent.size();
+  size_t N = std::min(LastN, Have);
+  std::string Out = "{\"traceEvents\":[\n";
+  // Recent is a ring: RecentStart is the oldest entry once the ring is
+  // full. Emit the last N completions, oldest of those first.
+  for (size_t I = 0; I < N; ++I) {
+    size_t Pos = (RecentStart + (Have - N) + I) % Have;
+    if (I)
+      Out += ",\n";
+    appendEventJson(Out, Events[Recent[Pos]], TraceFormat::Bayonet);
   }
   Out += "\n]}\n";
   return Out;

@@ -121,6 +121,12 @@ public:
     Span RunSpan = O.span("psi.run");
     if (DiagCollector *DC = O.diag())
       DC->beginEngine("psi");
+    if (ProgressBoard *PB = O.progress()) {
+      ProgressUpdate PU;
+      PU.EngineTag = packTag("psi");
+      PU.PhaseTag = packTag("run");
+      PB->publish(PU);
+    }
     Dist D;
     size_t StartIdx = 0;
     bool Resumed = false;
@@ -246,6 +252,10 @@ private:
   unsigned Depth = 0;
   /// Top-level statements completed (the diagnostics round index).
   int64_t DiagStmt = 0;
+  /// Top-level statements completed this process (the live progress step;
+  /// unlike DiagStmt it is not restored from snapshots — the board only
+  /// describes the running process).
+  int64_t BoardStmt = 0;
   bool Aborted = false;
 
   /// Boundary snapshot of the reported statistics: a mid-statement stop
@@ -581,6 +591,21 @@ private:
                   {{"step", std::to_string(RD.Step)},
                    {"frontier", std::to_string(RD.FrontierOut)}});
       }
+    }
+    // Live progress: published at the same serial statement boundary as
+    // the budget, metric, and diagnostic charges (IMPLEMENTATION.md §11).
+    if (ProgressBoard *PB = O.progress()) {
+      ++BoardStmt;
+      ProgressUpdate PU;
+      PU.EngineTag = packTag("psi");
+      PU.PhaseTag = packTag("stmt");
+      PU.Step = BoardStmt - 1;
+      PU.Frontier = D.size();
+      PU.StatesExpanded = Result.BranchesExpanded;
+      PU.MergeAttempts = Result.MergeAttempts;
+      PU.MergeHits = Result.MergeHits;
+      PU.SchedSteps = static_cast<uint64_t>(BoardStmt);
+      PB->publish(PU);
     }
   }
 

@@ -348,6 +348,13 @@ PsiSampleResult PsiSampler::run() const {
   Span RunSpan = OH.span("psi_smc.run");
   if (DiagCollector *DC = OH.diag())
     DC->beginEngine("psi-smc", Opts.Particles);
+  if (ProgressBoard *PB = OH.progress()) {
+    ProgressUpdate PU;
+    PU.EngineTag = packTag("psi-smc");
+    PU.PhaseTag = packTag("run");
+    PU.Particles = Opts.Particles;
+    PB->publish(PU);
+  }
 
   // Per-particle outcome, aggregated serially afterwards (double addition
   // is not associative; summing in particle order keeps the estimate
@@ -491,6 +498,18 @@ PsiSampleResult PsiSampler::run() const {
                          SerializeState);
         break;
       }
+      // Live progress: the chunk boundary is this engine's serial point
+      // (the same site the Checkpointer writes at).
+      if (ProgressBoard *PB = OH.progress()) {
+        ProgressUpdate PU;
+        PU.EngineTag = packTag("psi-smc");
+        PU.PhaseTag = packTag("chunk");
+        PU.Step = static_cast<int64_t>(Lo / ChunkSize);
+        PU.Active = Lo;
+        PU.Particles = Effective;
+        PU.StatesExpanded = Lo;
+        PB->publish(PU);
+      }
       runRange(Lo, std::min(Outs.size(), Lo + ChunkSize));
     }
   }
@@ -571,6 +590,19 @@ PsiSampleResult PsiSampler::run() const {
                                      {"fraction", Frac}});
     }
     DC->finishSampler(Result.Survivors);
+  }
+  if (ProgressBoard *PB = OH.progress()) {
+    ProgressUpdate PU;
+    PU.EngineTag = packTag("psi-smc");
+    PU.PhaseTag = packTag("done");
+    PU.Active = Result.Survivors;
+    PU.Particles = Effective;
+    PU.StatesExpanded = Result.ParticlesRun;
+    PU.EssFraction = Result.ParticlesRun
+                         ? static_cast<double>(Result.Survivors) /
+                               static_cast<double>(Result.ParticlesRun)
+                         : -1.0;
+    PB->publish(PU);
   }
   if (BT)
     Result.Status = BT->status();

@@ -619,6 +619,19 @@ void Checkpointer::restoreCommon(BudgetTracker *BT, ObsContext *Obs) {
       return;
     }
   }
+  // The restore span is recorded (completed) before the trace section is
+  // applied below. When the snapshot carries a trace, restoreFrom replaces
+  // the log wholesale — keeping a resumed run's trace bit-identical to a
+  // straight run's — and this span goes with it; when the crashed run had
+  // no tracer, the span survives to describe the restore itself.
+  {
+    ObsHandle OH(Obs);
+    Span RestoreSpan = OH.span("snapshot.restore");
+    if (OH.tracing()) {
+      RestoreSpan.arg("path", Loaded);
+      RestoreSpan.arg("bytes", static_cast<uint64_t>(Payload.size()));
+    }
+  }
   SnapReader R(Payload);
   ResumeEngine = R.str();
   ResumeSpecFp = R.u64();
@@ -702,7 +715,7 @@ SnapReader *Checkpointer::beginEngine(const std::string &Engine,
 
 void Checkpointer::maybeWrite(
     const std::string &Engine, uint64_t SpecFp, uint64_t OptsFp,
-    const BudgetTracker *BT, const ObsContext *Obs,
+    const BudgetTracker *BT, ObsContext *Obs,
     const std::function<void(SnapWriter &)> &Payload) {
   uint64_t Every = Opts.Every ? Opts.Every : 1;
   if (BoundaryIdx % Every == 0)
@@ -712,7 +725,7 @@ void Checkpointer::maybeWrite(
 
 void Checkpointer::writeFinal(
     const std::string &Engine, uint64_t SpecFp, uint64_t OptsFp,
-    const BudgetTracker *BT, const ObsContext *Obs,
+    const BudgetTracker *BT, ObsContext *Obs,
     const std::function<void(SnapWriter &)> &Payload,
     const BoundaryMark *Mark) {
   writeNow(Engine, SpecFp, OptsFp, BT, Obs, Payload, Mark);
@@ -720,7 +733,7 @@ void Checkpointer::writeFinal(
 
 void Checkpointer::writeNow(const std::string &Engine, uint64_t SpecFp,
                             uint64_t OptsFp, const BudgetTracker *BT,
-                            const ObsContext *Obs,
+                            ObsContext *Obs,
                             const std::function<void(SnapWriter &)> &Payload,
                             const BoundaryMark *Mark) {
   if (Opts.OutPath.empty() || CrashedFlag)
@@ -787,6 +800,22 @@ void Checkpointer::writeNow(const std::string &Engine, uint64_t SpecFp,
   if (TornAtWrite == Ordinal)
     File.resize(SnapHeaderSize + P.size() / 2);
 
+  // Write obs is charged only after the payload above was serialized, so
+  // write N's span and counters are never captured inside snapshot N: the
+  // restored log carries exactly writes 1..N-1 and the re-executed
+  // boundary re-charges write N, keeping straight and resumed runs with
+  // the same checkpoint config bit-identical.
+  // The span is tagged with the boundary index, not the write ordinal:
+  // the ordinal restarts with the process (it drives fault injection),
+  // while the boundary counter is rewound on resume, so the re-executed
+  // write reproduces the same arg.
+  ObsHandle OH(Obs);
+  Span WriteSpan = OH.span("snapshot.write");
+  if (OH.tracing()) {
+    WriteSpan.arg("boundary", BoundaryIdx);
+    WriteSpan.arg("bytes", static_cast<uint64_t>(File.size()));
+  }
+
   // Atomic write: tmp + fsync, rotate the previous snapshot, rename into
   // place. Readers therefore always see either the old or the new file.
   std::string Tmp = Opts.OutPath + ".tmp";
@@ -805,6 +834,11 @@ void Checkpointer::writeNow(const std::string &Engine, uint64_t SpecFp,
     std::rename(Opts.OutPath.c_str(), (Opts.OutPath + ".prev").c_str());
     std::rename(Tmp.c_str(), Opts.OutPath.c_str());
   }
+  WriteSpan.end();
+  OH.count(&EngineMetricIds::CheckpointWrites);
+  OH.count(&EngineMetricIds::CheckpointBytes, File.size());
+  if (Obs)
+    Obs->progress().noteCheckpointWrite(File.size());
   ++WritesDone;
   if (CrashAtWrite && WritesDone == CrashAtWrite) {
     if (Opts.HardExit)

@@ -367,7 +367,7 @@ public:
   /// applies any armed write faults. \p Payload serializes the engine
   /// state as of this boundary.
   void maybeWrite(const std::string &Engine, uint64_t SpecFp, uint64_t OptsFp,
-                  const BudgetTracker *BT, const ObsContext *Obs,
+                  const BudgetTracker *BT, ObsContext *Obs,
                   const std::function<void(SnapWriter &)> &Payload);
 
   /// Unconditional write (graceful shutdown). \p Mark, when valid,
@@ -375,7 +375,7 @@ public:
   /// the boundary, so a final written from a mid-step stop still describes
   /// the last completed boundary exactly.
   void writeFinal(const std::string &Engine, uint64_t SpecFp, uint64_t OptsFp,
-                  const BudgetTracker *BT, const ObsContext *Obs,
+                  const BudgetTracker *BT, ObsContext *Obs,
                   const std::function<void(SnapWriter &)> &Payload,
                   const BoundaryMark *Mark = nullptr);
 
@@ -394,7 +394,7 @@ public:
 
 private:
   void writeNow(const std::string &Engine, uint64_t SpecFp, uint64_t OptsFp,
-                const BudgetTracker *BT, const ObsContext *Obs,
+                const BudgetTracker *BT, ObsContext *Obs,
                 const std::function<void(SnapWriter &)> &Payload,
                 const BoundaryMark *Mark);
   bool loadFile(const std::string &Path, std::string &PayloadOut,

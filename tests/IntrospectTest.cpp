@@ -1,0 +1,330 @@
+//===- tests/IntrospectTest.cpp - Live introspection server ---------------===//
+//
+// Part of the Bayonet reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Live introspection tests: the seqlock ProgressBoard round-trips
+/// publishes, the embedded HTTP server routes and rejects requests
+/// correctly, the /metrics, /healthz, /statusz, and /trace endpoints
+/// render live obs state, and — the headline guarantee — posteriors,
+/// metric fingerprints, trace shape, and diagnostics are bit-identical
+/// at 1 / 2 / 8 worker threads with the server running or absent.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Bayonet.h"
+#include "obs/Introspect.h"
+#include "scenarios/Scenarios.h"
+
+#include "TestNetworks.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <regex>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace bayonet;
+
+namespace {
+
+LoadedNetwork load(const std::string &Src) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(Src, Diags);
+  EXPECT_TRUE(Net.has_value()) << Diags.toString();
+  return std::move(*Net);
+}
+
+/// Minimal blocking HTTP/1.1 client: one request, reads to EOF (the
+/// server always answers Connection: close).
+struct HttpReply {
+  int Status = 0;
+  std::string ContentType;
+  std::string Body;
+  std::string Raw;
+};
+
+HttpReply httpGet(uint16_t Port, const std::string &Target,
+                  const std::string &Method = "GET") {
+  HttpReply Reply;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Reply;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return Reply;
+  }
+  std::string Req =
+      Method + " " + Target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::send(Fd, Req.data(), Req.size(), 0);
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    Reply.Raw.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+  std::smatch M;
+  if (std::regex_search(Reply.Raw, M, std::regex("^HTTP/1\\.1 ([0-9]{3})")))
+    Reply.Status = std::stoi(M[1].str());
+  if (std::regex_search(Reply.Raw, M,
+                        std::regex("Content-Type: ([^\r\n]+)")))
+    Reply.ContentType = M[1].str();
+  size_t HdrEnd = Reply.Raw.find("\r\n\r\n");
+  if (HdrEnd != std::string::npos)
+    Reply.Body = Reply.Raw.substr(HdrEnd + 4);
+  return Reply;
+}
+
+std::string stripTimestamps(std::string Json) {
+  Json = std::regex_replace(Json, std::regex("\"ts\":[0-9]+"), "\"ts\":T");
+  return std::regex_replace(Json, std::regex("\"dur\":[0-9]+"), "\"dur\":D");
+}
+
+/// Deterministic fingerprint of every metric except the wall-clock
+/// histogram and the process-global pool counters.
+std::string metricFingerprint(const ObsContext &Ctx) {
+  std::string Out;
+  for (const MetricValue &V : Ctx.metrics()->snapshot()) {
+    if (V.Name == "bayonet_step_duration_ms" ||
+        V.Name == "bayonet_pool_batches_total" ||
+        V.Name == "bayonet_pool_tasks_total")
+      continue;
+    Out += V.Name + "=" + std::to_string(V.Value);
+    for (uint64_t B : V.BucketCounts)
+      Out += "," + std::to_string(B);
+    Out += ";";
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ProgressBoard
+//===----------------------------------------------------------------------===//
+
+TEST(Introspect, PackTagRoundTrips) {
+  // 8 chars pack little-endian; longer names truncate; the decoded form
+  // is what /statusz prints.
+  EXPECT_EQ(packTag("exact"), packTag("exact"));
+  EXPECT_NE(packTag("exact"), packTag("smc"));
+  EXPECT_EQ(packTag("verylongname"), packTag("verylong"));
+  static_assert(packTag("step") != 0, "packTag is constexpr");
+}
+
+TEST(Introspect, BoardPublishReadAndCheckpointWords) {
+  ProgressBoard B;
+  ProgressSnapshot S;
+  EXPECT_FALSE(B.read(S)) << "nothing published yet";
+
+  ProgressUpdate U;
+  U.EngineTag = packTag("exact");
+  U.PhaseTag = packTag("step");
+  U.Step = 41;
+  U.Frontier = 17;
+  U.StatesExpanded = 1234;
+  U.MergeAttempts = 10;
+  U.MergeHits = 4;
+  U.EssFraction = 0.75;
+  B.publish(U);
+  ASSERT_TRUE(B.read(S));
+  EXPECT_EQ(S.Engine, "exact");
+  EXPECT_EQ(S.Phase, "step");
+  EXPECT_EQ(S.Step, 41);
+  EXPECT_EQ(S.Frontier, 17u);
+  EXPECT_EQ(S.StatesExpanded, 1234u);
+  EXPECT_DOUBLE_EQ(S.EssFraction, 0.75);
+  EXPECT_EQ(S.Publishes, 1u);
+  EXPECT_EQ(S.CheckpointWrites, 0u);
+
+  // Checkpoint words are owned by noteCheckpointWrite and survive the
+  // next full publish.
+  B.noteCheckpointWrite(2048);
+  U.Step = 42;
+  B.publish(U);
+  ASSERT_TRUE(B.read(S));
+  EXPECT_EQ(S.Step, 42);
+  EXPECT_EQ(S.CheckpointWrites, 1u);
+  EXPECT_EQ(S.CheckpointBytes, 2048u);
+}
+
+//===----------------------------------------------------------------------===//
+// HttpServer
+//===----------------------------------------------------------------------===//
+
+TEST(Introspect, HttpServerRoutesAndErrors) {
+  HttpServer S;
+  S.route("/hello", [](const HttpRequest &R) {
+    HttpResponse Resp;
+    Resp.Body = "hi " + R.query("name", "anon");
+    return Resp;
+  });
+  std::string Err;
+  ASSERT_TRUE(S.start("127.0.0.1:0", Err)) << Err;
+  ASSERT_NE(S.port(), 0);
+
+  HttpReply R = httpGet(S.port(), "/hello");
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_EQ(R.Body, "hi anon");
+  R = httpGet(S.port(), "/hello?name=bob%20x");
+  EXPECT_EQ(R.Body, "hi bob x") << "percent-decoding";
+  EXPECT_EQ(httpGet(S.port(), "/nope").Status, 404);
+  EXPECT_EQ(httpGet(S.port(), "/hello", "POST").Status, 405);
+
+  S.stop();
+  S.stop(); // Idempotent.
+  EXPECT_EQ(httpGet(S.port(), "/hello").Status, 0)
+      << "stopped server accepts nothing";
+}
+
+//===----------------------------------------------------------------------===//
+// IntrospectServer endpoints
+//===----------------------------------------------------------------------===//
+
+TEST(Introspect, EndpointsServeObsState) {
+  LoadedNetwork Net = load(scenarios::gossip(3));
+  auto Ctx = std::make_shared<ObsContext>(/*Trace=*/true, /*Metrics=*/true,
+                                          /*Diag=*/true);
+  InferenceOptions Opts;
+  Opts.Obs = Ctx;
+  InferenceResult R = runInference(Net, Opts);
+  ASSERT_TRUE(R.Status.ok());
+
+  IntrospectServer Server(Ctx);
+  std::string Err;
+  ASSERT_TRUE(Server.start("127.0.0.1:0", Err)) << Err;
+
+  HttpReply Metrics = httpGet(Server.port(), "/metrics");
+  EXPECT_EQ(Metrics.Status, 200);
+  EXPECT_EQ(Metrics.ContentType, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(Metrics.Body.find("# HELP bayonet_states_expanded_total"),
+            std::string::npos);
+  EXPECT_NE(Metrics.Body.find("# TYPE bayonet_checkpoint_writes_total "
+                              "counter"),
+            std::string::npos);
+
+  HttpReply Statusz = httpGet(Server.port(), "/statusz");
+  EXPECT_EQ(Statusz.Status, 200);
+  EXPECT_EQ(Statusz.ContentType, "application/json; charset=utf-8");
+  EXPECT_NE(Statusz.Body.find("\"engine\":\"exact\""), std::string::npos);
+  EXPECT_NE(Statusz.Body.find("\"phase\":\"finished\""), std::string::npos);
+  EXPECT_NE(Statusz.Body.find("\"published\":true"), std::string::npos);
+
+  HttpReply Healthz = httpGet(Server.port(), "/healthz");
+  EXPECT_EQ(Healthz.Status, 200);
+  EXPECT_NE(Healthz.Body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(Healthz.Body.find("\"budget_tripped\":false"),
+            std::string::npos);
+
+  HttpReply Trace = httpGet(Server.port(), "/trace?last=4");
+  EXPECT_EQ(Trace.Status, 200);
+  EXPECT_NE(Trace.Body.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(Trace.Body.find("\"ph\":\"X\""), std::string::npos);
+
+  EXPECT_EQ(httpGet(Server.port(), "/trace?last=bogus").Status, 400);
+  EXPECT_EQ(httpGet(Server.port(), "/absent").Status, 404);
+
+  HttpReply Index = httpGet(Server.port(), "/");
+  EXPECT_EQ(Index.Status, 200);
+  EXPECT_NE(Index.Body.find("/metrics"), std::string::npos);
+}
+
+TEST(Introspect, StatuszTracksAdvancingSteps) {
+  auto Ctx = std::make_shared<ObsContext>(false, true);
+  IntrospectServer Server(Ctx);
+  std::string Err;
+  ASSERT_TRUE(Server.start("127.0.0.1:0", Err)) << Err;
+
+  ProgressUpdate U;
+  U.EngineTag = packTag("exact");
+  U.PhaseTag = packTag("step");
+  U.Step = 3;
+  Ctx->progress().publish(U);
+  EXPECT_NE(httpGet(Server.port(), "/statusz").Body.find("\"step\":3"),
+            std::string::npos);
+
+  U.Step = 7;
+  Ctx->progress().publish(U);
+  std::string Body = httpGet(Server.port(), "/statusz").Body;
+  EXPECT_NE(Body.find("\"step\":7"), std::string::npos);
+  EXPECT_EQ(Body.find("\"step\":3"), std::string::npos)
+      << "statusz must reflect the latest publish";
+}
+
+TEST(Introspect, HealthzReportsBudgetTripAsDegraded) {
+  LoadedNetwork Net = load(scenarios::gossip(4));
+  auto Ctx = std::make_shared<ObsContext>(true, true);
+  InferenceOptions Opts;
+  Opts.Limits.MaxStates = 50;
+  Opts.Obs = Ctx;
+  InferenceResult R = runInference(Net, Opts);
+  EXPECT_EQ(R.Status.Code, StatusCode::BudgetExceeded);
+
+  IntrospectServer Server(Ctx);
+  std::string Err;
+  ASSERT_TRUE(Server.start("127.0.0.1:0", Err)) << Err;
+  HttpReply Healthz = httpGet(Server.port(), "/healthz");
+  EXPECT_EQ(Healthz.Status, 503);
+  EXPECT_NE(Healthz.Body.find("\"budget_tripped\":true"), std::string::npos);
+  EXPECT_NE(Healthz.Body.find("\"status\":\"degraded\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: server on/off x threads 1/2/8
+//===----------------------------------------------------------------------===//
+
+// The acceptance matrix: running with the introspection server up (but
+// unscraped) must leave posterior, metric fingerprint, trace shape, and
+// the diagnostics report bit-identical to running without it, at every
+// thread count — publication is a fixed block of relaxed stores at serial
+// boundaries, never a branch in engine logic.
+TEST(Introspect, ServerOnOffThreadMatrixBitIdentical) {
+  LoadedNetwork Net = load(scenarios::gossip(3));
+  struct RunOut {
+    std::string Posterior, Metrics, Trace, Diag;
+  };
+  auto runCell = [&](unsigned Threads, bool Serve) {
+    auto Ctx = std::make_shared<ObsContext>(true, true, true);
+    std::unique_ptr<IntrospectServer> Server;
+    if (Serve) {
+      Server = std::make_unique<IntrospectServer>(Ctx);
+      std::string Err;
+      EXPECT_TRUE(Server->start("127.0.0.1:0", Err)) << Err;
+    }
+    InferenceOptions Opts;
+    Opts.Threads = Threads;
+    Opts.Obs = Ctx;
+    InferenceResult R = runInference(Net, Opts);
+    EXPECT_TRUE(R.Status.ok());
+    RunOut Out;
+    Out.Posterior = R.Exact ? R.Exact->QueryMass.toString(Net.Spec.Params) +
+                                  "|" + R.Exact->OkMass.toString(Net.Spec.Params)
+                            : std::string("<none>");
+    Out.Metrics = metricFingerprint(*Ctx);
+    Out.Trace = stripTimestamps(Ctx->tracer()->renderChromeJson());
+    Out.Diag = Ctx->diag()->report().toJson();
+    return Out;
+  };
+  RunOut Ref = runCell(1, false);
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    for (bool Serve : {false, true}) {
+      SCOPED_TRACE("threads=" + std::to_string(Threads) +
+                   " serve=" + std::to_string(Serve));
+      RunOut Cell = runCell(Threads, Serve);
+      EXPECT_EQ(Ref.Posterior, Cell.Posterior);
+      EXPECT_EQ(Ref.Metrics, Cell.Metrics);
+      EXPECT_EQ(Ref.Trace, Cell.Trace);
+      EXPECT_EQ(Ref.Diag, Cell.Diag);
+    }
+  }
+}

@@ -57,6 +57,14 @@ std::string stripTimestamps(std::string Json) {
   return std::regex_replace(Json, std::regex("\"dur\":[0-9]+"), "\"dur\":D");
 }
 
+size_t countSubstr(const std::string &Hay, const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t Pos = Hay.find(Needle); Pos != std::string::npos;
+       Pos = Hay.find(Needle, Pos + Needle.size()))
+    ++Count;
+  return Count;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -176,6 +184,69 @@ TEST(Obs, TraceJsonSchemaAndNesting) {
   EXPECT_EQ(jsonNumbers(Json, "span_id"), (std::vector<uint64_t>{1, 2, 0}));
   EXPECT_EQ(jsonNumbers(Json, "parent_id"),
             (std::vector<uint64_t>{0, 1, 2}));
+}
+
+// The Chrome Trace Event dialect: metadata records first, a cat field on
+// every event, monotone nondecreasing timestamps — and switching dialects
+// never changes the Bayonet render.
+TEST(Obs, ChromeTraceFormatSchema) {
+  LoadedNetwork Net = load(scenarios::gossip(3));
+  auto Ctx = std::make_shared<ObsContext>(true, false);
+  InferenceOptions Opts;
+  Opts.Obs = Ctx;
+  InferenceResult R = runInference(Net, Opts);
+  ASSERT_TRUE(R.Status.ok());
+
+  std::string Chrome = Ctx->tracer()->renderJson(TraceFormat::Chrome);
+  EXPECT_NE(Chrome.find("\"name\":\"process_name\",\"ph\":\"M\""),
+            std::string::npos);
+  EXPECT_NE(Chrome.find("\"name\":\"thread_name\",\"ph\":\"M\""),
+            std::string::npos);
+  EXPECT_NE(Chrome.find("\"name\":\"bayonet\""), std::string::npos);
+  EXPECT_NE(Chrome.find("\"name\":\"orchestrator\""), std::string::npos);
+  // Every real event carries a category derived from its name prefix.
+  EXPECT_EQ(countSubstr(Chrome, "\"cat\":\"exact\""),
+            countSubstr(Chrome, "\"name\":\"exact."));
+  EXPECT_GT(countSubstr(Chrome, "\"cat\":\""), 0u);
+  // Events are stored (and rendered) in begin order, so ts never goes
+  // backwards; dur is only ever on complete events.
+  std::vector<uint64_t> Ts = jsonNumbers(Chrome, "ts");
+  ASSERT_FALSE(Ts.empty());
+  for (size_t I = 1; I < Ts.size(); ++I)
+    EXPECT_LE(Ts[I - 1], Ts[I]);
+  EXPECT_EQ(countSubstr(Chrome, "\"dur\":"),
+            countSubstr(Chrome, "\"ph\":\"X\""));
+  // Both dialects agree on span structure...
+  std::string Bayo = Ctx->tracer()->renderJson(TraceFormat::Bayonet);
+  EXPECT_EQ(jsonNumbers(Chrome, "span_id"), jsonNumbers(Bayo, "span_id"));
+  EXPECT_EQ(jsonNumbers(Chrome, "parent_id"),
+            jsonNumbers(Bayo, "parent_id"));
+  // ...and the Bayonet spelling is exactly the legacy render.
+  EXPECT_EQ(Bayo, Ctx->tracer()->renderChromeJson());
+  EXPECT_EQ(Bayo.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_EQ(Bayo.find("\"cat\":"), std::string::npos);
+}
+
+// The /trace ring: the last N *completed* spans, oldest first.
+TEST(Obs, RecentRingReturnsLastCompletedSpans) {
+  Tracer T;
+  { Span A = T.span("first"); }
+  { Span B = T.span("second"); }
+  { Span C = T.span("third"); }
+  Span Open = T.span("still-open");
+  std::string Recent = T.renderRecentJson(2);
+  EXPECT_EQ(Recent.find("\"name\":\"first\""), std::string::npos);
+  EXPECT_EQ(Recent.find("\"name\":\"still-open\""), std::string::npos)
+      << "open spans are not in the completion ring";
+  size_t SecondAt = Recent.find("\"name\":\"second\"");
+  size_t ThirdAt = Recent.find("\"name\":\"third\"");
+  ASSERT_NE(SecondAt, std::string::npos);
+  ASSERT_NE(ThirdAt, std::string::npos);
+  EXPECT_LT(SecondAt, ThirdAt) << "oldest of the last N renders first";
+  Open.end();
+  std::string All = T.renderRecentJson(100);
+  EXPECT_NE(All.find("\"name\":\"first\""), std::string::npos);
+  EXPECT_NE(All.find("\"name\":\"still-open\""), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
@@ -441,18 +512,6 @@ TEST(Obs, FrontendPhasesEmitSpans) {
 // Inference-quality diagnostics
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-size_t countSubstr(const std::string &Hay, const std::string &Needle) {
-  size_t Count = 0;
-  for (size_t Pos = Hay.find(Needle); Pos != std::string::npos;
-       Pos = Hay.find(Needle, Pos + Needle.size()))
-    ++Count;
-  return Count;
-}
-
-} // namespace
-
 // The headline diagnostics guarantee: the full DiagReport JSON — every
 // per-step ESS, weight CV, frontier size, merge hit-rate, and warning
 // line — is byte-identical at 1 / 2 / 8 threads, for both engine
@@ -567,4 +626,72 @@ TEST(Obs, CrossCheckTvDivergenceReportedAndSmall) {
   EXPECT_GE(*R.Diagnostics.TvDivergence, 0.0);
   EXPECT_LT(*R.Diagnostics.TvDivergence, 0.05);
   EXPECT_EQ(R.Diagnostics.Engine, "smc");
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition conformance
+//===----------------------------------------------------------------------===//
+
+// Prometheus 0.0.4 conformance over a real run's full registry render:
+// HELP escaping, HELP/TYPE preceding every sample family, cumulative
+// nondecreasing buckets, and +Inf bucket == _count.
+TEST(Obs, RenderPromConformance) {
+  // Escaping first, on a registry we control.
+  {
+    MetricsRegistry Reg;
+    Reg.counter("esc_total", "line one\nline two \\ backslash");
+    std::string Prom = Reg.renderProm();
+    EXPECT_NE(Prom.find("# HELP esc_total line one\\nline two \\\\ "
+                        "backslash\n"),
+              std::string::npos);
+    EXPECT_EQ(Prom.find("line one\nline"), std::string::npos)
+        << "raw newline must not survive in HELP";
+  }
+
+  // Then the full engine registry after a real run.
+  LoadedNetwork Net = load(scenarios::gossip(3));
+  auto [Ctx, R] = exactWithObs(Net, 2);
+  ASSERT_TRUE(R.Status.ok());
+  std::string Prom = Ctx->metrics()->renderProm();
+
+  // Every family renders "# HELP name ..." then "# TYPE name kind", then
+  // its samples; scan linewise.
+  std::string PendingHelp, PendingType;
+  size_t Families = 0;
+  size_t Pos = 0;
+  while (Pos < Prom.size()) {
+    size_t Eol = Prom.find('\n', Pos);
+    ASSERT_NE(Eol, std::string::npos) << "render must end in a newline";
+    std::string Line = Prom.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    if (Line.rfind("# HELP ", 0) == 0) {
+      PendingHelp = Line.substr(7, Line.find(' ', 7) - 7);
+      ++Families;
+    } else if (Line.rfind("# TYPE ", 0) == 0) {
+      PendingType = Line.substr(7, Line.find(' ', 7) - 7);
+      EXPECT_EQ(PendingType, PendingHelp) << "TYPE follows its HELP";
+    } else {
+      ASSERT_FALSE(Line.empty());
+      std::string Name = Line.substr(0, Line.find_first_of(" {"));
+      EXPECT_EQ(Name.rfind(PendingType, 0), 0u)
+          << "sample '" << Name << "' outside its TYPE'd family";
+    }
+  }
+  EXPECT_GT(Families, 5u);
+
+  // Histogram buckets are cumulative and end at +Inf == _count.
+  for (const MetricValue &V : Ctx->metrics()->snapshot()) {
+    if (V.BucketCounts.empty())
+      continue;
+    for (size_t I = 1; I < V.BucketCounts.size(); ++I)
+      EXPECT_GE(V.BucketCounts[I], V.BucketCounts[I - 1]) << V.Name;
+    EXPECT_EQ(V.BucketCounts.back(), V.Value)
+        << V.Name << ": +Inf bucket must equal _count";
+    std::string CountLine =
+        V.Name + "_count " + std::to_string(V.Value) + "\n";
+    EXPECT_NE(Prom.find(CountLine), std::string::npos);
+    std::string InfLine =
+        V.Name + "_bucket{le=\"+Inf\"} " + std::to_string(V.Value) + "\n";
+    EXPECT_NE(Prom.find(InfLine), std::string::npos);
+  }
 }

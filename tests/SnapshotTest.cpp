@@ -170,17 +170,24 @@ void truncateFile(const std::string &Path, long Keep) {
 // The acceptance matrix for the exact engine: a run soft-crashed at the
 // K-th snapshot write and resumed from it must reproduce the uninterrupted
 // run bit for bit — posteriors, per-round diagnostics, metric totals, and
-// trace shape — at every worker-lane count.
+// trace shape — at every worker-lane count. The baseline checkpoints too
+// (to its own throwaway path): snapshot writes carry their own obs
+// (snapshot.write spans, bayonet_checkpoint_* counters), so the resumed
+// run's checkpoint obs must also replay bit-identically.
 TEST(Snapshot, CrashResumeExactMatrix) {
   LoadedNetwork Net = load(testnets::PaperExample);
   for (unsigned Threads : {1u, 2u, 8u}) {
     auto BaseObs = makeObs();
+    std::string BasePath = snapPath();
     ExactOptions Base;
     Base.Threads = Threads;
     Base.Obs = BaseObs;
     Base.Budget = std::make_shared<BudgetTracker>();
+    Base.Checkpoint = makeCp(BasePath);
     ExactResult Straight = ExactEngine(Net.Spec, Base).run();
     ASSERT_TRUE(Straight.Status.ok()) << Straight.Status.toString();
+    std::remove(BasePath.c_str());
+    std::remove((BasePath + ".prev").c_str());
 
     for (uint64_t K : {1u, 4u}) {
       SCOPED_TRACE("threads=" + std::to_string(Threads) +
@@ -224,11 +231,15 @@ TEST(Snapshot, CrashResumeExactMatrix) {
 TEST(Snapshot, CrashResumeExactNoTxCache) {
   LoadedNetwork Net = load(testnets::PaperExample);
   auto BaseObs = makeObs();
+  std::string BasePath = snapPath();
   ExactOptions Base;
   Base.TxCacheBytes = 0;
   Base.Obs = BaseObs;
+  Base.Checkpoint = makeCp(BasePath);
   ExactResult Straight = ExactEngine(Net.Spec, Base).run();
   ASSERT_TRUE(Straight.Status.ok());
+  std::remove(BasePath.c_str());
+  std::remove((BasePath + ".prev").c_str());
 
   std::string Path = snapPath();
   ExactOptions Crash;
@@ -259,10 +270,14 @@ TEST(Snapshot, CrashResumeSmcMatrix) {
     Base.Particles = 300;
     Base.Threads = Threads;
     auto BaseObs = makeObs();
+    std::string BasePath = snapPath();
     Base.Obs = BaseObs;
     Base.Budget = std::make_shared<BudgetTracker>();
+    Base.Checkpoint = makeCp(BasePath);
     SampleResult Straight = Sampler(Net.Spec, Base).run();
     ASSERT_TRUE(Straight.Status.ok()) << Straight.Status.toString();
+    std::remove(BasePath.c_str());
+    std::remove((BasePath + ".prev").c_str());
 
     for (uint64_t K : {1u, 5u}) {
       SCOPED_TRACE("threads=" + std::to_string(Threads) +
@@ -300,10 +315,14 @@ TEST(Snapshot, CrashResumePsiExactMatrix) {
     PsiExactOptions Base;
     Base.Threads = Threads;
     auto BaseObs = makeObs();
+    std::string BasePath = snapPath();
     Base.Obs = BaseObs;
     Base.Budget = std::make_shared<BudgetTracker>();
+    Base.Checkpoint = makeCp(BasePath);
     PsiExactResult Straight = PsiExact(P, Base).run();
     ASSERT_TRUE(Straight.Status.ok()) << Straight.Status.toString();
+    std::remove(BasePath.c_str());
+    std::remove((BasePath + ".prev").c_str());
 
     for (uint64_t K : {1u, 3u}) {
       SCOPED_TRACE("threads=" + std::to_string(Threads) +
@@ -345,10 +364,14 @@ TEST(Snapshot, CrashResumePsiSamplerMatrix) {
     Base.Particles = 600;
     Base.Threads = Threads;
     auto BaseObs = makeObs();
+    std::string BasePath = snapPath();
     Base.Obs = BaseObs;
     Base.Budget = std::make_shared<BudgetTracker>();
+    Base.Checkpoint = makeCp(BasePath);
     PsiSampleResult Straight = PsiSampler(P, Base).run();
     ASSERT_TRUE(Straight.Status.ok()) << Straight.Status.toString();
+    std::remove(BasePath.c_str());
+    std::remove((BasePath + ".prev").c_str());
 
     for (uint64_t K : {1u, 2u}) {
       SCOPED_TRACE("threads=" + std::to_string(Threads) +
