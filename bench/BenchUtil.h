@@ -458,6 +458,66 @@ inline void writeServeJson(const char *Path) {
   std::printf("wrote %s (%zu rows)\n", Path, Rows.size());
 }
 
+/// One profiler-overhead measurement: the same workload with no profiler
+/// attached (every charge site is one null-check branch) and with the
+/// source-attributed cost profiler fully live — attribution stack, lane
+/// shard drains, and board publishes. Targets: the off path within the
+/// noise floor (~0%), on under 3%.
+struct ProfileRow {
+  std::string Benchmark;
+  std::string Mode; // "on" | "off"
+  double BaselineSeconds = 0;
+  double ProfiledSeconds = 0;
+};
+
+inline std::vector<ProfileRow> &profileRows() {
+  static std::vector<ProfileRow> Rows;
+  return Rows;
+}
+
+inline void addProfileRow(std::string Benchmark, std::string Mode,
+                          double BaselineSeconds, double ProfiledSeconds) {
+  for (ProfileRow &R : profileRows()) {
+    if (R.Benchmark == Benchmark) {
+      R.Mode = std::move(Mode);
+      R.BaselineSeconds = BaselineSeconds;
+      R.ProfiledSeconds = ProfiledSeconds;
+      return;
+    }
+  }
+  profileRows().push_back({std::move(Benchmark), std::move(Mode),
+                           BaselineSeconds, ProfiledSeconds});
+}
+
+/// Writes the profiler-overhead rows as a JSON array (no-op when the
+/// binary recorded none).
+inline void writeProfileJson(const char *Path) {
+  if (profileRows().empty())
+    return;
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "[\n");
+  const std::vector<ProfileRow> &Rows = profileRows();
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const ProfileRow &R = Rows[I];
+    double Pct = R.BaselineSeconds > 0
+                     ? (R.ProfiledSeconds / R.BaselineSeconds - 1.0) * 100.0
+                     : 0.0;
+    std::fprintf(F,
+                 "  {\"benchmark\": \"%s\", \"profiling\": \"%s\", "
+                 "\"baseline_s\": %.6f, \"profiled_s\": %.6f, "
+                 "\"overhead_pct\": %.2f}%s\n",
+                 R.Benchmark.c_str(), R.Mode.c_str(), R.BaselineSeconds,
+                 R.ProfiledSeconds, Pct, I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  std::printf("wrote %s (%zu rows)\n", Path, Rows.size());
+}
+
 /// Standard main: run the registered benchmarks, then print the table and
 /// write every machine-readable artifact into benchOutDir().
 #define BAYONET_BENCH_MAIN(TITLE)                                            \
@@ -479,6 +539,8 @@ inline void writeServeJson(const char *Path) {
         bayonet::benchutil::outPath("BENCH_snapshot.json").c_str());        \
     bayonet::benchutil::writeServeJson(                                     \
         bayonet::benchutil::outPath("BENCH_serve.json").c_str());           \
+    bayonet::benchutil::writeProfileJson(                                   \
+        bayonet::benchutil::outPath("BENCH_profile.json").c_str());         \
     return 0;                                                               \
   }
 

@@ -325,6 +325,51 @@ void BM_ServeOverhead(benchmark::State &State) {
   addServeRow(Name, MedPlain, MedServed);
 }
 
+/// Cost of the source-attributed cost profiler on the exact hot path.
+/// Arg 0 ("off"): the same workload with no profiler vs an ObsContext
+/// carrying no profiler either — the off path is one null-check branch
+/// per charge site and must be free (~0%). Arg 1 ("on"): no profiler vs
+/// the profiler fully live — attribution stack, per-lane shard charges,
+/// serial drains, and a board publish per step. Paired median, same as
+/// BM_CheckpointOverhead: each iteration times the pair back-to-back so
+/// scheduling noise cancels. The answers must match bit-for-bit —
+/// attribution must never perturb. Target: under 3% overhead with the
+/// profiler on (BENCH_profile.json).
+void BM_ProfileOverhead(benchmark::State &State) {
+  bool ProfileOn = State.range(0) == 1;
+  LoadedNetwork Net = mustLoad(scenarios::reliabilityChain(10));
+  std::string Plain, Profiled;
+  std::vector<double> PlainTimes, Deltas;
+  for (auto _ : State) {
+    double PlainSecs = timedExact(Net, 1, Plain);
+    ExactOptions Opts;
+    Opts.Threads = 1;
+    Opts.Obs = std::make_shared<ObsContext>(
+        /*Trace=*/false, /*Metrics=*/false, /*Diag=*/false, ProfileOn);
+    auto T0 = std::chrono::steady_clock::now();
+    ExactResult R = ExactEngine(Net.Spec, Opts).run();
+    double ProfSecs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    PlainTimes.push_back(PlainSecs);
+    Deltas.push_back(ProfSecs - PlainSecs);
+    auto V = R.concreteValue();
+    Profiled = V ? fmt(V->toDouble()) : "?";
+    benchmark::DoNotOptimize(R);
+  }
+  if (Profiled != Plain)
+    Plain += " (PROFILED MISMATCH: " + Profiled + ")";
+  double MedPlain = medianOf(std::move(PlainTimes));
+  // A negative median difference means the cost is below the noise floor.
+  double MedProf = MedPlain + std::max(0.0, medianOf(std::move(Deltas)));
+  std::string Name =
+      std::string("profile overhead ") + (ProfileOn ? "on" : "off") +
+      ", reliability 42 nodes";
+  addRow(Name, "exact", ProfileOn ? "< 3% overhead" : "~ 0% overhead",
+         Plain, MedProf);
+  addProfileRow(Name, ProfileOn ? "on" : "off", MedPlain, MedProf);
+}
+
 } // namespace
 
 BENCHMARK(BM_ReliabilityScaling)
@@ -366,6 +411,10 @@ BENCHMARK(BM_CheckpointOverhead)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ServeOverhead)
     ->Arg(10)
+    ->MinTime(4.0)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProfileOverhead)
+    ->DenseRange(0, 1)
     ->MinTime(4.0)
     ->Unit(benchmark::kMillisecond);
 

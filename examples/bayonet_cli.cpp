@@ -20,7 +20,8 @@
 ///                [--stats[=full]] [--dist]
 ///                [--trace-out FILE] [--metrics-out FILE] [--diag-out FILE]
 ///                [--trace-format bayonet|chrome] [--serve ADDR:PORT]
-///                [--log-json]
+///                [--profile-out FILE] [--profile-format json|collapsed|
+///                speedscope] [--profile-annotate] [--log-json]
 ///
 /// Exit codes: 0 = answered, 1 = query unsupported by the engine,
 /// 2 = invalid input (usage, parse, check, untranslatable), 3 = budget
@@ -43,6 +44,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 
 using namespace bayonet;
@@ -121,12 +123,22 @@ void usage() {
       "loads in Perfetto /\n"
       "                                         chrome://tracing; default "
       "bayonet)\n"
+      "  --profile-out FILE                     write a source-attributed "
+      "cost profile\n"
+      "  --profile-format json|collapsed|speedscope\n"
+      "                                         profile renderer (collapsed "
+      "feeds flamegraph.pl,\n"
+      "                                         speedscope loads at "
+      "speedscope.app; default json)\n"
+      "  --profile-annotate                     print the source annotated "
+      "with %% states / %% time\n"
       "  --serve ADDR:PORT                      embedded introspection "
       "server: /metrics\n"
       "                                         (Prometheus), /healthz, "
-      "/statusz, /trace?last=N\n"
-      "                                         (port 0 picks one; prints "
-      "'serving: ...' on stderr)\n"
+      "/statusz, /trace?last=N,\n"
+      "                                         /profile (port 0 picks one; "
+      "prints 'serving: ...'\n"
+      "                                         on stderr)\n"
       "  --log-json                             one JSON object per stderr "
       "log line\n"
       "  --checkpoint-out FILE                  write durable snapshots of "
@@ -141,11 +153,13 @@ void usage() {
       "SIGINT/SIGTERM cancel gracefully: workers drain, a final snapshot\n"
       "is written, exporters flush, and the exit code is 3.\n"
       "\n"
-      "Tracing/metrics/diagnostics also turn on via BAYONET_TRACE=FILE,\n"
-      "BAYONET_METRICS=FILE and BAYONET_DIAG=FILE (flags win over the\n"
-      "environment). Diagnostics print degeneracy warnings on stderr.\n"
-      "The introspection server and log framing also turn on via\n"
-      "BAYONET_SERVE=ADDR:PORT, BAYONET_TRACE_FORMAT=bayonet|chrome and\n"
+      "Tracing/metrics/diagnostics/profiling also turn on via\n"
+      "BAYONET_TRACE=FILE, BAYONET_METRICS=FILE, BAYONET_DIAG=FILE and\n"
+      "BAYONET_PROFILE=FILE (flags win over the environment). Diagnostics\n"
+      "print degeneracy warnings on stderr. The introspection server and\n"
+      "log framing also turn on via BAYONET_SERVE=ADDR:PORT,\n"
+      "BAYONET_TRACE_FORMAT=bayonet|chrome,\n"
+      "BAYONET_PROFILE_FORMAT=json|collapsed|speedscope and\n"
       "BAYONET_LOG_JSON=1.\n"
       "\n"
       "Budget flags default from BAYONET_DEADLINE_MS, BAYONET_MAX_STATES,\n"
@@ -196,6 +210,8 @@ int runMain(int argc, char **argv) {
   bool StatsFull = false;
   std::string TraceFile, MetricsFile, DiagFile;
   std::string TraceFormatStr, ServeBind;
+  std::string ProfileFile, ProfileFormatStr;
+  bool ProfileAnnotate = false;
   bool LogJson = false;
   std::string CheckpointOut, ResumePath;
   uint64_t CheckpointEvery = 0; // 0 = flag unset (env or default applies).
@@ -323,10 +339,14 @@ int runMain(int argc, char **argv) {
                takePath("--metrics-out", MetricsFile) ||
                takePath("--diag-out", DiagFile) ||
                takePath("--trace-format", TraceFormatStr) ||
+               takePath("--profile-out", ProfileFile) ||
+               takePath("--profile-format", ProfileFormatStr) ||
                takePath("--serve", ServeBind) ||
                takePath("--checkpoint-out", CheckpointOut) ||
                takePath("--resume", ResumePath)) {
       // Handled by takePath.
+    } else if (Arg == "--profile-annotate") {
+      ProfileAnnotate = true;
     } else if (Arg == "--log-json") {
       LogJson = true;
     } else if (Arg == "--checkpoint-every") {
@@ -381,6 +401,12 @@ int runMain(int argc, char **argv) {
     MetricsFile = Env;
   if (const char *Env = std::getenv("BAYONET_DIAG"); Env && DiagFile.empty())
     DiagFile = Env;
+  if (const char *Env = std::getenv("BAYONET_PROFILE");
+      Env && ProfileFile.empty())
+    ProfileFile = Env;
+  if (const char *Env = std::getenv("BAYONET_PROFILE_FORMAT");
+      Env && ProfileFormatStr.empty())
+    ProfileFormatStr = Env;
   if (const char *Env = std::getenv("BAYONET_SERVE");
       Env && ServeBind.empty())
     ServeBind = Env;
@@ -400,16 +426,36 @@ int runMain(int argc, char **argv) {
                  TraceFormatStr.c_str());
     return 2;
   }
+  enum class ProfileFormat { Json, Collapsed, Speedscope };
+  ProfileFormat ProfileFmt = ProfileFormat::Json;
+  if (!ProfileFormatStr.empty()) {
+    if (ProfileFormatStr == "json")
+      ProfileFmt = ProfileFormat::Json;
+    else if (ProfileFormatStr == "collapsed")
+      ProfileFmt = ProfileFormat::Collapsed;
+    else if (ProfileFormatStr == "speedscope")
+      ProfileFmt = ProfileFormat::Speedscope;
+    else {
+      std::fprintf(stderr,
+                   "error: --profile-format expects json, collapsed, or "
+                   "speedscope, got '%s'\n",
+                   ProfileFormatStr.c_str());
+      return 2;
+    }
+  }
+  bool WantProfile = !ProfileFile.empty() || ProfileAnnotate;
   // --serve needs the trace and metrics sinks live even without output
-  // files: the endpoints render straight off the in-memory registries.
+  // files: the endpoints render straight off the in-memory registries
+  // (and /profile off the profiler's seqlock board).
   std::shared_ptr<ObsContext> ObsCtx;
   if (!TraceFile.empty() || !MetricsFile.empty() || !DiagFile.empty() ||
-      StatsFull || !ServeBind.empty())
+      StatsFull || !ServeBind.empty() || WantProfile)
     ObsCtx = std::make_shared<ObsContext>(
         /*EnableTrace=*/!TraceFile.empty() || !ServeBind.empty(),
         /*EnableMetrics=*/!MetricsFile.empty() || StatsFull ||
             !ServeBind.empty(),
-        /*EnableDiag=*/!DiagFile.empty());
+        /*EnableDiag=*/!DiagFile.empty(),
+        /*EnableProfile=*/WantProfile || !ServeBind.empty());
   ObsHandle Obs(ObsCtx);
   IOpts.Obs = ObsCtx;
 
@@ -455,7 +501,8 @@ int runMain(int argc, char **argv) {
   // Captures by value so main()'s catch handlers can still flush through
   // GFlushObs after this frame has unwound.
   auto exportObs = [ObsCtx, Server, TraceFile, MetricsFile, DiagFile,
-                    TraceFmt, StatsFull]() -> bool {
+                    TraceFmt, StatsFull, ProfileFile, ProfileFmt,
+                    ProfileAnnotate, FileName]() -> bool {
     // Stop serving before touching the exporter files — on every exit
     // path, including error unwinds through GFlushObs — so no in-flight
     // scrape races the final renders and the bound port is released
@@ -497,6 +544,30 @@ int runMain(int argc, char **argv) {
       for (const std::string &W : DR.Summary.Warnings)
         logLine(LogLevel::Warn, "diag.warning", W,
                 {{"engine", DR.Summary.Engine}});
+    }
+    if (Profiler *P = ObsCtx->profiler()) {
+      if (!ProfileFile.empty()) {
+        std::string Text;
+        switch (ProfileFmt) {
+        case ProfileFormat::Json:
+          Text = P->renderJson();
+          break;
+        case ProfileFormat::Collapsed:
+          Text = P->renderCollapsed();
+          break;
+        case ProfileFormat::Speedscope:
+          Text = P->renderSpeedscope();
+          break;
+        }
+        if (!writeFile(ProfileFile, Text))
+          return false;
+      }
+      if (ProfileAnnotate) {
+        std::ifstream In(FileName);
+        std::stringstream Src;
+        Src << In.rdbuf();
+        std::fprintf(stderr, "%s", P->renderAnnotated(Src.str()).c_str());
+      }
     }
     if (StatsFull)
       std::fprintf(stderr, "%s", ObsCtx->renderFullStats().c_str());

@@ -4,6 +4,7 @@
 Usage: check_obs.py TRACE_JSON METRICS_PROM [DIAG_JSON]
        check_obs.py --prometheus TARGET
        check_obs.py --statusz TARGET
+       check_obs.py --profile TARGET [--canon | --canon-work]
 
 Checks that the Chrome-trace file is valid JSON with a well-nested span
 tree covering every pipeline phase, and that the metrics file is parseable
@@ -20,6 +21,20 @@ floor values (a mid-run scrape may precede the first expansion);
 --statusz validates the progress-snapshot schema and prints the serial
 step and publish count so callers can assert forward progress between
 two scrapes.
+
+--profile validates a --profile-out JSON cost profile: schema, per-frame
+count invariants, and (when the engine stamped totals) that the frames'
+states column sums exactly to the engine total. With --canon it prints
+the canonical count lines (stack|states|execs|samples|merge_attempts|
+merge_hits|tx_hits|tx_misses, sorted by stack key, deterministic columns
+only) on stdout — byte-identical across thread counts and crash/resume
+for a fixed TxCache setting, so callers diff two --canon outputs to
+assert count determinism. --canon-work prints only the work columns
+(states|execs|samples|merge_attempts|merge_hits), which are additionally
+byte-identical across TxCache on/off (cache hits replay the recorded
+per-statement counts; the tx columns themselves are only populated when
+the cache exists). Time and allocation columns are explicitly excluded
+from both.
 """
 import json
 import sys
@@ -324,7 +339,96 @@ def check_statusz(target):
           f"publishes={doc['publishes']}")
 
 
+PROFILE_COUNT_KEYS = [
+    "states",
+    "execs",
+    "samples",
+    "merge_attempts",
+    "merge_hits",
+    "tx_hits",
+    "tx_misses",
+]
+
+
+def check_profile(target, canon=False):
+    doc = json.loads(read_target(target))
+    for key in ("schema", "deterministic_columns", "nondeterministic_columns",
+                "totals", "frames"):
+        if key not in doc:
+            fail(f"{target}: profile missing '{key}'")
+    if doc["schema"] != 1:
+        fail(f"{target}: unsupported profile schema {doc['schema']!r}")
+    if doc["deterministic_columns"] != PROFILE_COUNT_KEYS:
+        fail(f"{target}: deterministic_columns "
+             f"{doc['deterministic_columns']} != {PROFILE_COUNT_KEYS}")
+    if doc["nondeterministic_columns"] != ["wall_ns", "allocs"]:
+        fail(f"{target}: nondeterministic_columns should be "
+             f"['wall_ns', 'allocs']")
+    if not isinstance(doc["frames"], list) or not doc["frames"]:
+        fail(f"{target}: no frames (profiling enabled but nothing charged?)")
+
+    totals = doc["totals"]
+    if totals is not None:
+        for key in PROFILE_COUNT_KEYS:
+            if key not in totals:
+                fail(f"{target}: totals missing '{key}'")
+
+    states_sum = 0
+    stacks = set()
+    for i, fr in enumerate(doc["frames"]):
+        for key in ["stack", "loc", "wall_ns", "allocs"] + PROFILE_COUNT_KEYS:
+            if key not in fr:
+                fail(f"{target}: frames[{i}] missing '{key}'")
+        if not fr["stack"] or not isinstance(fr["stack"], str):
+            fail(f"{target}: frames[{i}] has an empty stack key")
+        if fr["stack"] in stacks:
+            fail(f"{target}: duplicate stack key {fr['stack']!r}")
+        stacks.add(fr["stack"])
+        for key in PROFILE_COUNT_KEYS + ["wall_ns", "allocs"]:
+            v = fr[key]
+            if not isinstance(v, int) or v < 0:
+                fail(f"{target}: frames[{i}].{key} = {v!r} is not a "
+                     f"non-negative integer")
+        if fr["merge_hits"] > fr["merge_attempts"]:
+            fail(f"{target}: frames[{i}]: merge hits exceed attempts")
+        states_sum += fr["states"]
+    # The frames' sorted order is part of the deterministic contract.
+    keys = [fr["stack"] for fr in doc["frames"]]
+    if keys != sorted(keys):
+        fail(f"{target}: frames not sorted by stack key")
+    # The states column partitions the engine's work total exactly: every
+    # unit is charged to exactly one frame (samplers leave totals null).
+    if totals is not None and states_sum != totals["states"]:
+        fail(f"{target}: frame states sum {states_sum} != engine total "
+             f"{totals['states']}")
+
+    if canon:
+        keys = PROFILE_COUNT_KEYS[:5] if canon == "work" else PROFILE_COUNT_KEYS
+        for fr in doc["frames"]:
+            if not any(fr[k] for k in keys):
+                continue
+            cols = "|".join(str(fr[k]) for k in keys)
+            print(f"{fr['stack']}|{cols}")
+    else:
+        print(f"check_obs: profile OK ({len(doc['frames'])} frames, "
+              f"states sum {states_sum}"
+              + (f" == total {totals['states']}" if totals is not None
+                 else ", no engine totals") + ")")
+
+
 def main():
+    if len(sys.argv) in (3, 4) and sys.argv[1] == "--profile":
+        canon = False
+        if len(sys.argv) == 4:
+            if sys.argv[3] == "--canon":
+                canon = "full"
+            elif sys.argv[3] == "--canon-work":
+                canon = "work"
+            else:
+                print(__doc__, file=sys.stderr)
+                sys.exit(2)
+        check_profile(sys.argv[2], canon)
+        return
     if len(sys.argv) == 3 and sys.argv[1] == "--prometheus":
         check_prometheus(sys.argv[2])
         return

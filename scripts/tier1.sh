@@ -2,7 +2,9 @@
 # Tier-1 verification: the standard build + test run from ROADMAP.md, a
 # budget-regression check (a tight --max-states run must exit 3), the
 # observability + diagnostics exporters (including diag determinism
-# across thread counts), a live-introspection step (mid-run /metrics and
+# across thread counts), a profile-determinism step (canonical profile
+# count columns byte-identical across thread counts and TxCache
+# settings), a live-introspection step (mid-run /metrics and
 # /statusz scrapes against --serve with a graceful SIGTERM shutdown), a
 # snapshot step (a CLI run killed at an injected
 # checkpoint crash and resumed must be byte-identical to a straight run,
@@ -73,6 +75,59 @@ for Engine in exact smc; do
     fi
   done
   echo "diag determinism: $Engine identical at --threads 1/2/8"
+done
+
+echo "=== tier-1: profile counts bit-identical across thread counts ==="
+# The profiler's count columns are a deterministic function of the
+# program, engine, and seed: canonical count lines must be byte-identical
+# at --threads 1/2/8, with the transition cache on and off.
+for Engine in exact smc; do
+  for T in 1 2 8; do
+    for Tx in on off; do
+      ./build/examples/bayonet examples/programs/gossip4.bay \
+        --engine "$Engine" --particles 500 --seed 7 --threads "$T" \
+        --txcache "$Tx" \
+        --profile-out="$ObsTmp/prof_${Engine}_${T}_${Tx}.json" \
+        > /dev/null 2>&1
+      python3 scripts/check_obs.py --profile \
+        "$ObsTmp/prof_${Engine}_${T}_${Tx}.json" > /dev/null
+      python3 scripts/check_obs.py --profile \
+        "$ObsTmp/prof_${Engine}_${T}_${Tx}.json" --canon \
+        > "$ObsTmp/prof_${Engine}_${T}_${Tx}.canon"
+      python3 scripts/check_obs.py --profile \
+        "$ObsTmp/prof_${Engine}_${T}_${Tx}.json" --canon-work \
+        > "$ObsTmp/prof_${Engine}_${T}_${Tx}.work"
+    done
+  done
+  # Full canonical counts (tx columns included) across thread counts for a
+  # fixed TxCache setting; work columns across the whole matrix.
+  for T in 2 8; do
+    for Tx in on off; do
+      if ! cmp -s "$ObsTmp/prof_${Engine}_1_${Tx}.canon" \
+          "$ObsTmp/prof_${Engine}_${T}_${Tx}.canon"; then
+        echo "profile determinism: $Engine counts differ at --threads $T" \
+          "--txcache $Tx" >&2
+        diff "$ObsTmp/prof_${Engine}_1_${Tx}.canon" \
+          "$ObsTmp/prof_${Engine}_${T}_${Tx}.canon" >&2 || true
+        exit 1
+      fi
+    done
+  done
+  for T in 1 2 8; do
+    for Tx in on off; do
+      [ "$T" = 1 ] && [ "$Tx" = on ] && continue
+      if ! cmp -s "$ObsTmp/prof_${Engine}_1_on.work" \
+          "$ObsTmp/prof_${Engine}_${T}_${Tx}.work"; then
+        echo "profile determinism: $Engine work columns differ at" \
+          "--threads $T --txcache $Tx" >&2
+        diff "$ObsTmp/prof_${Engine}_1_on.work" \
+          "$ObsTmp/prof_${Engine}_${T}_${Tx}.work" >&2 || true
+        exit 1
+      fi
+    done
+  done
+  echo "profile determinism: $Engine counts identical at --threads 1/2/8," \
+    "work columns identical across txcache on/off"
 done
 
 echo "=== tier-1: live introspection server (mid-run scrape + SIGTERM) ==="
@@ -201,6 +256,6 @@ echo "=== tier-1: thread-sanitized parallel determinism + budgets ==="
 cmake -B build-tsan -S . -DBAYONET_SANITIZE=thread
 cmake --build build-tsan -j --target bayonet_tests
 BAYONET_THREADS=4 ./build-tsan/tests/bayonet_tests \
-  --gtest_filter='ParallelDeterminism.*:Budget.*:Obs.*:Introspect.*:Snapshot.*:Signal.*'
+  --gtest_filter='ParallelDeterminism.*:Budget.*:Obs.*:Introspect.*:Snapshot.*:Signal.*:Profile.*'
 
 echo "=== tier-1: all checks passed ==="

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <unordered_map>
 
 using namespace bayonet;
@@ -431,6 +432,45 @@ ExactResult ExactEngine::run() const {
   DiagCollector *DC = O.diag();
   if (DC)
     DC->beginEngine("exact");
+  // Profiler attach (serial): push the engine frame, intern the phase
+  // frames, register every node program under expand (assigning each
+  // statement its dense ProfIndex), and size the per-lane shard arrays.
+  // Runs after restoreCommon so a resumed aggregate re-interns to the same
+  // slots the statements are about to be charged through.
+  Profiler *PF = ObsC ? ObsC->profiler() : nullptr;
+  Profiler::Scope ProfRun(PF, "exact");
+  uint32_t ProfStep = Profiler::InvalidSlot;
+  uint32_t ProfExpand = Profiler::InvalidSlot;
+  uint32_t ProfMerge = Profiler::InvalidSlot;
+  std::vector<Profiler::DefFrames> ProfDefs;
+  // Per-lane scratch over the largest def's statement range, used to
+  // record a cache-miss expansion's counts into the staged entry.
+  std::vector<std::vector<uint64_t>> ProfScratch;
+  if (PF) {
+    ProfStep = PF->push("step");
+    ProfExpand = PF->push("expand");
+    ProfDefs.resize(Spec.NodePrograms.size());
+    size_t MaxStmts = 0;
+    std::map<const DefDecl *, Profiler::DefFrames> SeenDefs;
+    for (size_t N = 0; N < Spec.NodePrograms.size(); ++N) {
+      const DefDecl *Def = Spec.NodePrograms[N];
+      if (!Def)
+        continue;
+      auto It = SeenDefs.find(Def);
+      if (It == SeenDefs.end())
+        It = SeenDefs.emplace(Def, PF->registerDef(*Def)).first;
+      ProfDefs[N] = It->second;
+      MaxStmts = std::max(MaxStmts, static_cast<size_t>(ProfDefs[N].Count));
+    }
+    PF->pop(); // expand
+    ProfMerge = PF->internAt(ProfStep, "merge", {});
+    if (Opts.TxCacheBytes)
+      PF->internAt(ProfStep, "txcache", {});
+    PF->pop(); // step
+    PF->beginLanes(Threads);
+    if (Opts.TxCacheBytes)
+      ProfScratch.assign(Threads, std::vector<uint64_t>(MaxStmts, 0));
+  }
   if (ProgressBoard *PB = O.progress()) {
     ProgressUpdate PU;
     PU.EngineTag = packTag("exact");
@@ -679,6 +719,15 @@ ExactResult ExactEngine::run() const {
       if (Cache) {
         if (const TxEntry *E = Cache->lookup(Def, C.Nodes.block(Node))) {
           ++Res.TxHits;
+          if (PF) {
+            // Replay the statement counts recorded at compute time so the
+            // per-statement Execs columns match a cache-off run exactly.
+            const Profiler::DefFrames &DF = ProfDefs[Node];
+            uint64_t *LE = PF->laneExecs(Lane);
+            for (const auto &[Idx, Count] : E->ProfExecs)
+              LE[DF.First + Idx] += Count;
+            PF->laneTxHits(Lane)[DF.Root] += 1;
+          }
           for (const TxWorld &TW : E->Worlds) {
             SymProb W2 = applyGuards(Base.scaled(TW.Prob), TW.Guards);
             if (W2.isZero())
@@ -699,7 +748,18 @@ ExactResult ExactEngine::run() const {
         TxEntry NE;
         NE.Def = Def;
         NE.Key = C.Nodes.block(Node);
-        for (ExecWorld &World : Exec.runExact(*Def, C.Nodes[Node])) {
+        StmtProfSink MissSink;
+        if (PF) {
+          // Record this expansion's statement counts into zeroed lane
+          // scratch; after the run they fold into both the lane shard and
+          // the staged entry (for replay on future hits).
+          const Profiler::DefFrames &DF = ProfDefs[Node];
+          std::fill_n(ProfScratch[Lane].begin(), DF.Count, 0);
+          MissSink.Execs = ProfScratch[Lane].data();
+          PF->laneTxMisses(Lane)[DF.Root] += 1;
+        }
+        for (ExecWorld &World :
+             Exec.runExact(*Def, C.Nodes[Node], PF ? &MissSink : nullptr)) {
           if (World.ObserveFailed)
             continue; // Observation failure: the mass is discarded.
           SymProb W2 = applyGuards(Base.scaled(World.Prob), World.Guards);
@@ -725,10 +785,26 @@ ExactResult ExactEngine::run() const {
           C2.Nodes.setBlock(Node, std::move(NB));
           Emit(std::move(C2), std::move(W2));
         }
+        if (PF) {
+          const Profiler::DefFrames &DF = ProfDefs[Node];
+          uint64_t *LE = PF->laneExecs(Lane);
+          for (uint32_t I = 0; I < DF.Count; ++I) {
+            if (uint64_t N = ProfScratch[Lane][I]) {
+              LE[DF.First + I] += N;
+              NE.ProfExecs.emplace_back(I, N);
+            }
+          }
+        }
         Cache->stage(Lane, std::move(NE));
         continue;
       }
-      for (ExecWorld &World : Exec.runExact(*Def, C.Nodes[Node])) {
+      StmtProfSink RunSink;
+      if (PF) {
+        const Profiler::DefFrames &DF = ProfDefs[Node];
+        RunSink.Execs = PF->laneExecs(Lane) + DF.First;
+      }
+      for (ExecWorld &World :
+           Exec.runExact(*Def, C.Nodes[Node], PF ? &RunSink : nullptr)) {
         SymProb W2 = applyGuards(Base.scaled(World.Prob), World.Guards);
         if (W2.isZero())
           continue;
@@ -812,6 +888,7 @@ ExactResult ExactEngine::run() const {
     // independent of the thread count). Rounds cut short by a budget stop
     // charge nothing; the boundary restore keeps that deterministic too.
     Span StepSpan = O.span("exact.step");
+    Profiler::Scope ProfStepScope(PF, "step");
     std::chrono::steady_clock::time_point StepT0;
     const size_t ObsPrevExpanded = Result.ConfigsExpanded;
     const size_t ObsPrevAttempts = Result.MergeAttempts;
@@ -834,6 +911,7 @@ ExactResult ExactEngine::run() const {
       // the trace shape is identical at any thread count; the merge span
       // is zero-width here because merging is inlined into expansion.
       Span ExpandSpan = O.span("exact.expand");
+      Profiler::Scope ProfExpandScope(PF, "expand");
       MergeIndex NextIndex;
       NextIndex.reserve(Cur.size()); // Frontier sizes are step-correlated.
       Next.reserve(Cur.size());
@@ -852,12 +930,16 @@ ExactResult ExactEngine::run() const {
           Result.Status.Code = StatusCode::BudgetExceeded;
           Result.Status.Violation = {BudgetClass::Frontier, Next.size(),
                                      Opts.MaxFrontier};
+          if (PF)
+            PF->discardLanes(); // Partial step: keep the boundary aggregate.
           setWall();
           return Result;
         }
       }
       ExpandSpan.end();
+      ProfExpandScope.end();
       Span MergeSpan = O.span("exact.merge");
+      Profiler::Scope ProfMergeScope(PF, "merge");
     } else {
       // Parallel step. Phase 1: each lane expands a contiguous shard of the
       // frontier, routing successors into hash-addressed buckets (bucket =
@@ -869,6 +951,7 @@ ExactResult ExactEngine::run() const {
       // bit-identical for every thread count.
       ThreadPool &Pool = ThreadPool::global();
       Span ExpandSpan = O.span("exact.expand");
+      Profiler::Scope ProfExpandScope(PF, "expand");
       const size_t Lanes = Threads;
       const size_t Chunk = (Cur.size() + Lanes - 1) / Lanes;
       struct LaneOut {
@@ -898,6 +981,8 @@ ExactResult ExactEngine::run() const {
       if (BT && BT->stop()) {
         // Mid-step stop (cancel, deadline, byte trip): discard the lanes'
         // partial output and report the last completed boundary.
+        if (PF)
+          PF->discardLanes();
         restoreSnapshot();
         Result.Status = BT->status();
         if (CP && BT->cancelled())
@@ -914,8 +999,10 @@ ExactResult ExactEngine::run() const {
         foldPartial(Result, Outs[Lane].Partial);
       }
       ExpandSpan.end();
+      ProfExpandScope.end();
       // Phase 2: merge each bucket (deterministic lane order within).
       Span MergeSpan = O.span("exact.merge");
+      Profiler::Scope ProfMergeScope(PF, "merge");
       std::vector<Frontier> Merged(Lanes);
       std::vector<size_t> BucketHits(Lanes, 0);
       std::vector<size_t> BucketAttempts(Lanes, 0);
@@ -961,6 +1048,8 @@ ExactResult ExactEngine::run() const {
         Result.Status.Code = StatusCode::BudgetExceeded;
         Result.Status.Violation = {BudgetClass::Frontier, Total,
                                    Opts.MaxFrontier};
+        if (PF)
+          PF->discardLanes(); // Partial step: keep the boundary aggregate.
         setWall();
         return Result;
       }
@@ -972,6 +1061,8 @@ ExactResult ExactEngine::run() const {
     if (BT && BT->stop()) {
       // A stop fired during the step (serial break, or phase 2 of the
       // parallel path): the step did not complete, so report the boundary.
+      if (PF)
+        PF->discardLanes();
       restoreSnapshot();
       Result.Status = BT->status();
       if (CP && BT->cancelled())
@@ -986,6 +1077,7 @@ ExactResult ExactEngine::run() const {
     // per-step frontier gauge, so it is charged on growth only).
     if (Cache) {
       Span TxSpan = O.span("exact.txcache");
+      Profiler::Scope ProfTxScope(PF, "txcache");
       TxCache::PublishStats TxStats = Cache->publishStaged();
       Result.TxEvictions += TxStats.Evicted;
       Result.TxBytes = Cache->bytes();
@@ -1024,6 +1116,29 @@ ExactResult ExactEngine::run() const {
       if (O.tracing())
         StepSpan.arg("expanded", static_cast<uint64_t>(
                                      Result.ConfigsExpanded - ObsPrevExpanded));
+    }
+    // Profiler boundary: fold the lanes' statement shards into the serial
+    // aggregate and charge the phase frames from the same deltas the
+    // metrics used. Everything here is integer counts summed at a serial
+    // point, so every count column is thread-count-invariant.
+    if (PF) {
+      ProfCounts PC;
+      PC.States = Result.ConfigsExpanded - ObsPrevExpanded;
+      PC.Execs = 1;
+      PF->charge(ProfExpand, PC);
+      PC = ProfCounts();
+      PC.MergeAttempts = Result.MergeAttempts - ObsPrevAttempts;
+      PC.MergeHits = Result.MergeHits - ObsPrevHits;
+      PC.Execs = 1;
+      PF->charge(ProfMerge, PC);
+      PC = ProfCounts();
+      PC.Execs = 1;
+      PF->charge(ProfStep, PC);
+      // The txcache frame carries only tx columns (charged via the lane
+      // shards) and wall time: its work columns stay zero so the work
+      // fingerprint is identical with the cache off.
+      PF->drainLanes();
+      PF->publishBoard();
     }
     // Diagnostics checkpoint: the frontier/merge trajectory, charged as
     // deltas at this serial point so the series is thread-count-invariant.
@@ -1078,6 +1193,15 @@ ExactResult ExactEngine::run() const {
     RunSpan.arg("states", static_cast<uint64_t>(Result.ConfigsExpanded));
     RunSpan.arg("peak_frontier",
                 static_cast<uint64_t>(Result.MaxFrontierSize));
+  }
+  if (PF) {
+    // The run ended at a completed boundary, so the frames' States sum to
+    // the engine's own expansion counter exactly; stamping it as the total
+    // lets consumers cross-check the attribution (check_obs.py --profile).
+    ProfCounts T;
+    T.States = Result.ConfigsExpanded;
+    PF->setTotals(T);
+    PF->publishBoard();
   }
   if (ProgressBoard *PB = O.progress()) {
     ProgressUpdate PU;

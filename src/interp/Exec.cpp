@@ -78,8 +78,9 @@ namespace bayonet {
 /// Exact-mode execution context for one node program.
 class ExactExecState {
 public:
-  ExactExecState(const NetworkSpec &Spec, const DefDecl &Def)
-      : Spec(Spec), Def(Def) {}
+  ExactExecState(const NetworkSpec &Spec, const DefDecl &Def,
+                 const StmtProfSink *Prof = nullptr)
+      : Spec(Spec), Def(Def), Prof(Prof) {}
 
   std::vector<ExecWorld> run(NodeConfig Start) {
     ExecWorld W;
@@ -98,6 +99,7 @@ public:
 private:
   const NetworkSpec &Spec;
   const DefDecl &Def;
+  const StmtProfSink *Prof;
 
   using StmtList = std::vector<StmtPtr>;
 
@@ -135,6 +137,11 @@ private:
   }
 
   std::vector<ExecWorld> execStmt(const Stmt &S, ExecWorld W) {
+    // One execution per (statement, world): a pure function of the def and
+    // the input configuration, so the count is deterministic and identical
+    // to what a transition-cache replay re-charges.
+    if (Prof)
+      ++Prof->Execs[S.ProfIndex];
     switch (S.Kind) {
     case StmtKind::Skip:
       return one(std::move(W));
@@ -620,9 +627,10 @@ private:
 
 } // namespace bayonet
 
-std::vector<ExecWorld> NodeExecutor::runExact(const DefDecl &Def,
-                                              NodeConfig Start) const {
-  ExactExecState State(Spec, Def);
+std::vector<ExecWorld>
+NodeExecutor::runExact(const DefDecl &Def, NodeConfig Start,
+                       const StmtProfSink *Prof) const {
+  ExactExecState State(Spec, Def, Prof);
   return State.run(std::move(Start));
 }
 
@@ -654,8 +662,9 @@ namespace bayonet {
 /// Sampling-mode execution context for one node program.
 class SampleExecState {
 public:
-  SampleExecState(const NetworkSpec &Spec, NodeConfig &Node, Xoshiro &Rng)
-      : Spec(Spec), Node(Node), Rng(Rng) {}
+  SampleExecState(const NetworkSpec &Spec, NodeConfig &Node, Xoshiro &Rng,
+                  const StmtProfSink *Prof = nullptr)
+      : Spec(Spec), Node(Node), Rng(Rng), Prof(Prof) {}
 
   SampleStatus run(const DefDecl &Def) {
     return execList(Def.Body);
@@ -672,7 +681,18 @@ private:
   const NetworkSpec &Spec;
   NodeConfig &Node;
   Xoshiro &Rng;
+  const StmtProfSink *Prof;
+  /// ProfIndex of the statement being executed, so expression evaluation
+  /// can attribute its PRNG draws (UINT32_MAX outside any statement, e.g.
+  /// state initializers — those draws stay unattributed).
+  uint32_t CurStmt = UINT32_MAX;
   std::string FailReason;
+
+  /// Attributes one PRNG draw to the current statement.
+  void countDraw() {
+    if (Prof && Prof->Samples && CurStmt != UINT32_MAX)
+      ++Prof->Samples[CurStmt];
+  }
 
   SampleStatus execList(const std::vector<StmtPtr> &Stmts) {
     for (const StmtPtr &S : Stmts) {
@@ -684,6 +704,10 @@ private:
   }
 
   SampleStatus execStmt(const Stmt &S) {
+    if (Prof) {
+      ++Prof->Execs[S.ProfIndex];
+      CurStmt = S.ProfIndex;
+    }
     switch (S.Kind) {
     case StmtKind::Skip:
       return SampleStatus::Ok;
@@ -762,6 +786,9 @@ private:
     case StmtKind::While: {
       const auto &While = cast<WhileStmt>(S);
       for (int64_t Fuel = NodeExecutor::WhileFuel; Fuel > 0; --Fuel) {
+        // The body reassigns CurStmt; repoint condition draws at the loop.
+        if (Prof)
+          CurStmt = S.ProfIndex;
         bool Truth;
         if (!evalTruth(*While.Cond, Truth))
           return SampleStatus::Error;
@@ -904,6 +931,7 @@ private:
       const Rational &Prob = P.concrete();
       if (Prob.isNegative() || Prob > Rational(1))
         return false;
+      countDraw();
       Out = Value(Rational(Rng.flip(Prob) ? 1 : 0));
       return true;
     }
@@ -920,6 +948,7 @@ private:
       int64_t H = Hi.concrete().num().getSmall();
       if (L > H)
         return false;
+      countDraw();
       Out = Value(Rational(Rng.uniformInt(L, H)));
       return true;
     }
@@ -933,8 +962,9 @@ private:
 } // namespace bayonet
 
 SampleStatus NodeExecutor::runSampled(const DefDecl &Def, NodeConfig &Node,
-                                      Xoshiro &Rng) const {
-  SampleExecState State(Spec, Node, Rng);
+                                      Xoshiro &Rng,
+                                      const StmtProfSink *Prof) const {
+  SampleExecState State(Spec, Node, Rng, Prof);
   return State.run(Def);
 }
 

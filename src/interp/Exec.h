@@ -50,6 +50,17 @@ struct ExecWorld {
 /// Result status of a sampled node-program execution.
 enum class SampleStatus { Ok, Error, ObserveFailed };
 
+/// Optional per-statement cost sink for the profiler: flat arrays indexed
+/// by Stmt::ProfIndex (the def-local pre-order index assigned by
+/// Profiler::registerDef). The caller points these at its lane's shard (or
+/// a scratch range when recording a cacheable expansion); the executor
+/// just increments. Execs counts statement executions (one per world /
+/// particle that ran the statement), Samples counts PRNG draws.
+struct StmtProfSink {
+  uint64_t *Execs = nullptr;
+  uint64_t *Samples = nullptr;
+};
+
 /// Executes node programs on local configurations.
 class NodeExecutor {
 public:
@@ -57,11 +68,12 @@ public:
 
   /// Exact mode: runs \p Def on \p Start and returns every weighted branch.
   /// Branch probabilities (over each guard region) sum to one.
-  std::vector<ExecWorld> runExact(const DefDecl &Def, NodeConfig Start) const;
+  std::vector<ExecWorld> runExact(const DefDecl &Def, NodeConfig Start,
+                                  const StmtProfSink *Prof = nullptr) const;
 
   /// Sampling mode: runs \p Def on \p Node in place, drawing from \p Rng.
-  SampleStatus runSampled(const DefDecl &Def, NodeConfig &Node,
-                          Xoshiro &Rng) const;
+  SampleStatus runSampled(const DefDecl &Def, NodeConfig &Node, Xoshiro &Rng,
+                          const StmtProfSink *Prof = nullptr) const;
 
   /// Evaluates a state-variable initializer (exact mode): no queue access.
   /// Each returned world carries the initial value in Node.State[0]... the

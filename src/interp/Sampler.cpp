@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 
 using namespace bayonet;
 
@@ -51,7 +52,9 @@ void Sampler::initParticle(Particle &P, int64_t InitSchedState) const {
   }
 }
 
-void Sampler::step(Particle &P, const Scheduler &Sched) const {
+void Sampler::step(Particle &P, const Scheduler &Sched, Profiler *PF,
+                   const std::vector<Profiler::DefFrames> *ProfDefs,
+                   unsigned Lane) const {
   std::vector<SchedChoice> Choices = Sched.choices(P.Config);
   if (Choices.empty()) {
     P.Terminal = true;
@@ -82,8 +85,18 @@ void Sampler::step(Particle &P, const Scheduler &Sched) const {
     return;
   }
   const DefDecl *Def = Spec.NodePrograms[Choice.Act.Node];
+  StmtProfSink Sink;
+  const StmtProfSink *SinkP = nullptr;
+  if (PF) {
+    // Point the executor at this lane's shard, offset to the def's
+    // statement range (Stmt::ProfIndex is def-local).
+    const Profiler::DefFrames &DF = (*ProfDefs)[Choice.Act.Node];
+    Sink.Execs = PF->laneExecs(Lane) + DF.First;
+    Sink.Samples = PF->laneSamples(Lane) + DF.First;
+    SinkP = &Sink;
+  }
   SampleStatus St =
-      Exec.runSampled(*Def, P.Config.Nodes.mut(Choice.Act.Node), P.Rng);
+      Exec.runSampled(*Def, P.Config.Nodes.mut(Choice.Act.Node), P.Rng, SinkP);
   if (St == SampleStatus::Error)
     P.Error = true;
   else if (St == SampleStatus::ObserveFailed)
@@ -145,6 +158,33 @@ SampleResult Sampler::run() const {
     DC->beginEngine(Opts.Mode == SampleOptions::Method::Smc ? "smc"
                                                             : "reject",
                     Opts.Particles);
+  // Profiler attach (serial): engine frame, init/step/resample phase
+  // frames, and every node program registered under step. Statement counts
+  // go to per-lane shards folded at the serial step boundary.
+  Profiler *PF = ObsC ? ObsC->profiler() : nullptr;
+  Profiler::Scope ProfRun(PF, EngineName);
+  uint32_t ProfInit = Profiler::InvalidSlot;
+  uint32_t ProfStep = Profiler::InvalidSlot;
+  uint32_t ProfResample = Profiler::InvalidSlot;
+  std::vector<Profiler::DefFrames> ProfDefs;
+  if (PF) {
+    ProfInit = PF->child("init", {});
+    ProfStep = PF->push("step");
+    ProfDefs.resize(Spec.NodePrograms.size());
+    std::map<const DefDecl *, Profiler::DefFrames> SeenDefs;
+    for (size_t N = 0; N < Spec.NodePrograms.size(); ++N) {
+      const DefDecl *Def = Spec.NodePrograms[N];
+      if (!Def)
+        continue;
+      auto It = SeenDefs.find(Def);
+      if (It == SeenDefs.end())
+        It = SeenDefs.emplace(Def, PF->registerDef(*Def)).first;
+      ProfDefs[N] = It->second;
+    }
+    ProfResample = PF->internAt(ProfStep, "resample", {});
+    PF->pop(); // step
+    PF->beginLanes(Threads);
+  }
   const uint64_t EngineTag = packTag(EngineName.c_str());
   if (ProgressBoard *PB = O.progress()) {
     ProgressUpdate PU;
@@ -165,17 +205,32 @@ SampleResult Sampler::run() const {
     P.Rng = Master.split();
 
   // Particles are fully independent between population-level events, so
-  // lanes can step disjoint particles concurrently.
-  auto forParticles = [&](const std::function<void(size_t)> &Fn) {
+  // lanes can step disjoint particles concurrently. Each lane owns a
+  // contiguous chunk, so the lane index is a stable identity the profiler
+  // shards by (one writer per lane shard during a batch).
+  auto forParticles = [&](const std::function<void(size_t, unsigned)> &Fn) {
     if (Threads <= 1) {
       for (size_t I = 0; I < Pop.size(); ++I) {
         if (StopF && StopF->load(std::memory_order_acquire))
           return; // Cooperative mid-batch stop (deadline / cancellation).
-        Fn(I);
+        Fn(I, 0);
       }
       return;
     }
-    ThreadPool::global().parallelFor(Pop.size(), Fn, StopF);
+    const size_t Lanes = Threads;
+    const size_t Chunk = (Pop.size() + Lanes - 1) / Lanes;
+    ThreadPool::global().parallelFor(
+        Lanes,
+        [&](size_t Lane) {
+          size_t Lo = std::min(Pop.size(), Lane * Chunk);
+          size_t Hi = std::min(Pop.size(), Lo + Chunk);
+          for (size_t I = Lo; I < Hi; ++I) {
+            if (StopF && StopF->load(std::memory_order_acquire))
+              return;
+            Fn(I, static_cast<unsigned>(Lane));
+          }
+        },
+        StopF);
   };
 
   int64_t StartStep = 0;
@@ -214,8 +269,9 @@ SampleResult Sampler::run() const {
     Resumed = true;
   }
 
-  if (!Resumed)
-    forParticles([&](size_t I) {
+  if (!Resumed) {
+    Profiler::Scope ProfInitScope(PF, "init");
+    forParticles([&](size_t I, unsigned) {
       initParticle(Pop[I], Sched->initialState());
       if (BT) {
         BT->chargeStates();
@@ -224,6 +280,15 @@ SampleResult Sampler::run() const {
         BT->chargeBytes(Pop[I].Config.approxBytes());
       }
     });
+    if (PF) {
+      // Init is population-level: charge it once, serially (draw-level
+      // attribution starts with the step loop).
+      ProfCounts PC;
+      PC.States = Pop.size();
+      PC.Execs = Pop.size();
+      PF->charge(ProfInit, PC);
+    }
+  }
 
   // Serializes the population as of the current serial boundary. Written
   // before the boundary's budget/obs charges, so a resumed run re-executes
@@ -275,6 +340,7 @@ SampleResult Sampler::run() const {
     // here (the set of active particles at a boundary is a pure function of
     // the seed and completed steps, never of lane interleaving).
     Span StepSpan = O.span("smc.step");
+    Profiler::Scope ProfStepScope(PF, "step");
     std::chrono::steady_clock::time_point StepT0;
     uint64_t ObsActive = 0;
     if (O) {
@@ -287,13 +353,13 @@ SampleResult Sampler::run() const {
         StepSpan.arg("active", ObsActive);
       }
     }
-    forParticles([&](size_t I) {
+    forParticles([&](size_t I, unsigned Lane) {
       Particle &P = Pop[I];
       if (P.Dead || P.Terminal || P.Error)
         return;
       if (BT)
         BT->chargeStates(); // One particle-step.
-      step(P, *Sched);
+      step(P, *Sched, PF, &ProfDefs, Lane);
     });
     bool AnyLive = false;
     unsigned Alive = 0;
@@ -314,6 +380,7 @@ SampleResult Sampler::run() const {
         Alive < Opts.Particles * Opts.ResampleThreshold) {
       DidResample = true;
       Span ResampleSpan = O.span("smc.resample");
+      Profiler::Scope ProfResampleScope(PF, "resample");
       if (O.tracing())
         ResampleSpan.arg("alive", static_cast<uint64_t>(Alive));
       O.count(&EngineMetricIds::Resamples);
@@ -334,10 +401,28 @@ SampleResult Sampler::run() const {
       // The stop fired mid-step (only the timing-dependent classes can):
       // report it and aggregate whatever is terminal. The step does not
       // count as completed.
+      if (PF)
+        PF->discardLanes(); // Partial batch: keep the boundary aggregate.
       Result.Status = BT->status();
       break;
     }
     Result.StepsRun = Step + 1;
+    // Profiler boundary: fold the lanes' statement shards and charge the
+    // step/resample frames — all integer counts summed at a serial point,
+    // hence thread-count-invariant.
+    if (PF) {
+      ProfCounts PC;
+      PC.States = ObsActive;
+      PC.Execs = 1;
+      PF->charge(ProfStep, PC);
+      if (DidResample) {
+        PC = ProfCounts();
+        PC.Execs = 1;
+        PF->charge(ProfResample, PC);
+      }
+      PF->drainLanes();
+      PF->publishBoard();
+    }
     if (O) {
       O.count(&EngineMetricIds::Particles, ObsActive);
       O.count(&EngineMetricIds::SchedSteps);
@@ -407,6 +492,8 @@ SampleResult Sampler::run() const {
   }
   if (O.tracing())
     RunSpan.arg("steps", static_cast<uint64_t>(Result.StepsRun));
+  if (PF)
+    PF->publishBoard();
   if (ProgressBoard *PB = O.progress()) {
     ProgressUpdate PU;
     PU.EngineTag = EngineTag;

@@ -25,6 +25,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace bayonet {
 
@@ -117,7 +118,12 @@ private:
   /// into \p P using the particle's own stream.
   void initParticle(Particle &P, int64_t InitSchedState) const;
   /// Advances a particle by one scheduler action (draws from P.Rng).
-  void step(Particle &P, const Scheduler &Sched) const;
+  /// When profiling, \p PF / \p ProfDefs / \p Lane locate the lane shard a
+  /// Run action's statement counts are charged into (one writer per lane;
+  /// the serial boundary folds shards in lane order).
+  void step(Particle &P, const Scheduler &Sched, Profiler *PF = nullptr,
+            const std::vector<Profiler::DefFrames> *ProfDefs = nullptr,
+            unsigned Lane = 0) const;
 };
 
 } // namespace bayonet

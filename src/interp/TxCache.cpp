@@ -19,6 +19,7 @@ void TxEntry::computeBytes() {
     if (W.Node)
       B += sizeof(NodeBlock) + W.Node->config().approxBytes();
   }
+  B += ProfExecs.size() * sizeof(ProfExecs[0]);
   Bytes = B;
 }
 
@@ -115,6 +116,11 @@ void TxCache::snapshotTo(
         snapConstraint(W, C);
       W.boolean(World.Error);
     }
+    W.u64(E.ProfExecs.size());
+    for (const auto &[Idx, Count] : E.ProfExecs) {
+      W.u32(Idx);
+      W.u64(Count);
+    }
   }
 }
 
@@ -152,6 +158,13 @@ bool TxCache::restoreFrom(
       }
       World.Error = R.boolean();
       E.Worlds.push_back(std::move(World));
+    }
+    uint64_t NProf = R.count();
+    E.ProfExecs.reserve(NProf);
+    for (uint64_t P = 0; P < NProf && R.ok(); ++P) {
+      uint32_t Idx = R.u32();
+      uint64_t Count = R.u64();
+      E.ProfExecs.emplace_back(Idx, Count);
     }
     if (!R.ok())
       break;

@@ -69,6 +69,11 @@ struct TxEntry {
   const DefDecl *Def = nullptr;
   NodeArray::BlockPtr Key;
   std::vector<TxWorld> Worlds;
+  /// Per-statement execution counts recorded when the entry was computed:
+  /// sparse (def-local Stmt::ProfIndex, count) pairs the profiler replays
+  /// on every hit, so profiled statement counts are identical with the
+  /// cache on or off. Empty when profiling was off at compute time.
+  std::vector<std::pair<uint32_t, uint64_t>> ProfExecs;
   /// Approximate retained bytes (key + worlds), for the byte cap and the
   /// budget tracker's gauge.
   size_t Bytes = 0;

@@ -172,6 +172,12 @@ enum class StmtKind {
 struct Stmt {
   const StmtKind Kind;
   SourceLoc Loc;
+  /// Dense pre-order index of this statement within its def, assigned by
+  /// Profiler::registerDef so per-statement cost cells are a flat array
+  /// lookup. Deterministic (a pure function of the def body), so
+  /// re-registration always re-assigns the same value; mutable because
+  /// defs reach the engines as const pointers.
+  mutable uint32_t ProfIndex = UINT32_MAX;
 
   virtual ~Stmt();
 

@@ -247,21 +247,26 @@ void HttpServer::serveConnection(int Fd) {
   }
 
   HttpResponse Resp;
+  bool HeadOnly = false;
   size_t Eol = Buf.find_first_of("\r\n");
   std::string Line = Eol == std::string::npos ? Buf : Buf.substr(0, Eol);
   size_t Sp1 = Line.find(' ');
   size_t Sp2 = Line.find(' ', Sp1 == std::string::npos ? 0 : Sp1 + 1);
+  std::string Method =
+      Sp1 == std::string::npos ? std::string() : Line.substr(0, Sp1);
   if (Buf.size() >= MaxRequestBytes) {
     Resp.Status = 400;
     Resp.Body = "request too large\n";
   } else if (Sp1 == std::string::npos || Sp2 == std::string::npos) {
     Resp.Status = 400;
     Resp.Body = "malformed request\n";
-  } else if (Line.substr(0, Sp1) != "GET") {
+  } else if (Method != "GET" && Method != "HEAD") {
     Resp.Status = 405;
-    Resp.Body = "only GET is supported\n";
+    Resp.Body = "only GET and HEAD are supported\n";
   } else {
+    HeadOnly = Method == "HEAD";
     HttpRequest Req;
+    Req.Method = Method;
     std::string Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
     size_t Q = Target.find('?');
     Req.Path = Target.substr(0, Q);
@@ -296,11 +301,13 @@ void HttpServer::serveConnection(int Fd) {
     }
   }
 
+  // HEAD advertises the Content-Length a GET would carry but omits the
+  // body (RFC 7231 §4.3.2).
   std::string Head = "HTTP/1.1 " + std::to_string(Resp.Status) + " " +
                      statusText(Resp.Status) + "\r\n" +
                      "Content-Type: " + Resp.ContentType + "\r\n" +
                      "Content-Length: " + std::to_string(Resp.Body.size()) +
                      "\r\nConnection: close\r\n\r\n";
-  if (sendAll(Fd, Head.data(), Head.size()))
+  if (sendAll(Fd, Head.data(), Head.size()) && !HeadOnly)
     sendAll(Fd, Resp.Body.data(), Resp.Body.size());
 }

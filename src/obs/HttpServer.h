@@ -7,7 +7,8 @@
 /// \file
 /// A dependency-free embedded HTTP/1.1 server for live introspection. One
 /// accept thread (poll()-driven so stop() is prompt) feeds a small handler
-/// pool through a bounded queue; requests are size-capped GETs, responses
+/// pool through a bounded queue; requests are size-capped GETs/HEADs,
+/// responses
 /// always `Connection: close`. Nothing here touches inference state — the
 /// server only ever calls the read-side of the obs structures, so running
 /// it cannot perturb results.
@@ -29,8 +30,11 @@
 
 namespace bayonet {
 
-/// A parsed GET request: path plus decoded query parameters.
+/// A parsed GET/HEAD request: method, path, and decoded query parameters.
+/// Handlers build the full response either way; for HEAD the server sends
+/// the headers (with the real Content-Length) and drops the body.
 struct HttpRequest {
+  std::string Method = "GET";
   std::string Path;
   std::vector<std::pair<std::string, std::string>> Query;
 

@@ -106,6 +106,8 @@ IntrospectServer::IntrospectServer(std::shared_ptr<ObsContext> Ctx)
                [this](const HttpRequest &R) { return handleStatusz(R); });
   Server.route("/trace",
                [this](const HttpRequest &R) { return handleTrace(R); });
+  Server.route("/profile",
+               [this](const HttpRequest &R) { return handleProfile(R); });
 }
 
 bool IntrospectServer::start(const std::string &Bind, std::string &Err) {
@@ -122,7 +124,8 @@ HttpResponse IntrospectServer::handleIndex(const HttpRequest &) {
               "  /metrics  Prometheus text exposition (0.0.4)\n"
               "  /healthz  liveness + readiness JSON\n"
               "  /statusz  progress snapshot JSON\n"
-              "  /trace    recent completed spans (?last=N)\n";
+              "  /trace    recent completed spans (?last=N)\n"
+              "  /profile  live cost-attribution top frames JSON\n";
   return Resp;
 }
 
@@ -242,5 +245,29 @@ HttpResponse IntrospectServer::handleTrace(const HttpRequest &Req) {
   }
   Resp.ContentType = "application/json; charset=utf-8";
   Resp.Body = T->renderRecentJson(static_cast<size_t>(N));
+  return Resp;
+}
+
+HttpResponse IntrospectServer::handleProfile(const HttpRequest &) {
+  HttpResponse Resp;
+  Profiler *P = Ctx->profiler();
+  if (!P) {
+    Resp.Status = 503;
+    Resp.Body = "profiling disabled for this run (pass --profile-out or "
+                "set BAYONET_PROFILE)\n";
+    return Resp;
+  }
+  std::string Json;
+  if (!P->board().read(Json)) {
+    // Profiling is on but no engine boundary has published yet.
+    Resp.Status = 503;
+    Resp.ContentType = "application/json; charset=utf-8";
+    Resp.Body = "{\"published\":false}\n";
+    return Resp;
+  }
+  Resp.ContentType = "application/json; charset=utf-8";
+  Resp.Body = std::move(Json);
+  if (Resp.Body.empty() || Resp.Body.back() != '\n')
+    Resp.Body += '\n';
   return Resp;
 }

@@ -13,7 +13,8 @@
 /// order is thread-count-independent. The IntrospectServer mounts the
 /// board, the MetricsRegistry, and the Tracer behind an embedded HTTP
 /// server: `/metrics` (Prometheus 0.0.4), `/healthz`, `/statusz` (JSON),
-/// and `/trace?last=N` (recent completed spans).
+/// `/trace?last=N` (recent completed spans), and `/profile` (the live
+/// cost-attribution tree from the profiler's seqlock board).
 ///
 /// Single-writer contract: the board is written only from the serial
 /// orchestration thread (engines run sequentially, and the Checkpointer's
@@ -181,6 +182,7 @@ private:
   HttpResponse handleHealthz(const HttpRequest &Req);
   HttpResponse handleStatusz(const HttpRequest &Req);
   HttpResponse handleTrace(const HttpRequest &Req);
+  HttpResponse handleProfile(const HttpRequest &Req);
   HttpResponse handleIndex(const HttpRequest &Req);
 
   std::shared_ptr<ObsContext> Ctx;

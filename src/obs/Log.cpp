@@ -7,6 +7,7 @@
 #include "obs/Log.h"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 
 using namespace bayonet;
@@ -27,30 +28,76 @@ const char *levelName(LogLevel L) {
   return "info";
 }
 
+/// Escapes \p S for a JSON string: quotes, backslashes, every control
+/// character (0x00-0x1F), and any byte sequence that is not well-formed
+/// UTF-8 (RFC 3629 — no overlongs, no UTF-16 surrogates, nothing past
+/// U+10FFFF). Invalid sequences become U+FFFD so the emitted log line is
+/// always valid JSON regardless of what a caller stuffed into a field.
 std::string jsonEscape(const std::string &S) {
   std::string Out;
   Out.reserve(S.size());
-  for (char C : S) {
-    switch (C) {
-    case '"':
+  size_t I = 0;
+  while (I < S.size()) {
+    unsigned char C = static_cast<unsigned char>(S[I]);
+    if (C == '"') {
       Out += "\\\"";
-      break;
-    case '\\':
+      ++I;
+    } else if (C == '\\') {
       Out += "\\\\";
-      break;
-    case '\n':
+      ++I;
+    } else if (C == '\n') {
       Out += "\\n";
-      break;
-    case '\t':
+      ++I;
+    } else if (C == '\t') {
       Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
+      ++I;
+    } else if (C == '\r') {
+      Out += "\\r";
+      ++I;
+    } else if (C < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", static_cast<unsigned>(C));
+      Out += Buf;
+      ++I;
+    } else if (C < 0x80) {
+      Out += static_cast<char>(C);
+      ++I;
+    } else {
+      // Multi-byte lead. Validate the whole sequence; emit it verbatim
+      // when well formed, a single U+FFFD otherwise (consuming only the
+      // bad byte keeps any following valid text intact).
+      size_t Need = 0;
+      uint32_t Cp = 0;
+      if ((C & 0xe0) == 0xc0) {
+        Need = 1;
+        Cp = C & 0x1f;
+      } else if ((C & 0xf0) == 0xe0) {
+        Need = 2;
+        Cp = C & 0x0f;
+      } else if ((C & 0xf8) == 0xf0) {
+        Need = 3;
+        Cp = C & 0x07;
+      }
+      bool Ok = Need != 0;
+      for (size_t K = 1; Ok && K <= Need; ++K) {
+        if (I + K >= S.size() ||
+            (static_cast<unsigned char>(S[I + K]) & 0xc0) != 0x80)
+          Ok = false;
+        else
+          Cp = (Cp << 6) | (static_cast<unsigned char>(S[I + K]) & 0x3f);
+      }
+      if (Ok) {
+        static const uint32_t MinCp[4] = {0, 0x80, 0x800, 0x10000};
+        if (Cp < MinCp[Need] || (Cp >= 0xd800 && Cp <= 0xdfff) ||
+            Cp > 0x10ffff)
+          Ok = false;
+      }
+      if (Ok) {
+        Out.append(S, I, Need + 1);
+        I += Need + 1;
       } else {
-        Out += C;
+        Out += "\xef\xbf\xbd";
+        ++I;
       }
     }
   }

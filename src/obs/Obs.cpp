@@ -11,12 +11,14 @@
 
 using namespace bayonet;
 
-ObsContext::ObsContext(bool EnableTrace, bool EnableMetrics,
-                       bool EnableDiag) {
+ObsContext::ObsContext(bool EnableTrace, bool EnableMetrics, bool EnableDiag,
+                       bool EnableProfile) {
   if (EnableTrace)
     Trace = std::make_unique<Tracer>();
   if (EnableDiag)
     Diag = std::make_unique<DiagCollector>();
+  if (EnableProfile)
+    Prof = std::make_unique<Profiler>();
   if (!EnableMetrics)
     return;
   Reg = std::make_unique<MetricsRegistry>();
@@ -126,18 +128,23 @@ std::string ObsContext::renderFullStats() const {
 
 std::shared_ptr<ObsContext> bayonet::obsFromEnv(std::string &TraceOut,
                                                 std::string &MetricsOut,
-                                                std::string &DiagOut) {
+                                                std::string &DiagOut,
+                                                std::string &ProfileOut) {
   const char *T = std::getenv("BAYONET_TRACE");
   const char *M = std::getenv("BAYONET_METRICS");
   const char *D = std::getenv("BAYONET_DIAG");
+  const char *P = std::getenv("BAYONET_PROFILE");
   if (T && *T)
     TraceOut = T;
   if (M && *M)
     MetricsOut = M;
   if (D && *D)
     DiagOut = D;
-  if (TraceOut.empty() && MetricsOut.empty() && DiagOut.empty())
+  if (P && *P)
+    ProfileOut = P;
+  if (TraceOut.empty() && MetricsOut.empty() && DiagOut.empty() &&
+      ProfileOut.empty())
     return nullptr;
   return std::make_shared<ObsContext>(!TraceOut.empty(), !MetricsOut.empty(),
-                                      !DiagOut.empty());
+                                      !DiagOut.empty(), !ProfileOut.empty());
 }

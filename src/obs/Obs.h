@@ -21,6 +21,7 @@
 #include "obs/Diagnostics.h"
 #include "obs/Introspect.h"
 #include "obs/Metrics.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
 
 #include <memory>
@@ -61,7 +62,8 @@ struct EngineMetricIds {
 /// optional metrics registry, and the pre-registered engine metric ids.
 class ObsContext {
 public:
-  ObsContext(bool EnableTrace, bool EnableMetrics, bool EnableDiag = false);
+  ObsContext(bool EnableTrace, bool EnableMetrics, bool EnableDiag = false,
+             bool EnableProfile = false);
 
   Tracer *tracer() { return Trace.get(); }
   const Tracer *tracer() const { return Trace.get(); }
@@ -69,6 +71,8 @@ public:
   const MetricsRegistry *metrics() const { return Reg.get(); }
   DiagCollector *diag() { return Diag.get(); }
   const DiagCollector *diag() const { return Diag.get(); }
+  Profiler *profiler() { return Prof.get(); }
+  const Profiler *profiler() const { return Prof.get(); }
   const EngineMetricIds &ids() const { return Ids; }
 
   /// The live progress board. Always present (it is a fixed block of
@@ -85,6 +89,7 @@ private:
   std::unique_ptr<Tracer> Trace;
   std::unique_ptr<MetricsRegistry> Reg;
   std::unique_ptr<DiagCollector> Diag;
+  std::unique_ptr<Profiler> Prof;
   EngineMetricIds Ids;
   ProgressBoard Board;
 };
@@ -148,17 +153,23 @@ public:
   /// and can never perturb results.
   ProgressBoard *progress() const { return Ctx ? &Ctx->progress() : nullptr; }
 
+  /// The cost profiler, or null when profiling is off. The serial thread
+  /// owns its attribution stack and aggregates; lanes only write their
+  /// own shard arrays.
+  Profiler *profiler() const { return Ctx ? Ctx->profiler() : nullptr; }
+
 private:
   ObsContext *Ctx = nullptr;
 };
 
 /// Builds an ObsContext from the BAYONET_TRACE / BAYONET_METRICS /
-/// BAYONET_DIAG environment variables (each names an output file). Returns
-/// null when none is set. The file paths come back through the out-params
-/// so the caller can export after the run.
+/// BAYONET_DIAG / BAYONET_PROFILE environment variables (each names an
+/// output file). Returns null when none is set. The file paths come back
+/// through the out-params so the caller can export after the run.
 std::shared_ptr<ObsContext> obsFromEnv(std::string &TraceOut,
                                        std::string &MetricsOut,
-                                       std::string &DiagOut);
+                                       std::string &DiagOut,
+                                       std::string &ProfileOut);
 
 } // namespace bayonet
 

@@ -119,6 +119,16 @@ public:
       }
     }
     Span RunSpan = O.span("psi.run");
+    // Profiler attach (serial): every IR statement becomes a frame under
+    // the engine root. The interpreter spine is serial (parallelism lives
+    // inside expandBranches/splitCond), so one lane shard suffices; it is
+    // folded only at completed top-level statement boundaries.
+    PF = ObsC ? ObsC->profiler() : nullptr;
+    Profiler::Scope ProfRun(PF, "psi");
+    if (PF) {
+      registerPsiBody(*PF, PF->current(), P.Body);
+      PF->beginLanes(1);
+    }
     if (DiagCollector *DC = O.diag())
       DC->beginEngine("psi");
     if (ProgressBoard *PB = O.progress()) {
@@ -206,14 +216,30 @@ public:
       // Budget/cancellation stop: report the last completed statement
       // boundary (bit-identical for every thread count for the
       // deterministic stop classes).
+      if (PF)
+        PF->discardLanes(); // Partial statement: keep the boundary aggregate.
       restoreSnapshot();
       Result.Status = BT->status();
       return;
     }
-    if (!Aborted)
+    if (!Aborted) {
+      Profiler::Scope ProfFinish(PF, "finish");
       finish(D);
+    }
     if (BT && BT->stop())
       Result.Status = BT->status(); // Stop raced in during finish().
+    if (PF) {
+      if (Aborted)
+        PF->discardLanes(); // e.g. the MaxDist trip: partial statement.
+      else {
+        // Every top-level statement completed: the frames' States columns
+        // sum to the engine's expansion counter exactly.
+        ProfCounts T;
+        T.States = Result.BranchesExpanded;
+        PF->setTotals(T);
+      }
+      PF->publishBoard();
+    }
     if (DiagCollector *DC = O.diag()) {
       // Support = surviving environments; residual = observe-discarded
       // mass when the retained masses are concrete.
@@ -238,6 +264,7 @@ private:
   Checkpointer *CP;
   ObsContext *ObsC;
   ObsHandle O;
+  Profiler *PF = nullptr;
   /// Snapshot identity and write callback (set only when CP != null).
   uint64_t SpecFp = 0;
   uint64_t OptsFp = 0;
@@ -550,6 +577,23 @@ private:
     --Depth;
     if (Aborted)
       return; // Incomplete statement: nothing is charged (boundary rule).
+    // Profiler boundary: the completed top-level statement gets its own
+    // expansion/merge deltas, and the lane shard (per-statement execs of
+    // everything nested under it) folds into the serial aggregate.
+    if (PF) {
+      ProfCounts PC;
+      PC.States = Result.BranchesExpanded - PrevExpanded;
+      PC.MergeAttempts = Result.MergeAttempts - PrevAttempts;
+      PC.MergeHits = Result.MergeHits - PrevHits;
+      PF->charge(S.ProfSlot, PC);
+      PF->chargeTime(S.ProfSlot,
+                     static_cast<uint64_t>(
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - T0)
+                             .count()));
+      PF->drainLanes();
+      PF->publishBoard();
+    }
     O.count(&EngineMetricIds::StatesExpanded,
             Result.BranchesExpanded - PrevExpanded);
     O.count(&EngineMetricIds::MergeAttempts,
@@ -610,6 +654,11 @@ private:
   }
 
   void execStmtInner(const PStmt &S, Dist &D) {
+    if (PF)
+      // One exec per branch entering the statement (the PSI analogue of
+      // per-world statement executions). Staged in the lane shard, folded
+      // only at completed top-level boundaries.
+      PF->laneExecs(0)[S.ProfSlot] += D.size();
     switch (S.Kind) {
     case PStmtKind::Assign: {
       D = expandBranches(D, [&](Branch &B, Dist &Out, SymProb &Err) {

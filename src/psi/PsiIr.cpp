@@ -6,6 +6,10 @@
 
 #include "psi/PsiIr.h"
 
+#include "obs/Profile.h"
+
+#include <map>
+
 using namespace bayonet;
 
 PExprPtr bayonet::pConst(Rational V) {
@@ -319,4 +323,60 @@ std::string bayonet::printPsiProgram(const PsiProgram &P) {
     Out += "  return " + exprText(*P.Result, P) + ";\n";
   Out += "}\n";
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Profiler registration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *pStmtLabel(PStmtKind K) {
+  switch (K) {
+  case PStmtKind::Assign:
+    return "assign";
+  case PStmtKind::PushBack:
+    return "push_back";
+  case PStmtKind::PushFront:
+    return "push_front";
+  case PStmtKind::PopFront:
+    return "pop_front";
+  case PStmtKind::If:
+    return "if";
+  case PStmtKind::While:
+    return "while";
+  case PStmtKind::Repeat:
+    return "repeat";
+  case PStmtKind::Observe:
+    return "observe";
+  case PStmtKind::Assert:
+    return "assert";
+  }
+  return "stmt";
+}
+
+void registerInto(Profiler &PF, uint32_t Parent,
+                  const std::vector<PStmtPtr> &Body,
+                  std::map<std::pair<uint32_t, std::string>, unsigned> &Seen) {
+  for (const PStmtPtr &S : Body) {
+    std::string Label = pStmtLabel(S->Kind);
+    if (S->Loc.isValid())
+      Label += "@" + S->Loc.toString();
+    // Same-parent label collisions get a deterministic "#n" suffix so every
+    // statement keeps its own frame (stack keys must be unique).
+    unsigned &N = Seen[{Parent, Label}];
+    if (N++)
+      Label += "#" + std::to_string(N - 1);
+    S->ProfSlot = PF.internAt(Parent, Label, S->Loc);
+    registerInto(PF, S->ProfSlot, S->Then, Seen);
+    registerInto(PF, S->ProfSlot, S->Else, Seen);
+  }
+}
+
+} // namespace
+
+void bayonet::registerPsiBody(Profiler &PF, uint32_t Parent,
+                              const std::vector<PStmtPtr> &Body) {
+  std::map<std::pair<uint32_t, std::string>, unsigned> Seen;
+  registerInto(PF, Parent, Body, Seen);
 }

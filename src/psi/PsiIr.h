@@ -105,6 +105,14 @@ struct PStmt {
   PExprPtr E;            ///< Assign value / push value / condition.
   std::vector<PStmtPtr> Then;
   std::vector<PStmtPtr> Else;
+  /// Source position of the Bayonet statement this lowered from (invalid
+  /// for translator-synthesized glue).
+  SourceLoc Loc;
+  /// Profiler site for this statement, stamped by registerPsiBody.
+  /// Mutable for the same reason as Stmt::ProfIndex: attribution identity,
+  /// not program semantics. UINT32_MAX (Profiler::InvalidSlot) when
+  /// profiling is off.
+  mutable uint32_t ProfSlot = UINT32_MAX;
 };
 
 PStmtPtr sAssign(unsigned Var, PExprPtr E);
@@ -147,6 +155,15 @@ struct PsiProgram {
 
 /// Renders a program as readable PSI-style pseudo-source.
 std::string printPsiProgram(const PsiProgram &P);
+
+class Profiler;
+
+/// Registers every statement of \p Body (recursively) as a profiler frame
+/// under \p Parent and stamps PStmt::ProfSlot. The walk is deterministic
+/// (body order, "#n" suffixes on same-parent label collisions), so running
+/// it after a checkpoint restore re-interns the identical slots.
+void registerPsiBody(Profiler &PF, uint32_t Parent,
+                     const std::vector<PStmtPtr> &Body);
 
 } // namespace bayonet
 

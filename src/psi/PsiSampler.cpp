@@ -22,9 +22,15 @@ enum class Status { Ok, Error, Rejected, Stopped };
 /// Sampling interpreter: one environment per particle.
 class SampleInterp {
 public:
+  /// \p ProfExecs / \p ProfSamples, when set, are profiler lane arrays
+  /// indexed by PStmt::ProfSlot; the interpreter charges one exec per
+  /// statement entered and one sample per PRNG draw (attributed to the
+  /// statement whose expression drew).
   SampleInterp(const PsiProgram &P, Xoshiro &Rng, int64_t WhileFuel,
-               const std::atomic<bool> *Stop = nullptr)
-      : P(P), Rng(Rng), WhileFuel(WhileFuel), Stop(Stop) {
+               const std::atomic<bool> *Stop = nullptr,
+               uint64_t *ProfExecs = nullptr, uint64_t *ProfSamples = nullptr)
+      : P(P), Rng(Rng), WhileFuel(WhileFuel), Stop(Stop),
+        ProfExecs(ProfExecs), ProfSamples(ProfSamples) {
     Vars.assign(P.VarNames.size(), PsiValue());
   }
 
@@ -53,6 +59,10 @@ private:
   Xoshiro &Rng;
   int64_t WhileFuel;
   const std::atomic<bool> *Stop;
+  uint64_t *ProfExecs;
+  uint64_t *ProfSamples;
+  /// ProfSlot of the statement currently executing (draw attribution).
+  uint32_t CurSlot = UINT32_MAX;
   uint64_t StmtsSeen = 0;
   std::vector<PsiValue> Vars;
 
@@ -71,6 +81,10 @@ private:
     if (Stop && (++StmtsSeen & 255) == 0 &&
         Stop->load(std::memory_order_acquire))
       return Status::Stopped;
+    if (ProfExecs) {
+      ++ProfExecs[S.ProfSlot];
+      CurSlot = S.ProfSlot;
+    }
     switch (S.Kind) {
     case PStmtKind::Assign: {
       PsiValue V;
@@ -122,6 +136,9 @@ private:
     case PStmtKind::While: {
       for (int64_t Fuel = WhileFuel; Fuel > 0; --Fuel) {
         bool Truth;
+        // Body statements moved CurSlot; condition draws belong here.
+        if (ProfExecs)
+          CurSlot = S.ProfSlot;
         if (!evalTruth(*S.E, Truth))
           return Status::Error;
         if (!Truth)
@@ -242,6 +259,8 @@ private:
       const Rational &Prob = PV.rational();
       if (Prob.isNegative() || Prob > Rational(1))
         return false;
+      if (ProfSamples && CurSlot != UINT32_MAX)
+        ++ProfSamples[CurSlot];
       Out = PsiValue(Rational(Rng.flip(Prob) ? 1 : 0));
       return true;
     }
@@ -256,6 +275,8 @@ private:
       int64_t H = Hi.rational().num().getSmall();
       if (L > H)
         return false;
+      if (ProfSamples && CurSlot != UINT32_MAX)
+        ++ProfSamples[CurSlot];
       Out = PsiValue(Rational(Rng.uniformInt(L, H)));
       return true;
     }
@@ -346,6 +367,15 @@ PsiSampleResult PsiSampler::run() const {
   }
   ObsHandle OH(Opts.Obs);
   Span RunSpan = OH.span("psi_smc.run");
+  // Profiler attach (serial): every IR statement becomes a frame under the
+  // engine root; particle lanes charge statement execs/draws into shards
+  // folded at the chunk boundaries (this engine's serial points).
+  Profiler *PF = ObsC ? ObsC->profiler() : nullptr;
+  Profiler::Scope ProfRun(PF, "psi-smc");
+  if (PF) {
+    registerPsiBody(*PF, PF->current(), P.Body);
+    PF->beginLanes(Threads);
+  }
   if (DiagCollector *DC = OH.diag())
     DC->beginEngine("psi-smc", Opts.Particles);
   if (ProgressBoard *PB = OH.progress()) {
@@ -427,12 +457,14 @@ PsiSampleResult PsiSampler::run() const {
     Streams.push_back(Master.split());
 
   Outs.resize(Effective);
-  auto runOne = [&](size_t I) {
+  auto runOne = [&](size_t I, unsigned Lane) {
     if (StopF && StopF->load(std::memory_order_acquire))
       return; // Drained: the particle stays NotRun.
     if (BT)
       BT->chargeStates();
-    SampleInterp Interp(P, Streams[I], Opts.WhileFuel, StopF);
+    SampleInterp Interp(P, Streams[I], Opts.WhileFuel, StopF,
+                        PF ? PF->laneExecs(Lane) : nullptr,
+                        PF ? PF->laneSamples(Lane) : nullptr);
     Status St = Interp.run();
     if (BT)
       BT->chargeBytes(Interp.envBytes());
@@ -461,15 +493,48 @@ PsiSampleResult PsiSampler::run() const {
       for (size_t I = Lo; I < Hi; ++I) {
         if (StopF && StopF->load(std::memory_order_acquire))
           break;
-        runOne(I);
+        runOne(I, 0);
       }
     } else {
+      // Contiguous per-lane chunks: the lane index is a stable identity
+      // the profiler shards by (one writer per lane shard per batch).
+      const size_t Lanes = Threads;
+      const size_t N = Hi - Lo;
+      const size_t Chunk = (N + Lanes - 1) / Lanes;
       ThreadPool::global().parallelFor(
-          Hi - Lo, [&](size_t J) { runOne(Lo + J); }, StopF);
+          Lanes,
+          [&](size_t Lane) {
+            size_t CLo = Lo + std::min(N, Lane * Chunk);
+            size_t CHi = Lo + std::min(N, Lane * Chunk + Chunk);
+            for (size_t I = CLo; I < CHi; ++I) {
+              if (StopF && StopF->load(std::memory_order_acquire))
+                return;
+              runOne(I, static_cast<unsigned>(Lane));
+            }
+          },
+          StopF);
     }
+  };
+  // Serial-point fold of the lanes' statement shards: a batch cut short by
+  // a stop is discarded whole (the boundary rule), so the drained counts
+  // are a pure function of (seed, completed batches).
+  auto profBoundary = [&](uint64_t Completed) {
+    if (!PF)
+      return;
+    if (BT && BT->stop()) {
+      PF->discardLanes();
+      return;
+    }
+    ProfCounts PC;
+    PC.States = Completed;
+    PC.Execs = 1;
+    PF->charge(PF->current(), PC);
+    PF->drainLanes();
+    PF->publishBoard();
   };
   if (!CP) {
     runRange(0, Outs.size());
+    profBoundary(Outs.size());
   } else {
     // Chunked batch with a serial boundary between chunks: completed
     // outcomes are a pure function of (seed, particle index), so the chunk
@@ -510,7 +575,9 @@ PsiSampleResult PsiSampler::run() const {
         PU.StatesExpanded = Lo;
         PB->publish(PU);
       }
-      runRange(Lo, std::min(Outs.size(), Lo + ChunkSize));
+      size_t Hi = std::min(Outs.size(), Lo + ChunkSize);
+      runRange(Lo, Hi);
+      profBoundary(Hi - Lo);
     }
   }
 

@@ -675,6 +675,14 @@ void Checkpointer::restoreCommon(BudgetTracker *BT, ObsContext *Obs) {
       SectionOk = Scratch.restoreFrom(R);
     }
   }
+  if (SectionOk && R.boolean()) {
+    if (Obs && Obs->profiler()) {
+      SectionOk = Obs->profiler()->restoreFrom(R);
+    } else {
+      Profiler Scratch;
+      SectionOk = Scratch.restoreFrom(R);
+    }
+  }
   if (!SectionOk || !R.ok()) {
     ResumeErr = "corrupt common section in " + Loaded;
     return;
@@ -778,6 +786,16 @@ void Checkpointer::writeNow(const std::string &Engine, uint64_t SpecFp,
   if (Dg) {
     W.u8(1);
     Dg->snapshotTo(W);
+  } else {
+    W.u8(0);
+  }
+  // Profiler aggregate: restored before the engines re-register their
+  // frames, so a resumed run's deterministic count columns continue
+  // bit-identically from the boundary.
+  const Profiler *Pf = Obs ? Obs->profiler() : nullptr;
+  if (Pf) {
+    W.u8(1);
+    Pf->snapshotTo(W);
   } else {
     W.u8(0);
   }

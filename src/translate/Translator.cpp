@@ -277,8 +277,15 @@ PExprPtr TranslatorImpl::trExpr(const Expr &E) {
 
 void TranslatorImpl::trStmts(const std::vector<StmtPtr> &Stmts,
                              std::vector<PStmtPtr> &Out) {
-  for (const StmtPtr &S : Stmts)
+  for (const StmtPtr &S : Stmts) {
+    // Every IR statement a source statement lowers to inherits its source
+    // location (the profiler's annotated view folds them back per line).
+    size_t First = Out.size();
     trStmt(*S, Out);
+    for (size_t I = First; I < Out.size(); ++I)
+      if (!Out[I]->Loc.isValid())
+        Out[I]->Loc = S->Loc;
+  }
 }
 
 void TranslatorImpl::trStmt(const Stmt &S, std::vector<PStmtPtr> &Out) {

@@ -349,6 +349,84 @@ TEST_P(FuzzDiffTest, TxCacheInvariance) {
   }
 }
 
+// Profiler count columns obey the determinism contract on arbitrary
+// generated networks too: the canonical rendering is byte-identical with
+// the sharded path forced at 1 vs 4 lanes (within each TxCache setting),
+// the work columns are additionally identical across TxCache on/off, the
+// per-frame states sum to the engine's expansion total, and profiling
+// never perturbs the posterior.
+TEST_P(FuzzDiffTest, ProfileCountInvariance) {
+  NetworkGen Gen(GetParam());
+  std::string Source = Gen.generate();
+  SCOPED_TRACE(Source);
+
+  DiagEngine Diags;
+  auto Net = loadNetwork(Source, Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+
+  ExactResult Plain = ExactEngine(Net->Spec).run();
+  ASSERT_FALSE(Plain.QueryUnsupported) << Plain.UnsupportedReason;
+
+  // stack|states|execs|samples|merge_attempts|merge_hits|tx_hits|tx_misses
+  auto workOf = [](const std::string &Canon) {
+    std::string Out;
+    size_t Pos = 0;
+    while (Pos < Canon.size()) {
+      size_t End = Canon.find('\n', Pos);
+      std::string Line = Canon.substr(Pos, End - Pos);
+      Pos = End + 1;
+      size_t Cut = Line.rfind('|');
+      Cut = Line.rfind('|', Cut - 1);
+      Line.resize(Cut);
+      bool AllZero = true;
+      for (size_t I = Line.find('|'); I < Line.size(); ++I)
+        if (Line[I] != '|' && Line[I] != '0')
+          AllZero = false;
+      if (!AllZero)
+        Out += Line + "\n";
+    }
+    return Out;
+  };
+  auto statesSum = [](const std::string &Canon) {
+    uint64_t Sum = 0;
+    size_t Pos = 0;
+    while (Pos < Canon.size()) {
+      size_t Bar = Canon.find('|', Pos);
+      Sum += std::stoull(Canon.substr(Bar + 1));
+      Pos = Canon.find('\n', Pos) + 1;
+    }
+    return Sum;
+  };
+
+  auto canonOf = [&](unsigned Threads, uint64_t TxBytes) {
+    auto Ctx = std::make_shared<ObsContext>(/*Trace=*/false,
+                                            /*Metrics=*/false,
+                                            /*Diag=*/false,
+                                            /*Profile=*/true);
+    ExactOptions Opts;
+    Opts.Threads = Threads;
+    Opts.ParallelThreshold = 1;
+    Opts.TxCacheBytes = TxBytes;
+    Opts.Obs = Ctx;
+    ExactResult R = ExactEngine(Net->Spec, Opts).run();
+    EXPECT_TRUE(Plain.QueryMass == R.QueryMass)
+        << "profiling perturbed the posterior";
+    EXPECT_EQ(Plain.ConfigsExpanded, R.ConfigsExpanded);
+    EXPECT_EQ(Plain.MergeHits, R.MergeHits);
+    return Ctx->profiler()->renderCanonicalCounts();
+  };
+
+  std::string Off = canonOf(1, 0);
+  ASSERT_FALSE(Off.empty());
+  EXPECT_EQ(canonOf(4, 0), Off);
+  EXPECT_EQ(statesSum(Off), Plain.ConfigsExpanded);
+
+  std::string On = canonOf(1, TxCacheDefaultBytes);
+  EXPECT_EQ(canonOf(4, TxCacheDefaultBytes), On);
+  EXPECT_EQ(workOf(On), workOf(Off))
+      << "work columns must not depend on the TxCache setting";
+}
+
 // Small-path/big-path differential mode: re-accumulate the terminal mass
 // of a full exact run (whose weight merging rode the small-int64 Rational
 // fast paths) with definitionally pure BigInt arithmetic — cross-multiply

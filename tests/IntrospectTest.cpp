@@ -85,6 +85,15 @@ HttpReply httpGet(uint16_t Port, const std::string &Target,
   return Reply;
 }
 
+/// The Content-Length header value, or -1 when absent.
+long contentLength(const HttpReply &Reply) {
+  std::smatch M;
+  if (std::regex_search(Reply.Raw, M,
+                        std::regex("Content-Length: ([0-9]+)")))
+    return std::stol(M[1].str());
+  return -1;
+}
+
 std::string stripTimestamps(std::string Json) {
   Json = std::regex_replace(Json, std::regex("\"ts\":[0-9]+"), "\"ts\":T");
   return std::regex_replace(Json, std::regex("\"dur\":[0-9]+"), "\"dur\":D");
@@ -187,6 +196,45 @@ TEST(Introspect, HttpServerRoutesAndErrors) {
       << "stopped server accepts nothing";
 }
 
+// HEAD is GET without the body (RFC 7231 §4.3.2): identical status and
+// headers — including the Content-Length the GET body would have — and
+// not a single body byte, on success and error paths alike.
+TEST(Introspect, HeadSendsHeadersWithoutBody) {
+  HttpServer S;
+  S.route("/hello", [](const HttpRequest &R) {
+    HttpResponse Resp;
+    Resp.Body = "hi " + R.query("name", "anon");
+    return Resp;
+  });
+  std::string Err;
+  ASSERT_TRUE(S.start("127.0.0.1:0", Err)) << Err;
+
+  HttpReply Get = httpGet(S.port(), "/hello");
+  HttpReply Head = httpGet(S.port(), "/hello", "HEAD");
+  EXPECT_EQ(Head.Status, 200);
+  EXPECT_EQ(Head.Body, "");
+  EXPECT_EQ(contentLength(Head), static_cast<long>(Get.Body.size()));
+  EXPECT_EQ(Head.ContentType, Get.ContentType);
+
+  // Handlers can see the method (e.g. to skip an expensive render).
+  HttpReply Q = httpGet(S.port(), "/hello?name=bob", "HEAD");
+  EXPECT_EQ(Q.Status, 200);
+  EXPECT_EQ(Q.Body, "");
+  EXPECT_EQ(contentLength(Q), static_cast<long>(std::string("hi bob").size()));
+
+  // Error paths too: a HEAD of a missing route is a bodyless 404 whose
+  // Content-Length still names the GET error text.
+  HttpReply Get404 = httpGet(S.port(), "/nope");
+  HttpReply Head404 = httpGet(S.port(), "/nope", "HEAD");
+  EXPECT_EQ(Head404.Status, 404);
+  EXPECT_EQ(Head404.Body, "");
+  EXPECT_EQ(contentLength(Head404), static_cast<long>(Get404.Body.size()));
+
+  // Anything else is still rejected.
+  EXPECT_EQ(httpGet(S.port(), "/hello", "PUT").Status, 405);
+  S.stop();
+}
+
 //===----------------------------------------------------------------------===//
 // IntrospectServer endpoints
 //===----------------------------------------------------------------------===//
@@ -237,6 +285,89 @@ TEST(Introspect, EndpointsServeObsState) {
   HttpReply Index = httpGet(Server.port(), "/");
   EXPECT_EQ(Index.Status, 200);
   EXPECT_NE(Index.Body.find("/metrics"), std::string::npos);
+}
+
+// Every endpoint — success or error — answers with a Content-Length that
+// matches its body exactly, so HEAD and keep-alive-less clients can trust
+// the framing.
+TEST(Introspect, ContentLengthMatchesBodyOnEveryEndpoint) {
+  LoadedNetwork Net = load(scenarios::gossip(3));
+  auto Ctx = std::make_shared<ObsContext>(/*Trace=*/true, /*Metrics=*/true,
+                                          /*Diag=*/true, /*Profile=*/true);
+  InferenceOptions Opts;
+  Opts.Obs = Ctx;
+  InferenceResult R = runInference(Net, Opts);
+  ASSERT_TRUE(R.Status.ok());
+
+  IntrospectServer Server(Ctx);
+  std::string Err;
+  ASSERT_TRUE(Server.start("127.0.0.1:0", Err)) << Err;
+
+  for (const char *Target :
+       {"/", "/metrics", "/statusz", "/healthz", "/trace", "/profile",
+        "/trace?last=bogus", "/absent"}) {
+    SCOPED_TRACE(Target);
+    HttpReply Reply = httpGet(Server.port(), Target);
+    ASSERT_NE(Reply.Status, 0);
+    EXPECT_EQ(contentLength(Reply), static_cast<long>(Reply.Body.size()));
+    EXPECT_FALSE(Reply.Body.empty());
+
+    HttpReply Head = httpGet(Server.port(), Target, "HEAD");
+    EXPECT_EQ(Head.Status, Reply.Status);
+    EXPECT_EQ(Head.Body, "");
+    // Dynamic bodies (uptime digits on /healthz, /statusz) may grow a byte
+    // between requests, so bracket the HEAD with a second GET and accept
+    // either observed size.
+    HttpReply Again = httpGet(Server.port(), Target);
+    long HeadLen = contentLength(Head);
+    EXPECT_GT(HeadLen, 0);
+    EXPECT_TRUE(HeadLen == static_cast<long>(Reply.Body.size()) ||
+                HeadLen == static_cast<long>(Again.Body.size()))
+        << "HEAD Content-Length " << HeadLen << " matches neither GET body ("
+        << Reply.Body.size() << ", " << Again.Body.size() << ")";
+  }
+}
+
+// The /profile endpoint's three states: profiling off for the run, on but
+// nothing published yet, and live top-frame JSON after engine boundaries.
+TEST(Introspect, ProfileEndpointLifecycle) {
+  // Profiling disabled: an explanatory 503, not an empty 200.
+  {
+    auto Ctx = std::make_shared<ObsContext>(false, true);
+    IntrospectServer Server(Ctx);
+    std::string Err;
+    ASSERT_TRUE(Server.start("127.0.0.1:0", Err)) << Err;
+    HttpReply Reply = httpGet(Server.port(), "/profile");
+    EXPECT_EQ(Reply.Status, 503);
+    EXPECT_NE(Reply.Body.find("profiling disabled"), std::string::npos);
+  }
+
+  auto Ctx = std::make_shared<ObsContext>(false, true, false,
+                                          /*Profile=*/true);
+  IntrospectServer Server(Ctx);
+  std::string Err;
+  ASSERT_TRUE(Server.start("127.0.0.1:0", Err)) << Err;
+
+  // Enabled but nothing published yet.
+  HttpReply Early = httpGet(Server.port(), "/profile");
+  EXPECT_EQ(Early.Status, 503);
+  EXPECT_EQ(Early.ContentType, "application/json; charset=utf-8");
+  EXPECT_NE(Early.Body.find("\"published\":false"), std::string::npos);
+
+  // After a run the board holds the top frames by self work.
+  LoadedNetwork Net = load(scenarios::gossip(3));
+  InferenceOptions Opts;
+  Opts.Obs = Ctx;
+  InferenceResult R = runInference(Net, Opts);
+  ASSERT_TRUE(R.Status.ok());
+  EXPECT_GT(Ctx->profiler()->board().publishes(), 0u);
+
+  HttpReply Live = httpGet(Server.port(), "/profile");
+  EXPECT_EQ(Live.Status, 200);
+  EXPECT_EQ(Live.ContentType, "application/json; charset=utf-8");
+  EXPECT_NE(Live.Body.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(Live.Body.find("\"top\":[{\"stack\":"), std::string::npos);
+  EXPECT_NE(Live.Body.find("exact"), std::string::npos);
 }
 
 TEST(Introspect, StatuszTracksAdvancingSteps) {

@@ -16,13 +16,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Bayonet.h"
+#include "obs/Profile.h"
 #include "psi/PsiExact.h"
 #include "psi/PsiSampler.h"
 #include "scenarios/Scenarios.h"
+#include "support/Snapshot.h"
 #include "support/ThreadPool.h"
 #include "translate/Translator.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
 
 using namespace bayonet;
 
@@ -319,6 +324,188 @@ TEST(ParallelDeterminism, TxCacheDiagReportBitIdenticalAcrossThreads) {
       EXPECT_EQ(diagOf(CacheBytes, Threads), One)
           << "txcache=" << CacheBytes << " threads=" << Threads;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Profiler count determinism: threads x txcache x crash/resume
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<ObsContext> profObs() {
+  return std::make_shared<ObsContext>(/*Trace=*/false, /*Metrics=*/false,
+                                      /*Diag=*/false, /*Profile=*/true);
+}
+
+std::string profSnapPath() {
+  static int Counter = 0;
+  return ::testing::TempDir() + "bayonet_prof_" + std::to_string(::getpid()) +
+         "_" + std::to_string(Counter++) + ".snap";
+}
+
+std::shared_ptr<Checkpointer> profCp(const std::string &Out,
+                                     const std::string &Resume = "",
+                                     const std::string &Fault = "") {
+  CheckpointOptions CO;
+  CO.OutPath = Out;
+  CO.ResumePath = Resume;
+  CO.Fault = Fault;
+  CO.Every = 1;
+  return std::make_shared<Checkpointer>(CO);
+}
+
+/// Projects a canonical-counts rendering onto its work columns (states,
+/// execs, samples, merge attempts/hits), dropping rows that are all zero
+/// there. The work projection is the tier of the fingerprint that is
+/// additionally invariant across TxCache on/off: cache hits replay the
+/// per-statement counts recorded at compute time, and the tx columns only
+/// exist when the cache does.
+std::string workColumns(const std::string &Canon) {
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < Canon.size()) {
+    size_t End = Canon.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Canon.size();
+    std::string Line = Canon.substr(Pos, End - Pos);
+    Pos = End + 1;
+    // stack|states|execs|samples|merge_attempts|merge_hits|tx_hits|tx_misses
+    size_t Cut = Line.size();
+    for (int Drop = 0; Drop < 2 && Cut != std::string::npos; ++Drop)
+      Cut = Line.rfind('|', Cut - 1);
+    size_t Bar = Line.find('|');
+    EXPECT_NE(Cut, std::string::npos) << Line;
+    EXPECT_NE(Bar, std::string::npos) << Line;
+    if (Cut == std::string::npos || Bar == std::string::npos || Bar >= Cut)
+      continue;
+    std::string Kept = Line.substr(0, Cut);
+    bool AllZero = true;
+    for (size_t I = Bar; I < Kept.size(); ++I)
+      if (Kept[I] != '|' && Kept[I] != '0')
+        AllZero = false;
+    if (!AllZero)
+      Out += Kept + "\n";
+  }
+  return Out;
+}
+
+/// True when any row of \p Canon has a nonzero tx_hits or tx_misses
+/// column (the last two).
+bool anyTxColumn(const std::string &Canon) {
+  size_t Pos = 0;
+  while (Pos < Canon.size()) {
+    size_t End = Canon.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Canon.size();
+    std::string Line = Canon.substr(Pos, End - Pos);
+    Pos = End + 1;
+    size_t Cut = Line.size();
+    for (int Drop = 0; Drop < 2 && Cut != std::string::npos; ++Drop)
+      Cut = Line.rfind('|', Cut - 1);
+    if (Cut == std::string::npos)
+      continue;
+    for (size_t I = Cut; I < Line.size(); ++I)
+      if (Line[I] != '|' && Line[I] != '0')
+        return true;
+  }
+  return false;
+}
+
+/// One exact-engine cell of the matrix: forced sharded path, profiling
+/// context, optional checkpointer. Returns the canonical count rendering.
+std::string exactProfileCanon(const LoadedNetwork &Net, unsigned Threads,
+                              uint64_t TxCacheBytes,
+                              std::shared_ptr<Checkpointer> Cp,
+                              bool ExpectOk) {
+  auto Ctx = profObs();
+  ExactOptions Opts;
+  Opts.Threads = Threads;
+  Opts.ParallelThreshold = 1;
+  Opts.TxCacheBytes = TxCacheBytes;
+  Opts.Obs = Ctx;
+  Opts.Checkpoint = std::move(Cp);
+  ExactResult R = ExactEngine(Net.Spec, Opts).run();
+  if (ExpectOk) {
+    EXPECT_TRUE(R.Status.ok()) << R.Status.toString();
+    EXPECT_FALSE(R.QueryUnsupported) << R.UnsupportedReason;
+  } else {
+    EXPECT_FALSE(R.Status.ok()) << "fault injection must abort the run";
+  }
+  return Ctx->profiler()->renderCanonicalCounts();
+}
+
+// The tentpole acceptance matrix: the profiler's deterministic count
+// columns are byte-identical across worker-thread counts and across a
+// checkpoint crash/resume within each TxCache setting, and the work
+// columns are additionally byte-identical across TxCache on/off.
+TEST(ParallelDeterminism, ProfileCountMatrixThreadsTxCacheCrashResume) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(scenarios::paperExample(), Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+
+  std::string WorkRef;
+  for (uint64_t Tx : {uint64_t(0), TxCacheDefaultBytes}) {
+    std::string Ref;
+    for (unsigned Threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE("txcache=" + std::to_string(Tx) +
+                   " threads=" + std::to_string(Threads));
+      std::string Straight =
+          exactProfileCanon(*Net, Threads, Tx, nullptr, /*ExpectOk=*/true);
+      ASSERT_FALSE(Straight.empty());
+      if (Ref.empty())
+        Ref = Straight;
+      else
+        EXPECT_EQ(Straight, Ref);
+
+      // Crash at the first snapshot write, resume from it: the restored
+      // aggregate continues bit-identically to the uninterrupted run.
+      std::string Path = profSnapPath();
+      auto CrashCp = profCp(Path, "", "crash-at-checkpoint=1");
+      exactProfileCanon(*Net, Threads, Tx, CrashCp, /*ExpectOk=*/false);
+      EXPECT_TRUE(CrashCp->crashed());
+      auto ResCp = profCp(Path, Path);
+      std::string Resumed =
+          exactProfileCanon(*Net, Threads, Tx, ResCp, /*ExpectOk=*/true);
+      EXPECT_TRUE(ResCp->resumed());
+      EXPECT_EQ(Resumed, Ref);
+      std::remove(Path.c_str());
+      std::remove((Path + ".prev").c_str());
+    }
+    EXPECT_NE(Ref.find("exact;step;expand|"), std::string::npos) << Ref;
+    // Tx columns exist exactly when the cache does.
+    EXPECT_EQ(anyTxColumn(Ref), Tx != 0) << Ref;
+    std::string Work = workColumns(Ref);
+    ASSERT_FALSE(Work.empty());
+    if (WorkRef.empty())
+      WorkRef = Work;
+    else
+      EXPECT_EQ(Work, WorkRef)
+          << "work columns must not depend on the TxCache setting";
+  }
+}
+
+// The seeded sampler charges PRNG draws and statement executions through
+// per-lane shards with contiguous particle chunks; the folded counts are
+// thread-count-invariant like every other deterministic column.
+TEST(ParallelDeterminism, ProfileCountsSamplerThreadInvariant) {
+  DiagEngine Diags;
+  auto Net = loadNetwork(scenarios::reliabilityChain(2), Diags);
+  ASSERT_TRUE(Net.has_value()) << Diags.toString();
+
+  auto canonOf = [&](unsigned Threads) {
+    auto Ctx = profObs();
+    SampleOptions Opts;
+    Opts.Particles = 300;
+    Opts.Seed = 42;
+    Opts.Threads = Threads;
+    Opts.Obs = Ctx;
+    SampleResult R = Sampler(Net->Spec, Opts).run();
+    EXPECT_TRUE(R.Status.ok()) << R.Status.toString();
+    return Ctx->profiler()->renderCanonicalCounts();
+  };
+  std::string Base = canonOf(1);
+  ASSERT_FALSE(Base.empty());
+  EXPECT_NE(Base.find("smc;"), std::string::npos) << Base;
+  for (unsigned Threads : {2u, 8u})
+    EXPECT_EQ(canonOf(Threads), Base) << Threads;
 }
 
 // Regression: a failed uniformInt operand must contribute exactly the
