@@ -11,7 +11,7 @@
 ///
 ///   bayonet FILE [--engine exact|translated|smc|reject]
 ///                [--particles N] [--seed N] [--threads N]
-///                [--txcache on|off|BYTES]
+///                [--txcache on|off|BYTES] [--intern on|off|BYTES]
 ///                [--deadline-ms N] [--max-states N] [--max-frontier N]
 ///                [--max-merges N] [--max-bytes N] [--max-sched-steps N]
 ///                [--on-budget-exceeded fail|fallback-smc]
@@ -87,6 +87,10 @@ void usage() {
       "  --threads N                            worker threads (0 = auto, "
       "1 = serial)\n"
       "  --txcache on|off|BYTES                 successor-transition cache "
+      "(default on;\n"
+      "                                         results identical either "
+      "way)\n"
+      "  --intern on|off|BYTES                  hash-consing intern arena "
       "(default on;\n"
       "                                         results identical either "
       "way)\n"
@@ -289,6 +293,26 @@ int runMain(int argc, char **argv) {
           return 2;
         }
         IOpts.TxCacheBytes = N;
+      }
+    } else if (Arg == "--intern" || Arg.rfind("--intern=", 0) == 0) {
+      std::string Val = Arg == "--intern"
+                            ? std::string(takeValue("--intern"))
+                            : Arg.substr(std::strlen("--intern="));
+      if (Val == "on")
+        IOpts.InternBytes = InternDefaultBytes;
+      else if (Val == "off")
+        IOpts.InternBytes = 0;
+      else {
+        char *End = nullptr;
+        unsigned long long N = std::strtoull(Val.c_str(), &End, 10);
+        if (Val.empty() || End == Val.c_str() || *End != '\0') {
+          std::fprintf(stderr,
+                       "error: --intern expects on, off, or a byte count, "
+                       "got '%s'\n",
+                       Val.c_str());
+          return 2;
+        }
+        IOpts.InternBytes = N;
       }
     } else if (Arg == "--deadline-ms")
       IOpts.Limits.DeadlineMs = static_cast<int64_t>(takeU64("--deadline-ms"));
@@ -665,6 +689,11 @@ int runMain(int argc, char **argv) {
           std::printf("txcache: hits=%" PRIu64 " misses=%" PRIu64
                       " evictions=%" PRIu64 " bytes=%" PRIu64 "\n",
                       ER.TxHits, ER.TxMisses, ER.TxEvictions, ER.TxBytes);
+        if (ER.InternHits || ER.InternMisses)
+          std::printf("intern: hits=%" PRIu64 " misses=%" PRIu64
+                      " evictions=%" PRIu64 " bytes=%" PRIu64 "\n",
+                      ER.InternHits, ER.InternMisses, ER.InternEvictions,
+                      ER.InternBytes);
         if (!ER.WorkerConfigsExpanded.empty()) {
           std::printf("configs expanded per worker:");
           for (size_t N : ER.WorkerConfigsExpanded)

@@ -26,14 +26,15 @@ two scrapes.
 count invariants, and (when the engine stamped totals) that the frames'
 states column sums exactly to the engine total. With --canon it prints
 the canonical count lines (stack|states|execs|samples|merge_attempts|
-merge_hits|tx_hits|tx_misses, sorted by stack key, deterministic columns
+merge_hits|tx_hits|tx_misses|intern_hits|intern_misses, sorted by stack
+key, deterministic columns
 only) on stdout — byte-identical across thread counts and crash/resume
-for a fixed TxCache setting, so callers diff two --canon outputs to
-assert count determinism. --canon-work prints only the work columns
+for a fixed TxCache/intern setting, so callers diff two --canon outputs
+to assert count determinism. --canon-work prints only the work columns
 (states|execs|samples|merge_attempts|merge_hits), which are additionally
-byte-identical across TxCache on/off (cache hits replay the recorded
-per-statement counts; the tx columns themselves are only populated when
-the cache exists). Time and allocation columns are explicitly excluded
+byte-identical across TxCache and intern on/off (cache hits replay the
+recorded per-statement counts; the tx/intern columns themselves are only
+populated when the cache/arena exists). Time and allocation columns are explicitly excluded
 from both.
 """
 import json
@@ -347,6 +348,8 @@ PROFILE_COUNT_KEYS = [
     "merge_hits",
     "tx_hits",
     "tx_misses",
+    "intern_hits",
+    "intern_misses",
 ]
 
 

@@ -77,6 +77,49 @@ for Engine in exact smc; do
   echo "diag determinism: $Engine identical at --threads 1/2/8"
 done
 
+echo "=== tier-1: intern determinism (posterior + diag, on/off x threads) ==="
+# The interning arena is a pure representation change: the CLI's answer
+# and the DiagReport must be byte-identical with the arena on and off, at
+# every thread count, for the exact engine and SMC. Strip what varies by
+# design: wall clock, the intern counter line itself, the per-worker
+# expansion split (a function of the lane layout, printed only at
+# --threads > 1), and peak-bytes (the arena changes what memory is held).
+for Engine in exact smc; do
+  for Intern in on off; do
+    for T in 1 2 8; do
+      ./build/examples/bayonet examples/programs/gossip4.bay \
+        --engine "$Engine" --particles 500 --seed 7 --threads "$T" \
+        --intern "$Intern" --stats \
+        --diag-out="$ObsTmp/idiag_${Engine}_${Intern}_$T.json" \
+        2> /dev/null |
+        sed -e 's/ wall-ms=[0-9.]*//' -e '/^intern:/d' \
+          -e '/^configs expanded per worker:/d' -e 's/ peak-bytes=[0-9]*//' \
+          > "$ObsTmp/iout_${Engine}_${Intern}_$T.txt"
+    done
+  done
+  for Intern in on off; do
+    for T in 1 2 8; do
+      [ "$Intern" = on ] && [ "$T" = 1 ] && continue
+      if ! cmp -s "$ObsTmp/iout_${Engine}_on_1.txt" \
+          "$ObsTmp/iout_${Engine}_${Intern}_$T.txt"; then
+        echo "intern determinism: $Engine output differs at --intern $Intern" \
+          "--threads $T" >&2
+        diff "$ObsTmp/iout_${Engine}_on_1.txt" \
+          "$ObsTmp/iout_${Engine}_${Intern}_$T.txt" >&2 || true
+        exit 1
+      fi
+      if ! cmp -s "$ObsTmp/idiag_${Engine}_on_1.json" \
+          "$ObsTmp/idiag_${Engine}_${Intern}_$T.json"; then
+        echo "intern determinism: $Engine diag differs at --intern $Intern" \
+          "--threads $T" >&2
+        exit 1
+      fi
+    done
+  done
+  echo "intern determinism: $Engine identical across intern on/off x" \
+    "--threads 1/2/8"
+done
+
 echo "=== tier-1: profile counts bit-identical across thread counts ==="
 # The profiler's count columns are a deterministic function of the
 # program, engine, and seed: canonical count lines must be byte-identical
@@ -256,6 +299,6 @@ echo "=== tier-1: thread-sanitized parallel determinism + budgets ==="
 cmake -B build-tsan -S . -DBAYONET_SANITIZE=thread
 cmake --build build-tsan -j --target bayonet_tests
 BAYONET_THREADS=4 ./build-tsan/tests/bayonet_tests \
-  --gtest_filter='ParallelDeterminism.*:Budget.*:Obs.*:Introspect.*:Snapshot.*:Signal.*:Profile.*'
+  --gtest_filter='ParallelDeterminism.*:Budget.*:Obs.*:Introspect.*:Snapshot.*:Signal.*:Profile.*:Intern.*'
 
 echo "=== tier-1: all checks passed ==="

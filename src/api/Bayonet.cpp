@@ -63,6 +63,7 @@ void runPrimary(const LoadedNetwork &Net, const InferenceOptions &Opts,
     EO.Threads = Opts.Threads;
     EO.CollectTerminals = Opts.CollectTerminals;
     EO.TxCacheBytes = Opts.TxCacheBytes;
+    EO.InternBytes = Opts.InternBytes;
     EO.Budget = Tracker;
     EO.Obs = Opts.Obs;
     EO.Checkpoint = Checkpoint;

@@ -95,6 +95,9 @@ struct InferenceOptions {
   /// Exact engine: byte cap for the successor-transition cache (--txcache).
   /// 0 disables it; results are bit-identical either way.
   uint64_t TxCacheBytes = TxCacheDefaultBytes;
+  /// Exact engine: byte cap for the hash-consing intern arena (--intern).
+  /// 0 disables it; results are bit-identical either way.
+  uint64_t InternBytes = InternDefaultBytes;
   /// Resource budgets (default: unlimited). See BudgetLimits::fromEnv()
   /// for the BAYONET_* environment variables.
   BudgetLimits Limits;

@@ -410,6 +410,7 @@ ExactResult ExactEngine::run() const {
                                    .mix(Opts.MaxFrontier)
                                    .mix(Opts.CollectTerminals)
                                    .mix(Opts.TxCacheBytes)
+                                   .mix(Opts.InternBytes)
                                    .value()
                              : 0;
   if (CP) {
@@ -442,6 +443,7 @@ ExactResult ExactEngine::run() const {
   uint32_t ProfStep = Profiler::InvalidSlot;
   uint32_t ProfExpand = Profiler::InvalidSlot;
   uint32_t ProfMerge = Profiler::InvalidSlot;
+  uint32_t ProfIntern = Profiler::InvalidSlot;
   std::vector<Profiler::DefFrames> ProfDefs;
   // Per-lane scratch over the largest def's statement range, used to
   // record a cache-miss expansion's counts into the staged entry.
@@ -464,6 +466,8 @@ ExactResult ExactEngine::run() const {
     }
     PF->pop(); // expand
     ProfMerge = PF->internAt(ProfStep, "merge", {});
+    if (Opts.InternBytes)
+      ProfIntern = PF->internAt(ProfStep, "intern", {});
     if (Opts.TxCacheBytes)
       PF->internAt(ProfStep, "txcache", {});
     PF->pop(); // step
@@ -542,6 +546,14 @@ ExactResult ExactEngine::run() const {
   if (Opts.TxCacheBytes)
     Cache = std::make_unique<TxCache>(Opts.TxCacheBytes, Threads);
 
+  // Hash-consing arena for canonical node blocks (support/Intern.h): the
+  // same read-published/stage/publish discipline as the cache above, so
+  // interning swaps blocks for structurally equal ones and changes
+  // pointers, never results.
+  std::unique_ptr<InternArena> Arena;
+  if (Opts.InternBytes)
+    Arena = std::make_unique<InternArena>(Opts.InternBytes, Threads);
+
   // Stable program<->index mapping for snapshot (de)serialization: a
   // program is named by the first node that runs it.
   auto DefIndex = [&](const DefDecl *Def) -> uint32_t {
@@ -589,6 +601,10 @@ ExactResult ExactEngine::run() const {
     Result.TxMisses = R->u64();
     Result.TxEvictions = R->u64();
     Result.TxBytes = R->u64();
+    Result.InternHits = R->u64();
+    Result.InternMisses = R->u64();
+    Result.InternEvictions = R->u64();
+    Result.InternBytes = R->u64();
     uint64_t NW = R->count();
     Result.WorkerConfigsExpanded.assign(NW, 0);
     for (uint64_t I = 0; I < NW && R->ok(); ++I)
@@ -610,6 +626,10 @@ ExactResult ExactEngine::run() const {
     Ok = Ok && HadCache == (Cache != nullptr);
     if (Ok && Cache)
       Ok = Cache->restoreFrom(*R, T, DefAt);
+    bool HadArena = Ok && R->boolean();
+    Ok = Ok && HadArena == (Arena != nullptr);
+    if (Ok && Arena)
+      Ok = Arena->restoreFrom(*R, T);
     if (!Ok || !R->ok()) {
       Result = ExactResult();
       if (Spec.Query)
@@ -621,6 +641,16 @@ ExactResult ExactEngine::run() const {
     }
   } else {
     Cur = initialDistribution();
+    if (Arena) {
+      // Seed the initial distribution (serial, tiny): first-step
+      // canonicalization then dedups a mutated-but-unchanged block straight
+      // back to its initial instance instead of staging a fresh class.
+      for (auto &[C, W] : Cur)
+        for (size_t I = 0, N = C.Nodes.size(); I < N; ++I)
+          C.Nodes.setBlock(I, Arena->seed(C.Nodes.block(I)));
+      Arena->publishStaged();
+      Result.InternBytes = Arena->bytes();
+    }
   }
 
   // Serializes the engine state as of the current serial boundary. Cur is
@@ -651,6 +681,10 @@ ExactResult ExactEngine::run() const {
     W.u64(Result.TxMisses);
     W.u64(Result.TxEvictions);
     W.u64(Result.TxBytes);
+    W.u64(Result.InternHits);
+    W.u64(Result.InternMisses);
+    W.u64(Result.InternEvictions);
+    W.u64(Result.InternBytes);
     W.u64(Result.WorkerConfigsExpanded.size());
     for (size_t V : Result.WorkerConfigsExpanded)
       W.u64(V);
@@ -665,8 +699,15 @@ ExactResult ExactEngine::run() const {
     W.boolean(Cache != nullptr);
     if (Cache)
       Cache->snapshotTo(W, T, DefIndex);
+    W.boolean(Arena != nullptr);
+    if (Arena)
+      Arena->snapshotTo(W, T);
   };
   BoundaryMark Mark;
+
+  // Per-lane scheduler-choice scratch: choicesInto fills these in place so
+  // steady-state expansion allocates nothing per configuration.
+  std::vector<std::vector<SchedChoice>> ChoiceScratch(Threads);
 
   // Expands one weighted configuration: terminal and error mass go into
   // \p Res (a lane-local partial in parallel steps), successors into Emit.
@@ -680,7 +721,8 @@ ExactResult ExactEngine::run() const {
       Res.ErrorMass += W;
       return;
     }
-    std::vector<SchedChoice> Choices = Sched->choices(C);
+    std::vector<SchedChoice> &Choices = ChoiceScratch[Lane];
+    Sched->choicesInto(C, Choices);
     if (Choices.empty()) {
       // Terminal configuration: evaluate the query.
       ++Res.TerminalConfigs;
@@ -702,12 +744,25 @@ ExactResult ExactEngine::run() const {
         C2.SchedState = Choice.NextSchedState;
         NodeConfig &Src = C2.Nodes.mut(Choice.Act.Node);
         QueueEntry E = Src.QOut.takeFront();
-        if (auto Peer = Spec.Topo.peer(Choice.Act.Node, E.Port)) {
+        auto Peer = Spec.Topo.peer(Choice.Act.Node, E.Port);
+        if (Peer) {
           E.Port = Peer->Port;
           // pushBack on a full queue is a no-op: congestion drop.
           C2.Nodes.mut(Peer->Node).QIn.pushBack(std::move(E));
         }
         // No link on that port: the packet leaves the network (dropped).
+        if (Arena) {
+          // Canonicalize the mutated blocks: equal successors re-derived
+          // along different enumeration paths then share pointers, so the
+          // merge below compares in O(1). A congestion drop clones the
+          // peer block without changing it; canon dedups it straight back.
+          C2.Nodes.setBlock(Choice.Act.Node,
+                            Arena->canon(Lane,
+                                         C2.Nodes.block(Choice.Act.Node)));
+          if (Peer && Peer->Node != Choice.Act.Node)
+            C2.Nodes.setBlock(Peer->Node,
+                              Arena->canon(Lane, C2.Nodes.block(Peer->Node)));
+        }
         Emit(std::move(C2), std::move(Base));
         continue;
       }
@@ -773,8 +828,11 @@ ExactResult ExactEngine::run() const {
             continue;
           }
           // Share the block between the emitted successor and the staged
-          // entry: future replays alias this storage.
+          // entry: future replays alias this storage. Canonicalizing here
+          // covers both — the cache entry replays canonical blocks.
           auto NB = std::make_shared<NodeBlock>(std::move(World.Node));
+          if (Arena)
+            NB = Arena->canon(Lane, NB);
           NE.Worlds.push_back({NB, std::move(World.Prob),
                                std::move(World.Guards), /*Error=*/false});
           if (W2.isZero())
@@ -818,23 +876,33 @@ ExactResult ExactEngine::run() const {
           Res.ErrorMass += W2;
           continue;
         }
+        if (Arena)
+          C2.Nodes.setBlock(Node, Arena->canon(Lane, C2.Nodes.block(Node)));
         Emit(std::move(C2), std::move(W2));
       }
     }
   };
 
-  using MergeIndex = std::unordered_map<NetConfig, size_t, NetConfigHash>;
-  auto addTo = [&](Frontier &F, MergeIndex &Index, NetConfig C, SymProb W) {
+  // Merge tables: open-addressing index over the dense frontier keyed by
+  // the configuration hash (support/Intern.h). With the arena on, the
+  // equality probe short-circuits on canonical pointers / intern ids; the
+  // tables persist across steps so steady-state merging allocates nothing.
+  FlatIndexMap SerialIndex;
+  std::vector<FlatIndexMap> BucketIndex(Threads);
+  auto addTo = [&](Frontier &F, FlatIndexMap &Index, NetConfig C, SymProb W) {
     if (!Opts.MergeStates) {
       F.emplace_back(std::move(C), std::move(W));
       return;
     }
     ++Result.MergeAttempts;
-    auto [It, Inserted] = Index.try_emplace(C, F.size());
-    if (Inserted) {
+    uint64_t H = C.hash();
+    uint32_t NewIdx = static_cast<uint32_t>(F.size());
+    uint32_t At = Index.findOrInsert(
+        H, NewIdx, [&](uint32_t I) { return F[I].first == C; });
+    if (At == NewIdx) {
       F.emplace_back(std::move(C), std::move(W));
     } else {
-      F[It->second].second += std::move(W);
+      F[At].second += std::move(W);
       ++Result.MergeHits;
       if (BT)
         BT->chargeMerges();
@@ -896,6 +964,9 @@ ExactResult ExactEngine::run() const {
     const uint64_t ObsPrevTxHits = Result.TxHits;
     const uint64_t ObsPrevTxMisses = Result.TxMisses;
     const uint64_t ObsPrevTxEvictions = Result.TxEvictions;
+    const uint64_t ObsPrevInternHits = Result.InternHits;
+    const uint64_t ObsPrevInternMisses = Result.InternMisses;
+    const uint64_t ObsPrevInternEvictions = Result.InternEvictions;
     if (O) {
       StepT0 = std::chrono::steady_clock::now();
       if (O.tracing()) {
@@ -912,7 +983,8 @@ ExactResult ExactEngine::run() const {
       // is zero-width here because merging is inlined into expansion.
       Span ExpandSpan = O.span("exact.expand");
       Profiler::Scope ProfExpandScope(PF, "expand");
-      MergeIndex NextIndex;
+      FlatIndexMap &NextIndex = SerialIndex;
+      NextIndex.clear();
       NextIndex.reserve(Cur.size()); // Frontier sizes are step-correlated.
       Next.reserve(Cur.size());
       for (auto &[C, W] : Cur) {
@@ -1019,15 +1091,20 @@ ExactResult ExactEngine::run() const {
           return;
         }
         BucketAttempts[B] = Total; // Every input is one merge lookup.
-        MergeIndex Index;
+        FlatIndexMap &Index = BucketIndex[B];
+        Index.clear();
         Index.reserve(Total);
         for (size_t Lane = 0; Lane < Lanes; ++Lane)
-          for (auto &[C, W] : Outs[Lane].Buckets[B]) {
-            auto [It, Inserted] = Index.try_emplace(C, F.size());
-            if (Inserted) {
-              F.emplace_back(std::move(C), std::move(W));
+          for (auto &CW : Outs[Lane].Buckets[B]) {
+            uint64_t H = CW.first.hash();
+            uint32_t NewIdx = static_cast<uint32_t>(F.size());
+            uint32_t At = Index.findOrInsert(
+                H, NewIdx,
+                [&](uint32_t I) { return F[I].first == CW.first; });
+            if (At == NewIdx) {
+              F.emplace_back(std::move(CW.first), std::move(CW.second));
             } else {
-              F[It->second].second += std::move(W);
+              F[At].second += std::move(CW.second);
               ++BucketHits[B];
             }
           }
@@ -1071,6 +1148,27 @@ ExactResult ExactEngine::run() const {
       setWall();
       return Result;
     }
+    // Intern-arena publication first: canonical blocks staged this step
+    // become visible before the transition cache publishes, so cache
+    // entries staged alongside them replay already-canonical blocks.
+    if (Arena) {
+      Span InternSpan = O.span("exact.intern");
+      Profiler::Scope ProfInternScope(PF, "intern");
+      InternArena::PublishStats IS = Arena->publishStaged();
+      Result.InternEvictions += IS.Evicted;
+      Result.InternBytes = Arena->bytes();
+      Arena->drainCounters(Result.InternHits, Result.InternMisses);
+      if (BT && IS.InsertedBytes)
+        BT->chargeBytes(IS.InsertedBytes);
+      if (O.tracing()) {
+        // No "staged" arg: the staged count reflects in-lane dedup and is
+        // the one publish statistic that depends on the lane split.
+        // Inserted/evicted/bytes are pure functions of the content set.
+        InternSpan.arg("inserted", IS.Inserted);
+        InternSpan.arg("evicted", IS.Evicted);
+        InternSpan.arg("bytes", Arena->bytes());
+      }
+    }
     // Transition-cache publication: the serial point where this step's
     // staged misses become visible to the next step. Inserted bytes are
     // charged to the budget (the cache is retained memory, unlike the
@@ -1099,6 +1197,15 @@ ExactResult ExactEngine::run() const {
         O.count(&EngineMetricIds::TxCacheEvictions,
                 Result.TxEvictions - ObsPrevTxEvictions);
         O.gaugeMax(&EngineMetricIds::TxCacheBytes, Result.TxBytes);
+      }
+      if (Arena) {
+        O.count(&EngineMetricIds::InternHits,
+                Result.InternHits - ObsPrevInternHits);
+        O.count(&EngineMetricIds::InternMisses,
+                Result.InternMisses - ObsPrevInternMisses);
+        O.count(&EngineMetricIds::InternEvictions,
+                Result.InternEvictions - ObsPrevInternEvictions);
+        O.gaugeMax(&EngineMetricIds::InternBytes, Result.InternBytes);
       }
       O.count(&EngineMetricIds::StatesExpanded,
               Result.ConfigsExpanded - ObsPrevExpanded);
@@ -1134,6 +1241,15 @@ ExactResult ExactEngine::run() const {
       PC = ProfCounts();
       PC.Execs = 1;
       PF->charge(ProfStep, PC);
+      if (Arena && ProfIntern != Profiler::InvalidSlot) {
+        // Like the txcache frame below: only intern columns and wall time,
+        // work columns stay zero so the work fingerprint is identical with
+        // the arena off.
+        PC = ProfCounts();
+        PC.InternHits = Result.InternHits - ObsPrevInternHits;
+        PC.InternMisses = Result.InternMisses - ObsPrevInternMisses;
+        PF->charge(ProfIntern, PC);
+      }
       // The txcache frame carries only tx columns (charged via the lane
       // shards) and wall time: its work columns stay zero so the work
       // fingerprint is identical with the cache off.

@@ -20,6 +20,7 @@
 #include "interp/Exec.h"
 #include "interp/TxCache.h"
 #include "net/NetworkSpec.h"
+#include "support/Intern.h"
 #include "net/Scheduler.h"
 #include "obs/Obs.h"
 #include "support/Budget.h"
@@ -68,6 +69,13 @@ struct ExactOptions {
   /// Threads value: lookups read only the snapshot published at the last
   /// step boundary, and misses replay the exact uncached arithmetic.
   uint64_t TxCacheBytes = TxCacheDefaultBytes;
+  /// Byte cap for the state-interning arena (hash-consed canonical node
+  /// blocks, see support/Intern.h). 0 disables interning entirely.
+  /// Results are bit-identical with the arena on or off and for every
+  /// Threads value: canonicalization swaps a block for a structurally
+  /// equal one, lane lookups read only the snapshot published at the last
+  /// step boundary, and publication is serial and content-sorted.
+  uint64_t InternBytes = InternDefaultBytes;
   /// Optional durable checkpoint/restore driver (support/Snapshot.h). When
   /// set, the engine snapshots the full frontier and partial result at its
   /// serial step boundaries and can resume a run from such a snapshot; a
@@ -122,6 +130,15 @@ struct ExactResult {
   uint64_t TxMisses = 0;
   uint64_t TxEvictions = 0;
   uint64_t TxBytes = 0;
+  /// Interning-arena statistics (all zero when the arena is off). Hits
+  /// and misses count block canonicalization probes; evictions and bytes
+  /// reflect the arena after the final publication. Thread-count
+  /// invariant for the same reason the transition-cache counters are:
+  /// probes see only step-boundary snapshots.
+  uint64_t InternHits = 0;
+  uint64_t InternMisses = 0;
+  uint64_t InternEvictions = 0;
+  uint64_t InternBytes = 0;
 
   /// Terminal distribution (only when CollectTerminals was set).
   std::vector<std::pair<NetConfig, SymProb>> Terminals;

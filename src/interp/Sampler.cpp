@@ -17,14 +17,17 @@
 
 using namespace bayonet;
 
-void Sampler::initParticle(Particle &P, int64_t InitSchedState) const {
-  P.Config.Nodes.resize(Spec.Topo.numNodes());
-  for (unsigned I = 0; I < Spec.Topo.numNodes(); ++I) {
-    NodeConfig &NC = P.Config.Nodes.mut(I);
+void Sampler::initParticle(Population &Pop, size_t I,
+                           int64_t InitSchedState) const {
+  NetConfig &Config = Pop.Configs[I];
+  Xoshiro &Rng = Pop.Rngs[I];
+  Config.Nodes.resize(Spec.Topo.numNodes());
+  for (unsigned N = 0; N < Spec.Topo.numNodes(); ++N) {
+    NodeConfig &NC = Config.Nodes.mut(N);
     NC.QIn = PacketQueue(Spec.QueueCapacity);
     NC.QOut = PacketQueue(Spec.QueueCapacity);
   }
-  P.Config.SchedState = InitSchedState;
+  Config.SchedState = InitSchedState;
 
   for (unsigned Node = 0; Node < Spec.Topo.numNodes(); ++Node) {
     const DefDecl *Def = Spec.NodePrograms[Node];
@@ -32,15 +35,15 @@ void Sampler::initParticle(Particle &P, int64_t InitSchedState) const {
       continue;
     for (const StateVarDecl &SV : Def->StateVars) {
       if (!SV.Init) {
-        P.Config.Nodes.mut(Node).State.push_back(Value(Rational(0)));
+        Config.Nodes.mut(Node).State.push_back(Value(Rational(0)));
         continue;
       }
-      auto V = Exec.evalInitSampled(*SV.Init, P.Rng);
+      auto V = Exec.evalInitSampled(*SV.Init, Rng);
       if (!V) {
-        P.Error = true;
+        Pop.Error[I] = 1;
         return;
       }
-      P.Config.Nodes.mut(Node).State.push_back(std::move(*V));
+      Config.Nodes.mut(Node).State.push_back(std::move(*V));
     }
   }
   for (const InitPacketSpec &Init : Spec.Inits) {
@@ -48,22 +51,25 @@ void Sampler::initParticle(Particle &P, int64_t InitSchedState) const {
     Pkt.Fields.reserve(Init.Fields.size());
     for (const Rational &F : Init.Fields)
       Pkt.Fields.push_back(Value(F));
-    P.Config.Nodes.mut(Init.Node).QIn.pushBack({std::move(Pkt), 0});
+    Config.Nodes.mut(Init.Node).QIn.pushBack({std::move(Pkt), 0});
   }
 }
 
-void Sampler::step(Particle &P, const Scheduler &Sched, Profiler *PF,
+void Sampler::step(Population &Pop, size_t Idx, const Scheduler &Sched,
+                   std::vector<SchedChoice> &Choices, Profiler *PF,
                    const std::vector<Profiler::DefFrames> *ProfDefs,
                    unsigned Lane) const {
-  std::vector<SchedChoice> Choices = Sched.choices(P.Config);
+  NetConfig &Config = Pop.Configs[Idx];
+  Xoshiro &Rng = Pop.Rngs[Idx];
+  Sched.choicesInto(Config, Choices);
   if (Choices.empty()) {
-    P.Terminal = true;
+    Pop.Terminal[Idx] = 1;
     return;
   }
   // Sample a choice according to the scheduler distribution.
   size_t Pick = 0;
   if (Choices.size() > 1) {
-    double U = P.Rng.nextDouble();
+    double U = Rng.nextDouble();
     double Acc = 0;
     for (size_t I = 0; I < Choices.size(); ++I) {
       Acc += Choices[I].Prob.toDouble();
@@ -74,13 +80,13 @@ void Sampler::step(Particle &P, const Scheduler &Sched, Profiler *PF,
     }
   }
   const SchedChoice &Choice = Choices[Pick];
-  P.Config.SchedState = Choice.NextSchedState;
+  Config.SchedState = Choice.NextSchedState;
   if (Choice.Act.K == Action::Kind::Fwd) {
-    NodeConfig &Src = P.Config.Nodes.mut(Choice.Act.Node);
+    NodeConfig &Src = Config.Nodes.mut(Choice.Act.Node);
     QueueEntry E = Src.QOut.takeFront();
     if (auto Peer = Spec.Topo.peer(Choice.Act.Node, E.Port)) {
       E.Port = Peer->Port;
-      P.Config.Nodes.mut(Peer->Node).QIn.pushBack(std::move(E));
+      Config.Nodes.mut(Peer->Node).QIn.pushBack(std::move(E));
     }
     return;
   }
@@ -96,11 +102,11 @@ void Sampler::step(Particle &P, const Scheduler &Sched, Profiler *PF,
     SinkP = &Sink;
   }
   SampleStatus St =
-      Exec.runSampled(*Def, P.Config.Nodes.mut(Choice.Act.Node), P.Rng, SinkP);
+      Exec.runSampled(*Def, Config.Nodes.mut(Choice.Act.Node), Rng, SinkP);
   if (St == SampleStatus::Error)
-    P.Error = true;
+    Pop.Error[Idx] = 1;
   else if (St == SampleStatus::ObserveFailed)
-    P.Dead = true;
+    Pop.Dead[Idx] = 1;
 }
 
 SampleResult Sampler::run() const {
@@ -200,9 +206,14 @@ SampleResult Sampler::run() const {
   // thread-count-independent.
   Xoshiro Master(Opts.Seed);
   Xoshiro ResampleRng = Master.split();
-  std::vector<Particle> Pop(Opts.Particles);
-  for (Particle &P : Pop)
-    P.Rng = Master.split();
+  Population Pop;
+  Pop.resize(Opts.Particles);
+  for (Xoshiro &R : Pop.Rngs)
+    R = Master.split();
+  // Per-lane scratch for the scheduler's enabled-action enumeration:
+  // reused across every particle-step a lane runs, so the steady-state
+  // step loop allocates nothing.
+  std::vector<std::vector<SchedChoice>> ChoiceScratch(Threads);
 
   // Particles are fully independent between population-level events, so
   // lanes can step disjoint particles concurrently. Each lane owns a
@@ -250,11 +261,10 @@ SampleResult Sampler::run() const {
     uint64_t N = R->count();
     Ok = Ok && N == Pop.size();
     for (uint64_t I = 0; I < N && Ok && R->ok(); ++I) {
-      Particle &P = Pop[I];
-      Ok = readNetConfig(*R, T, P.Config) && readRng(*R, P.Rng);
-      P.Dead = R->boolean();
-      P.Error = R->boolean();
-      P.Terminal = R->boolean();
+      Ok = readNetConfig(*R, T, Pop.Configs[I]) && readRng(*R, Pop.Rngs[I]);
+      Pop.Dead[I] = R->boolean();
+      Pop.Error[I] = R->boolean();
+      Pop.Terminal[I] = R->boolean();
     }
     if (!Ok || !R->ok()) {
       Result = SampleResult();
@@ -272,12 +282,12 @@ SampleResult Sampler::run() const {
   if (!Resumed) {
     Profiler::Scope ProfInitScope(PF, "init");
     forParticles([&](size_t I, unsigned) {
-      initParticle(Pop[I], Sched->initialState());
+      initParticle(Pop, I, Sched->initialState());
       if (BT) {
         BT->chargeStates();
         // The population's memory is allocated once, up front: the byte
         // gauge is charged at init and never reset.
-        BT->chargeBytes(Pop[I].Config.approxBytes());
+        BT->chargeBytes(Pop.Configs[I].approxBytes());
       }
     });
     if (PF) {
@@ -300,17 +310,20 @@ SampleResult Sampler::run() const {
     W.i64(Result.StepsRun);
     snapRng(W, ResampleRng);
     W.u64(Pop.size());
-    for (const Particle &P : Pop) {
-      snapNetConfig(W, T, P.Config);
-      snapRng(W, P.Rng);
-      W.boolean(P.Dead);
-      W.boolean(P.Error);
-      W.boolean(P.Terminal);
+    // Interleaved per-particle order: byte-identical to the record-layout
+    // snapshot format, so SoA and pre-SoA snapshots interchange.
+    for (size_t I = 0; I < Pop.size(); ++I) {
+      snapNetConfig(W, T, Pop.Configs[I]);
+      snapRng(W, Pop.Rngs[I]);
+      W.boolean(Pop.Dead[I]);
+      W.boolean(Pop.Error[I]);
+      W.boolean(Pop.Terminal[I]);
     }
   };
 
   uint64_t TotalResamples = 0;
   uint64_t TotalParticleSteps = 0;
+  std::vector<size_t> SurvivorIdx; // Resample scratch, reused across steps.
   for (int64_t Step = StartStep; Step < Spec.NumSteps; ++Step) {
     if (CP) {
       // Serial boundary: the population is a pure function of (seed,
@@ -345,8 +358,9 @@ SampleResult Sampler::run() const {
     uint64_t ObsActive = 0;
     if (O) {
       StepT0 = std::chrono::steady_clock::now();
-      for (const Particle &P : Pop)
-        if (!P.Dead && !P.Terminal && !P.Error)
+      // Dense flag scan: touches three byte arrays, never the configs.
+      for (size_t I = 0; I < Pop.size(); ++I)
+        if (!Pop.Dead[I] && !Pop.Terminal[I] && !Pop.Error[I])
           ++ObsActive;
       if (O.tracing()) {
         StepSpan.arg("step", static_cast<uint64_t>(Step));
@@ -354,20 +368,19 @@ SampleResult Sampler::run() const {
       }
     }
     forParticles([&](size_t I, unsigned Lane) {
-      Particle &P = Pop[I];
-      if (P.Dead || P.Terminal || P.Error)
+      if (Pop.Dead[I] || Pop.Terminal[I] || Pop.Error[I])
         return;
       if (BT)
         BT->chargeStates(); // One particle-step.
-      step(P, *Sched, PF, &ProfDefs, Lane);
+      step(Pop, I, *Sched, ChoiceScratch[Lane], PF, &ProfDefs, Lane);
     });
     bool AnyLive = false;
     unsigned Alive = 0;
-    for (Particle &P : Pop) {
-      if (P.Dead)
+    for (size_t I = 0; I < Pop.size(); ++I) {
+      if (Pop.Dead[I])
         continue;
       ++Alive;
-      if (!P.Terminal && !P.Error)
+      if (!Pop.Terminal[I] && !Pop.Error[I])
         AnyLive = true;
     }
     // SMC: resample from the survivors when too many particles died on
@@ -384,16 +397,25 @@ SampleResult Sampler::run() const {
       if (O.tracing())
         ResampleSpan.arg("alive", static_cast<uint64_t>(Alive));
       O.count(&EngineMetricIds::Resamples);
-      std::vector<Particle> Survivors;
-      for (Particle &P : Pop)
-        if (!P.Dead)
-          Survivors.push_back(std::move(P));
-      std::vector<Particle> NewPop;
+      // Systematic pass over the SoA arrays: survivor indices are gathered
+      // in particle order from the dense Dead flags, then every slot of
+      // the new population copies a survivor picked on the dedicated
+      // resample stream and receives a fresh split stream. The
+      // nextBelow()/split() draw sequence matches the record-layout
+      // resampler draw for draw, so sampled posteriors are bit-identical.
+      SurvivorIdx.clear();
+      for (size_t I = 0; I < Pop.size(); ++I)
+        if (!Pop.Dead[I])
+          SurvivorIdx.push_back(I);
+      Population NewPop;
       NewPop.reserve(Opts.Particles);
       for (unsigned I = 0; I < Opts.Particles; ++I) {
-        Particle NP = Survivors[ResampleRng.nextBelow(Survivors.size())];
-        NP.Rng = ResampleRng.split();
-        NewPop.push_back(std::move(NP));
+        size_t J = SurvivorIdx[ResampleRng.nextBelow(SurvivorIdx.size())];
+        NewPop.Configs.push_back(Pop.Configs[J]); // COW: block refs shared.
+        NewPop.Rngs.push_back(ResampleRng.split());
+        NewPop.Dead.push_back(0);
+        NewPop.Error.push_back(Pop.Error[J]);
+        NewPop.Terminal.push_back(Pop.Terminal[J]);
       }
       Pop = std::move(NewPop);
     }
@@ -512,10 +534,10 @@ SampleResult Sampler::run() const {
   // sharded sum would vary with the thread count.
   double Sum = 0, SumSq = 0;
   unsigned Ok = 0, Errors = 0;
-  for (Particle &P : Pop) {
-    if (P.Dead)
+  for (size_t PI = 0; PI < Pop.size(); ++PI) {
+    if (Pop.Dead[PI])
       continue;
-    if (P.Error || !P.Terminal) {
+    if (Pop.Error[PI] || !Pop.Terminal[PI]) {
       ++Errors;
       continue;
     }
@@ -527,7 +549,7 @@ SampleResult Sampler::run() const {
     // The "given" clause is a terminal-state observation: particles that
     // violate it are discarded like failed observes.
     if (Spec.Query->Given) {
-      auto G = evalQueryConcrete(Spec, *Spec.Query->Given, P.Config);
+      auto G = evalQueryConcrete(Spec, *Spec.Query->Given, Pop.Configs[PI]);
       if (!G) {
         Result.QueryUnsupported = true;
         Result.UnsupportedReason = "given clause not evaluable";
@@ -536,7 +558,7 @@ SampleResult Sampler::run() const {
       if (G->isZero())
         continue;
     }
-    auto V = evalQueryConcrete(Spec, *Spec.Query->Body, P.Config);
+    auto V = evalQueryConcrete(Spec, *Spec.Query->Body, Pop.Configs[PI]);
     if (!V) {
       Result.QueryUnsupported = true;
       Result.UnsupportedReason = "query not evaluable on a sampled state";

@@ -104,24 +104,48 @@ private:
   SampleOptions Opts;
   NodeExecutor Exec;
 
-  struct Particle {
-    NetConfig Config;
-    /// The particle's private PRNG stream: particles evolve independently
-    /// of each other and of the lane that happens to step them.
-    Xoshiro Rng;
-    bool Dead = false;     ///< Observation failed: zero weight.
-    bool Error = false;    ///< ⊥ state.
-    bool Terminal = false; ///< No enabled actions remain.
+  /// Particle population in structure-of-arrays layout. The status flags
+  /// (the 0/1 weights of hard-observe SMC), the PRNG streams, and the
+  /// configurations each live in their own contiguous array, so the batch
+  /// loops — the active scan at a step boundary, the step dispatch skip
+  /// test, and survivor gathering for a resample — stream over dense bytes
+  /// instead of striding across fat per-particle records.
+  struct Population {
+    std::vector<NetConfig> Configs;
+    /// Per-particle private PRNG streams, contiguous: particles evolve
+    /// independently of each other and of the lane that steps them.
+    std::vector<Xoshiro> Rngs;
+    std::vector<uint8_t> Dead;     ///< Observation failed: zero weight.
+    std::vector<uint8_t> Error;    ///< ⊥ state.
+    std::vector<uint8_t> Terminal; ///< No enabled actions remain.
+    size_t size() const { return Configs.size(); }
+    void resize(size_t N) {
+      Configs.resize(N);
+      Rngs.resize(N);
+      Dead.assign(N, 0);
+      Error.assign(N, 0);
+      Terminal.assign(N, 0);
+    }
+    void reserve(size_t N) {
+      Configs.reserve(N);
+      Rngs.reserve(N);
+      Dead.reserve(N);
+      Error.reserve(N);
+      Terminal.reserve(N);
+    }
   };
 
   /// Samples the initial configuration (state initializers and packets)
-  /// into \p P using the particle's own stream.
-  void initParticle(Particle &P, int64_t InitSchedState) const;
-  /// Advances a particle by one scheduler action (draws from P.Rng).
+  /// for particle \p I using the particle's own stream.
+  void initParticle(Population &Pop, size_t I, int64_t InitSchedState) const;
+  /// Advances particle \p I by one scheduler action (draws from its own
+  /// stream). \p Choices is the lane's reusable scratch for the scheduler's
+  /// enabled-action enumeration (allocation-free on the steady state).
   /// When profiling, \p PF / \p ProfDefs / \p Lane locate the lane shard a
   /// Run action's statement counts are charged into (one writer per lane;
   /// the serial boundary folds shards in lane order).
-  void step(Particle &P, const Scheduler &Sched, Profiler *PF = nullptr,
+  void step(Population &Pop, size_t I, const Scheduler &Sched,
+            std::vector<SchedChoice> &Choices, Profiler *PF = nullptr,
             const std::vector<Profiler::DefFrames> *ProfDefs = nullptr,
             unsigned Lane = 0) const;
 };

@@ -147,6 +147,12 @@ private:
         return false;
       if (A.Block == B.Block)
         return true;
+      // Matching non-zero intern ids prove structural equality (ids name
+      // content classes and are never reused); differing ids prove nothing
+      // — fall through to the structural compare (support/Intern.h).
+      uint64_t Ia = A.Block->internId();
+      if (Ia && Ia == B.Block->internId())
+        return true;
       return A.Block->hash() == B.Block->hash() &&
              A.Block->config() == B.Block->config();
     }

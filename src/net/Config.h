@@ -185,10 +185,23 @@ public:
     return H;
   }
 
+  /// Content-class id assigned by the InternArena (support/Intern.h);
+  /// 0 = not interned. Ids are never reused, so two blocks with equal
+  /// non-zero ids are structurally equal — but differing ids prove
+  /// nothing (an evicted class re-interns under a fresh id). The copy
+  /// constructor deliberately does not copy the id (a clone exists to be
+  /// mutated) and mut() clears it alongside the hash cache.
+  uint64_t internId() const { return Intern.load(std::memory_order_relaxed); }
+
 private:
   friend class NodeArray;
+  friend class InternArena;
+  void setInternId(uint64_t Id) const {
+    Intern.store(Id, std::memory_order_relaxed);
+  }
   NodeConfig Cfg;
   mutable std::atomic<size_t> Hash{0};
+  mutable std::atomic<uint64_t> Intern{0};
 };
 
 /// The node array of a configuration: copy-on-write storage of NodeConfigs
@@ -223,6 +236,7 @@ public:
     if (B.use_count() != 1)
       B = std::make_shared<NodeBlock>(B->config());
     B->Hash.store(0, std::memory_order_relaxed);
+    B->Intern.store(0, std::memory_order_relaxed);
     return B->Cfg;
   }
 
@@ -272,6 +286,9 @@ public:
     for (size_t I = 0; I < A.Blocks.size(); ++I) {
       if (A.Blocks[I] == B.Blocks[I])
         continue; // Shared block: trivially equal.
+      uint64_t IdA = A.Blocks[I]->internId();
+      if (IdA && IdA == B.Blocks[I]->internId())
+        continue; // Same intern content class: equal without re-walking.
       if (A.Blocks[I]->hash() != B.Blocks[I]->hash())
         return false; // Per-block hash fast-rejects mismatches.
       if (!(A.Blocks[I]->config() == B.Blocks[I]->config()))

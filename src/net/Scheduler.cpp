@@ -45,25 +45,36 @@ std::vector<Action> bayonet::enabledActions(const NetConfig &C) {
   return Actions;
 }
 
-std::vector<SchedChoice> UniformScheduler::choices(const NetConfig &C) const {
-  std::vector<Action> Actions = enabledActions(C);
-  std::vector<SchedChoice> Out;
-  if (Actions.empty())
-    return Out;
-  Rational P(BigInt(1), BigInt(static_cast<int64_t>(Actions.size())));
-  Out.reserve(Actions.size());
-  for (const Action &A : Actions)
-    Out.push_back({A, P, /*NextSchedState=*/0});
-  return Out;
+void UniformScheduler::choicesInto(const NetConfig &C,
+                                   std::vector<SchedChoice> &Out) const {
+  Out.clear();
+  // One pass over the nodes: every enabled action gets the same 1/Count
+  // probability and Count is just the number of actions collected, so the
+  // probabilities can be patched afterwards over the (contiguous, cached)
+  // output vector instead of walking the heap-scattered node blocks a
+  // second time. This runs once per expanded configuration / particle
+  // step, so it must not allocate beyond the caller's scratch.
+  for (unsigned I = 0; I < C.Nodes.size(); ++I) {
+    const NodeConfig &NC = C.Nodes[I];
+    if (!NC.QIn.empty())
+      Out.push_back({{Action::Kind::Run, I}, Rational(), 0});
+    if (!NC.QOut.empty())
+      Out.push_back({{Action::Kind::Fwd, I}, Rational(), 0});
+  }
+  if (Out.empty())
+    return;
+  Rational P(BigInt(1), BigInt(static_cast<int64_t>(Out.size())));
+  for (SchedChoice &Ch : Out)
+    Ch.Prob = P;
 }
 
-std::vector<SchedChoice>
-RoundRobinScheduler::choices(const NetConfig &C) const {
+void RoundRobinScheduler::choicesInto(const NetConfig &C,
+                                      std::vector<SchedChoice> &Out) const {
+  Out.clear();
   // Slot i encodes: node i/2, Run if i is even, Fwd if odd.
   int64_t NumSlots = static_cast<int64_t>(C.Nodes.size()) * 2;
-  std::vector<SchedChoice> Out;
   if (NumSlots == 0)
-    return Out;
+    return;
   int64_t Start = C.SchedState % NumSlots;
   for (int64_t Off = 0; Off < NumSlots; ++Off) {
     int64_t Slot = (Start + Off) % NumSlots;
@@ -75,36 +86,47 @@ RoundRobinScheduler::choices(const NetConfig &C) const {
       continue;
     Action A{IsRun ? Action::Kind::Run : Action::Kind::Fwd, Node};
     Out.push_back({A, Rational(1), (Slot + 1) % NumSlots});
-    return Out;
+    return;
   }
-  return Out; // No enabled action: terminal.
+  // No enabled action: terminal.
 }
 
-std::vector<SchedChoice>
-WeightedScheduler::choices(const NetConfig &C) const {
-  std::vector<Action> Actions = enabledActions(C);
-  std::vector<SchedChoice> Out;
-  if (Actions.empty())
-    return Out;
+void WeightedScheduler::choicesInto(const NetConfig &C,
+                                    std::vector<SchedChoice> &Out) const {
+  Out.clear();
+  // Same single-pass shape as the uniform scheduler: collect the enabled
+  // actions (accumulating the weight total), then patch each action's
+  // probability from its node weight — the node blocks are walked once.
   int64_t Total = 0;
-  for (const Action &A : Actions) {
-    assert(A.Node < Weights.size() && "missing node weight");
-    Total += Weights[A.Node];
+  for (unsigned I = 0; I < C.Nodes.size(); ++I) {
+    const NodeConfig &NC = C.Nodes[I];
+    unsigned Enabled = !NC.QIn.empty() + !NC.QOut.empty();
+    if (!Enabled)
+      continue;
+    assert(I < Weights.size() && "missing node weight");
+    Total += static_cast<int64_t>(Enabled) * Weights[I];
+    if (!NC.QIn.empty())
+      Out.push_back({{Action::Kind::Run, I}, Rational(), 0});
+    if (!NC.QOut.empty())
+      Out.push_back({{Action::Kind::Fwd, I}, Rational(), 0});
   }
-  Out.reserve(Actions.size());
-  for (const Action &A : Actions)
-    Out.push_back({A, Rational(BigInt(Weights[A.Node]), BigInt(Total)),
-                   /*NextSchedState=*/0});
-  return Out;
+  for (SchedChoice &Ch : Out)
+    Ch.Prob = Rational(BigInt(Weights[Ch.Act.Node]), BigInt(Total));
 }
 
-std::vector<SchedChoice>
-DeterministicScheduler::choices(const NetConfig &C) const {
-  std::vector<SchedChoice> Out;
-  std::vector<Action> Actions = enabledActions(C);
-  if (Actions.empty())
-    return Out;
-  // enabledActions already enumerates in slot order; take the first.
-  Out.push_back({Actions.front(), Rational(1), /*NextSchedState=*/0});
-  return Out;
+void DeterministicScheduler::choicesInto(const NetConfig &C,
+                                         std::vector<SchedChoice> &Out) const {
+  Out.clear();
+  // First enabled action in slot order (Run 0, Fwd 0, Run 1, ...).
+  for (unsigned I = 0; I < C.Nodes.size(); ++I) {
+    const NodeConfig &NC = C.Nodes[I];
+    if (!NC.QIn.empty()) {
+      Out.push_back({{Action::Kind::Run, I}, Rational(1), 0});
+      return;
+    }
+    if (!NC.QOut.empty()) {
+      Out.push_back({{Action::Kind::Fwd, I}, Rational(1), 0});
+      return;
+    }
+  }
 }

@@ -51,10 +51,22 @@ class Scheduler {
 public:
   virtual ~Scheduler();
 
-  /// All (action, probability) choices in configuration \p C. Empty iff no
-  /// action is enabled (the configuration is terminal). Probabilities sum
-  /// to one when nonempty.
-  virtual std::vector<SchedChoice> choices(const NetConfig &C) const = 0;
+  /// All (action, probability) choices in configuration \p C, written into
+  /// \p Out (cleared first). Empty iff no action is enabled (the
+  /// configuration is terminal). Probabilities sum to one when nonempty.
+  /// This is the primitive the engines call with a reusable per-lane
+  /// scratch vector: both the exact expansion loop and the samplers ask
+  /// for choices once per configuration/particle step, and a returned
+  /// vector per call dominated their allocation profiles.
+  virtual void choicesInto(const NetConfig &C,
+                           std::vector<SchedChoice> &Out) const = 0;
+
+  /// Allocating convenience wrapper over choicesInto.
+  std::vector<SchedChoice> choices(const NetConfig &C) const {
+    std::vector<SchedChoice> Out;
+    choicesInto(C, Out);
+    return Out;
+  }
 
   /// The initial scheduler state σ_s.
   virtual int64_t initialState() const { return 0; }
@@ -77,7 +89,8 @@ std::vector<Action> enabledActions(const NetConfig &C);
 /// all enabled actions.
 class UniformScheduler : public Scheduler {
 public:
-  std::vector<SchedChoice> choices(const NetConfig &C) const override;
+  void choicesInto(const NetConfig &C,
+                   std::vector<SchedChoice> &Out) const override;
   const char *name() const override { return "uniform"; }
 };
 
@@ -87,7 +100,8 @@ public:
 /// the scheduler state σ_s, so runs are fully deterministic.
 class RoundRobinScheduler : public Scheduler {
 public:
-  std::vector<SchedChoice> choices(const NetConfig &C) const override;
+  void choicesInto(const NetConfig &C,
+                   std::vector<SchedChoice> &Out) const override;
   const char *name() const override { return "roundrobin"; }
 };
 
@@ -98,7 +112,8 @@ public:
 /// always congest in the Section 5.1 benchmark.
 class DeterministicScheduler : public Scheduler {
 public:
-  std::vector<SchedChoice> choices(const NetConfig &C) const override;
+  void choicesInto(const NetConfig &C,
+                   std::vector<SchedChoice> &Out) const override;
   const char *name() const override { return "deterministic"; }
 };
 
@@ -113,7 +128,8 @@ public:
   explicit WeightedScheduler(std::vector<int64_t> Weights)
       : Weights(std::move(Weights)) {}
 
-  std::vector<SchedChoice> choices(const NetConfig &C) const override;
+  void choicesInto(const NetConfig &C,
+                   std::vector<SchedChoice> &Out) const override;
   const char *name() const override { return "weighted"; }
 
 private:

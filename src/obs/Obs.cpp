@@ -78,6 +78,17 @@ ObsContext::ObsContext(bool EnableTrace, bool EnableMetrics, bool EnableDiag,
       "Transition-cache entries evicted by the FIFO byte cap");
   Ids.TxCacheBytes = Reg->gauge("bayonet_txcache_bytes",
                                 "Peak retained transition-cache bytes");
+  Ids.InternHits = Reg->counter(
+      "bayonet_intern_hits_total",
+      "Intern-arena hits (blocks canonicalized to a published class)");
+  Ids.InternMisses = Reg->counter(
+      "bayonet_intern_misses_total",
+      "Intern-arena misses (new content classes staged for publication)");
+  Ids.InternEvictions = Reg->counter(
+      "bayonet_intern_evictions_total",
+      "Intern-arena content classes evicted by the FIFO byte cap");
+  Ids.InternBytes = Reg->gauge("bayonet_intern_bytes",
+                               "Peak retained intern-arena bytes");
   Ids.CheckpointWrites = Reg->counter(
       "bayonet_checkpoint_writes_total",
       "Durable snapshots written by the Checkpointer");

@@ -52,6 +52,10 @@ struct EngineMetricIds {
   MetricId TxCacheMisses;   ///< Counter: transition-cache expansion misses.
   MetricId TxCacheEvictions; ///< Counter: transition-cache FIFO evictions.
   MetricId TxCacheBytes;    ///< Gauge (max): retained transition-cache bytes.
+  MetricId InternHits;      ///< Counter: intern-arena canonicalization hits.
+  MetricId InternMisses;    ///< Counter: intern-arena canonicalization misses.
+  MetricId InternEvictions; ///< Counter: intern-arena FIFO evictions.
+  MetricId InternBytes;     ///< Gauge (max): retained intern-arena bytes.
   MetricId CheckpointWrites; ///< Counter: durable snapshots written.
   MetricId CheckpointBytes; ///< Counter: total snapshot bytes written.
   MetricId CheckpointAge;   ///< Gauge: seconds since the last snapshot

@@ -288,6 +288,8 @@ void appendCountFields(std::string &Out, const ProfCounts &C) {
   Out += ",\"merge_hits\":" + std::to_string(C.MergeHits);
   Out += ",\"tx_hits\":" + std::to_string(C.TxHits);
   Out += ",\"tx_misses\":" + std::to_string(C.TxMisses);
+  Out += ",\"intern_hits\":" + std::to_string(C.InternHits);
+  Out += ",\"intern_misses\":" + std::to_string(C.InternMisses);
 }
 
 } // namespace
@@ -295,7 +297,8 @@ void appendCountFields(std::string &Out, const ProfCounts &C) {
 std::string Profiler::renderJson() const {
   std::string Out = "{\"schema\":1";
   Out += ",\"deterministic_columns\":[\"states\",\"execs\",\"samples\","
-         "\"merge_attempts\",\"merge_hits\",\"tx_hits\",\"tx_misses\"]";
+         "\"merge_attempts\",\"merge_hits\",\"tx_hits\",\"tx_misses\","
+         "\"intern_hits\",\"intern_misses\"]";
   Out += ",\"nondeterministic_columns\":[\"wall_ns\",\"allocs\"]";
   Out += ",\"totals\":";
   if (HaveTotals) {
@@ -338,7 +341,8 @@ std::string Profiler::renderCanonicalCounts() const {
       continue;
     Out += stackKey(S);
     for (uint64_t V : {C.States, C.Execs, C.Samples, C.MergeAttempts,
-                       C.MergeHits, C.TxHits, C.TxMisses}) {
+                       C.MergeHits, C.TxHits, C.TxMisses, C.InternHits,
+                       C.InternMisses}) {
       Out += '|';
       Out += std::to_string(V);
     }
@@ -479,8 +483,12 @@ std::string Profiler::renderAnnotated(std::string_view Source) const {
 
 void Profiler::publishBoard() {
   // Top keys by self work, rendered small enough for the 8 KiB board.
+  // Runs at every step-boundary drain, so the slot list and the JSON
+  // buffer are member scratch reused across boundaries (reallocating them
+  // per drain dominated BM_ProfileOverhead's allocs_per_iter).
   constexpr size_t TopN = 12;
-  std::vector<uint32_t> Slots;
+  std::vector<uint32_t> &Slots = BoardSlots;
+  Slots.clear();
   Slots.reserve(Sites.size());
   for (uint32_t S = 0; S < Sites.size(); ++S)
     if (Cells[S].anyDeterministic())
@@ -493,7 +501,9 @@ void Profiler::publishBoard() {
   });
   if (Slots.size() > TopN)
     Slots.resize(TopN);
-  std::string Json = "{\"enabled\":true,\"top\":[";
+  std::string &Json = BoardJson;
+  Json.clear();
+  Json += "{\"enabled\":true,\"top\":[";
   for (size_t I = 0; I < Slots.size(); ++I) {
     if (I)
       Json += ",";
@@ -531,6 +541,8 @@ void Profiler::snapshotTo(SnapWriter &W) const {
     W.u64(C.MergeHits);
     W.u64(C.TxHits);
     W.u64(C.TxMisses);
+    W.u64(C.InternHits);
+    W.u64(C.InternMisses);
   }
 }
 
@@ -552,6 +564,8 @@ bool Profiler::restoreFrom(SnapReader &R) {
     C.MergeHits = R.u64();
     C.TxHits = R.u64();
     C.TxMisses = R.u64();
+    C.InternHits = R.u64();
+    C.InternMisses = R.u64();
     if (!R.ok())
       return false;
     uint32_t MyParent = InvalidSlot;

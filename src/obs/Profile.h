@@ -68,12 +68,14 @@ struct ProfCounts {
   uint64_t MergeHits = 0;     ///< Merge lookups that coalesced a state.
   uint64_t TxHits = 0;        ///< Transition-cache replays.
   uint64_t TxMisses = 0;      ///< Transition-cache computed expansions.
+  uint64_t InternHits = 0;    ///< Intern-arena canonicalization hits.
+  uint64_t InternMisses = 0;  ///< Intern-arena staged content classes.
   uint64_t WallNs = 0;        ///< NONDETERMINISTIC: attributed wall time.
   uint64_t Allocs = 0;        ///< NONDETERMINISTIC: attributed allocations.
 
   bool anyDeterministic() const {
     return States | Execs | Samples | MergeAttempts | MergeHits | TxHits |
-           TxMisses;
+           TxMisses | InternHits | InternMisses;
   }
   void addDeterministic(const ProfCounts &O) {
     States += O.States;
@@ -83,6 +85,8 @@ struct ProfCounts {
     MergeHits += O.MergeHits;
     TxHits += O.TxHits;
     TxMisses += O.TxMisses;
+    InternHits += O.InternHits;
+    InternMisses += O.InternMisses;
   }
 };
 
@@ -346,6 +350,11 @@ private:
   bool HaveTotals = false;
   uint64_t (*AllocSource)() = nullptr;
   ProfileBoard Board;
+  /// Publication scratch, reused across step boundaries: the board is
+  /// re-rendered at every drain, and per-drain vector/string churn was
+  /// the dominant allocation in BM_ProfileOverhead.
+  std::vector<uint32_t> BoardSlots;
+  std::string BoardJson;
 };
 
 } // namespace bayonet

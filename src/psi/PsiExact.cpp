@@ -6,6 +6,7 @@
 
 #include "psi/PsiExact.h"
 
+#include "support/Intern.h"
 #include "support/Snapshot.h"
 #include "support/ThreadPool.h"
 
@@ -437,17 +438,24 @@ private:
     if (!Opts.MergeEnvs || D.size() < 2)
       return;
     if (!useParallel(D.size())) {
+      // Open-addressing merge index over the dense distribution
+      // (support/Intern.h): the environment hash is computed once per
+      // branch and reused for the probe, and the table allocates nothing
+      // per insert.
       Dist Merged;
       Merged.reserve(D.size());
-      std::unordered_map<Env, size_t, EnvHash> Index;
+      FlatIndexMap Index;
       Index.reserve(D.size());
       Result.MergeAttempts += D.size();
       for (Branch &B : D) {
-        auto [It, Inserted] = Index.try_emplace(B.Vars, Merged.size());
-        if (Inserted) {
+        uint64_t H = EnvHash()(B.Vars);
+        uint32_t NewIdx = static_cast<uint32_t>(Merged.size());
+        uint32_t At = Index.findOrInsert(
+            H, NewIdx, [&](uint32_t I) { return Merged[I].Vars == B.Vars; });
+        if (At == NewIdx) {
           Merged.push_back(std::move(B));
         } else {
-          Merged[It->second].W += std::move(B.W);
+          Merged[At].W += std::move(B.W);
           ++Result.MergeHits;
           if (BT)
             BT->chargeMerges();
@@ -462,15 +470,23 @@ private:
     ThreadPool &Pool = ThreadPool::global();
     const size_t Lanes = Threads;
     const size_t Chunk = (D.size() + Lanes - 1) / Lanes;
-    std::vector<std::vector<Dist>> Routed(Lanes);
+    // The routed entries carry their environment hash: it is computed
+    // exactly once per branch and reused for both the bucket route and
+    // the merge-table probe below (hashing a PsiValue environment walks
+    // the whole value tree, so the recomputation was pure waste).
+    struct HashedBranch {
+      uint64_t Hash;
+      Branch B;
+    };
+    std::vector<std::vector<std::vector<HashedBranch>>> Routed(Lanes);
     Pool.parallelFor(Lanes, [&](size_t Lane) {
-      std::vector<Dist> &Buckets = Routed[Lane];
+      std::vector<std::vector<HashedBranch>> &Buckets = Routed[Lane];
       Buckets.resize(Lanes);
       size_t Lo = std::min(D.size(), Lane * Chunk);
       size_t Hi = std::min(D.size(), Lo + Chunk);
       for (size_t I = Lo; I < Hi; ++I) {
-        size_t B = EnvHash()(D[I].Vars) % Lanes;
-        Buckets[B].push_back(std::move(D[I]));
+        uint64_t H = EnvHash()(D[I].Vars);
+        Buckets[H % Lanes].push_back({H, std::move(D[I])});
       }
     }, StopF);
     std::vector<Dist> Merged(Lanes);
@@ -481,15 +497,18 @@ private:
         Total += Routed[Lane][B].size();
       Dist &F = Merged[B];
       F.reserve(Total);
-      std::unordered_map<Env, size_t, EnvHash> Index;
+      FlatIndexMap Index;
       Index.reserve(Total);
       for (size_t Lane = 0; Lane < Lanes; ++Lane)
-        for (Branch &Br : Routed[Lane][B]) {
-          auto [It, Inserted] = Index.try_emplace(Br.Vars, F.size());
-          if (Inserted) {
-            F.push_back(std::move(Br));
+        for (HashedBranch &Hb : Routed[Lane][B]) {
+          uint32_t NewIdx = static_cast<uint32_t>(F.size());
+          uint32_t At = Index.findOrInsert(Hb.Hash, NewIdx, [&](uint32_t I) {
+            return F[I].Vars == Hb.B.Vars;
+          });
+          if (At == NewIdx) {
+            F.push_back(std::move(Hb.B));
           } else {
-            F[It->second].W += std::move(Br.W);
+            F[At].W += std::move(Hb.B.W);
             ++BucketHits[B];
           }
         }

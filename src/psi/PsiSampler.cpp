@@ -26,11 +26,15 @@ public:
   /// indexed by PStmt::ProfSlot; the interpreter charges one exec per
   /// statement entered and one sample per PRNG draw (attributed to the
   /// statement whose expression drew).
+  /// \p VarScratch is the caller's (per-lane) environment buffer: reused
+  /// across the particles a lane runs, so the per-particle environment
+  /// costs an assign into retained capacity instead of a fresh allocation.
   SampleInterp(const PsiProgram &P, Xoshiro &Rng, int64_t WhileFuel,
+               std::vector<PsiValue> &VarScratch,
                const std::atomic<bool> *Stop = nullptr,
                uint64_t *ProfExecs = nullptr, uint64_t *ProfSamples = nullptr)
       : P(P), Rng(Rng), WhileFuel(WhileFuel), Stop(Stop),
-        ProfExecs(ProfExecs), ProfSamples(ProfSamples) {
+        ProfExecs(ProfExecs), ProfSamples(ProfSamples), Vars(VarScratch) {
     Vars.assign(P.VarNames.size(), PsiValue());
   }
 
@@ -64,7 +68,7 @@ private:
   /// ProfSlot of the statement currently executing (draw attribution).
   uint32_t CurSlot = UINT32_MAX;
   uint64_t StmtsSeen = 0;
-  std::vector<PsiValue> Vars;
+  std::vector<PsiValue> &Vars;
 
   Status execBlock(const std::vector<PStmtPtr> &Body) {
     for (const PStmtPtr &S : Body) {
@@ -386,15 +390,15 @@ PsiSampleResult PsiSampler::run() const {
     PB->publish(PU);
   }
 
-  // Per-particle outcome, aggregated serially afterwards (double addition
-  // is not associative; summing in particle order keeps the estimate
-  // bit-identical across thread counts).
+  // Per-particle outcome in structure-of-arrays layout — a dense byte per
+  // kind and a parallel value array — aggregated serially afterwards
+  // (double addition is not associative; summing in particle order keeps
+  // the estimate bit-identical across thread counts). The aggregation and
+  // snapshot passes scan the byte array and only touch a value when its
+  // kind says one exists.
   enum class OutKind : uint8_t { NotRun, Rejected, Error, Unsupported, Ok };
-  struct ParticleOut {
-    OutKind K = OutKind::NotRun;
-    Rational V;
-  };
-  std::vector<ParticleOut> Outs;
+  std::vector<uint8_t> OutKinds;
+  std::vector<Rational> OutVals;
 
   // The state budget caps the particle count up front: remaining budget =
   // particles run, in particle order — deterministic for any thread count.
@@ -414,14 +418,14 @@ PsiSampleResult PsiSampler::run() const {
     StartAt = R->u64();
     Effective = static_cast<unsigned>(R->u64());
     bool Ok = Effective <= Opts.Particles && StartAt <= Effective;
-    Outs.reserve(Effective);
+    OutKinds.reserve(Effective);
+    OutVals.reserve(Effective);
     for (size_t I = 0; I < StartAt && Ok && R->ok(); ++I) {
-      ParticleOut PO;
       uint8_t K = R->u8();
-      Ok = K <= static_cast<uint8_t>(OutKind::Ok) &&
-           readRational(*R, PO.V);
-      PO.K = static_cast<OutKind>(K);
-      Outs.push_back(std::move(PO));
+      Rational V;
+      Ok = K <= static_cast<uint8_t>(OutKind::Ok) && readRational(*R, V);
+      OutKinds.push_back(K);
+      OutVals.push_back(std::move(V));
     }
     if (!Ok || !R->ok()) {
       Result = PsiSampleResult();
@@ -456,14 +460,18 @@ PsiSampleResult PsiSampler::run() const {
   for (unsigned I = 0; I < Effective; ++I)
     Streams.push_back(Master.split());
 
-  Outs.resize(Effective);
+  OutKinds.resize(Effective); // Zero-fill = NotRun.
+  OutVals.resize(Effective);
+  // Per-lane environment scratch: one buffer per lane, reused across every
+  // particle the lane runs (one writer per lane, like the profiler shards).
+  std::vector<std::vector<PsiValue>> EnvScratch(Threads);
   auto runOne = [&](size_t I, unsigned Lane) {
     if (StopF && StopF->load(std::memory_order_acquire))
       return; // Drained: the particle stays NotRun.
     if (BT)
       BT->chargeStates();
-    SampleInterp Interp(P, Streams[I], Opts.WhileFuel, StopF,
-                        PF ? PF->laneExecs(Lane) : nullptr,
+    SampleInterp Interp(P, Streams[I], Opts.WhileFuel, EnvScratch[Lane],
+                        StopF, PF ? PF->laneExecs(Lane) : nullptr,
                         PF ? PF->laneSamples(Lane) : nullptr);
     Status St = Interp.run();
     if (BT)
@@ -472,21 +480,21 @@ PsiSampleResult PsiSampler::run() const {
     case Status::Stopped:
       return; // Unfinished: stays NotRun, excluded from the estimate.
     case Status::Rejected:
-      Outs[I].K = OutKind::Rejected;
+      OutKinds[I] = static_cast<uint8_t>(OutKind::Rejected);
       return;
     case Status::Error:
-      Outs[I].K = OutKind::Error;
+      OutKinds[I] = static_cast<uint8_t>(OutKind::Error);
       return;
     case Status::Ok:
       break;
     }
     auto V = Interp.result();
     if (!V) {
-      Outs[I].K = OutKind::Unsupported;
+      OutKinds[I] = static_cast<uint8_t>(OutKind::Unsupported);
       return;
     }
-    Outs[I].K = OutKind::Ok;
-    Outs[I].V = std::move(*V);
+    OutKinds[I] = static_cast<uint8_t>(OutKind::Ok);
+    OutVals[I] = std::move(*V);
   };
   auto runRange = [&](size_t Lo, size_t Hi) {
     if (Threads <= 1) {
@@ -533,8 +541,8 @@ PsiSampleResult PsiSampler::run() const {
     PF->publishBoard();
   };
   if (!CP) {
-    runRange(0, Outs.size());
-    profBoundary(Outs.size());
+    runRange(0, OutKinds.size());
+    profBoundary(OutKinds.size());
   } else {
     // Chunked batch with a serial boundary between chunks: completed
     // outcomes are a pure function of (seed, particle index), so the chunk
@@ -544,12 +552,14 @@ PsiSampleResult PsiSampler::run() const {
     auto SerializeState = [&](SnapWriter &W) {
       W.u64(BoundAt);
       W.u64(Effective);
+      // Interleaved kind/value order: byte-identical to the record-layout
+      // snapshot format.
       for (size_t I = 0; I < BoundAt; ++I) {
-        W.u8(static_cast<uint8_t>(Outs[I].K));
-        snapRational(W, Outs[I].V);
+        W.u8(OutKinds[I]);
+        snapRational(W, OutVals[I]);
       }
     };
-    for (size_t Lo = StartAt; Lo < Outs.size(); Lo += ChunkSize) {
+    for (size_t Lo = StartAt; Lo < OutKinds.size(); Lo += ChunkSize) {
       BoundAt = Lo;
       CP->maybeWrite("psi-smc", SpecFp, OptsFp, BT, ObsC, SerializeState);
       if (CP->crashed()) {
@@ -575,7 +585,7 @@ PsiSampleResult PsiSampler::run() const {
         PU.StatesExpanded = Lo;
         PB->publish(PU);
       }
-      size_t Hi = std::min(Outs.size(), Lo + ChunkSize);
+      size_t Hi = std::min(OutKinds.size(), Lo + ChunkSize);
       runRange(Lo, Hi);
       profBoundary(Hi - Lo);
     }
@@ -590,8 +600,8 @@ PsiSampleResult PsiSampler::run() const {
 
   double Sum = 0;
   unsigned Ok = 0, Errors = 0;
-  for (ParticleOut &O : Outs) {
-    switch (O.K) {
+  for (size_t I = 0; I < OutKinds.size(); ++I) {
+    switch (static_cast<OutKind>(OutKinds[I])) {
     case OutKind::NotRun:
       continue;
     case OutKind::Rejected:
@@ -611,9 +621,9 @@ PsiSampleResult PsiSampler::run() const {
       break;
     }
     if (P.Kind == QueryKind::Probability)
-      Sum += O.V.isZero() ? 0.0 : 1.0;
+      Sum += OutVals[I].isZero() ? 0.0 : 1.0;
     else
-      Sum += O.V.toDouble();
+      Sum += OutVals[I].toDouble();
     ++Ok;
   }
   Result.Survivors = Ok + Errors;

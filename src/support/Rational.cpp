@@ -76,21 +76,65 @@ Rational Rational::operator+(const Rational &B) const {
   Rational R = *this;
   if (R.addSubFast(B, /*Sub=*/false))
     return R;
-  return Rational(Num * B.Den + B.Num * Den, Den * B.Den);
+  R.addBig(B, /*Sub=*/false);
+  return R;
 }
 
 Rational Rational::operator-(const Rational &B) const {
   Rational R = *this;
   if (R.addSubFast(B, /*Sub=*/true))
     return R;
-  return Rational(Num * B.Den - B.Num * Den, Den * B.Den);
+  R.addBig(B, /*Sub=*/true);
+  return R;
+}
+
+void Rational::addBig(const Rational &B, bool Sub) {
+  // Knuth 4.5.1: with canonical inputs, any common factor of the sum
+  // a*(d/g) +- c*(b/g) and the denominator b*(d/g) must divide
+  // g = gcd(b, d), so one gcd against g canonicalizes the result. The
+  // frontier-merge workloads this serves add weights whose denominators
+  // share almost everything (powers of one link probability), where
+  // normalizing the raw cross product would run Euclid on the combined
+  // magnitudes instead.
+  const BigInt G = BigInt::gcd(Den, B.Den);
+  const bool Coprime = G.isOne();
+  const BigInt DB = Coprime ? B.Den : B.Den / G; // d/g
+  const BigInt DA = Coprime ? Den : Den / G;     // b/g
+  BigInt N = Sub ? Num * DB - B.Num * DA : Num * DB + B.Num * DA;
+  if (N.isZero()) {
+    Num = BigInt(0);
+    Den = BigInt(1);
+    return;
+  }
+  BigInt D = Den * DB;
+  if (!Coprime) {
+    const BigInt G2 = BigInt::gcd(N, G);
+    if (!G2.isOne()) {
+      N = N / G2;
+      D = D / G2;
+    }
+  }
+  Num = std::move(N);
+  Den = std::move(D);
 }
 
 Rational Rational::operator*(const Rational &B) const {
   Rational R = *this;
   if (R.mulFast(B))
     return R;
-  return Rational(Num * B.Num, Den * B.Den);
+  // GMP-style cross reduction (the big-number twin of mulFast): with both
+  // inputs canonical, gcd(Num/G1 * B.Num/G2, Den/G2 * B.Den/G1) == 1, so
+  // the product needs no normalize(). The cross gcds run against the
+  // *operand* components — when one factor is a small step probability
+  // (the exact engines multiply long products like 99^k/100^k by 99/100),
+  // Euclid collapses to near-machine cost after one BigInt mod, where
+  // normalizing the product would grind a full division loop on the
+  // combined magnitudes every step.
+  const BigInt G1 = BigInt::gcd(Num, B.Den);
+  const BigInt G2 = BigInt::gcd(B.Num, Den);
+  R.Num = (G1.isOne() ? Num : Num / G1) * (G2.isOne() ? B.Num : B.Num / G2);
+  R.Den = (G2.isOne() ? Den : Den / G2) * (G1.isOne() ? B.Den : B.Den / G1);
+  return R;
 }
 
 Rational Rational::operator/(const Rational &B) const {
@@ -98,7 +142,17 @@ Rational Rational::operator/(const Rational &B) const {
   Rational R = *this;
   if (R.divFast(B))
     return R;
-  return Rational(Num * B.Den, Den * B.Num);
+  // Same cross reduction against the flipped divisor; the divisor's sign
+  // moves to the numerator to keep the Den > 0 invariant.
+  const BigInt G1 = BigInt::gcd(Num, B.Num);
+  const BigInt G2 = BigInt::gcd(B.Den, Den);
+  R.Num = (G1.isOne() ? Num : Num / G1) * (G2.isOne() ? B.Den : B.Den / G2);
+  R.Den = (G2.isOne() ? Den : Den / G2) * (G1.isOne() ? B.Num : B.Num / G1);
+  if (R.Den.isNegative()) {
+    R.Num = -R.Num;
+    R.Den = -R.Den;
+  }
+  return R;
 }
 
 Rational Rational::truncToInteger() const {

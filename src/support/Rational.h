@@ -124,6 +124,9 @@ private:
   BigInt Num;
   BigInt Den;
   void normalize();
+  /// Big-number add/subtract with Knuth 4.5.1 reduced normalization.
+  /// \pre both operands canonical (the class invariant).
+  void addBig(const Rational &B, bool Sub);
 
   /// Magnitude of an int64 as uint64 (correct for INT64_MIN).
   static uint64_t mag64(int64_t V) {

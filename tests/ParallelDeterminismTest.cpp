@@ -355,9 +355,11 @@ std::shared_ptr<Checkpointer> profCp(const std::string &Out,
 /// Projects a canonical-counts rendering onto its work columns (states,
 /// execs, samples, merge attempts/hits), dropping rows that are all zero
 /// there. The work projection is the tier of the fingerprint that is
-/// additionally invariant across TxCache on/off: cache hits replay the
-/// per-statement counts recorded at compute time, and the tx columns only
-/// exist when the cache does.
+/// additionally invariant across TxCache and intern on/off: cache hits
+/// replay the per-statement counts recorded at compute time, and the
+/// tx/intern columns only exist when the cache/arena does (cache hits
+/// also skip canonicalization, so intern counts depend on the cache
+/// setting — both pairs are dropped).
 std::string workColumns(const std::string &Canon) {
   std::string Out;
   size_t Pos = 0;
@@ -367,9 +369,10 @@ std::string workColumns(const std::string &Canon) {
       End = Canon.size();
     std::string Line = Canon.substr(Pos, End - Pos);
     Pos = End + 1;
-    // stack|states|execs|samples|merge_attempts|merge_hits|tx_hits|tx_misses
+    // stack|states|execs|samples|merge_attempts|merge_hits|tx_hits|
+    // tx_misses|intern_hits|intern_misses
     size_t Cut = Line.size();
-    for (int Drop = 0; Drop < 2 && Cut != std::string::npos; ++Drop)
+    for (int Drop = 0; Drop < 4 && Cut != std::string::npos; ++Drop)
       Cut = Line.rfind('|', Cut - 1);
     size_t Bar = Line.find('|');
     EXPECT_NE(Cut, std::string::npos) << Line;
@@ -388,7 +391,7 @@ std::string workColumns(const std::string &Canon) {
 }
 
 /// True when any row of \p Canon has a nonzero tx_hits or tx_misses
-/// column (the last two).
+/// column (the antepenultimate pair — intern_hits|intern_misses follow).
 bool anyTxColumn(const std::string &Canon) {
   size_t Pos = 0;
   while (Pos < Canon.size()) {
@@ -397,12 +400,17 @@ bool anyTxColumn(const std::string &Canon) {
       End = Canon.size();
     std::string Line = Canon.substr(Pos, End - Pos);
     Pos = End + 1;
-    size_t Cut = Line.size();
+    size_t Tail = Line.size();
+    for (int Drop = 0; Drop < 2 && Tail != std::string::npos; ++Drop)
+      Tail = Line.rfind('|', Tail - 1);
+    if (Tail == std::string::npos)
+      continue;
+    size_t Cut = Tail;
     for (int Drop = 0; Drop < 2 && Cut != std::string::npos; ++Drop)
       Cut = Line.rfind('|', Cut - 1);
     if (Cut == std::string::npos)
       continue;
-    for (size_t I = Cut; I < Line.size(); ++I)
+    for (size_t I = Cut; I < Tail; ++I)
       if (Line[I] != '|' && Line[I] != '0')
         return true;
   }

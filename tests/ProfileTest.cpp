@@ -166,8 +166,8 @@ TEST(Profile, LaneDrainFoldsAndDiscardDrops) {
   P.drainLanes();
 
   std::string Canon = P.renderCanonicalCounts();
-  EXPECT_EQ(Canon, "exact;a|0|8|0|0|0|2|0\n"
-                   "exact;b|0|0|7|0|0|0|1\n");
+  EXPECT_EQ(Canon, "exact;a|0|8|0|0|0|2|0|0|0\n"
+                   "exact;b|0|0|7|0|0|0|1|0|0\n");
 
   // Draining again moves nothing (shards were zeroed).
   P.drainLanes();
@@ -207,8 +207,8 @@ TEST(Profile, CanonicalCountsSortedAndZeroFramesDropped) {
   // Wall time alone does not make a frame canonical.
   P.chargeTime(A, 12345);
 
-  EXPECT_EQ(P.renderCanonicalCounts(), "alpha|0|9|0|0|0|0|0\n"
-                                       "zeta|4|0|0|2|1|0|0\n");
+  EXPECT_EQ(P.renderCanonicalCounts(), "alpha|0|9|0|0|0|0|0|0|0\n"
+                                       "zeta|4|0|0|2|1|0|0|0|0\n");
 }
 
 TEST(Profile, RenderJsonSchemaAndTotals) {
@@ -223,7 +223,8 @@ TEST(Profile, RenderJsonSchemaAndTotals) {
   EXPECT_NE(Json.find("\"schema\":1"), std::string::npos);
   EXPECT_NE(Json.find("\"deterministic_columns\":[\"states\",\"execs\","
                       "\"samples\",\"merge_attempts\",\"merge_hits\","
-                      "\"tx_hits\",\"tx_misses\"]"),
+                      "\"tx_hits\",\"tx_misses\",\"intern_hits\","
+                      "\"intern_misses\"]"),
             std::string::npos);
   EXPECT_NE(Json.find("\"nondeterministic_columns\":[\"wall_ns\","
                       "\"allocs\"]"),
